@@ -1,0 +1,118 @@
+// Experiment E7 — Lemma 3, measured: the closure of one implementing tree
+// under basic transforms reaches all implementing trees of a nice graph.
+// Reports closure sizes, BT application counts, and time versus relation
+// count, for both the full BT set and the result-preserving subset.
+
+#include <benchmark/benchmark.h>
+
+#include "algebra/transform.h"
+#include "common/check.h"
+#include "common/rng.h"
+#include "enumerate/bt_path.h"
+#include "enumerate/closure.h"
+#include "enumerate/it_enum.h"
+#include "testing/graphgen.h"
+
+namespace fro {
+namespace {
+
+GeneratedQuery MakeQuery(int n, uint64_t seed) {
+  Rng rng(seed);
+  RandomQueryOptions options;
+  options.num_relations = n;
+  options.oj_fraction = 0.4;
+  options.extra_join_edge_prob = 0.15;
+  return GenerateRandomQuery(options, &rng);
+}
+
+void RunClosure(benchmark::State& state, bool only_preserving) {
+  const int n = static_cast<int>(state.range(0));
+  GeneratedQuery q = MakeQuery(n, 99);
+  Rng rng(100);
+  ExprPtr start = RandomIt(q.graph, *q.db, &rng);
+  FRO_CHECK(start != nullptr);
+  const uint64_t all_trees = CountIts(q.graph);
+  size_t closure_size = 0;
+  uint64_t applications = 0;
+  for (auto _ : state) {
+    ClosureOptions options;
+    options.only_result_preserving = only_preserving;
+    ClosureResult closure = BtClosure(start, options);
+    benchmark::DoNotOptimize(closure);
+    closure_size = closure.trees.size();
+    applications = closure.bt_applications;
+  }
+  // Lemma 3 (and, with strong predicates, Lemma 2): the closure covers
+  // every implementing tree.
+  FRO_CHECK_EQ(closure_size, all_trees);
+  state.counters["closure_trees"] = static_cast<double>(closure_size);
+  state.counters["bt_applications"] = static_cast<double>(applications);
+}
+
+void BM_Closure_AllBts(benchmark::State& state) {
+  RunClosure(state, /*only_preserving=*/false);
+}
+void BM_Closure_PreservingBts(benchmark::State& state) {
+  RunClosure(state, /*only_preserving=*/true);
+}
+
+BENCHMARK(BM_Closure_AllBts)
+    ->Arg(4)
+    ->Arg(5)
+    ->Arg(6)
+    ->Arg(7)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Closure_PreservingBts)
+    ->Arg(4)
+    ->Arg(5)
+    ->Arg(6)
+    ->Arg(7)
+    ->Unit(benchmark::kMillisecond);
+
+// Constructive Theorem 1: shortest result-preserving BT path between two
+// random implementing trees (the paper's proof sequence, materialized).
+void BM_BtPath(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  GeneratedQuery q = MakeQuery(n, 17);
+  Rng rng(18);
+  ExprPtr from = RandomIt(q.graph, *q.db, &rng);
+  ExprPtr to = RandomIt(q.graph, *q.db, &rng);
+  size_t path_length = 0;
+  for (auto _ : state) {
+    BtPathResult path = FindBtPath(from, to);
+    FRO_CHECK(path.found);
+    benchmark::DoNotOptimize(path);
+    path_length = path.steps.size() - 1;
+  }
+  state.counters["bt_steps"] = static_cast<double>(path_length);
+}
+BENCHMARK(BM_BtPath)->Arg(4)->Arg(6)->Arg(8)->Unit(
+    benchmark::kMillisecond);
+
+// Single-step expansion cost: FindApplicableBts + ApplyBt over one tree.
+void BM_FindAndApplyBts(benchmark::State& state) {
+  GeneratedQuery q = MakeQuery(static_cast<int>(state.range(0)), 7);
+  Rng rng(8);
+  ExprPtr tree = RandomIt(q.graph, *q.db, &rng);
+  size_t sites = 0;
+  for (auto _ : state) {
+    std::vector<BtSite> found = FindApplicableBts(tree);
+    sites = found.size();
+    for (const BtSite& site : found) {
+      Result<ExprPtr> out = ApplyBt(tree, site);
+      FRO_CHECK(out.ok());
+      benchmark::DoNotOptimize(*out);
+    }
+  }
+  state.counters["applicable_sites"] = static_cast<double>(sites);
+}
+BENCHMARK(BM_FindAndApplyBts)
+    ->Arg(5)
+    ->Arg(8)
+    ->Arg(12)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace fro
+
+BENCHMARK_MAIN();

@@ -1,0 +1,168 @@
+// Experiments E3 and E4 — the paper's negative results, measured.
+//
+// E3 (Example 2): the graph X -> Y - Z has two implementing trees that
+// disagree; we measure the rate at which random databases expose the
+// disagreement, and reproduce the exact instance from the paper.
+//
+// E4 (Example 3): a non-strong outerjoin predicate breaks identity 12; we
+// measure the disagreement rate of (X -> Y) -> Z vs X -> (Y -> Z) under
+// weak predicates and confirm a zero rate under strong predicates.
+
+#include <benchmark/benchmark.h>
+
+#include "algebra/eval.h"
+#include "common/check.h"
+#include "common/rng.h"
+#include "testing/datagen.h"
+
+namespace fro {
+namespace {
+
+struct Tri {
+  std::unique_ptr<Database> db;
+  ExprPtr x, y, z;
+  AttrId xa, ya, yb, za;
+};
+
+Tri MakeTri(Rng* rng) {
+  Tri t;
+  RandomRowsOptions rows;
+  rows.rows_min = 1;
+  rows.rows_max = 5;
+  rows.domain = 3;
+  rows.null_prob = 0.2;
+  t.db = MakeRandomDatabase(3, 2, rows, rng);
+  t.x = Expr::Leaf(t.db->Rel("R0"), *t.db);
+  t.y = Expr::Leaf(t.db->Rel("R1"), *t.db);
+  t.z = Expr::Leaf(t.db->Rel("R2"), *t.db);
+  t.xa = t.db->Attr("R0", "a0");
+  t.ya = t.db->Attr("R1", "a0");
+  t.yb = t.db->Attr("R1", "a1");
+  t.za = t.db->Attr("R2", "a0");
+  return t;
+}
+
+// E3: disagreement rate of the two associations of X -> (Y - Z).
+void BM_Example2_DisagreementRate(benchmark::State& state) {
+  Rng rng(2024);
+  uint64_t trials = 0;
+  uint64_t disagreements = 0;
+  for (auto _ : state) {
+    Tri t = MakeTri(&rng);
+    PredicatePtr poj = EqCols(t.xa, t.ya);
+    PredicatePtr pjn = EqCols(t.yb, t.za);
+    ExprPtr oj_of_join = Expr::OuterJoin(t.x, Expr::Join(t.y, t.z, pjn), poj);
+    ExprPtr join_of_oj = Expr::Join(Expr::OuterJoin(t.x, t.y, poj), t.z, pjn);
+    bool equal =
+        BagEquals(Eval(oj_of_join, *t.db), Eval(join_of_oj, *t.db));
+    benchmark::DoNotOptimize(equal);
+    ++trials;
+    if (!equal) ++disagreements;
+  }
+  state.counters["disagree_rate"] =
+      trials == 0 ? 0 : static_cast<double>(disagreements) / trials;
+  state.counters["trials"] = static_cast<double>(trials);
+}
+BENCHMARK(BM_Example2_DisagreementRate)->Unit(benchmark::kMicrosecond);
+
+// E3: the paper's exact instance: {(r1)}, {(r2)}, {(r3)} with the join
+// predicate failing — first form yields one padded tuple, second the
+// empty set.
+void BM_Example2_ExactInstance(benchmark::State& state) {
+  Database db;
+  RelId r1 = *db.AddRelation("R1", {"a"});
+  RelId r2 = *db.AddRelation("R2", {"b"});
+  RelId r3 = *db.AddRelation("R3", {"c"});
+  db.AddRow(r1, {Value::Int(1)});
+  db.AddRow(r2, {Value::Int(1)});
+  db.AddRow(r3, {Value::Int(9)});
+  PredicatePtr poj = EqCols(db.Attr("R1", "a"), db.Attr("R2", "b"));
+  PredicatePtr pjn = EqCols(db.Attr("R2", "b"), db.Attr("R3", "c"));
+  ExprPtr first = Expr::OuterJoin(
+      Expr::Leaf(r1, db),
+      Expr::Join(Expr::Leaf(r2, db), Expr::Leaf(r3, db), pjn), poj);
+  ExprPtr second = Expr::Join(
+      Expr::OuterJoin(Expr::Leaf(r1, db), Expr::Leaf(r2, db), poj),
+      Expr::Leaf(r3, db), pjn);
+  for (auto _ : state) {
+    Relation a = Eval(first, db);
+    Relation b = Eval(second, db);
+    FRO_CHECK_EQ(a.NumRows(), 1u);
+    FRO_CHECK_EQ(b.NumRows(), 0u);
+    benchmark::DoNotOptimize(a);
+    benchmark::DoNotOptimize(b);
+  }
+  state.counters["first_rows"] = 1;
+  state.counters["second_rows"] = 0;
+}
+BENCHMARK(BM_Example2_ExactInstance)->Unit(benchmark::kMicrosecond);
+
+// E4: identity 12 under weak vs strong predicates.
+void Identity12Rate(benchmark::State& state, bool weak) {
+  Rng rng(2025);
+  uint64_t trials = 0;
+  uint64_t disagreements = 0;
+  for (auto _ : state) {
+    Tri t = MakeTri(&rng);
+    PredicatePtr pxy = EqCols(t.xa, t.ya);
+    PredicatePtr pyz =
+        weak ? Predicate::Or({EqCols(t.yb, t.za),
+                              Predicate::IsNull(Operand::Column(t.yb))})
+             : EqCols(t.yb, t.za);
+    ExprPtr lhs =
+        Expr::OuterJoin(Expr::OuterJoin(t.x, t.y, pxy), t.z, pyz);
+    ExprPtr rhs =
+        Expr::OuterJoin(t.x, Expr::OuterJoin(t.y, t.z, pyz), pxy);
+    bool equal = BagEquals(Eval(lhs, *t.db), Eval(rhs, *t.db));
+    benchmark::DoNotOptimize(equal);
+    ++trials;
+    if (!equal) ++disagreements;
+  }
+  // A strong predicate admits no disagreement, ever (identity 12).
+  if (!weak) FRO_CHECK_EQ(disagreements, 0u);
+  state.counters["disagree_rate"] =
+      trials == 0 ? 0 : static_cast<double>(disagreements) / trials;
+  state.counters["trials"] = static_cast<double>(trials);
+}
+
+void BM_Example3_WeakPredicateRate(benchmark::State& state) {
+  Identity12Rate(state, /*weak=*/true);
+}
+void BM_Example3_StrongPredicateRate(benchmark::State& state) {
+  Identity12Rate(state, /*weak=*/false);
+}
+BENCHMARK(BM_Example3_WeakPredicateRate)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Example3_StrongPredicateRate)->Unit(benchmark::kMicrosecond);
+
+// E4: the paper's exact Example 3 instance.
+void BM_Example3_ExactInstance(benchmark::State& state) {
+  Database db;
+  RelId ra = *db.AddRelation("A", {"attr1"});
+  RelId rb = *db.AddRelation("B", {"attr1", "attr2"});
+  RelId rc = *db.AddRelation("C", {"attr1"});
+  db.AddRow(ra, {Value::Int(0)});
+  db.AddRow(rb, {Value::Int(1), Value::Null()});
+  db.AddRow(rc, {Value::Int(2)});
+  PredicatePtr pab = EqCols(db.Attr("A", "attr1"), db.Attr("B", "attr1"));
+  PredicatePtr pbc = Predicate::Or(
+      {EqCols(db.Attr("B", "attr2"), db.Attr("C", "attr1")),
+       Predicate::IsNull(Operand::Column(db.Attr("B", "attr2")))});
+  ExprPtr lhs = Expr::OuterJoin(
+      Expr::OuterJoin(Expr::Leaf(ra, db), Expr::Leaf(rb, db), pab),
+      Expr::Leaf(rc, db), pbc);
+  ExprPtr rhs = Expr::OuterJoin(
+      Expr::Leaf(ra, db),
+      Expr::OuterJoin(Expr::Leaf(rb, db), Expr::Leaf(rc, db), pbc), pab);
+  for (auto _ : state) {
+    bool equal = BagEquals(Eval(lhs, db), Eval(rhs, db));
+    FRO_CHECK(!equal);
+    benchmark::DoNotOptimize(equal);
+  }
+  state.counters["disagree"] = 1;
+}
+BENCHMARK(BM_Example3_ExactInstance)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace fro
+
+BENCHMARK_MAIN();

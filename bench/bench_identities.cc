@@ -1,0 +1,110 @@
+// Experiment E5 — the Section 2 identity catalog as a measured workload:
+// each identity is re-verified on fresh random databases inside the timed
+// loop; the benchmark doubles as a randomized soak test (any violation
+// aborts) and reports verification throughput.
+
+#include <benchmark/benchmark.h>
+
+#include "algebra/eval.h"
+#include "common/check.h"
+#include "common/rng.h"
+#include "testing/datagen.h"
+
+namespace fro {
+namespace {
+
+struct Tri {
+  std::unique_ptr<Database> db;
+  ExprPtr x, y, z;
+  PredicatePtr pxy, pyz, pxz;
+};
+
+Tri MakeTri(Rng* rng) {
+  Tri t;
+  RandomRowsOptions rows;
+  rows.rows_max = 6;
+  rows.domain = 3;
+  rows.null_prob = 0.2;
+  t.db = MakeRandomDatabase(3, 2, rows, rng);
+  t.x = Expr::Leaf(t.db->Rel("R0"), *t.db);
+  t.y = Expr::Leaf(t.db->Rel("R1"), *t.db);
+  t.z = Expr::Leaf(t.db->Rel("R2"), *t.db);
+  t.pxy = EqCols(t.db->Attr("R0", "a0"), t.db->Attr("R1", "a0"));
+  t.pyz = EqCols(t.db->Attr("R1", "a1"), t.db->Attr("R2", "a0"));
+  t.pxz = EqCols(t.db->Attr("R0", "a1"), t.db->Attr("R2", "a1"));
+  return t;
+}
+
+using BuildPair = std::pair<ExprPtr, ExprPtr> (*)(const Tri&);
+
+void VerifyIdentity(benchmark::State& state, BuildPair build) {
+  Rng rng(77);
+  uint64_t checked = 0;
+  for (auto _ : state) {
+    Tri t = MakeTri(&rng);
+    auto [lhs, rhs] = build(t);
+    bool equal = BagEquals(Eval(lhs, *t.db), Eval(rhs, *t.db));
+    FRO_CHECK(equal) << "identity violated:\n lhs=" << lhs->ToString()
+                     << "\n rhs=" << rhs->ToString();
+    benchmark::DoNotOptimize(equal);
+    ++checked;
+  }
+  state.counters["verified"] = static_cast<double>(checked);
+}
+
+std::pair<ExprPtr, ExprPtr> Identity1(const Tri& t) {
+  return {Expr::Join(Expr::Join(t.x, t.y, t.pxy), t.z,
+                     Predicate::And({t.pxz, t.pyz})),
+          Expr::Join(t.x, Expr::Join(t.y, t.z, t.pyz),
+                     Predicate::And({t.pxy, t.pxz}))};
+}
+std::pair<ExprPtr, ExprPtr> Identity2(const Tri& t) {
+  return {Expr::Antijoin(Expr::Join(t.x, t.y, t.pxy), t.z, t.pyz),
+          Expr::Join(t.x, Expr::Antijoin(t.y, t.z, t.pyz), t.pxy)};
+}
+std::pair<ExprPtr, ExprPtr> Identity3(const Tri& t) {
+  return {Expr::Antijoin(Expr::Antijoin(t.x, t.y, t.pxy, false), t.z,
+                         t.pyz),
+          Expr::Antijoin(t.x, Expr::Antijoin(t.y, t.z, t.pyz), t.pxy,
+                         false)};
+}
+std::pair<ExprPtr, ExprPtr> Identity10(const Tri& t) {
+  return {Expr::OuterJoin(t.x, t.y, t.pxy),
+          Expr::Union(Expr::Join(t.x, t.y, t.pxy),
+                      Expr::Antijoin(t.x, t.y, t.pxy))};
+}
+std::pair<ExprPtr, ExprPtr> Identity11(const Tri& t) {
+  return {Expr::OuterJoin(Expr::Join(t.x, t.y, t.pxy), t.z, t.pyz),
+          Expr::Join(t.x, Expr::OuterJoin(t.y, t.z, t.pyz), t.pxy)};
+}
+std::pair<ExprPtr, ExprPtr> Identity12(const Tri& t) {
+  return {Expr::OuterJoin(Expr::OuterJoin(t.x, t.y, t.pxy), t.z, t.pyz),
+          Expr::OuterJoin(t.x, Expr::OuterJoin(t.y, t.z, t.pyz), t.pxy)};
+}
+std::pair<ExprPtr, ExprPtr> Identity13(const Tri& t) {
+  return {Expr::OuterJoin(Expr::OuterJoin(t.x, t.y, t.pxy, false), t.z,
+                          t.pyz),
+          Expr::OuterJoin(t.x, Expr::OuterJoin(t.y, t.z, t.pyz), t.pxy,
+                          false)};
+}
+
+void BM_Identity1(benchmark::State& s) { VerifyIdentity(s, Identity1); }
+void BM_Identity2(benchmark::State& s) { VerifyIdentity(s, Identity2); }
+void BM_Identity3(benchmark::State& s) { VerifyIdentity(s, Identity3); }
+void BM_Identity10(benchmark::State& s) { VerifyIdentity(s, Identity10); }
+void BM_Identity11(benchmark::State& s) { VerifyIdentity(s, Identity11); }
+void BM_Identity12(benchmark::State& s) { VerifyIdentity(s, Identity12); }
+void BM_Identity13(benchmark::State& s) { VerifyIdentity(s, Identity13); }
+
+BENCHMARK(BM_Identity1)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Identity2)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Identity3)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Identity10)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Identity11)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Identity12)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Identity13)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace fro
+
+BENCHMARK_MAIN();

@@ -1,0 +1,142 @@
+// Experiment E11 — the Section 5 language end to end: lexing, parsing,
+// translation to outerjoins, the free-reorderability audit, optimization,
+// and execution, on scaled versions of the paper's company schema.
+
+#include <benchmark/benchmark.h>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "lang/lang.h"
+#include "lang/parser.h"
+#include "lang/translate.h"
+#include "testing/nested_sample.h"
+
+namespace fro {
+namespace {
+
+const char kProsecutorQuery[] =
+    "Select All From EMPLOYEE*ChildName, DEPARTMENT-->Manager-->Audit "
+    "Where EMPLOYEE.D# = DEPARTMENT.D# and "
+    "DEPARTMENT.Location = 'Zurich' and EMPLOYEE.Rank > 10";
+
+// A scaled company: `departments` departments, ~3 employees each, 0-3
+// children per employee.
+NestedDb MakeScaledCompany(int departments) {
+  NestedDb db;
+  FRO_CHECK(db.DefineType("REPORT",
+                          {{"Title", FieldDef::Kind::kScalar, ""},
+                           {"Cost", FieldDef::Kind::kScalar, ""}})
+                .ok());
+  FRO_CHECK(db.DefineType("EMPLOYEE",
+                          {{"D#", FieldDef::Kind::kScalar, ""},
+                           {"Rank", FieldDef::Kind::kScalar, ""},
+                           {"ChildName", FieldDef::Kind::kSetValued, ""}})
+                .ok());
+  FRO_CHECK(db.DefineType(
+                  "DEPARTMENT",
+                  {{"D#", FieldDef::Kind::kScalar, ""},
+                   {"Location", FieldDef::Kind::kScalar, ""},
+                   {"Manager", FieldDef::Kind::kEntityRef, "EMPLOYEE"},
+                   {"Audit", FieldDef::Kind::kEntityRef, "REPORT"}})
+                .ok());
+  Rng rng(3);
+  for (int d = 0; d < departments; ++d) {
+    int64_t manager = 0;
+    for (int e = 0; e < 3; ++e) {
+      std::vector<Value> kids;
+      for (int c = static_cast<int>(rng.Uniform(4)); c > 0; --c) {
+        kids.push_back(Value::String("kid" + std::to_string(d * 100 + c)));
+      }
+      int64_t oid = *db.AddEntity(
+          "EMPLOYEE",
+          {FieldValue::Scalar(Value::Int(d)),
+           FieldValue::Scalar(Value::Int(rng.UniformInt(1, 15))),
+           FieldValue::Set(std::move(kids))});
+      if (e == 0) manager = oid;
+    }
+    FieldValue audit = FieldValue::NullRef();
+    if (rng.Bernoulli(0.7)) {
+      audit = FieldValue::Ref(*db.AddEntity(
+          "REPORT", {FieldValue::Scalar(Value::String("audit")),
+                     FieldValue::Scalar(Value::Int(d))}));
+    }
+    FRO_CHECK(db.AddEntity("DEPARTMENT",
+                           {FieldValue::Scalar(Value::Int(d)),
+                            FieldValue::Scalar(Value::String(
+                                d % 2 == 0 ? "Zurich" : "Queretaro")),
+                            FieldValue::Ref(manager), audit})
+                  .ok());
+  }
+  return db;
+}
+
+void BM_ParseOnly(benchmark::State& state) {
+  for (auto _ : state) {
+    Result<SelectQuery> ast = ParseQuery(kProsecutorQuery);
+    FRO_CHECK(ast.ok());
+    benchmark::DoNotOptimize(*ast);
+  }
+}
+BENCHMARK(BM_ParseOnly)->Unit(benchmark::kMicrosecond);
+
+void BM_TranslateOnly(benchmark::State& state) {
+  NestedDb db = MakeScaledCompany(static_cast<int>(state.range(0)));
+  Result<SelectQuery> ast = ParseQuery(kProsecutorQuery);
+  FRO_CHECK(ast.ok());
+  for (auto _ : state) {
+    Result<TranslationResult> t = TranslateQuery(db, *ast);
+    FRO_CHECK(t.ok());
+    FRO_CHECK(t->audit.freely_reorderable());
+    benchmark::DoNotOptimize(*t);
+  }
+}
+BENCHMARK(BM_TranslateOnly)->Arg(10)->Arg(100)->Arg(1000)->Unit(
+    benchmark::kMillisecond);
+
+void BM_RunQueryEndToEnd(benchmark::State& state) {
+  NestedDb db = MakeScaledCompany(static_cast<int>(state.range(0)));
+  size_t out_rows = 0;
+  for (auto _ : state) {
+    Result<QueryRunResult> run = RunQuery(db, kProsecutorQuery);
+    FRO_CHECK(run.ok());
+    benchmark::DoNotOptimize(*run);
+    out_rows = run->relation.NumRows();
+  }
+  state.counters["output_rows"] = static_cast<double>(out_rows);
+}
+BENCHMARK(BM_RunQueryEndToEnd)->Arg(10)->Arg(100)->Arg(500)->Unit(
+    benchmark::kMillisecond);
+
+void BM_RunQueryUnoptimized(benchmark::State& state) {
+  NestedDb db = MakeScaledCompany(static_cast<int>(state.range(0)));
+  RunOptions options;
+  options.optimize = false;
+  for (auto _ : state) {
+    Result<QueryRunResult> run = RunQuery(db, kProsecutorQuery, options);
+    FRO_CHECK(run.ok());
+    benchmark::DoNotOptimize(*run);
+  }
+}
+BENCHMARK(BM_RunQueryUnoptimized)->Arg(10)->Arg(100)->Arg(500)->Unit(
+    benchmark::kMillisecond);
+
+// The paper's simpler UnNest query on the canonical small database.
+void BM_QueretaroQuery(benchmark::State& state) {
+  NestedDb db = MakeCompanyNestedDb();
+  for (auto _ : state) {
+    Result<QueryRunResult> run = RunQuery(
+        db,
+        "Select All From EMPLOYEE*ChildName, DEPARTMENT "
+        "Where EMPLOYEE.D# = DEPARTMENT.D# and "
+        "DEPARTMENT.Location = 'Queretaro'");
+    FRO_CHECK(run.ok());
+    FRO_CHECK_EQ(run->relation.NumRows(), 1u);
+    benchmark::DoNotOptimize(*run);
+  }
+}
+BENCHMARK(BM_QueretaroQuery)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace fro
+
+BENCHMARK_MAIN();

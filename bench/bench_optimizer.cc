@@ -1,0 +1,159 @@
+// Experiment E8 — the Section 6.1 claim: extending a conventional DP
+// optimizer to freely-reorderable join/outerjoin queries. Measures DP
+// search time versus relation count and the plan-quality spread
+// (best IT vs worst IT vs the syntactic order).
+
+#include <benchmark/benchmark.h>
+
+#include "algebra/eval.h"
+#include "common/check.h"
+#include "common/rng.h"
+#include "enumerate/it_enum.h"
+#include "optimizer/greedy.h"
+#include "optimizer/optimizer.h"
+#include "testing/datagen.h"
+#include "testing/graphgen.h"
+
+namespace fro {
+namespace {
+
+GeneratedQuery MakeQuery(int n, uint64_t seed) {
+  Rng rng(seed);
+  RandomQueryOptions options;
+  options.num_relations = n;
+  options.oj_fraction = 0.4;
+  options.extra_join_edge_prob = 0.2;
+  options.rows.rows_min = 2;
+  options.rows.rows_max = 8;
+  return GenerateRandomQuery(options, &rng);
+}
+
+void BM_DpSearch(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  GeneratedQuery q = MakeQuery(n, 11);
+  CostModel model(*q.db, CostKind::kCout);
+  uint64_t considered = 0;
+  for (auto _ : state) {
+    Result<PlanResult> best = OptimizeReorderable(q.graph, *q.db, model);
+    FRO_CHECK(best.ok());
+    benchmark::DoNotOptimize(*best);
+    considered = best->plans_considered;
+  }
+  state.counters["subplans"] = static_cast<double>(considered);
+  state.counters["relations"] = n;
+}
+BENCHMARK(BM_DpSearch)
+    ->Arg(5)
+    ->Arg(8)
+    ->Arg(11)
+    ->Arg(14)
+    ->Unit(benchmark::kMicrosecond);
+
+// Greedy ordering: time and cost relative to the exact DP where the DP
+// is feasible; standalone scaling beyond it.
+void BM_GreedySearch(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  GeneratedQuery q = MakeQuery(n, 11);
+  CostModel model(*q.db, CostKind::kCout);
+  double cost_ratio = 0;
+  for (auto _ : state) {
+    Result<PlanResult> greedy = OptimizeGreedy(q.graph, *q.db, model);
+    FRO_CHECK(greedy.ok());
+    benchmark::DoNotOptimize(*greedy);
+    if (n <= 14) {
+      Result<PlanResult> best = OptimizeReorderable(q.graph, *q.db, model);
+      FRO_CHECK(best.ok());
+      double best_cost = model.PlanCost(best->plan);
+      cost_ratio =
+          best_cost > 0 ? model.PlanCost(greedy->plan) / best_cost : 1.0;
+    }
+  }
+  state.counters["relations"] = n;
+  if (n <= 14) state.counters["greedy_over_optimal"] = cost_ratio;
+}
+BENCHMARK(BM_GreedySearch)
+    ->Arg(8)
+    ->Arg(11)
+    ->Arg(14)
+    ->Arg(20)
+    ->Arg(28)
+    ->Unit(benchmark::kMicrosecond);
+
+// Plan-quality spread on random freely-reorderable graphs.
+void BM_PlanQualitySpread(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  GeneratedQuery q = MakeQuery(n, 12);
+  CostModel model(*q.db, CostKind::kCout);
+  Rng rng(13);
+  ExprPtr syntactic = RandomIt(q.graph, *q.db, &rng);
+  double best_cost = 0, worst_cost = 0, syntactic_cost = 0;
+  for (auto _ : state) {
+    Result<PlanResult> best = OptimizeReorderable(q.graph, *q.db, model);
+    Result<PlanResult> worst =
+        OptimizeReorderable(q.graph, *q.db, model, /*maximize=*/true);
+    FRO_CHECK(best.ok() && worst.ok());
+    best_cost = best->cost;
+    worst_cost = worst->cost;
+    syntactic_cost = model.PlanCost(syntactic);
+    benchmark::DoNotOptimize(best_cost);
+  }
+  state.counters["best_cost"] = best_cost;
+  state.counters["worst_cost"] = worst_cost;
+  state.counters["syntactic_cost"] = syntactic_cost;
+  state.counters["worst_over_best"] =
+      best_cost > 0 ? worst_cost / best_cost : 0;
+}
+BENCHMARK(BM_PlanQualitySpread)
+    ->Arg(6)
+    ->Arg(9)
+    ->Arg(12)
+    ->Unit(benchmark::kMicrosecond);
+
+// End-to-end facade: simplification + analysis + DP + execution, against
+// executing the naive association directly. Uses Example 1 at scale.
+void BM_EndToEnd_OptimizeAndRun(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto db = MakeExample1Database(n);
+  ExprPtr naive = Expr::Join(
+      Expr::Leaf(db->Rel("R1"), *db),
+      Expr::OuterJoin(Expr::Leaf(db->Rel("R2"), *db),
+                      Expr::Leaf(db->Rel("R3"), *db),
+                      EqCols(db->Attr("R2", "fk"), db->Attr("R3", "k"))),
+      EqCols(db->Attr("R1", "k"), db->Attr("R2", "k")));
+  OptimizeOptions options;
+  options.cost_kind = CostKind::kBaseRetrievals;
+  for (auto _ : state) {
+    Result<OptimizeOutcome> outcome = Optimize(naive, *db, options);
+    FRO_CHECK(outcome.ok());
+    Relation out = Eval(outcome->plan, *db);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_EndToEnd_OptimizeAndRun)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_EndToEnd_NaiveRun(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto db = MakeExample1Database(n);
+  ExprPtr naive = Expr::Join(
+      Expr::Leaf(db->Rel("R1"), *db),
+      Expr::OuterJoin(Expr::Leaf(db->Rel("R2"), *db),
+                      Expr::Leaf(db->Rel("R3"), *db),
+                      EqCols(db->Attr("R2", "fk"), db->Attr("R3", "k"))),
+      EqCols(db->Attr("R1", "k"), db->Attr("R2", "k")));
+  for (auto _ : state) {
+    Relation out = Eval(naive, *db);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_EndToEnd_NaiveRun)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace fro
+
+BENCHMARK_MAIN();

@@ -1,0 +1,153 @@
+// fro_shell — a small interactive/batch shell over the Section 5 query
+// language, running against the paper's company database.
+//
+//   $ ./build/examples/fro_shell                       # demo queries
+//   $ echo "Select All From EMPLOYEE*ChildName" | ./build/examples/fro_shell
+//
+// Commands (one per line):
+//   Select All From ...        run a query, print the result
+//   \explain <query>           show the optimized plan with estimates
+//   \graph <query>             show the derived query graph (text + DOT)
+//   \trees <query>             enumerate all implementing trees
+//   \help                      this text
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "algebra/eval.h"
+#include "common/str_util.h"
+#include "enumerate/it_enum.h"
+#include "lang/lang.h"
+#include "relational/pretty.h"
+#include "optimizer/explain.h"
+#include "testing/nested_sample.h"
+
+using namespace fro;
+
+namespace {
+
+void PrintHelp() {
+  std::printf(
+      "commands:\n"
+      "  Select All From <items> [Where <conjuncts>]   run a query\n"
+      "  \\explain <query>   optimized plan with cardinality estimates\n"
+      "  \\graph <query>     derived query graph (text and Graphviz DOT)\n"
+      "  \\trees <query>     all implementing trees and their results\n"
+      "  \\help              this text\n"
+      "schema: EMPLOYEE(D#, Rank, ChildName*), REPORT(Title, Cost),\n"
+      "        DEPARTMENT(D#, Location, ->Manager, ->Secretary, ->Audit)\n");
+}
+
+void RunPlain(const NestedDb& db, const std::string& query) {
+  Result<QueryRunResult> run = RunQuery(db, query);
+  if (!run.ok()) {
+    std::printf("error: %s\n", run.status().ToString().c_str());
+    return;
+  }
+  const Catalog& catalog = run->translation.db->catalog();
+  std::printf("%s", PrettyTable(run->relation, &catalog).c_str());
+  std::printf("(%zu rows; %s)\n", run->relation.NumRows(),
+              run->optimize.notes.c_str());
+}
+
+void RunExplain(const NestedDb& db, const std::string& query) {
+  Result<QueryRunResult> run = RunQuery(db, query);
+  if (!run.ok()) {
+    std::printf("error: %s\n", run.status().ToString().c_str());
+    return;
+  }
+  std::printf("%s",
+              Explain(run->optimize.plan, *run->translation.db).c_str());
+}
+
+void RunGraph(const NestedDb& db, const std::string& query) {
+  Result<QueryRunResult> run = RunQuery(db, query);
+  if (!run.ok()) {
+    std::printf("error: %s\n", run.status().ToString().c_str());
+    return;
+  }
+  const Catalog& catalog = run->translation.db->catalog();
+  std::printf("%s", run->translation.graph.ToString(&catalog).c_str());
+  std::printf("freely reorderable: %s\n",
+              run->translation.audit.freely_reorderable() ? "yes" : "no");
+  std::printf("%s", GraphToDot(run->translation.graph,
+                               *run->translation.db).c_str());
+}
+
+void RunTrees(const NestedDb& db, const std::string& query) {
+  Result<QueryRunResult> run = RunQuery(db, query);
+  if (!run.ok()) {
+    std::printf("error: %s\n", run.status().ToString().c_str());
+    return;
+  }
+  const Database& rel_db = *run->translation.db;
+  uint64_t count = CountIts(run->translation.graph);
+  std::printf("%llu implementing tree(s)\n",
+              static_cast<unsigned long long>(count));
+  size_t shown = 0;
+  for (const ExprPtr& tree :
+       EnumerateIts(run->translation.graph, rel_db, 20)) {
+    Relation out = Eval(tree, rel_db);
+    std::printf("  %s => %zu rows\n",
+                tree->ToString(&rel_db.catalog()).c_str(), out.NumRows());
+    if (++shown >= 20) break;
+  }
+  if (count > shown) std::printf("  ... (%llu more)\n",
+                                 static_cast<unsigned long long>(count - shown));
+}
+
+void Dispatch(const NestedDb& db, const std::string& line) {
+  if (line.empty()) return;
+  std::printf("fro> %s\n", line.c_str());
+  if (StartsWith(line, "\\help")) {
+    PrintHelp();
+  } else if (StartsWith(line, "\\explain ")) {
+    RunExplain(db, line.substr(9));
+  } else if (StartsWith(line, "\\graph ")) {
+    RunGraph(db, line.substr(7));
+  } else if (StartsWith(line, "\\trees ")) {
+    RunTrees(db, line.substr(7));
+  } else {
+    RunPlain(db, line);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  NestedDb db = MakeCompanyNestedDb();
+  if (argc > 1) {
+    std::string query;
+    for (int i = 1; i < argc; ++i) {
+      if (i > 1) query += " ";
+      query += argv[i];
+    }
+    Dispatch(db, query);
+    return 0;
+  }
+  std::string line;
+  bool saw_input = false;
+  while (std::getline(std::cin, line)) {
+    saw_input = true;
+    Dispatch(db, line);
+  }
+  if (!saw_input) {
+    // Demo mode: the paper's queries.
+    PrintHelp();
+    Dispatch(db,
+             "Select All From EMPLOYEE*ChildName, DEPARTMENT "
+             "Where EMPLOYEE.D# = DEPARTMENT.D# and "
+             "DEPARTMENT.Location = 'Queretaro'");
+    Dispatch(db,
+             "\\graph Select All From EMPLOYEE*ChildName, "
+             "DEPARTMENT-->Manager-->Audit "
+             "Where EMPLOYEE.D# = DEPARTMENT.D#");
+    Dispatch(db,
+             "\\explain Select All From DEPARTMENT-->Manager-->Audit "
+             "Where DEPARTMENT.Location = 'Zurich'");
+    Dispatch(db, "\\trees Select All From DEPARTMENT-->Manager*ChildName");
+  }
+  return 0;
+}

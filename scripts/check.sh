@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Full verification: configure, build, run the test suite, and optionally
+# the benchmark harness or a sanitizer pass.
+# Usage: scripts/check.sh [--bench] [--asan]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+if [[ "${1:-}" == "--asan" ]]; then
+  cmake -B build-asan -G Ninja -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
+  cmake --build build-asan
+  ctest --test-dir build-asan --output-on-failure
+fi
+
+if [[ "${1:-}" == "--bench" ]]; then
+  for b in build/bench/*; do
+    [[ -f "$b" && -x "$b" ]] || continue
+    echo "===== $b ====="
+    "$b"
+  done
+fi

@@ -1,0 +1,134 @@
+#include "algebra/eval.h"
+
+#include "common/check.h"
+
+namespace fro {
+
+namespace {
+
+class Evaluator {
+ public:
+  Evaluator(const Database& db, const EvalOptions& options, EvalStats* stats)
+      : db_(db), options_(options), stats_(stats) {}
+
+  Relation EvalNode(const ExprPtr& expr, bool is_root) {
+    FRO_CHECK(expr != nullptr);
+    switch (expr->kind()) {
+      case OpKind::kLeaf:
+        return db_.relation(expr->rel());
+      case OpKind::kRestrict: {
+        Relation input = EvalNode(expr->left(), /*is_root=*/false);
+        KernelStats ks;
+        Relation out = Restrict(input, expr->pred(), &ks);
+        Account(ks, expr->left(), nullptr, out, is_root);
+        return out;
+      }
+      case OpKind::kProject: {
+        Relation input = EvalNode(expr->left(), /*is_root=*/false);
+        KernelStats ks;
+        Relation out = Project(input, expr->project_cols(),
+                               expr->project_dedup(), &ks);
+        Account(ks, expr->left(), nullptr, out, is_root);
+        return out;
+      }
+      case OpKind::kUnion: {
+        Relation a = EvalNode(expr->left(), /*is_root=*/false);
+        Relation b = EvalNode(expr->right(), /*is_root=*/false);
+        Relation out = BagUnionPadded(a, b);
+        KernelStats ks;
+        ks.left_reads = a.NumRows();
+        ks.right_reads = b.NumRows();
+        ks.emitted = out.NumRows();
+        Account(ks, expr->left(), expr->right().get(), out, is_root);
+        return out;
+      }
+      default:
+        return EvalJoinLike(expr, is_root);
+    }
+  }
+
+ private:
+  Relation EvalJoinLike(const ExprPtr& expr, bool is_root) {
+    // Kernels are left-anchored; realize `<-` style forms by swapping.
+    ExprPtr anchor = expr->left();
+    ExprPtr other = expr->right();
+    const bool swapped =
+        !expr->preserves_left() && expr->kind() != OpKind::kJoin;
+    if (swapped) std::swap(anchor, other);
+
+    Relation anchor_rel = EvalNode(anchor, /*is_root=*/false);
+    Relation other_rel = EvalNode(other, /*is_root=*/false);
+
+    // A persistent index on the inner base relation, if one covers the
+    // predicate's equi-key columns.
+    const HashIndex* prebuilt = nullptr;
+    if (options_.indexes != nullptr && other->is_leaf()) {
+      EquiKeys keys = ExtractEquiKeys(expr->pred(), anchor_rel.scheme(),
+                                      other_rel.scheme());
+      if (keys.Usable()) {
+        prebuilt = options_.indexes->Find(other->rel(), keys.right);
+      }
+    }
+
+    KernelStats ks;
+    Relation out;
+    switch (expr->kind()) {
+      case OpKind::kJoin:
+        out = Join(anchor_rel, other_rel, expr->pred(), options_.algo, &ks,
+                   prebuilt);
+        break;
+      case OpKind::kOuterJoin:
+        out = LeftOuterJoin(anchor_rel, other_rel, expr->pred(),
+                            options_.algo, &ks, prebuilt);
+        break;
+      case OpKind::kAntijoin:
+        out = Antijoin(anchor_rel, other_rel, expr->pred(), options_.algo,
+                       &ks, prebuilt);
+        break;
+      case OpKind::kSemijoin:
+        out = Semijoin(anchor_rel, other_rel, expr->pred(), options_.algo,
+                       &ks, prebuilt);
+        break;
+      case OpKind::kGoj:
+        FRO_CHECK(!swapped);
+        out = GeneralizedOuterJoin(anchor_rel, other_rel, expr->pred(),
+                                   expr->goj_subset(), options_.algo, &ks);
+        break;
+      default:
+        FRO_CHECK(false) << "not a join-like operator";
+    }
+    Account(ks, anchor, other.get(), out, is_root);
+    return out;
+  }
+
+  // `left_child` / `right_child` are the expressions whose evaluations fed
+  // the kernel's left/right inputs (right_child may be null for unary
+  // operators).
+  void Account(const KernelStats& ks, const ExprPtr& left_child,
+               const Expr* right_child, const Relation& out, bool is_root) {
+    if (stats_ == nullptr) return;
+    stats_->totals.tuples_read += ks.left_reads + ks.right_reads;
+    stats_->totals.tuples_emitted += ks.emitted;
+    stats_->totals.index_probes += ks.probes;
+    stats_->totals.predicate_evals += ks.predicate_evals;
+    if (left_child->is_leaf()) stats_->base_tuples_read += ks.left_reads;
+    if (right_child != nullptr && right_child->is_leaf()) {
+      stats_->base_tuples_read += ks.right_reads;
+    }
+    if (!is_root) stats_->intermediate_tuples += out.NumRows();
+  }
+
+  const Database& db_;
+  const EvalOptions& options_;
+  EvalStats* stats_;
+};
+
+}  // namespace
+
+Relation Eval(const ExprPtr& expr, const Database& db,
+              const EvalOptions& options, EvalStats* stats) {
+  Evaluator evaluator(db, options, stats);
+  return evaluator.EvalNode(expr, /*is_root=*/true);
+}
+
+}  // namespace fro

@@ -1,0 +1,43 @@
+// Bottom-up evaluation of expression trees (the paper's eval(Q)).
+
+#ifndef FRO_ALGEBRA_EVAL_H_
+#define FRO_ALGEBRA_EVAL_H_
+
+#include "algebra/expr.h"
+#include "relational/database.h"
+#include "relational/exec_stats.h"
+#include "relational/index_manager.h"
+#include "relational/ops.h"
+
+namespace fro {
+
+struct EvalOptions {
+  /// Kernel selection for all join-like operators.
+  JoinAlgo algo = JoinAlgo::kAuto;
+  /// Optional persistent indexes: when a join-like operator's inner input
+  /// is a base relation with a matching index, the kernel probes it
+  /// instead of building an ad-hoc hash table. Must outlive the call.
+  const IndexManager* indexes = nullptr;
+};
+
+struct EvalStats {
+  ExecStats totals;
+  /// Tuples retrieved from *ground* relations only — the accounting used by
+  /// Example 1 of the paper (intermediate results live in memory and are
+  /// not "retrieved").
+  uint64_t base_tuples_read = 0;
+  /// Sum of intermediate (non-root, non-leaf) result cardinalities: the
+  /// classic C_out cost.
+  uint64_t intermediate_tuples = 0;
+};
+
+/// Evaluates `expr` against `db`. All operator semantics follow the paper:
+/// three-valued predicate logic, left/right symmetric forms, padding on
+/// union. Deterministic for a fixed database.
+Relation Eval(const ExprPtr& expr, const Database& db,
+              const EvalOptions& options = EvalOptions(),
+              EvalStats* stats = nullptr);
+
+}  // namespace fro
+
+#endif  // FRO_ALGEBRA_EVAL_H_

@@ -1,0 +1,279 @@
+#include "algebra/expr.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace fro {
+
+const char* OpKindName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kLeaf:
+      return "Leaf";
+    case OpKind::kJoin:
+      return "Join";
+    case OpKind::kOuterJoin:
+      return "OuterJoin";
+    case OpKind::kAntijoin:
+      return "Antijoin";
+    case OpKind::kSemijoin:
+      return "Semijoin";
+    case OpKind::kGoj:
+      return "Goj";
+    case OpKind::kUnion:
+      return "Union";
+    case OpKind::kRestrict:
+      return "Restrict";
+    case OpKind::kProject:
+      return "Project";
+  }
+  return "?";
+}
+
+ExprPtr Expr::Leaf(RelId rel, const Database& db) {
+  FRO_CHECK_LT(rel, 64u) << "RelIds must fit the 64-bit relation mask";
+  auto node = Make();
+  node->kind_ = OpKind::kLeaf;
+  node->rel_ = rel;
+  node->attrs_ = db.scheme(rel).ToAttrSet();
+  node->rel_mask_ = 1ULL << rel;
+  node->num_leaves_ = 1;
+  return node;
+}
+
+ExprPtr Expr::FinishBinary(std::shared_ptr<Expr> node) {
+  FRO_CHECK(node->left_ != nullptr && node->right_ != nullptr);
+  FRO_CHECK((node->left_->rel_mask_ & node->right_->rel_mask_) == 0)
+      << "operands share ground relations";
+  node->rel_mask_ = node->left_->rel_mask_ | node->right_->rel_mask_;
+  node->num_leaves_ = node->left_->num_leaves_ + node->right_->num_leaves_;
+  return node;
+}
+
+ExprPtr Expr::Join(ExprPtr left, ExprPtr right, PredicatePtr pred) {
+  auto node = Make();
+  node->kind_ = OpKind::kJoin;
+  node->attrs_ = left->attrs().Union(right->attrs());
+  node->left_ = std::move(left);
+  node->right_ = std::move(right);
+  node->pred_ = std::move(pred);
+  return FinishBinary(std::move(node));
+}
+
+ExprPtr Expr::OuterJoin(ExprPtr left, ExprPtr right, PredicatePtr pred,
+                        bool preserves_left) {
+  auto node = Make();
+  node->kind_ = OpKind::kOuterJoin;
+  node->attrs_ = left->attrs().Union(right->attrs());
+  node->left_ = std::move(left);
+  node->right_ = std::move(right);
+  node->pred_ = std::move(pred);
+  node->preserves_left_ = preserves_left;
+  return FinishBinary(std::move(node));
+}
+
+ExprPtr Expr::Antijoin(ExprPtr left, ExprPtr right, PredicatePtr pred,
+                       bool keeps_left) {
+  auto node = Make();
+  node->kind_ = OpKind::kAntijoin;
+  node->attrs_ = keeps_left ? left->attrs() : right->attrs();
+  node->left_ = std::move(left);
+  node->right_ = std::move(right);
+  node->pred_ = std::move(pred);
+  node->preserves_left_ = keeps_left;
+  return FinishBinary(std::move(node));
+}
+
+ExprPtr Expr::Semijoin(ExprPtr left, ExprPtr right, PredicatePtr pred,
+                       bool keeps_left) {
+  auto node = Make();
+  node->kind_ = OpKind::kSemijoin;
+  node->attrs_ = keeps_left ? left->attrs() : right->attrs();
+  node->left_ = std::move(left);
+  node->right_ = std::move(right);
+  node->pred_ = std::move(pred);
+  node->preserves_left_ = keeps_left;
+  return FinishBinary(std::move(node));
+}
+
+ExprPtr Expr::Goj(ExprPtr left, ExprPtr right, PredicatePtr pred,
+                  AttrSet subset) {
+  FRO_CHECK(left->attrs().ContainsAll(subset))
+      << "GOJ subset must come from the left operand";
+  auto node = Make();
+  node->kind_ = OpKind::kGoj;
+  node->attrs_ = left->attrs().Union(right->attrs());
+  node->left_ = std::move(left);
+  node->right_ = std::move(right);
+  node->pred_ = std::move(pred);
+  node->goj_subset_ = std::move(subset);
+  return FinishBinary(std::move(node));
+}
+
+ExprPtr Expr::Union(ExprPtr left, ExprPtr right) {
+  auto node = Make();
+  node->kind_ = OpKind::kUnion;
+  node->attrs_ = left->attrs().Union(right->attrs());
+  node->left_ = std::move(left);
+  node->right_ = std::move(right);
+  // Union operands may (and in the paper's identities, do) mention the
+  // same ground relations, so bypass the disjointness check.
+  node->rel_mask_ = node->left_->rel_mask() | node->right_->rel_mask();
+  node->num_leaves_ = node->left_->num_leaves() + node->right_->num_leaves();
+  return node;
+}
+
+ExprPtr Expr::Restrict(ExprPtr child, PredicatePtr pred) {
+  FRO_CHECK(pred != nullptr);
+  auto node = Make();
+  node->kind_ = OpKind::kRestrict;
+  node->attrs_ = child->attrs();
+  node->rel_mask_ = child->rel_mask();
+  node->num_leaves_ = child->num_leaves();
+  node->left_ = std::move(child);
+  node->pred_ = std::move(pred);
+  return node;
+}
+
+ExprPtr Expr::Project(ExprPtr child, std::vector<AttrId> cols, bool dedup) {
+  auto node = Make();
+  node->kind_ = OpKind::kProject;
+  node->attrs_ = AttrSet(cols);
+  node->rel_mask_ = child->rel_mask();
+  node->num_leaves_ = child->num_leaves();
+  node->left_ = std::move(child);
+  node->project_cols_ = std::move(cols);
+  node->project_dedup_ = dedup;
+  return node;
+}
+
+RelId Expr::rel() const {
+  FRO_CHECK(kind_ == OpKind::kLeaf);
+  return rel_;
+}
+
+std::string OpSymbol(const Expr& node) {
+  switch (node.kind()) {
+    case OpKind::kJoin:
+      return "-";
+    case OpKind::kOuterJoin:
+      return node.preserves_left() ? "->" : "<-";
+    case OpKind::kAntijoin:
+      return node.preserves_left() ? "|>" : "<|";
+    case OpKind::kSemijoin:
+      return node.preserves_left() ? ">-" : "-<";
+    case OpKind::kGoj:
+      return "GOJ";
+    case OpKind::kUnion:
+      return "U";
+    default:
+      return OpKindName(node.kind());
+  }
+}
+
+std::string Expr::ToString(const Catalog* catalog, bool with_preds) const {
+  switch (kind_) {
+    case OpKind::kLeaf:
+      return catalog != nullptr ? catalog->RelationName(rel_)
+                                : "R" + std::to_string(rel_);
+    case OpKind::kRestrict:
+      return "sigma[" + pred_->ToString(catalog) + "](" +
+             left_->ToString(catalog, with_preds) + ")";
+    case OpKind::kProject: {
+      std::string cols;
+      for (size_t i = 0; i < project_cols_.size(); ++i) {
+        if (i > 0) cols += ",";
+        cols += catalog != nullptr ? catalog->AttrName(project_cols_[i])
+                                   : "#" + std::to_string(project_cols_[i]);
+      }
+      return std::string(project_dedup_ ? "pi" : "pi_bag") + "[" + cols +
+             "](" + left_->ToString(catalog, with_preds) + ")";
+    }
+    default: {
+      std::string op = OpSymbol(*this);
+      if (kind_ == OpKind::kGoj) {
+        op += "[";
+        for (size_t i = 0; i < goj_subset_.size(); ++i) {
+          if (i > 0) op += ",";
+          AttrId attr = goj_subset_.ids()[i];
+          op += catalog != nullptr ? catalog->AttrName(attr)
+                                   : "#" + std::to_string(attr);
+        }
+        op += "]";
+      }
+      if (with_preds && pred_ != nullptr) {
+        op += "[" + pred_->ToString(catalog) + "]";
+      }
+      return "(" + left_->ToString(catalog, with_preds) + " " + op + " " +
+             right_->ToString(catalog, with_preds) + ")";
+    }
+  }
+}
+
+namespace {
+
+// Deterministic predicate rendering that is insensitive to the order of
+// AND/OR children: basic transforms migrate conjuncts between operators
+// and rebuild conjunctions in different orders, and two trees differing
+// only in conjunct order are the same implementing tree.
+std::string CanonicalPredFingerprint(const Predicate& pred) {
+  if (pred.kind() == Predicate::Kind::kAnd ||
+      pred.kind() == Predicate::Kind::kOr) {
+    std::vector<std::string> parts;
+    parts.reserve(pred.children().size());
+    for (const PredicatePtr& child : pred.children()) {
+      parts.push_back(CanonicalPredFingerprint(*child));
+    }
+    std::sort(parts.begin(), parts.end());
+    std::string sep = pred.kind() == Predicate::Kind::kAnd ? "&" : "|";
+    std::string out = "(";
+    for (size_t i = 0; i < parts.size(); ++i) {
+      if (i > 0) out += sep;
+      out += parts[i];
+    }
+    return out + ")";
+  }
+  if (pred.kind() == Predicate::Kind::kNot) {
+    return "!(" + CanonicalPredFingerprint(*pred.children()[0]) + ")";
+  }
+  return pred.ToString(nullptr);
+}
+
+}  // namespace
+
+std::string Expr::Fingerprint() const {
+  switch (kind_) {
+    case OpKind::kLeaf:
+      return "L" + std::to_string(rel_);
+    case OpKind::kRestrict:
+      return "S{" + CanonicalPredFingerprint(*pred_) + "}(" +
+             left_->Fingerprint() + ")";
+    case OpKind::kProject: {
+      std::string cols;
+      for (AttrId attr : project_cols_) cols += std::to_string(attr) + ",";
+      return std::string(project_dedup_ ? "P" : "Pb") + "{" + cols + "}(" +
+             left_->Fingerprint() + ")";
+    }
+    default: {
+      std::string op = OpSymbol(*this);
+      if (kind_ == OpKind::kGoj) {
+        op += "{";
+        for (AttrId attr : goj_subset_) op += std::to_string(attr) + ",";
+        op += "}";
+      }
+      std::string pred_part =
+          pred_ != nullptr ? "{" + CanonicalPredFingerprint(*pred_) + "}"
+                           : "{}";
+      return "(" + left_->Fingerprint() + op + pred_part +
+             right_->Fingerprint() + ")";
+    }
+  }
+}
+
+bool ExprEquals(const ExprPtr& a, const ExprPtr& b) {
+  if (a == b) return true;
+  if (a == nullptr || b == nullptr) return false;
+  return a->Fingerprint() == b->Fingerprint();
+}
+
+}  // namespace fro

@@ -1,0 +1,287 @@
+#include "algebra/parse.h"
+
+#include <algorithm>
+#include <cctype>
+#include <vector>
+
+namespace fro {
+
+namespace {
+
+struct AlgToken {
+  enum class Kind : uint8_t { kIdent, kNumber, kString, kPunct, kEnd };
+  Kind kind;
+  std::string text;
+  size_t offset;
+};
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '@';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+         c == '#' || c == '@';
+}
+
+// Multi-character operators, longest first.
+const char* kPuncts[] = {"->", "<-", "|>", "<|", ">-", "-<", "<=",
+                         ">=", "<>", "-",  "=",  "<",  ">",  "(",
+                         ")",  "[",  "]",  "."};
+
+Result<std::vector<AlgToken>> Tokenize(const std::string& input) {
+  std::vector<AlgToken> out;
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    const size_t start = i;
+    if (IsIdentStart(c)) {
+      size_t j = i + 1;
+      while (j < n && IsIdentChar(input[j])) ++j;
+      out.push_back({AlgToken::Kind::kIdent, input.substr(i, j - i), start});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i + 1;
+      bool saw_dot = false;
+      while (j < n &&
+             (std::isdigit(static_cast<unsigned char>(input[j])) ||
+              (!saw_dot && input[j] == '.' && j + 1 < n &&
+               std::isdigit(static_cast<unsigned char>(input[j + 1]))))) {
+        if (input[j] == '.') saw_dot = true;
+        ++j;
+      }
+      out.push_back({AlgToken::Kind::kNumber, input.substr(i, j - i), start});
+      i = j;
+      continue;
+    }
+    if (c == '\'') {
+      size_t j = i + 1;
+      while (j < n && input[j] != '\'') ++j;
+      if (j == n) {
+        return InvalidArgument("unterminated string at offset " +
+                               std::to_string(start));
+      }
+      out.push_back(
+          {AlgToken::Kind::kString, input.substr(i + 1, j - i - 1), start});
+      i = j + 1;
+      continue;
+    }
+    bool matched = false;
+    for (const char* punct : kPuncts) {
+      size_t len = std::char_traits<char>::length(punct);
+      if (input.compare(i, len, punct) == 0) {
+        out.push_back({AlgToken::Kind::kPunct, punct, start});
+        i += len;
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      return InvalidArgument(std::string("unexpected character '") + c +
+                             "' at offset " + std::to_string(start));
+    }
+  }
+  out.push_back({AlgToken::Kind::kEnd, "", n});
+  return out;
+}
+
+std::string Lower(const std::string& s) {
+  std::string out = s;
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+class AlgebraParser {
+ public:
+  AlgebraParser(std::vector<AlgToken> tokens, const Database& db)
+      : tokens_(std::move(tokens)), db_(db) {}
+
+  Result<ExprPtr> ParseFullExpr() {
+    FRO_ASSIGN_OR_RETURN(ExprPtr expr, ParseExpr());
+    FRO_RETURN_IF_ERROR(ExpectEnd());
+    return expr;
+  }
+
+  Result<PredicatePtr> ParseFullPredicate() {
+    FRO_ASSIGN_OR_RETURN(PredicatePtr pred, ParsePredicate());
+    FRO_RETURN_IF_ERROR(ExpectEnd());
+    return pred;
+  }
+
+ private:
+  const AlgToken& Peek() const { return tokens_[pos_]; }
+  const AlgToken& Advance() { return tokens_[pos_++]; }
+  bool IsPunct(const char* text) const {
+    return Peek().kind == AlgToken::Kind::kPunct && Peek().text == text;
+  }
+  bool IsKeyword(const char* word) const {
+    return Peek().kind == AlgToken::Kind::kIdent &&
+           Lower(Peek().text) == word;
+  }
+  Status Err(const std::string& message) const {
+    return InvalidArgument(message + " at offset " +
+                           std::to_string(Peek().offset));
+  }
+  Status ExpectPunct(const char* text) {
+    if (!IsPunct(text)) return Err(std::string("expected '") + text + "'");
+    Advance();
+    return Status::Ok();
+  }
+  Status ExpectEnd() {
+    if (Peek().kind != AlgToken::Kind::kEnd) {
+      return Err("unexpected trailing input");
+    }
+    return Status::Ok();
+  }
+
+  Result<ExprPtr> ParseExpr() {
+    if (Peek().kind == AlgToken::Kind::kIdent) {
+      std::string name = Advance().text;
+      FRO_ASSIGN_OR_RETURN(RelId rel, db_.catalog().FindRelation(name));
+      return Expr::Leaf(rel, db_);
+    }
+    FRO_RETURN_IF_ERROR(ExpectPunct("("));
+    FRO_ASSIGN_OR_RETURN(ExprPtr left, ParseExpr());
+    // The operator symbol.
+    if (Peek().kind != AlgToken::Kind::kPunct) {
+      return Err("expected an operator symbol");
+    }
+    std::string op = Advance().text;
+    FRO_RETURN_IF_ERROR(ExpectPunct("["));
+    FRO_ASSIGN_OR_RETURN(PredicatePtr pred, ParsePredicate());
+    FRO_RETURN_IF_ERROR(ExpectPunct("]"));
+    FRO_ASSIGN_OR_RETURN(ExprPtr right, ParseExpr());
+    FRO_RETURN_IF_ERROR(ExpectPunct(")"));
+    if (op == "-") return Expr::Join(left, right, pred);
+    if (op == "->") return Expr::OuterJoin(left, right, pred, true);
+    if (op == "<-") return Expr::OuterJoin(left, right, pred, false);
+    if (op == "|>") return Expr::Antijoin(left, right, pred, true);
+    if (op == "<|") return Expr::Antijoin(left, right, pred, false);
+    if (op == ">-") return Expr::Semijoin(left, right, pred, true);
+    if (op == "-<") return Expr::Semijoin(left, right, pred, false);
+    return InvalidArgument("unknown operator '" + op + "'");
+  }
+
+  Result<PredicatePtr> ParsePredicate() {
+    FRO_ASSIGN_OR_RETURN(PredicatePtr first, ParseConjunction());
+    std::vector<PredicatePtr> disjuncts = {first};
+    while (IsKeyword("or")) {
+      Advance();
+      FRO_ASSIGN_OR_RETURN(PredicatePtr next, ParseConjunction());
+      disjuncts.push_back(next);
+    }
+    return Predicate::Or(std::move(disjuncts));
+  }
+
+  Result<PredicatePtr> ParseConjunction() {
+    FRO_ASSIGN_OR_RETURN(PredicatePtr first, ParseAtom());
+    std::vector<PredicatePtr> conjuncts = {first};
+    while (IsKeyword("and")) {
+      Advance();
+      FRO_ASSIGN_OR_RETURN(PredicatePtr next, ParseAtom());
+      conjuncts.push_back(next);
+    }
+    return Predicate::And(std::move(conjuncts));
+  }
+
+  Result<PredicatePtr> ParseAtom() {
+    if (IsKeyword("not")) {
+      Advance();
+      FRO_RETURN_IF_ERROR(ExpectPunct("("));
+      FRO_ASSIGN_OR_RETURN(PredicatePtr inner, ParsePredicate());
+      FRO_RETURN_IF_ERROR(ExpectPunct(")"));
+      return Predicate::Not(inner);
+    }
+    if (IsPunct("(")) {
+      Advance();
+      FRO_ASSIGN_OR_RETURN(PredicatePtr inner, ParsePredicate());
+      FRO_RETURN_IF_ERROR(ExpectPunct(")"));
+      return inner;
+    }
+    FRO_ASSIGN_OR_RETURN(Operand lhs, ParseOperand());
+    if (IsKeyword("is")) {
+      Advance();
+      if (!IsKeyword("null")) return Err("expected 'null' after 'is'");
+      Advance();
+      return Predicate::IsNull(lhs);
+    }
+    if (Peek().kind != AlgToken::Kind::kPunct) {
+      return Err("expected a comparison operator");
+    }
+    std::string op = Advance().text;
+    FRO_ASSIGN_OR_RETURN(Operand rhs, ParseOperand());
+    CmpOp cmp;
+    if (op == "=") {
+      cmp = CmpOp::kEq;
+    } else if (op == "<>") {
+      cmp = CmpOp::kNe;
+    } else if (op == "<") {
+      cmp = CmpOp::kLt;
+    } else if (op == "<=") {
+      cmp = CmpOp::kLe;
+    } else if (op == ">") {
+      cmp = CmpOp::kGt;
+    } else if (op == ">=") {
+      cmp = CmpOp::kGe;
+    } else {
+      return InvalidArgument("unknown comparison '" + op + "'");
+    }
+    return Predicate::Cmp(cmp, lhs, rhs);
+  }
+
+  Result<Operand> ParseOperand() {
+    switch (Peek().kind) {
+      case AlgToken::Kind::kIdent: {
+        std::string rel = Advance().text;
+        if (Lower(rel) == "null") return Operand::Literal(Value::Null());
+        FRO_RETURN_IF_ERROR(ExpectPunct("."));
+        if (Peek().kind != AlgToken::Kind::kIdent) {
+          return Err("expected attribute name");
+        }
+        std::string attr = Advance().text;
+        FRO_ASSIGN_OR_RETURN(AttrId id, db_.catalog().FindAttr(rel, attr));
+        return Operand::Column(id);
+      }
+      case AlgToken::Kind::kNumber: {
+        std::string text = Advance().text;
+        if (text.find('.') != std::string::npos) {
+          return Operand::Literal(Value::Double(std::stod(text)));
+        }
+        return Operand::Literal(Value::Int(std::stoll(text)));
+      }
+      case AlgToken::Kind::kString:
+        return Operand::Literal(Value::String(Advance().text));
+      default:
+        return Err("expected a column or literal");
+    }
+  }
+
+  std::vector<AlgToken> tokens_;
+  const Database& db_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<ExprPtr> ParseAlgebra(const std::string& text, const Database& db) {
+  FRO_ASSIGN_OR_RETURN(std::vector<AlgToken> tokens, Tokenize(text));
+  AlgebraParser parser(std::move(tokens), db);
+  return parser.ParseFullExpr();
+}
+
+Result<PredicatePtr> ParseAlgebraPredicate(const std::string& text,
+                                           const Database& db) {
+  FRO_ASSIGN_OR_RETURN(std::vector<AlgToken> tokens, Tokenize(text));
+  AlgebraParser parser(std::move(tokens), db);
+  return parser.ParseFullPredicate();
+}
+
+}  // namespace fro

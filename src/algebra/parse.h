@@ -1,0 +1,40 @@
+// Textual form of algebra expressions, matching the notation the paper
+// (and this library's ToString) uses.
+//
+// Grammar (fully parenthesized; keywords case-insensitive):
+//   expr    := IDENT                                  -- a relation name
+//            | '(' expr OP '[' pred ']' expr ')'
+//   OP      := '-'   (join)        | '->' | '<-'  (outerjoin)
+//            | '|>' | '<|' (antijoin) | '>-' | '-<' (semijoin)
+//   pred    := conj ('or' conj)*
+//   conj    := atom ('and' atom)*
+//   atom    := '(' pred ')'
+//            | 'not' '(' pred ')'
+//            | operand 'is' 'null'
+//            | operand CMP operand
+//   CMP     := '=' | '<>' | '<' | '<=' | '>' | '>='
+//   operand := IDENT '.' IDENT | NUMBER | 'STRING'
+//
+// Example:
+//   ParseAlgebra("((R1 -[R1.k=R2.k] R2) ->[R2.fk=R3.k] R3)", db)
+
+#ifndef FRO_ALGEBRA_PARSE_H_
+#define FRO_ALGEBRA_PARSE_H_
+
+#include <string>
+
+#include "algebra/expr.h"
+#include "common/status.h"
+
+namespace fro {
+
+/// Parses `text` against the relations and attributes registered in `db`.
+Result<ExprPtr> ParseAlgebra(const std::string& text, const Database& db);
+
+/// Parses just a predicate (the `pred` production above).
+Result<PredicatePtr> ParseAlgebraPredicate(const std::string& text,
+                                           const Database& db);
+
+}  // namespace fro
+
+#endif  // FRO_ALGEBRA_PARSE_H_

@@ -1,0 +1,138 @@
+#include "algebra/pushdown.h"
+
+#include <vector>
+
+#include "common/check.h"
+
+namespace fro {
+
+namespace {
+
+// Rewrites `expr` with `pending` restriction conjuncts arriving from
+// above. Conjuncts that can sink into an operand are forwarded (counted
+// in `*pushed`); the rest wrap the rewritten node in a Restrict.
+ExprPtr Push(const ExprPtr& expr, std::vector<PredicatePtr> pending,
+             int* pushed) {
+  auto wrap = [&](ExprPtr node, std::vector<PredicatePtr> stay) -> ExprPtr {
+    if (stay.empty()) return node;
+    return Expr::Restrict(std::move(node), Predicate::And(std::move(stay)));
+  };
+
+  switch (expr->kind()) {
+    case OpKind::kRestrict: {
+      for (const PredicatePtr& conjunct :
+           expr->pred()->Conjuncts(expr->pred())) {
+        pending.push_back(conjunct);
+      }
+      return Push(expr->left(), std::move(pending), pushed);
+    }
+    case OpKind::kLeaf:
+      return wrap(expr, std::move(pending));
+    case OpKind::kProject: {
+      // A conjunct survives projection if its attributes are kept.
+      std::vector<PredicatePtr> below, stay;
+      AttrSet kept = expr->attrs();
+      for (const PredicatePtr& conjunct : pending) {
+        if (kept.ContainsAll(conjunct->References())) {
+          below.push_back(conjunct);
+          ++*pushed;
+        } else {
+          stay.push_back(conjunct);
+        }
+      }
+      ExprPtr child = Push(expr->left(), std::move(below), pushed);
+      return wrap(Expr::Project(child, expr->project_cols(),
+                                expr->project_dedup()),
+                  std::move(stay));
+    }
+    case OpKind::kUnion: {
+      // Restrictions distribute over (padded) union only when every
+      // branch carries the referenced attributes; otherwise padding could
+      // turn the conjunct's columns to null and an IS NULL conjunct would
+      // change meaning. Keep it simple and safe: only push conjuncts
+      // covered by BOTH branches.
+      std::vector<PredicatePtr> both, stay;
+      for (const PredicatePtr& conjunct : pending) {
+        if (expr->left()->attrs().ContainsAll(conjunct->References()) &&
+            expr->right()->attrs().ContainsAll(conjunct->References())) {
+          both.push_back(conjunct);
+          ++*pushed;
+        } else {
+          stay.push_back(conjunct);
+        }
+      }
+      ExprPtr left = Push(expr->left(), both, pushed);
+      ExprPtr right = Push(expr->right(), both, pushed);
+      return wrap(Expr::Union(std::move(left), std::move(right)),
+                  std::move(stay));
+    }
+    case OpKind::kGoj: {
+      // Never through a GOJ.
+      ExprPtr left = Push(expr->left(), {}, pushed);
+      ExprPtr right = Push(expr->right(), {}, pushed);
+      return wrap(Expr::Goj(std::move(left), std::move(right), expr->pred(),
+                            expr->goj_subset()),
+                  std::move(pending));
+    }
+    default: {
+      FRO_CHECK(expr->is_join_like());
+      // Which operands may receive conjuncts?
+      bool left_open = true;
+      bool right_open = true;
+      if (expr->kind() == OpKind::kOuterJoin) {
+        (expr->preserves_left() ? right_open : left_open) = false;
+      } else if (expr->kind() == OpKind::kAntijoin ||
+                 expr->kind() == OpKind::kSemijoin) {
+        // Only the kept operand's attributes are visible above anyway.
+        (expr->preserves_left() ? right_open : left_open) = false;
+      }
+      std::vector<PredicatePtr> to_left, to_right, stay;
+      for (const PredicatePtr& conjunct : pending) {
+        const AttrSet& refs = conjunct->References();
+        if (left_open && expr->left()->attrs().ContainsAll(refs)) {
+          to_left.push_back(conjunct);
+          ++*pushed;
+        } else if (right_open &&
+                   expr->right()->attrs().ContainsAll(refs)) {
+          to_right.push_back(conjunct);
+          ++*pushed;
+        } else {
+          stay.push_back(conjunct);
+        }
+      }
+      ExprPtr left = Push(expr->left(), std::move(to_left), pushed);
+      ExprPtr right = Push(expr->right(), std::move(to_right), pushed);
+      ExprPtr node;
+      switch (expr->kind()) {
+        case OpKind::kJoin:
+          node = Expr::Join(std::move(left), std::move(right), expr->pred());
+          break;
+        case OpKind::kOuterJoin:
+          node = Expr::OuterJoin(std::move(left), std::move(right),
+                                 expr->pred(), expr->preserves_left());
+          break;
+        case OpKind::kAntijoin:
+          node = Expr::Antijoin(std::move(left), std::move(right),
+                                expr->pred(), expr->preserves_left());
+          break;
+        case OpKind::kSemijoin:
+          node = Expr::Semijoin(std::move(left), std::move(right),
+                                expr->pred(), expr->preserves_left());
+          break;
+        default:
+          FRO_CHECK(false);
+      }
+      return wrap(std::move(node), std::move(stay));
+    }
+  }
+}
+
+}  // namespace
+
+PushdownResult PushDownRestrictions(const ExprPtr& expr) {
+  PushdownResult result;
+  result.expr = Push(expr, {}, &result.conjuncts_pushed);
+  return result;
+}
+
+}  // namespace fro

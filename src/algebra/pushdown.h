@@ -1,0 +1,40 @@
+// Restriction pushdown (paper Section 4: "we do not usually want to
+// explore alternative positions, but instead just want to do restrictions
+// as early as possible").
+//
+// Rules, conservative with respect to outerjoin semantics:
+//  * through a regular join, a conjunct moves into whichever operand
+//    covers all its attributes; conjuncts spanning both operands stay;
+//  * through an outerjoin, a conjunct may move only into the PRESERVED
+//    operand ("a restriction on the preserved operand of an outerjoin can
+//    be moved"); conjuncts on null-supplied attributes stay above the
+//    outerjoin — pushing them would change results (e.g. IS NULL
+//    restrictions select exactly the padded tuples);
+//  * through antijoin/semijoin, into the kept operand;
+//  * never into a generalized outerjoin (its padding depends on the full
+//    operand);
+//  * restrictions merge and projections/unions are transparent when the
+//    referenced attributes survive.
+//
+// Use together with SimplifyOuterjoins: simplification first turns
+// outerjoins under strong filters into joins, unlocking deeper pushdown.
+
+#ifndef FRO_ALGEBRA_PUSHDOWN_H_
+#define FRO_ALGEBRA_PUSHDOWN_H_
+
+#include "algebra/expr.h"
+
+namespace fro {
+
+struct PushdownResult {
+  ExprPtr expr;
+  /// Conjuncts now evaluated strictly below an operator they used to sit
+  /// above.
+  int conjuncts_pushed = 0;
+};
+
+PushdownResult PushDownRestrictions(const ExprPtr& expr);
+
+}  // namespace fro
+
+#endif  // FRO_ALGEBRA_PUSHDOWN_H_

@@ -1,0 +1,115 @@
+#include "algebra/simplify.h"
+
+#include <vector>
+
+#include "common/check.h"
+
+namespace fro {
+
+namespace {
+
+// True if any ancestor filtering predicate rejects tuples that are null on
+// all of `padded_attrs`.
+bool SomePredicateRejectsPadding(const std::vector<PredicatePtr>& filters,
+                                 const AttrSet& padded_attrs) {
+  for (const PredicatePtr& pred : filters) {
+    AttrSet overlap = pred->References().Intersect(padded_attrs);
+    if (overlap.empty()) continue;
+    if (pred->IsStrongWrt(overlap)) return true;
+  }
+  return false;
+}
+
+ExprPtr Rewrite(const ExprPtr& expr, std::vector<PredicatePtr>* filters,
+                int* converted) {
+  switch (expr->kind()) {
+    case OpKind::kLeaf:
+      return expr;
+    case OpKind::kRestrict: {
+      filters->push_back(expr->pred());
+      ExprPtr child = Rewrite(expr->left(), filters, converted);
+      filters->pop_back();
+      return child == expr->left() ? expr
+                                   : Expr::Restrict(child, expr->pred());
+    }
+    case OpKind::kProject: {
+      // Projection neither filters nor blocks the rule.
+      ExprPtr child = Rewrite(expr->left(), filters, converted);
+      return child == expr->left()
+                 ? expr
+                 : Expr::Project(child, expr->project_cols(),
+                                 expr->project_dedup());
+    }
+    case OpKind::kUnion: {
+      // Filters above a union apply to both branches.
+      ExprPtr left = Rewrite(expr->left(), filters, converted);
+      ExprPtr right = Rewrite(expr->right(), filters, converted);
+      return (left == expr->left() && right == expr->right())
+                 ? expr
+                 : Expr::Union(left, right);
+    }
+    case OpKind::kJoin:
+    case OpKind::kSemijoin: {
+      // Join and semijoin predicates filter: a tuple failing them is
+      // dropped, so they participate in the rule.
+      filters->push_back(expr->pred());
+      ExprPtr left = Rewrite(expr->left(), filters, converted);
+      ExprPtr right = Rewrite(expr->right(), filters, converted);
+      filters->pop_back();
+      if (left == expr->left() && right == expr->right()) return expr;
+      if (expr->kind() == OpKind::kJoin) {
+        return Expr::Join(left, right, expr->pred());
+      }
+      return Expr::Semijoin(left, right, expr->pred(),
+                            expr->preserves_left());
+    }
+    case OpKind::kAntijoin: {
+      // An antijoin *keeps* tuples that fail its predicate, so its
+      // predicate does not reject padded tuples below the kept side; and
+      // the dropped side does not reach the output at all.
+      ExprPtr left = Rewrite(expr->left(), filters, converted);
+      ExprPtr right = Rewrite(expr->right(), filters, converted);
+      if (left == expr->left() && right == expr->right()) return expr;
+      return Expr::Antijoin(left, right, expr->pred(),
+                            expr->preserves_left());
+    }
+    case OpKind::kGoj: {
+      ExprPtr left = Rewrite(expr->left(), filters, converted);
+      ExprPtr right = Rewrite(expr->right(), filters, converted);
+      if (left == expr->left() && right == expr->right()) return expr;
+      return Expr::Goj(left, right, expr->pred(), expr->goj_subset());
+    }
+    case OpKind::kOuterJoin: {
+      const ExprPtr& null_side =
+          expr->preserves_left() ? expr->right() : expr->left();
+      if (SomePredicateRejectsPadding(*filters, null_side->attrs())) {
+        ++*converted;
+        ExprPtr as_join = Expr::Join(expr->left(), expr->right(),
+                                     expr->pred());
+        return Rewrite(as_join, filters, converted);
+      }
+      // The outerjoin's own predicate does not filter its preserved side
+      // and filters only matched tuples of the null-supplied side (an
+      // unmatched lower padded tuple survives as a newly padded tuple), so
+      // it is not pushed as a filter into either branch.
+      ExprPtr left = Rewrite(expr->left(), filters, converted);
+      ExprPtr right = Rewrite(expr->right(), filters, converted);
+      if (left == expr->left() && right == expr->right()) return expr;
+      return Expr::OuterJoin(left, right, expr->pred(),
+                             expr->preserves_left());
+    }
+  }
+  FRO_CHECK(false) << "unhandled kind";
+  return nullptr;
+}
+
+}  // namespace
+
+SimplifyResult SimplifyOuterjoins(const ExprPtr& expr) {
+  SimplifyResult result;
+  std::vector<PredicatePtr> filters;
+  result.expr = Rewrite(expr, &filters, &result.outerjoins_converted);
+  return result;
+}
+
+}  // namespace fro

@@ -1,0 +1,39 @@
+// The Section 4 simplification rule: outerjoin-to-join conversion under
+// strong predicates.
+//
+// "Suppose the query includes a predicate (restriction or regular join)
+//  that is strong in some attributes of relation R. Consider the path in
+//  the implementing tree going from that predicate to R. If an outerjoin
+//  is in that path and R is in its null-supplied subtree, then replace the
+//  operator by regular join. This simplification is carried out before
+//  creation of the query graph."
+//
+// Implementation note: a predicate above an outerjoin kills that
+// outerjoin's padded tuples exactly when it is strong with respect to the
+// subset of its referenced attributes that come from the null-supplied
+// subtree (all of those are null in a padded tuple). Strength w.r.t. a
+// subset implies strength w.r.t. any superset, so testing against the full
+// intersection is the weakest sufficient check.
+
+#ifndef FRO_ALGEBRA_SIMPLIFY_H_
+#define FRO_ALGEBRA_SIMPLIFY_H_
+
+#include "algebra/expr.h"
+
+namespace fro {
+
+struct SimplifyResult {
+  ExprPtr expr;
+  /// Number of outerjoin operators replaced by regular joins.
+  int outerjoins_converted = 0;
+};
+
+/// Applies the Section 4 rule throughout the tree. Filtering predicates
+/// considered are those of Restrict, Join, and Semijoin ancestors; an
+/// outerjoin's own predicate and predicates of antijoin ancestors never
+/// filter padded tuples and are ignored.
+SimplifyResult SimplifyOuterjoins(const ExprPtr& expr);
+
+}  // namespace fro
+
+#endif  // FRO_ALGEBRA_SIMPLIFY_H_

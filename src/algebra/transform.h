@@ -1,0 +1,100 @@
+// Basic transforms (BTs) on implementing trees: reversal and
+// reassociation (paper Section 3.2, Fig. 4), plus the classification of
+// each reassociation as result-preserving / conditionally preserving /
+// non-preserving according to the identities of Section 2.
+//
+// A reassociation site is named after the paper's `[X o1 Y o2 Z]`
+// notation: the left-to-right form rewrites ((X o1 Y) o2 Z) into
+// (X o1 (Y o2 Z)); the right-to-left form is its inverse. Conjuncts of the
+// upper predicate that reference X are migrated between the operators (the
+// cyclic-graph case of identity 1), which is permitted only when both
+// operators are regular joins.
+//
+// Classification table (operator symbols written as in `OpSymbol`; the key
+// is the pair (o1, o2) of the identity's left-hand side `(X o1 Y) o2 Z`):
+//
+//   ( -, -)  always   identity 1
+//   ( -,->)  always   identity 11
+//   (<-,->)  always   identity 13
+//   (->,->)  requires o2's predicate strong w.r.t. Y   identity 12
+//   (<-,<-)  requires o1's predicate strong w.r.t. Y   identity 12 mirrored
+//   (<-, -)  always   join on the preserved side commutes (from 11/13)
+//   ( -,|>)  always   identity 2
+//   (<||,|>) always   identity 3       [written (<| , |>)]
+//   (<|, -), (<|,->), (<-,|>)          always (derived; checked empirically)
+//   ( -,>-), (<-,>-)                   always (semijoin; Section 6.3)
+//   everything else                    non-preserving
+//
+// The two non-preserving patterns the paper highlights, [X -> Y - Z]
+// (Example 2) and [X -> Y <- Z], land in the "everything else" row; Lemma 2
+// shows they cannot be applicable when the query graph is nice.
+
+#ifndef FRO_ALGEBRA_TRANSFORM_H_
+#define FRO_ALGEBRA_TRANSFORM_H_
+
+#include <string>
+#include <vector>
+
+#include "algebra/expr.h"
+#include "common/status.h"
+
+namespace fro {
+
+/// Identifies a node: child directions from the root (false = left).
+using ExprPath = std::vector<bool>;
+
+/// A basic-transform application site.
+struct BtSite {
+  enum class Kind : uint8_t {
+    kReversal,  // swap operands, flip to the symmetric form
+    kAssocLR,   // ((X o1 Y) o2 Z) -> (X o1 (Y o2 Z))
+    kAssocRL,   // (X o1 (Y o2 Z)) -> ((X o1 Y) o2 Z)
+  };
+  Kind kind;
+  ExprPath path;
+};
+
+enum class Preservation : uint8_t {
+  kAlways,
+  kConditional,  // preserving iff the strength side condition holds
+  kNever,
+};
+
+struct BtClassification {
+  Preservation preservation = Preservation::kNever;
+  /// For kConditional: whether the strength condition holds here.
+  bool condition_holds = false;
+  /// Human-readable rule, e.g. "identity 12 (requires P_yz strong wrt Y)".
+  std::string rule;
+
+  bool IsPreserving() const {
+    return preservation == Preservation::kAlways ||
+           (preservation == Preservation::kConditional && condition_holds);
+  }
+};
+
+/// The node at `path`, or null if the path walks off the tree.
+const Expr* NodeAt(const ExprPtr& root, const ExprPath& path);
+
+/// Returns a copy of the tree with the subtree at `path` replaced.
+ExprPtr ReplaceAt(const ExprPtr& root, const ExprPath& path,
+                  ExprPtr replacement);
+
+/// True if `site` can be applied to `root` (right node kinds, predicate
+/// reference pattern splittable, resulting tree well formed).
+bool IsApplicable(const ExprPtr& root, const BtSite& site);
+
+/// All applicable BT sites in the tree (reversals at every join-like node
+/// plus every applicable reassociation).
+std::vector<BtSite> FindApplicableBts(const ExprPtr& root);
+
+/// Applies the BT; fails if not applicable.
+Result<ExprPtr> ApplyBt(const ExprPtr& root, const BtSite& site);
+
+/// Classifies the (applicable) BT per the table above. Reversals are
+/// always preserving.
+BtClassification ClassifyBt(const ExprPtr& root, const BtSite& site);
+
+}  // namespace fro
+
+#endif  // FRO_ALGEBRA_TRANSFORM_H_

@@ -1,0 +1,72 @@
+// Lightweight assertion macros, in the spirit of glog's CHECK family.
+//
+// FRO_CHECK* macros are always on (including in release builds); they guard
+// invariants whose violation means the library itself is broken, so the
+// process is terminated with a diagnostic rather than continuing with
+// corrupt state.
+
+#ifndef FRO_COMMON_CHECK_H_
+#define FRO_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace fro {
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* condition,
+                                     const std::string& message) {
+  std::fprintf(stderr, "FRO_CHECK failed at %s:%d: %s%s%s\n", file, line,
+               condition, message.empty() ? "" : " — ", message.c_str());
+  std::abort();
+}
+
+// Stream sink used by the macros to build an optional trailing message.
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* condition)
+      : file_(file), line_(line), condition_(condition) {}
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+  [[noreturn]] ~CheckMessageBuilder() {
+    CheckFailed(file_, line_, condition_, stream_.str());
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* condition_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace fro
+
+// The while-loop form makes `FRO_CHECK(x) << "context";` legal: when the
+// condition fails, the temporary builder collects the streamed message and
+// its destructor aborts at the end of the statement.
+#define FRO_CHECK(condition) \
+  while (!(condition))       \
+  ::fro::internal::CheckMessageBuilder(__FILE__, __LINE__, #condition)
+
+#define FRO_CHECK_EQ(a, b) FRO_CHECK((a) == (b))
+#define FRO_CHECK_NE(a, b) FRO_CHECK((a) != (b))
+#define FRO_CHECK_LT(a, b) FRO_CHECK((a) < (b))
+#define FRO_CHECK_LE(a, b) FRO_CHECK((a) <= (b))
+#define FRO_CHECK_GT(a, b) FRO_CHECK((a) > (b))
+#define FRO_CHECK_GE(a, b) FRO_CHECK((a) >= (b))
+
+// Debug-only checks. The library's workloads are small enough that keeping
+// them on in all build types costs little and catches real bugs, so this is
+// an alias rather than a no-op.
+#define FRO_DCHECK(condition) FRO_CHECK(condition)
+
+#endif  // FRO_COMMON_CHECK_H_

@@ -1,0 +1,126 @@
+// Error handling for the fro library.
+//
+// The library does not use exceptions. Fallible operations return `Status`
+// (when there is no payload) or `Result<T>` (a value or an error), modeled
+// after absl::Status / absl::StatusOr.
+
+#ifndef FRO_COMMON_STATUS_H_
+#define FRO_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+
+namespace fro {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kFailedPrecondition,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a human-readable name for a status code ("InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error outcome with a message. Cheap to copy on success.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    FRO_CHECK(code != StatusCode::kOk) << "error status requires a code";
+  }
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+Status InvalidArgument(std::string message);
+Status NotFound(std::string message);
+Status FailedPrecondition(std::string message);
+Status Unimplemented(std::string message);
+Status Internal(std::string message);
+
+/// A value of type T or an error Status. Use `ok()` before dereferencing.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: allows `return value;` in factories.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from an error status.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    FRO_CHECK(!status_.ok()) << "Result constructed from OK status";
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : status_;
+  }
+
+  const T& value() const& {
+    FRO_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    FRO_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    FRO_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace fro
+
+/// Propagates an error Status from a fallible expression.
+#define FRO_RETURN_IF_ERROR(expr)           \
+  do {                                      \
+    ::fro::Status fro_status_ = (expr);     \
+    if (!fro_status_.ok()) return fro_status_; \
+  } while (false)
+
+/// Assigns the value of a Result expression or propagates its error.
+#define FRO_ASSIGN_OR_RETURN(lhs, expr)                 \
+  FRO_ASSIGN_OR_RETURN_IMPL_(                           \
+      FRO_STATUS_CONCAT_(fro_result_, __LINE__), lhs, expr)
+
+#define FRO_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+
+#define FRO_STATUS_CONCAT_(a, b) FRO_STATUS_CONCAT_IMPL_(a, b)
+#define FRO_STATUS_CONCAT_IMPL_(a, b) a##b
+
+#endif  // FRO_COMMON_STATUS_H_

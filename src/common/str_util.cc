@@ -1,0 +1,50 @@
+#include "common/str_util.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace fro {
+
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+std::vector<std::string> StrSplit(std::string_view input, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= input.size(); ++i) {
+    if (i == input.size() || input[i] == sep) {
+      out.emplace_back(input.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+std::string StrFormat(const char* format, ...) {
+  va_list args;
+  va_start(args, format);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int size = std::vsnprintf(nullptr, 0, format, args);
+  va_end(args);
+  std::string out;
+  if (size > 0) {
+    out.resize(static_cast<size_t>(size));
+    std::vsnprintf(out.data(), out.size() + 1, format, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+}  // namespace fro

@@ -1,0 +1,28 @@
+// Small string helpers shared across the library.
+
+#ifndef FRO_COMMON_STR_UTIL_H_
+#define FRO_COMMON_STR_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fro {
+
+/// Joins `parts` with `sep` ("a", "b" -> "a,b" for sep ",").
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep);
+
+/// Splits `input` at every occurrence of `sep`; keeps empty pieces.
+std::vector<std::string> StrSplit(std::string_view input, char sep);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace fro
+
+#endif  // FRO_COMMON_STR_UTIL_H_

@@ -1,0 +1,124 @@
+#include "enumerate/bt_path.h"
+
+#include <deque>
+#include <unordered_map>
+
+#include "algebra/transform.h"
+#include "common/check.h"
+#include "enumerate/it_enum.h"
+
+namespace fro {
+
+namespace {
+
+void CollectJoinLikePaths(const ExprPtr& node, ExprPath* path,
+                          std::vector<ExprPath>* out) {
+  if (node == nullptr || node->is_leaf()) return;
+  if (node->is_join_like()) out->push_back(*path);
+  if (node->left() != nullptr) {
+    path->push_back(false);
+    CollectJoinLikePaths(node->left(), path, out);
+    path->pop_back();
+  }
+  if (node->right() != nullptr) {
+    path->push_back(true);
+    CollectJoinLikePaths(node->right(), path, out);
+    path->pop_back();
+  }
+}
+
+struct Neighbor {
+  ExprPtr tree;  // canonicalized
+  std::string rule;
+};
+
+std::vector<Neighbor> Neighbors(const ExprPtr& tree, bool only_preserving) {
+  std::vector<Neighbor> out;
+  std::vector<ExprPath> paths;
+  ExprPath scratch;
+  CollectJoinLikePaths(tree, &scratch, &paths);
+  for (const ExprPath& p : paths) {
+    for (bool flip_node : {false, true}) {
+      ExprPtr t1 = tree;
+      if (flip_node) {
+        Result<ExprPtr> flipped =
+            ApplyBt(tree, BtSite{BtSite::Kind::kReversal, p});
+        if (!flipped.ok()) continue;
+        t1 = *flipped;
+      }
+      for (BtSite::Kind kind :
+           {BtSite::Kind::kAssocLR, BtSite::Kind::kAssocRL}) {
+        ExprPath child_path = p;
+        child_path.push_back(kind == BtSite::Kind::kAssocRL);
+        for (bool flip_child : {false, true}) {
+          ExprPtr t2 = t1;
+          if (flip_child) {
+            Result<ExprPtr> flipped =
+                ApplyBt(t1, BtSite{BtSite::Kind::kReversal, child_path});
+            if (!flipped.ok()) continue;
+            t2 = *flipped;
+          }
+          BtSite site{kind, p};
+          if (!IsApplicable(t2, site)) continue;
+          BtClassification classification = ClassifyBt(t2, site);
+          if (only_preserving && !classification.IsPreserving()) continue;
+          Result<ExprPtr> next = ApplyBt(t2, site);
+          FRO_CHECK(next.ok());
+          out.push_back({CanonicalOrientation(*next), classification.rule});
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+BtPathResult FindBtPath(const ExprPtr& from, const ExprPtr& to,
+                        bool only_result_preserving, size_t max_states) {
+  BtPathResult result;
+  ExprPtr start = CanonicalOrientation(from);
+  ExprPtr target = CanonicalOrientation(to);
+  const std::string target_fp = target->Fingerprint();
+
+  struct NodeInfo {
+    ExprPtr tree;
+    std::string parent_fp;  // empty for the start
+    std::string rule;
+  };
+  std::unordered_map<std::string, NodeInfo> visited;
+  std::deque<std::string> queue;
+  const std::string start_fp = start->Fingerprint();
+  visited.emplace(start_fp, NodeInfo{start, "", ""});
+  queue.push_back(start_fp);
+
+  while (!queue.empty() && visited.size() < max_states) {
+    std::string fp = queue.front();
+    queue.pop_front();
+    if (fp == target_fp) break;
+    ExprPtr tree = visited.at(fp).tree;
+    for (Neighbor& neighbor : Neighbors(tree, only_result_preserving)) {
+      std::string nfp = neighbor.tree->Fingerprint();
+      if (visited.count(nfp) > 0) continue;
+      visited.emplace(nfp,
+                      NodeInfo{neighbor.tree, fp, std::move(neighbor.rule)});
+      queue.push_back(nfp);
+    }
+  }
+
+  auto it = visited.find(target_fp);
+  if (it == visited.end()) return result;
+  // Reconstruct backwards.
+  std::vector<BtPathStep> reversed;
+  std::string fp = target_fp;
+  while (!fp.empty()) {
+    const NodeInfo& info = visited.at(fp);
+    reversed.push_back({info.tree, info.rule});
+    fp = info.parent_fp;
+  }
+  result.found = true;
+  result.steps.assign(reversed.rbegin(), reversed.rend());
+  return result;
+}
+
+}  // namespace fro

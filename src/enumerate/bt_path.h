@@ -1,0 +1,44 @@
+// Constructive Lemma 3 / Theorem 1: find an explicit sequence of basic
+// transforms taking one implementing tree to another. The paper's proof
+// of Theorem 1 is exactly such a sequence
+//
+//   Q = Q_0 ~BT~> Q_1 ~BT~> ... ~BT~> Q_n = Q'
+//
+// with every step result-preserving; this module materializes it via
+// breadth-first search over canonical orientations, so the returned
+// sequence is shortest (in reassociation count; reversals are folded into
+// canonicalization).
+
+#ifndef FRO_ENUMERATE_BT_PATH_H_
+#define FRO_ENUMERATE_BT_PATH_H_
+
+#include <string>
+#include <vector>
+
+#include "algebra/expr.h"
+
+namespace fro {
+
+struct BtPathStep {
+  ExprPtr tree;      // the tree after applying `rule`
+  std::string rule;  // the identity used; empty for the starting tree
+};
+
+struct BtPathResult {
+  bool found = false;
+  /// steps[0] is the canonicalized start; steps.back() the canonicalized
+  /// target. Empty when not found.
+  std::vector<BtPathStep> steps;
+};
+
+/// Searches for a BT sequence from `from` to `to` (compared modulo
+/// reversal). With `only_result_preserving`, every step must be a
+/// result-preserving BT — by Lemma 2 + Lemma 3 such a path exists between
+/// any two implementing trees of a nice graph with strong predicates.
+BtPathResult FindBtPath(const ExprPtr& from, const ExprPtr& to,
+                        bool only_result_preserving = true,
+                        size_t max_states = 100000);
+
+}  // namespace fro
+
+#endif  // FRO_ENUMERATE_BT_PATH_H_

@@ -1,0 +1,108 @@
+#include "enumerate/closure.h"
+
+#include <deque>
+#include <string>
+#include <unordered_set>
+
+#include "algebra/transform.h"
+#include "common/check.h"
+#include "enumerate/it_enum.h"
+
+namespace fro {
+
+namespace {
+
+void CollectJoinLikePaths(const ExprPtr& node, ExprPath* path,
+                          std::vector<ExprPath>* out) {
+  if (node == nullptr || node->is_leaf()) return;
+  if (node->is_join_like()) out->push_back(*path);
+  if (node->left() != nullptr) {
+    path->push_back(false);
+    CollectJoinLikePaths(node->left(), path, out);
+    path->pop_back();
+  }
+  if (node->right() != nullptr) {
+    path->push_back(true);
+    CollectJoinLikePaths(node->right(), path, out);
+    path->pop_back();
+  }
+}
+
+// All canonical neighbors of `tree` reachable by one reassociation
+// (composed with up to two reversals). When `only_preserving`, steps whose
+// reassociation is not result-preserving are skipped.
+std::vector<ExprPtr> Neighbors(const ExprPtr& tree, bool only_preserving,
+                               uint64_t* applications) {
+  std::vector<ExprPtr> out;
+  std::vector<ExprPath> paths;
+  ExprPath scratch;
+  CollectJoinLikePaths(tree, &scratch, &paths);
+
+  for (const ExprPath& p : paths) {
+    for (bool flip_node : {false, true}) {
+      ExprPtr t1 = tree;
+      if (flip_node) {
+        Result<ExprPtr> flipped =
+            ApplyBt(tree, BtSite{BtSite::Kind::kReversal, p});
+        if (!flipped.ok()) continue;
+        t1 = *flipped;
+      }
+      for (BtSite::Kind kind :
+           {BtSite::Kind::kAssocLR, BtSite::Kind::kAssocRL}) {
+        ExprPath child_path = p;
+        child_path.push_back(kind == BtSite::Kind::kAssocRL);
+        for (bool flip_child : {false, true}) {
+          ExprPtr t2 = t1;
+          if (flip_child) {
+            Result<ExprPtr> flipped =
+                ApplyBt(t1, BtSite{BtSite::Kind::kReversal, child_path});
+            if (!flipped.ok()) continue;
+            t2 = *flipped;
+          }
+          BtSite site{kind, p};
+          if (!IsApplicable(t2, site)) continue;
+          if (only_preserving && !ClassifyBt(t2, site).IsPreserving()) {
+            continue;
+          }
+          Result<ExprPtr> next = ApplyBt(t2, site);
+          FRO_CHECK(next.ok());
+          ++*applications;
+          out.push_back(CanonicalOrientation(*next));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+ClosureResult BtClosure(const ExprPtr& start, const ClosureOptions& options) {
+  ClosureResult result;
+  std::unordered_set<std::string> seen;
+  std::deque<ExprPtr> queue;
+
+  ExprPtr canonical_start = CanonicalOrientation(start);
+  seen.insert(canonical_start->Fingerprint());
+  result.trees.push_back(canonical_start);
+  queue.push_back(canonical_start);
+
+  while (!queue.empty()) {
+    ExprPtr tree = queue.front();
+    queue.pop_front();
+    for (const ExprPtr& next : Neighbors(tree, options.only_result_preserving,
+                                         &result.bt_applications)) {
+      if (seen.size() >= options.max_states) {
+        result.truncated = true;
+        return result;
+      }
+      if (seen.insert(next->Fingerprint()).second) {
+        result.trees.push_back(next);
+        queue.push_back(next);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace fro

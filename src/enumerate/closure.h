@@ -1,0 +1,40 @@
+// Closure of an implementing tree under basic transforms (paper
+// Section 3.2, Lemmas 2 and 3).
+//
+// States are canonical orientations (see it_enum.h), so reversal BTs are
+// folded away; a closure step is "optional reversals at the two involved
+// nodes, then one reassociation, then recanonicalize". A step is
+// result-preserving iff its reassociation is (reversals always are).
+
+#ifndef FRO_ENUMERATE_CLOSURE_H_
+#define FRO_ENUMERATE_CLOSURE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "algebra/expr.h"
+
+namespace fro {
+
+struct ClosureOptions {
+  /// Restrict expansion to result-preserving BTs (the Lemma 2 set). With
+  /// false, all applicable BTs are used (the Lemma 3 set).
+  bool only_result_preserving = false;
+  /// Stop after reaching this many states (safety valve).
+  size_t max_states = 1000000;
+};
+
+struct ClosureResult {
+  /// Canonical trees reachable from the start (including the start).
+  std::vector<ExprPtr> trees;
+  bool truncated = false;
+  /// Number of successful BT applications performed during the search.
+  uint64_t bt_applications = 0;
+};
+
+ClosureResult BtClosure(const ExprPtr& start,
+                        const ClosureOptions& options = ClosureOptions());
+
+}  // namespace fro
+
+#endif  // FRO_ENUMERATE_CLOSURE_H_

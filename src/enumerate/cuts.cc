@@ -1,0 +1,56 @@
+#include "enumerate/cuts.h"
+
+#include <bit>
+#include <vector>
+
+namespace fro {
+
+RelId MinRel(const QueryGraph& graph, uint64_t mask) {
+  RelId best = ~0u;
+  while (mask != 0) {
+    int node = std::countr_zero(mask);
+    mask &= mask - 1;
+    RelId rel = graph.node_rel(node);
+    if (rel < best) best = rel;
+  }
+  return best;
+}
+
+bool MakeCut(const QueryGraph& graph, uint64_t a, uint64_t b, Cut* cut) {
+  if (!graph.IsConnected(a) || !graph.IsConnected(b)) return false;
+  std::vector<int> crossing = graph.EdgesCrossing(a, b);
+  if (crossing.empty()) return false;  // Cartesian product: excluded
+
+  int directed_count = 0;
+  for (int idx : crossing) {
+    if (graph.edge(idx).directed) ++directed_count;
+  }
+
+  uint64_t left = a;
+  uint64_t right = b;
+  if (MinRel(graph, b) < MinRel(graph, a)) std::swap(left, right);
+
+  if (directed_count == 0) {
+    std::vector<PredicatePtr> conjuncts;
+    conjuncts.reserve(crossing.size());
+    for (int idx : crossing) conjuncts.push_back(graph.edge(idx).pred);
+    cut->left = left;
+    cut->right = right;
+    cut->outerjoin = false;
+    cut->preserves_left = true;
+    cut->pred = Predicate::And(std::move(conjuncts));
+    return true;
+  }
+  if (directed_count == 1 && crossing.size() == 1) {
+    const GraphEdge& e = graph.edge(crossing[0]);
+    cut->left = left;
+    cut->right = right;
+    cut->outerjoin = true;
+    cut->preserves_left = ((left >> e.u) & 1) != 0;
+    cut->pred = e.pred;
+    return true;
+  }
+  return false;  // mixed cut or several directed edges
+}
+
+}  // namespace fro

@@ -1,0 +1,49 @@
+// Connected-bipartition ("cut") enumeration over query graphs, shared by
+// the implementing-tree enumerator and the DP optimizer.
+
+#ifndef FRO_ENUMERATE_CUTS_H_
+#define FRO_ENUMERATE_CUTS_H_
+
+#include <cstdint>
+
+#include "graph/query_graph.h"
+#include "relational/predicate.h"
+
+namespace fro {
+
+/// A realizable connected bipartition of a node mask and the operator it
+/// induces (see it_enum.h for realizability).
+struct Cut {
+  uint64_t left;   // node mask of the (canonical) left part
+  uint64_t right;  // node mask of the right part
+  bool outerjoin;  // true: the cut is a single directed edge
+  bool preserves_left;
+  PredicatePtr pred;
+};
+
+/// The smallest ground-relation id among the graph nodes in `mask`.
+RelId MinRel(const QueryGraph& graph, uint64_t mask);
+
+/// Examines the bipartition (a, b) of some connected mask; fills `cut`
+/// (with canonical left/right orientation: the part holding the smallest
+/// relation id goes left) and returns true if it is realizable.
+bool MakeCut(const QueryGraph& graph, uint64_t a, uint64_t b, Cut* cut);
+
+/// Enumerates realizable cuts of a connected `mask`, invoking `fn(cut)`
+/// for each; stops early if fn returns false. Each unordered bipartition
+/// is visited once.
+template <typename Fn>
+void ForEachCut(const QueryGraph& graph, uint64_t mask, Fn&& fn) {
+  const uint64_t low = mask & (~mask + 1);
+  for (uint64_t sub = (mask - 1) & mask; sub != 0; sub = (sub - 1) & mask) {
+    if ((sub & low) == 0) continue;
+    uint64_t rest = mask & ~sub;
+    Cut cut;
+    if (!MakeCut(graph, sub, rest, &cut)) continue;
+    if (!fn(cut)) return;
+  }
+}
+
+}  // namespace fro
+
+#endif  // FRO_ENUMERATE_CUTS_H_

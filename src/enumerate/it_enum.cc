@@ -1,0 +1,195 @@
+#include "enumerate/it_enum.h"
+
+#include <bit>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "enumerate/cuts.h"
+
+namespace fro {
+
+namespace {
+
+class Enumerator {
+ public:
+  Enumerator(const QueryGraph& graph, const Database& db, size_t limit)
+      : graph_(graph), db_(db), limit_(limit) {}
+
+  const std::vector<ExprPtr>& TreesFor(uint64_t mask) {
+    auto it = memo_.find(mask);
+    if (it != memo_.end()) return it->second;
+    std::vector<ExprPtr> trees;
+    if (std::popcount(mask) == 1) {
+      int node = std::countr_zero(mask);
+      trees.push_back(Expr::Leaf(graph_.node_rel(node), db_));
+    } else {
+      ForEachCut(graph_, mask, [&](const Cut& cut) {
+        const std::vector<ExprPtr>& lefts = TreesFor(cut.left);
+        const std::vector<ExprPtr>& rights = TreesFor(cut.right);
+        for (const ExprPtr& lt : lefts) {
+          for (const ExprPtr& rt : rights) {
+            if (cut.outerjoin) {
+              trees.push_back(
+                  Expr::OuterJoin(lt, rt, cut.pred, cut.preserves_left));
+            } else {
+              trees.push_back(Expr::Join(lt, rt, cut.pred));
+            }
+            if (trees.size() >= limit_) return false;
+          }
+        }
+        return true;
+      });
+    }
+    return memo_.emplace(mask, std::move(trees)).first->second;
+  }
+
+ private:
+  const QueryGraph& graph_;
+  const Database& db_;
+  size_t limit_;
+  std::unordered_map<uint64_t, std::vector<ExprPtr>> memo_;
+};
+
+class Counter {
+ public:
+  explicit Counter(const QueryGraph& graph) : graph_(graph) {}
+
+  uint64_t CountFor(uint64_t mask) {
+    auto it = memo_.find(mask);
+    if (it != memo_.end()) return it->second;
+    uint64_t count = 0;
+    if (std::popcount(mask) == 1) {
+      count = 1;
+    } else {
+      ForEachCut(graph_, mask, [&](const Cut& cut) {
+        count += CountFor(cut.left) * CountFor(cut.right);
+        return true;
+      });
+    }
+    memo_.emplace(mask, count);
+    return count;
+  }
+
+ private:
+  const QueryGraph& graph_;
+  std::unordered_map<uint64_t, uint64_t> memo_;
+};
+
+}  // namespace
+
+std::vector<ExprPtr> EnumerateIts(const QueryGraph& graph, const Database& db,
+                                  size_t limit) {
+  FRO_CHECK(graph.IsConnected(graph.AllMask()))
+      << "implementing trees require a connected query graph";
+  Enumerator enumerator(graph, db, limit);
+  std::vector<ExprPtr> trees = enumerator.TreesFor(graph.AllMask());
+  if (trees.size() > limit) trees.resize(limit);
+  return trees;
+}
+
+uint64_t CountIts(const QueryGraph& graph) {
+  if (!graph.IsConnected(graph.AllMask())) return 0;
+  Counter counter(graph);
+  return counter.CountFor(graph.AllMask());
+}
+
+namespace {
+
+ExprPtr RandomItFor(const QueryGraph& graph, const Database& db,
+                    uint64_t mask, Counter* counter, Rng* rng) {
+  if (std::popcount(mask) == 1) {
+    int node = std::countr_zero(mask);
+    return Expr::Leaf(graph.node_rel(node), db);
+  }
+  // Weighted choice over cuts, weight = #trees(left) * #trees(right).
+  struct Choice {
+    Cut cut;
+    uint64_t weight;
+  };
+  std::vector<Choice> choices;
+  uint64_t total = 0;
+  ForEachCut(graph, mask, [&](const Cut& cut) {
+    uint64_t w = counter->CountFor(cut.left) * counter->CountFor(cut.right);
+    if (w > 0) {
+      choices.push_back({cut, w});
+      total += w;
+    }
+    return true;
+  });
+  if (total == 0) return nullptr;
+  uint64_t pick = rng->Uniform(total);
+  for (const Choice& choice : choices) {
+    if (pick < choice.weight) {
+      ExprPtr lt = RandomItFor(graph, db, choice.cut.left, counter, rng);
+      ExprPtr rt = RandomItFor(graph, db, choice.cut.right, counter, rng);
+      if (choice.cut.outerjoin) {
+        return Expr::OuterJoin(lt, rt, choice.cut.pred,
+                               choice.cut.preserves_left);
+      }
+      return Expr::Join(lt, rt, choice.cut.pred);
+    }
+    pick -= choice.weight;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+ExprPtr RandomIt(const QueryGraph& graph, const Database& db, Rng* rng) {
+  if (!graph.IsConnected(graph.AllMask())) return nullptr;
+  Counter counter(graph);
+  if (counter.CountFor(graph.AllMask()) == 0) return nullptr;
+  return RandomItFor(graph, db, graph.AllMask(), &counter, rng);
+}
+
+ExprPtr CanonicalOrientation(const ExprPtr& expr) {
+  if (expr->is_leaf()) return expr;
+  if (!expr->is_join_like()) {
+    // Canonicalize below non-IT operators without reorienting them.
+    ExprPtr left =
+        expr->left() != nullptr ? CanonicalOrientation(expr->left()) : nullptr;
+    ExprPtr right = expr->right() != nullptr
+                        ? CanonicalOrientation(expr->right())
+                        : nullptr;
+    if (left == expr->left() && right == expr->right()) return expr;
+    switch (expr->kind()) {
+      case OpKind::kGoj:
+        return Expr::Goj(left, right, expr->pred(), expr->goj_subset());
+      case OpKind::kUnion:
+        return Expr::Union(left, right);
+      case OpKind::kRestrict:
+        return Expr::Restrict(left, expr->pred());
+      case OpKind::kProject:
+        return Expr::Project(left, expr->project_cols(),
+                             expr->project_dedup());
+      default:
+        FRO_CHECK(false);
+    }
+  }
+  ExprPtr left = CanonicalOrientation(expr->left());
+  ExprPtr right = CanonicalOrientation(expr->right());
+  const uint64_t lmask = left->rel_mask();
+  const uint64_t rmask = right->rel_mask();
+  bool flip = std::countr_zero(rmask) < std::countr_zero(lmask);
+  bool preserves_left = expr->preserves_left();
+  if (flip) {
+    std::swap(left, right);
+    preserves_left = !preserves_left;
+  }
+  if (!flip && left == expr->left() && right == expr->right()) return expr;
+  switch (expr->kind()) {
+    case OpKind::kJoin:
+      return Expr::Join(left, right, expr->pred());
+    case OpKind::kOuterJoin:
+      return Expr::OuterJoin(left, right, expr->pred(), preserves_left);
+    case OpKind::kAntijoin:
+      return Expr::Antijoin(left, right, expr->pred(), preserves_left);
+    case OpKind::kSemijoin:
+      return Expr::Semijoin(left, right, expr->pred(), preserves_left);
+    default:
+      FRO_CHECK(false);
+  }
+  return nullptr;
+}
+
+}  // namespace fro

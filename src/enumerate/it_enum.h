@@ -1,0 +1,47 @@
+// Implementing-tree enumeration (paper Section 1.3 / 3.1).
+//
+// An implementing tree (IT) of a query graph G is an expression Q with
+// graph(Q) = G. ITs correspond to connectivity-preserving
+// parenthesizations: each operator's predicate is the set of graph edges
+// crossing a connected bipartition of its subgraph; Cartesian products are
+// excluded. An outerjoin operator's cut must be exactly its one directed
+// edge; a join operator's cut is a nonempty set of join edges.
+//
+// Trees are produced in *canonical orientation*: at every node the left
+// subtree contains the smallest ground-relation id of the node's leaves.
+// Every IT equals exactly one canonical tree up to reversal BTs (which are
+// always result-preserving), so enumeration, counting, and closure all
+// work modulo reversal.
+
+#ifndef FRO_ENUMERATE_IT_ENUM_H_
+#define FRO_ENUMERATE_IT_ENUM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "algebra/expr.h"
+#include "common/rng.h"
+#include "graph/query_graph.h"
+#include "relational/database.h"
+
+namespace fro {
+
+/// All canonical implementing trees of `graph` (which must be connected).
+/// Stops after `limit` trees when given.
+std::vector<ExprPtr> EnumerateIts(const QueryGraph& graph, const Database& db,
+                                  size_t limit = static_cast<size_t>(-1));
+
+/// Number of canonical implementing trees, without materializing them.
+uint64_t CountIts(const QueryGraph& graph);
+
+/// A uniformly random canonical implementing tree (null if the graph has
+/// none, e.g. it is disconnected).
+ExprPtr RandomIt(const QueryGraph& graph, const Database& db, Rng* rng);
+
+/// Reorients every join-like node so the left subtree holds the smallest
+/// ground-relation id (applying reversals; flags flip accordingly).
+ExprPtr CanonicalOrientation(const ExprPtr& expr);
+
+}  // namespace fro
+
+#endif  // FRO_ENUMERATE_IT_ENUM_H_

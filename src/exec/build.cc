@@ -1,0 +1,84 @@
+#include "exec/build.h"
+
+#include "common/check.h"
+#include "exec/operators.h"
+
+namespace fro {
+
+namespace {
+
+JoinMode ModeOf(OpKind kind) {
+  switch (kind) {
+    case OpKind::kJoin:
+      return JoinMode::kInner;
+    case OpKind::kOuterJoin:
+      return JoinMode::kLeftOuter;
+    case OpKind::kAntijoin:
+      return JoinMode::kAnti;
+    case OpKind::kSemijoin:
+      return JoinMode::kSemi;
+    default:
+      FRO_CHECK(false) << "not a join-like operator";
+  }
+  return JoinMode::kInner;
+}
+
+IteratorPtr Build(const ExprPtr& expr, const Database& db, JoinAlgo algo) {
+  switch (expr->kind()) {
+    case OpKind::kLeaf:
+      return std::make_unique<ScanIterator>(&db.relation(expr->rel()));
+    case OpKind::kRestrict:
+      return std::make_unique<FilterIterator>(
+          Build(expr->left(), db, algo), expr->pred());
+    case OpKind::kProject:
+      return std::make_unique<ProjectIterator>(Build(expr->left(), db, algo),
+                                               expr->project_cols(),
+                                               expr->project_dedup());
+    case OpKind::kUnion:
+      return std::make_unique<UnionIterator>(Build(expr->left(), db, algo),
+                                             Build(expr->right(), db, algo));
+    case OpKind::kGoj:
+      return std::make_unique<GojIterator>(Build(expr->left(), db, algo),
+                                           Build(expr->right(), db, algo),
+                                           expr->pred(), expr->goj_subset());
+    default: {
+      // Join-like: anchor the preserved/kept operand on the left.
+      ExprPtr anchor = expr->left();
+      ExprPtr other = expr->right();
+      if (!expr->preserves_left() && expr->kind() != OpKind::kJoin) {
+        std::swap(anchor, other);
+      }
+      IteratorPtr left = Build(anchor, db, algo);
+      IteratorPtr right = Build(other, db, algo);
+      JoinMode mode = ModeOf(expr->kind());
+      EquiKeys keys =
+          ExtractEquiKeys(expr->pred(), left->scheme(), right->scheme());
+      const bool use_hash =
+          keys.Usable() &&
+          (algo == JoinAlgo::kHash || algo == JoinAlgo::kAuto);
+      if (use_hash) {
+        return std::make_unique<HashJoinIterator>(
+            std::move(left), std::move(right), expr->pred(), mode,
+            std::move(keys.left), std::move(keys.right));
+      }
+      return std::make_unique<NestedLoopJoinIterator>(
+          std::move(left), std::move(right), expr->pred(), mode);
+    }
+  }
+}
+
+}  // namespace
+
+IteratorPtr BuildIterator(const ExprPtr& expr, const Database& db,
+                          JoinAlgo algo) {
+  FRO_CHECK(expr != nullptr);
+  return Build(expr, db, algo);
+}
+
+Relation ExecutePipelined(const ExprPtr& expr, const Database& db,
+                          JoinAlgo algo) {
+  IteratorPtr root = BuildIterator(expr, db, algo);
+  return Drain(root.get());
+}
+
+}  // namespace fro

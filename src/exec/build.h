@@ -1,0 +1,27 @@
+// Compiling expression trees into Volcano iterator pipelines.
+
+#ifndef FRO_EXEC_BUILD_H_
+#define FRO_EXEC_BUILD_H_
+
+#include "algebra/expr.h"
+#include "exec/iterator.h"
+#include "relational/database.h"
+#include "relational/ops.h"
+
+namespace fro {
+
+/// Builds a pipelined physical plan for `expr`. Join-like operators use
+/// the hash strategy when the predicate has equi-key conjuncts and `algo`
+/// permits, block nested loop otherwise. Symmetric forms (`<-`, `<|`,
+/// `-<`) are realized by swapping the operands. The database must outlive
+/// the returned iterator.
+IteratorPtr BuildIterator(const ExprPtr& expr, const Database& db,
+                          JoinAlgo algo = JoinAlgo::kAuto);
+
+/// Convenience: build, drain, and return the materialized result.
+Relation ExecutePipelined(const ExprPtr& expr, const Database& db,
+                          JoinAlgo algo = JoinAlgo::kAuto);
+
+}  // namespace fro
+
+#endif  // FRO_EXEC_BUILD_H_

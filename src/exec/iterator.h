@@ -1,0 +1,47 @@
+// Volcano-style pipelined execution: every physical operator is a tuple
+// iterator with Open/Next/Close. This is the executor a downstream system
+// would embed; the materializing evaluator in algebra/eval.h remains the
+// semantic reference (tests assert the two agree on every operator).
+
+#ifndef FRO_EXEC_ITERATOR_H_
+#define FRO_EXEC_ITERATOR_H_
+
+#include <memory>
+
+#include "relational/relation.h"
+
+namespace fro {
+
+/// Pull-based tuple iterator. Lifecycle: Open() -> Next()* -> Close().
+/// Open() may be called again after Close() to rescan.
+class TupleIterator {
+ public:
+  virtual ~TupleIterator() = default;
+
+  virtual void Open() = 0;
+  /// Produces the next tuple; returns false when exhausted.
+  virtual bool Next(Tuple* out) = 0;
+  virtual void Close() = 0;
+
+  /// The output scheme; valid before Open().
+  virtual const Scheme& scheme() const = 0;
+
+  /// Tuples produced since the last Open().
+  uint64_t produced() const { return produced_; }
+
+ protected:
+  void CountProduced() { ++produced_; }
+  void ResetProduced() { produced_ = 0; }
+
+ private:
+  uint64_t produced_ = 0;
+};
+
+using IteratorPtr = std::unique_ptr<TupleIterator>;
+
+/// Runs an iterator to exhaustion and materializes the result.
+Relation Drain(TupleIterator* iterator);
+
+}  // namespace fro
+
+#endif  // FRO_EXEC_ITERATOR_H_

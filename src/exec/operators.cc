@@ -1,0 +1,467 @@
+#include "exec/operators.h"
+
+#include "common/check.h"
+#include "relational/ops.h"
+#include "relational/sort_merge.h"
+
+namespace fro {
+
+Relation Drain(TupleIterator* iterator) {
+  Relation out(iterator->scheme());
+  iterator->Open();
+  Tuple tuple;
+  while (iterator->Next(&tuple)) {
+    out.AddRow(tuple);
+  }
+  iterator->Close();
+  return out;
+}
+
+// --- Scan ----------------------------------------------------------------
+
+ScanIterator::ScanIterator(const Relation* relation) : relation_(relation) {
+  FRO_CHECK(relation != nullptr);
+}
+
+void ScanIterator::Open() {
+  pos_ = 0;
+  ResetProduced();
+}
+
+bool ScanIterator::Next(Tuple* out) {
+  if (pos_ >= relation_->NumRows()) return false;
+  *out = relation_->row(pos_++);
+  CountProduced();
+  return true;
+}
+
+void ScanIterator::Close() {}
+
+const Scheme& ScanIterator::scheme() const { return relation_->scheme(); }
+
+// --- Filter ----------------------------------------------------------------
+
+FilterIterator::FilterIterator(IteratorPtr child, PredicatePtr pred)
+    : child_(std::move(child)), pred_(std::move(pred)) {
+  FRO_CHECK(pred_ != nullptr);
+}
+
+void FilterIterator::Open() {
+  child_->Open();
+  ResetProduced();
+}
+
+bool FilterIterator::Next(Tuple* out) {
+  Tuple tuple;
+  while (child_->Next(&tuple)) {
+    if (IsTrue(pred_->Eval(tuple, child_->scheme()))) {
+      *out = std::move(tuple);
+      CountProduced();
+      return true;
+    }
+  }
+  return false;
+}
+
+void FilterIterator::Close() { child_->Close(); }
+
+const Scheme& FilterIterator::scheme() const { return child_->scheme(); }
+
+// --- Project ---------------------------------------------------------------
+
+ProjectIterator::ProjectIterator(IteratorPtr child, std::vector<AttrId> cols,
+                                 bool dedup)
+    : child_(std::move(child)), out_scheme_(Scheme(cols)), dedup_(dedup) {
+  for (AttrId attr : cols) {
+    int pos = child_->scheme().IndexOf(attr);
+    FRO_CHECK_GE(pos, 0) << "projection column not in child scheme";
+    positions_.push_back(pos);
+  }
+}
+
+void ProjectIterator::Open() {
+  child_->Open();
+  seen_.clear();
+  ResetProduced();
+}
+
+bool ProjectIterator::Next(Tuple* out) {
+  Tuple tuple;
+  while (child_->Next(&tuple)) {
+    std::vector<Value> values;
+    values.reserve(positions_.size());
+    for (int pos : positions_) {
+      values.push_back(tuple.value(static_cast<size_t>(pos)));
+    }
+    if (dedup_ && !seen_.insert(values).second) continue;
+    *out = Tuple(std::move(values));
+    CountProduced();
+    return true;
+  }
+  return false;
+}
+
+void ProjectIterator::Close() {
+  child_->Close();
+  seen_.clear();
+}
+
+const Scheme& ProjectIterator::scheme() const { return out_scheme_; }
+
+// --- Union -----------------------------------------------------------------
+
+UnionIterator::UnionIterator(IteratorPtr left, IteratorPtr right)
+    : left_(std::move(left)), right_(std::move(right)) {
+  AttrSet all =
+      left_->scheme().ToAttrSet().Union(right_->scheme().ToAttrSet());
+  out_scheme_ = Scheme(all.ids());
+}
+
+Tuple UnionIterator::PadFrom(const Tuple& tuple,
+                             const Scheme& source) const {
+  std::vector<Value> values(out_scheme_.size());
+  for (size_t c = 0; c < out_scheme_.size(); ++c) {
+    int pos = source.IndexOf(out_scheme_.col(c));
+    if (pos >= 0) values[c] = tuple.value(static_cast<size_t>(pos));
+  }
+  return Tuple(std::move(values));
+}
+
+void UnionIterator::Open() {
+  left_->Open();
+  right_->Open();
+  on_right_ = false;
+  ResetProduced();
+}
+
+bool UnionIterator::Next(Tuple* out) {
+  Tuple tuple;
+  if (!on_right_) {
+    if (left_->Next(&tuple)) {
+      *out = PadFrom(tuple, left_->scheme());
+      CountProduced();
+      return true;
+    }
+    on_right_ = true;
+  }
+  if (right_->Next(&tuple)) {
+    *out = PadFrom(tuple, right_->scheme());
+    CountProduced();
+    return true;
+  }
+  return false;
+}
+
+void UnionIterator::Close() {
+  left_->Close();
+  right_->Close();
+}
+
+const Scheme& UnionIterator::scheme() const { return out_scheme_; }
+
+// --- Nested-loop join ------------------------------------------------------
+
+namespace {
+
+Scheme JoinOutScheme(const Scheme& left, const Scheme& right,
+                     JoinMode mode) {
+  switch (mode) {
+    case JoinMode::kInner:
+    case JoinMode::kLeftOuter:
+      return left.Concat(right);
+    case JoinMode::kAnti:
+    case JoinMode::kSemi:
+      return left;
+  }
+  return left;
+}
+
+}  // namespace
+
+NestedLoopJoinIterator::NestedLoopJoinIterator(IteratorPtr left,
+                                               IteratorPtr right,
+                                               PredicatePtr pred,
+                                               JoinMode mode)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      pred_(std::move(pred)),
+      mode_(mode),
+      out_scheme_(JoinOutScheme(left_->scheme(), right_->scheme(), mode)) {}
+
+void NestedLoopJoinIterator::Open() {
+  left_->Open();
+  // Materialize the right input once (block nested loop).
+  right_rows_.clear();
+  right_->Open();
+  Tuple tuple;
+  while (right_->Next(&tuple)) right_rows_.push_back(tuple);
+  right_->Close();
+  current_left_.reset();
+  ResetProduced();
+}
+
+bool NestedLoopJoinIterator::AdvanceLeft() {
+  Tuple tuple;
+  if (!left_->Next(&tuple)) return false;
+  current_left_ = std::move(tuple);
+  right_pos_ = 0;
+  left_had_match_ = false;
+  return true;
+}
+
+bool NestedLoopJoinIterator::Next(Tuple* out) {
+  const Scheme joined_scheme = left_->scheme().Concat(right_->scheme());
+  for (;;) {
+    if (!current_left_.has_value() && !AdvanceLeft()) return false;
+    bool dropped_left = false;
+    while (right_pos_ < right_rows_.size()) {
+      const Tuple& rrow = right_rows_[right_pos_++];
+      Tuple joined = current_left_->Concat(rrow);
+      if (pred_ != nullptr && !IsTrue(pred_->Eval(joined, joined_scheme))) {
+        continue;
+      }
+      left_had_match_ = true;
+      switch (mode_) {
+        case JoinMode::kInner:
+        case JoinMode::kLeftOuter:
+          *out = std::move(joined);
+          CountProduced();
+          return true;
+        case JoinMode::kSemi:
+          *out = *current_left_;
+          current_left_.reset();
+          CountProduced();
+          return true;
+        case JoinMode::kAnti:
+          current_left_.reset();
+          dropped_left = true;
+          break;
+      }
+      if (dropped_left) break;
+    }
+    if (dropped_left) continue;
+    // Right side exhausted for this left tuple.
+    const bool unmatched = !left_had_match_;
+    Tuple left_tuple = *current_left_;
+    current_left_.reset();
+    if (mode_ == JoinMode::kLeftOuter && unmatched) {
+      *out = left_tuple.Concat(Tuple::Nulls(right_->scheme().size()));
+      CountProduced();
+      return true;
+    }
+    if (mode_ == JoinMode::kAnti && unmatched) {
+      *out = std::move(left_tuple);
+      CountProduced();
+      return true;
+    }
+  }
+}
+
+void NestedLoopJoinIterator::Close() {
+  left_->Close();
+  right_rows_.clear();
+  current_left_.reset();
+}
+
+const Scheme& NestedLoopJoinIterator::scheme() const { return out_scheme_; }
+
+// --- Hash join ---------------------------------------------------------
+
+HashJoinIterator::HashJoinIterator(IteratorPtr left, IteratorPtr right,
+                                   PredicatePtr pred, JoinMode mode,
+                                   std::vector<AttrId> left_keys,
+                                   std::vector<AttrId> right_keys)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      pred_(std::move(pred)),
+      mode_(mode),
+      out_scheme_(JoinOutScheme(left_->scheme(), right_->scheme(), mode)),
+      left_keys_(std::move(left_keys)),
+      right_keys_(std::move(right_keys)) {
+  FRO_CHECK(!left_keys_.empty());
+  FRO_CHECK_EQ(left_keys_.size(), right_keys_.size());
+  for (AttrId attr : left_keys_) {
+    int pos = left_->scheme().IndexOf(attr);
+    FRO_CHECK_GE(pos, 0);
+    left_key_positions_.push_back(pos);
+  }
+}
+
+void HashJoinIterator::Open() {
+  left_->Open();
+  // Build phase: materialize and index the right input.
+  Relation raw(right_->scheme());
+  right_->Open();
+  Tuple tuple;
+  while (right_->Next(&tuple)) raw.AddRow(tuple);
+  right_->Close();
+  build_side_ = std::move(raw);
+  Relation normalized = NormalizeOnKeyColumns(build_side_, right_keys_);
+  // Keep the normalized copy alive through the index by swapping it in;
+  // probes return row indices valid for build_side_ too (same order).
+  index_ = std::make_unique<HashIndex>(normalized, right_keys_);
+  current_left_.reset();
+  matches_ = nullptr;
+  ResetProduced();
+}
+
+bool HashJoinIterator::AdvanceLeft() {
+  Tuple tuple;
+  if (!left_->Next(&tuple)) return false;
+  current_left_ = std::move(tuple);
+  left_had_match_ = false;
+  match_pos_ = 0;
+  std::vector<Value> key;
+  key.reserve(left_key_positions_.size());
+  null_key_ = false;
+  for (int pos : left_key_positions_) {
+    Value v =
+        NormalizeHashKeyValue(current_left_->value(static_cast<size_t>(pos)));
+    if (v.is_null()) {
+      null_key_ = true;
+      break;
+    }
+    key.push_back(std::move(v));
+  }
+  matches_ = null_key_ ? &no_matches_ : &index_->Probe(key);
+  return true;
+}
+
+bool HashJoinIterator::Next(Tuple* out) {
+  const Scheme joined_scheme = left_->scheme().Concat(right_->scheme());
+  for (;;) {
+    if (!current_left_.has_value() && !AdvanceLeft()) return false;
+    bool dropped_left = false;
+    while (match_pos_ < matches_->size()) {
+      const Tuple& rrow = build_side_.row((*matches_)[match_pos_++]);
+      Tuple joined = current_left_->Concat(rrow);
+      if (pred_ != nullptr && !IsTrue(pred_->Eval(joined, joined_scheme))) {
+        continue;
+      }
+      left_had_match_ = true;
+      switch (mode_) {
+        case JoinMode::kInner:
+        case JoinMode::kLeftOuter:
+          *out = std::move(joined);
+          CountProduced();
+          return true;
+        case JoinMode::kSemi:
+          *out = *current_left_;
+          current_left_.reset();
+          CountProduced();
+          return true;
+        case JoinMode::kAnti:
+          current_left_.reset();
+          dropped_left = true;
+          break;
+      }
+      if (dropped_left) break;
+    }
+    if (dropped_left) continue;
+    const bool unmatched = !left_had_match_;
+    Tuple left_tuple = *current_left_;
+    current_left_.reset();
+    if (mode_ == JoinMode::kLeftOuter && unmatched) {
+      *out = left_tuple.Concat(Tuple::Nulls(right_->scheme().size()));
+      CountProduced();
+      return true;
+    }
+    if (mode_ == JoinMode::kAnti && unmatched) {
+      *out = std::move(left_tuple);
+      CountProduced();
+      return true;
+    }
+  }
+}
+
+void HashJoinIterator::Close() {
+  left_->Close();
+  index_.reset();
+  build_side_ = Relation();
+  current_left_.reset();
+  matches_ = nullptr;
+}
+
+const Scheme& HashJoinIterator::scheme() const { return out_scheme_; }
+
+// --- Sort-merge join -----------------------------------------------------
+
+SortMergeJoinIterator::SortMergeJoinIterator(IteratorPtr left,
+                                             IteratorPtr right,
+                                             PredicatePtr pred,
+                                             JoinMode mode)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      pred_(std::move(pred)),
+      mode_(mode),
+      out_scheme_(JoinOutScheme(left_->scheme(), right_->scheme(), mode)) {}
+
+void SortMergeJoinIterator::Open() {
+  Relation left_rel = Drain(left_.get());
+  Relation right_rel = Drain(right_.get());
+  switch (mode_) {
+    case JoinMode::kInner:
+      result_ = SortMergeJoin(left_rel, right_rel, pred_, nullptr);
+      break;
+    case JoinMode::kLeftOuter:
+      result_ = SortMergeLeftOuterJoin(left_rel, right_rel, pred_, nullptr);
+      break;
+    case JoinMode::kAnti:
+      result_ = SortMergeAntijoin(left_rel, right_rel, pred_, nullptr);
+      break;
+    case JoinMode::kSemi:
+      result_ = SortMergeSemijoin(left_rel, right_rel, pred_, nullptr);
+      break;
+  }
+  pos_ = 0;
+  ResetProduced();
+}
+
+bool SortMergeJoinIterator::Next(Tuple* out) {
+  if (pos_ >= result_.NumRows()) return false;
+  *out = result_.row(pos_++);
+  CountProduced();
+  return true;
+}
+
+void SortMergeJoinIterator::Close() {
+  result_ = Relation();
+  pos_ = 0;
+}
+
+const Scheme& SortMergeJoinIterator::scheme() const { return out_scheme_; }
+
+// --- Generalized outerjoin ---------------------------------------------
+
+GojIterator::GojIterator(IteratorPtr left, IteratorPtr right,
+                         PredicatePtr pred, AttrSet subset)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      pred_(std::move(pred)),
+      subset_(std::move(subset)),
+      out_scheme_(left_->scheme().Concat(right_->scheme())) {}
+
+void GojIterator::Open() {
+  Relation left_rel = Drain(left_.get());
+  Relation right_rel = Drain(right_.get());
+  result_ = GeneralizedOuterJoin(left_rel, right_rel, pred_, subset_,
+                                 JoinAlgo::kAuto, nullptr);
+  pos_ = 0;
+  ResetProduced();
+}
+
+bool GojIterator::Next(Tuple* out) {
+  if (pos_ >= result_.NumRows()) return false;
+  *out = result_.row(pos_++);
+  CountProduced();
+  return true;
+}
+
+void GojIterator::Close() {
+  result_ = Relation();
+  pos_ = 0;
+}
+
+const Scheme& GojIterator::scheme() const { return out_scheme_; }
+
+}  // namespace fro

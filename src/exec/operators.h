@@ -1,0 +1,201 @@
+// Physical operators for the Volcano executor.
+//
+// Join-like operators come in four modes sharing one matching core:
+// inner join, left outer join, antijoin (emit left tuples with no match),
+// and semijoin (emit left tuples with a match, once). Two physical
+// strategies exist: block nested loop (right input materialized at
+// Open) and hash (build on the right input, probe from the left). The
+// generalized outerjoin is inherently blocking (it needs the full set of
+// matched S-projections) and is implemented as a materializing operator.
+
+#ifndef FRO_EXEC_OPERATORS_H_
+#define FRO_EXEC_OPERATORS_H_
+
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "exec/iterator.h"
+#include "relational/index.h"
+#include "relational/predicate.h"
+
+namespace fro {
+
+enum class JoinMode : uint8_t {
+  kInner,
+  kLeftOuter,
+  kAnti,
+  kSemi,
+};
+
+/// Full scan of a materialized relation (which must outlive the scan).
+class ScanIterator : public TupleIterator {
+ public:
+  explicit ScanIterator(const Relation* relation);
+  void Open() override;
+  bool Next(Tuple* out) override;
+  void Close() override;
+  const Scheme& scheme() const override;
+
+ private:
+  const Relation* relation_;
+  size_t pos_ = 0;
+};
+
+/// sigma[pred](child).
+class FilterIterator : public TupleIterator {
+ public:
+  FilterIterator(IteratorPtr child, PredicatePtr pred);
+  void Open() override;
+  bool Next(Tuple* out) override;
+  void Close() override;
+  const Scheme& scheme() const override;
+
+ private:
+  IteratorPtr child_;
+  PredicatePtr pred_;
+};
+
+/// pi[cols](child), optionally duplicate-eliminating (blocking the
+/// duplicate check only; rows stream through).
+class ProjectIterator : public TupleIterator {
+ public:
+  ProjectIterator(IteratorPtr child, std::vector<AttrId> cols, bool dedup);
+  void Open() override;
+  bool Next(Tuple* out) override;
+  void Close() override;
+  const Scheme& scheme() const override;
+
+ private:
+  IteratorPtr child_;
+  std::vector<int> positions_;
+  Scheme out_scheme_;
+  bool dedup_;
+  std::set<std::vector<Value>> seen_;
+};
+
+/// Bag union with the padding convention; children stream sequentially.
+class UnionIterator : public TupleIterator {
+ public:
+  UnionIterator(IteratorPtr left, IteratorPtr right);
+  void Open() override;
+  bool Next(Tuple* out) override;
+  void Close() override;
+  const Scheme& scheme() const override;
+
+ private:
+  Tuple PadFrom(const Tuple& tuple, const Scheme& source) const;
+
+  IteratorPtr left_;
+  IteratorPtr right_;
+  Scheme out_scheme_;
+  bool on_right_ = false;
+};
+
+/// Block nested-loop join-like operator: the right input is materialized
+/// at Open(); left tuples stream.
+class NestedLoopJoinIterator : public TupleIterator {
+ public:
+  NestedLoopJoinIterator(IteratorPtr left, IteratorPtr right,
+                         PredicatePtr pred, JoinMode mode);
+  void Open() override;
+  bool Next(Tuple* out) override;
+  void Close() override;
+  const Scheme& scheme() const override;
+
+ private:
+  bool AdvanceLeft();
+
+  IteratorPtr left_;
+  IteratorPtr right_;
+  PredicatePtr pred_;
+  JoinMode mode_;
+  Scheme out_scheme_;
+  std::vector<Tuple> right_rows_;
+  std::optional<Tuple> current_left_;
+  size_t right_pos_ = 0;
+  bool left_had_match_ = false;
+};
+
+/// Hash join-like operator: builds a hash table on the right input's
+/// equi-key columns at Open(); probes with streaming left tuples. The
+/// full predicate is re-checked on candidates. Falls back to nested loop
+/// behaviour is NOT provided here — the plan builder selects this
+/// operator only when equi-keys exist.
+class HashJoinIterator : public TupleIterator {
+ public:
+  HashJoinIterator(IteratorPtr left, IteratorPtr right, PredicatePtr pred,
+                   JoinMode mode, std::vector<AttrId> left_keys,
+                   std::vector<AttrId> right_keys);
+  void Open() override;
+  bool Next(Tuple* out) override;
+  void Close() override;
+  const Scheme& scheme() const override;
+
+ private:
+  bool AdvanceLeft();
+
+  IteratorPtr left_;
+  IteratorPtr right_;
+  PredicatePtr pred_;
+  JoinMode mode_;
+  Scheme out_scheme_;
+  std::vector<AttrId> left_keys_;
+  std::vector<AttrId> right_keys_;
+  Relation build_side_;
+  std::unique_ptr<HashIndex> index_;
+  std::vector<int> left_key_positions_;
+  std::optional<Tuple> current_left_;
+  const std::vector<size_t>* matches_ = nullptr;
+  size_t match_pos_ = 0;
+  bool left_had_match_ = false;
+  bool null_key_ = false;
+  const std::vector<size_t> no_matches_;
+};
+
+/// Sort-merge join-like operator (all four modes): blocking — both
+/// inputs are materialized at Open(), merged by the sort-merge kernels,
+/// and the result streamed. Requires an equi-key conjunct.
+class SortMergeJoinIterator : public TupleIterator {
+ public:
+  SortMergeJoinIterator(IteratorPtr left, IteratorPtr right,
+                        PredicatePtr pred, JoinMode mode);
+  void Open() override;
+  bool Next(Tuple* out) override;
+  void Close() override;
+  const Scheme& scheme() const override;
+
+ private:
+  IteratorPtr left_;
+  IteratorPtr right_;
+  PredicatePtr pred_;
+  JoinMode mode_;
+  Scheme out_scheme_;
+  Relation result_;
+  size_t pos_ = 0;
+};
+
+/// GOJ[subset, pred](left, right): blocking; materializes both inputs at
+/// Open() and streams the computed result.
+class GojIterator : public TupleIterator {
+ public:
+  GojIterator(IteratorPtr left, IteratorPtr right, PredicatePtr pred,
+              AttrSet subset);
+  void Open() override;
+  bool Next(Tuple* out) override;
+  void Close() override;
+  const Scheme& scheme() const override;
+
+ private:
+  IteratorPtr left_;
+  IteratorPtr right_;
+  PredicatePtr pred_;
+  AttrSet subset_;
+  Scheme out_scheme_;
+  Relation result_;
+  size_t pos_ = 0;
+};
+
+}  // namespace fro
+
+#endif  // FRO_EXEC_OPERATORS_H_

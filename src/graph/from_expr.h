@@ -1,0 +1,27 @@
+// graph(Q): deriving the query graph of a Join/Outerjoin expression
+// (paper Section 1.2).
+
+#ifndef FRO_GRAPH_FROM_EXPR_H_
+#define FRO_GRAPH_FROM_EXPR_H_
+
+#include "algebra/expr.h"
+#include "common/status.h"
+#include "graph/query_graph.h"
+#include "relational/database.h"
+
+namespace fro {
+
+/// Builds graph(Q) for a Join/Outerjoin query.
+///
+/// Fails (the paper's "graph is undefined") when:
+///  * the expression contains operators other than Join/OuterJoin/Leaf,
+///  * a join conjunct does not reference exactly two ground relations,
+///    one on each side of its operator,
+///  * an outerjoin predicate does not reference exactly two ground
+///    relations, one on each side,
+///  * an outerjoin edge would be parallel to another edge.
+Result<QueryGraph> GraphOf(const ExprPtr& expr, const Database& db);
+
+}  // namespace fro
+
+#endif  // FRO_GRAPH_FROM_EXPR_H_

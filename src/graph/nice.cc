@@ -1,0 +1,103 @@
+#include "graph/nice.h"
+
+#include <numeric>
+#include <vector>
+
+namespace fro {
+
+namespace {
+
+// Union-find for outerjoin-edge cycle detection.
+class UnionFind {
+ public:
+  explicit UnionFind(int n) : parent_(static_cast<size_t>(n)) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  int Find(int x) {
+    while (parent_[static_cast<size_t>(x)] != x) {
+      parent_[static_cast<size_t>(x)] =
+          parent_[static_cast<size_t>(parent_[static_cast<size_t>(x)])];
+      x = parent_[static_cast<size_t>(x)];
+    }
+    return x;
+  }
+  /// Returns false if x and y were already connected.
+  bool Union(int x, int y) {
+    int rx = Find(x);
+    int ry = Find(y);
+    if (rx == ry) return false;
+    parent_[static_cast<size_t>(rx)] = ry;
+    return true;
+  }
+
+ private:
+  std::vector<int> parent_;
+};
+
+}  // namespace
+
+NiceCheck CheckNice(const QueryGraph& graph) {
+  NiceCheck out;
+  out.connected = graph.IsConnected(graph.AllMask());
+
+  const int n = graph.num_nodes();
+  std::vector<int> incoming_oj(static_cast<size_t>(n), 0);
+  std::vector<bool> has_join_edge(static_cast<size_t>(n), false);
+  UnionFind oj_forest(n);
+
+  for (const GraphEdge& e : graph.edges()) {
+    if (e.directed) {
+      ++incoming_oj[static_cast<size_t>(e.v)];
+      if (!oj_forest.Union(e.u, e.v)) {
+        out.violation = "cycle composed of outerjoin edges";
+        return out;
+      }
+    } else {
+      has_join_edge[static_cast<size_t>(e.u)] = true;
+      has_join_edge[static_cast<size_t>(e.v)] = true;
+    }
+  }
+  for (int v = 0; v < n; ++v) {
+    if (incoming_oj[static_cast<size_t>(v)] >= 2) {
+      out.violation = "path of the form X -> Y <- Z (node " +
+                      std::to_string(v) + " null-supplied twice)";
+      return out;
+    }
+    if (incoming_oj[static_cast<size_t>(v)] >= 1 &&
+        has_join_edge[static_cast<size_t>(v)]) {
+      out.violation = "path of the form X -> Y - Z (join edge at "
+                      "null-supplied node " +
+                      std::to_string(v) + ")";
+      return out;
+    }
+  }
+  out.nice = true;
+  return out;
+}
+
+ReorderabilityCheck CheckFreelyReorderable(const QueryGraph& graph) {
+  ReorderabilityCheck out;
+  out.nice = CheckNice(graph);
+  out.all_outerjoin_preds_strong = true;
+  out.all_strong_wrt_null_supplied = true;
+  for (const GraphEdge& e : graph.edges()) {
+    if (!e.directed) continue;
+    AttrSet preserved_refs =
+        e.pred->References().Intersect(graph.node_attrs(e.u));
+    AttrSet null_side_refs =
+        e.pred->References().Intersect(graph.node_attrs(e.v));
+    if (!e.pred->IsStrongWrt(preserved_refs)) {
+      out.all_outerjoin_preds_strong = false;
+      out.detail +=
+          "outerjoin predicate not strong w.r.t. preserved relation: " +
+          e.pred->ToString(nullptr) + "; ";
+    }
+    if (!e.pred->IsStrongWrt(null_side_refs)) {
+      out.all_strong_wrt_null_supplied = false;
+    }
+  }
+  if (!out.nice.nice) out.detail += out.nice.violation;
+  return out;
+}
+
+}  // namespace fro

@@ -1,0 +1,58 @@
+// The "nice" query-graph class (paper Section 3.1) and the Theorem 1
+// free-reorderability test.
+//
+// Lemma 1: a graph is nice iff
+//   (1) there is no cycle composed of outerjoin edges,
+//   (2) there is no path of the form X -> Y - Z (a join edge incident to a
+//       null-supplied node), and
+//   (3) there is no path of the form X -> Y <- Z (two outerjoin edges into
+//       the same node).
+//
+// Theorem 1 additionally requires every outerjoin predicate to be strong —
+// i.e. the predicate returns False when the attributes it references from
+// the *preserved* relation are all null. (With the ubiquitous equality
+// predicates, strength holds with respect to both sides; the preserved
+// side is the one identity 12 needs, as Example 3's counterexample shows.)
+
+#ifndef FRO_GRAPH_NICE_H_
+#define FRO_GRAPH_NICE_H_
+
+#include <string>
+
+#include "graph/query_graph.h"
+
+namespace fro {
+
+struct NiceCheck {
+  bool connected = false;
+  bool nice = false;
+  /// Empty when nice; otherwise names the first violated Lemma 1
+  /// condition.
+  std::string violation;
+};
+
+/// Checks the Lemma 1 conditions (plus connectivity, which implementing
+/// trees require).
+NiceCheck CheckNice(const QueryGraph& graph);
+
+struct ReorderabilityCheck {
+  NiceCheck nice;
+  bool all_outerjoin_preds_strong = false;
+  /// Diagnostic: strength with respect to the null-supplied side, which
+  /// equality predicates also satisfy but Theorem 1 does not need.
+  bool all_strong_wrt_null_supplied = false;
+  std::string detail;
+
+  /// Theorem 1's precondition.
+  bool freely_reorderable() const {
+    return nice.connected && nice.nice && all_outerjoin_preds_strong;
+  }
+};
+
+/// Tests Theorem 1's precondition: nice graph + strong outerjoin
+/// predicates.
+ReorderabilityCheck CheckFreelyReorderable(const QueryGraph& graph);
+
+}  // namespace fro
+
+#endif  // FRO_GRAPH_NICE_H_

@@ -1,0 +1,87 @@
+#include "graph/tree_conditions.h"
+
+#include <vector>
+
+namespace fro {
+
+namespace {
+
+bool ContainsJoin(const ExprPtr& expr) {
+  if (expr->is_leaf()) return false;
+  if (expr->kind() == OpKind::kJoin) return true;
+  return (expr->left() != nullptr && ContainsJoin(expr->left())) ||
+         (expr->right() != nullptr && ContainsJoin(expr->right()));
+}
+
+// An ancestor frame: the ancestor's kind and whether the path to the
+// current node goes through its null-supplied operand, plus its
+// predicate's references.
+struct AncestorFrame {
+  OpKind kind;
+  bool via_null_supplied;
+  AttrSet pred_refs;
+};
+
+bool Walk(const ExprPtr& node, std::vector<AncestorFrame>* ancestors,
+          TreeConditionCheck* out) {
+  if (node->is_leaf()) return true;
+  if (node->kind() != OpKind::kJoin && node->kind() != OpKind::kOuterJoin) {
+    out->violation = std::string("operator ") + OpKindName(node->kind()) +
+                     " outside the Join/Outerjoin class";
+    return false;
+  }
+
+  if (node->kind() == OpKind::kOuterJoin) {
+    const ExprPtr& null_side =
+        node->preserves_left() ? node->right() : node->left();
+    // (a) The null-supplied input must not be created by a regular join.
+    if (ContainsJoin(null_side)) {
+      out->violation =
+          "null-supplied input contains a regular join: " +
+          null_side->ToString();
+      return false;
+    }
+    // (b) Ancestors must not touch the padded attributes from an unsafe
+    // position.
+    for (const AncestorFrame& frame : *ancestors) {
+      const bool touches = frame.pred_refs.Overlaps(null_side->attrs());
+      if (!touches) continue;
+      if (frame.kind == OpKind::kJoin) {
+        out->violation =
+            "padded attributes are later an operand of a regular join";
+        return false;
+      }
+      if (frame.kind == OpKind::kOuterJoin && frame.via_null_supplied) {
+        out->violation =
+            "padded attributes are referenced from an ancestor "
+            "outerjoin's null-supplied side";
+        return false;
+      }
+    }
+  }
+
+  AttrSet refs =
+      node->pred() != nullptr ? node->pred()->References() : AttrSet();
+  for (bool go_right : {false, true}) {
+    const ExprPtr& child = go_right ? node->right() : node->left();
+    bool via_null =
+        node->kind() == OpKind::kOuterJoin &&
+        (go_right ? node->preserves_left() : !node->preserves_left());
+    ancestors->push_back({node->kind(), via_null, refs});
+    bool ok = Walk(child, ancestors, out);
+    ancestors->pop_back();
+    if (!ok) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+TreeConditionCheck CheckTreeConditions(const ExprPtr& expr) {
+  TreeConditionCheck out;
+  std::vector<AncestorFrame> ancestors;
+  out.ok = Walk(expr, &ancestors, &out);
+  return out;
+}
+
+}  // namespace fro

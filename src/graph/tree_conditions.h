@@ -1,0 +1,48 @@
+// Expression-tree-side reorderability conditions (paper Section 6.3).
+//
+// The paper conjectures that free reorderability, characterized on query
+// graphs by Lemma 1, also has "simple conditions on the expression trees:
+// for example, the null-supplied input of an operand should not be
+// created by a regular join, nor involved later as an operand of a
+// regular join."
+//
+// This module implements a refinement of that conjecture. A Join/
+// Outerjoin tree Q satisfies the *tree conditions* iff for every
+// outerjoin operator N with null-supplied subtree S:
+//
+//   (a) S contains no regular join operator (N's null-supplied input is
+//       not created by a join, even indirectly), and
+//   (b) no proper ancestor A of N references attributes of S from an
+//       unsafe position: a join ancestor must not reference attrs(S) at
+//       all, and an outerjoin ancestor must not reference attrs(S) when N
+//       lies in A's null-supplied operand. (Referencing padded attributes
+//       from an ancestor's *preserved* side is the legal outerjoin chain
+//       X -> Y -> Z.)
+//
+// `tests/tree_conditions_test.cc` validates the refinement empirically:
+// on randomly generated implementing trees, the tree conditions hold iff
+// graph(Q) is nice.
+
+#ifndef FRO_GRAPH_TREE_CONDITIONS_H_
+#define FRO_GRAPH_TREE_CONDITIONS_H_
+
+#include <string>
+
+#include "algebra/expr.h"
+
+namespace fro {
+
+struct TreeConditionCheck {
+  bool ok = false;
+  /// Empty when ok; otherwise the first violated condition.
+  std::string violation;
+};
+
+/// Checks the tree-side conditions. The expression must be a pure
+/// Join/Outerjoin tree (the class graph(Q) is defined for); any other
+/// operator yields a violation.
+TreeConditionCheck CheckTreeConditions(const ExprPtr& expr);
+
+}  // namespace fro
+
+#endif  // FRO_GRAPH_TREE_CONDITIONS_H_

@@ -1,0 +1,75 @@
+// Abstract syntax for the Section 5 query language: SQL Select-From-Where
+// extended with UnNest (`*`) and Link (`->`) in the From list.
+
+#ifndef FRO_LANG_AST_H_
+#define FRO_LANG_AST_H_
+
+#include <string>
+#include <vector>
+
+#include "relational/predicate.h"
+#include "relational/value.h"
+
+namespace fro {
+
+struct ChainStep {
+  enum class Op : uint8_t {
+    kUnnest,  // `*Field`  — flatten a set-valued field
+    kLink,    // `->Field` — complete with the referenced entity
+  };
+  Op op;
+  std::string field;
+};
+
+/// One From-list item: a base entity type, an optional alias (a fresh
+/// tuple variable — the paper's "several copies of the same relation with
+/// renamed attributes"), and a chain of UnNest / Link steps, e.g.
+/// `DEPARTMENT->Manager->Audit`, `EMPLOYEE*ChildName`, or
+/// `EMPLOYEE boss`.
+struct FromItem {
+  std::string type_name;
+  /// Empty means the type name itself is the variable.
+  std::string alias;
+  std::vector<ChainStep> steps;
+};
+
+/// A scalar operand in the Where list: `Type.Field` or a literal.
+struct WhereOperand {
+  bool is_column = false;
+  std::string qualifier;  // column: the base type name
+  std::string field;      // column: the field name
+  Value literal;          // literal otherwise
+
+  static WhereOperand Column(std::string qualifier, std::string field) {
+    WhereOperand out;
+    out.is_column = true;
+    out.qualifier = std::move(qualifier);
+    out.field = std::move(field);
+    return out;
+  }
+  static WhereOperand Literal(Value v) {
+    WhereOperand out;
+    out.literal = std::move(v);
+    return out;
+  }
+};
+
+struct WhereComparison {
+  CmpOp op = CmpOp::kEq;
+  WhereOperand lhs;
+  WhereOperand rhs;
+};
+
+/// `SELECT (ALL | <columns>) FROM <items> [WHERE <conjuncts>]`.
+struct SelectQuery {
+  /// Projection columns; empty means `Select All`. Columns may reference
+  /// base relations or chain-introduced ones (e.g.
+  /// `EMPLOYEE_ChildName.ChildName`).
+  std::vector<WhereOperand> select_columns;
+  std::vector<FromItem> from;
+  std::vector<WhereComparison> where;
+};
+
+}  // namespace fro
+
+#endif  // FRO_LANG_AST_H_

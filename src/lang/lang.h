@@ -1,0 +1,40 @@
+// One-call facade for the Section 5 language: parse, translate, verify
+// free reorderability, optimize, evaluate.
+
+#ifndef FRO_LANG_LANG_H_
+#define FRO_LANG_LANG_H_
+
+#include <string>
+
+#include "lang/model.h"
+#include "lang/translate.h"
+#include "optimizer/optimizer.h"
+#include "relational/relation.h"
+
+namespace fro {
+
+struct QueryRunResult {
+  /// The flattened result relation.
+  Relation relation;
+  /// The translation artifacts (flattened database, graph, audit).
+  TranslationResult translation;
+  /// The optimizer's outcome (plan actually executed).
+  OptimizeOutcome optimize;
+};
+
+struct RunOptions {
+  /// Reorder via the DP optimizer; with false the translator's
+  /// implementing tree is executed as is.
+  bool optimize = true;
+  CostKind cost_kind = CostKind::kCout;
+};
+
+/// Parses and runs `query_text` against `nested`. Fails on syntax errors,
+/// unknown types/fields, or disconnected From lists.
+Result<QueryRunResult> RunQuery(const NestedDb& nested,
+                                const std::string& query_text,
+                                const RunOptions& options = RunOptions());
+
+}  // namespace fro
+
+#endif  // FRO_LANG_LANG_H_

@@ -1,0 +1,124 @@
+#include "lang/lexer.h"
+
+#include <cctype>
+
+namespace fro {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+         c == '#' || c == '@';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Lex(const std::string& input) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    const size_t start = i;
+    if (IsIdentStart(c)) {
+      size_t j = i + 1;
+      while (j < n && IsIdentChar(input[j])) ++j;
+      out.push_back({Token::Kind::kIdent, input.substr(i, j - i), start});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i + 1;
+      bool saw_dot = false;
+      while (j < n && (std::isdigit(static_cast<unsigned char>(input[j])) ||
+                       (!saw_dot && input[j] == '.' && j + 1 < n &&
+                        std::isdigit(static_cast<unsigned char>(
+                            input[j + 1]))))) {
+        if (input[j] == '.') saw_dot = true;
+        ++j;
+      }
+      out.push_back({Token::Kind::kNumber, input.substr(i, j - i), start});
+      i = j;
+      continue;
+    }
+    if (c == '\'') {
+      size_t j = i + 1;
+      while (j < n && input[j] != '\'') ++j;
+      if (j == n) {
+        return InvalidArgument("unterminated string literal at offset " +
+                               std::to_string(start));
+      }
+      out.push_back(
+          {Token::Kind::kString, input.substr(i + 1, j - i - 1), start});
+      i = j + 1;
+      continue;
+    }
+    switch (c) {
+      case '*':
+        out.push_back({Token::Kind::kStar, "*", start});
+        ++i;
+        continue;
+      case ',':
+        out.push_back({Token::Kind::kComma, ",", start});
+        ++i;
+        continue;
+      case '.':
+        out.push_back({Token::Kind::kDot, ".", start});
+        ++i;
+        continue;
+      case '=':
+        out.push_back({Token::Kind::kEq, "=", start});
+        ++i;
+        continue;
+      case '-': {
+        // `->` or `-->`.
+        size_t j = i + 1;
+        while (j < n && input[j] == '-') ++j;
+        if (j < n && input[j] == '>') {
+          out.push_back({Token::Kind::kArrow, input.substr(i, j - i + 1),
+                         start});
+          i = j + 1;
+          continue;
+        }
+        return InvalidArgument("stray '-' at offset " +
+                               std::to_string(start));
+      }
+      case '<':
+        if (i + 1 < n && input[i + 1] == '>') {
+          out.push_back({Token::Kind::kNe, "<>", start});
+          i += 2;
+        } else if (i + 1 < n && input[i + 1] == '=') {
+          out.push_back({Token::Kind::kLe, "<=", start});
+          i += 2;
+        } else {
+          out.push_back({Token::Kind::kLt, "<", start});
+          ++i;
+        }
+        continue;
+      case '>':
+        if (i + 1 < n && input[i + 1] == '=') {
+          out.push_back({Token::Kind::kGe, ">=", start});
+          i += 2;
+        } else {
+          out.push_back({Token::Kind::kGt, ">", start});
+          ++i;
+        }
+        continue;
+      default:
+        return InvalidArgument(std::string("unexpected character '") + c +
+                               "' at offset " + std::to_string(start));
+    }
+  }
+  out.push_back({Token::Kind::kEnd, "", n});
+  return out;
+}
+
+}  // namespace fro

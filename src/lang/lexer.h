@@ -1,0 +1,42 @@
+// Tokenizer for the Section 5 query language.
+
+#ifndef FRO_LANG_LEXER_H_
+#define FRO_LANG_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fro {
+
+struct Token {
+  enum class Kind : uint8_t {
+    kIdent,    // identifiers and keywords (keywords resolved by parser)
+    kNumber,   // integer or decimal literal
+    kString,   // 'quoted'
+    kStar,     // *
+    kArrow,    // -> or -->
+    kComma,    // ,
+    kDot,      // .
+    kEq,       // =
+    kNe,       // <>
+    kLt,       // <
+    kLe,       // <=
+    kGt,       // >
+    kGe,       // >=
+    kEnd,
+  };
+  Kind kind;
+  std::string text;  // raw text (identifier name, number, string body)
+  size_t offset;     // position in the input, for error messages
+};
+
+/// Splits `input` into tokens; the last token is always kEnd. Identifiers
+/// may contain letters, digits, `_`, `#`, and `@` (the paper uses names
+/// like `D#`).
+Result<std::vector<Token>> Lex(const std::string& input);
+
+}  // namespace fro
+
+#endif  // FRO_LANG_LEXER_H_

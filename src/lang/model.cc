@@ -1,0 +1,54 @@
+#include "lang/model.h"
+
+#include "common/check.h"
+
+namespace fro {
+
+int EntityType::FieldIndex(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status NestedDb::DefineType(const std::string& name,
+                            std::vector<FieldDef> fields) {
+  if (type_index_.count(name) > 0) {
+    return InvalidArgument("entity type already defined: " + name);
+  }
+  type_index_.emplace(name, types_.size());
+  types_.emplace_back(name, std::move(fields));
+  rows_.emplace_back();
+  return Status::Ok();
+}
+
+const EntityType* NestedDb::FindType(const std::string& name) const {
+  auto it = type_index_.find(name);
+  return it == type_index_.end() ? nullptr : &types_[it->second];
+}
+
+Result<int64_t> NestedDb::AddEntity(const std::string& type_name,
+                                    std::vector<FieldValue> fields) {
+  auto it = type_index_.find(type_name);
+  if (it == type_index_.end()) {
+    return NotFound("entity type " + type_name);
+  }
+  const EntityType& type = types_[it->second];
+  if (fields.size() != type.fields().size()) {
+    return InvalidArgument("field count mismatch for " + type_name);
+  }
+  EntityRow row;
+  row.oid = next_oid_++;
+  row.fields = std::move(fields);
+  rows_[it->second].push_back(std::move(row));
+  return rows_[it->second].back().oid;
+}
+
+const std::vector<EntityRow>& NestedDb::Rows(
+    const std::string& type_name) const {
+  auto it = type_index_.find(type_name);
+  FRO_CHECK(it != type_index_.end()) << "unknown entity type " << type_name;
+  return rows_[it->second];
+}
+
+}  // namespace fro

@@ -1,0 +1,94 @@
+// The nested data model of Section 5: entities with identity (oids),
+// repeating (set-valued) fields, and entity-valued fields.
+
+#ifndef FRO_LANG_MODEL_H_
+#define FRO_LANG_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/value.h"
+
+namespace fro {
+
+struct FieldDef {
+  enum class Kind : uint8_t {
+    kScalar,     // single value
+    kSetValued,  // repeating field (UnNest's `*` operand)
+    kEntityRef,  // entity-valued field (Link's `->` operand)
+  };
+  std::string name;
+  Kind kind = Kind::kScalar;
+  /// For kEntityRef: the referenced entity type's name.
+  std::string target_type;
+};
+
+class EntityType {
+ public:
+  EntityType(std::string name, std::vector<FieldDef> fields)
+      : name_(std::move(name)), fields_(std::move(fields)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<FieldDef>& fields() const { return fields_; }
+  /// Index of field `name`, or -1.
+  int FieldIndex(const std::string& name) const;
+
+ private:
+  std::string name_;
+  std::vector<FieldDef> fields_;
+};
+
+/// One field's content in an entity instance.
+struct FieldValue {
+  /// kScalar: the value. kEntityRef: the referenced entity's oid as
+  /// Value::Int, or Null. kSetValued: unused.
+  Value scalar;
+  /// kSetValued: the elements (possibly empty).
+  std::vector<Value> elements;
+
+  static FieldValue Scalar(Value v) {
+    FieldValue out;
+    out.scalar = std::move(v);
+    return out;
+  }
+  static FieldValue Ref(int64_t oid) { return Scalar(Value::Int(oid)); }
+  static FieldValue NullRef() { return Scalar(Value::Null()); }
+  static FieldValue Set(std::vector<Value> elements) {
+    FieldValue out;
+    out.elements = std::move(elements);
+    return out;
+  }
+};
+
+struct EntityRow {
+  int64_t oid = 0;
+  std::vector<FieldValue> fields;  // parallel to EntityType::fields()
+};
+
+/// A database of entity tables, one per type. Oids are unique across the
+/// whole NestedDb (they model "physical addresses", Section 5.2).
+class NestedDb {
+ public:
+  Status DefineType(const std::string& name, std::vector<FieldDef> fields);
+  const EntityType* FindType(const std::string& name) const;
+
+  /// Appends an entity; `fields` must parallel the type's field list.
+  /// Returns the new entity's oid.
+  Result<int64_t> AddEntity(const std::string& type_name,
+                            std::vector<FieldValue> fields);
+
+  const std::vector<EntityRow>& Rows(const std::string& type_name) const;
+
+ private:
+  std::vector<EntityType> types_;
+  std::unordered_map<std::string, size_t> type_index_;
+  std::vector<std::vector<EntityRow>> rows_;  // parallel to types_
+  int64_t next_oid_ = 1;
+};
+
+}  // namespace fro
+
+#endif  // FRO_LANG_MODEL_H_

@@ -1,0 +1,178 @@
+#include "lang/parser.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "lang/lexer.h"
+
+namespace fro {
+
+namespace {
+
+std::string Upper(const std::string& s) {
+  std::string out = s;
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::toupper(c));
+  });
+  return out;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<SelectQuery> Parse() {
+    SelectQuery query;
+    FRO_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    if (IsKeyword(Peek(), "ALL")) {
+      Advance();
+    } else {
+      // An explicit projection list of qualified columns.
+      for (;;) {
+        FRO_ASSIGN_OR_RETURN(WhereOperand column, ParseOperand());
+        if (!column.is_column) {
+          return Err("the Select list takes column references");
+        }
+        query.select_columns.push_back(std::move(column));
+        if (Peek().kind != Token::Kind::kComma) break;
+        Advance();
+      }
+    }
+    FRO_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    for (;;) {
+      FRO_ASSIGN_OR_RETURN(FromItem item, ParseFromItem());
+      query.from.push_back(std::move(item));
+      if (Peek().kind != Token::Kind::kComma) break;
+      Advance();
+    }
+    if (IsKeyword(Peek(), "WHERE")) {
+      Advance();
+      for (;;) {
+        FRO_ASSIGN_OR_RETURN(WhereComparison cmp, ParseComparison());
+        query.where.push_back(std::move(cmp));
+        if (!IsKeyword(Peek(), "AND")) break;
+        Advance();
+      }
+    }
+    if (Peek().kind != Token::Kind::kEnd) {
+      return Err("unexpected trailing input");
+    }
+    return query;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  static bool IsKeyword(const Token& token, const std::string& word) {
+    return token.kind == Token::Kind::kIdent && Upper(token.text) == word;
+  }
+
+  Status Err(const std::string& message) const {
+    return InvalidArgument(message + " at offset " +
+                           std::to_string(Peek().offset));
+  }
+
+  Status ExpectKeyword(const std::string& word) {
+    if (!IsKeyword(Peek(), word)) return Err("expected " + word);
+    Advance();
+    return Status::Ok();
+  }
+
+  Result<std::string> ExpectIdent() {
+    if (Peek().kind != Token::Kind::kIdent) return Err("expected identifier");
+    return Advance().text;
+  }
+
+  Result<FromItem> ParseFromItem() {
+    FromItem item;
+    FRO_ASSIGN_OR_RETURN(item.type_name, ExpectIdent());
+    // An optional alias: a bare identifier that is not the WHERE keyword.
+    if (Peek().kind == Token::Kind::kIdent && !IsKeyword(Peek(), "WHERE")) {
+      item.alias = Advance().text;
+    }
+    for (;;) {
+      if (Peek().kind == Token::Kind::kStar) {
+        Advance();
+        FRO_ASSIGN_OR_RETURN(std::string field, ExpectIdent());
+        item.steps.push_back({ChainStep::Op::kUnnest, std::move(field)});
+      } else if (Peek().kind == Token::Kind::kArrow) {
+        Advance();
+        FRO_ASSIGN_OR_RETURN(std::string field, ExpectIdent());
+        item.steps.push_back({ChainStep::Op::kLink, std::move(field)});
+      } else {
+        break;
+      }
+    }
+    return item;
+  }
+
+  Result<WhereOperand> ParseOperand() {
+    const Token& token = Peek();
+    switch (token.kind) {
+      case Token::Kind::kIdent: {
+        std::string qualifier = Advance().text;
+        if (Peek().kind != Token::Kind::kDot) {
+          return Err("expected '.' after identifier " + qualifier);
+        }
+        Advance();
+        FRO_ASSIGN_OR_RETURN(std::string field, ExpectIdent());
+        return WhereOperand::Column(std::move(qualifier), std::move(field));
+      }
+      case Token::Kind::kNumber: {
+        std::string text = Advance().text;
+        if (text.find('.') != std::string::npos) {
+          return WhereOperand::Literal(Value::Double(std::stod(text)));
+        }
+        return WhereOperand::Literal(Value::Int(std::stoll(text)));
+      }
+      case Token::Kind::kString:
+        return WhereOperand::Literal(Value::String(Advance().text));
+      default:
+        return Err("expected column reference or literal");
+    }
+  }
+
+  Result<WhereComparison> ParseComparison() {
+    WhereComparison cmp;
+    FRO_ASSIGN_OR_RETURN(cmp.lhs, ParseOperand());
+    switch (Peek().kind) {
+      case Token::Kind::kEq:
+        cmp.op = CmpOp::kEq;
+        break;
+      case Token::Kind::kNe:
+        cmp.op = CmpOp::kNe;
+        break;
+      case Token::Kind::kLt:
+        cmp.op = CmpOp::kLt;
+        break;
+      case Token::Kind::kLe:
+        cmp.op = CmpOp::kLe;
+        break;
+      case Token::Kind::kGt:
+        cmp.op = CmpOp::kGt;
+        break;
+      case Token::Kind::kGe:
+        cmp.op = CmpOp::kGe;
+        break;
+      default:
+        return Err("expected comparison operator");
+    }
+    Advance();
+    FRO_ASSIGN_OR_RETURN(cmp.rhs, ParseOperand());
+    return cmp;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<SelectQuery> ParseQuery(const std::string& input) {
+  FRO_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(input));
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace fro

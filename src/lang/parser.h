@@ -1,0 +1,26 @@
+// Recursive-descent parser for the Section 5 language.
+//
+// Grammar (keywords case-insensitive):
+//   query    := SELECT ALL FROM fromlist [WHERE conj]
+//   fromlist := fromitem (',' fromitem)*
+//   fromitem := IDENT (('*' | '->') IDENT)*
+//   conj     := cmp (AND cmp)*
+//   cmp      := operand op operand
+//   operand  := IDENT '.' IDENT | NUMBER | STRING
+//   op       := '=' | '<>' | '<' | '<=' | '>' | '>='
+
+#ifndef FRO_LANG_PARSER_H_
+#define FRO_LANG_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "lang/ast.h"
+
+namespace fro {
+
+Result<SelectQuery> ParseQuery(const std::string& input);
+
+}  // namespace fro
+
+#endif  // FRO_LANG_PARSER_H_

@@ -1,0 +1,288 @@
+#include "lang/translate.h"
+
+#include <set>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "enumerate/it_enum.h"
+
+namespace fro {
+
+namespace {
+
+// A pending outerjoin edge, recorded before the graph exists.
+struct PendingOjEdge {
+  RelId preserved;
+  RelId null_supplied;
+  PredicatePtr pred;
+};
+
+// A pending join conjunct between two base relations.
+struct PendingJoinEdge {
+  RelId a;
+  RelId b;
+  PredicatePtr pred;
+};
+
+class Translator {
+ public:
+  Translator(const NestedDb& nested, const SelectQuery& ast)
+      : nested_(nested), ast_(ast), db_(std::make_unique<Database>()) {}
+
+  Result<TranslationResult> Run() {
+    for (const FromItem& item : ast_.from) {
+      FRO_RETURN_IF_ERROR(TranslateFromItem(item));
+    }
+    FRO_RETURN_IF_ERROR(TranslateWhere());
+    return Assemble();
+  }
+
+ private:
+  // Registers a relation for entity type `type` under `rel_name`, with
+  // columns @oid + scalars + `<field>@ref` per entity-valued field, and
+  // fills it from the entity table.
+  Result<RelId> MaterializeEntityRelation(const EntityType& type,
+                                          const std::string& rel_name) {
+    std::vector<std::string> columns;
+    columns.push_back("@oid");
+    for (const FieldDef& field : type.fields()) {
+      switch (field.kind) {
+        case FieldDef::Kind::kScalar:
+          columns.push_back(field.name);
+          break;
+        case FieldDef::Kind::kEntityRef:
+          columns.push_back(field.name + "@ref");
+          break;
+        case FieldDef::Kind::kSetValued:
+          break;  // repeating fields live in their own virtual relation
+      }
+    }
+    FRO_ASSIGN_OR_RETURN(RelId rel, db_->AddRelation(rel_name, columns));
+    for (const EntityRow& row : nested_.Rows(type.name())) {
+      std::vector<Value> values;
+      values.push_back(Value::Int(row.oid));
+      for (size_t f = 0; f < type.fields().size(); ++f) {
+        if (type.fields()[f].kind == FieldDef::Kind::kSetValued) continue;
+        values.push_back(row.fields[f].scalar);
+      }
+      db_->AddRow(rel, std::move(values));
+    }
+    return rel;
+  }
+
+  // The virtual ValueOfField relation for `owner_type`.`field_index`:
+  // one row (@owner, value) per element of each owner's set.
+  Result<RelId> MaterializeValueOfField(const EntityType& owner_type,
+                                        size_t field_index,
+                                        const std::string& rel_name) {
+    const FieldDef& field = owner_type.fields()[field_index];
+    FRO_ASSIGN_OR_RETURN(
+        RelId rel, db_->AddRelation(rel_name, {"@owner", field.name}));
+    for (const EntityRow& row : nested_.Rows(owner_type.name())) {
+      for (const Value& element : row.fields[field_index].elements) {
+        db_->AddRow(rel, {Value::Int(row.oid), element});
+      }
+    }
+    return rel;
+  }
+
+  std::string FreshRelName(const std::string& base) {
+    std::string name = base;
+    int suffix = 2;
+    while (db_->catalog().FindRelation(name).ok()) {
+      name = base + std::to_string(suffix++);
+    }
+    return name;
+  }
+
+  Status TranslateFromItem(const FromItem& item) {
+    const EntityType* base_type = nested_.FindType(item.type_name);
+    if (base_type == nullptr) {
+      return NotFound("unknown entity type " + item.type_name);
+    }
+    // The tuple variable: the alias if given, else the type name. Reusing
+    // a type requires distinct aliases ("several copies of the same
+    // relation with renamed attributes", Section 1.2).
+    const std::string& var =
+        item.alias.empty() ? item.type_name : item.alias;
+    if (!base_vars_.insert(var).second) {
+      return InvalidArgument(
+          "tuple variable used twice in the From list: " + var +
+          " (give each use a distinct alias)");
+    }
+    FRO_ASSIGN_OR_RETURN(RelId base_rel,
+                         MaterializeEntityRelation(*base_type, var));
+
+    // The chain of entities introduced so far, newest last; UnNest steps
+    // contribute no entity (their values are scalars).
+    struct ChainEntity {
+      RelId rel;
+      const EntityType* type;
+    };
+    std::vector<ChainEntity> chain = {{base_rel, base_type}};
+
+    for (const ChainStep& step : item.steps) {
+      // Resolve the field against the most recent entity that has it.
+      const FieldDef::Kind wanted = step.op == ChainStep::Op::kUnnest
+                                        ? FieldDef::Kind::kSetValued
+                                        : FieldDef::Kind::kEntityRef;
+      int owner_index = -1;
+      int field_index = -1;
+      for (int i = static_cast<int>(chain.size()) - 1; i >= 0; --i) {
+        int f = chain[static_cast<size_t>(i)].type->FieldIndex(step.field);
+        if (f < 0) continue;
+        if (chain[static_cast<size_t>(i)].type->fields()[static_cast<size_t>(
+                f)].kind != wanted) {
+          return InvalidArgument(
+              "field " + step.field + " of " +
+              chain[static_cast<size_t>(i)].type->name() +
+              (step.op == ChainStep::Op::kUnnest
+                   ? " is not set-valued (required by '*')"
+                   : " is not entity-valued (required by '->')"));
+        }
+        owner_index = i;
+        field_index = f;
+        break;
+      }
+      if (owner_index < 0) {
+        return NotFound("no entity in the chain has field " + step.field);
+      }
+      const ChainEntity& owner = chain[static_cast<size_t>(owner_index)];
+      const std::string owner_name =
+          db_->catalog().RelationName(owner.rel);
+
+      if (step.op == ChainStep::Op::kUnnest) {
+        std::string rel_name = FreshRelName(owner_name + "_" + step.field);
+        FRO_ASSIGN_OR_RETURN(
+            RelId value_rel,
+            MaterializeValueOfField(*owner.type,
+                                    static_cast<size_t>(field_index),
+                                    rel_name));
+        // NestedIn(@r, @value): R.@oid = V.@owner.
+        PredicatePtr nested_in = EqCols(db_->Attr(owner_name, "@oid"),
+                                        db_->Attr(rel_name, "@owner"));
+        oj_edges_.push_back({owner.rel, value_rel, nested_in});
+        // Scalars: nothing appended to the chain.
+      } else {
+        const FieldDef& field =
+            owner.type->fields()[static_cast<size_t>(field_index)];
+        const EntityType* target = nested_.FindType(field.target_type);
+        if (target == nullptr) {
+          return NotFound("entity type " + field.target_type +
+                          " referenced by field " + field.name);
+        }
+        std::string rel_name = FreshRelName(owner_name + "_" + step.field);
+        FRO_ASSIGN_OR_RETURN(
+            RelId target_rel,
+            MaterializeEntityRelation(*target, rel_name));
+        // LinkedTo(@r, @value): R.Field@ref = D.@oid.
+        PredicatePtr linked_to =
+            EqCols(db_->Attr(owner_name, field.name + "@ref"),
+                   db_->Attr(rel_name, "@oid"));
+        oj_edges_.push_back({owner.rel, target_rel, linked_to});
+        chain.push_back({target_rel, target});
+      }
+    }
+    return Status::Ok();
+  }
+
+  Result<Operand> ResolveOperand(const WhereOperand& operand) {
+    if (!operand.is_column) return Operand::Literal(operand.literal);
+    if (base_vars_.count(operand.qualifier) == 0) {
+      return InvalidArgument(
+          "Where-list may only reference From-list base relations; "
+          "attributes obtained from '*' or '->' are not allowed: " +
+          operand.qualifier);
+    }
+    FRO_ASSIGN_OR_RETURN(AttrId attr, db_->catalog().FindAttr(
+                                          operand.qualifier, operand.field));
+    return Operand::Column(attr);
+  }
+
+  Status TranslateWhere() {
+    for (const WhereComparison& cmp : ast_.where) {
+      FRO_ASSIGN_OR_RETURN(Operand lhs, ResolveOperand(cmp.lhs));
+      FRO_ASSIGN_OR_RETURN(Operand rhs, ResolveOperand(cmp.rhs));
+      PredicatePtr pred = Predicate::Cmp(cmp.op, lhs, rhs);
+      // A conjunct referencing two distinct relations is a join edge;
+      // anything else is a restriction.
+      if (lhs.is_column() && rhs.is_column()) {
+        RelId r1 = db_->catalog().AttrRelation(lhs.attr());
+        RelId r2 = db_->catalog().AttrRelation(rhs.attr());
+        if (r1 != r2) {
+          join_edges_.push_back({r1, r2, pred});
+          continue;
+        }
+      }
+      restrictions_.push_back(pred);
+    }
+    return Status::Ok();
+  }
+
+  Result<TranslationResult> Assemble() {
+    TranslationResult result;
+    QueryGraph& graph = result.graph;
+    for (RelId rel = 0; rel < db_->num_relations(); ++rel) {
+      graph.AddNode(rel, db_->scheme(rel).ToAttrSet());
+    }
+    for (const PendingJoinEdge& edge : join_edges_) {
+      FRO_RETURN_IF_ERROR(graph.AddJoinEdge(
+          graph.NodeOf(edge.a), graph.NodeOf(edge.b), edge.pred));
+    }
+    for (const PendingOjEdge& edge : oj_edges_) {
+      FRO_RETURN_IF_ERROR(graph.AddOuterJoinEdge(
+          graph.NodeOf(edge.preserved), graph.NodeOf(edge.null_supplied),
+          edge.pred));
+    }
+    if (!graph.IsConnected(graph.AllMask())) {
+      return InvalidArgument(
+          "the From-list items are not connected by Where predicates "
+          "(Cartesian products are not supported)");
+    }
+    result.audit = CheckFreelyReorderable(graph);
+
+    std::vector<ExprPtr> trees = EnumerateIts(graph, *db_, /*limit=*/1);
+    FRO_CHECK(!trees.empty());
+    ExprPtr query = trees[0];
+    if (!restrictions_.empty()) {
+      query = Expr::Restrict(query, Predicate::And(restrictions_));
+    }
+    // An explicit Select list becomes a bag projection on top. Unlike the
+    // Where list, it may name chain-introduced relations (their values
+    // are exactly what UnNest/Link produce).
+    if (!ast_.select_columns.empty()) {
+      std::vector<AttrId> cols;
+      for (const WhereOperand& column : ast_.select_columns) {
+        FRO_ASSIGN_OR_RETURN(
+            AttrId attr,
+            db_->catalog().FindAttr(column.qualifier, column.field));
+        cols.push_back(attr);
+      }
+      query = Expr::Project(query, std::move(cols), /*dedup=*/false);
+    }
+    result.query = std::move(query);
+    result.db = std::move(db_);
+    return result;
+  }
+
+  const NestedDb& nested_;
+  const SelectQuery& ast_;
+  std::unique_ptr<Database> db_;
+  std::set<std::string> base_vars_;
+  std::vector<PendingOjEdge> oj_edges_;
+  std::vector<PendingJoinEdge> join_edges_;
+  std::vector<PredicatePtr> restrictions_;
+};
+
+}  // namespace
+
+Result<TranslationResult> TranslateQuery(const NestedDb& nested,
+                                         const SelectQuery& ast) {
+  if (ast.from.empty()) {
+    return InvalidArgument("empty From list");
+  }
+  Translator translator(nested, ast);
+  return translator.Run();
+}
+
+}  // namespace fro

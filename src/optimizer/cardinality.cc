@@ -1,0 +1,255 @@
+#include "optimizer/cardinality.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/check.h"
+
+namespace fro {
+
+namespace {
+
+double Clamp01(double x) { return std::min(1.0, std::max(0.0, x)); }
+
+constexpr double kDefaultRangeSelectivity = 1.0 / 3.0;
+
+}  // namespace
+
+double Histogram::FractionBelow(double x) const {
+  if (!populated) return kDefaultRangeSelectivity;
+  if (x <= lo) return 0.0;
+  if (x >= hi) return 1.0;
+  const double width = (hi - lo) / kBuckets;
+  double below = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    const double bucket_lo = lo + b * width;
+    const double bucket_hi = bucket_lo + width;
+    if (x >= bucket_hi) {
+      below += fractions[b];
+    } else {
+      below += fractions[b] * (x - bucket_lo) / width;
+      break;
+    }
+  }
+  return Clamp01(below);
+}
+
+CardinalityEstimator::CardinalityEstimator(const Database& db) : db_(db) {
+  for (RelId rel = 0; rel < db.num_relations(); ++rel) {
+    const Relation& relation = db.relation(rel);
+    const Scheme& scheme = relation.scheme();
+    for (size_t c = 0; c < scheme.size(); ++c) {
+      std::set<Value> distinct;
+      size_t nulls = 0;
+      std::vector<double> numeric_values;
+      for (const Tuple& row : relation.rows()) {
+        const Value& v = row.value(c);
+        if (v.is_null()) {
+          ++nulls;
+        } else {
+          distinct.insert(v);
+          if (v.kind() == Value::Kind::kInt ||
+              v.kind() == Value::Kind::kDouble) {
+            numeric_values.push_back(v.NumericValue());
+          }
+        }
+      }
+      AttrStats stats;
+      stats.distinct = std::max<double>(1.0, distinct.size());
+      stats.null_fraction =
+          relation.NumRows() == 0
+              ? 0.0
+              : static_cast<double>(nulls) / relation.NumRows();
+      if (numeric_values.size() >= 2) {
+        auto [lo_it, hi_it] =
+            std::minmax_element(numeric_values.begin(),
+                                numeric_values.end());
+        Histogram& h = stats.histogram;
+        h.lo = *lo_it;
+        h.hi = *hi_it;
+        if (h.hi > h.lo) {
+          const double width = (h.hi - h.lo) / Histogram::kBuckets;
+          for (double v : numeric_values) {
+            int bucket = static_cast<int>((v - h.lo) / width);
+            bucket = std::min(bucket, Histogram::kBuckets - 1);
+            h.fractions[bucket] += 1.0;
+          }
+          for (double& f : h.fractions) f /= numeric_values.size();
+          h.populated = true;
+        }
+      }
+      attr_stats_[scheme.col(c)] = stats;
+    }
+  }
+}
+
+double CardinalityEstimator::BaseRows(RelId rel) const {
+  return static_cast<double>(db_.relation(rel).NumRows());
+}
+
+const AttrStats& CardinalityEstimator::StatsOf(AttrId attr) const {
+  static const AttrStats kDefault;
+  auto it = attr_stats_.find(attr);
+  return it == attr_stats_.end() ? kDefault : it->second;
+}
+
+double CardinalityEstimator::Selectivity(const PredicatePtr& pred) const {
+  if (pred == nullptr) return 1.0;
+  switch (pred->kind()) {
+    case Predicate::Kind::kConst:
+      return pred->const_value() ? 1.0 : 0.0;
+    case Predicate::Kind::kCmp: {
+      const Operand& a = pred->lhs();
+      const Operand& b = pred->rhs();
+      if (pred->cmp_op() == CmpOp::kEq) {
+        if (a.is_column() && b.is_column()) {
+          return 1.0 / std::max(StatsOf(a.attr()).distinct,
+                                StatsOf(b.attr()).distinct);
+        }
+        if (a.is_column()) return 1.0 / StatsOf(a.attr()).distinct;
+        if (b.is_column()) return 1.0 / StatsOf(b.attr()).distinct;
+        return 0.5;
+      }
+      if (pred->cmp_op() == CmpOp::kNe) {
+        // Complement of the equality estimate.
+        PredicatePtr eq = Predicate::Cmp(CmpOp::kEq, a, b);
+        return Clamp01(1.0 - Selectivity(eq));
+      }
+      // Range comparison: use the column's histogram when one side is a
+      // numeric literal.
+      const bool a_col = a.is_column();
+      const bool b_col = b.is_column();
+      if (a_col != b_col) {
+        const Operand& col = a_col ? a : b;
+        const Operand& lit = a_col ? b : a;
+        if (!lit.literal().is_null() &&
+            (lit.literal().kind() == Value::Kind::kInt ||
+             lit.literal().kind() == Value::Kind::kDouble)) {
+          const Histogram& h = StatsOf(col.attr()).histogram;
+          if (h.populated) {
+            const double x = lit.literal().NumericValue();
+            double below = h.FractionBelow(x);
+            // Normalize the operator to "col OP lit".
+            CmpOp op = pred->cmp_op();
+            if (!a_col) {
+              // lit OP col  ==  col (flipped OP) lit.
+              switch (op) {
+                case CmpOp::kLt:
+                  op = CmpOp::kGt;
+                  break;
+                case CmpOp::kLe:
+                  op = CmpOp::kGe;
+                  break;
+                case CmpOp::kGt:
+                  op = CmpOp::kLt;
+                  break;
+                case CmpOp::kGe:
+                  op = CmpOp::kLe;
+                  break;
+                default:
+                  break;
+              }
+            }
+            const double eq = 1.0 / StatsOf(col.attr()).distinct;
+            const double non_null =
+                1.0 - StatsOf(col.attr()).null_fraction;
+            switch (op) {
+              case CmpOp::kLt:
+                return Clamp01(below) * non_null;
+              case CmpOp::kLe:
+                return Clamp01(below + eq) * non_null;
+              case CmpOp::kGt:
+                return Clamp01(1.0 - below - eq) * non_null;
+              case CmpOp::kGe:
+                return Clamp01(1.0 - below) * non_null;
+              default:
+                break;
+            }
+          }
+        }
+      }
+      return kDefaultRangeSelectivity;
+    }
+    case Predicate::Kind::kAnd: {
+      double s = 1.0;
+      for (const PredicatePtr& child : pred->children()) {
+        s *= Selectivity(child);
+      }
+      return s;
+    }
+    case Predicate::Kind::kOr: {
+      double not_any = 1.0;
+      for (const PredicatePtr& child : pred->children()) {
+        not_any *= 1.0 - Selectivity(child);
+      }
+      return Clamp01(1.0 - not_any);
+    }
+    case Predicate::Kind::kNot:
+      return Clamp01(1.0 - Selectivity(pred->children()[0]));
+    case Predicate::Kind::kIsNull: {
+      const Operand& op = pred->operand();
+      if (!op.is_column()) return op.literal().is_null() ? 1.0 : 0.0;
+      return StatsOf(op.attr()).null_fraction;
+    }
+  }
+  return 0.5;
+}
+
+double CardinalityEstimator::JoinLikeCard(OpKind kind, bool preserves_left,
+                                          const PredicatePtr& pred,
+                                          double left_rows,
+                                          double right_rows) const {
+  const double sel = Selectivity(pred);
+  const double join_rows = left_rows * right_rows * sel;
+  switch (kind) {
+    case OpKind::kJoin:
+      return join_rows;
+    case OpKind::kOuterJoin:
+    case OpKind::kGoj: {
+      const double preserved = preserves_left ? left_rows : right_rows;
+      const double other = preserves_left ? right_rows : left_rows;
+      // Probability a preserved tuple finds no partner, under
+      // independence.
+      const double p_unmatched = Clamp01(1.0 - sel * other);
+      return join_rows + preserved * p_unmatched;
+    }
+    case OpKind::kAntijoin: {
+      const double kept = preserves_left ? left_rows : right_rows;
+      const double other = preserves_left ? right_rows : left_rows;
+      return kept * Clamp01(1.0 - sel * other);
+    }
+    case OpKind::kSemijoin: {
+      const double kept = preserves_left ? left_rows : right_rows;
+      const double other = preserves_left ? right_rows : left_rows;
+      return kept * Clamp01(sel * other);
+    }
+    default:
+      FRO_CHECK(false) << "JoinLikeCard on " << OpKindName(kind);
+  }
+  return 0;
+}
+
+double CardinalityEstimator::Estimate(const ExprPtr& expr) const {
+  switch (expr->kind()) {
+    case OpKind::kLeaf:
+      return BaseRows(expr->rel());
+    case OpKind::kRestrict:
+      return Estimate(expr->left()) * Selectivity(expr->pred());
+    case OpKind::kProject: {
+      double input = Estimate(expr->left());
+      if (!expr->project_dedup()) return input;
+      double distinct = 1.0;
+      for (AttrId attr : expr->project_cols()) {
+        distinct *= StatsOf(attr).distinct;
+      }
+      return std::min(input, distinct);
+    }
+    case OpKind::kUnion:
+      return Estimate(expr->left()) + Estimate(expr->right());
+    default:
+      return JoinLikeCard(expr->kind(), expr->preserves_left(), expr->pred(),
+                          Estimate(expr->left()), Estimate(expr->right()));
+  }
+}
+
+}  // namespace fro

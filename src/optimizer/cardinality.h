@@ -1,0 +1,67 @@
+// Cardinality estimation in the System R tradition: per-attribute
+// distinct-value and null-fraction statistics collected from the database,
+// independence-assumption selectivities, and recursive cardinality
+// estimates for every operator the algebra supports.
+
+#ifndef FRO_OPTIMIZER_CARDINALITY_H_
+#define FRO_OPTIMIZER_CARDINALITY_H_
+
+#include <unordered_map>
+
+#include "algebra/expr.h"
+#include "relational/database.h"
+
+namespace fro {
+
+/// Equi-width histogram over an attribute's numeric values, used for
+/// range-predicate selectivity (col < literal and friends).
+struct Histogram {
+  static constexpr int kBuckets = 8;
+  double lo = 0;
+  double hi = 0;
+  /// Fraction of (numeric, non-null) values per bucket; sums to 1 when
+  /// populated.
+  double fractions[kBuckets] = {0};
+  bool populated = false;
+
+  /// Estimated fraction of values strictly below `x` (linear
+  /// interpolation within the containing bucket).
+  double FractionBelow(double x) const;
+};
+
+/// Per-attribute statistics gathered by scanning a relation once.
+struct AttrStats {
+  double distinct = 1.0;       // non-null distinct values (>= 1)
+  double null_fraction = 0.0;  // fraction of null values
+  Histogram histogram;         // numeric attributes only
+};
+
+class CardinalityEstimator {
+ public:
+  /// Scans every relation of `db` to collect statistics. The database must
+  /// outlive the estimator.
+  explicit CardinalityEstimator(const Database& db);
+
+  double BaseRows(RelId rel) const;
+  const AttrStats& StatsOf(AttrId attr) const;
+
+  /// Estimated fraction of candidate tuples satisfying `pred` (in [0, 1]).
+  double Selectivity(const PredicatePtr& pred) const;
+
+  /// Estimated output cardinality of `expr`.
+  double Estimate(const ExprPtr& expr) const;
+
+  /// Cardinality of a join-like operator given operand estimates; used by
+  /// the DP optimizer to avoid re-walking subtrees.
+  double JoinLikeCard(OpKind kind, bool preserves_left,
+                      const PredicatePtr& pred, double left_rows,
+                      double right_rows) const;
+
+ private:
+  const Database& db_;
+  std::unordered_map<AttrId, AttrStats> attr_stats_;
+};
+
+}  // namespace fro
+
+#endif  // FRO_OPTIMIZER_CARDINALITY_H_

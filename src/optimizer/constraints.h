@@ -1,0 +1,74 @@
+// Referential-integrity constraints and the Section 4 "legal but
+// dangerous" rewrite:
+//
+//   "suppose we know that some outerjoin operation yields the same result
+//    as a regular join ... a referential integrity constraint could
+//    supply this information. It is legal to replace the outerjoin
+//    operator by a join operation ... However, the resulting query may
+//    not be freely reorderable."
+//
+// A foreign key `referencing -> referenced` asserts that every
+// referencing value is non-null and appears among the referenced values,
+// so an equi-outerjoin preserving the referencing side pads nothing and
+// equals the join. The rewrite reports whether reorderability survived —
+// the caveat the paper closes Section 4 with.
+
+#ifndef FRO_OPTIMIZER_CONSTRAINTS_H_
+#define FRO_OPTIMIZER_CONSTRAINTS_H_
+
+#include <vector>
+
+#include "algebra/expr.h"
+#include "common/status.h"
+#include "graph/nice.h"
+#include "relational/database.h"
+
+namespace fro {
+
+struct ForeignKey {
+  /// Column whose every value must be non-null and present in
+  /// `referenced`.
+  AttrId referencing;
+  AttrId referenced;
+};
+
+/// A set of declared foreign keys.
+class ConstraintSet {
+ public:
+  void AddForeignKey(AttrId referencing, AttrId referenced) {
+    keys_.push_back({referencing, referenced});
+  }
+  const std::vector<ForeignKey>& keys() const { return keys_; }
+
+  /// True if `referencing -> referenced` is declared.
+  bool Covers(AttrId referencing, AttrId referenced) const;
+
+  /// Checks every declared key against the data; fails with a description
+  /// of the first violation.
+  Status Validate(const Database& db) const;
+
+ private:
+  std::vector<ForeignKey> keys_;
+};
+
+struct ConstraintSimplifyResult {
+  ExprPtr expr;
+  /// Outerjoins replaced by regular joins.
+  int converted = 0;
+  /// Whether the rewritten query's graph is still freely reorderable —
+  /// false demonstrates the paper's caveat.
+  bool still_freely_reorderable = false;
+};
+
+/// Replaces outerjoins guaranteed lossless by a foreign key with regular
+/// joins. An outerjoin converts when its predicate is a single equality
+/// `referencing = referenced` covered by `constraints`, with the
+/// referencing column on the preserved side, and no outerjoin *inside*
+/// the preserved operand can pad the referencing column.
+Result<ConstraintSimplifyResult> SimplifyWithConstraints(
+    const ExprPtr& expr, const ConstraintSet& constraints,
+    const Database& db);
+
+}  // namespace fro
+
+#endif  // FRO_OPTIMIZER_CONSTRAINTS_H_

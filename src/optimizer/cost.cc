@@ -1,0 +1,62 @@
+#include "optimizer/cost.h"
+
+#include "common/check.h"
+
+namespace fro {
+
+double CostModel::NodeCost(OpKind kind, bool preserves_left,
+                           double left_rows, bool left_is_leaf,
+                           double right_rows, bool right_is_leaf,
+                           double out_rows) const {
+  switch (kind_) {
+    case CostKind::kCout:
+      return out_rows;
+    case CostKind::kBaseRetrievals: {
+      // Pick the driving (outer) input: the preserved side for outerjoins
+      // (the executor must preserve it), the cheaper side for joins.
+      bool outer_is_left;
+      if (kind == OpKind::kOuterJoin || kind == OpKind::kGoj ||
+          kind == OpKind::kAntijoin || kind == OpKind::kSemijoin) {
+        outer_is_left = preserves_left;
+      } else {
+        outer_is_left = left_rows <= right_rows;
+      }
+      const double outer_rows = outer_is_left ? left_rows : right_rows;
+      const bool outer_leaf = outer_is_left ? left_is_leaf : right_is_leaf;
+      const bool inner_leaf = outer_is_left ? right_is_leaf : left_is_leaf;
+      // Outer side: scanned in full. Inner side: matched rows fetched via
+      // an index probe (approximated by the output cardinality). Only
+      // ground-relation retrievals count.
+      double cost = 0;
+      if (outer_leaf) cost += outer_rows;
+      if (inner_leaf) cost += out_rows;
+      return cost;
+    }
+  }
+  FRO_CHECK(false);
+  return 0;
+}
+
+double CostModel::PlanCost(const ExprPtr& expr) const {
+  switch (expr->kind()) {
+    case OpKind::kLeaf:
+      return 0;
+    case OpKind::kRestrict:
+    case OpKind::kProject:
+      // Free in both models (pipelined over their input).
+      return PlanCost(expr->left());
+    case OpKind::kUnion:
+      return PlanCost(expr->left()) + PlanCost(expr->right());
+    default: {
+      const double left_rows = estimator_.Estimate(expr->left());
+      const double right_rows = estimator_.Estimate(expr->right());
+      const double out_rows = estimator_.Estimate(expr);
+      return PlanCost(expr->left()) + PlanCost(expr->right()) +
+             NodeCost(expr->kind(), expr->preserves_left(), left_rows,
+                      expr->left()->is_leaf(), right_rows,
+                      expr->right()->is_leaf(), out_rows);
+    }
+  }
+}
+
+}  // namespace fro

@@ -1,0 +1,49 @@
+// Plan cost models.
+//
+// Two models are provided:
+//  * kCout — the classic sum of intermediate result cardinalities. Robust
+//    and algorithm-agnostic; the default.
+//  * kBaseRetrievals — the accounting of the paper's Example 1: with key
+//    indexes, a join-like operator "retrieves" the rows of its outer
+//    (driving) input plus the matched rows probed from its inner input,
+//    and only ground-relation retrievals are charged. Under this model
+//    Example 1's naive order costs 2N+1 and the reordered plan costs 3.
+
+#ifndef FRO_OPTIMIZER_COST_H_
+#define FRO_OPTIMIZER_COST_H_
+
+#include "optimizer/cardinality.h"
+
+namespace fro {
+
+enum class CostKind : uint8_t {
+  kCout,
+  kBaseRetrievals,
+};
+
+class CostModel {
+ public:
+  CostModel(const Database& db, CostKind kind)
+      : estimator_(db), kind_(kind) {}
+
+  CostKind kind() const { return kind_; }
+  const CardinalityEstimator& estimator() const { return estimator_; }
+
+  /// Total estimated cost of a plan tree.
+  double PlanCost(const ExprPtr& expr) const;
+
+  /// Incremental cost of one join-like operator, given operand
+  /// cardinalities and whether each operand is a ground relation; used by
+  /// the DP search. `out_rows` is the operator's estimated output.
+  double NodeCost(OpKind kind, bool preserves_left, double left_rows,
+                  bool left_is_leaf, double right_rows, bool right_is_leaf,
+                  double out_rows) const;
+
+ private:
+  CardinalityEstimator estimator_;
+  CostKind kind_;
+};
+
+}  // namespace fro
+
+#endif  // FRO_OPTIMIZER_COST_H_

@@ -1,0 +1,99 @@
+#include "optimizer/dp.h"
+
+#include <bit>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "enumerate/cuts.h"
+
+namespace fro {
+
+namespace {
+
+struct Entry {
+  ExprPtr plan;
+  double cost = 0;
+  double rows = 0;
+};
+
+}  // namespace
+
+Result<PlanResult> OptimizeReorderable(const QueryGraph& graph,
+                                       const Database& db,
+                                       const CostModel& cost_model,
+                                       bool maximize) {
+  if (graph.num_nodes() == 0) {
+    return InvalidArgument("empty query graph");
+  }
+  const uint64_t all = graph.AllMask();
+  if (!graph.IsConnected(all)) {
+    return FailedPrecondition("query graph is not connected");
+  }
+  const CardinalityEstimator& estimator = cost_model.estimator();
+
+  std::unordered_map<uint64_t, Entry> best;
+  uint64_t considered = 0;
+
+  // Singletons.
+  for (int node = 0; node < graph.num_nodes(); ++node) {
+    Entry entry;
+    entry.plan = Expr::Leaf(graph.node_rel(node), db);
+    entry.cost = 0;
+    entry.rows = estimator.BaseRows(graph.node_rel(node));
+    best.emplace(1ULL << node, std::move(entry));
+  }
+
+  // Enumerate connected masks in increasing popcount order by iterating
+  // all masks ascending (any submask is numerically smaller, so its entry
+  // exists by the time it is needed).
+  for (uint64_t mask = 1; mask <= all; ++mask) {
+    if (std::popcount(mask) < 2) continue;
+    if ((mask & all) != mask) continue;
+    if (!graph.IsConnected(mask)) continue;
+    Entry chosen;
+    bool have = false;
+    ForEachCut(graph, mask, [&](const Cut& cut) {
+      auto lit = best.find(cut.left);
+      auto rit = best.find(cut.right);
+      if (lit == best.end() || rit == best.end()) return true;
+      const Entry& lhs = lit->second;
+      const Entry& rhs = rit->second;
+      OpKind kind = cut.outerjoin ? OpKind::kOuterJoin : OpKind::kJoin;
+      double rows = estimator.JoinLikeCard(kind, cut.preserves_left,
+                                           cut.pred, lhs.rows, rhs.rows);
+      double cost =
+          lhs.cost + rhs.cost +
+          cost_model.NodeCost(kind, cut.preserves_left, lhs.rows,
+                              lhs.plan->is_leaf(), rhs.rows,
+                              rhs.plan->is_leaf(), rows);
+      ++considered;
+      const bool better =
+          !have || (maximize ? cost > chosen.cost : cost < chosen.cost);
+      if (better) {
+        Entry entry;
+        entry.plan = cut.outerjoin
+                         ? Expr::OuterJoin(lhs.plan, rhs.plan, cut.pred,
+                                           cut.preserves_left)
+                         : Expr::Join(lhs.plan, rhs.plan, cut.pred);
+        entry.cost = cost;
+        entry.rows = rows;
+        chosen = std::move(entry);
+        have = true;
+      }
+      return true;
+    });
+    if (have) best.emplace(mask, std::move(chosen));
+  }
+
+  auto it = best.find(all);
+  if (it == best.end()) {
+    return Internal("no implementing tree found for a connected graph");
+  }
+  PlanResult result;
+  result.plan = it->second.plan;
+  result.cost = it->second.cost;
+  result.plans_considered = considered;
+  return result;
+}
+
+}  // namespace fro

@@ -1,0 +1,39 @@
+// Dynamic-programming plan search over connected subgraphs for
+// freely-reorderable queries (paper Section 6.1).
+//
+// "Optimizers already implement a query graph by generating expression
+//  trees with different associations of the graph edges; now it must fill
+//  in Join or else Outerjoin (preserving the operator direction)."
+//
+// Theorem 1 guarantees every implementing tree computes the same result,
+// so the search is pure cost minimization: best plan per connected node
+// subset, combined over realizable cuts (the DPsub strategy).
+
+#ifndef FRO_OPTIMIZER_DP_H_
+#define FRO_OPTIMIZER_DP_H_
+
+#include "common/status.h"
+#include "graph/query_graph.h"
+#include "optimizer/cost.h"
+
+namespace fro {
+
+struct PlanResult {
+  ExprPtr plan;
+  double cost = 0;
+  /// Candidate (sub)plans examined during the search.
+  uint64_t plans_considered = 0;
+};
+
+/// Finds the cheapest (or, with `maximize`, the costliest) implementing
+/// tree of `graph` under `cost_model`. The graph must be connected; the
+/// caller is responsible for having verified free reorderability (the
+/// plan is otherwise not guaranteed equivalent to the original query).
+Result<PlanResult> OptimizeReorderable(const QueryGraph& graph,
+                                       const Database& db,
+                                       const CostModel& cost_model,
+                                       bool maximize = false);
+
+}  // namespace fro
+
+#endif  // FRO_OPTIMIZER_DP_H_

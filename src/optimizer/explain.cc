@@ -1,0 +1,139 @@
+#include "optimizer/explain.h"
+
+#include "common/str_util.h"
+
+namespace fro {
+
+namespace {
+
+std::string NodeLabel(const Expr& node, const Database& db,
+                      bool with_pred) {
+  const Catalog* catalog = &db.catalog();
+  switch (node.kind()) {
+    case OpKind::kLeaf:
+      return "Scan " + catalog->RelationName(node.rel());
+    case OpKind::kRestrict:
+      return "Restrict [" + node.pred()->ToString(catalog) + "]";
+    case OpKind::kProject: {
+      std::string cols;
+      for (size_t i = 0; i < node.project_cols().size(); ++i) {
+        if (i > 0) cols += ", ";
+        cols += catalog->AttrName(node.project_cols()[i]);
+      }
+      return std::string("Project") + (node.project_dedup() ? " distinct" : "") +
+             " [" + cols + "]";
+    }
+    case OpKind::kUnion:
+      return "Union (padded)";
+    default: {
+      std::string label = OpKindName(node.kind());
+      if (node.kind() == OpKind::kOuterJoin) {
+        label += node.preserves_left() ? " (preserves left)"
+                                       : " (preserves right)";
+      } else if (node.kind() == OpKind::kAntijoin ||
+                 node.kind() == OpKind::kSemijoin) {
+        label += node.preserves_left() ? " (keeps left)" : " (keeps right)";
+      } else if (node.kind() == OpKind::kGoj) {
+        label += " [S = {";
+        for (size_t i = 0; i < node.goj_subset().size(); ++i) {
+          if (i > 0) label += ", ";
+          label += catalog->AttrName(node.goj_subset().ids()[i]);
+        }
+        label += "}]";
+      }
+      if (with_pred && node.pred() != nullptr) {
+        label += " [" + node.pred()->ToString(catalog) + "]";
+      }
+      return label;
+    }
+  }
+}
+
+void ExplainNode(const ExprPtr& node, const Database& db,
+                 const CardinalityEstimator& estimator,
+                 const ExplainOptions& options, int depth,
+                 std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  out->append(NodeLabel(*node, db, options.show_predicates));
+  if (options.show_cardinalities) {
+    out->append(StrFormat("  ~%.6g rows", estimator.Estimate(node)));
+  }
+  out->append("\n");
+  if (node->left() != nullptr) {
+    ExplainNode(node->left(), db, estimator, options, depth + 1, out);
+  }
+  if (node->right() != nullptr) {
+    ExplainNode(node->right(), db, estimator, options, depth + 1, out);
+  }
+}
+
+void CollectDotNodes(const ExprPtr& node, const Database& db, int* counter,
+                     std::string* out, int* my_id) {
+  *my_id = (*counter)++;
+  std::string label = NodeLabel(*node, db, /*with_pred=*/true);
+  // Escape double quotes for DOT.
+  std::string escaped;
+  for (char c : label) {
+    if (c == '"') escaped += "\\\"";
+    else escaped += c;
+  }
+  out->append(StrFormat("  n%d [label=\"%s\"];\n", *my_id, escaped.c_str()));
+  if (node->left() != nullptr) {
+    int child;
+    CollectDotNodes(node->left(), db, counter, out, &child);
+    out->append(StrFormat("  n%d -> n%d;\n", *my_id, child));
+  }
+  if (node->right() != nullptr) {
+    int child;
+    CollectDotNodes(node->right(), db, counter, out, &child);
+    out->append(StrFormat("  n%d -> n%d;\n", *my_id, child));
+  }
+}
+
+}  // namespace
+
+std::string Explain(const ExprPtr& expr, const Database& db,
+                    const ExplainOptions& options) {
+  CardinalityEstimator estimator(db);
+  std::string out;
+  ExplainNode(expr, db, estimator, options, 0, &out);
+  return out;
+}
+
+std::string ExprToDot(const ExprPtr& expr, const Database& db) {
+  std::string out = "digraph plan {\n  node [shape=box];\n";
+  int counter = 0;
+  int root;
+  CollectDotNodes(expr, db, &counter, &out, &root);
+  out += "}\n";
+  return out;
+}
+
+std::string GraphToDot(const QueryGraph& graph, const Database& db) {
+  const Catalog& catalog = db.catalog();
+  // Mixed digraph: join edges rendered without arrowheads.
+  std::string out = "digraph query_graph {\n  node [shape=ellipse];\n";
+  for (int i = 0; i < graph.num_nodes(); ++i) {
+    out += StrFormat("  n%d [label=\"%s\"];\n", i,
+                     catalog.RelationName(graph.node_rel(i)).c_str());
+  }
+  for (const GraphEdge& e : graph.edges()) {
+    std::string label = e.pred != nullptr ? e.pred->ToString(&catalog) : "";
+    std::string escaped;
+    for (char c : label) {
+      if (c == '"') escaped += "\\\"";
+      else escaped += c;
+    }
+    if (e.directed) {
+      out += StrFormat("  n%d -> n%d [label=\"%s\"];\n", e.u, e.v,
+                       escaped.c_str());
+    } else {
+      out += StrFormat("  n%d -> n%d [label=\"%s\", dir=none];\n", e.u, e.v,
+                       escaped.c_str());
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace fro

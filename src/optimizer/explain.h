@@ -1,0 +1,44 @@
+// Plan explanation: tree-rendered operator plans annotated with
+// estimated cardinalities, plus Graphviz DOT output for expression trees
+// and query graphs (the paper's Fig. 1 shows exactly these two views of
+// a query).
+
+#ifndef FRO_OPTIMIZER_EXPLAIN_H_
+#define FRO_OPTIMIZER_EXPLAIN_H_
+
+#include <string>
+
+#include "algebra/expr.h"
+#include "graph/query_graph.h"
+#include "optimizer/cardinality.h"
+
+namespace fro {
+
+struct ExplainOptions {
+  /// Annotate each operator with its estimated output cardinality.
+  bool show_cardinalities = true;
+  /// Show each operator's predicate.
+  bool show_predicates = true;
+};
+
+/// Multi-line, indentation-structured rendering, e.g.:
+///
+///   OuterJoin -> [ORDERS.id=SHIPMENT.order_id]  ~3 rows
+///     Join [CUSTOMER.id=ORDERS.cust_id]  ~3 rows
+///       Scan CUSTOMER  ~2 rows
+///       Scan ORDERS  ~3 rows
+///     Scan SHIPMENT  ~2 rows
+std::string Explain(const ExprPtr& expr, const Database& db,
+                    const ExplainOptions& options = ExplainOptions());
+
+/// Graphviz DOT for an expression tree.
+std::string ExprToDot(const ExprPtr& expr, const Database& db);
+
+/// Graphviz DOT for a query graph: join edges undirected, outerjoin
+/// edges directed toward the null-supplied relation (as in the paper's
+/// figures).
+std::string GraphToDot(const QueryGraph& graph, const Database& db);
+
+}  // namespace fro
+
+#endif  // FRO_OPTIMIZER_EXPLAIN_H_

@@ -1,0 +1,128 @@
+#include "optimizer/goj_rewrite.h"
+
+#include "algebra/transform.h"
+
+namespace fro {
+
+Result<ExprPtr> ApplyIdentity15(const ExprPtr& expr) {
+  // Root must be X -> (Y - Z), left preserved.
+  if (expr->kind() != OpKind::kOuterJoin || !expr->preserves_left()) {
+    return FailedPrecondition("root is not a left-preserving outerjoin");
+  }
+  const ExprPtr& x = expr->left();
+  const ExprPtr& inner = expr->right();
+  if (inner->kind() != OpKind::kJoin) {
+    return FailedPrecondition("null-supplied operand is not a join");
+  }
+  const ExprPtr& y = inner->left();
+  const ExprPtr& z = inner->right();
+  // P_oj must reference only X and Y (the form P_xy).
+  if (!x->attrs().Union(y->attrs()).ContainsAll(expr->pred()->References())) {
+    return FailedPrecondition(
+        "outerjoin predicate references the join's right operand");
+  }
+  // (X OJ Y) GOJ[sch(X)] Z on the join predicate.
+  ExprPtr oj = Expr::OuterJoin(x, y, expr->pred(), /*preserves_left=*/true);
+  return Expr::Goj(oj, z, inner->pred(), x->attrs());
+}
+
+Result<ExprPtr> ApplyIdentity16(const ExprPtr& expr) {
+  // Root must be X - (Y GOJ[S] Z).
+  if (expr->kind() != OpKind::kJoin) {
+    return FailedPrecondition("root is not a join");
+  }
+  const ExprPtr& x = expr->left();
+  const ExprPtr& inner = expr->right();
+  if (inner->kind() != OpKind::kGoj) {
+    return FailedPrecondition("right operand is not a GOJ");
+  }
+  const ExprPtr& y = inner->left();
+  const ExprPtr& z = inner->right();
+  const AttrSet& subset = inner->goj_subset();
+  // S must lie within sch(Y) and cover the X-Y join attributes on Y's
+  // side; the join predicate must not touch Z.
+  if (!y->attrs().ContainsAll(subset)) {
+    return FailedPrecondition("GOJ subset exceeds sch(Y)");
+  }
+  AttrSet join_refs = expr->pred()->References();
+  if (!x->attrs().Union(y->attrs()).ContainsAll(join_refs)) {
+    return FailedPrecondition("join predicate references Z");
+  }
+  if (!subset.ContainsAll(join_refs.Intersect(y->attrs()))) {
+    return FailedPrecondition(
+        "GOJ subset does not contain all X-Y join attributes");
+  }
+  ExprPtr join = Expr::Join(x, y, expr->pred());
+  return Expr::Goj(join, z, inner->pred(), subset.Union(x->attrs()));
+}
+
+ExprPtr LeftDeepenWithGoj(const ExprPtr& expr, int* rewrites) {
+  if (expr->is_leaf() || !expr->is_binary()) return expr;
+  // First normalize the right spine below this node so identity 16 can
+  // see GOJs produced deeper in the tree.
+  ExprPtr node = expr;
+  ExprPtr new_right = LeftDeepenWithGoj(node->right(), rewrites);
+  if (new_right != node->right()) {
+    switch (node->kind()) {
+      case OpKind::kJoin:
+        node = Expr::Join(node->left(), new_right, node->pred());
+        break;
+      case OpKind::kOuterJoin:
+        node = Expr::OuterJoin(node->left(), new_right, node->pred(),
+                               node->preserves_left());
+        break;
+      default:
+        return expr;  // other operators: leave untouched
+    }
+  }
+  // Then pull the rightmost operand up while possible: first by the
+  // ordinary result-preserving reassociations (identities 1, 11-13 — the
+  // right-to-left basic transform), then by the GOJ identities 15/16.
+  for (;;) {
+    BtSite site{BtSite::Kind::kAssocRL, {}};
+    if (IsApplicable(node, site) && ClassifyBt(node, site).IsPreserving()) {
+      Result<ExprPtr> reassoc = ApplyBt(node, site);
+      FRO_CHECK(reassoc.ok());
+      node = *reassoc;
+      if (rewrites != nullptr) ++*rewrites;
+      continue;
+    }
+    Result<ExprPtr> r15 = ApplyIdentity15(node);
+    if (r15.ok()) {
+      node = *r15;
+      if (rewrites != nullptr) ++*rewrites;
+      continue;
+    }
+    Result<ExprPtr> r16 = ApplyIdentity16(node);
+    if (r16.ok()) {
+      node = *r16;
+      if (rewrites != nullptr) ++*rewrites;
+      continue;
+    }
+    break;
+  }
+  // Finally recurse into the (possibly new) left child.
+  if (!node->is_leaf() && node->is_binary()) {
+    ExprPtr new_left = LeftDeepenWithGoj(node->left(), rewrites);
+    if (new_left != node->left()) {
+      switch (node->kind()) {
+        case OpKind::kJoin:
+          node = Expr::Join(new_left, node->right(), node->pred());
+          break;
+        case OpKind::kOuterJoin:
+          node = Expr::OuterJoin(new_left, node->right(), node->pred(),
+                                 node->preserves_left());
+          break;
+        case OpKind::kGoj:
+          node = Expr::Goj(new_left, node->right(), node->pred(),
+                           node->goj_subset());
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  return node;
+}
+
+}  // namespace fro

@@ -1,0 +1,40 @@
+// Generalized-outerjoin rewrites (paper Section 6.2, identities 15-16).
+//
+// These rewrites reassociate queries that are NOT freely reorderable —
+// e.g. Example 2's X -> (Y - Z) — into left-deep pipelines by introducing
+// GOJ operators:
+//
+//   identity 15:  X OJ (Y JN Z)    =  (X OJ Y) GOJ[sch(X)] Z
+//   identity 16:  X JN (Y GOJ[S] Z) = (X JN Y) GOJ[S u sch(X)] Z,
+//                 if S is a subset of sch(Y) containing all X-Y join
+//                 attributes.
+//
+// Preconditions (from the paper): relations are duplicate free, predicates
+// are strong, and each predicate is of the form P_xy / P_yz (references
+// exactly the adjacent pair).
+
+#ifndef FRO_OPTIMIZER_GOJ_REWRITE_H_
+#define FRO_OPTIMIZER_GOJ_REWRITE_H_
+
+#include "algebra/expr.h"
+#include "common/status.h"
+
+namespace fro {
+
+/// Applies identity 15 at the root. Fails if the root is not
+/// `X -> (Y - Z)` with P_oj referencing only X and Y.
+Result<ExprPtr> ApplyIdentity15(const ExprPtr& expr);
+
+/// Applies identity 16 at the root. Fails if the root is not
+/// `X - (Y GOJ[S] Z)` with the stated subset conditions.
+Result<ExprPtr> ApplyIdentity16(const ExprPtr& expr);
+
+/// Repeatedly applies identities 15/16 top-down to turn a right-deep
+/// join/outerjoin spine into a left-deep chain ending in GOJ operators.
+/// Returns the rewritten tree; `rewrites` (if non-null) counts
+/// applications.
+ExprPtr LeftDeepenWithGoj(const ExprPtr& expr, int* rewrites);
+
+}  // namespace fro
+
+#endif  // FRO_OPTIMIZER_GOJ_REWRITE_H_

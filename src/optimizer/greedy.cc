@@ -1,0 +1,96 @@
+#include "optimizer/greedy.h"
+
+#include <vector>
+
+#include "common/check.h"
+#include "enumerate/cuts.h"
+
+namespace fro {
+
+Result<PlanResult> OptimizeGreedy(const QueryGraph& graph,
+                                  const Database& db,
+                                  const CostModel& cost_model) {
+  if (graph.num_nodes() == 0) {
+    return InvalidArgument("empty query graph");
+  }
+  if (!graph.IsConnected(graph.AllMask())) {
+    return FailedPrecondition("query graph is not connected");
+  }
+  const CardinalityEstimator& estimator = cost_model.estimator();
+
+  struct Component {
+    uint64_t mask;
+    ExprPtr plan;
+    double rows;
+    double cost;
+  };
+  std::vector<Component> components;
+  components.reserve(static_cast<size_t>(graph.num_nodes()));
+  for (int node = 0; node < graph.num_nodes(); ++node) {
+    components.push_back({1ULL << node,
+                          Expr::Leaf(graph.node_rel(node), db),
+                          estimator.BaseRows(graph.node_rel(node)), 0.0});
+  }
+
+  uint64_t considered = 0;
+  while (components.size() > 1) {
+    double best_rows = 0;
+    double best_cost = 0;
+    int best_i = -1, best_j = -1;
+    Cut best_cut;
+    for (size_t i = 0; i < components.size(); ++i) {
+      for (size_t j = i + 1; j < components.size(); ++j) {
+        Cut cut;
+        if (!MakeCut(graph, components[i].mask, components[j].mask, &cut)) {
+          continue;
+        }
+        ++considered;
+        // Map canonical cut sides back to component order.
+        const Component& lhs =
+            cut.left == components[i].mask ? components[i] : components[j];
+        const Component& rhs =
+            cut.left == components[i].mask ? components[j] : components[i];
+        OpKind kind = cut.outerjoin ? OpKind::kOuterJoin : OpKind::kJoin;
+        double rows = estimator.JoinLikeCard(kind, cut.preserves_left,
+                                             cut.pred, lhs.rows, rhs.rows);
+        double cost =
+            lhs.cost + rhs.cost +
+            cost_model.NodeCost(kind, cut.preserves_left, lhs.rows,
+                                lhs.plan->is_leaf(), rhs.rows,
+                                rhs.plan->is_leaf(), rows);
+        if (best_i < 0 || rows < best_rows) {
+          best_rows = rows;
+          best_cost = cost;
+          best_i = static_cast<int>(i);
+          best_j = static_cast<int>(j);
+          best_cut = cut;
+        }
+      }
+    }
+    if (best_i < 0) {
+      return Internal(
+          "no realizable component pair (graph is not nice?); greedy "
+          "ordering is defined for freely-reorderable graphs");
+    }
+    Component& a = components[static_cast<size_t>(best_i)];
+    Component& b = components[static_cast<size_t>(best_j)];
+    const Component& lhs = best_cut.left == a.mask ? a : b;
+    const Component& rhs = best_cut.left == a.mask ? b : a;
+    ExprPtr plan =
+        best_cut.outerjoin
+            ? Expr::OuterJoin(lhs.plan, rhs.plan, best_cut.pred,
+                              best_cut.preserves_left)
+            : Expr::Join(lhs.plan, rhs.plan, best_cut.pred);
+    Component merged{a.mask | b.mask, std::move(plan), best_rows, best_cost};
+    components[static_cast<size_t>(best_i)] = std::move(merged);
+    components.erase(components.begin() + best_j);
+  }
+
+  PlanResult result;
+  result.plan = components[0].plan;
+  result.cost = components[0].cost;
+  result.plans_considered = considered;
+  return result;
+}
+
+}  // namespace fro

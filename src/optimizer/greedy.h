@@ -1,0 +1,30 @@
+// Greedy Operator Ordering for large freely-reorderable queries.
+//
+// The DP search in dp.h is exact but exponential in the number of
+// relations; beyond ~16 relations a heuristic is needed. This greedy
+// planner (in the spirit of Fegaras' GOO) repeatedly combines the pair
+// of connected components whose combined operator has the smallest
+// estimated output cardinality, restricted to realizable cuts (all join
+// edges, or exactly one outerjoin edge, direction preserved).
+//
+// For nice graphs a realizable pair always exists at every step: a mixed
+// cut between two connected components would require a second path into
+// a null-supplied subtree, which Lemma 1 forbids.
+
+#ifndef FRO_OPTIMIZER_GREEDY_H_
+#define FRO_OPTIMIZER_GREEDY_H_
+
+#include "optimizer/dp.h"
+
+namespace fro {
+
+/// Builds an implementing tree bottom-up by greedy pairwise merging.
+/// Requirements match OptimizeReorderable: a connected graph whose free
+/// reorderability the caller has verified.
+Result<PlanResult> OptimizeGreedy(const QueryGraph& graph,
+                                  const Database& db,
+                                  const CostModel& cost_model);
+
+}  // namespace fro
+
+#endif  // FRO_OPTIMIZER_GREEDY_H_

@@ -1,0 +1,138 @@
+#include "optimizer/optimizer.h"
+
+#include <vector>
+
+#include "algebra/pushdown.h"
+#include "algebra/simplify.h"
+#include "graph/from_expr.h"
+#include "graph/nice.h"
+#include "optimizer/goj_rewrite.h"
+#include "optimizer/greedy.h"
+#include "optimizer/subquery.h"
+
+namespace fro {
+
+namespace {
+
+// A peeled top-level wrapper (Restrict or Project), to be re-applied
+// around the reordered core.
+struct Wrapper {
+  OpKind kind;
+  PredicatePtr pred;           // kRestrict
+  std::vector<AttrId> cols;    // kProject
+  bool dedup = false;          // kProject
+};
+
+// Strips Restrict/Project operators off the root, outermost first.
+ExprPtr PeelWrappers(const ExprPtr& expr, std::vector<Wrapper>* wrappers) {
+  ExprPtr core = expr;
+  for (;;) {
+    if (core->kind() == OpKind::kRestrict) {
+      wrappers->push_back({OpKind::kRestrict, core->pred(), {}, false});
+    } else if (core->kind() == OpKind::kProject) {
+      wrappers->push_back({OpKind::kProject, nullptr, core->project_cols(),
+                           core->project_dedup()});
+    } else {
+      return core;
+    }
+    core = core->left();
+  }
+}
+
+ExprPtr RewrapRestricts(ExprPtr core, const std::vector<Wrapper>& wrappers) {
+  // Re-apply innermost first so the original order is restored.
+  for (auto it = wrappers.rbegin(); it != wrappers.rend(); ++it) {
+    if (it->kind == OpKind::kRestrict) {
+      core = Expr::Restrict(std::move(core), it->pred);
+    } else {
+      core = Expr::Project(std::move(core), it->cols, it->dedup);
+    }
+  }
+  return core;
+}
+
+// Post-planning pass: sink restrictions when requested.
+ExprPtr MaybePushDown(ExprPtr plan, const OptimizeOptions& options,
+                      OptimizeOutcome* outcome) {
+  if (!options.push_down_restrictions) return plan;
+  PushdownResult pushed = PushDownRestrictions(plan);
+  outcome->restrictions_pushed = pushed.conjuncts_pushed;
+  return pushed.expr;
+}
+
+}  // namespace
+
+Result<OptimizeOutcome> Optimize(const ExprPtr& query, const Database& db,
+                                 const OptimizeOptions& options) {
+  OptimizeOutcome outcome;
+  CostModel cost_model(db, options.cost_kind);
+  outcome.original_cost = cost_model.PlanCost(query);
+
+  ExprPtr current = query;
+  if (options.apply_simplification) {
+    SimplifyResult simplified = SimplifyOuterjoins(current);
+    outcome.outerjoins_simplified = simplified.outerjoins_converted;
+    current = simplified.expr;
+  }
+
+  std::vector<Wrapper> filters;
+  ExprPtr core = PeelWrappers(current, &filters);
+
+  Result<QueryGraph> graph = GraphOf(core, db);
+  if (!graph.ok()) {
+    outcome.plan = current;
+    outcome.cost = cost_model.PlanCost(current);
+    outcome.notes = "graph undefined (" + graph.status().message() +
+                    "); keeping the given association";
+    return outcome;
+  }
+
+  ReorderabilityCheck check = CheckFreelyReorderable(*graph);
+  outcome.freely_reorderable = check.freely_reorderable();
+
+  if (outcome.freely_reorderable) {
+    const bool use_dp = graph->num_nodes() <= options.max_dp_relations;
+    PlanResult best;
+    if (use_dp) {
+      FRO_ASSIGN_OR_RETURN(best, OptimizeReorderable(*graph, db, cost_model));
+    } else {
+      FRO_ASSIGN_OR_RETURN(best, OptimizeGreedy(*graph, db, cost_model));
+    }
+    outcome.plans_considered = best.plans_considered;
+    outcome.plan = MaybePushDown(RewrapRestricts(best.plan, filters),
+                                 options, &outcome);
+    outcome.cost = cost_model.PlanCost(outcome.plan);
+    outcome.notes = use_dp
+                        ? "freely reorderable: DP over all implementing trees"
+                        : "freely reorderable: greedy ordering (graph too "
+                          "large for exact DP)";
+    return outcome;
+  }
+
+  // Not freely reorderable: keep the overall association but DP-optimize
+  // every maximal freely-reorderable subtree (Section 6.1's extension),
+  // then optionally left-deepen with GOJ so a pipelined executor can run
+  // it.
+  SubqueryReorderResult islands =
+      ReorderSubqueries(core, db, cost_model);
+  outcome.subqueries_reordered = islands.subqueries_reordered;
+  ExprPtr plan = islands.expr;
+  if (options.apply_goj_rewrites) {
+    plan = LeftDeepenWithGoj(plan, &outcome.goj_rewrites);
+  }
+  outcome.plan = MaybePushDown(RewrapRestricts(plan, filters), options,
+                               &outcome);
+  outcome.cost = cost_model.PlanCost(outcome.plan);
+  outcome.notes =
+      "not freely reorderable (" +
+      (check.nice.nice ? std::string("non-strong outerjoin predicate")
+                       : check.nice.violation) +
+      ")" +
+      (outcome.goj_rewrites > 0
+           ? "; left-deepened with " + std::to_string(outcome.goj_rewrites) +
+                 " GOJ rewrite(s)"
+           : "");
+  return outcome;
+}
+
+}  // namespace fro

@@ -1,0 +1,67 @@
+// The optimizer facade, implementing the pipeline Section 4 + Section 6
+// of the paper suggest:
+//
+//   1. Apply the Section 4 simplification (strong filters convert
+//      outerjoins to joins) — "carried out before creation of the query
+//      graph".
+//   2. Peel top-level restrictions, derive graph(Q).
+//   3. If the graph is freely reorderable (Theorem 1), run the DP search
+//      over all implementing trees and pick the cheapest.
+//   4. Otherwise, optionally left-deepen the query with the generalized-
+//      outerjoin rewrites (identities 15/16) so a conventional left-deep
+//      executor can run it; no cross-association search is attempted.
+//   5. Re-apply the peeled restrictions on top.
+
+#ifndef FRO_OPTIMIZER_OPTIMIZER_H_
+#define FRO_OPTIMIZER_OPTIMIZER_H_
+
+#include <string>
+
+#include "algebra/expr.h"
+#include "common/status.h"
+#include "optimizer/cost.h"
+#include "optimizer/dp.h"
+
+namespace fro {
+
+struct OptimizeOptions {
+  CostKind cost_kind = CostKind::kCout;
+  /// Apply the Section 4 outerjoin-to-join simplification first.
+  bool apply_simplification = true;
+  /// For non-freely-reorderable queries, left-deepen with GOJ rewrites.
+  bool apply_goj_rewrites = true;
+  /// After planning, sink restriction conjuncts as deep as outerjoin
+  /// semantics allow ("do restrictions as early as possible", Section 4).
+  bool push_down_restrictions = true;
+  /// Largest relation count handled by the exact DP; bigger
+  /// freely-reorderable graphs use greedy operator ordering instead.
+  int max_dp_relations = 14;
+};
+
+struct OptimizeOutcome {
+  ExprPtr plan;
+  /// Estimated cost of `plan` under the requested model.
+  double cost = 0;
+  /// Estimated cost of the input query, for comparison.
+  double original_cost = 0;
+  bool freely_reorderable = false;
+  int outerjoins_simplified = 0;
+  int goj_rewrites = 0;
+  int restrictions_pushed = 0;
+  /// For non-reorderable queries: maximal freely-reorderable subtrees
+  /// that were DP-optimized in place (the Section 6.1 extension).
+  int subqueries_reordered = 0;
+  uint64_t plans_considered = 0;
+  std::string notes;
+};
+
+/// Optimizes a query consisting of Join/Outerjoin operators, optionally
+/// under top-level Restrict operators. Returns a plan guaranteed to
+/// evaluate to the same result.
+Result<OptimizeOutcome> Optimize(const ExprPtr& query, const Database& db,
+                                 const OptimizeOptions& options =
+                                     OptimizeOptions());
+
+}  // namespace fro
+
+#endif  // FRO_OPTIMIZER_OPTIMIZER_H_

@@ -1,0 +1,35 @@
+// Reordering freely-reorderable subqueries (paper Section 6.1: "it may be
+// possible to extend this approach to reorder freely-reorderable
+// subqueries of the given query").
+//
+// For a query whose graph is undefined or not freely reorderable, this
+// pass finds MAXIMAL subtrees that are pure Join/Outerjoin queries with
+// nice graphs and strong predicates, and replaces each with the DP
+// optimizer's cheapest implementing tree. Replacing a subtree with an
+// equivalent expression is always sound (evaluation is compositional),
+// so the surrounding non-reorderable operators stay fixed while every
+// reorderable island is optimized.
+
+#ifndef FRO_OPTIMIZER_SUBQUERY_H_
+#define FRO_OPTIMIZER_SUBQUERY_H_
+
+#include "algebra/expr.h"
+#include "optimizer/cost.h"
+
+namespace fro {
+
+struct SubqueryReorderResult {
+  ExprPtr expr;
+  /// Maximal freely-reorderable subtrees replaced by optimized plans
+  /// (subtrees of fewer than three relations are left alone — there is
+  /// nothing to reorder).
+  int subqueries_reordered = 0;
+};
+
+SubqueryReorderResult ReorderSubqueries(const ExprPtr& expr,
+                                        const Database& db,
+                                        const CostModel& cost_model);
+
+}  // namespace fro
+
+#endif  // FRO_OPTIMIZER_SUBQUERY_H_

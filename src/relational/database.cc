@@ -1,0 +1,69 @@
+#include "relational/database.h"
+
+#include "common/check.h"
+
+namespace fro {
+
+Result<RelId> Database::AddRelation(
+    const std::string& name, const std::vector<std::string>& column_names) {
+  FRO_ASSIGN_OR_RETURN(RelId rel, catalog_.RegisterRelation(name));
+  std::vector<AttrId> cols;
+  cols.reserve(column_names.size());
+  for (const std::string& col : column_names) {
+    FRO_ASSIGN_OR_RETURN(AttrId attr, catalog_.RegisterAttr(rel, col));
+    cols.push_back(attr);
+  }
+  relations_.emplace_back(Scheme(std::move(cols)));
+  FRO_CHECK_EQ(relations_.size(), static_cast<size_t>(rel) + 1);
+  return rel;
+}
+
+Result<RelId> Database::CloneRelation(RelId source,
+                                      const std::string& new_name) {
+  if (source >= relations_.size()) {
+    return InvalidArgument("unknown source relation");
+  }
+  std::vector<std::string> columns;
+  for (AttrId attr : scheme(source).cols()) {
+    const std::string& qualified = catalog_.AttrName(attr);
+    columns.push_back(qualified.substr(qualified.find('.') + 1));
+  }
+  FRO_ASSIGN_OR_RETURN(RelId copy, AddRelation(new_name, columns));
+  SetRows(copy, relations_[source].rows());
+  return copy;
+}
+
+void Database::SetRows(RelId rel, std::vector<Tuple> rows) {
+  FRO_CHECK_LT(rel, relations_.size());
+  relations_[rel] = Relation(relations_[rel].scheme(), std::move(rows));
+}
+
+void Database::AddRow(RelId rel, std::vector<Value> values) {
+  FRO_CHECK_LT(rel, relations_.size());
+  relations_[rel].AddRow(std::move(values));
+}
+
+const Relation& Database::relation(RelId rel) const {
+  FRO_CHECK_LT(rel, relations_.size());
+  return relations_[rel];
+}
+
+Relation* Database::mutable_relation(RelId rel) {
+  FRO_CHECK_LT(rel, relations_.size());
+  return &relations_[rel];
+}
+
+AttrId Database::Attr(const std::string& rel_name,
+                      const std::string& attr_name) const {
+  Result<AttrId> result = catalog_.FindAttr(rel_name, attr_name);
+  FRO_CHECK(result.ok()) << result.status().ToString();
+  return *result;
+}
+
+RelId Database::Rel(const std::string& name) const {
+  Result<RelId> result = catalog_.FindRelation(name);
+  FRO_CHECK(result.ok()) << result.status().ToString();
+  return *result;
+}
+
+}  // namespace fro

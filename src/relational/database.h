@@ -1,0 +1,60 @@
+// A database: a catalog plus the ground relations' contents.
+
+#ifndef FRO_RELATIONAL_DATABASE_H_
+#define FRO_RELATIONAL_DATABASE_H_
+
+#include <string>
+#include <vector>
+
+#include "relational/relation.h"
+#include "relational/schema.h"
+
+namespace fro {
+
+/// Owns the catalog and one Relation per registered ground relation.
+/// RelIds index into both.
+class Database {
+ public:
+  Database() = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+  Database(Database&&) = default;
+  Database& operator=(Database&&) = default;
+
+  /// Registers a relation with the given column names and an empty body.
+  /// Returns its RelId.
+  Result<RelId> AddRelation(const std::string& name,
+                            const std::vector<std::string>& column_names);
+
+  /// Registers a copy of `source` under `new_name` with renamed (freshly
+  /// qualified) attributes and the same rows — the paper's "several
+  /// copies of the same relation with renamed attributes" device for
+  /// self-joins.
+  Result<RelId> CloneRelation(RelId source, const std::string& new_name);
+
+  /// Replaces the body of a relation. The rows' arity must match.
+  void SetRows(RelId rel, std::vector<Tuple> rows);
+  void AddRow(RelId rel, std::vector<Value> values);
+
+  const Relation& relation(RelId rel) const;
+  Relation* mutable_relation(RelId rel);
+  const Scheme& scheme(RelId rel) const { return relation(rel).scheme(); }
+
+  const Catalog& catalog() const { return catalog_; }
+  Catalog* mutable_catalog() { return &catalog_; }
+  size_t num_relations() const { return relations_.size(); }
+
+  /// Looks up attribute `rel_name.attr_name`; CHECK-fails if absent (this
+  /// is the test/example convenience accessor).
+  AttrId Attr(const std::string& rel_name, const std::string& attr_name) const;
+  /// Looks up a relation id by name; CHECK-fails if absent.
+  RelId Rel(const std::string& name) const;
+
+ private:
+  Catalog catalog_;
+  std::vector<Relation> relations_;
+};
+
+}  // namespace fro
+
+#endif  // FRO_RELATIONAL_DATABASE_H_

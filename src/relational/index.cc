@@ -1,0 +1,56 @@
+#include "relational/index.h"
+
+#include "common/check.h"
+
+namespace fro {
+
+size_t HashIndex::KeyHash::operator()(const std::vector<Value>& key) const {
+  size_t h = 0x811c9dc5;
+  for (const Value& v : key) {
+    h ^= v.Hash() + 0x9e3779b9 + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+bool HashIndex::KeyEq::operator()(const std::vector<Value>& a,
+                                  const std::vector<Value>& b) const {
+  return a == b;
+}
+
+HashIndex::HashIndex(const Relation& relation,
+                     const std::vector<AttrId>& key_attrs)
+    : key_attrs_(key_attrs) {
+  std::vector<int> positions;
+  positions.reserve(key_attrs.size());
+  for (AttrId attr : key_attrs) {
+    int pos = relation.scheme().IndexOf(attr);
+    FRO_CHECK_GE(pos, 0) << "index key attribute not in relation scheme";
+    positions.push_back(pos);
+  }
+  for (size_t i = 0; i < relation.NumRows(); ++i) {
+    std::vector<Value> key;
+    key.reserve(positions.size());
+    bool has_null = false;
+    for (int pos : positions) {
+      const Value& v = relation.row(i).value(static_cast<size_t>(pos));
+      if (v.is_null()) {
+        has_null = true;
+        break;
+      }
+      key.push_back(v);
+    }
+    if (has_null) continue;  // null keys never equi-match
+    buckets_[std::move(key)].push_back(i);
+  }
+}
+
+const std::vector<size_t>& HashIndex::Probe(
+    const std::vector<Value>& key) const {
+  for (const Value& v : key) {
+    if (v.is_null()) return empty_;
+  }
+  auto it = buckets_.find(key);
+  return it == buckets_.end() ? empty_ : it->second;
+}
+
+}  // namespace fro

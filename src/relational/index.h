@@ -1,0 +1,46 @@
+// In-memory hash index over one or more columns of a relation.
+
+#ifndef FRO_RELATIONAL_INDEX_H_
+#define FRO_RELATIONAL_INDEX_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "relational/relation.h"
+
+namespace fro {
+
+/// Hash index mapping a key (values of `key_attrs` in scheme order) to the
+/// row indices holding it. Rows whose key contains a null are not indexed:
+/// under SQL semantics a null key can never equi-match, which is exactly
+/// the behaviour joins need.
+class HashIndex {
+ public:
+  /// Builds an index on `relation` (which must outlive the index).
+  HashIndex(const Relation& relation, const std::vector<AttrId>& key_attrs);
+
+  /// Row indices whose key equals `key` (structural equality on non-null
+  /// values). Keys containing nulls return no rows.
+  const std::vector<size_t>& Probe(const std::vector<Value>& key) const;
+
+  size_t num_keys() const { return buckets_.size(); }
+  const std::vector<AttrId>& key_attrs() const { return key_attrs_; }
+
+ private:
+  struct KeyHash {
+    size_t operator()(const std::vector<Value>& key) const;
+  };
+  struct KeyEq {
+    bool operator()(const std::vector<Value>& a,
+                    const std::vector<Value>& b) const;
+  };
+
+  std::vector<AttrId> key_attrs_;
+  std::unordered_map<std::vector<Value>, std::vector<size_t>, KeyHash, KeyEq>
+      buckets_;
+  std::vector<size_t> empty_;
+};
+
+}  // namespace fro
+
+#endif  // FRO_RELATIONAL_INDEX_H_

@@ -1,0 +1,41 @@
+#include "relational/index_manager.h"
+
+#include <algorithm>
+
+#include "relational/ops.h"
+
+namespace fro {
+
+void IndexManager::CreateIndex(const Database& db, RelId rel,
+                               std::vector<AttrId> key_attrs) {
+  std::vector<AttrId> sorted = key_attrs;
+  std::sort(sorted.begin(), sorted.end());
+  // Replace an existing index on the same keys.
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [&](const Entry& e) {
+                                  return e.rel == rel &&
+                                         e.sorted_keys == sorted;
+                                }),
+                 entries_.end());
+  Entry entry;
+  entry.rel = rel;
+  entry.sorted_keys = std::move(sorted);
+  entry.normalized = NormalizeOnKeyColumns(db.relation(rel), key_attrs);
+  entry.index =
+      std::make_unique<HashIndex>(entry.normalized, key_attrs);
+  entries_.push_back(std::move(entry));
+}
+
+const HashIndex* IndexManager::Find(
+    RelId rel, const std::vector<AttrId>& key_attrs) const {
+  std::vector<AttrId> sorted = key_attrs;
+  std::sort(sorted.begin(), sorted.end());
+  for (const Entry& entry : entries_) {
+    if (entry.rel == rel && entry.sorted_keys == sorted) {
+      return entry.index.get();
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace fro

@@ -1,0 +1,362 @@
+#include "relational/predicate.h"
+
+#include "common/check.h"
+
+namespace fro {
+
+const char* CmpOpSymbol(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return "=";
+    case CmpOp::kNe:
+      return "<>";
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kGt:
+      return ">";
+    case CmpOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+AttrId Operand::attr() const {
+  FRO_CHECK(is_column_);
+  return attr_;
+}
+
+const Value& Operand::literal() const {
+  FRO_CHECK(!is_column_);
+  return literal_;
+}
+
+const Value& Operand::Resolve(const Tuple& tuple, const Scheme& scheme) const {
+  if (!is_column_) return literal_;
+  int pos = scheme.IndexOf(attr_);
+  FRO_CHECK_GE(pos, 0) << "operand column " << attr_ << " not in scheme";
+  return tuple.value(static_cast<size_t>(pos));
+}
+
+std::string Operand::ToString(const Catalog* catalog) const {
+  if (!is_column_) return literal_.ToString();
+  return catalog != nullptr ? catalog->AttrName(attr_)
+                            : "#" + std::to_string(attr_);
+}
+
+namespace {
+
+AttrSet OperandRefs(const Operand& op) {
+  AttrSet refs;
+  if (op.is_column()) refs.Insert(op.attr());
+  return refs;
+}
+
+}  // namespace
+
+PredicatePtr Predicate::Const(bool value) {
+  auto p = std::shared_ptr<Predicate>(new Predicate());
+  p->kind_ = Kind::kConst;
+  p->const_value_ = value;
+  return p;
+}
+
+PredicatePtr Predicate::Cmp(CmpOp op, Operand lhs, Operand rhs) {
+  auto p = std::shared_ptr<Predicate>(new Predicate());
+  p->kind_ = Kind::kCmp;
+  p->cmp_op_ = op;
+  p->references_ = OperandRefs(lhs).Union(OperandRefs(rhs));
+  p->operands_.push_back(std::move(lhs));
+  p->operands_.push_back(std::move(rhs));
+  return p;
+}
+
+namespace {
+
+// Flattens nested nodes of the same kind into `out`.
+void FlattenInto(Predicate::Kind kind, const PredicatePtr& child,
+                 std::vector<PredicatePtr>* out) {
+  FRO_CHECK(child != nullptr);
+  if (child->kind() == kind) {
+    for (const PredicatePtr& grandchild : child->children()) {
+      FlattenInto(kind, grandchild, out);
+    }
+  } else {
+    out->push_back(child);
+  }
+}
+
+}  // namespace
+
+PredicatePtr Predicate::And(std::vector<PredicatePtr> children) {
+  std::vector<PredicatePtr> flat;
+  for (const PredicatePtr& child : children) {
+    FlattenInto(Kind::kAnd, child, &flat);
+  }
+  if (flat.empty()) return Const(true);
+  if (flat.size() == 1) return flat[0];
+  auto p = std::shared_ptr<Predicate>(new Predicate());
+  p->kind_ = Kind::kAnd;
+  for (const PredicatePtr& child : flat) {
+    p->references_ = p->references_.Union(child->References());
+  }
+  p->children_ = std::move(flat);
+  return p;
+}
+
+PredicatePtr Predicate::Or(std::vector<PredicatePtr> children) {
+  std::vector<PredicatePtr> flat;
+  for (const PredicatePtr& child : children) {
+    FlattenInto(Kind::kOr, child, &flat);
+  }
+  if (flat.empty()) return Const(false);
+  if (flat.size() == 1) return flat[0];
+  auto p = std::shared_ptr<Predicate>(new Predicate());
+  p->kind_ = Kind::kOr;
+  for (const PredicatePtr& child : flat) {
+    p->references_ = p->references_.Union(child->References());
+  }
+  p->children_ = std::move(flat);
+  return p;
+}
+
+PredicatePtr Predicate::Not(PredicatePtr child) {
+  FRO_CHECK(child != nullptr);
+  auto p = std::shared_ptr<Predicate>(new Predicate());
+  p->kind_ = Kind::kNot;
+  p->references_ = child->References();
+  p->children_.push_back(std::move(child));
+  return p;
+}
+
+PredicatePtr Predicate::IsNull(Operand operand) {
+  auto p = std::shared_ptr<Predicate>(new Predicate());
+  p->kind_ = Kind::kIsNull;
+  p->references_ = OperandRefs(operand);
+  p->operands_.push_back(std::move(operand));
+  return p;
+}
+
+TriBool Predicate::Eval(const Tuple& tuple, const Scheme& scheme) const {
+  switch (kind_) {
+    case Kind::kConst:
+      return const_value_ ? TriBool::kTrue : TriBool::kFalse;
+    case Kind::kCmp: {
+      const Value& a = lhs().Resolve(tuple, scheme);
+      const Value& b = rhs().Resolve(tuple, scheme);
+      switch (cmp_op_) {
+        case CmpOp::kEq:
+          return SqlEq(a, b);
+        case CmpOp::kNe:
+          return SqlNe(a, b);
+        case CmpOp::kLt:
+          return SqlLt(a, b);
+        case CmpOp::kLe:
+          return SqlLe(a, b);
+        case CmpOp::kGt:
+          return SqlGt(a, b);
+        case CmpOp::kGe:
+          return SqlGe(a, b);
+      }
+      return TriBool::kUnknown;
+    }
+    case Kind::kAnd: {
+      TriBool acc = TriBool::kTrue;
+      for (const PredicatePtr& child : children_) {
+        acc = TriAnd(acc, child->Eval(tuple, scheme));
+        if (acc == TriBool::kFalse) break;
+      }
+      return acc;
+    }
+    case Kind::kOr: {
+      TriBool acc = TriBool::kFalse;
+      for (const PredicatePtr& child : children_) {
+        acc = TriOr(acc, child->Eval(tuple, scheme));
+        if (acc == TriBool::kTrue) break;
+      }
+      return acc;
+    }
+    case Kind::kNot:
+      return TriNot(children_[0]->Eval(tuple, scheme));
+    case Kind::kIsNull:
+      return operand().Resolve(tuple, scheme).is_null() ? TriBool::kTrue
+                                                        : TriBool::kFalse;
+  }
+  return TriBool::kUnknown;
+}
+
+namespace {
+
+// --- Strength analysis: abstract interpretation --------------------------
+//
+// Abstract scalar: the operand is definitely null, a known literal, or
+// unconstrained. Abstract boolean: the set of TriBool outcomes the
+// subexpression may produce, as a 3-bit mask.
+
+enum class AbsScalar : uint8_t { kDefNull, kLiteral, kAny };
+
+constexpr uint8_t kMaskF = 1 << 0;
+constexpr uint8_t kMaskU = 1 << 1;
+constexpr uint8_t kMaskT = 1 << 2;
+constexpr uint8_t kMaskAll = kMaskF | kMaskU | kMaskT;
+
+uint8_t BitOf(TriBool b) {
+  switch (b) {
+    case TriBool::kFalse:
+      return kMaskF;
+    case TriBool::kUnknown:
+      return kMaskU;
+    case TriBool::kTrue:
+      return kMaskT;
+  }
+  return kMaskU;
+}
+
+TriBool TriOfBit(uint8_t bit) {
+  if (bit == kMaskF) return TriBool::kFalse;
+  if (bit == kMaskU) return TriBool::kUnknown;
+  return TriBool::kTrue;
+}
+
+// Applies a binary Kleene connective pointwise over outcome sets.
+uint8_t Pointwise(uint8_t a, uint8_t b, TriBool (*op)(TriBool, TriBool)) {
+  uint8_t out = 0;
+  for (uint8_t i = 0; i < 3; ++i) {
+    if ((a & (1 << i)) == 0) continue;
+    for (uint8_t j = 0; j < 3; ++j) {
+      if ((b & (1 << j)) == 0) continue;
+      out |= BitOf(op(TriOfBit(1 << i), TriOfBit(1 << j)));
+    }
+  }
+  return out;
+}
+
+struct AbsOperand {
+  AbsScalar kind;
+  const Value* literal = nullptr;  // set when kind == kLiteral
+};
+
+AbsOperand Abstract(const Operand& op, const AttrSet& nulled) {
+  if (!op.is_column()) {
+    if (op.literal().is_null()) return {AbsScalar::kDefNull, nullptr};
+    return {AbsScalar::kLiteral, &op.literal()};
+  }
+  if (nulled.Contains(op.attr())) return {AbsScalar::kDefNull, nullptr};
+  return {AbsScalar::kAny, nullptr};
+}
+
+uint8_t AbstractEval(const Predicate& p, const AttrSet& nulled) {
+  switch (p.kind()) {
+    case Predicate::Kind::kConst:
+      return p.const_value() ? kMaskT : kMaskF;
+    case Predicate::Kind::kCmp: {
+      AbsOperand a = Abstract(p.lhs(), nulled);
+      AbsOperand b = Abstract(p.rhs(), nulled);
+      if (a.kind == AbsScalar::kDefNull || b.kind == AbsScalar::kDefNull) {
+        // SQL comparison with a definite null is always Unknown.
+        return kMaskU;
+      }
+      if (a.kind == AbsScalar::kLiteral && b.kind == AbsScalar::kLiteral) {
+        // Evaluate exactly.
+        Tuple empty;
+        Scheme none;
+        return BitOf(p.Eval(empty, none));
+      }
+      return kMaskAll;
+    }
+    case Predicate::Kind::kAnd: {
+      uint8_t acc = kMaskT;
+      for (const PredicatePtr& child : p.children()) {
+        acc = Pointwise(acc, AbstractEval(*child, nulled), TriAnd);
+      }
+      return acc;
+    }
+    case Predicate::Kind::kOr: {
+      uint8_t acc = kMaskF;
+      for (const PredicatePtr& child : p.children()) {
+        acc = Pointwise(acc, AbstractEval(*child, nulled), TriOr);
+      }
+      return acc;
+    }
+    case Predicate::Kind::kNot: {
+      uint8_t inner = AbstractEval(*p.children()[0], nulled);
+      uint8_t out = 0;
+      for (uint8_t i = 0; i < 3; ++i) {
+        if (inner & (1 << i)) out |= BitOf(TriNot(TriOfBit(1 << i)));
+      }
+      return out;
+    }
+    case Predicate::Kind::kIsNull: {
+      AbsOperand a = Abstract(p.operand(), nulled);
+      switch (a.kind) {
+        case AbsScalar::kDefNull:
+          return kMaskT;
+        case AbsScalar::kLiteral:
+          return kMaskF;
+        case AbsScalar::kAny:
+          return kMaskT | kMaskF;
+      }
+      return kMaskAll;
+    }
+  }
+  return kMaskAll;
+}
+
+}  // namespace
+
+bool Predicate::IsStrongWrt(const AttrSet& nulled) const {
+  return (AbstractEval(*this, nulled) & kMaskT) == 0;
+}
+
+std::vector<PredicatePtr> Predicate::Conjuncts(const PredicatePtr& self) const {
+  FRO_CHECK(self.get() == this);
+  if (kind_ == Kind::kConst && const_value_) return {};
+  if (kind_ != Kind::kAnd) return {self};
+  return children_;
+}
+
+std::string Predicate::ToString(const Catalog* catalog) const {
+  switch (kind_) {
+    case Kind::kConst:
+      return const_value_ ? "TRUE" : "FALSE";
+    case Kind::kCmp:
+      return lhs().ToString(catalog) + CmpOpSymbol(cmp_op_) +
+             rhs().ToString(catalog);
+    case Kind::kAnd:
+    case Kind::kOr: {
+      std::string sep = kind_ == Kind::kAnd ? " and " : " or ";
+      std::string out = "(";
+      for (size_t i = 0; i < children_.size(); ++i) {
+        if (i > 0) out += sep;
+        out += children_[i]->ToString(catalog);
+      }
+      return out + ")";
+    }
+    case Kind::kNot:
+      return "not(" + children_[0]->ToString(catalog) + ")";
+    case Kind::kIsNull:
+      return operand().ToString(catalog) + " is null";
+  }
+  return "?";
+}
+
+PredicatePtr EqCols(AttrId a, AttrId b) {
+  return Predicate::Cmp(CmpOp::kEq, Operand::Column(a), Operand::Column(b));
+}
+
+PredicatePtr CmpCols(CmpOp op, AttrId a, AttrId b) {
+  return Predicate::Cmp(op, Operand::Column(a), Operand::Column(b));
+}
+
+PredicatePtr CmpLit(CmpOp op, AttrId a, Value v) {
+  return Predicate::Cmp(op, Operand::Column(a), Operand::Literal(std::move(v)));
+}
+
+PredicatePtr AndOf(PredicatePtr a, PredicatePtr b) {
+  if (a == nullptr) return b;
+  if (b == nullptr) return a;
+  return Predicate::And({std::move(a), std::move(b)});
+}
+
+}  // namespace fro

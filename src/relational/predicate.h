@@ -1,0 +1,125 @@
+// Predicate trees: comparisons, boolean connectives, IS NULL.
+//
+// Predicates evaluate under Kleene three-valued logic; a tuple satisfies a
+// predicate only if it evaluates to True.
+//
+// This header also implements the paper's central side condition: a
+// predicate p is *strong* with respect to an attribute set S if p cannot
+// evaluate to True on any tuple whose S attributes are all null
+// (Section 2.1). Strength is decided by an abstract interpretation that is
+// conservative: `IsStrongWrt` never returns true for a non-strong
+// predicate. (It can return false for a predicate that is strong only via
+// value-level reasoning across conjuncts, which does not arise for the
+// predicate shapes the paper considers.)
+
+#ifndef FRO_RELATIONAL_PREDICATE_H_
+#define FRO_RELATIONAL_PREDICATE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "relational/schema.h"
+#include "relational/tuple.h"
+#include "relational/value.h"
+
+namespace fro {
+
+class Catalog;
+
+enum class CmpOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+const char* CmpOpSymbol(CmpOp op);
+
+/// A scalar operand of a comparison: a column reference or a literal.
+class Operand {
+ public:
+  static Operand Column(AttrId attr) { return Operand(attr); }
+  static Operand Literal(Value value) { return Operand(std::move(value)); }
+
+  bool is_column() const { return is_column_; }
+  AttrId attr() const;
+  const Value& literal() const;
+
+  /// The operand's value under `tuple` (literal value, or the column's
+  /// value looked up through `scheme`).
+  const Value& Resolve(const Tuple& tuple, const Scheme& scheme) const;
+
+  std::string ToString(const Catalog* catalog) const;
+
+ private:
+  explicit Operand(AttrId attr) : is_column_(true), attr_(attr) {}
+  explicit Operand(Value value)
+      : is_column_(false), literal_(std::move(value)) {}
+
+  bool is_column_;
+  AttrId attr_ = 0;
+  Value literal_;
+};
+
+class Predicate;
+using PredicatePtr = std::shared_ptr<const Predicate>;
+
+/// An immutable predicate tree. Build via the factory functions; share via
+/// PredicatePtr.
+class Predicate {
+ public:
+  enum class Kind : uint8_t { kConst, kCmp, kAnd, kOr, kNot, kIsNull };
+
+  /// Constant TRUE / FALSE.
+  static PredicatePtr Const(bool value);
+  static PredicatePtr Cmp(CmpOp op, Operand lhs, Operand rhs);
+  /// N-ary AND; flattens nested ANDs; empty list means TRUE.
+  static PredicatePtr And(std::vector<PredicatePtr> children);
+  /// N-ary OR; flattens nested ORs; empty list means FALSE.
+  static PredicatePtr Or(std::vector<PredicatePtr> children);
+  static PredicatePtr Not(PredicatePtr child);
+  static PredicatePtr IsNull(Operand operand);
+
+  Kind kind() const { return kind_; }
+  bool const_value() const { return const_value_; }
+  CmpOp cmp_op() const { return cmp_op_; }
+  const Operand& lhs() const { return operands_[0]; }
+  const Operand& rhs() const { return operands_[1]; }
+  const Operand& operand() const { return operands_[0]; }
+  const std::vector<PredicatePtr>& children() const { return children_; }
+
+  /// Three-valued evaluation against a row of `scheme`.
+  TriBool Eval(const Tuple& tuple, const Scheme& scheme) const;
+
+  /// Attributes referenced anywhere in the tree.
+  const AttrSet& References() const { return references_; }
+
+  /// True if the predicate can never evaluate to True when every attribute
+  /// in `nulled` is null. Conservative (see file comment).
+  bool IsStrongWrt(const AttrSet& nulled) const;
+
+  /// Splits a top-level conjunction into its conjuncts (a non-AND predicate
+  /// is its own single conjunct). A constant TRUE yields no conjuncts.
+  std::vector<PredicatePtr> Conjuncts(const PredicatePtr& self) const;
+
+  std::string ToString(const Catalog* catalog = nullptr) const;
+
+ private:
+  Predicate() = default;
+
+  Kind kind_ = Kind::kConst;
+  bool const_value_ = true;
+  CmpOp cmp_op_ = CmpOp::kEq;
+  std::vector<Operand> operands_;
+  std::vector<PredicatePtr> children_;
+  AttrSet references_;
+};
+
+/// Convenience factories for the common column/column and column/literal
+/// comparisons.
+PredicatePtr EqCols(AttrId a, AttrId b);
+PredicatePtr CmpCols(CmpOp op, AttrId a, AttrId b);
+PredicatePtr CmpLit(CmpOp op, AttrId a, Value v);
+
+/// AND of two predicates (either may be null, meaning absent).
+PredicatePtr AndOf(PredicatePtr a, PredicatePtr b);
+
+}  // namespace fro
+
+#endif  // FRO_RELATIONAL_PREDICATE_H_

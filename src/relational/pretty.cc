@@ -1,0 +1,112 @@
+#include "relational/pretty.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "relational/schema.h"
+
+namespace fro {
+
+namespace {
+
+std::string CellText(const Value& value, const PrettyOptions& options) {
+  if (value.is_null()) return options.null_text;
+  if (value.kind() == Value::Kind::kString) return value.AsString();
+  return value.ToString();
+}
+
+// Display width in characters; the default null marker is multi-byte
+// UTF-8 but single-column.
+size_t DisplayWidth(const std::string& text) {
+  size_t width = 0;
+  for (size_t i = 0; i < text.size();) {
+    unsigned char c = static_cast<unsigned char>(text[i]);
+    i += c < 0x80 ? 1 : c < 0xE0 ? 2 : c < 0xF0 ? 3 : 4;
+    ++width;
+  }
+  return width;
+}
+
+std::string Padded(const std::string& text, size_t width) {
+  std::string out = text;
+  size_t current = DisplayWidth(text);
+  if (current < width) out.append(width - current, ' ');
+  return out;
+}
+
+}  // namespace
+
+std::string PrettyTable(const Relation& rel, const Catalog* catalog,
+                        const PrettyOptions& options) {
+  // Column order & headers.
+  std::vector<AttrId> cols = rel.scheme().cols();
+  if (options.canonical) std::sort(cols.begin(), cols.end());
+  std::vector<std::string> headers;
+  std::vector<int> positions;
+  for (AttrId attr : cols) {
+    headers.push_back(catalog != nullptr ? catalog->AttrName(attr)
+                                         : "#" + std::to_string(attr));
+    positions.push_back(rel.scheme().IndexOf(attr));
+  }
+
+  // Rows (possibly sorted by the displayed column order).
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::vector<Value>> sort_keys;
+  for (const Tuple& row : rel.rows()) {
+    std::vector<std::string> cells;
+    std::vector<Value> key;
+    for (int pos : positions) {
+      const Value& v = row.value(static_cast<size_t>(pos));
+      cells.push_back(CellText(v, options));
+      key.push_back(v);
+    }
+    rows.push_back(std::move(cells));
+    sort_keys.push_back(std::move(key));
+  }
+  if (options.canonical) {
+    std::vector<size_t> order(rows.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return sort_keys[a] < sort_keys[b];
+    });
+    std::vector<std::vector<std::string>> sorted;
+    sorted.reserve(rows.size());
+    for (size_t i : order) sorted.push_back(std::move(rows[i]));
+    rows = std::move(sorted);
+  }
+
+  // Column widths.
+  std::vector<size_t> widths;
+  for (const std::string& h : headers) widths.push_back(DisplayWidth(h));
+  const size_t shown = std::min(rows.size(), options.max_rows);
+  for (size_t r = 0; r < shown; ++r) {
+    for (size_t c = 0; c < rows[r].size(); ++c) {
+      widths[c] = std::max(widths[c], DisplayWidth(rows[r][c]));
+    }
+  }
+
+  std::string out;
+  for (size_t c = 0; c < headers.size(); ++c) {
+    if (c > 0) out += " | ";
+    out += Padded(headers[c], widths[c]);
+  }
+  out += "\n";
+  for (size_t c = 0; c < headers.size(); ++c) {
+    if (c > 0) out += "-+-";
+    out.append(widths[c], '-');
+  }
+  out += "\n";
+  for (size_t r = 0; r < shown; ++r) {
+    for (size_t c = 0; c < rows[r].size(); ++c) {
+      if (c > 0) out += " | ";
+      out += Padded(rows[r][c], widths[c]);
+    }
+    out += "\n";
+  }
+  if (rows.size() > shown) {
+    out += "... (" + std::to_string(rows.size() - shown) + " more)\n";
+  }
+  return out;
+}
+
+}  // namespace fro

@@ -1,0 +1,77 @@
+// Relations with bag (multiset) semantics.
+//
+// The paper defines relations as sets but explicitly prefers algebraic
+// proofs valid "in an environment where duplicates are permitted", so rows
+// are stored as a multiset. Comparison helpers implement the paper's
+// padding convention: to compare or union relations with different schemes,
+// both are first padded with nulls to the union scheme (Section 2.1).
+
+#ifndef FRO_RELATIONAL_RELATION_H_
+#define FRO_RELATIONAL_RELATION_H_
+
+#include <string>
+#include <vector>
+
+#include "relational/schema.h"
+#include "relational/tuple.h"
+
+namespace fro {
+
+class Catalog;
+
+/// A finite bag of tuples over a fixed Scheme.
+class Relation {
+ public:
+  Relation() = default;
+  explicit Relation(Scheme scheme) : scheme_(std::move(scheme)) {}
+  Relation(Scheme scheme, std::vector<Tuple> rows);
+
+  const Scheme& scheme() const { return scheme_; }
+  size_t NumRows() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+  const Tuple& row(size_t i) const { return rows_[i]; }
+  const std::vector<Tuple>& rows() const { return rows_; }
+
+  /// Appends a row; arity must match the scheme.
+  void AddRow(Tuple row);
+  void AddRow(std::vector<Value> values) { AddRow(Tuple(std::move(values))); }
+
+  void Reserve(size_t n) { rows_.reserve(n); }
+
+  /// Value of attribute `attr` in row `i`; the attribute must be in the
+  /// scheme.
+  const Value& ValueOf(size_t i, AttrId attr) const;
+
+  std::string ToString(const Catalog* catalog = nullptr) const;
+
+ private:
+  Scheme scheme_;
+  std::vector<Tuple> rows_;
+};
+
+/// Re-layouts `rel` to `target` scheme: attributes present in `rel` keep
+/// their values; attributes only in `target` are null-padded. Every
+/// attribute of `rel` must appear in `target`.
+Relation PadToScheme(const Relation& rel, const Scheme& target);
+
+/// The union scheme of two relations with canonical (sorted-AttrId) column
+/// order.
+Scheme UnionScheme(const Relation& a, const Relation& b);
+
+/// Bag union after padding both operands to the union scheme (the paper's
+/// convention for writing `(R - S) ∪ (R ▷ S)`).
+Relation BagUnionPadded(const Relation& a, const Relation& b);
+
+/// Multiset equality modulo scheme order and padding: both relations are
+/// padded to the union scheme (canonical column order) and compared as
+/// sorted bags. This is the paper's notion of "same result".
+bool BagEquals(const Relation& a, const Relation& b);
+
+/// Stable textual form: canonical column order, sorted rows. Two relations
+/// are BagEquals iff their canonical strings match; handy in test failures.
+std::string CanonicalString(const Relation& rel,
+                            const Catalog* catalog = nullptr);
+
+}  // namespace fro
+
+#endif  // FRO_RELATIONAL_RELATION_H_

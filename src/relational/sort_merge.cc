@@ -1,0 +1,152 @@
+#include "relational/sort_merge.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace fro {
+
+namespace {
+
+enum class MergeMode : uint8_t { kInner, kLeftOuter, kAnti, kSemi };
+
+// A row's extracted, normalized key; rows with any null key component
+// can never equi-match.
+struct KeyedRow {
+  size_t row;
+  std::vector<Value> key;
+  bool null_key;
+};
+
+std::vector<KeyedRow> ExtractKeys(const Relation& rel,
+                                  const std::vector<AttrId>& attrs) {
+  std::vector<int> positions;
+  positions.reserve(attrs.size());
+  for (AttrId attr : attrs) {
+    int pos = rel.scheme().IndexOf(attr);
+    FRO_CHECK_GE(pos, 0);
+    positions.push_back(pos);
+  }
+  std::vector<KeyedRow> out;
+  out.reserve(rel.NumRows());
+  for (size_t i = 0; i < rel.NumRows(); ++i) {
+    KeyedRow keyed{i, {}, false};
+    for (int pos : positions) {
+      Value v = NormalizeHashKeyValue(rel.row(i).value(
+          static_cast<size_t>(pos)));
+      if (v.is_null()) {
+        keyed.null_key = true;
+        break;
+      }
+      keyed.key.push_back(std::move(v));
+    }
+    out.push_back(std::move(keyed));
+  }
+  // Null-key rows sort to the front (their key vectors are short/empty),
+  // but we only compare keys among non-null-key rows, so simply order by
+  // (null_key, key).
+  std::sort(out.begin(), out.end(),
+            [](const KeyedRow& a, const KeyedRow& b) {
+              if (a.null_key != b.null_key) return a.null_key;
+              return a.key < b.key;
+            });
+  return out;
+}
+
+Relation Merge(MergeMode mode, const Relation& left, const Relation& right,
+               const PredicatePtr& pred, KernelStats* stats) {
+  EquiKeys keys = ExtractEquiKeys(pred, left.scheme(), right.scheme());
+  FRO_CHECK(keys.Usable())
+      << "sort-merge requires at least one equi-key conjunct";
+  KernelStats local;
+  local.left_reads = left.NumRows();
+  local.right_reads = right.NumRows();
+
+  const Scheme joined_scheme = left.scheme().Concat(right.scheme());
+  Relation out(mode == MergeMode::kInner || mode == MergeMode::kLeftOuter
+                   ? joined_scheme
+                   : left.scheme());
+
+  std::vector<KeyedRow> lkeys = ExtractKeys(left, keys.left);
+  std::vector<KeyedRow> rkeys = ExtractKeys(right, keys.right);
+
+  auto emit_unmatched_left = [&](size_t row) {
+    if (mode == MergeMode::kLeftOuter) {
+      ++local.emitted;
+      out.AddRow(left.row(row).Concat(Tuple::Nulls(right.scheme().size())));
+    } else if (mode == MergeMode::kAnti) {
+      ++local.emitted;
+      out.AddRow(left.row(row));
+    }
+  };
+
+  size_t li = 0;
+  size_t ri = 0;
+  // Null-key left rows (sorted first) are unmatched by definition.
+  while (li < lkeys.size() && lkeys[li].null_key) {
+    emit_unmatched_left(lkeys[li].row);
+    ++li;
+  }
+  while (ri < rkeys.size() && rkeys[ri].null_key) ++ri;
+
+  while (li < lkeys.size()) {
+    // Group of equal left keys.
+    size_t lj = li;
+    while (lj < lkeys.size() && lkeys[lj].key == lkeys[li].key) ++lj;
+    // Advance the right side to the first key >= the left key.
+    while (ri < rkeys.size() && rkeys[ri].key < lkeys[li].key) ++ri;
+    size_t rj = ri;
+    while (rj < rkeys.size() && rkeys[rj].key == lkeys[li].key) ++rj;
+
+    for (size_t l = li; l < lj; ++l) {
+      bool matched = false;
+      for (size_t r = ri; r < rj; ++r) {
+        Tuple joined = left.row(lkeys[l].row).Concat(right.row(rkeys[r].row));
+        ++local.predicate_evals;
+        if (!IsTrue(pred->Eval(joined, joined_scheme))) continue;
+        matched = true;
+        if (mode == MergeMode::kInner || mode == MergeMode::kLeftOuter) {
+          ++local.emitted;
+          out.AddRow(std::move(joined));
+        } else if (mode == MergeMode::kSemi) {
+          break;  // one witness suffices
+        } else {
+          break;  // anti: disqualified
+        }
+      }
+      if (matched && mode == MergeMode::kSemi) {
+        ++local.emitted;
+        out.AddRow(left.row(lkeys[l].row));
+      }
+      if (!matched) emit_unmatched_left(lkeys[l].row);
+    }
+    li = lj;
+  }
+  if (stats != nullptr) *stats += local;
+  return out;
+}
+
+}  // namespace
+
+Relation SortMergeJoin(const Relation& left, const Relation& right,
+                       const PredicatePtr& pred, KernelStats* stats) {
+  return Merge(MergeMode::kInner, left, right, pred, stats);
+}
+
+Relation SortMergeLeftOuterJoin(const Relation& left, const Relation& right,
+                                const PredicatePtr& pred,
+                                KernelStats* stats) {
+  return Merge(MergeMode::kLeftOuter, left, right, pred, stats);
+}
+
+Relation SortMergeAntijoin(const Relation& left, const Relation& right,
+                           const PredicatePtr& pred, KernelStats* stats) {
+  return Merge(MergeMode::kAnti, left, right, pred, stats);
+}
+
+Relation SortMergeSemijoin(const Relation& left, const Relation& right,
+                           const PredicatePtr& pred, KernelStats* stats) {
+  return Merge(MergeMode::kSemi, left, right, pred, stats);
+}
+
+}  // namespace fro

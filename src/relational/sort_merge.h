@@ -1,0 +1,35 @@
+// Sort-merge implementations of the join-like operators, for predicates
+// with at least one column=column equality conjunct. A third physical
+// strategy alongside nested loop and hash (ops.h); all three agree
+// exactly on semantics (null keys never match; the full predicate is
+// re-checked on every candidate pair).
+
+#ifndef FRO_RELATIONAL_SORT_MERGE_H_
+#define FRO_RELATIONAL_SORT_MERGE_H_
+
+#include "relational/ops.h"
+
+namespace fro {
+
+/// Sort-merge join. The predicate must contain at least one equi-key
+/// conjunct across the operands (CHECK-enforced).
+Relation SortMergeJoin(const Relation& left, const Relation& right,
+                       const PredicatePtr& pred, KernelStats* stats);
+
+/// Sort-merge left outer join (left preserved).
+Relation SortMergeLeftOuterJoin(const Relation& left, const Relation& right,
+                                const PredicatePtr& pred,
+                                KernelStats* stats);
+
+/// Sort-merge antijoin (left tuples without a match; output scheme =
+/// left's).
+Relation SortMergeAntijoin(const Relation& left, const Relation& right,
+                           const PredicatePtr& pred, KernelStats* stats);
+
+/// Sort-merge semijoin (left tuples with a match, once).
+Relation SortMergeSemijoin(const Relation& left, const Relation& right,
+                           const PredicatePtr& pred, KernelStats* stats);
+
+}  // namespace fro
+
+#endif  // FRO_RELATIONAL_SORT_MERGE_H_

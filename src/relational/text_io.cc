@@ -1,0 +1,122 @@
+#include "relational/text_io.h"
+
+#include <cstdlib>
+
+#include "common/str_util.h"
+
+namespace fro {
+
+std::string ValueToText(const Value& value) {
+  switch (value.kind()) {
+    case Value::Kind::kNull:
+      return "";
+    case Value::Kind::kInt:
+      return std::to_string(value.AsInt());
+    case Value::Kind::kDouble: {
+      std::string out = StrFormat("%g", value.AsDouble());
+      // Keep doubles recognizable as doubles on reload.
+      if (out.find('.') == std::string::npos &&
+          out.find('e') == std::string::npos) {
+        out += ".0";
+      }
+      return out;
+    }
+    case Value::Kind::kString:
+      return "'" + value.AsString() + "'";
+  }
+  return "";
+}
+
+Result<Value> ValueFromText(const std::string& token) {
+  if (token.empty()) return Value::Null();
+  if (token.front() == '\'') {
+    if (token.size() < 2 || token.back() != '\'') {
+      return InvalidArgument("unterminated string token: " + token);
+    }
+    return Value::String(token.substr(1, token.size() - 2));
+  }
+  if (token.find('.') != std::string::npos ||
+      token.find('e') != std::string::npos) {
+    char* end = nullptr;
+    double v = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      return InvalidArgument("bad double token: " + token);
+    }
+    return Value::Double(v);
+  }
+  char* end = nullptr;
+  long long v = std::strtoll(token.c_str(), &end, 10);
+  if (end != token.c_str() + token.size() || token.empty()) {
+    return InvalidArgument("bad integer token: " + token);
+  }
+  return Value::Int(v);
+}
+
+std::string DatabaseToText(const Database& db) {
+  std::string out;
+  const Catalog& catalog = db.catalog();
+  for (RelId rel = 0; rel < db.num_relations(); ++rel) {
+    out += "relation " + catalog.RelationName(rel);
+    for (AttrId attr : db.scheme(rel).cols()) {
+      // Strip the "rel." prefix from the qualified name.
+      const std::string& qualified = catalog.AttrName(attr);
+      size_t dot = qualified.find('.');
+      out += " " + qualified.substr(dot + 1);
+    }
+    out += "\n";
+    for (const Tuple& row : db.relation(rel).rows()) {
+      for (size_t c = 0; c < row.arity(); ++c) {
+        if (c > 0) out += ",";
+        out += ValueToText(row.value(c));
+      }
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+Result<std::unique_ptr<Database>> LoadDatabaseText(const std::string& text) {
+  auto db = std::make_unique<Database>();
+  int current = -1;
+  size_t arity = 0;
+  for (const std::string& raw_line : StrSplit(text, '\n')) {
+    // Trim trailing carriage returns / spaces.
+    std::string line = raw_line;
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+      line.pop_back();
+    }
+    if (line.empty() || line.front() == '#') continue;
+    if (StartsWith(line, "relation ")) {
+      std::vector<std::string> parts;
+      for (std::string& part : StrSplit(line, ' ')) {
+        if (!part.empty()) parts.push_back(std::move(part));
+      }
+      if (parts.size() < 3) {
+        return InvalidArgument("relation line needs a name and columns: " +
+                               line);
+      }
+      std::vector<std::string> columns(parts.begin() + 2, parts.end());
+      FRO_ASSIGN_OR_RETURN(RelId rel, db->AddRelation(parts[1], columns));
+      current = static_cast<int>(rel);
+      arity = columns.size();
+      continue;
+    }
+    if (current < 0) {
+      return InvalidArgument("row before any 'relation' header: " + line);
+    }
+    std::vector<std::string> tokens = StrSplit(line, ',');
+    if (tokens.size() != arity) {
+      return InvalidArgument("row arity mismatch: " + line);
+    }
+    std::vector<Value> values;
+    values.reserve(arity);
+    for (const std::string& token : tokens) {
+      FRO_ASSIGN_OR_RETURN(Value v, ValueFromText(token));
+      values.push_back(std::move(v));
+    }
+    db->AddRow(static_cast<RelId>(current), std::move(values));
+  }
+  return db;
+}
+
+}  // namespace fro

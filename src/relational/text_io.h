@@ -1,0 +1,38 @@
+// Plain-text persistence for databases: a simple line-oriented format for
+// saving and loading relations with nulls, integers, doubles, and
+// strings.
+//
+// Format:
+//   relation <name> <col1> <col2> ...
+//   <value>,<value>,...            -- one line per row
+//
+// Values: empty = null, 'quoted' = string, containing '.' = double,
+// otherwise integer. Blank lines and lines starting with '#' are
+// ignored.
+
+#ifndef FRO_RELATIONAL_TEXT_IO_H_
+#define FRO_RELATIONAL_TEXT_IO_H_
+
+#include <memory>
+#include <string>
+
+#include "relational/database.h"
+
+namespace fro {
+
+/// Serializes the whole database (round-trips through LoadDatabaseText).
+std::string DatabaseToText(const Database& db);
+
+/// Parses a database from the textual format.
+Result<std::unique_ptr<Database>> LoadDatabaseText(const std::string& text);
+
+/// Serializes a single value in the row format ('' quoting for strings,
+/// empty for null).
+std::string ValueToText(const Value& value);
+
+/// Parses a single value token.
+Result<Value> ValueFromText(const std::string& token);
+
+}  // namespace fro
+
+#endif  // FRO_RELATIONAL_TEXT_IO_H_

@@ -1,0 +1,63 @@
+// Kleene three-valued logic, used for predicate evaluation over nulls.
+//
+// Comparing a null with anything yields Unknown; a tuple satisfies a
+// predicate only when it evaluates to True (Unknown filters like False).
+// This matches the paper's requirement that a "strong" predicate "returns
+// False when all attributes of [a] relation are null": with equality
+// predicates, null operands never produce True.
+
+#ifndef FRO_RELATIONAL_TRIBOOL_H_
+#define FRO_RELATIONAL_TRIBOOL_H_
+
+#include <cstdint>
+
+namespace fro {
+
+enum class TriBool : uint8_t {
+  kFalse = 0,
+  kUnknown = 1,
+  kTrue = 2,
+};
+
+inline TriBool TriNot(TriBool a) {
+  switch (a) {
+    case TriBool::kFalse:
+      return TriBool::kTrue;
+    case TriBool::kTrue:
+      return TriBool::kFalse;
+    case TriBool::kUnknown:
+      return TriBool::kUnknown;
+  }
+  return TriBool::kUnknown;
+}
+
+inline TriBool TriAnd(TriBool a, TriBool b) {
+  if (a == TriBool::kFalse || b == TriBool::kFalse) return TriBool::kFalse;
+  if (a == TriBool::kTrue && b == TriBool::kTrue) return TriBool::kTrue;
+  return TriBool::kUnknown;
+}
+
+inline TriBool TriOr(TriBool a, TriBool b) {
+  if (a == TriBool::kTrue || b == TriBool::kTrue) return TriBool::kTrue;
+  if (a == TriBool::kFalse && b == TriBool::kFalse) return TriBool::kFalse;
+  return TriBool::kUnknown;
+}
+
+/// The filtering interpretation: only True passes.
+inline bool IsTrue(TriBool a) { return a == TriBool::kTrue; }
+
+inline const char* TriBoolName(TriBool a) {
+  switch (a) {
+    case TriBool::kFalse:
+      return "false";
+    case TriBool::kUnknown:
+      return "unknown";
+    case TriBool::kTrue:
+      return "true";
+  }
+  return "?";
+}
+
+}  // namespace fro
+
+#endif  // FRO_RELATIONAL_TRIBOOL_H_

@@ -1,0 +1,31 @@
+#include "relational/tuple.h"
+
+namespace fro {
+
+Tuple Tuple::Concat(const Tuple& other) const {
+  std::vector<Value> out;
+  out.reserve(values_.size() + other.values_.size());
+  out.insert(out.end(), values_.begin(), values_.end());
+  out.insert(out.end(), other.values_.begin(), other.values_.end());
+  return Tuple(std::move(out));
+}
+
+size_t Tuple::Hash() const {
+  size_t h = 0x811c9dc5;
+  for (const Value& v : values_) {
+    h ^= v.Hash() + 0x9e3779b9 + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+std::string Tuple::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += values_[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace fro

@@ -1,0 +1,48 @@
+// Tuples: positional value vectors interpreted against a Scheme.
+
+#ifndef FRO_RELATIONAL_TUPLE_H_
+#define FRO_RELATIONAL_TUPLE_H_
+
+#include <string>
+#include <vector>
+
+#include "relational/schema.h"
+#include "relational/value.h"
+
+namespace fro {
+
+/// A tuple is a row of values positionally aligned with some Scheme. The
+/// scheme is carried by the enclosing Relation (or passed alongside) rather
+/// than stored per row.
+class Tuple {
+ public:
+  Tuple() = default;
+  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
+
+  /// All-null tuple of the given arity (the paper's null_S).
+  static Tuple Nulls(size_t arity) {
+    return Tuple(std::vector<Value>(arity));
+  }
+
+  size_t arity() const { return values_.size(); }
+  const Value& value(size_t i) const { return values_[i]; }
+  const std::vector<Value>& values() const { return values_; }
+
+  /// Concatenation (t1, t2) from the paper.
+  Tuple Concat(const Tuple& other) const;
+
+  /// Structural equality (null == null), for bag semantics.
+  bool operator==(const Tuple& other) const { return values_ == other.values_; }
+  bool operator<(const Tuple& other) const { return values_ < other.values_; }
+
+  size_t Hash() const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Value> values_;
+};
+
+}  // namespace fro
+
+#endif  // FRO_RELATIONAL_TUPLE_H_

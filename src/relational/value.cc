@@ -1,0 +1,110 @@
+#include "relational/value.h"
+
+#include <functional>
+
+#include "common/check.h"
+#include "common/str_util.h"
+
+namespace fro {
+
+int64_t Value::AsInt() const {
+  FRO_CHECK(kind() == Kind::kInt) << "Value::AsInt on " << ToString();
+  return std::get<int64_t>(rep_);
+}
+
+double Value::AsDouble() const {
+  FRO_CHECK(kind() == Kind::kDouble) << "Value::AsDouble on " << ToString();
+  return std::get<double>(rep_);
+}
+
+const std::string& Value::AsString() const {
+  FRO_CHECK(kind() == Kind::kString) << "Value::AsString on " << ToString();
+  return std::get<std::string>(rep_);
+}
+
+double Value::NumericValue() const {
+  if (kind() == Kind::kInt) return static_cast<double>(std::get<int64_t>(rep_));
+  FRO_CHECK(kind() == Kind::kDouble) << "non-numeric Value " << ToString();
+  return std::get<double>(rep_);
+}
+
+bool Value::operator<(const Value& other) const {
+  if (kind() != other.kind()) return kind() < other.kind();
+  return rep_ < other.rep_;
+}
+
+size_t Value::Hash() const {
+  switch (kind()) {
+    case Kind::kNull:
+      return 0x9ae16a3b2f90404fULL;
+    case Kind::kInt:
+      return std::hash<int64_t>{}(std::get<int64_t>(rep_));
+    case Kind::kDouble:
+      return std::hash<double>{}(std::get<double>(rep_));
+    case Kind::kString:
+      return std::hash<std::string>{}(std::get<std::string>(rep_));
+  }
+  return 0;
+}
+
+std::optional<int> Value::CompareSql(const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return std::nullopt;
+  const bool a_num = a.kind() == Kind::kInt || a.kind() == Kind::kDouble;
+  const bool b_num = b.kind() == Kind::kInt || b.kind() == Kind::kDouble;
+  if (a_num && b_num) {
+    const double x = a.NumericValue();
+    const double y = b.NumericValue();
+    if (x < y) return -1;
+    if (x > y) return 1;
+    return 0;
+  }
+  if (a.kind() == Kind::kString && b.kind() == Kind::kString) {
+    return a.AsString().compare(b.AsString());
+  }
+  // Cross-kind (string vs numeric): incomparable -> Unknown.
+  return std::nullopt;
+}
+
+std::string Value::ToString() const {
+  switch (kind()) {
+    case Kind::kNull:
+      return "-";
+    case Kind::kInt:
+      return std::to_string(std::get<int64_t>(rep_));
+    case Kind::kDouble:
+      return StrFormat("%g", std::get<double>(rep_));
+    case Kind::kString:
+      return "'" + std::get<std::string>(rep_) + "'";
+  }
+  return "?";
+}
+
+namespace {
+
+TriBool FromComparison(std::optional<int> cmp, bool (*test)(int)) {
+  if (!cmp.has_value()) return TriBool::kUnknown;
+  return test(*cmp) ? TriBool::kTrue : TriBool::kFalse;
+}
+
+}  // namespace
+
+TriBool SqlEq(const Value& a, const Value& b) {
+  return FromComparison(Value::CompareSql(a, b), [](int c) { return c == 0; });
+}
+TriBool SqlNe(const Value& a, const Value& b) {
+  return FromComparison(Value::CompareSql(a, b), [](int c) { return c != 0; });
+}
+TriBool SqlLt(const Value& a, const Value& b) {
+  return FromComparison(Value::CompareSql(a, b), [](int c) { return c < 0; });
+}
+TriBool SqlLe(const Value& a, const Value& b) {
+  return FromComparison(Value::CompareSql(a, b), [](int c) { return c <= 0; });
+}
+TriBool SqlGt(const Value& a, const Value& b) {
+  return FromComparison(Value::CompareSql(a, b), [](int c) { return c > 0; });
+}
+TriBool SqlGe(const Value& a, const Value& b) {
+  return FromComparison(Value::CompareSql(a, b), [](int c) { return c >= 0; });
+}
+
+}  // namespace fro

@@ -1,0 +1,87 @@
+#include "testing/datagen.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace fro {
+
+void FillRandomRows(Database* db, RelId rel, const RandomRowsOptions& options,
+                    Rng* rng) {
+  const size_t arity = db->scheme(rel).size();
+  const int num_rows = static_cast<int>(
+      rng->UniformInt(options.rows_min, options.rows_max));
+  std::vector<Tuple> rows;
+  rows.reserve(static_cast<size_t>(num_rows));
+  for (int i = 0; i < num_rows; ++i) {
+    std::vector<Value> values;
+    values.reserve(arity);
+    for (size_t c = 0; c < arity; ++c) {
+      if (rng->Bernoulli(options.null_prob)) {
+        values.push_back(Value::Null());
+      } else {
+        values.push_back(Value::Int(
+            rng->UniformInt(0, options.domain - 1)));
+      }
+    }
+    rows.emplace_back(std::move(values));
+  }
+  if (options.unique_rows) {
+    std::sort(rows.begin(), rows.end());
+    rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+  }
+  db->SetRows(rel, std::move(rows));
+}
+
+std::unique_ptr<Database> MakeRandomDatabase(int num_relations,
+                                             int attrs_per_rel,
+                                             const RandomRowsOptions& options,
+                                             Rng* rng) {
+  auto db = std::make_unique<Database>();
+  for (int r = 0; r < num_relations; ++r) {
+    std::vector<std::string> cols;
+    for (int c = 0; c < attrs_per_rel; ++c) {
+      cols.push_back("a" + std::to_string(c));
+    }
+    Result<RelId> rel = db->AddRelation("R" + std::to_string(r), cols);
+    FRO_CHECK(rel.ok()) << rel.status().ToString();
+    FillRandomRows(db.get(), *rel, options, rng);
+  }
+  return db;
+}
+
+std::unique_ptr<Database> MakeDeptEmpDatabase() {
+  auto db = std::make_unique<Database>();
+  RelId dept = *db->AddRelation("DEPT", {"dno", "dname", "location"});
+  RelId emp = *db->AddRelation("EMP", {"eno", "ename", "dno", "rank"});
+  db->AddRow(dept, {Value::Int(1), Value::String("Research"),
+                    Value::String("Zurich")});
+  db->AddRow(dept, {Value::Int(2), Value::String("Sales"),
+                    Value::String("Queretaro")});
+  db->AddRow(dept, {Value::Int(3), Value::String("Archive"),
+                    Value::String("Zurich")});  // no employees
+  db->AddRow(emp, {Value::Int(10), Value::String("Ana"), Value::Int(1),
+                   Value::Int(12)});
+  db->AddRow(emp, {Value::Int(11), Value::String("Bo"), Value::Int(1),
+                   Value::Int(7)});
+  db->AddRow(emp, {Value::Int(12), Value::String("Cy"), Value::Int(2),
+                   Value::Int(11)});
+  return db;
+}
+
+std::unique_ptr<Database> MakeExample1Database(int n) {
+  FRO_CHECK_GE(n, 1);
+  auto db = std::make_unique<Database>();
+  RelId r1 = *db->AddRelation("R1", {"k"});
+  RelId r2 = *db->AddRelation("R2", {"k", "fk"});
+  RelId r3 = *db->AddRelation("R3", {"k"});
+  // R1 holds the single key 0; R2's key i links to R3's key i.
+  db->AddRow(r1, {Value::Int(0)});
+  for (int i = 0; i < n; ++i) {
+    db->AddRow(r2, {Value::Int(i), Value::Int(i)});
+    db->AddRow(r3, {Value::Int(i)});
+  }
+  return db;
+}
+
+}  // namespace fro

@@ -1,0 +1,52 @@
+// Random data generation for tests and benchmarks. Everything is
+// deterministic given the caller's Rng.
+
+#ifndef FRO_TESTING_DATAGEN_H_
+#define FRO_TESTING_DATAGEN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "relational/database.h"
+
+namespace fro {
+
+struct RandomRowsOptions {
+  int rows_min = 0;
+  int rows_max = 6;
+  /// Integer values are drawn uniformly from [0, domain).
+  int domain = 4;
+  /// Probability that any individual value is null instead.
+  double null_prob = 0.15;
+  /// Remove duplicate rows (the GOJ identities of Section 6.2 assume
+  /// duplicate-free relations).
+  bool unique_rows = false;
+};
+
+/// Replaces the body of `rel` with random rows.
+void FillRandomRows(Database* db, RelId rel, const RandomRowsOptions& options,
+                    Rng* rng);
+
+/// Creates a database with `num_relations` relations named R0..R{n-1},
+/// each with `attrs_per_rel` integer columns named a0..a{k-1}, filled with
+/// random rows.
+std::unique_ptr<Database> MakeRandomDatabase(int num_relations,
+                                             int attrs_per_rel,
+                                             const RandomRowsOptions& options,
+                                             Rng* rng);
+
+/// The paper's motivating schema: DEPT(dno, dname, location) and
+/// EMP(eno, ename, dno, rank), including a department with no employees.
+std::unique_ptr<Database> MakeDeptEmpDatabase();
+
+/// Builds the three-relation database of the paper's Example 1:
+/// R1(k) with one row; R2(k, fk) and R3(k) with `n` rows each, where
+/// R1.k = R2.k matches exactly one row and R2.fk = R3.k matches all rows
+/// one-to-one.
+std::unique_ptr<Database> MakeExample1Database(int n);
+
+}  // namespace fro
+
+#endif  // FRO_TESTING_DATAGEN_H_

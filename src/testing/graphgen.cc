@@ -1,0 +1,173 @@
+#include "testing/graphgen.h"
+
+#include <vector>
+
+#include "common/check.h"
+
+namespace fro {
+
+namespace {
+
+AttrId RandomAttrOf(const Database& db, RelId rel, Rng* rng) {
+  const std::vector<AttrId>& attrs = db.catalog().RelationAttrs(rel);
+  FRO_CHECK(!attrs.empty());
+  return attrs[rng->Uniform(attrs.size())];
+}
+
+// Equality predicate between random attributes of the two relations —
+// strong with respect to both sides.
+PredicatePtr StrongPred(const Database& db, RelId a, RelId b, Rng* rng) {
+  return EqCols(RandomAttrOf(db, a, rng), RandomAttrOf(db, b, rng));
+}
+
+// `a = b OR a IS NULL` — accepts tuples whose `preserved`-side attribute
+// is null, i.e. NOT strong w.r.t. the preserved relation.
+PredicatePtr WeakPred(const Database& db, RelId preserved, RelId null_side,
+                      Rng* rng) {
+  AttrId pa = RandomAttrOf(db, preserved, rng);
+  AttrId na = RandomAttrOf(db, null_side, rng);
+  return Predicate::Or(
+      {EqCols(pa, na), Predicate::IsNull(Operand::Column(pa))});
+}
+
+bool Adjacent(const QueryGraph& graph, int u, int v) {
+  for (const GraphEdge& e : graph.edges()) {
+    if ((e.u == u && e.v == v) || (e.u == v && e.v == u)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+GeneratedQuery GenerateRandomQuery(const RandomQueryOptions& options,
+                                   Rng* rng) {
+  FRO_CHECK_GE(options.num_relations, 1);
+  GeneratedQuery out;
+  out.db = MakeRandomDatabase(options.num_relations, options.attrs_per_rel,
+                              options.rows, rng);
+  Database& db = *out.db;
+  QueryGraph& graph = out.graph;
+
+  const int n = options.num_relations;
+  for (RelId r = 0; r < static_cast<RelId>(n); ++r) {
+    graph.AddNode(r, db.scheme(r).ToAttrSet());
+  }
+
+  // For the "extra edge" violations, the last node is reserved: it is
+  // attached only by the violating edge, reproducing Example 2's shape
+  // (X -> Y - Z) rather than a triangle with a single implementing tree.
+  const bool reserve_last =
+      options.violation ==
+          RandomQueryOptions::Violation::kJoinAtNullSupplied ||
+      options.violation == RandomQueryOptions::Violation::kTwoInEdges;
+  const int base = reserve_last ? n - 1 : n;
+  FRO_CHECK_GE(base, 2);
+
+  // Decide the join-core size: at least 1 node; remaining nodes hang as an
+  // outerjoin forest.
+  int core = 1;
+  for (int i = 1; i < base; ++i) {
+    if (!rng->Bernoulli(options.oj_fraction)) ++core;
+  }
+  // Certain violations need at least one outerjoin node (two for a cycle).
+  if (options.violation != RandomQueryOptions::Violation::kNone) {
+    int needed = options.violation ==
+                         RandomQueryOptions::Violation::kOjCycle
+                     ? 2
+                     : 1;
+    core = std::min(core, base - needed);
+    core = std::max(core, 1);
+  }
+
+  // Join core: random spanning tree over nodes [0, core).
+  for (int v = 1; v < core; ++v) {
+    int u = static_cast<int>(rng->Uniform(static_cast<uint64_t>(v)));
+    Status s = graph.AddJoinEdge(
+        u, v,
+        StrongPred(db, static_cast<RelId>(u), static_cast<RelId>(v), rng));
+    FRO_CHECK(s.ok()) << s.ToString();
+  }
+  // Extra core conjuncts (cycles / collapsed parallel edges).
+  for (int u = 0; u < core; ++u) {
+    for (int v = u + 1; v < core; ++v) {
+      if (!rng->Bernoulli(options.extra_join_edge_prob)) continue;
+      Status s = graph.AddJoinEdge(
+          u, v,
+          StrongPred(db, static_cast<RelId>(u), static_cast<RelId>(v), rng));
+      FRO_CHECK(s.ok()) << s.ToString();
+    }
+  }
+
+  // Outerjoin forest going outward: each node v in [core, n) picks a parent
+  // among the already-present nodes.
+  std::vector<int> forest_parent(static_cast<size_t>(n), -1);
+  for (int v = core; v < base; ++v) {
+    int parent = static_cast<int>(rng->Uniform(static_cast<uint64_t>(v)));
+    forest_parent[static_cast<size_t>(v)] = parent;
+    RelId pr = static_cast<RelId>(parent);
+    RelId vr = static_cast<RelId>(v);
+    PredicatePtr pred = rng->Bernoulli(options.weak_pred_prob)
+                            ? WeakPred(db, pr, vr, rng)
+                            : StrongPred(db, pr, vr, rng);
+    Status s = graph.AddOuterJoinEdge(parent, v, pred);
+    FRO_CHECK(s.ok()) << s.ToString();
+  }
+
+  // Inject the requested niceness violation.
+  switch (options.violation) {
+    case RandomQueryOptions::Violation::kNone:
+      break;
+    case RandomQueryOptions::Violation::kJoinAtNullSupplied: {
+      // The reserved node joins a null-supplied node: ... -> v - w.
+      FRO_CHECK_LT(core, base);
+      int v = base - 1;  // a null-supplied forest node
+      int w = n - 1;     // the reserved node
+      Status s = graph.AddJoinEdge(
+          v, w,
+          StrongPred(db, static_cast<RelId>(v), static_cast<RelId>(w), rng));
+      FRO_CHECK(s.ok()) << s.ToString();
+      break;
+    }
+    case RandomQueryOptions::Violation::kTwoInEdges: {
+      // The reserved node supplies a second in-edge: ... -> v <- w.
+      FRO_CHECK_LT(core, base);
+      int v = base - 1;
+      int w = n - 1;
+      Status s = graph.AddOuterJoinEdge(
+          w, v,
+          StrongPred(db, static_cast<RelId>(w), static_cast<RelId>(v), rng));
+      FRO_CHECK(s.ok()) << s.ToString();
+      break;
+    }
+    case RandomQueryOptions::Violation::kOjCycle: {
+      // Build an undirected cycle of outerjoin edges among v1, v2, and
+      // v1's forest parent x: the edges x->v1 (existing), v1->v2, and
+      // v2->x together close a cycle. If v2's own forest parent happens
+      // to be v1 or x, some edges already exist and the cycle still
+      // closes.
+      FRO_CHECK_LE(core, n - 2);
+      int v1 = n - 2;
+      int v2 = n - 1;
+      int x = forest_parent[static_cast<size_t>(v1)];
+      FRO_CHECK_GE(x, 0);
+      if (!Adjacent(graph, v1, v2)) {
+        Status s = graph.AddOuterJoinEdge(
+            v1, v2,
+            StrongPred(db, static_cast<RelId>(v1), static_cast<RelId>(v2),
+                       rng));
+        FRO_CHECK(s.ok()) << s.ToString();
+      }
+      if (!Adjacent(graph, x, v2)) {
+        Status s = graph.AddOuterJoinEdge(
+            v2, x,
+            StrongPred(db, static_cast<RelId>(v2), static_cast<RelId>(x),
+                       rng));
+        FRO_CHECK(s.ok()) << s.ToString();
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace fro

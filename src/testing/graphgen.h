@@ -1,0 +1,55 @@
+// Random query-graph generation: nice graphs (connected join core with an
+// outerjoin forest hanging outward, Fig. 2 of the paper), optionally with
+// injected niceness violations or non-strong ("weak") outerjoin
+// predicates.
+
+#ifndef FRO_TESTING_GRAPHGEN_H_
+#define FRO_TESTING_GRAPHGEN_H_
+
+#include <memory>
+
+#include "common/rng.h"
+#include "graph/query_graph.h"
+#include "relational/database.h"
+#include "testing/datagen.h"
+
+namespace fro {
+
+struct RandomQueryOptions {
+  int num_relations = 5;
+  int attrs_per_rel = 2;
+  /// Probability of each extra join conjunct inside the core (creates
+  /// cycles and collapsed parallel edges).
+  double extra_join_edge_prob = 0.25;
+  /// Expected fraction of relations hanging off the core as outerjoin
+  /// forest nodes.
+  double oj_fraction = 0.5;
+  /// Probability that an outerjoin predicate is *weak*: it accepts when
+  /// the preserved-side attribute is null (Example 3's shape), breaking
+  /// Theorem 1's strength precondition.
+  double weak_pred_prob = 0.0;
+
+  enum class Violation {
+    kNone,
+    kJoinAtNullSupplied,  // adds a join edge at a null-supplied node
+    kTwoInEdges,          // adds a second outerjoin edge into a node
+    kOjCycle,             // creates a cycle of outerjoin edges
+  };
+  Violation violation = Violation::kNone;
+
+  RandomRowsOptions rows;
+};
+
+struct GeneratedQuery {
+  std::unique_ptr<Database> db;
+  QueryGraph graph;
+};
+
+/// Generates a random database and query graph. With default options the
+/// graph satisfies Theorem 1's preconditions (nice + strong predicates).
+GeneratedQuery GenerateRandomQuery(const RandomQueryOptions& options,
+                                   Rng* rng);
+
+}  // namespace fro
+
+#endif  // FRO_TESTING_GRAPHGEN_H_

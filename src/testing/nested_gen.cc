@@ -1,0 +1,129 @@
+#include "testing/nested_gen.h"
+
+#include <vector>
+
+#include "common/check.h"
+
+namespace fro {
+
+namespace {
+
+std::string TypeName(int i) { return "T" + std::to_string(i); }
+
+}  // namespace
+
+GeneratedNestedQuery GenerateRandomNestedQuery(
+    const RandomNestedOptions& options, Rng* rng) {
+  GeneratedNestedQuery out;
+  NestedDb& db = out.db;
+  const int n = std::max(1, options.num_types);
+
+  // --- Schema ------------------------------------------------------------
+  // fields[i] records which optional fields type i has.
+  struct TypeShape {
+    bool has_tags = false;
+    std::vector<int> ref_targets;  // earlier type indices
+  };
+  std::vector<TypeShape> shapes(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    TypeShape& shape = shapes[static_cast<size_t>(i)];
+    std::vector<FieldDef> fields = {
+        {"k", FieldDef::Kind::kScalar, ""},
+        {"v", FieldDef::Kind::kScalar, ""},
+    };
+    if (rng->Bernoulli(0.6)) {
+      shape.has_tags = true;
+      fields.push_back({"tags", FieldDef::Kind::kSetValued, ""});
+    }
+    for (int r = 0; r < 2 && i > 0; ++r) {
+      if (!rng->Bernoulli(0.5)) continue;
+      int target = static_cast<int>(rng->Uniform(static_cast<uint64_t>(i)));
+      shape.ref_targets.push_back(target);
+      fields.push_back({"ref" + std::to_string(shape.ref_targets.size() - 1),
+                        FieldDef::Kind::kEntityRef, TypeName(target)});
+    }
+    FRO_CHECK(db.DefineType(TypeName(i), std::move(fields)).ok());
+  }
+
+  // --- Data ----------------------------------------------------------------
+  // Oids of each type's rows, to wire references.
+  std::vector<std::vector<int64_t>> oids(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const TypeShape& shape = shapes[static_cast<size_t>(i)];
+    int rows = static_cast<int>(
+        rng->UniformInt(options.rows_min, options.rows_max));
+    for (int r = 0; r < rows; ++r) {
+      std::vector<FieldValue> values;
+      values.push_back(FieldValue::Scalar(
+          Value::Int(rng->UniformInt(0, options.key_domain - 1))));
+      values.push_back(FieldValue::Scalar(Value::Int(r)));
+      if (shape.has_tags) {
+        std::vector<Value> tags;
+        int count =
+            static_cast<int>(rng->Uniform(
+                static_cast<uint64_t>(options.max_set_elements) + 1));
+        for (int t = 0; t < count; ++t) {
+          tags.push_back(Value::String("t" + std::to_string(t)));
+        }
+        values.push_back(FieldValue::Set(std::move(tags)));
+      }
+      for (int target : shape.ref_targets) {
+        const std::vector<int64_t>& pool =
+            oids[static_cast<size_t>(target)];
+        if (pool.empty() || rng->Bernoulli(options.null_ref_prob)) {
+          values.push_back(FieldValue::NullRef());
+        } else {
+          values.push_back(
+              FieldValue::Ref(pool[rng->Uniform(pool.size())]));
+        }
+      }
+      oids[static_cast<size_t>(i)].push_back(
+          *db.AddEntity(TypeName(i), std::move(values)));
+    }
+  }
+
+  // --- Query ----------------------------------------------------------------
+  // One or two base types; chains built from each base's own fields.
+  const int bases = n >= 2 && rng->Bernoulli(0.5) ? 2 : 1;
+  std::vector<int> base_types;
+  base_types.push_back(static_cast<int>(rng->Uniform(static_cast<uint64_t>(n))));
+  if (bases == 2) {
+    int second;
+    do {
+      second = static_cast<int>(rng->Uniform(static_cast<uint64_t>(n)));
+    } while (second == base_types[0]);
+    base_types.push_back(second);
+  }
+
+  std::string from;
+  for (size_t b = 0; b < base_types.size(); ++b) {
+    int type = base_types[b];
+    const TypeShape& shape = shapes[static_cast<size_t>(type)];
+    if (b > 0) from += ", ";
+    from += TypeName(type);
+    if (shape.has_tags && rng->Bernoulli(0.6)) from += "*tags";
+    for (size_t r = 0; r < shape.ref_targets.size(); ++r) {
+      if (rng->Bernoulli(0.6)) {
+        from += "->ref" + std::to_string(r);
+      }
+    }
+  }
+
+  std::string where;
+  if (bases == 2) {
+    where = TypeName(base_types[0]) + ".k = " + TypeName(base_types[1]) +
+            ".k";
+  }
+  if (rng->Bernoulli(0.5)) {
+    std::string restriction =
+        TypeName(base_types[0]) + ".k >= " +
+        std::to_string(rng->UniformInt(0, options.key_domain - 1));
+    where = where.empty() ? restriction : where + " and " + restriction;
+  }
+
+  out.query_text = "Select All From " + from;
+  if (!where.empty()) out.query_text += " Where " + where;
+  return out;
+}
+
+}  // namespace fro

@@ -1,0 +1,44 @@
+// Random nested databases and Section 5 query texts, for full-stack
+// integration fuzzing (parser -> translator -> audit -> optimizer ->
+// executors).
+
+#ifndef FRO_TESTING_NESTED_GEN_H_
+#define FRO_TESTING_NESTED_GEN_H_
+
+#include <string>
+
+#include "common/rng.h"
+#include "lang/model.h"
+
+namespace fro {
+
+struct RandomNestedOptions {
+  int num_types = 3;
+  /// Rows per entity table, inclusive bounds.
+  int rows_min = 1;
+  int rows_max = 6;
+  /// Domain of the shared join key field "k".
+  int key_domain = 4;
+  /// Maximum elements per set-valued field.
+  int max_set_elements = 3;
+  /// Probability an entity-ref field is null.
+  double null_ref_prob = 0.25;
+};
+
+struct GeneratedNestedQuery {
+  NestedDb db;
+  /// A syntactically valid Section 5 query over `db`.
+  std::string query_text;
+};
+
+/// Generates a random schema (every type has a scalar key "k" and a
+/// scalar "v"; types may add a set-valued "tags" and entity-ref fields
+/// "ref0"/"ref1" to earlier types), fills random entities, and composes a
+/// random query: 1-2 From items with random UnNest/Link chains, joined on
+/// "k", optionally restricted.
+GeneratedNestedQuery GenerateRandomNestedQuery(
+    const RandomNestedOptions& options, Rng* rng);
+
+}  // namespace fro
+
+#endif  // FRO_TESTING_NESTED_GEN_H_

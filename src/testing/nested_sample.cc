@@ -1,0 +1,77 @@
+#include "testing/nested_sample.h"
+
+#include "common/check.h"
+
+namespace fro {
+
+NestedDb MakeCompanyNestedDb() {
+  NestedDb db;
+  FRO_CHECK(db.DefineType("REPORT",
+                          {{"Title", FieldDef::Kind::kScalar, ""},
+                           {"Cost", FieldDef::Kind::kScalar, ""}})
+                .ok());
+  FRO_CHECK(db.DefineType("EMPLOYEE",
+                          {{"D#", FieldDef::Kind::kScalar, ""},
+                           {"Rank", FieldDef::Kind::kScalar, ""},
+                           {"ChildName", FieldDef::Kind::kSetValued, ""}})
+                .ok());
+  FRO_CHECK(db.DefineType(
+                  "DEPARTMENT",
+                  {{"D#", FieldDef::Kind::kScalar, ""},
+                   {"Location", FieldDef::Kind::kScalar, ""},
+                   {"Manager", FieldDef::Kind::kEntityRef, "EMPLOYEE"},
+                   {"Secretary", FieldDef::Kind::kEntityRef, "EMPLOYEE"},
+                   {"Audit", FieldDef::Kind::kEntityRef, "REPORT"}})
+                .ok());
+
+  int64_t audit1 = *db.AddEntity(
+      "REPORT", {FieldValue::Scalar(Value::String("FY89 Audit")),
+                 FieldValue::Scalar(Value::Int(120))});
+  int64_t audit2 = *db.AddEntity(
+      "REPORT", {FieldValue::Scalar(Value::String("Fraud Inquiry")),
+                 FieldValue::Scalar(Value::Int(900))});
+
+  int64_t ana = *db.AddEntity(
+      "EMPLOYEE",
+      {FieldValue::Scalar(Value::Int(1)), FieldValue::Scalar(Value::Int(12)),
+       FieldValue::Set({Value::String("Mia"), Value::String("Ben")})});
+  int64_t bo = *db.AddEntity(
+      "EMPLOYEE",
+      {FieldValue::Scalar(Value::Int(1)), FieldValue::Scalar(Value::Int(7)),
+       FieldValue::Set({})});  // childless
+  int64_t cy = *db.AddEntity(
+      "EMPLOYEE",
+      {FieldValue::Scalar(Value::Int(2)), FieldValue::Scalar(Value::Int(11)),
+       FieldValue::Set({Value::String("Lea")})});
+  int64_t dee = *db.AddEntity(
+      "EMPLOYEE",
+      {FieldValue::Scalar(Value::Null()),  // in no department
+       FieldValue::Scalar(Value::Int(13)),
+       FieldValue::Set({Value::String("Rex")})});
+  (void)dee;
+
+  // Department 1 (Zurich): manager Ana, secretary Bo, audited.
+  FRO_CHECK(db.AddEntity("DEPARTMENT",
+                         {FieldValue::Scalar(Value::Int(1)),
+                          FieldValue::Scalar(Value::String("Zurich")),
+                          FieldValue::Ref(ana), FieldValue::Ref(bo),
+                          FieldValue::Ref(audit1)})
+                .ok());
+  // Department 2 (Queretaro): manager Cy, no secretary, audited.
+  FRO_CHECK(db.AddEntity("DEPARTMENT",
+                         {FieldValue::Scalar(Value::Int(2)),
+                          FieldValue::Scalar(Value::String("Queretaro")),
+                          FieldValue::Ref(cy), FieldValue::NullRef(),
+                          FieldValue::Ref(audit2)})
+                .ok());
+  // Department 3 (Zurich): manager Bo, no secretary, never audited.
+  FRO_CHECK(db.AddEntity("DEPARTMENT",
+                         {FieldValue::Scalar(Value::Int(3)),
+                          FieldValue::Scalar(Value::String("Zurich")),
+                          FieldValue::Ref(bo), FieldValue::NullRef(),
+                          FieldValue::NullRef()})
+                .ok());
+  return db;
+}
+
+}  // namespace fro

@@ -1,0 +1,26 @@
+// The paper's Section 5 sample schema: EMPLOYEEs with a set-valued
+// ChildName field, DEPARTMENTs with entity-valued Manager / Secretary /
+// Audit fields, and REPORTs.
+
+#ifndef FRO_TESTING_NESTED_SAMPLE_H_
+#define FRO_TESTING_NESTED_SAMPLE_H_
+
+#include "lang/model.h"
+
+namespace fro {
+
+/// Builds the company database used by the paper's Section 5 examples:
+///
+///   EMPLOYEE(D#, Rank, ChildName*)            4 employees; one childless;
+///                                             one in no department
+///   DEPARTMENT(D#, Location, ->Manager, ->Secretary, ->Audit)
+///                                             3 departments (Zurich x2,
+///                                             Queretaro x1); one with no
+///                                             audit report and no
+///                                             secretary
+///   REPORT(Title, Cost)                       2 reports
+NestedDb MakeCompanyNestedDb();
+
+}  // namespace fro
+
+#endif  // FRO_TESTING_NESTED_SAMPLE_H_

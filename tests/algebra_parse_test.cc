@@ -1,0 +1,123 @@
+// Tests for the textual algebra parser, including the round trip
+// parse(ToString(Q)) == Q.
+
+#include <gtest/gtest.h>
+
+#include "algebra/eval.h"
+#include "algebra/parse.h"
+#include "common/rng.h"
+#include "enumerate/it_enum.h"
+#include "testing/graphgen.h"
+
+namespace fro {
+namespace {
+
+class AlgebraParseTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    x_ = *db_.AddRelation("X", {"a"});
+    y_ = *db_.AddRelation("Y", {"b"});
+    z_ = *db_.AddRelation("Z", {"c"});
+    db_.AddRow(x_, {Value::Int(1)});
+    db_.AddRow(y_, {Value::Int(1)});
+    db_.AddRow(z_, {Value::Int(2)});
+  }
+
+  Database db_;
+  RelId x_, y_, z_;
+};
+
+TEST_F(AlgebraParseTest, LeafAndJoin) {
+  Result<ExprPtr> leaf = ParseAlgebra("X", db_);
+  ASSERT_TRUE(leaf.ok());
+  EXPECT_TRUE((*leaf)->is_leaf());
+
+  Result<ExprPtr> join = ParseAlgebra("(X -[X.a=Y.b] Y)", db_);
+  ASSERT_TRUE(join.ok());
+  EXPECT_EQ((*join)->kind(), OpKind::kJoin);
+  EXPECT_EQ((*join)->ToString(&db_.catalog()), "(X - Y)");
+}
+
+TEST_F(AlgebraParseTest, AllOperatorSymbols) {
+  struct Case {
+    const char* text;
+    OpKind kind;
+    bool preserves_left;
+  };
+  for (const Case& c : std::initializer_list<Case>{
+           {"(X ->[X.a=Y.b] Y)", OpKind::kOuterJoin, true},
+           {"(X <-[X.a=Y.b] Y)", OpKind::kOuterJoin, false},
+           {"(X |>[X.a=Y.b] Y)", OpKind::kAntijoin, true},
+           {"(X <|[X.a=Y.b] Y)", OpKind::kAntijoin, false},
+           {"(X >-[X.a=Y.b] Y)", OpKind::kSemijoin, true},
+           {"(X -<[X.a=Y.b] Y)", OpKind::kSemijoin, false}}) {
+    Result<ExprPtr> parsed = ParseAlgebra(c.text, db_);
+    ASSERT_TRUE(parsed.ok()) << c.text;
+    EXPECT_EQ((*parsed)->kind(), c.kind) << c.text;
+    EXPECT_EQ((*parsed)->preserves_left(), c.preserves_left) << c.text;
+  }
+}
+
+TEST_F(AlgebraParseTest, NestedExpression) {
+  Result<ExprPtr> q =
+      ParseAlgebra("((X -[X.a=Y.b] Y) ->[Y.b=Z.c] Z)", db_);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ((*q)->ToString(&db_.catalog()), "((X - Y) -> Z)");
+  Relation out = Eval(*q, db_);
+  EXPECT_EQ(out.NumRows(), 1u);  // x-y match; z padded
+}
+
+TEST_F(AlgebraParseTest, PredicateForms) {
+  Result<PredicatePtr> p1 = ParseAlgebraPredicate(
+      "X.a = Y.b and Y.b < 5 or not(X.a is null)", db_);
+  ASSERT_TRUE(p1.ok());
+  EXPECT_EQ((*p1)->kind(), Predicate::Kind::kOr);
+  Result<PredicatePtr> p2 =
+      ParseAlgebraPredicate("(X.a >= 1.5) and Y.b <> 'abc'", db_);
+  ASSERT_TRUE(p2.ok());
+  Result<PredicatePtr> p3 = ParseAlgebraPredicate("X.a = null", db_);
+  ASSERT_TRUE(p3.ok());  // comparison to the null literal: always unknown
+}
+
+TEST_F(AlgebraParseTest, WeakPredicateStrengthVisible) {
+  Result<PredicatePtr> weak =
+      ParseAlgebraPredicate("X.a = Y.b or X.a is null", db_);
+  ASSERT_TRUE(weak.ok());
+  EXPECT_FALSE((*weak)->IsStrongWrt(AttrSet::Of({db_.Attr("X", "a")})));
+  Result<PredicatePtr> strong = ParseAlgebraPredicate("X.a = Y.b", db_);
+  ASSERT_TRUE(strong.ok());
+  EXPECT_TRUE((*strong)->IsStrongWrt(AttrSet::Of({db_.Attr("X", "a")})));
+}
+
+TEST_F(AlgebraParseTest, Errors) {
+  EXPECT_FALSE(ParseAlgebra("", db_).ok());
+  EXPECT_FALSE(ParseAlgebra("NOPE", db_).ok());             // unknown rel
+  EXPECT_FALSE(ParseAlgebra("(X - Y)", db_).ok());          // missing pred
+  EXPECT_FALSE(ParseAlgebra("(X -[X.a=Y.b] Y", db_).ok());  // unbalanced
+  EXPECT_FALSE(ParseAlgebra("(X ~[X.a=Y.b] Y)", db_).ok());  // bad op
+  EXPECT_FALSE(ParseAlgebra("(X -[X.q=Y.b] Y)", db_).ok());  // bad attr
+  EXPECT_FALSE(ParseAlgebra("X Y", db_).ok());               // trailing
+  EXPECT_FALSE(ParseAlgebraPredicate("X.a =", db_).ok());
+  EXPECT_FALSE(ParseAlgebraPredicate("X.a is notnull", db_).ok());
+}
+
+// Round trip: for random implementing trees, parsing the printed form
+// (with predicates) reproduces the tree exactly.
+TEST(AlgebraParseRoundTripTest, ParseOfToStringIsIdentity) {
+  Rng rng(1301);
+  for (int trial = 0; trial < 30; ++trial) {
+    RandomQueryOptions options;
+    options.num_relations = 3 + static_cast<int>(rng.Uniform(4));
+    GeneratedQuery q = GenerateRandomQuery(options, &rng);
+    ExprPtr tree = RandomIt(q.graph, *q.db, &rng);
+    ASSERT_NE(tree, nullptr);
+    std::string text = tree->ToString(&q.db->catalog(), /*with_preds=*/true);
+    Result<ExprPtr> reparsed = ParseAlgebra(text, *q.db);
+    ASSERT_TRUE(reparsed.ok())
+        << text << " -> " << reparsed.status().ToString();
+    EXPECT_TRUE(ExprEquals(tree, *reparsed)) << text;
+  }
+}
+
+}  // namespace
+}  // namespace fro

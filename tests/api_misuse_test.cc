@@ -1,0 +1,74 @@
+// Contract enforcement: misusing the API trips FRO_CHECK with a
+// diagnostic instead of corrupting state. (Status/Result cover the
+// recoverable paths; these are the programming-error paths.)
+
+#include <gtest/gtest.h>
+
+#include "algebra/eval.h"
+#include "common/status.h"
+#include "relational/database.h"
+
+namespace fro {
+namespace {
+
+TEST(ApiMisuseDeathTest, ResultValueOnError) {
+  Result<int> err = NotFound("nope");
+  EXPECT_DEATH((void)err.value(), "Result::value");
+}
+
+TEST(ApiMisuseDeathTest, OkStatusIsNotAnError) {
+  EXPECT_DEATH(Status(StatusCode::kOk, "fine"), "requires a code");
+  EXPECT_DEATH((Result<int>{Status()}), "OK status");
+}
+
+TEST(ApiMisuseDeathTest, DatabaseAccessorsValidateIds) {
+  Database db;
+  EXPECT_DEATH(db.relation(0), "");
+  RelId r = *db.AddRelation("R", {"a"});
+  (void)r;
+  EXPECT_DEATH(db.Attr("R", "nope"), "NotFound");
+  EXPECT_DEATH(db.Rel("S"), "NotFound");
+}
+
+TEST(ApiMisuseDeathTest, ValueKindAccessors) {
+  EXPECT_DEATH(Value::Null().AsInt(), "AsInt");
+  EXPECT_DEATH(Value::Int(1).AsString(), "AsString");
+  EXPECT_DEATH(Value::String("x").NumericValue(), "non-numeric");
+}
+
+TEST(ApiMisuseDeathTest, OperandAccessorsMatchKind) {
+  Operand col = Operand::Column(0);
+  EXPECT_DEATH(col.literal(), "");
+  Operand lit = Operand::Literal(Value::Int(1));
+  EXPECT_DEATH(lit.attr(), "");
+}
+
+TEST(ApiMisuseDeathTest, LeafRelIdCapped) {
+  Database db;
+  for (int i = 0; i < 65; ++i) {
+    ASSERT_TRUE(db.AddRelation("R" + std::to_string(i), {"a"}).ok());
+  }
+  EXPECT_DEATH(Expr::Leaf(64, db), "64-bit relation mask");
+}
+
+TEST(ApiMisuseDeathTest, PredicateEvalNeedsItsColumns) {
+  // Evaluating a predicate against a scheme missing its column.
+  PredicatePtr p = EqCols(5, 6);
+  Tuple row({Value::Int(1)});
+  Scheme scheme({1});
+  EXPECT_DEATH((void)p->Eval(row, scheme), "not in scheme");
+}
+
+TEST(ApiMisuseDeathTest, CheckMacroStreamsContext) {
+  EXPECT_DEATH([] { FRO_CHECK(1 == 2) << "custom context 42"; }(),
+               "custom context 42");
+}
+
+TEST(ApiMisuseDeathTest, RelationRowArity) {
+  Database db;
+  RelId r = *db.AddRelation("R", {"a", "b"});
+  EXPECT_DEATH(db.AddRow(r, {Value::Int(1)}), "arity");
+}
+
+}  // namespace
+}  // namespace fro

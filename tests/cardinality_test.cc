@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "optimizer/cardinality.h"
+#include "testing/datagen.h"
+
+namespace fro {
+namespace {
+
+class CardinalityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    r_ = *db_.AddRelation("R", {"a", "b"});
+    s_ = *db_.AddRelation("S", {"c"});
+    a_ = db_.Attr("R", "a");
+    b_ = db_.Attr("R", "b");
+    c_ = db_.Attr("S", "c");
+    // R: 4 rows, a has 4 distinct, b has 2 distinct and one null.
+    db_.AddRow(r_, {Value::Int(1), Value::Int(10)});
+    db_.AddRow(r_, {Value::Int(2), Value::Int(10)});
+    db_.AddRow(r_, {Value::Int(3), Value::Int(20)});
+    db_.AddRow(r_, {Value::Int(4), Value::Null()});
+    // S: 2 rows, c has 2 distinct.
+    db_.AddRow(s_, {Value::Int(1)});
+    db_.AddRow(s_, {Value::Int(2)});
+  }
+
+  Database db_;
+  RelId r_, s_;
+  AttrId a_, b_, c_;
+};
+
+TEST_F(CardinalityTest, StatsCollection) {
+  CardinalityEstimator est(db_);
+  EXPECT_EQ(est.BaseRows(r_), 4.0);
+  EXPECT_EQ(est.StatsOf(a_).distinct, 4.0);
+  EXPECT_EQ(est.StatsOf(b_).distinct, 2.0);
+  EXPECT_DOUBLE_EQ(est.StatsOf(b_).null_fraction, 0.25);
+  EXPECT_EQ(est.StatsOf(c_).distinct, 2.0);
+}
+
+TEST_F(CardinalityTest, EqualitySelectivity) {
+  CardinalityEstimator est(db_);
+  // 1 / max(d(a), d(c)) = 1/4.
+  EXPECT_DOUBLE_EQ(est.Selectivity(EqCols(a_, c_)), 0.25);
+  // Literal equality: 1 / d(a).
+  EXPECT_DOUBLE_EQ(est.Selectivity(CmpLit(CmpOp::kEq, a_, Value::Int(1))),
+                   0.25);
+}
+
+TEST_F(CardinalityTest, BooleanCombinators) {
+  CardinalityEstimator est(db_);
+  PredicatePtr eq = EqCols(a_, c_);  // 0.25
+  EXPECT_DOUBLE_EQ(est.Selectivity(Predicate::And({eq, eq})), 0.0625);
+  EXPECT_DOUBLE_EQ(est.Selectivity(Predicate::Or({eq, eq})),
+                   1.0 - 0.75 * 0.75);
+  EXPECT_DOUBLE_EQ(est.Selectivity(Predicate::Not(eq)), 0.75);
+  EXPECT_DOUBLE_EQ(
+      est.Selectivity(Predicate::IsNull(Operand::Column(b_))), 0.25);
+  EXPECT_DOUBLE_EQ(est.Selectivity(Predicate::Const(false)), 0.0);
+}
+
+TEST_F(CardinalityTest, JoinEstimate) {
+  CardinalityEstimator est(db_);
+  ExprPtr join = Expr::Join(Expr::Leaf(r_, db_), Expr::Leaf(s_, db_),
+                            EqCols(a_, c_));
+  // 4 * 2 * 0.25 = 2.
+  EXPECT_DOUBLE_EQ(est.Estimate(join), 2.0);
+}
+
+TEST_F(CardinalityTest, OuterJoinAtLeastPreserved) {
+  CardinalityEstimator est(db_);
+  ExprPtr oj = Expr::OuterJoin(Expr::Leaf(r_, db_), Expr::Leaf(s_, db_),
+                               EqCols(a_, c_));
+  // join part 2 + 4 * max(0, 1 - 0.25*2) = 2 + 2 = 4.
+  EXPECT_DOUBLE_EQ(est.Estimate(oj), 4.0);
+  EXPECT_GE(est.Estimate(oj), est.BaseRows(r_) * 0.999);
+}
+
+TEST_F(CardinalityTest, AntiSemiJoinEstimates) {
+  CardinalityEstimator est(db_);
+  ExprPtr aj = Expr::Antijoin(Expr::Leaf(r_, db_), Expr::Leaf(s_, db_),
+                              EqCols(a_, c_));
+  EXPECT_DOUBLE_EQ(est.Estimate(aj), 4.0 * 0.5);
+  ExprPtr sj = Expr::Semijoin(Expr::Leaf(r_, db_), Expr::Leaf(s_, db_),
+                              EqCols(a_, c_));
+  EXPECT_DOUBLE_EQ(est.Estimate(sj), 4.0 * 0.5);
+}
+
+TEST_F(CardinalityTest, RestrictProjectUnionEstimates) {
+  CardinalityEstimator est(db_);
+  ExprPtr r = Expr::Leaf(r_, db_);
+  EXPECT_DOUBLE_EQ(
+      est.Estimate(Expr::Restrict(r, CmpLit(CmpOp::kEq, a_, Value::Int(1)))),
+      1.0);
+  EXPECT_DOUBLE_EQ(est.Estimate(Expr::Project(r, {b_}, /*dedup=*/true)),
+                   2.0);
+  EXPECT_DOUBLE_EQ(est.Estimate(Expr::Project(r, {b_}, /*dedup=*/false)),
+                   4.0);
+  EXPECT_DOUBLE_EQ(
+      est.Estimate(Expr::Union(r, Expr::Leaf(s_, db_))), 6.0);
+}
+
+TEST_F(CardinalityTest, EmptyRelationSafe) {
+  Database db;
+  RelId e = *db.AddRelation("E", {"x"});
+  CardinalityEstimator est(db);
+  EXPECT_EQ(est.BaseRows(e), 0.0);
+  EXPECT_EQ(est.StatsOf(db.Attr("E", "x")).distinct, 1.0);  // floor
+}
+
+}  // namespace
+}  // namespace fro

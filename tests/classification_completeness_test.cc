@@ -1,0 +1,140 @@
+// Completeness of the basic-transform classification table: the
+// soundness direction (preserving-classified BTs never change results) is
+// covered by transform_test.cc; here we check the table is not overly
+// conservative — every join/outerjoin reassociation pattern classified
+// NON-preserving admits an actual counterexample database, and the
+// conditional pattern fails exactly when its strength condition fails.
+//
+// Pattern naming follows transform.h: the identity's left-hand side is
+// (X o1 Y) o2 Z with P_xy on the lower operator and P_yz on the upper.
+
+#include <gtest/gtest.h>
+
+#include "algebra/eval.h"
+#include "algebra/transform.h"
+#include "common/rng.h"
+#include "testing/datagen.h"
+
+namespace fro {
+namespace {
+
+struct Tri {
+  std::unique_ptr<Database> db;
+  ExprPtr x, y, z;
+  PredicatePtr pxy, pyz;
+};
+
+Tri MakeTri(Rng* rng, bool weak_pyz = false, bool weak_pxy = false) {
+  Tri t;
+  RandomRowsOptions rows;
+  rows.rows_min = 1;
+  rows.rows_max = 4;
+  rows.domain = 3;
+  rows.null_prob = 0.25;
+  t.db = MakeRandomDatabase(3, 2, rows, rng);
+  AttrId xa = t.db->Attr("R0", "a0");
+  AttrId ya = t.db->Attr("R1", "a0");
+  AttrId yb = t.db->Attr("R1", "a1");
+  AttrId za = t.db->Attr("R2", "a0");
+  t.x = Expr::Leaf(t.db->Rel("R0"), *t.db);
+  t.y = Expr::Leaf(t.db->Rel("R1"), *t.db);
+  t.z = Expr::Leaf(t.db->Rel("R2"), *t.db);
+  t.pxy = weak_pxy ? Predicate::Or({EqCols(xa, ya), Predicate::IsNull(
+                                                        Operand::Column(ya))})
+                   : EqCols(xa, ya);
+  t.pyz = weak_pyz ? Predicate::Or({EqCols(yb, za), Predicate::IsNull(
+                                                        Operand::Column(yb))})
+                   : EqCols(yb, za);
+  return t;
+}
+
+// Builds (X o1 Y) o2 Z for operator codes '-', '>', '<'.
+ExprPtr BuildLhs(const Tri& t, char o1, char o2) {
+  auto mk = [](char code, ExprPtr l, ExprPtr r, PredicatePtr p) -> ExprPtr {
+    switch (code) {
+      case '-':
+        return Expr::Join(l, r, p);
+      case '>':
+        return Expr::OuterJoin(l, r, p, true);
+      case '<':
+        return Expr::OuterJoin(l, r, p, false);
+    }
+    return nullptr;
+  };
+  ExprPtr lower = mk(o1, t.x, t.y, t.pxy);
+  return mk(o2, lower, t.z, t.pyz);
+}
+
+ExprPtr BuildRhs(const Tri& t, char o1, char o2) {
+  auto mk = [](char code, ExprPtr l, ExprPtr r, PredicatePtr p) -> ExprPtr {
+    switch (code) {
+      case '-':
+        return Expr::Join(l, r, p);
+      case '>':
+        return Expr::OuterJoin(l, r, p, true);
+      case '<':
+        return Expr::OuterJoin(l, r, p, false);
+    }
+    return nullptr;
+  };
+  ExprPtr lower = mk(o2, t.y, t.z, t.pyz);
+  return mk(o1, t.x, lower, t.pxy);
+}
+
+// Searches random databases for a disagreement between the two
+// associations of the pattern.
+bool DisagreementExists(char o1, char o2, bool weak_pyz, bool weak_pxy,
+                        uint64_t seed, int trials = 400) {
+  Rng rng(seed);
+  for (int i = 0; i < trials; ++i) {
+    Tri t = MakeTri(&rng, weak_pyz, weak_pxy);
+    ExprPtr lhs = BuildLhs(t, o1, o2);
+    ExprPtr rhs = BuildRhs(t, o1, o2);
+    if (!BagEquals(Eval(lhs, *t.db), Eval(rhs, *t.db))) return true;
+  }
+  return false;
+}
+
+TEST(ClassificationCompletenessTest, NeverPatternsHaveCounterexamples) {
+  // (>,-): Example 2's pattern.
+  EXPECT_TRUE(DisagreementExists('>', '-', false, false, 3001));
+  // (-,<): join under a backwards outerjoin.
+  EXPECT_TRUE(DisagreementExists('-', '<', false, false, 3002));
+  // (>,<): two inward outerjoins.
+  EXPECT_TRUE(DisagreementExists('>', '<', false, false, 3003));
+}
+
+TEST(ClassificationCompletenessTest, ConditionalFailsExactlyWithoutStrength) {
+  // (>,>) with weak P_yz: identity 12's condition broken.
+  EXPECT_TRUE(DisagreementExists('>', '>', /*weak_pyz=*/true,
+                                 /*weak_pxy=*/false, 3004));
+  // (<,<) with weak P_xy: the mirrored condition broken.
+  EXPECT_TRUE(DisagreementExists('<', '<', /*weak_pyz=*/false,
+                                 /*weak_pxy=*/true, 3005));
+}
+
+TEST(ClassificationCompletenessTest, AlwaysPatternsNeverDisagree) {
+  // The four unconditional patterns: exhaustive random search finds no
+  // counterexample (complementing the per-identity tests).
+  EXPECT_FALSE(DisagreementExists('-', '-', false, false, 3006, 150));
+  EXPECT_FALSE(DisagreementExists('-', '>', false, false, 3007, 150));
+  EXPECT_FALSE(DisagreementExists('<', '-', false, false, 3008, 150));
+  EXPECT_FALSE(DisagreementExists('<', '>', false, false, 3009, 150));
+}
+
+TEST(ClassificationCompletenessTest, ConditionalHoldsWithStrength) {
+  EXPECT_FALSE(DisagreementExists('>', '>', false, false, 3010, 150));
+  EXPECT_FALSE(DisagreementExists('<', '<', false, false, 3011, 150));
+}
+
+// Weak predicates do NOT break the unconditional patterns: strength is
+// needed exactly where the table says.
+TEST(ClassificationCompletenessTest, AlwaysPatternsSurviveWeakPredicates) {
+  EXPECT_FALSE(DisagreementExists('-', '>', true, true, 3012, 150));
+  EXPECT_FALSE(DisagreementExists('<', '>', true, true, 3013, 150));
+  EXPECT_FALSE(DisagreementExists('<', '-', true, true, 3014, 150));
+  EXPECT_FALSE(DisagreementExists('-', '-', true, true, 3015, 150));
+}
+
+}  // namespace
+}  // namespace fro

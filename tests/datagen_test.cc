@@ -1,0 +1,145 @@
+// Tests for the testing-support generators themselves.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "testing/datagen.h"
+#include "testing/graphgen.h"
+#include "testing/nested_sample.h"
+
+namespace fro {
+namespace {
+
+TEST(DatagenTest, RespectsRowBoundsAndDomain) {
+  Rng rng(1);
+  RandomRowsOptions options;
+  options.rows_min = 2;
+  options.rows_max = 5;
+  options.domain = 3;
+  options.null_prob = 0.0;
+  for (int i = 0; i < 30; ++i) {
+    auto db = MakeRandomDatabase(1, 2, options, &rng);
+    const Relation& rel = db->relation(0);
+    EXPECT_GE(rel.NumRows(), 2u);
+    EXPECT_LE(rel.NumRows(), 5u);
+    for (const Tuple& row : rel.rows()) {
+      for (const Value& v : row.values()) {
+        ASSERT_FALSE(v.is_null());
+        EXPECT_GE(v.AsInt(), 0);
+        EXPECT_LT(v.AsInt(), 3);
+      }
+    }
+  }
+}
+
+TEST(DatagenTest, NullProbabilityOneIsAllNulls) {
+  Rng rng(2);
+  RandomRowsOptions options;
+  options.rows_min = 5;
+  options.rows_max = 5;
+  options.null_prob = 1.0;
+  auto db = MakeRandomDatabase(1, 2, options, &rng);
+  for (const Tuple& row : db->relation(0).rows()) {
+    for (const Value& v : row.values()) EXPECT_TRUE(v.is_null());
+  }
+}
+
+TEST(DatagenTest, UniqueRowsDeduplicates) {
+  Rng rng(3);
+  RandomRowsOptions options;
+  options.rows_min = 30;
+  options.rows_max = 30;
+  options.domain = 2;  // only 4 distinct rows possible
+  options.null_prob = 0.0;
+  options.unique_rows = true;
+  auto db = MakeRandomDatabase(1, 2, options, &rng);
+  const Relation& rel = db->relation(0);
+  EXPECT_LE(rel.NumRows(), 4u);
+  std::set<std::vector<Value>> seen;
+  for (const Tuple& row : rel.rows()) {
+    EXPECT_TRUE(seen.insert(row.values()).second);
+  }
+}
+
+TEST(DatagenTest, DeterministicGivenSeed) {
+  RandomRowsOptions options;
+  Rng a(9);
+  Rng b(9);
+  auto db1 = MakeRandomDatabase(2, 2, options, &a);
+  auto db2 = MakeRandomDatabase(2, 2, options, &b);
+  for (RelId r = 0; r < 2; ++r) {
+    EXPECT_TRUE(BagEquals(db1->relation(r), db2->relation(r)));
+  }
+}
+
+TEST(DatagenTest, DeptEmpShape) {
+  auto db = MakeDeptEmpDatabase();
+  EXPECT_EQ(db->relation(db->Rel("DEPT")).NumRows(), 3u);
+  EXPECT_EQ(db->relation(db->Rel("EMP")).NumRows(), 3u);
+  // The Archive department (dno=3) has no employees.
+  const Relation& emp = db->relation(db->Rel("EMP"));
+  AttrId dno = db->Attr("EMP", "dno");
+  for (size_t i = 0; i < emp.NumRows(); ++i) {
+    EXPECT_NE(emp.ValueOf(i, dno).AsInt(), 3);
+  }
+}
+
+TEST(DatagenTest, Example1Shape) {
+  auto db = MakeExample1Database(7);
+  EXPECT_EQ(db->relation(db->Rel("R1")).NumRows(), 1u);
+  EXPECT_EQ(db->relation(db->Rel("R2")).NumRows(), 7u);
+  EXPECT_EQ(db->relation(db->Rel("R3")).NumRows(), 7u);
+  // R1's key matches exactly one R2 row; every R2.fk has an R3 partner.
+  EXPECT_EQ(db->relation(db->Rel("R1")).ValueOf(0, db->Attr("R1", "k"))
+                .AsInt(),
+            0);
+}
+
+TEST(GraphgenTest, NodeAndEdgeCounts) {
+  Rng rng(4);
+  RandomQueryOptions options;
+  options.num_relations = 6;
+  options.extra_join_edge_prob = 0.0;
+  GeneratedQuery q = GenerateRandomQuery(options, &rng);
+  EXPECT_EQ(q.graph.num_nodes(), 6);
+  // A spanning structure: exactly n-1 edges without extras.
+  EXPECT_EQ(q.graph.num_edges(), 5);
+  EXPECT_TRUE(q.graph.IsConnected(q.graph.AllMask()));
+}
+
+TEST(GraphgenTest, OjFractionExtremes) {
+  Rng rng(5);
+  RandomQueryOptions options;
+  options.num_relations = 6;
+  options.oj_fraction = 0.0;
+  GeneratedQuery all_join = GenerateRandomQuery(options, &rng);
+  for (const GraphEdge& e : all_join.graph.edges()) {
+    EXPECT_FALSE(e.directed);
+  }
+  options.oj_fraction = 1.0;
+  GeneratedQuery all_oj = GenerateRandomQuery(options, &rng);
+  int directed = 0;
+  for (const GraphEdge& e : all_oj.graph.edges()) {
+    if (e.directed) ++directed;
+  }
+  EXPECT_EQ(directed, 5);  // everything hangs off the single core node
+}
+
+TEST(NestedSampleTest, CompanyShape) {
+  NestedDb db = MakeCompanyNestedDb();
+  EXPECT_EQ(db.Rows("EMPLOYEE").size(), 4u);
+  EXPECT_EQ(db.Rows("DEPARTMENT").size(), 3u);
+  EXPECT_EQ(db.Rows("REPORT").size(), 2u);
+  // Oids are unique across types.
+  std::set<int64_t> oids;
+  for (const char* type : {"EMPLOYEE", "DEPARTMENT", "REPORT"}) {
+    for (const EntityRow& row : db.Rows(type)) {
+      EXPECT_TRUE(oids.insert(row.oid).second);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fro

@@ -1,0 +1,109 @@
+// Figure 3 of the paper, replayed line by line: the algebraic proof of
+// identity 12 chains equations 10, 1, 2, 7, 4 — every intermediate
+// expression is built explicitly and all are verified equal on random
+// databases (with the strength precondition satisfied).
+//
+//   (X -> Y) -> Z
+//     = (X -> Y) - Z  ∪  (X -> Y) |> Z                      (eqn 10)
+//     = (X-Y ∪ X|>Y) - Z  ∪  (X-Y ∪ X|>Y) |> Z              (eqn 10)
+//     = (X-Y)-Z ∪ (X|>Y)-Z ∪ ((X-Y) ∪ (X|>Y)) |> Z         (distribute 5)
+//       — with (X|>Y)-Z = ∅ and ((X|>Y))|>Z = X|>Y by 8/9 (strength):
+//     = X-(Y-Z) ∪ X-(Y|>Z) ∪ X|>Y                           (eqns 1, 2, 7)
+//     = X-((Y-Z) ∪ (Y|>Z)) ∪ X|>Y                           (eqn 4)
+//     = X-(Y->Z) ∪ X|>(Y->Z)                                (eqns 10, 7)
+//     = X -> (Y -> Z)                                       (eqn 10)
+
+#include <gtest/gtest.h>
+
+#include "algebra/eval.h"
+#include "common/rng.h"
+#include "relational/ops.h"
+#include "testing/datagen.h"
+
+namespace fro {
+namespace {
+
+struct Tri {
+  std::unique_ptr<Database> db;
+  ExprPtr x, y, z;
+  AttrId yb;
+  PredicatePtr pxy, pyz;
+};
+
+Tri MakeTri(Rng* rng) {
+  Tri t;
+  RandomRowsOptions rows;
+  rows.rows_max = 5;
+  rows.domain = 3;
+  rows.null_prob = 0.2;
+  t.db = MakeRandomDatabase(3, 2, rows, rng);
+  t.x = Expr::Leaf(t.db->Rel("R0"), *t.db);
+  t.y = Expr::Leaf(t.db->Rel("R1"), *t.db);
+  t.z = Expr::Leaf(t.db->Rel("R2"), *t.db);
+  t.yb = t.db->Attr("R1", "a1");
+  t.pxy = EqCols(t.db->Attr("R0", "a0"), t.db->Attr("R1", "a0"));
+  t.pyz = EqCols(t.yb, t.db->Attr("R2", "a0"));
+  return t;
+}
+
+TEST(Fig3ProofTest, EveryLineOfTheProofEvaluatesEqual) {
+  Rng rng(3101);
+  for (int trial = 0; trial < 40; ++trial) {
+    Tri t = MakeTri(&rng);
+    // P_yz is strong w.r.t. Y — the proof's precondition.
+    ASSERT_TRUE(t.pyz->IsStrongWrt(AttrSet::Of({t.yb})));
+
+    ExprPtr xy_oj = Expr::OuterJoin(t.x, t.y, t.pxy);
+    ExprPtr xy_jn = Expr::Join(t.x, t.y, t.pxy);
+    ExprPtr xy_aj = Expr::Antijoin(t.x, t.y, t.pxy);
+
+    // Line 0: the left-hand side.
+    ExprPtr line0 = Expr::OuterJoin(xy_oj, t.z, t.pyz);
+
+    // Line 1: expand the OUTER outerjoin by eqn 10.
+    ExprPtr line1 = Expr::Union(Expr::Join(xy_oj, t.z, t.pyz),
+                                Expr::Antijoin(xy_oj, t.z, t.pyz));
+
+    // Line 2: expand the INNER outerjoin by eqn 10 inside both branches.
+    ExprPtr xy_expanded = Expr::Union(xy_jn, xy_aj);
+    ExprPtr line2 = Expr::Union(Expr::Join(xy_expanded, t.z, t.pyz),
+                                Expr::Antijoin(xy_expanded, t.z, t.pyz));
+
+    // Line 4 (the paper compresses 5/8/9/1/2 into one step; the dropped
+    // (X|>Y)-Z term and the absorbed (X|>Y)|>Z = X|>Y need the padding
+    // convention and are verified at the kernel level in
+    // identities_test.cc): reassociate join and antijoin below X.
+    ExprPtr line4 = Expr::Union(
+        Expr::Union(Expr::Join(t.x, Expr::Join(t.y, t.z, t.pyz), t.pxy),
+                    Expr::Join(t.x, Expr::Antijoin(t.y, t.z, t.pyz),
+                               t.pxy)),
+        xy_aj);
+
+    // Line 5: factor the join out of the union (eqn 4).
+    ExprPtr yz_cases = Expr::Union(Expr::Join(t.y, t.z, t.pyz),
+                                   Expr::Antijoin(t.y, t.z, t.pyz));
+    ExprPtr line5 =
+        Expr::Union(Expr::Join(t.x, yz_cases, t.pxy), xy_aj);
+
+    // Line 6: rewrite the inner union as Y -> Z (eqn 10) and the X
+    // antijoin against it (eqn 7).
+    ExprPtr yz_oj = Expr::OuterJoin(t.y, t.z, t.pyz);
+    ExprPtr line6 = Expr::Union(Expr::Join(t.x, yz_oj, t.pxy),
+                                Expr::Antijoin(t.x, yz_oj, t.pxy));
+
+    // Line 7: the right-hand side.
+    ExprPtr line7 = Expr::OuterJoin(t.x, yz_oj, t.pxy);
+
+    Relation reference = Eval(line0, *t.db);
+    int line_no = 1;
+    for (const ExprPtr& line : {line1, line2, line4, line5, line6, line7}) {
+      EXPECT_TRUE(BagEquals(reference, Eval(line, *t.db)))
+          << "Fig. 3 proof line " << line_no << " diverged on trial "
+          << trial << ":\n " << line->ToString();
+      ++line_no;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fro

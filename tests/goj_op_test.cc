@@ -1,0 +1,151 @@
+// Tests for the generalized outerjoin kernel (paper Section 6.2, eq. 14).
+
+#include <gtest/gtest.h>
+
+#include "relational/database.h"
+#include "relational/index.h"
+#include "relational/ops.h"
+
+namespace fro {
+namespace {
+
+class GojOpTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    r_ = *db_.AddRelation("R", {"a", "b"});
+    s_ = *db_.AddRelation("S", {"c"});
+    a_ = db_.Attr("R", "a");
+    b_ = db_.Attr("R", "b");
+    c_ = db_.Attr("S", "c");
+  }
+
+  Database db_;
+  RelId r_, s_;
+  AttrId a_, b_, c_;
+};
+
+TEST_F(GojOpTest, WithFullLeftSchemeGojEqualsOuterjoin) {
+  db_.AddRow(r_, {Value::Int(1), Value::Int(10)});
+  db_.AddRow(r_, {Value::Int(2), Value::Int(20)});
+  db_.AddRow(s_, {Value::Int(1)});
+  AttrSet full = db_.scheme(r_).ToAttrSet();
+  Relation goj = GeneralizedOuterJoin(db_.relation(r_), db_.relation(s_),
+                                      EqCols(a_, c_), full, JoinAlgo::kAuto,
+                                      nullptr);
+  Relation oj = LeftOuterJoin(db_.relation(r_), db_.relation(s_),
+                              EqCols(a_, c_), JoinAlgo::kAuto, nullptr);
+  // On duplicate-free relations GOJ[sch(R1)] degenerates to the outerjoin.
+  EXPECT_TRUE(BagEquals(goj, oj));
+}
+
+TEST_F(GojOpTest, ProjectionDeduplicatesUnmatched) {
+  // Two R rows share the same S-projection a=2; both are unmatched, but
+  // eq. 14 emits the missing projection once.
+  db_.AddRow(r_, {Value::Int(1), Value::Int(10)});
+  db_.AddRow(r_, {Value::Int(2), Value::Int(20)});
+  db_.AddRow(r_, {Value::Int(2), Value::Int(21)});
+  db_.AddRow(s_, {Value::Int(1)});
+  Relation goj = GeneralizedOuterJoin(db_.relation(r_), db_.relation(s_),
+                                      EqCols(a_, c_), AttrSet::Of({a_}),
+                                      JoinAlgo::kAuto, nullptr);
+  // 1 join row + 1 padded row for projection {a=2}.
+  ASSERT_EQ(goj.NumRows(), 2u);
+  size_t padded = 0;
+  for (size_t i = 0; i < goj.NumRows(); ++i) {
+    if (goj.ValueOf(i, c_).is_null()) {
+      ++padded;
+      EXPECT_EQ(goj.ValueOf(i, a_).AsInt(), 2);
+      EXPECT_TRUE(goj.ValueOf(i, b_).is_null());  // outside S: padded
+    }
+  }
+  EXPECT_EQ(padded, 1u);
+}
+
+TEST_F(GojOpTest, MatchedProjectionSuppressesPaddedTuple) {
+  // The refinement over Dayal's Generalized-Join: an unmatched R tuple
+  // whose S-projection appears in the join adds nothing.
+  db_.AddRow(r_, {Value::Int(1), Value::Int(10)});   // matches
+  db_.AddRow(r_, {Value::Int(1), Value::Int(11)});   // also matches
+  db_.AddRow(s_, {Value::Int(1)});
+  Relation goj = GeneralizedOuterJoin(db_.relation(r_), db_.relation(s_),
+                                      EqCols(a_, c_), AttrSet::Of({a_}),
+                                      JoinAlgo::kAuto, nullptr);
+  EXPECT_EQ(goj.NumRows(), 2u);  // only the two join rows
+  for (size_t i = 0; i < goj.NumRows(); ++i) {
+    EXPECT_FALSE(goj.ValueOf(i, c_).is_null());
+  }
+}
+
+TEST_F(GojOpTest, SuppressionAppliesEvenWhenAnotherTupleMatched) {
+  // R tuple (1,10) matches; R tuple (1,11) does not (residual fails), but
+  // its S-projection {a=1} appeared in the join, so no padded tuple.
+  db_.AddRow(r_, {Value::Int(1), Value::Int(10)});
+  db_.AddRow(r_, {Value::Int(1), Value::Int(11)});
+  db_.AddRow(s_, {Value::Int(1)});
+  PredicatePtr pred = Predicate::And(
+      {EqCols(a_, c_), CmpLit(CmpOp::kEq, b_, Value::Int(10))});
+  Relation goj = GeneralizedOuterJoin(db_.relation(r_), db_.relation(s_),
+                                      pred, AttrSet::Of({a_}),
+                                      JoinAlgo::kAuto, nullptr);
+  EXPECT_EQ(goj.NumRows(), 1u);
+}
+
+TEST_F(GojOpTest, EmptyRightPadsDistinctProjections) {
+  db_.AddRow(r_, {Value::Int(1), Value::Int(10)});
+  db_.AddRow(r_, {Value::Int(1), Value::Int(11)});
+  db_.AddRow(r_, {Value::Int(2), Value::Int(20)});
+  Relation goj = GeneralizedOuterJoin(db_.relation(r_), db_.relation(s_),
+                                      EqCols(a_, c_), AttrSet::Of({a_}),
+                                      JoinAlgo::kAuto, nullptr);
+  EXPECT_EQ(goj.NumRows(), 2u);  // projections {1} and {2}
+}
+
+TEST_F(GojOpTest, EmptySubsetYieldsSingleAllNullWitness) {
+  // GOJ[{}]: the empty projection of a nonempty R "appears" in the join
+  // iff the join is nonempty; otherwise one all-null tuple witnesses it.
+  db_.AddRow(r_, {Value::Int(1), Value::Int(10)});
+  Relation goj = GeneralizedOuterJoin(db_.relation(r_), db_.relation(s_),
+                                      EqCols(a_, c_), AttrSet(),
+                                      JoinAlgo::kAuto, nullptr);
+  ASSERT_EQ(goj.NumRows(), 1u);
+  EXPECT_TRUE(goj.ValueOf(0, a_).is_null());
+  EXPECT_TRUE(goj.ValueOf(0, b_).is_null());
+  EXPECT_TRUE(goj.ValueOf(0, c_).is_null());
+}
+
+TEST_F(GojOpTest, SubsetMustComeFromLeft) {
+  EXPECT_DEATH(GeneralizedOuterJoin(db_.relation(r_), db_.relation(s_),
+                                    EqCols(a_, c_), AttrSet::Of({c_}),
+                                    JoinAlgo::kAuto, nullptr),
+               "subset");
+}
+
+TEST(HashIndexTest, ProbeFindsRowsSkipsNullKeys) {
+  Database db;
+  RelId r = *db.AddRelation("R", {"a", "b"});
+  AttrId a = db.Attr("R", "a");
+  db.AddRow(r, {Value::Int(1), Value::Int(10)});
+  db.AddRow(r, {Value::Int(1), Value::Int(11)});
+  db.AddRow(r, {Value::Null(), Value::Int(12)});
+  HashIndex index(db.relation(r), {a});
+  EXPECT_EQ(index.Probe({Value::Int(1)}).size(), 2u);
+  EXPECT_TRUE(index.Probe({Value::Int(9)}).empty());
+  // Null keys are neither indexed nor matched.
+  EXPECT_TRUE(index.Probe({Value::Null()}).empty());
+  EXPECT_EQ(index.num_keys(), 1u);
+}
+
+TEST(HashIndexTest, CompositeKey) {
+  Database db;
+  RelId r = *db.AddRelation("R", {"a", "b"});
+  AttrId a = db.Attr("R", "a");
+  AttrId b = db.Attr("R", "b");
+  db.AddRow(r, {Value::Int(1), Value::Int(10)});
+  db.AddRow(r, {Value::Int(1), Value::Int(11)});
+  HashIndex index(db.relation(r), {a, b});
+  EXPECT_EQ(index.Probe({Value::Int(1), Value::Int(10)}).size(), 1u);
+  EXPECT_TRUE(index.Probe({Value::Int(1), Value::Int(12)}).empty());
+}
+
+}  // namespace
+}  // namespace fro

@@ -1,0 +1,161 @@
+// Generalized-outerjoin reassociation identities (Section 6.2,
+// eqns 15-16) and the left-deepening driver.
+
+#include <gtest/gtest.h>
+
+#include "algebra/eval.h"
+#include "common/rng.h"
+#include "optimizer/goj_rewrite.h"
+#include "testing/datagen.h"
+
+namespace fro {
+namespace {
+
+struct Tri {
+  std::unique_ptr<Database> db;
+  ExprPtr x, y, z;
+  AttrId xa, ya, yb, za;
+  PredicatePtr pxy, pyz;
+};
+
+// Duplicate-free relations, as identities 15/16 require.
+Tri MakeTri(Rng* rng) {
+  Tri t;
+  RandomRowsOptions rows;
+  rows.rows_min = 0;
+  rows.rows_max = 6;
+  rows.domain = 3;
+  rows.null_prob = 0.15;
+  rows.unique_rows = true;
+  t.db = MakeRandomDatabase(3, 2, rows, rng);
+  t.x = Expr::Leaf(t.db->Rel("R0"), *t.db);
+  t.y = Expr::Leaf(t.db->Rel("R1"), *t.db);
+  t.z = Expr::Leaf(t.db->Rel("R2"), *t.db);
+  t.xa = t.db->Attr("R0", "a0");
+  t.ya = t.db->Attr("R1", "a0");
+  t.yb = t.db->Attr("R1", "a1");
+  t.za = t.db->Attr("R2", "a0");
+  t.pxy = EqCols(t.xa, t.ya);
+  t.pyz = EqCols(t.yb, t.za);
+  return t;
+}
+
+constexpr int kTrials = 80;
+
+TEST(GojRewriteTest, Identity15Correct) {
+  Rng rng(1001);
+  for (int i = 0; i < kTrials; ++i) {
+    Tri t = MakeTri(&rng);
+    ExprPtr lhs =
+        Expr::OuterJoin(t.x, Expr::Join(t.y, t.z, t.pyz), t.pxy);
+    Result<ExprPtr> rhs = ApplyIdentity15(lhs);
+    ASSERT_TRUE(rhs.ok());
+    EXPECT_EQ((*rhs)->kind(), OpKind::kGoj);
+    EXPECT_EQ((*rhs)->goj_subset(), t.x->attrs());
+    EXPECT_TRUE(BagEquals(Eval(lhs, *t.db), Eval(*rhs, *t.db)))
+        << "trial " << i << "\n lhs=" << lhs->ToString() << "\n rhs="
+        << (*rhs)->ToString();
+  }
+}
+
+TEST(GojRewriteTest, Identity16Correct) {
+  Rng rng(1002);
+  for (int i = 0; i < kTrials; ++i) {
+    Tri t = MakeTri(&rng);
+    // Inner GOJ: Y GOJ[{ya, yb}] Z — the subset covers Y's attributes the
+    // X-Y join touches (ya).
+    AttrSet subset = AttrSet::Of({t.ya, t.yb});
+    ExprPtr inner = Expr::Goj(t.y, t.z, t.pyz, subset);
+    ExprPtr lhs = Expr::Join(t.x, inner, t.pxy);
+    Result<ExprPtr> rhs = ApplyIdentity16(lhs);
+    ASSERT_TRUE(rhs.ok());
+    EXPECT_EQ((*rhs)->kind(), OpKind::kGoj);
+    EXPECT_EQ((*rhs)->goj_subset(), subset.Union(t.x->attrs()));
+    EXPECT_TRUE(BagEquals(Eval(lhs, *t.db), Eval(*rhs, *t.db)))
+        << "trial " << i << "\n lhs=" << lhs->ToString() << "\n rhs="
+        << (*rhs)->ToString();
+  }
+}
+
+TEST(GojRewriteTest, Identity16RequiresSubsetToCoverJoinAttrs) {
+  Rng rng(1003);
+  Tri t = MakeTri(&rng);
+  // Subset {yb} does not cover the X-Y join attribute ya.
+  ExprPtr inner = Expr::Goj(t.y, t.z, t.pyz, AttrSet::Of({t.yb}));
+  ExprPtr lhs = Expr::Join(t.x, inner, t.pxy);
+  EXPECT_FALSE(ApplyIdentity16(lhs).ok());
+}
+
+TEST(GojRewriteTest, Identity15RequiresShape) {
+  Rng rng(1004);
+  Tri t = MakeTri(&rng);
+  // Join at the root: identity 15 does not apply.
+  EXPECT_FALSE(ApplyIdentity15(Expr::Join(t.x, t.y, t.pxy)).ok());
+  // Outerjoin whose null side is a leaf: nothing to pull up.
+  EXPECT_FALSE(ApplyIdentity15(Expr::OuterJoin(t.x, t.y, t.pxy)).ok());
+  // Predicate reaching into Z is out of form.
+  PredicatePtr pxz = EqCols(t.xa, t.za);
+  ExprPtr bad = Expr::OuterJoin(t.x, Expr::Join(t.y, t.z, t.pyz), pxz);
+  EXPECT_FALSE(ApplyIdentity15(bad).ok());
+}
+
+TEST(GojRewriteTest, LeftDeepenExample2Shape) {
+  Rng rng(1005);
+  for (int i = 0; i < kTrials; ++i) {
+    Tri t = MakeTri(&rng);
+    ExprPtr q = Expr::OuterJoin(t.x, Expr::Join(t.y, t.z, t.pyz), t.pxy);
+    int rewrites = 0;
+    ExprPtr deep = LeftDeepenWithGoj(q, &rewrites);
+    EXPECT_EQ(rewrites, 1);
+    EXPECT_EQ(deep->kind(), OpKind::kGoj);
+    EXPECT_TRUE(deep->right()->is_leaf());
+    EXPECT_TRUE(BagEquals(Eval(q, *t.db), Eval(deep, *t.db)));
+  }
+}
+
+TEST(GojRewriteTest, LeftDeepenFourRelationChain) {
+  // W - (X -> (Y - Z)): inner identity 15 creates a GOJ, then identity 16
+  // pulls it through the join.
+  Rng rng(1006);
+  for (int i = 0; i < 40; ++i) {
+    RandomRowsOptions rows;
+    rows.rows_max = 5;
+    rows.domain = 3;
+    rows.unique_rows = true;
+    auto db = MakeRandomDatabase(4, 2, rows, &rng);
+    ExprPtr w = Expr::Leaf(db->Rel("R0"), *db);
+    ExprPtr x = Expr::Leaf(db->Rel("R1"), *db);
+    ExprPtr y = Expr::Leaf(db->Rel("R2"), *db);
+    ExprPtr z = Expr::Leaf(db->Rel("R3"), *db);
+    PredicatePtr pwx = EqCols(db->Attr("R0", "a0"), db->Attr("R1", "a0"));
+    PredicatePtr pxy = EqCols(db->Attr("R1", "a1"), db->Attr("R2", "a0"));
+    PredicatePtr pyz = EqCols(db->Attr("R2", "a1"), db->Attr("R3", "a0"));
+    ExprPtr q = Expr::Join(
+        w, Expr::OuterJoin(x, Expr::Join(y, z, pyz), pxy), pwx);
+    int rewrites = 0;
+    ExprPtr deep = LeftDeepenWithGoj(q, &rewrites);
+    EXPECT_GE(rewrites, 2) << deep->ToString();
+    // Fully left-deep: every right child is a leaf.
+    const Expr* node = deep.get();
+    while (!node->is_leaf()) {
+      EXPECT_TRUE(node->right()->is_leaf()) << deep->ToString();
+      node = node->left().get();
+    }
+    EXPECT_TRUE(BagEquals(Eval(q, *db), Eval(deep, *db)))
+        << "trial " << i << "\n q=" << q->ToString() << "\n deep="
+        << deep->ToString();
+  }
+}
+
+TEST(GojRewriteTest, LeftDeepenLeavesLeftDeepPlansAlone) {
+  Rng rng(1007);
+  Tri t = MakeTri(&rng);
+  ExprPtr q = Expr::OuterJoin(Expr::Join(t.x, t.y, t.pxy), t.z, t.pyz);
+  int rewrites = 0;
+  ExprPtr out = LeftDeepenWithGoj(q, &rewrites);
+  EXPECT_EQ(rewrites, 0);
+  EXPECT_TRUE(ExprEquals(out, q));
+}
+
+}  // namespace
+}  // namespace fro

@@ -1,0 +1,152 @@
+// Query-graph construction and graph(Q) extraction tests.
+
+#include <gtest/gtest.h>
+
+#include "graph/from_expr.h"
+#include "graph/query_graph.h"
+#include "relational/database.h"
+
+namespace fro {
+namespace {
+
+class GraphOfTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    x_ = *db_.AddRelation("X", {"a", "b"});
+    y_ = *db_.AddRelation("Y", {"c", "d"});
+    z_ = *db_.AddRelation("Z", {"e"});
+    xa_ = db_.Attr("X", "a");
+    xb_ = db_.Attr("X", "b");
+    yc_ = db_.Attr("Y", "c");
+    yd_ = db_.Attr("Y", "d");
+    ze_ = db_.Attr("Z", "e");
+  }
+
+  Database db_;
+  RelId x_, y_, z_;
+  AttrId xa_, xb_, yc_, yd_, ze_;
+};
+
+TEST_F(GraphOfTest, JoinChain) {
+  ExprPtr q = Expr::Join(
+      Expr::Join(Expr::Leaf(x_, db_), Expr::Leaf(y_, db_), EqCols(xa_, yc_)),
+      Expr::Leaf(z_, db_), EqCols(yd_, ze_));
+  Result<QueryGraph> g = GraphOf(q, db_);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_nodes(), 3);
+  EXPECT_EQ(g->num_edges(), 2);
+  EXPECT_FALSE(g->edge(0).directed);
+  EXPECT_FALSE(g->edge(1).directed);
+  EXPECT_TRUE(g->IsConnected(g->AllMask()));
+}
+
+TEST_F(GraphOfTest, OuterJoinDirection) {
+  ExprPtr q = Expr::OuterJoin(Expr::Leaf(x_, db_), Expr::Leaf(y_, db_),
+                              EqCols(xa_, yc_), /*preserves_left=*/true);
+  Result<QueryGraph> g = GraphOf(q, db_);
+  ASSERT_TRUE(g.ok());
+  ASSERT_EQ(g->num_edges(), 1);
+  EXPECT_TRUE(g->edge(0).directed);
+  EXPECT_EQ(g->node_rel(g->edge(0).u), x_);  // preserved
+  EXPECT_EQ(g->node_rel(g->edge(0).v), y_);  // null-supplied
+  // The symmetric form points the same way.
+  ExprPtr sym = Expr::OuterJoin(Expr::Leaf(y_, db_), Expr::Leaf(x_, db_),
+                                EqCols(xa_, yc_), /*preserves_left=*/false);
+  Result<QueryGraph> g2 = GraphOf(sym, db_);
+  ASSERT_TRUE(g2.ok());
+  EXPECT_EQ(g2->node_rel(g2->edge(0).u), x_);
+}
+
+TEST_F(GraphOfTest, ParallelConjunctsCollapse) {
+  // Two conjuncts between X and Y collapse into one edge (Section 1.2's
+  // F-Name / L-Name example).
+  PredicatePtr pred = Predicate::And(
+      {EqCols(xa_, yc_), EqCols(xb_, yd_)});
+  ExprPtr q = Expr::Join(Expr::Leaf(x_, db_), Expr::Leaf(y_, db_), pred);
+  Result<QueryGraph> g = GraphOf(q, db_);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 1);
+  EXPECT_EQ(g->edge(0).pred->Conjuncts(g->edge(0).pred).size(), 2u);
+}
+
+TEST_F(GraphOfTest, ThreeRelationConjunctIsUndefined) {
+  // A conjunct referencing three ground relations leaves the graph
+  // undefined.
+  PredicatePtr three = Predicate::Or({EqCols(xa_, yc_), EqCols(xa_, ze_)});
+  ExprPtr q = Expr::Join(
+      Expr::Join(Expr::Leaf(x_, db_), Expr::Leaf(y_, db_), EqCols(xa_, yc_)),
+      Expr::Leaf(z_, db_), three);
+  EXPECT_FALSE(GraphOf(q, db_).ok());
+}
+
+TEST_F(GraphOfTest, OuterjoinPredicateMustSpanExactlyTwoRelations) {
+  PredicatePtr three = Predicate::Or({EqCols(xa_, ze_), EqCols(yd_, ze_)});
+  ExprPtr q = Expr::OuterJoin(
+      Expr::Join(Expr::Leaf(x_, db_), Expr::Leaf(y_, db_), EqCols(xa_, yc_)),
+      Expr::Leaf(z_, db_), three);
+  EXPECT_FALSE(GraphOf(q, db_).ok());
+}
+
+TEST_F(GraphOfTest, NonCrossingConjunctIsRejected) {
+  // A "join" conjunct between two relations on the same side.
+  PredicatePtr pxy = EqCols(xa_, yc_);
+  ExprPtr q = Expr::Join(
+      Expr::Join(Expr::Leaf(x_, db_), Expr::Leaf(y_, db_), pxy),
+      Expr::Leaf(z_, db_),
+      Predicate::And({EqCols(yd_, ze_), EqCols(xb_, yd_)}));
+  // The X-Y conjunct on the upper operator does not cross it... it does
+  // reference both sides? X and Y are both on the left. Rejected.
+  EXPECT_FALSE(GraphOf(q, db_).ok());
+}
+
+TEST_F(GraphOfTest, NonJoinOperatorsHaveNoGraph) {
+  ExprPtr aj = Expr::Antijoin(Expr::Leaf(x_, db_), Expr::Leaf(y_, db_),
+                              EqCols(xa_, yc_));
+  EXPECT_FALSE(GraphOf(aj, db_).ok());
+  ExprPtr restrict = Expr::Restrict(Expr::Leaf(x_, db_),
+                                    CmpLit(CmpOp::kGt, xa_, Value::Int(0)));
+  EXPECT_FALSE(GraphOf(restrict, db_).ok());
+}
+
+TEST_F(GraphOfTest, CartesianProductRejected) {
+  ExprPtr q = Expr::Join(Expr::Leaf(x_, db_), Expr::Leaf(y_, db_),
+                         Predicate::Const(true));
+  EXPECT_FALSE(GraphOf(q, db_).ok());
+}
+
+TEST(QueryGraphTest, MaskHelpers) {
+  QueryGraph g;
+  g.AddNode(0, AttrSet::Of({0}));
+  g.AddNode(1, AttrSet::Of({1}));
+  g.AddNode(2, AttrSet::Of({2}));
+  ASSERT_TRUE(g.AddJoinEdge(0, 1, EqCols(0, 1)).ok());
+  ASSERT_TRUE(g.AddOuterJoinEdge(1, 2, EqCols(1, 2)).ok());
+  EXPECT_EQ(g.AllMask(), 0b111u);
+  EXPECT_TRUE(g.IsConnected(0b111));
+  EXPECT_TRUE(g.IsConnected(0b011));
+  EXPECT_FALSE(g.IsConnected(0b101));  // 0 and 2 not adjacent
+  EXPECT_TRUE(g.IsConnected(0b001));
+  EXPECT_FALSE(g.IsConnected(0));
+  EXPECT_EQ(g.Neighbors(0b001), 0b010u);
+  EXPECT_EQ(g.Neighbors(0b010), 0b101u);
+  EXPECT_EQ(g.EdgesCrossing(0b001, 0b110).size(), 1u);
+  EXPECT_EQ(g.EdgesWithin(0b011).size(), 1u);
+  EXPECT_EQ(g.EdgesWithin(0b111).size(), 2u);
+}
+
+TEST(QueryGraphTest, ParallelOuterjoinEdgeRejected) {
+  QueryGraph g;
+  g.AddNode(0, AttrSet::Of({0}));
+  g.AddNode(1, AttrSet::Of({1}));
+  ASSERT_TRUE(g.AddJoinEdge(0, 1, EqCols(0, 1)).ok());
+  EXPECT_FALSE(g.AddOuterJoinEdge(0, 1, EqCols(0, 1)).ok());
+  QueryGraph g2;
+  g2.AddNode(0, AttrSet::Of({0}));
+  g2.AddNode(1, AttrSet::Of({1}));
+  ASSERT_TRUE(g2.AddOuterJoinEdge(0, 1, EqCols(0, 1)).ok());
+  EXPECT_FALSE(g2.AddJoinEdge(0, 1, EqCols(0, 1)).ok());
+  EXPECT_FALSE(g2.AddOuterJoinEdge(1, 0, EqCols(0, 1)).ok());
+}
+
+}  // namespace
+}  // namespace fro

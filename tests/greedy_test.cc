@@ -1,0 +1,109 @@
+// Greedy ordering tests: validity (plan implements the graph, results
+// agree), quality bounds relative to the exact DP, and scaling past DP's
+// comfortable range.
+
+#include <gtest/gtest.h>
+
+#include "algebra/eval.h"
+#include "common/rng.h"
+#include "enumerate/it_enum.h"
+#include "graph/from_expr.h"
+#include "optimizer/greedy.h"
+#include "testing/graphgen.h"
+
+namespace fro {
+namespace {
+
+TEST(GreedyTest, PlanIsValidAndAgrees) {
+  Rng rng(2301);
+  for (int trial = 0; trial < 25; ++trial) {
+    RandomQueryOptions options;
+    options.num_relations = 3 + static_cast<int>(rng.Uniform(5));
+    options.rows.rows_min = 1;
+    GeneratedQuery q = GenerateRandomQuery(options, &rng);
+    CostModel model(*q.db, CostKind::kCout);
+    Result<PlanResult> greedy = OptimizeGreedy(q.graph, *q.db, model);
+    ASSERT_TRUE(greedy.ok()) << greedy.status().ToString();
+    // The plan is an implementing tree of the graph.
+    Result<QueryGraph> regraphed = GraphOf(greedy->plan, *q.db);
+    ASSERT_TRUE(regraphed.ok()) << greedy->plan->ToString();
+    EXPECT_EQ(regraphed->num_edges(), q.graph.num_edges());
+    // And computes the same result as any other implementing tree.
+    ExprPtr reference = RandomIt(q.graph, *q.db, &rng);
+    EXPECT_TRUE(
+        BagEquals(Eval(greedy->plan, *q.db), Eval(reference, *q.db)));
+  }
+}
+
+TEST(GreedyTest, NeverWorseThanWorstAndOftenNearBest) {
+  Rng rng(2302);
+  double ratio_sum = 0;
+  int cases = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    RandomQueryOptions options;
+    options.num_relations = 5 + static_cast<int>(rng.Uniform(3));
+    options.rows.rows_min = 2;
+    options.rows.rows_max = 10;
+    GeneratedQuery q = GenerateRandomQuery(options, &rng);
+    CostModel model(*q.db, CostKind::kCout);
+    Result<PlanResult> greedy = OptimizeGreedy(q.graph, *q.db, model);
+    Result<PlanResult> best = OptimizeReorderable(q.graph, *q.db, model);
+    Result<PlanResult> worst =
+        OptimizeReorderable(q.graph, *q.db, model, /*maximize=*/true);
+    ASSERT_TRUE(greedy.ok() && best.ok() && worst.ok());
+    double greedy_cost = model.PlanCost(greedy->plan);
+    double best_cost = model.PlanCost(best->plan);
+    double worst_cost = model.PlanCost(worst->plan);
+    EXPECT_GE(greedy_cost, best_cost - 1e-9);
+    EXPECT_LE(greedy_cost, worst_cost + 1e-9);
+    if (best_cost > 0) {
+      ratio_sum += greedy_cost / best_cost;
+      ++cases;
+    }
+  }
+  ASSERT_GT(cases, 10);
+  // Greedy should average within 3x of optimal on these small instances.
+  EXPECT_LT(ratio_sum / cases, 3.0);
+}
+
+TEST(GreedyTest, ScalesToGraphsDpCannotTouch) {
+  Rng rng(2303);
+  RandomQueryOptions options;
+  options.num_relations = 24;  // DP over 2^24 masks would be infeasible
+  options.rows.rows_min = 1;
+  options.rows.rows_max = 4;
+  GeneratedQuery q = GenerateRandomQuery(options, &rng);
+  CostModel model(*q.db, CostKind::kCout);
+  Result<PlanResult> greedy = OptimizeGreedy(q.graph, *q.db, model);
+  ASSERT_TRUE(greedy.ok());
+  EXPECT_EQ(greedy->plan->num_leaves(), 24);
+  // Still a valid implementing tree.
+  Result<QueryGraph> regraphed = GraphOf(greedy->plan, *q.db);
+  ASSERT_TRUE(regraphed.ok());
+}
+
+TEST(GreedyTest, DisconnectedGraphRejected) {
+  Database db;
+  RelId r = *db.AddRelation("R", {"a"});
+  RelId s = *db.AddRelation("S", {"b"});
+  QueryGraph g;
+  g.AddNode(r, db.scheme(r).ToAttrSet());
+  g.AddNode(s, db.scheme(s).ToAttrSet());
+  CostModel model(db, CostKind::kCout);
+  EXPECT_FALSE(OptimizeGreedy(g, db, model).ok());
+}
+
+TEST(GreedyTest, SingleRelationGraph) {
+  Database db;
+  RelId r = *db.AddRelation("R", {"a"});
+  db.AddRow(r, {Value::Int(1)});
+  QueryGraph g;
+  g.AddNode(r, db.scheme(r).ToAttrSet());
+  CostModel model(db, CostKind::kCout);
+  Result<PlanResult> plan = OptimizeGreedy(g, db, model);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->plan->is_leaf());
+}
+
+}  // namespace
+}  // namespace fro

@@ -1,0 +1,105 @@
+// Histogram-based range selectivity tests.
+
+#include <gtest/gtest.h>
+
+#include "optimizer/cardinality.h"
+#include "relational/database.h"
+
+namespace fro {
+namespace {
+
+// R(a) with values 0..99 (uniform), one null.
+std::unique_ptr<Database> UniformDb() {
+  auto db = std::make_unique<Database>();
+  RelId r = *db->AddRelation("R", {"a"});
+  for (int i = 0; i < 100; ++i) db->AddRow(r, {Value::Int(i)});
+  db->AddRow(r, {Value::Null()});
+  return db;
+}
+
+TEST(HistogramTest, FractionBelowInterpolates) {
+  auto db = UniformDb();
+  CardinalityEstimator est(*db);
+  const Histogram& h = est.StatsOf(db->Attr("R", "a")).histogram;
+  ASSERT_TRUE(h.populated);
+  EXPECT_DOUBLE_EQ(h.lo, 0.0);
+  EXPECT_DOUBLE_EQ(h.hi, 99.0);
+  EXPECT_NEAR(h.FractionBelow(49.5), 0.5, 0.05);
+  EXPECT_NEAR(h.FractionBelow(25.0), 0.25, 0.05);
+  EXPECT_DOUBLE_EQ(h.FractionBelow(-1), 0.0);
+  EXPECT_DOUBLE_EQ(h.FractionBelow(1000), 1.0);
+}
+
+TEST(HistogramTest, RangeSelectivityTracksUniformData) {
+  auto db = UniformDb();
+  CardinalityEstimator est(*db);
+  AttrId a = db->Attr("R", "a");
+  // About half the rows satisfy a < 50 (nulls never do).
+  double sel_lt = est.Selectivity(CmpLit(CmpOp::kLt, a, Value::Int(50)));
+  EXPECT_NEAR(sel_lt, 0.5, 0.07);
+  double sel_ge = est.Selectivity(CmpLit(CmpOp::kGe, a, Value::Int(75)));
+  EXPECT_NEAR(sel_ge, 0.25, 0.07);
+  // Out-of-range literals give ~0 / ~1 (times the non-null fraction).
+  EXPECT_NEAR(est.Selectivity(CmpLit(CmpOp::kLt, a, Value::Int(-5))), 0.0,
+              0.01);
+  EXPECT_NEAR(est.Selectivity(CmpLit(CmpOp::kLe, a, Value::Int(500))),
+              1.0 - est.StatsOf(a).null_fraction, 0.02);
+}
+
+TEST(HistogramTest, FlippedOperandOrder) {
+  auto db = UniformDb();
+  CardinalityEstimator est(*db);
+  AttrId a = db->Attr("R", "a");
+  // "25 > a" == "a < 25".
+  PredicatePtr flipped = Predicate::Cmp(
+      CmpOp::kGt, Operand::Literal(Value::Int(25)), Operand::Column(a));
+  EXPECT_NEAR(est.Selectivity(flipped), 0.25, 0.07);
+}
+
+TEST(HistogramTest, SkewedDataReflectsSkew) {
+  auto db = std::make_unique<Database>();
+  RelId r = *db->AddRelation("S", {"v"});
+  // 90 small values, 10 large.
+  for (int i = 0; i < 90; ++i) db->AddRow(r, {Value::Int(i % 10)});
+  for (int i = 0; i < 10; ++i) db->AddRow(r, {Value::Int(90 + i)});
+  CardinalityEstimator est(*db);
+  AttrId v = db->Attr("S", "v");
+  double sel = est.Selectivity(CmpLit(CmpOp::kLt, v, Value::Int(50)));
+  EXPECT_GT(sel, 0.8);  // a uniform model would say ~0.5
+}
+
+TEST(HistogramTest, ColumnToColumnRangeKeepsDefault) {
+  auto db = std::make_unique<Database>();
+  RelId r = *db->AddRelation("T", {"a", "b"});
+  for (int i = 0; i < 10; ++i) {
+    db->AddRow(r, {Value::Int(i), Value::Int(10 - i)});
+  }
+  CardinalityEstimator est(*db);
+  double sel = est.Selectivity(
+      CmpCols(CmpOp::kLt, db->Attr("T", "a"), db->Attr("T", "b")));
+  EXPECT_DOUBLE_EQ(sel, 1.0 / 3.0);
+}
+
+TEST(HistogramTest, ConstantColumnHasNoHistogram) {
+  auto db = std::make_unique<Database>();
+  RelId r = *db->AddRelation("C", {"k"});
+  for (int i = 0; i < 5; ++i) db->AddRow(r, {Value::Int(7)});
+  CardinalityEstimator est(*db);
+  // hi == lo: histogram not populated; range predicates use the default.
+  EXPECT_FALSE(est.StatsOf(db->Attr("C", "k")).histogram.populated);
+  EXPECT_DOUBLE_EQ(
+      est.Selectivity(CmpLit(CmpOp::kLt, db->Attr("C", "k"), Value::Int(3))),
+      1.0 / 3.0);
+}
+
+TEST(HistogramTest, StringColumnsUnaffected) {
+  auto db = std::make_unique<Database>();
+  RelId r = *db->AddRelation("N", {"s"});
+  db->AddRow(r, {Value::String("a")});
+  db->AddRow(r, {Value::String("b")});
+  CardinalityEstimator est(*db);
+  EXPECT_FALSE(est.StatsOf(db->Attr("N", "s")).histogram.populated);
+}
+
+}  // namespace
+}  // namespace fro

@@ -1,0 +1,223 @@
+// Implementing-tree enumeration and counting tests.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "algebra/eval.h"
+#include "common/rng.h"
+#include "enumerate/it_enum.h"
+#include "graph/from_expr.h"
+#include "testing/graphgen.h"
+
+namespace fro {
+namespace {
+
+// Builds db with n single-column relations and a chain query graph
+// R0 - R1 - ... with the given edge kinds ('j' join, 'o' outerjoin
+// directed forward, 'b' outerjoin directed backward).
+struct ChainFixture {
+  std::unique_ptr<Database> db;
+  QueryGraph graph;
+};
+
+ChainFixture MakeChain(const std::string& kinds) {
+  ChainFixture f;
+  f.db = std::make_unique<Database>();
+  int n = static_cast<int>(kinds.size()) + 1;
+  for (int i = 0; i < n; ++i) {
+    RelId r = *f.db->AddRelation("R" + std::to_string(i), {"a"});
+    f.graph.AddNode(r, f.db->scheme(r).ToAttrSet());
+  }
+  for (int i = 0; i < n - 1; ++i) {
+    AttrId left = f.db->Attr("R" + std::to_string(i), "a");
+    AttrId right = f.db->Attr("R" + std::to_string(i + 1), "a");
+    PredicatePtr pred = EqCols(left, right);
+    Status s;
+    switch (kinds[static_cast<size_t>(i)]) {
+      case 'j':
+        s = f.graph.AddJoinEdge(i, i + 1, pred);
+        break;
+      case 'o':
+        s = f.graph.AddOuterJoinEdge(i, i + 1, pred);
+        break;
+      case 'b':
+        s = f.graph.AddOuterJoinEdge(i + 1, i, pred);
+        break;
+    }
+    EXPECT_TRUE(s.ok());
+  }
+  return f;
+}
+
+// The number of binary trees over a chain of n leaves where every subtree
+// is an interval: the Catalan number C(n-1).
+uint64_t Catalan(int n) {
+  uint64_t c = 1;
+  for (int i = 0; i < n; ++i) {
+    c = c * 2 * (2 * i + 1) / (i + 2);
+  }
+  return c;
+}
+
+TEST(CountItsTest, JoinChainsAreCatalan) {
+  // A pure join chain of n relations has C(n-1) connectivity-preserving
+  // parenthesizations (canonical trees, i.e. modulo reversal).
+  EXPECT_EQ(CountIts(MakeChain("j").graph), 1u);
+  EXPECT_EQ(CountIts(MakeChain("jj").graph), 2u);
+  EXPECT_EQ(CountIts(MakeChain("jjj").graph), 5u);
+  EXPECT_EQ(CountIts(MakeChain("jjjj").graph), 14u);
+  EXPECT_EQ(CountIts(MakeChain("jjjjj").graph), Catalan(5));
+  EXPECT_EQ(CountIts(MakeChain("jjjjjj").graph), Catalan(6));
+}
+
+TEST(CountItsTest, OuterjoinChainsCountLikeJoins) {
+  // Outerjoin edges do not reduce the count of implementing trees; every
+  // bipartition cutting one directed edge is realizable.
+  EXPECT_EQ(CountIts(MakeChain("oo").graph), 2u);
+  EXPECT_EQ(CountIts(MakeChain("ooo").graph), 5u);
+  EXPECT_EQ(CountIts(MakeChain("job").graph), 5u);
+}
+
+TEST(CountItsTest, StarGraph) {
+  // Star with center R0 and k rays: every permutation of attaching rays
+  // gives a distinct tree: k! trees... but subtrees must be connected, so
+  // each tree attaches rays to the center one at a time: k! orderings,
+  // each producing a left-deep canonical tree. For k=3: 6.
+  auto db = std::make_unique<Database>();
+  QueryGraph g;
+  for (int i = 0; i < 4; ++i) {
+    RelId r = *db->AddRelation("R" + std::to_string(i), {"a"});
+    g.AddNode(r, db->scheme(r).ToAttrSet());
+  }
+  for (int i = 1; i < 4; ++i) {
+    ASSERT_TRUE(
+        g.AddJoinEdge(0, i,
+                      EqCols(db->Attr("R0", "a"),
+                             db->Attr("R" + std::to_string(i), "a")))
+            .ok());
+  }
+  EXPECT_EQ(CountIts(g), 6u);
+}
+
+TEST(CountItsTest, CycleGraphAllowsAllOrders) {
+  // A triangle of join edges: any pair may combine first (3 choices); the
+  // remaining relation joins on the two remaining edges (collapsed into
+  // one operator): 3 trees.
+  auto db = std::make_unique<Database>();
+  QueryGraph g;
+  for (int i = 0; i < 3; ++i) {
+    RelId r = *db->AddRelation("R" + std::to_string(i), {"a"});
+    g.AddNode(r, db->scheme(r).ToAttrSet());
+  }
+  ASSERT_TRUE(g.AddJoinEdge(0, 1, EqCols(db->Attr("R0", "a"),
+                                         db->Attr("R1", "a"))).ok());
+  ASSERT_TRUE(g.AddJoinEdge(1, 2, EqCols(db->Attr("R1", "a"),
+                                         db->Attr("R2", "a"))).ok());
+  ASSERT_TRUE(g.AddJoinEdge(0, 2, EqCols(db->Attr("R0", "a"),
+                                         db->Attr("R2", "a"))).ok());
+  EXPECT_EQ(CountIts(g), 3u);
+}
+
+TEST(CountItsTest, DisconnectedGraphHasNoIts) {
+  auto db = std::make_unique<Database>();
+  QueryGraph g;
+  for (int i = 0; i < 2; ++i) {
+    RelId r = *db->AddRelation("R" + std::to_string(i), {"a"});
+    g.AddNode(r, db->scheme(r).ToAttrSet());
+  }
+  EXPECT_EQ(CountIts(g), 0u);
+}
+
+TEST(EnumerateItsTest, MatchesCountAndAllImplementGraph) {
+  ChainFixture f = MakeChain("jo");
+  std::vector<ExprPtr> trees = EnumerateIts(f.graph, *f.db);
+  EXPECT_EQ(trees.size(), CountIts(f.graph));
+  // Every enumerated tree is distinct and implements the same graph.
+  std::set<std::string> fingerprints;
+  for (const ExprPtr& t : trees) {
+    EXPECT_TRUE(fingerprints.insert(t->Fingerprint()).second);
+    Result<QueryGraph> g = GraphOf(t, *f.db);
+    ASSERT_TRUE(g.ok()) << t->ToString();
+    EXPECT_EQ(g->num_edges(), f.graph.num_edges());
+  }
+}
+
+TEST(EnumerateItsTest, RespectsOuterjoinDirection) {
+  ChainFixture f = MakeChain("o");
+  std::vector<ExprPtr> trees = EnumerateIts(f.graph, *f.db);
+  ASSERT_EQ(trees.size(), 1u);
+  EXPECT_EQ(trees[0]->kind(), OpKind::kOuterJoin);
+  // Canonical orientation puts R0 on the left, and R0 is preserved.
+  EXPECT_TRUE(trees[0]->preserves_left());
+  ChainFixture b = MakeChain("b");
+  std::vector<ExprPtr> btrees = EnumerateIts(b.graph, *b.db);
+  ASSERT_EQ(btrees.size(), 1u);
+  EXPECT_FALSE(btrees[0]->preserves_left());
+}
+
+TEST(EnumerateItsTest, LimitStopsEarly) {
+  ChainFixture f = MakeChain("jjjjj");
+  std::vector<ExprPtr> trees = EnumerateIts(f.graph, *f.db, /*limit=*/3);
+  EXPECT_LE(trees.size(), 3u);
+}
+
+TEST(RandomItTest, ProducesValidDistinctTrees) {
+  Rng rng(501);
+  ChainFixture f = MakeChain("jjjj");
+  std::set<std::string> seen;
+  for (int i = 0; i < 100; ++i) {
+    ExprPtr t = RandomIt(f.graph, *f.db, &rng);
+    ASSERT_NE(t, nullptr);
+    Result<QueryGraph> g = GraphOf(t, *f.db);
+    ASSERT_TRUE(g.ok());
+    seen.insert(t->Fingerprint());
+  }
+  // 14 trees exist; uniform sampling should find most of them.
+  EXPECT_GE(seen.size(), 10u);
+}
+
+TEST(CanonicalOrientationTest, NormalizesReversals) {
+  ChainFixture f = MakeChain("o");
+  ExprPtr canonical = EnumerateIts(f.graph, *f.db)[0];
+  // Build the reversed form by hand: R1 <- R0.
+  ExprPtr reversed = Expr::OuterJoin(Expr::Leaf(1, *f.db),
+                                     Expr::Leaf(0, *f.db),
+                                     f.graph.edge(0).pred,
+                                     /*preserves_left=*/false);
+  EXPECT_TRUE(ExprEquals(CanonicalOrientation(reversed), canonical));
+  EXPECT_TRUE(
+      ExprEquals(CanonicalOrientation(canonical), canonical));
+}
+
+TEST(CanonicalOrientationTest, RecursesThroughTree) {
+  ChainFixture f = MakeChain("jj");
+  std::vector<ExprPtr> trees = EnumerateIts(f.graph, *f.db);
+  for (const ExprPtr& t : trees) {
+    // Enumerated trees are already canonical.
+    EXPECT_TRUE(ExprEquals(CanonicalOrientation(t), t));
+  }
+}
+
+// Property: on random nice graphs the enumeration (a) matches the DP
+// count, and (b) every enumerated tree has graph(Q) == G.
+TEST(EnumeratePropertyTest, EnumerationConsistentOnRandomGraphs) {
+  Rng rng(502);
+  for (int trial = 0; trial < 20; ++trial) {
+    RandomQueryOptions options;
+    options.num_relations = 3 + static_cast<int>(rng.Uniform(4));
+    GeneratedQuery q = GenerateRandomQuery(options, &rng);
+    uint64_t count = CountIts(q.graph);
+    ASSERT_GT(count, 0u);
+    if (count > 2000) continue;  // keep the test fast
+    std::vector<ExprPtr> trees = EnumerateIts(q.graph, *q.db);
+    EXPECT_EQ(trees.size(), count);
+    std::set<std::string> fingerprints;
+    for (const ExprPtr& t : trees) {
+      EXPECT_TRUE(fingerprints.insert(t->Fingerprint()).second);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fro

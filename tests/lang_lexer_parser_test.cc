@@ -1,0 +1,135 @@
+// Lexer and parser tests for the Section 5 language.
+
+#include <gtest/gtest.h>
+
+#include "lang/lexer.h"
+#include "lang/parser.h"
+
+namespace fro {
+namespace {
+
+TEST(LexerTest, BasicTokens) {
+  Result<std::vector<Token>> tokens =
+      Lex("Select All From EMPLOYEE*ChildName, DEPARTMENT-->Manager "
+          "Where EMPLOYEE.D# = DEPARTMENT.D# and EMPLOYEE.Rank>10");
+  ASSERT_TRUE(tokens.ok());
+  // Spot-check a few interesting tokens.
+  std::vector<Token::Kind> kinds;
+  for (const Token& t : *tokens) kinds.push_back(t.kind);
+  EXPECT_EQ(tokens->front().text, "Select");
+  EXPECT_EQ((*tokens)[3].kind, Token::Kind::kIdent);  // EMPLOYEE
+  EXPECT_EQ((*tokens)[4].kind, Token::Kind::kStar);
+  EXPECT_EQ((*tokens)[5].text, "ChildName");
+  EXPECT_EQ((*tokens)[6].kind, Token::Kind::kComma);
+  EXPECT_EQ((*tokens)[8].kind, Token::Kind::kArrow);  // -->
+  EXPECT_EQ(tokens->back().kind, Token::Kind::kEnd);
+}
+
+TEST(LexerTest, IdentifiersWithHash) {
+  Result<std::vector<Token>> tokens = Lex("EMPLOYEE.D#");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[2].text, "D#");
+}
+
+TEST(LexerTest, NumbersAndStrings) {
+  Result<std::vector<Token>> tokens = Lex("12 3.5 'Queretaro'");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, Token::Kind::kNumber);
+  EXPECT_EQ((*tokens)[0].text, "12");
+  EXPECT_EQ((*tokens)[1].text, "3.5");
+  EXPECT_EQ((*tokens)[2].kind, Token::Kind::kString);
+  EXPECT_EQ((*tokens)[2].text, "Queretaro");
+}
+
+TEST(LexerTest, ComparisonOperators) {
+  Result<std::vector<Token>> tokens = Lex("= <> < <= > >=");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, Token::Kind::kEq);
+  EXPECT_EQ((*tokens)[1].kind, Token::Kind::kNe);
+  EXPECT_EQ((*tokens)[2].kind, Token::Kind::kLt);
+  EXPECT_EQ((*tokens)[3].kind, Token::Kind::kLe);
+  EXPECT_EQ((*tokens)[4].kind, Token::Kind::kGt);
+  EXPECT_EQ((*tokens)[5].kind, Token::Kind::kGe);
+}
+
+TEST(LexerTest, ArrowVariants) {
+  ASSERT_TRUE(Lex("A->B").ok());
+  ASSERT_TRUE(Lex("A-->B").ok());
+  EXPECT_FALSE(Lex("A - B").ok());          // stray '-'
+  EXPECT_FALSE(Lex("'unterminated").ok());  // bad string
+  EXPECT_FALSE(Lex("A ? B").ok());          // unknown char
+}
+
+TEST(ParserTest, PaperQueryOne) {
+  Result<SelectQuery> q = ParseQuery(
+      "Select All From EMPLOYEE*ChildName, DEPARTMENT "
+      "Where EMPLOYEE.D# = DEPARTMENT.D# and "
+      "DEPARTMENT.Location = 'Queretaro'");
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q->from.size(), 2u);
+  EXPECT_EQ(q->from[0].type_name, "EMPLOYEE");
+  ASSERT_EQ(q->from[0].steps.size(), 1u);
+  EXPECT_EQ(q->from[0].steps[0].op, ChainStep::Op::kUnnest);
+  EXPECT_EQ(q->from[0].steps[0].field, "ChildName");
+  EXPECT_TRUE(q->from[1].steps.empty());
+  ASSERT_EQ(q->where.size(), 2u);
+  EXPECT_TRUE(q->where[0].lhs.is_column);
+  EXPECT_EQ(q->where[0].lhs.qualifier, "EMPLOYEE");
+  EXPECT_EQ(q->where[0].lhs.field, "D#");
+  EXPECT_FALSE(q->where[1].rhs.is_column);
+  EXPECT_EQ(q->where[1].rhs.literal.AsString(), "Queretaro");
+}
+
+TEST(ParserTest, PaperQueryChainedLinks) {
+  Result<SelectQuery> q = ParseQuery(
+      "Select All From DEPARTMENT-->Manager-->Audit "
+      "Where DEPARTMENT.Location = 'Zurich'");
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q->from.size(), 1u);
+  ASSERT_EQ(q->from[0].steps.size(), 2u);
+  EXPECT_EQ(q->from[0].steps[0].op, ChainStep::Op::kLink);
+  EXPECT_EQ(q->from[0].steps[0].field, "Manager");
+  EXPECT_EQ(q->from[0].steps[1].field, "Audit");
+}
+
+TEST(ParserTest, MixedChain) {
+  Result<SelectQuery> q =
+      ParseQuery("Select All From DEPARTMENT-->Manager*ChildName");
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q->from[0].steps.size(), 2u);
+  EXPECT_EQ(q->from[0].steps[0].op, ChainStep::Op::kLink);
+  EXPECT_EQ(q->from[0].steps[1].op, ChainStep::Op::kUnnest);
+}
+
+TEST(ParserTest, KeywordsCaseInsensitive) {
+  EXPECT_TRUE(ParseQuery("select all from R").ok());
+  EXPECT_TRUE(ParseQuery("SELECT ALL FROM R").ok());
+}
+
+TEST(ParserTest, SyntaxErrors) {
+  EXPECT_FALSE(ParseQuery("Select From R").ok());           // missing ALL
+  EXPECT_FALSE(ParseQuery("Select All From").ok());         // no items
+  EXPECT_FALSE(ParseQuery("Select All From R Where").ok()); // no conjunct
+  EXPECT_FALSE(ParseQuery("Select All From R Where R.a").ok());  // no op
+  EXPECT_FALSE(
+      ParseQuery("Select All From R Where a = 1").ok());  // unqualified
+  // A bare identifier after a relation is an ALIAS, not trailing junk...
+  Result<SelectQuery> aliased = ParseQuery("Select All From R r2");
+  ASSERT_TRUE(aliased.ok());
+  EXPECT_EQ(aliased->from[0].alias, "r2");
+  // ...but anything further still errors.
+  EXPECT_FALSE(ParseQuery("Select All From R r2 junk").ok());
+}
+
+TEST(ParserTest, NumericLiterals) {
+  Result<SelectQuery> q =
+      ParseQuery("Select All From R Where R.a >= 2.5 and R.b <> 4");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->where[0].op, CmpOp::kGe);
+  EXPECT_EQ(q->where[0].rhs.literal.kind(), Value::Kind::kDouble);
+  EXPECT_EQ(q->where[1].op, CmpOp::kNe);
+  EXPECT_EQ(q->where[1].rhs.literal.AsInt(), 4);
+}
+
+}  // namespace
+}  // namespace fro

@@ -1,0 +1,186 @@
+// Lemma 1 ("nice" graphs) and Theorem 1 precondition tests.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/nice.h"
+#include "testing/graphgen.h"
+
+namespace fro {
+namespace {
+
+// Attribute i belongs to "relation" i in these synthetic graphs.
+QueryGraph MakeNodes(int n) {
+  QueryGraph g;
+  for (int i = 0; i < n; ++i) {
+    g.AddNode(static_cast<RelId>(i), AttrSet::Of({static_cast<AttrId>(i)}));
+  }
+  return g;
+}
+
+PredicatePtr P(int u, int v) {
+  return EqCols(static_cast<AttrId>(u), static_cast<AttrId>(v));
+}
+
+TEST(NiceTest, Fig2TopologyIsNice) {
+  // The paper's Fig. 2: a connected join core with outerjoin trees going
+  // outward. Core: 0-1-2 (triangle), OJ: 1->3, 3->4, 2->5.
+  QueryGraph g = MakeNodes(6);
+  ASSERT_TRUE(g.AddJoinEdge(0, 1, P(0, 1)).ok());
+  ASSERT_TRUE(g.AddJoinEdge(1, 2, P(1, 2)).ok());
+  ASSERT_TRUE(g.AddJoinEdge(0, 2, P(0, 2)).ok());
+  ASSERT_TRUE(g.AddOuterJoinEdge(1, 3, P(1, 3)).ok());
+  ASSERT_TRUE(g.AddOuterJoinEdge(3, 4, P(3, 4)).ok());
+  ASSERT_TRUE(g.AddOuterJoinEdge(2, 5, P(2, 5)).ok());
+  NiceCheck check = CheckNice(g);
+  EXPECT_TRUE(check.connected);
+  EXPECT_TRUE(check.nice) << check.violation;
+}
+
+TEST(NiceTest, PureJoinGraphIsNice) {
+  QueryGraph g = MakeNodes(3);
+  ASSERT_TRUE(g.AddJoinEdge(0, 1, P(0, 1)).ok());
+  ASSERT_TRUE(g.AddJoinEdge(1, 2, P(1, 2)).ok());
+  EXPECT_TRUE(CheckNice(g).nice);
+}
+
+TEST(NiceTest, PureOuterjoinChainIsNice) {
+  QueryGraph g = MakeNodes(3);
+  ASSERT_TRUE(g.AddOuterJoinEdge(0, 1, P(0, 1)).ok());
+  ASSERT_TRUE(g.AddOuterJoinEdge(1, 2, P(1, 2)).ok());
+  EXPECT_TRUE(CheckNice(g).nice);
+}
+
+TEST(NiceTest, JoinAtNullSuppliedNodeViolates) {
+  // X -> Y - Z: Example 2's graph.
+  QueryGraph g = MakeNodes(3);
+  ASSERT_TRUE(g.AddOuterJoinEdge(0, 1, P(0, 1)).ok());
+  ASSERT_TRUE(g.AddJoinEdge(1, 2, P(1, 2)).ok());
+  NiceCheck check = CheckNice(g);
+  EXPECT_FALSE(check.nice);
+  EXPECT_NE(check.violation.find("X -> Y - Z"), std::string::npos);
+}
+
+TEST(NiceTest, JoinAtOuterjoinTailIsFine) {
+  // Y - X plus X -> Z: join edge at the *preserved* node is allowed.
+  QueryGraph g = MakeNodes(3);
+  ASSERT_TRUE(g.AddJoinEdge(1, 0, P(1, 0)).ok());
+  ASSERT_TRUE(g.AddOuterJoinEdge(0, 2, P(0, 2)).ok());
+  EXPECT_TRUE(CheckNice(g).nice);
+}
+
+TEST(NiceTest, TwoInEdgesViolate) {
+  // X -> Y <- Z.
+  QueryGraph g = MakeNodes(3);
+  ASSERT_TRUE(g.AddOuterJoinEdge(0, 1, P(0, 1)).ok());
+  ASSERT_TRUE(g.AddOuterJoinEdge(2, 1, P(2, 1)).ok());
+  NiceCheck check = CheckNice(g);
+  EXPECT_FALSE(check.nice);
+  EXPECT_NE(check.violation.find("X -> Y <- Z"), std::string::npos);
+}
+
+TEST(NiceTest, OuterjoinCycleViolates) {
+  QueryGraph g = MakeNodes(3);
+  ASSERT_TRUE(g.AddOuterJoinEdge(0, 1, P(0, 1)).ok());
+  ASSERT_TRUE(g.AddOuterJoinEdge(1, 2, P(1, 2)).ok());
+  ASSERT_TRUE(g.AddOuterJoinEdge(2, 0, P(2, 0)).ok());
+  NiceCheck check = CheckNice(g);
+  EXPECT_FALSE(check.nice);
+  EXPECT_NE(check.violation.find("cycle"), std::string::npos);
+}
+
+TEST(NiceTest, TwoOutEdgesAreFine) {
+  // X <- Y -> Z: a node preserving into two directions is a forest.
+  QueryGraph g = MakeNodes(3);
+  ASSERT_TRUE(g.AddOuterJoinEdge(1, 0, P(1, 0)).ok());
+  ASSERT_TRUE(g.AddOuterJoinEdge(1, 2, P(1, 2)).ok());
+  EXPECT_TRUE(CheckNice(g).nice);
+}
+
+TEST(NiceTest, DisconnectedGraphReported) {
+  QueryGraph g = MakeNodes(3);
+  ASSERT_TRUE(g.AddJoinEdge(0, 1, P(0, 1)).ok());
+  NiceCheck check = CheckNice(g);
+  EXPECT_FALSE(check.connected);
+}
+
+TEST(ReorderableTest, StrongPredicatesRequired) {
+  QueryGraph g = MakeNodes(2);
+  PredicatePtr weak =
+      Predicate::Or({P(0, 1), Predicate::IsNull(Operand::Column(0))});
+  ASSERT_TRUE(g.AddOuterJoinEdge(0, 1, weak).ok());
+  ReorderabilityCheck check = CheckFreelyReorderable(g);
+  EXPECT_TRUE(check.nice.nice);
+  EXPECT_FALSE(check.all_outerjoin_preds_strong);
+  EXPECT_FALSE(check.freely_reorderable());
+}
+
+TEST(ReorderableTest, StrongWrtPreservedSideIsWhatMatters) {
+  // Predicate weak w.r.t. the NULL-SUPPLIED side but strong w.r.t. the
+  // preserved side: Theorem 1 still applies.
+  QueryGraph g = MakeNodes(2);
+  // (a0 = a1 OR (a1 IS NULL AND a0 IS NOT NULL)): can be true when the
+  // null-supplied attribute a1 is null, but never when the preserved
+  // attribute a0 is null.
+  PredicatePtr weak_null_side = Predicate::Or(
+      {P(0, 1),
+       Predicate::And(
+           {Predicate::IsNull(Operand::Column(1)),
+            Predicate::Not(Predicate::IsNull(Operand::Column(0)))})});
+  ASSERT_TRUE(g.AddOuterJoinEdge(0, 1, weak_null_side).ok());
+  ReorderabilityCheck check = CheckFreelyReorderable(g);
+  EXPECT_TRUE(check.all_outerjoin_preds_strong);
+  EXPECT_FALSE(check.all_strong_wrt_null_supplied);
+  EXPECT_TRUE(check.freely_reorderable());
+}
+
+TEST(ReorderableTest, EqualityChainIsFreelyReorderable) {
+  QueryGraph g = MakeNodes(3);
+  ASSERT_TRUE(g.AddJoinEdge(0, 1, P(0, 1)).ok());
+  ASSERT_TRUE(g.AddOuterJoinEdge(1, 2, P(1, 2)).ok());
+  EXPECT_TRUE(CheckFreelyReorderable(g).freely_reorderable());
+}
+
+TEST(GraphGenTest, DefaultOptionsProduceReorderableGraphs) {
+  Rng rng(401);
+  for (int i = 0; i < 30; ++i) {
+    RandomQueryOptions options;
+    options.num_relations = 3 + static_cast<int>(rng.Uniform(5));
+    GeneratedQuery q = GenerateRandomQuery(options, &rng);
+    EXPECT_TRUE(CheckFreelyReorderable(q.graph).freely_reorderable())
+        << q.graph.ToString();
+  }
+}
+
+TEST(GraphGenTest, ViolationsBreakNiceness) {
+  Rng rng(402);
+  for (auto violation : {RandomQueryOptions::Violation::kJoinAtNullSupplied,
+                         RandomQueryOptions::Violation::kTwoInEdges,
+                         RandomQueryOptions::Violation::kOjCycle}) {
+    for (int i = 0; i < 10; ++i) {
+      RandomQueryOptions options;
+      options.num_relations = 4 + static_cast<int>(rng.Uniform(3));
+      options.violation = violation;
+      GeneratedQuery q = GenerateRandomQuery(options, &rng);
+      EXPECT_FALSE(CheckNice(q.graph).nice) << q.graph.ToString();
+    }
+  }
+}
+
+TEST(GraphGenTest, WeakPredicatesBreakStrength) {
+  Rng rng(403);
+  int weak_seen = 0;
+  for (int i = 0; i < 20; ++i) {
+    RandomQueryOptions options;
+    options.num_relations = 5;
+    options.oj_fraction = 0.9;  // mostly outerjoins
+    options.weak_pred_prob = 1.0;
+    GeneratedQuery q = GenerateRandomQuery(options, &rng);
+    ReorderabilityCheck check = CheckFreelyReorderable(q.graph);
+    if (!check.all_outerjoin_preds_strong) ++weak_seen;
+  }
+  EXPECT_GT(weak_seen, 10);
+}
+
+}  // namespace
+}  // namespace fro

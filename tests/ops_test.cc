@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "relational/database.h"
+#include "relational/ops.h"
+#include "testing/datagen.h"
+
+namespace fro {
+namespace {
+
+// Fixture: R(a,b) and S(c,d) with a few rows including nulls.
+class OpsTest : public ::testing::TestWithParam<JoinAlgo> {
+ protected:
+  void SetUp() override {
+    r_ = *db_.AddRelation("R", {"a", "b"});
+    s_ = *db_.AddRelation("S", {"c", "d"});
+    a_ = db_.Attr("R", "a");
+    b_ = db_.Attr("R", "b");
+    c_ = db_.Attr("S", "c");
+    d_ = db_.Attr("S", "d");
+    db_.AddRow(r_, {Value::Int(1), Value::Int(10)});
+    db_.AddRow(r_, {Value::Int(2), Value::Int(20)});
+    db_.AddRow(r_, {Value::Null(), Value::Int(30)});
+    db_.AddRow(s_, {Value::Int(1), Value::Int(100)});
+    db_.AddRow(s_, {Value::Int(1), Value::Int(101)});
+    db_.AddRow(s_, {Value::Int(3), Value::Int(103)});
+    db_.AddRow(s_, {Value::Null(), Value::Int(104)});
+  }
+
+  const Relation& R() { return db_.relation(r_); }
+  const Relation& S() { return db_.relation(s_); }
+  PredicatePtr EqAC() { return EqCols(a_, c_); }
+
+  Database db_;
+  RelId r_, s_;
+  AttrId a_, b_, c_, d_;
+};
+
+TEST_P(OpsTest, JoinMatchesAndDropsNullKeys) {
+  KernelStats stats;
+  Relation out = Join(R(), S(), EqAC(), GetParam(), &stats);
+  // a=1 matches two S rows; a=2 and null-a match nothing.
+  EXPECT_EQ(out.NumRows(), 2u);
+  EXPECT_EQ(stats.emitted, 2u);
+  for (size_t i = 0; i < out.NumRows(); ++i) {
+    EXPECT_EQ(out.ValueOf(i, a_).AsInt(), 1);
+    EXPECT_EQ(out.ValueOf(i, c_).AsInt(), 1);
+  }
+}
+
+TEST_P(OpsTest, LeftOuterJoinPadsUnmatched) {
+  Relation out = LeftOuterJoin(R(), S(), EqAC(), GetParam(), nullptr);
+  // 2 matches + 2 padded rows (a=2 and a=null).
+  EXPECT_EQ(out.NumRows(), 4u);
+  size_t padded = 0;
+  for (size_t i = 0; i < out.NumRows(); ++i) {
+    if (out.ValueOf(i, c_).is_null() && out.ValueOf(i, d_).is_null()) {
+      ++padded;
+    }
+  }
+  EXPECT_EQ(padded, 2u);
+}
+
+TEST_P(OpsTest, AntijoinKeepsNonMatchers) {
+  Relation out = Antijoin(R(), S(), EqAC(), GetParam(), nullptr);
+  EXPECT_EQ(out.NumRows(), 2u);  // a=2 and a=null
+  EXPECT_EQ(out.scheme().size(), 2u);  // scheme of R only
+}
+
+TEST_P(OpsTest, SemijoinKeepsMatchersOnce) {
+  Relation out = Semijoin(R(), S(), EqAC(), GetParam(), nullptr);
+  EXPECT_EQ(out.NumRows(), 1u);  // a=1 kept once despite two matches
+  EXPECT_EQ(out.ValueOf(0, a_).AsInt(), 1);
+}
+
+TEST_P(OpsTest, JoinOuterjoinAntijoinPartition) {
+  // OJ = JN  union  (AJ padded): identity 10 at the kernel level.
+  Relation oj = LeftOuterJoin(R(), S(), EqAC(), GetParam(), nullptr);
+  Relation jn = Join(R(), S(), EqAC(), GetParam(), nullptr);
+  Relation aj = Antijoin(R(), S(), EqAC(), GetParam(), nullptr);
+  EXPECT_TRUE(BagEquals(oj, BagUnionPadded(jn, aj)));
+}
+
+TEST_P(OpsTest, EmptyInputs) {
+  Relation empty_r((Scheme({a_, b_})));
+  Relation empty_s((Scheme({c_, d_})));
+  EXPECT_EQ(Join(empty_r, S(), EqAC(), GetParam(), nullptr).NumRows(), 0u);
+  EXPECT_EQ(Join(R(), empty_s, EqAC(), GetParam(), nullptr).NumRows(), 0u);
+  // Outerjoin of R against empty S pads every R row.
+  Relation oj = LeftOuterJoin(R(), empty_s, EqAC(), GetParam(), nullptr);
+  EXPECT_EQ(oj.NumRows(), R().NumRows());
+  // Antijoin keeps everything.
+  EXPECT_EQ(Antijoin(R(), empty_s, EqAC(), GetParam(), nullptr).NumRows(),
+            R().NumRows());
+}
+
+TEST_P(OpsTest, NonEquiPredicate) {
+  PredicatePtr lt = CmpCols(CmpOp::kLt, a_, c_);
+  Relation out = Join(R(), S(), lt, GetParam(), nullptr);
+  // a=1 < c=3; a=2 < c=3. (null a never matches.)
+  EXPECT_EQ(out.NumRows(), 2u);
+}
+
+TEST_P(OpsTest, MixedEquiAndResidualPredicate) {
+  PredicatePtr pred = Predicate::And(
+      {EqCols(a_, c_), CmpCols(CmpOp::kLt, b_, d_)});
+  Relation out = Join(R(), S(), pred, GetParam(), &*std::make_unique<KernelStats>());
+  EXPECT_EQ(out.NumRows(), 2u);  // both (1,10)x(1,100) and (1,10)x(1,101)
+}
+
+TEST_P(OpsTest, RestrictFilters) {
+  PredicatePtr p = CmpLit(CmpOp::kGe, b_, Value::Int(20));
+  Relation out = Restrict(R(), p, nullptr);
+  EXPECT_EQ(out.NumRows(), 2u);
+}
+
+TEST_P(OpsTest, ProjectBagAndSet) {
+  Relation dup((Scheme({a_})));
+  dup.AddRow(Tuple({Value::Int(1)}));
+  dup.AddRow(Tuple({Value::Int(1)}));
+  EXPECT_EQ(Project(dup, {a_}, /*dedup=*/false, nullptr).NumRows(), 2u);
+  EXPECT_EQ(Project(dup, {a_}, /*dedup=*/true, nullptr).NumRows(), 1u);
+}
+
+TEST_P(OpsTest, CrossProductCounts) {
+  KernelStats stats;
+  Relation out = CrossProduct(R(), S(), &stats);
+  EXPECT_EQ(out.NumRows(), R().NumRows() * S().NumRows());
+  EXPECT_EQ(stats.emitted, out.NumRows());
+}
+
+INSTANTIATE_TEST_SUITE_P(Algos, OpsTest,
+                         ::testing::Values(JoinAlgo::kNestedLoop,
+                                           JoinAlgo::kHash, JoinAlgo::kAuto),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case JoinAlgo::kNestedLoop:
+                               return "NestedLoop";
+                             case JoinAlgo::kHash:
+                               return "Hash";
+                             case JoinAlgo::kAuto:
+                               return "Auto";
+                           }
+                           return "Unknown";
+                         });
+
+TEST(EquiKeysTest, ExtractsCrossingEqualities) {
+  Database db;
+  RelId r = *db.AddRelation("R", {"a"});
+  RelId s = *db.AddRelation("S", {"c"});
+  AttrId a = db.Attr("R", "a");
+  AttrId c = db.Attr("S", "c");
+  PredicatePtr pred = Predicate::And(
+      {EqCols(a, c), CmpCols(CmpOp::kLt, a, c)});
+  EquiKeys keys = ExtractEquiKeys(pred, db.scheme(r), db.scheme(s));
+  ASSERT_TRUE(keys.Usable());
+  EXPECT_EQ(keys.left, (std::vector<AttrId>{a}));
+  EXPECT_EQ(keys.right, (std::vector<AttrId>{c}));
+  // Pure inequality: no keys.
+  EquiKeys none = ExtractEquiKeys(CmpCols(CmpOp::kLt, a, c), db.scheme(r),
+                                  db.scheme(s));
+  EXPECT_FALSE(none.Usable());
+}
+
+// Property: all kernel algorithms agree on random inputs for every
+// operator.
+TEST(OpsPropertyTest, AlgorithmsAgreeOnRandomData) {
+  Rng rng(2026);
+  for (int trial = 0; trial < 40; ++trial) {
+    RandomRowsOptions rows;
+    rows.rows_max = 8;
+    rows.null_prob = 0.2;
+    auto db = MakeRandomDatabase(2, 2, rows, &rng);
+    const Relation& r = db->relation(0);
+    const Relation& s = db->relation(1);
+    AttrId a0 = db->Attr("R0", "a0");
+    AttrId b0 = db->Attr("R1", "a0");
+    AttrId b1 = db->Attr("R1", "a1");
+    PredicatePtr pred =
+        trial % 2 == 0
+            ? EqCols(a0, b0)
+            : Predicate::And({EqCols(a0, b0), CmpCols(CmpOp::kLe, a0, b1)});
+    for (auto op : {0, 1, 2, 3}) {
+      Relation nl, hash;
+      switch (op) {
+        case 0:
+          nl = Join(r, s, pred, JoinAlgo::kNestedLoop, nullptr);
+          hash = Join(r, s, pred, JoinAlgo::kHash, nullptr);
+          break;
+        case 1:
+          nl = LeftOuterJoin(r, s, pred, JoinAlgo::kNestedLoop, nullptr);
+          hash = LeftOuterJoin(r, s, pred, JoinAlgo::kHash, nullptr);
+          break;
+        case 2:
+          nl = Antijoin(r, s, pred, JoinAlgo::kNestedLoop, nullptr);
+          hash = Antijoin(r, s, pred, JoinAlgo::kHash, nullptr);
+          break;
+        case 3:
+          nl = Semijoin(r, s, pred, JoinAlgo::kNestedLoop, nullptr);
+          hash = Semijoin(r, s, pred, JoinAlgo::kHash, nullptr);
+          break;
+      }
+      EXPECT_TRUE(BagEquals(nl, hash))
+          << "trial " << trial << " op " << op;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fro

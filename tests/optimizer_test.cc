@@ -1,0 +1,221 @@
+// DP optimizer and facade tests.
+
+#include <gtest/gtest.h>
+
+#include "algebra/eval.h"
+#include "common/rng.h"
+#include "enumerate/it_enum.h"
+#include "graph/from_expr.h"
+#include "graph/nice.h"
+#include "optimizer/optimizer.h"
+#include "testing/datagen.h"
+#include "testing/graphgen.h"
+
+namespace fro {
+namespace {
+
+// Example 1: under the base-retrievals cost model the DP must discover
+// the (R1 - R2) -> R3 order with cost 3, against the naive 2N+1.
+TEST(DpOptimizerTest, Example1FindsTheReorderedPlan) {
+  const int n = 100;
+  auto db = MakeExample1Database(n);
+  QueryGraph g;
+  g.AddNode(db->Rel("R1"), db->scheme(db->Rel("R1")).ToAttrSet());
+  g.AddNode(db->Rel("R2"), db->scheme(db->Rel("R2")).ToAttrSet());
+  g.AddNode(db->Rel("R3"), db->scheme(db->Rel("R3")).ToAttrSet());
+  ASSERT_TRUE(
+      g.AddJoinEdge(0, 1, EqCols(db->Attr("R1", "k"), db->Attr("R2", "k")))
+          .ok());
+  ASSERT_TRUE(g.AddOuterJoinEdge(1, 2, EqCols(db->Attr("R2", "fk"),
+                                              db->Attr("R3", "k")))
+                  .ok());
+  CostModel model(*db, CostKind::kBaseRetrievals);
+  Result<PlanResult> best = OptimizeReorderable(g, *db, model);
+  ASSERT_TRUE(best.ok());
+  // Expected plan shape: join first, outerjoin last.
+  EXPECT_EQ(best->plan->kind(), OpKind::kOuterJoin);
+  EXPECT_EQ(best->plan->left()->kind(), OpKind::kJoin);
+  EXPECT_DOUBLE_EQ(best->cost, 3.0);
+  // And the worst plan is the paper's naive order, costing ~2N+1.
+  Result<PlanResult> worst =
+      OptimizeReorderable(g, *db, model, /*maximize=*/true);
+  ASSERT_TRUE(worst.ok());
+  EXPECT_GE(worst->cost, 2.0 * n);
+}
+
+TEST(DpOptimizerTest, PlanImplementsTheGraphAndEvaluatesEqual) {
+  Rng rng(901);
+  for (int trial = 0; trial < 25; ++trial) {
+    RandomQueryOptions options;
+    options.num_relations = 3 + static_cast<int>(rng.Uniform(4));
+    options.rows.rows_min = 1;
+    GeneratedQuery q = GenerateRandomQuery(options, &rng);
+    CostModel model(*q.db, CostKind::kCout);
+    Result<PlanResult> best = OptimizeReorderable(q.graph, *q.db, model);
+    ASSERT_TRUE(best.ok());
+    // The plan is an implementing tree of the graph.
+    Result<QueryGraph> regraphed = GraphOf(best->plan, *q.db);
+    ASSERT_TRUE(regraphed.ok());
+    EXPECT_EQ(regraphed->num_edges(), q.graph.num_edges());
+    // It evaluates identically to an arbitrary implementing tree
+    // (Theorem 1 guarantees equivalence; this checks the DP built a
+    // genuine IT).
+    ExprPtr reference = RandomIt(q.graph, *q.db, &rng);
+    EXPECT_TRUE(BagEquals(Eval(best->plan, *q.db), Eval(reference, *q.db)));
+    // Best <= worst.
+    Result<PlanResult> worst =
+        OptimizeReorderable(q.graph, *q.db, model, /*maximize=*/true);
+    ASSERT_TRUE(worst.ok());
+    EXPECT_LE(best->cost, worst->cost + 1e-9);
+  }
+}
+
+TEST(DpOptimizerTest, BestMatchesExhaustiveEnumerationCost) {
+  Rng rng(902);
+  for (int trial = 0; trial < 10; ++trial) {
+    RandomQueryOptions options;
+    options.num_relations = 4;
+    options.rows.rows_min = 1;
+    GeneratedQuery q = GenerateRandomQuery(options, &rng);
+    CostModel model(*q.db, CostKind::kCout);
+    Result<PlanResult> best = OptimizeReorderable(q.graph, *q.db, model);
+    ASSERT_TRUE(best.ok());
+    double exhaustive_best = 1e300;
+    for (const ExprPtr& t : EnumerateIts(q.graph, *q.db)) {
+      exhaustive_best = std::min(exhaustive_best, model.PlanCost(t));
+    }
+    EXPECT_NEAR(best->cost, exhaustive_best, 1e-6 * (1 + exhaustive_best));
+  }
+}
+
+TEST(DpOptimizerTest, DisconnectedGraphRejected) {
+  Database db;
+  RelId r = *db.AddRelation("R", {"a"});
+  RelId s = *db.AddRelation("S", {"b"});
+  QueryGraph g;
+  g.AddNode(r, db.scheme(r).ToAttrSet());
+  g.AddNode(s, db.scheme(s).ToAttrSet());
+  CostModel model(db, CostKind::kCout);
+  EXPECT_FALSE(OptimizeReorderable(g, db, model).ok());
+}
+
+// --- Facade -------------------------------------------------------------
+
+TEST(OptimizeFacadeTest, ReorderableQueryGetsDpPlan) {
+  auto db = MakeExample1Database(50);
+  ExprPtr r1 = Expr::Leaf(db->Rel("R1"), *db);
+  ExprPtr r2 = Expr::Leaf(db->Rel("R2"), *db);
+  ExprPtr r3 = Expr::Leaf(db->Rel("R3"), *db);
+  ExprPtr naive = Expr::Join(
+      r1,
+      Expr::OuterJoin(r2, r3,
+                      EqCols(db->Attr("R2", "fk"), db->Attr("R3", "k"))),
+      EqCols(db->Attr("R1", "k"), db->Attr("R2", "k")));
+  OptimizeOptions options;
+  options.cost_kind = CostKind::kBaseRetrievals;
+  Result<OptimizeOutcome> outcome = Optimize(naive, *db, options);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->freely_reorderable);
+  EXPECT_LT(outcome->cost, outcome->original_cost);
+  EXPECT_DOUBLE_EQ(outcome->cost, 3.0);
+  EXPECT_TRUE(BagEquals(Eval(naive, *db), Eval(outcome->plan, *db)));
+}
+
+TEST(OptimizeFacadeTest, SimplificationThenReorder) {
+  // sigma[R3.k >= 0](R1 - (R2 -> R3)): the strong filter converts the
+  // outerjoin to a join; the whole query is then a join chain the DP can
+  // reorder freely.
+  auto db = MakeExample1Database(20);
+  ExprPtr r1 = Expr::Leaf(db->Rel("R1"), *db);
+  ExprPtr r2 = Expr::Leaf(db->Rel("R2"), *db);
+  ExprPtr r3 = Expr::Leaf(db->Rel("R3"), *db);
+  ExprPtr q = Expr::Restrict(
+      Expr::Join(r1,
+                 Expr::OuterJoin(
+                     r2, r3,
+                     EqCols(db->Attr("R2", "fk"), db->Attr("R3", "k"))),
+                 EqCols(db->Attr("R1", "k"), db->Attr("R2", "k"))),
+      CmpLit(CmpOp::kGe, db->Attr("R3", "k"), Value::Int(0)));
+  Result<OptimizeOutcome> outcome = Optimize(q, *db);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->outerjoins_simplified, 1);
+  EXPECT_TRUE(outcome->freely_reorderable);
+  EXPECT_TRUE(BagEquals(Eval(q, *db), Eval(outcome->plan, *db)));
+  // The plan is a pure join tree; the restriction (on R3.k only) has been
+  // pushed down to the R3 scan.
+  EXPECT_EQ(outcome->plan->kind(), OpKind::kJoin);
+  EXPECT_EQ(outcome->restrictions_pushed, 1);
+  // Disabling pushdown keeps the restrict on top.
+  OptimizeOptions no_push;
+  no_push.push_down_restrictions = false;
+  Result<OptimizeOutcome> unpushed = Optimize(q, *db, no_push);
+  ASSERT_TRUE(unpushed.ok());
+  EXPECT_EQ(unpushed->plan->kind(), OpKind::kRestrict);
+  EXPECT_EQ(unpushed->plan->left()->kind(), OpKind::kJoin);
+}
+
+TEST(OptimizeFacadeTest, NonReorderableQueryGetsGojPlan) {
+  // Example 2's shape: X -> (Y - Z). Not freely reorderable; the facade
+  // left-deepens it via identity 15 and the plan still evaluates equal.
+  Database db;
+  RelId rx = *db.AddRelation("X", {"a"});
+  RelId ry = *db.AddRelation("Y", {"b"});
+  RelId rz = *db.AddRelation("Z", {"c"});
+  AttrId a = db.Attr("X", "a");
+  AttrId b = db.Attr("Y", "b");
+  AttrId c = db.Attr("Z", "c");
+  db.AddRow(rx, {Value::Int(1)});
+  db.AddRow(rx, {Value::Int(2)});
+  db.AddRow(ry, {Value::Int(1)});
+  db.AddRow(ry, {Value::Int(3)});
+  db.AddRow(rz, {Value::Int(3)});
+  ExprPtr q = Expr::OuterJoin(
+      Expr::Leaf(rx, db),
+      Expr::Join(Expr::Leaf(ry, db), Expr::Leaf(rz, db), EqCols(b, c)),
+      EqCols(a, b));
+  Result<OptimizeOutcome> outcome = Optimize(q, db);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_FALSE(outcome->freely_reorderable);
+  EXPECT_EQ(outcome->goj_rewrites, 1);
+  EXPECT_EQ(outcome->plan->kind(), OpKind::kGoj);
+  EXPECT_TRUE(BagEquals(Eval(q, db), Eval(outcome->plan, db)));
+}
+
+TEST(OptimizeFacadeTest, WeakPredicateBlocksReordering) {
+  Database db;
+  RelId rx = *db.AddRelation("X", {"a"});
+  RelId ry = *db.AddRelation("Y", {"b"});
+  AttrId a = db.Attr("X", "a");
+  AttrId b = db.Attr("Y", "b");
+  db.AddRow(rx, {Value::Null()});
+  db.AddRow(ry, {Value::Int(1)});
+  PredicatePtr weak =
+      Predicate::Or({EqCols(a, b), Predicate::IsNull(Operand::Column(a))});
+  ExprPtr q = Expr::OuterJoin(Expr::Leaf(rx, db), Expr::Leaf(ry, db), weak);
+  Result<OptimizeOutcome> outcome = Optimize(q, db);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_FALSE(outcome->freely_reorderable);
+  EXPECT_NE(outcome->notes.find("non-strong"), std::string::npos);
+  EXPECT_TRUE(BagEquals(Eval(q, db), Eval(outcome->plan, db)));
+}
+
+TEST(OptimizeFacadeTest, RandomQueriesAlwaysPreserved) {
+  // The facade must never change results, whatever the query class.
+  Rng rng(903);
+  for (int trial = 0; trial < 30; ++trial) {
+    RandomQueryOptions options;
+    options.num_relations = 3 + static_cast<int>(rng.Uniform(3));
+    options.weak_pred_prob = trial % 2 == 0 ? 0.0 : 0.6;
+    options.rows.rows_min = 1;
+    GeneratedQuery q = GenerateRandomQuery(options, &rng);
+    ExprPtr it = RandomIt(q.graph, *q.db, &rng);
+    ASSERT_NE(it, nullptr);
+    Result<OptimizeOutcome> outcome = Optimize(it, *q.db);
+    ASSERT_TRUE(outcome.ok());
+    EXPECT_TRUE(BagEquals(Eval(it, *q.db), Eval(outcome->plan, *q.db)))
+        << it->ToString() << " => " << outcome->plan->ToString();
+  }
+}
+
+}  // namespace
+}  // namespace fro

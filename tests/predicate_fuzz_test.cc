@@ -1,0 +1,162 @@
+// Fuzzing the predicate machinery: random predicate trees over a small
+// attribute universe, cross-validating
+//   (a) the strength analysis against brute force over the whole domain
+//       (conservative soundness: a claimed-strong predicate never
+//       evaluates True on the nulled rows), and
+//   (b) evaluation totality (never crashes, always yields a TriBool), and
+//   (c) References() completeness (evaluation only touches reported
+//       attributes).
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "common/rng.h"
+#include "relational/predicate.h"
+
+namespace fro {
+namespace {
+
+constexpr int kNumAttrs = 3;
+
+// The full value domain used by the brute force: null plus small ints
+// and one string (to exercise cross-kind comparisons).
+std::vector<Value> Domain() {
+  return {Value::Null(), Value::Int(0), Value::Int(1), Value::String("s")};
+}
+
+Operand RandomOperand(Rng* rng) {
+  switch (rng->Uniform(4)) {
+    case 0:
+      return Operand::Literal(Value::Int(rng->UniformInt(0, 1)));
+    case 1:
+      return Operand::Literal(Value::Null());
+    default:
+      return Operand::Column(
+          static_cast<AttrId>(rng->Uniform(kNumAttrs)));
+  }
+}
+
+PredicatePtr RandomPredicate(Rng* rng, int depth) {
+  if (depth <= 0 || rng->Bernoulli(0.4)) {
+    // Leaf: comparison or IS NULL.
+    if (rng->Bernoulli(0.25)) {
+      return Predicate::IsNull(RandomOperand(rng));
+    }
+    CmpOp op = static_cast<CmpOp>(rng->Uniform(6));
+    return Predicate::Cmp(op, RandomOperand(rng), RandomOperand(rng));
+  }
+  switch (rng->Uniform(3)) {
+    case 0:
+      return Predicate::And(
+          {RandomPredicate(rng, depth - 1), RandomPredicate(rng, depth - 1)});
+    case 1:
+      return Predicate::Or(
+          {RandomPredicate(rng, depth - 1), RandomPredicate(rng, depth - 1)});
+    default:
+      return Predicate::Not(RandomPredicate(rng, depth - 1));
+  }
+}
+
+// Enumerates every tuple over kNumAttrs columns with values from Domain(),
+// with the attributes in `nulled` forced to null.
+void ForEachTuple(const AttrSet& nulled,
+                  const std::function<void(const Tuple&)>& fn) {
+  std::vector<Value> domain = Domain();
+  const size_t d = domain.size();
+  size_t combos = 1;
+  for (int i = 0; i < kNumAttrs; ++i) combos *= d;
+  for (size_t code = 0; code < combos; ++code) {
+    std::vector<Value> values;
+    size_t rest = code;
+    for (int i = 0; i < kNumAttrs; ++i) {
+      values.push_back(nulled.Contains(static_cast<AttrId>(i))
+                           ? Value::Null()
+                           : domain[rest % d]);
+      rest /= d;
+    }
+    fn(Tuple(std::move(values)));
+  }
+}
+
+const Scheme& FuzzScheme() {
+  static const Scheme* scheme = new Scheme({0, 1, 2});
+  return *scheme;
+}
+
+TEST(PredicateFuzzTest, StrengthClaimsAreSound) {
+  Rng rng(2401);
+  int strong_claims = 0;
+  for (int trial = 0; trial < 400; ++trial) {
+    PredicatePtr pred = RandomPredicate(&rng, 3);
+    for (const AttrSet& nulled :
+         {AttrSet::Of({0}), AttrSet::Of({1}), AttrSet::Of({0, 2}),
+          AttrSet::Of({0, 1, 2})}) {
+      if (!pred->IsStrongWrt(nulled)) continue;
+      ++strong_claims;
+      ForEachTuple(nulled, [&](const Tuple& tuple) {
+        ASSERT_FALSE(IsTrue(pred->Eval(tuple, FuzzScheme())))
+            << pred->ToString(nullptr) << " claimed strong but is true on "
+            << tuple.ToString();
+      });
+    }
+  }
+  // The analysis is not vacuous: plenty of strength claims were made.
+  EXPECT_GT(strong_claims, 100);
+}
+
+TEST(PredicateFuzzTest, EvaluationIsTotalAndDeterministic) {
+  Rng rng(2402);
+  for (int trial = 0; trial < 200; ++trial) {
+    PredicatePtr pred = RandomPredicate(&rng, 4);
+    ForEachTuple(AttrSet(), [&](const Tuple& tuple) {
+      TriBool a = pred->Eval(tuple, FuzzScheme());
+      TriBool b = pred->Eval(tuple, FuzzScheme());
+      EXPECT_EQ(a, b);
+    });
+  }
+}
+
+TEST(PredicateFuzzTest, DoubleNegationAgrees) {
+  Rng rng(2403);
+  for (int trial = 0; trial < 200; ++trial) {
+    PredicatePtr pred = RandomPredicate(&rng, 3);
+    PredicatePtr double_neg = Predicate::Not(Predicate::Not(pred));
+    ForEachTuple(AttrSet(), [&](const Tuple& tuple) {
+      EXPECT_EQ(pred->Eval(tuple, FuzzScheme()),
+                double_neg->Eval(tuple, FuzzScheme()));
+    });
+  }
+}
+
+TEST(PredicateFuzzTest, DeMorganHolds) {
+  Rng rng(2404);
+  for (int trial = 0; trial < 150; ++trial) {
+    PredicatePtr a = RandomPredicate(&rng, 2);
+    PredicatePtr b = RandomPredicate(&rng, 2);
+    PredicatePtr lhs = Predicate::Not(Predicate::And({a, b}));
+    PredicatePtr rhs =
+        Predicate::Or({Predicate::Not(a), Predicate::Not(b)});
+    ForEachTuple(AttrSet(), [&](const Tuple& tuple) {
+      EXPECT_EQ(lhs->Eval(tuple, FuzzScheme()),
+                rhs->Eval(tuple, FuzzScheme()));
+    });
+  }
+}
+
+TEST(PredicateFuzzTest, StrengthMonotoneInNulledSet) {
+  // Strength w.r.t. S implies strength w.r.t. any superset of S.
+  Rng rng(2405);
+  for (int trial = 0; trial < 300; ++trial) {
+    PredicatePtr pred = RandomPredicate(&rng, 3);
+    if (pred->IsStrongWrt(AttrSet::Of({0}))) {
+      EXPECT_TRUE(pred->IsStrongWrt(AttrSet::Of({0, 1})))
+          << pred->ToString(nullptr);
+      EXPECT_TRUE(pred->IsStrongWrt(AttrSet::Of({0, 1, 2})))
+          << pred->ToString(nullptr);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fro

@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include "relational/predicate.h"
+
+namespace fro {
+namespace {
+
+// Attributes 0 and 1 on a two-column scheme.
+const Scheme& TwoCols() {
+  static const Scheme* scheme = new Scheme({0, 1});
+  return *scheme;
+}
+
+Tuple Row(Value a, Value b) { return Tuple({std::move(a), std::move(b)}); }
+
+TEST(PredicateTest, ConstEval) {
+  EXPECT_EQ(Predicate::Const(true)->Eval(Row(Value::Null(), Value::Null()),
+                                         TwoCols()),
+            TriBool::kTrue);
+  EXPECT_EQ(Predicate::Const(false)->Eval(Row(Value::Null(), Value::Null()),
+                                          TwoCols()),
+            TriBool::kFalse);
+}
+
+TEST(PredicateTest, ComparisonThreeValued) {
+  PredicatePtr eq = EqCols(0, 1);
+  EXPECT_EQ(eq->Eval(Row(Value::Int(1), Value::Int(1)), TwoCols()),
+            TriBool::kTrue);
+  EXPECT_EQ(eq->Eval(Row(Value::Int(1), Value::Int(2)), TwoCols()),
+            TriBool::kFalse);
+  EXPECT_EQ(eq->Eval(Row(Value::Null(), Value::Int(2)), TwoCols()),
+            TriBool::kUnknown);
+}
+
+TEST(PredicateTest, ComparisonAgainstLiteral) {
+  PredicatePtr p = CmpLit(CmpOp::kGt, 0, Value::Int(10));
+  EXPECT_EQ(p->Eval(Row(Value::Int(11), Value::Null()), TwoCols()),
+            TriBool::kTrue);
+  EXPECT_EQ(p->Eval(Row(Value::Int(9), Value::Null()), TwoCols()),
+            TriBool::kFalse);
+  EXPECT_EQ(p->Eval(Row(Value::Null(), Value::Null()), TwoCols()),
+            TriBool::kUnknown);
+}
+
+TEST(PredicateTest, AndOrNotKleene) {
+  PredicatePtr eq = EqCols(0, 1);                      // U on null
+  PredicatePtr lit = CmpLit(CmpOp::kEq, 1, Value::Int(2));
+  Tuple null_two = Row(Value::Null(), Value::Int(2));  // eq: U, lit: T
+  EXPECT_EQ(Predicate::And({eq, lit})->Eval(null_two, TwoCols()),
+            TriBool::kUnknown);
+  EXPECT_EQ(Predicate::Or({eq, lit})->Eval(null_two, TwoCols()),
+            TriBool::kTrue);
+  EXPECT_EQ(Predicate::Not(eq)->Eval(null_two, TwoCols()),
+            TriBool::kUnknown);
+}
+
+TEST(PredicateTest, IsNull) {
+  PredicatePtr p = Predicate::IsNull(Operand::Column(0));
+  EXPECT_EQ(p->Eval(Row(Value::Null(), Value::Int(1)), TwoCols()),
+            TriBool::kTrue);
+  EXPECT_EQ(p->Eval(Row(Value::Int(0), Value::Int(1)), TwoCols()),
+            TriBool::kFalse);
+}
+
+TEST(PredicateTest, References) {
+  PredicatePtr p = Predicate::And(
+      {EqCols(0, 1), CmpLit(CmpOp::kLt, 1, Value::Int(5))});
+  EXPECT_EQ(p->References().ids(), (std::vector<AttrId>{0, 1}));
+}
+
+TEST(PredicateTest, ConjunctsSplitTopLevelAnd) {
+  PredicatePtr a = EqCols(0, 1);
+  PredicatePtr b = CmpLit(CmpOp::kLt, 0, Value::Int(5));
+  PredicatePtr both = Predicate::And({a, b});
+  EXPECT_EQ(both->Conjuncts(both).size(), 2u);
+  EXPECT_EQ(a->Conjuncts(a).size(), 1u);
+  PredicatePtr truth = Predicate::Const(true);
+  EXPECT_TRUE(truth->Conjuncts(truth).empty());
+}
+
+TEST(PredicateTest, AndFlattensNested) {
+  PredicatePtr a = EqCols(0, 1);
+  PredicatePtr b = CmpLit(CmpOp::kLt, 0, Value::Int(5));
+  PredicatePtr c = Predicate::IsNull(Operand::Column(1));
+  PredicatePtr nested = Predicate::And({Predicate::And({a, b}), c});
+  EXPECT_EQ(nested->Conjuncts(nested).size(), 3u);
+}
+
+TEST(PredicateTest, AndOfSingletonIsIdentity) {
+  PredicatePtr a = EqCols(0, 1);
+  EXPECT_EQ(Predicate::And({a}), a);
+  EXPECT_EQ(AndOf(nullptr, a), a);
+  EXPECT_EQ(AndOf(a, nullptr), a);
+}
+
+TEST(PredicateTest, ToStringReadable) {
+  PredicatePtr p = Predicate::Or(
+      {EqCols(0, 1), Predicate::IsNull(Operand::Column(0))});
+  EXPECT_EQ(p->ToString(nullptr), "(#0=#1 or #0 is null)");
+}
+
+// ---- Strength analysis -------------------------------------------------
+
+TEST(StrengthTest, EqualityIsStrongBothSides) {
+  PredicatePtr eq = EqCols(0, 1);
+  EXPECT_TRUE(eq->IsStrongWrt(AttrSet::Of({0})));
+  EXPECT_TRUE(eq->IsStrongWrt(AttrSet::Of({1})));
+  EXPECT_TRUE(eq->IsStrongWrt(AttrSet::Of({0, 1})));
+}
+
+TEST(StrengthTest, NotStrongWrtUnreferencedAttrs) {
+  PredicatePtr eq = EqCols(0, 1);
+  // Nulling attribute 9 doesn't prevent the predicate from being true.
+  EXPECT_FALSE(eq->IsStrongWrt(AttrSet::Of({9})));
+  EXPECT_FALSE(eq->IsStrongWrt(AttrSet()));
+}
+
+TEST(StrengthTest, OrIsNullIsWeak) {
+  // Example 3's predicate shape: (a = b OR a IS NULL) is not strong wrt a.
+  PredicatePtr p = Predicate::Or(
+      {EqCols(0, 1), Predicate::IsNull(Operand::Column(0))});
+  EXPECT_FALSE(p->IsStrongWrt(AttrSet::Of({0})));
+  // Not strong w.r.t. b either: a tuple with BOTH attributes null has b
+  // null and still satisfies the IS NULL disjunct. (Strength quantifies
+  // over all tuples null on the given set, not only those.)
+  EXPECT_FALSE(p->IsStrongWrt(AttrSet::Of({1})));
+  // The disjunction that pins the other side non-null IS strong wrt b:
+  // (a = b OR (a IS NULL AND NOT(b IS NULL))).
+  PredicatePtr pinned = Predicate::Or(
+      {EqCols(0, 1),
+       Predicate::And(
+           {Predicate::IsNull(Operand::Column(0)),
+            Predicate::Not(Predicate::IsNull(Operand::Column(1)))})});
+  EXPECT_TRUE(pinned->IsStrongWrt(AttrSet::Of({1})));
+  EXPECT_FALSE(pinned->IsStrongWrt(AttrSet::Of({0})));
+}
+
+TEST(StrengthTest, IsNullAloneIsAntiStrong) {
+  PredicatePtr p = Predicate::IsNull(Operand::Column(0));
+  EXPECT_FALSE(p->IsStrongWrt(AttrSet::Of({0})));
+}
+
+TEST(StrengthTest, NotOfEqualityIsStrong) {
+  // NOT(a = b) on a null a evaluates to NOT(unknown) = unknown: never true.
+  PredicatePtr p = Predicate::Not(EqCols(0, 1));
+  EXPECT_TRUE(p->IsStrongWrt(AttrSet::Of({0})));
+}
+
+TEST(StrengthTest, NotIsNullIsStrong) {
+  // NOT(a IS NULL) is false when a is null: strong.
+  PredicatePtr p = Predicate::Not(Predicate::IsNull(Operand::Column(0)));
+  EXPECT_TRUE(p->IsStrongWrt(AttrSet::Of({0})));
+}
+
+TEST(StrengthTest, ConjunctionStrongIfAnyConjunctStrong) {
+  PredicatePtr p = Predicate::And(
+      {Predicate::IsNull(Operand::Column(0)), EqCols(0, 1)});
+  EXPECT_TRUE(p->IsStrongWrt(AttrSet::Of({0})));
+}
+
+TEST(StrengthTest, DisjunctionNeedsAllBranchesStrong) {
+  PredicatePtr strong = Predicate::Or(
+      {EqCols(0, 1), CmpCols(CmpOp::kLt, 0, 1)});
+  EXPECT_TRUE(strong->IsStrongWrt(AttrSet::Of({0})));
+  PredicatePtr weak = Predicate::Or(
+      {EqCols(0, 1), Predicate::Const(true)});
+  EXPECT_FALSE(weak->IsStrongWrt(AttrSet::Of({0})));
+}
+
+TEST(StrengthTest, ConstFalseIsVacuouslyStrong) {
+  EXPECT_TRUE(Predicate::Const(false)->IsStrongWrt(AttrSet()));
+  EXPECT_FALSE(Predicate::Const(true)->IsStrongWrt(AttrSet::Of({0})));
+}
+
+TEST(StrengthTest, NullLiteralComparisonIsStrong) {
+  // a = NULL is always unknown: never true, hence strong wrt anything.
+  PredicatePtr p = Predicate::Cmp(CmpOp::kEq, Operand::Column(0),
+                                  Operand::Literal(Value::Null()));
+  EXPECT_TRUE(p->IsStrongWrt(AttrSet()));
+}
+
+TEST(StrengthTest, LiteralOnlyComparisonEvaluatedExactly) {
+  PredicatePtr true_cmp = Predicate::Cmp(CmpOp::kLt,
+                                         Operand::Literal(Value::Int(1)),
+                                         Operand::Literal(Value::Int(2)));
+  EXPECT_FALSE(true_cmp->IsStrongWrt(AttrSet::Of({0})));
+  PredicatePtr false_cmp = Predicate::Cmp(CmpOp::kGt,
+                                          Operand::Literal(Value::Int(1)),
+                                          Operand::Literal(Value::Int(2)));
+  EXPECT_TRUE(false_cmp->IsStrongWrt(AttrSet::Of({0})));
+}
+
+// Cross-validation: structural strength analysis must agree with brute
+// force over a small domain.
+TEST(StrengthTest, AgreesWithBruteForceOnSmallDomain) {
+  std::vector<PredicatePtr> predicates = {
+      EqCols(0, 1),
+      CmpCols(CmpOp::kLt, 0, 1),
+      Predicate::Or({EqCols(0, 1), Predicate::IsNull(Operand::Column(0))}),
+      Predicate::Or({EqCols(0, 1), Predicate::IsNull(Operand::Column(1))}),
+      Predicate::And({EqCols(0, 1), Predicate::IsNull(Operand::Column(1))}),
+      Predicate::Not(EqCols(0, 1)),
+      Predicate::Not(Predicate::IsNull(Operand::Column(0))),
+      CmpLit(CmpOp::kEq, 0, Value::Int(1)),
+  };
+  std::vector<Value> domain = {Value::Int(0), Value::Int(1), Value::Int(2)};
+  for (const PredicatePtr& p : predicates) {
+    for (AttrSet nulled : {AttrSet::Of({0}), AttrSet::Of({1}),
+                           AttrSet::Of({0, 1})}) {
+      // Brute force: enumerate all rows with `nulled` attrs null.
+      bool can_be_true = false;
+      for (const Value& a : domain) {
+        for (const Value& b : domain) {
+          Value va = nulled.Contains(0) ? Value::Null() : a;
+          Value vb = nulled.Contains(1) ? Value::Null() : b;
+          if (IsTrue(p->Eval(Row(va, vb), TwoCols()))) can_be_true = true;
+        }
+      }
+      if (p->IsStrongWrt(nulled)) {
+        // Strength claims are exact: never true on the nulled rows.
+        EXPECT_FALSE(can_be_true)
+            << p->ToString(nullptr) << " claimed strong but can be true";
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fro

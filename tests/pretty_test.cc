@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "relational/pretty.h"
+#include "testing/datagen.h"
+
+namespace fro {
+namespace {
+
+TEST(PrettyTest, AlignedTableWithNulls) {
+  auto db = MakeDeptEmpDatabase();
+  PrettyOptions options;
+  options.null_text = "-";
+  std::string table =
+      PrettyTable(db->relation(db->Rel("DEPT")), &db->catalog(), options);
+  // Header, separator, three rows.
+  EXPECT_EQ(std::count(table.begin(), table.end(), '\n'), 5);
+  EXPECT_NE(table.find("DEPT.dname"), std::string::npos);
+  EXPECT_NE(table.find("Research"), std::string::npos);
+  // Separator line uses -+- junctions.
+  EXPECT_NE(table.find("-+-"), std::string::npos);
+}
+
+TEST(PrettyTest, CanonicalSortsRows) {
+  Database db;
+  RelId r = *db.AddRelation("R", {"a"});
+  db.AddRow(r, {Value::Int(3)});
+  db.AddRow(r, {Value::Int(1)});
+  db.AddRow(r, {Value::Int(2)});
+  std::string table = PrettyTable(db.relation(r), &db.catalog());
+  size_t p1 = table.find("1");
+  size_t p2 = table.find("2", p1 + 1);
+  size_t p3 = table.find("3", p2 + 1);
+  EXPECT_NE(p1, std::string::npos);
+  EXPECT_NE(p2, std::string::npos);
+  EXPECT_NE(p3, std::string::npos);
+  EXPECT_LT(p1, p2);
+  EXPECT_LT(p2, p3);
+}
+
+TEST(PrettyTest, RowCapSummarizesRemainder) {
+  Database db;
+  RelId r = *db.AddRelation("R", {"a"});
+  for (int i = 0; i < 10; ++i) db.AddRow(r, {Value::Int(i)});
+  PrettyOptions options;
+  options.max_rows = 3;
+  std::string table = PrettyTable(db.relation(r), &db.catalog(), options);
+  EXPECT_NE(table.find("... (7 more)"), std::string::npos);
+}
+
+TEST(PrettyTest, NullMarkerDefaultIsSingleWidth) {
+  Database db;
+  RelId r = *db.AddRelation("R", {"ab"});
+  db.AddRow(r, {Value::Null()});
+  db.AddRow(r, {Value::Int(12)});
+  std::string table = PrettyTable(db.relation(r), &db.catalog());
+  // All data lines have the same display width as the header line.
+  std::vector<std::string> lines;
+  size_t start = 0;
+  while (start < table.size()) {
+    size_t end = table.find('\n', start);
+    lines.push_back(table.substr(start, end - start));
+    start = end + 1;
+  }
+  ASSERT_GE(lines.size(), 4u);
+  // Compare display widths (the null marker is multi-byte UTF-8).
+  auto width = [](const std::string& s) {
+    size_t w = 0;
+    for (size_t i = 0; i < s.size();) {
+      unsigned char c = static_cast<unsigned char>(s[i]);
+      i += c < 0x80 ? 1 : c < 0xE0 ? 2 : c < 0xF0 ? 3 : 4;
+      ++w;
+    }
+    return w;
+  };
+  EXPECT_EQ(width(lines[0]), width(lines[2]));
+  EXPECT_EQ(width(lines[0]), width(lines[3]));
+}
+
+TEST(PrettyTest, EmptyRelation) {
+  Database db;
+  RelId r = *db.AddRelation("R", {"a", "b"});
+  std::string table = PrettyTable(db.relation(r), &db.catalog());
+  EXPECT_EQ(std::count(table.begin(), table.end(), '\n'), 2);  // header+sep
+}
+
+}  // namespace
+}  // namespace fro

@@ -1,0 +1,228 @@
+// Tests for restriction pushdown and constraint-based outerjoin
+// conversion (the two remaining Section 4 discussions).
+
+#include <gtest/gtest.h>
+
+#include "algebra/eval.h"
+#include "algebra/pushdown.h"
+#include "common/rng.h"
+#include "optimizer/constraints.h"
+#include "testing/datagen.h"
+
+namespace fro {
+namespace {
+
+class PushdownTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    x_ = *db_.AddRelation("X", {"a"});
+    y_ = *db_.AddRelation("Y", {"b"});
+    a_ = db_.Attr("X", "a");
+    b_ = db_.Attr("Y", "b");
+    db_.AddRow(x_, {Value::Int(1)});
+    db_.AddRow(x_, {Value::Int(2)});
+    db_.AddRow(y_, {Value::Int(1)});
+  }
+  ExprPtr X() { return Expr::Leaf(x_, db_); }
+  ExprPtr Y() { return Expr::Leaf(y_, db_); }
+
+  Database db_;
+  RelId x_, y_;
+  AttrId a_, b_;
+};
+
+TEST_F(PushdownTest, PushesThroughJoinToTheRightSide) {
+  ExprPtr q = Expr::Restrict(Expr::Join(X(), Y(), EqCols(a_, b_)),
+                             CmpLit(CmpOp::kGt, a_, Value::Int(0)));
+  PushdownResult result = PushDownRestrictions(q);
+  EXPECT_EQ(result.conjuncts_pushed, 1);
+  // Restrict now sits on the X leaf.
+  EXPECT_EQ(result.expr->kind(), OpKind::kJoin);
+  EXPECT_EQ(result.expr->left()->kind(), OpKind::kRestrict);
+  EXPECT_TRUE(result.expr->left()->left()->is_leaf());
+  EXPECT_TRUE(BagEquals(Eval(q, db_), Eval(result.expr, db_)));
+}
+
+TEST_F(PushdownTest, SpanningConjunctStays) {
+  ExprPtr q = Expr::Restrict(Expr::Join(X(), Y(), EqCols(a_, b_)),
+                             CmpCols(CmpOp::kLe, a_, b_));
+  PushdownResult result = PushDownRestrictions(q);
+  EXPECT_EQ(result.conjuncts_pushed, 0);
+  EXPECT_EQ(result.expr->kind(), OpKind::kRestrict);
+}
+
+TEST_F(PushdownTest, PreservedSideOfOuterjoinAccepts) {
+  ExprPtr q = Expr::Restrict(Expr::OuterJoin(X(), Y(), EqCols(a_, b_)),
+                             CmpLit(CmpOp::kGt, a_, Value::Int(0)));
+  PushdownResult result = PushDownRestrictions(q);
+  EXPECT_EQ(result.conjuncts_pushed, 1);
+  EXPECT_EQ(result.expr->kind(), OpKind::kOuterJoin);
+  EXPECT_EQ(result.expr->left()->kind(), OpKind::kRestrict);
+  EXPECT_TRUE(BagEquals(Eval(q, db_), Eval(result.expr, db_)));
+}
+
+TEST_F(PushdownTest, NullSuppliedSideRefuses) {
+  // The IS NULL restriction selects padded tuples; pushing it would be
+  // wrong, and the pass must keep it above.
+  ExprPtr q = Expr::Restrict(Expr::OuterJoin(X(), Y(), EqCols(a_, b_)),
+                             Predicate::IsNull(Operand::Column(b_)));
+  PushdownResult result = PushDownRestrictions(q);
+  EXPECT_EQ(result.conjuncts_pushed, 0);
+  EXPECT_EQ(result.expr->kind(), OpKind::kRestrict);
+  EXPECT_TRUE(BagEquals(Eval(q, db_), Eval(result.expr, db_)));
+  // Demonstrate why: pushing would change the result.
+  ExprPtr wrong = Expr::OuterJoin(
+      X(), Expr::Restrict(Y(), Predicate::IsNull(Operand::Column(b_))),
+      EqCols(a_, b_));
+  EXPECT_FALSE(BagEquals(Eval(q, db_), Eval(wrong, db_)));
+}
+
+TEST_F(PushdownTest, MergesStackedRestrictsAndSplitsConjuncts) {
+  ExprPtr q = Expr::Restrict(
+      Expr::Restrict(Expr::Join(X(), Y(), EqCols(a_, b_)),
+                     CmpLit(CmpOp::kGt, a_, Value::Int(0))),
+      CmpLit(CmpOp::kLt, b_, Value::Int(5)));
+  PushdownResult result = PushDownRestrictions(q);
+  EXPECT_EQ(result.conjuncts_pushed, 2);
+  EXPECT_EQ(result.expr->kind(), OpKind::kJoin);
+  EXPECT_TRUE(BagEquals(Eval(q, db_), Eval(result.expr, db_)));
+}
+
+// Property: pushdown never changes results across random shapes.
+TEST(PushdownPropertyTest, AlwaysEquivalent) {
+  Rng rng(2601);
+  for (int trial = 0; trial < 60; ++trial) {
+    RandomRowsOptions rows;
+    rows.rows_max = 6;
+    rows.domain = 3;
+    rows.null_prob = 0.2;
+    auto db = MakeRandomDatabase(3, 2, rows, &rng);
+    AttrId xa = db->Attr("R0", "a0");
+    AttrId ya = db->Attr("R1", "a0");
+    AttrId yb = db->Attr("R1", "a1");
+    AttrId za = db->Attr("R2", "a0");
+    ExprPtr x = Expr::Leaf(db->Rel("R0"), *db);
+    ExprPtr y = Expr::Leaf(db->Rel("R1"), *db);
+    ExprPtr z = Expr::Leaf(db->Rel("R2"), *db);
+    ExprPtr core = Expr::OuterJoin(Expr::Join(x, y, EqCols(xa, ya)), z,
+                                   EqCols(yb, za));
+    PredicatePtr filter;
+    switch (trial % 4) {
+      case 0:
+        filter = CmpLit(CmpOp::kGe, xa, Value::Int(1));
+        break;
+      case 1:
+        filter = Predicate::IsNull(Operand::Column(za));
+        break;
+      case 2:
+        filter = Predicate::And({CmpLit(CmpOp::kGe, xa, Value::Int(1)),
+                                 CmpLit(CmpOp::kLe, yb, Value::Int(2))});
+        break;
+      case 3:
+        filter = CmpCols(CmpOp::kLe, xa, yb);
+        break;
+    }
+    ExprPtr q = Expr::Restrict(core, filter);
+    PushdownResult result = PushDownRestrictions(q);
+    EXPECT_TRUE(BagEquals(Eval(q, *db), Eval(result.expr, *db)))
+        << q->ToString() << " => " << result.expr->ToString();
+  }
+}
+
+// --- Constraint-based conversion ----------------------------------------
+
+class ConstraintTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = MakeExample1Database(5);
+    r1_ = db_->Rel("R1");
+    r2_ = db_->Rel("R2");
+    r3_ = db_->Rel("R3");
+    r2fk_ = db_->Attr("R2", "fk");
+    r3k_ = db_->Attr("R3", "k");
+    r1k_ = db_->Attr("R1", "k");
+    r2k_ = db_->Attr("R2", "k");
+  }
+
+  std::unique_ptr<Database> db_;
+  RelId r1_, r2_, r3_;
+  AttrId r1k_, r2k_, r2fk_, r3k_;
+};
+
+TEST_F(ConstraintTest, ValidationAcceptsAndRejects) {
+  ConstraintSet good;
+  good.AddForeignKey(r2fk_, r3k_);  // every R2.fk appears in R3.k
+  EXPECT_TRUE(good.Validate(*db_).ok());
+  ConstraintSet bad;
+  bad.AddForeignKey(r3k_, r1k_);  // R3 keys 1..4 missing from R1
+  EXPECT_FALSE(bad.Validate(*db_).ok());
+}
+
+TEST_F(ConstraintTest, LosslessOuterjoinConverts) {
+  ConstraintSet constraints;
+  constraints.AddForeignKey(r2fk_, r3k_);
+  ExprPtr q = Expr::OuterJoin(Expr::Leaf(r2_, *db_), Expr::Leaf(r3_, *db_),
+                              EqCols(r2fk_, r3k_));
+  Result<ConstraintSimplifyResult> result =
+      SimplifyWithConstraints(q, constraints, *db_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->converted, 1);
+  EXPECT_EQ(result->expr->kind(), OpKind::kJoin);
+  EXPECT_TRUE(BagEquals(Eval(q, *db_), Eval(result->expr, *db_)));
+  EXPECT_TRUE(result->still_freely_reorderable);
+}
+
+TEST_F(ConstraintTest, UncoveredOuterjoinKept) {
+  ConstraintSet constraints;  // empty
+  ExprPtr q = Expr::OuterJoin(Expr::Leaf(r2_, *db_), Expr::Leaf(r3_, *db_),
+                              EqCols(r2fk_, r3k_));
+  Result<ConstraintSimplifyResult> result =
+      SimplifyWithConstraints(q, constraints, *db_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->converted, 0);
+}
+
+TEST_F(ConstraintTest, PaperCaveatReorderabilityLost) {
+  // R1 -> R2 -> R3 is freely reorderable; converting the inner outerjoin
+  // via the R2.fk -> R3.k constraint yields R1 -> (R2 - R3): still equal
+  // on this database, but no longer freely reorderable.
+  ConstraintSet constraints;
+  constraints.AddForeignKey(r2fk_, r3k_);
+  ExprPtr chain = Expr::OuterJoin(
+      Expr::Leaf(r1_, *db_),
+      Expr::OuterJoin(Expr::Leaf(r2_, *db_), Expr::Leaf(r3_, *db_),
+                      EqCols(r2fk_, r3k_)),
+      EqCols(r1k_, r2k_));
+  Result<ConstraintSimplifyResult> result =
+      SimplifyWithConstraints(chain, constraints, *db_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->converted, 1);
+  EXPECT_TRUE(BagEquals(Eval(chain, *db_), Eval(result->expr, *db_)));
+  EXPECT_FALSE(result->still_freely_reorderable);
+}
+
+TEST_F(ConstraintTest, PaddedReferencingColumnBlocksConversion) {
+  // (R1 -> R2) -> R3 with fk R2.fk -> R3.k: R2.fk may be padded to null
+  // by the inner outerjoin, so the outer conversion must NOT fire.
+  ConstraintSet constraints;
+  constraints.AddForeignKey(r2fk_, r3k_);
+  ExprPtr q = Expr::OuterJoin(
+      Expr::OuterJoin(Expr::Leaf(r1_, *db_), Expr::Leaf(r2_, *db_),
+                      EqCols(r1k_, r2k_)),
+      Expr::Leaf(r3_, *db_), EqCols(r2fk_, r3k_));
+  Result<ConstraintSimplifyResult> result =
+      SimplifyWithConstraints(q, constraints, *db_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->converted, 0);
+}
+
+TEST_F(ConstraintTest, ViolatedConstraintRefusesToRewrite) {
+  ConstraintSet constraints;
+  constraints.AddForeignKey(r3k_, r1k_);  // violated by the data
+  ExprPtr q = Expr::OuterJoin(Expr::Leaf(r3_, *db_), Expr::Leaf(r1_, *db_),
+                              EqCols(r3k_, r1k_));
+  EXPECT_FALSE(SimplifyWithConstraints(q, constraints, *db_).ok());
+}
+
+}  // namespace
+}  // namespace fro

@@ -1,0 +1,245 @@
+// The Section 2.3 reassociation identities for outerjoins (equations
+// 11-13), their side conditions, and the paper's counterexamples
+// (Examples 2 and 3) replayed exactly.
+
+#include <gtest/gtest.h>
+
+#include "algebra/eval.h"
+#include "common/rng.h"
+#include "testing/datagen.h"
+
+namespace fro {
+namespace {
+
+struct Tri {
+  std::unique_ptr<Database> db;
+  ExprPtr x, y, z;
+  AttrId xa, ya, yb, za;
+  PredicatePtr pxy, pyz;
+};
+
+Tri MakeTri(Rng* rng, bool weak_pyz_wrt_y = false,
+            bool weak_pxy_wrt_y = false) {
+  Tri t;
+  RandomRowsOptions rows;
+  rows.rows_min = 0;
+  rows.rows_max = 5;
+  rows.domain = 3;
+  rows.null_prob = 0.25;
+  t.db = MakeRandomDatabase(3, 2, rows, rng);
+  t.x = Expr::Leaf(t.db->Rel("R0"), *t.db);
+  t.y = Expr::Leaf(t.db->Rel("R1"), *t.db);
+  t.z = Expr::Leaf(t.db->Rel("R2"), *t.db);
+  t.xa = t.db->Attr("R0", "a0");
+  t.ya = t.db->Attr("R1", "a0");
+  t.yb = t.db->Attr("R1", "a1");
+  t.za = t.db->Attr("R2", "a0");
+  t.pxy = weak_pxy_wrt_y
+              ? Predicate::Or({EqCols(t.xa, t.ya),
+                               Predicate::IsNull(Operand::Column(t.ya))})
+              : EqCols(t.xa, t.ya);
+  t.pyz = weak_pyz_wrt_y
+              ? Predicate::Or({EqCols(t.yb, t.za),
+                               Predicate::IsNull(Operand::Column(t.yb))})
+              : EqCols(t.yb, t.za);
+  return t;
+}
+
+constexpr int kTrials = 60;
+
+#define EXPECT_SAME_RESULT(lhs, rhs, t, trial)                          \
+  EXPECT_TRUE(BagEquals(Eval((lhs), *(t).db), Eval((rhs), *(t).db)))    \
+      << "trial " << (trial) << "\n lhs=" << (lhs)->ToString()          \
+      << "\n rhs=" << (rhs)->ToString()
+
+// Pattern (-, ->): (X - Y) -> Z = X - (Y -> Z). Unconditional.
+TEST(ReassocTest, JoinBelowOuterjoin) {
+  Rng rng(201);
+  for (int i = 0; i < kTrials; ++i) {
+    Tri t = MakeTri(&rng);
+    ExprPtr lhs = Expr::OuterJoin(Expr::Join(t.x, t.y, t.pxy), t.z, t.pyz);
+    ExprPtr rhs = Expr::Join(t.x, Expr::OuterJoin(t.y, t.z, t.pyz), t.pxy);
+    EXPECT_SAME_RESULT(lhs, rhs, t, i);
+  }
+}
+
+// Pattern (->, ->): (X -> Y) -> Z = X -> (Y -> Z), REQUIRES P_yz strong
+// with respect to Y (identity 12).
+TEST(ReassocTest, Identity12OuterjoinAssociativityWithStrongPred) {
+  Rng rng(202);
+  for (int i = 0; i < kTrials; ++i) {
+    Tri t = MakeTri(&rng);
+    ExprPtr lhs = Expr::OuterJoin(Expr::OuterJoin(t.x, t.y, t.pxy), t.z,
+                                  t.pyz);
+    ExprPtr rhs = Expr::OuterJoin(t.x, Expr::OuterJoin(t.y, t.z, t.pyz),
+                                  t.pxy);
+    EXPECT_SAME_RESULT(lhs, rhs, t, i);
+  }
+}
+
+// Pattern (<-, ->): (X <- Y) -> Z = X <- (Y -> Z) (identity 13): two
+// outerjoins sharing the preserved operand Y. Unconditional.
+TEST(ReassocTest, Identity13SharedPreservedOperand) {
+  Rng rng(203);
+  for (int i = 0; i < kTrials; ++i) {
+    Tri t = MakeTri(&rng);
+    ExprPtr lhs = Expr::OuterJoin(
+        Expr::OuterJoin(t.x, t.y, t.pxy, /*preserves_left=*/false), t.z,
+        t.pyz);
+    ExprPtr rhs = Expr::OuterJoin(t.x, Expr::OuterJoin(t.y, t.z, t.pyz),
+                                  t.pxy, /*preserves_left=*/false);
+    EXPECT_SAME_RESULT(lhs, rhs, t, i);
+  }
+}
+
+// Pattern (<-, -): (X <- Y) - Z = X <- (Y - Z): a join on the preserved
+// side of an outerjoin commutes with it. Unconditional.
+TEST(ReassocTest, JoinOnPreservedSideCommutes) {
+  Rng rng(204);
+  for (int i = 0; i < kTrials; ++i) {
+    Tri t = MakeTri(&rng);
+    ExprPtr lhs = Expr::Join(
+        Expr::OuterJoin(t.x, t.y, t.pxy, /*preserves_left=*/false), t.z,
+        t.pyz);
+    ExprPtr rhs = Expr::OuterJoin(t.x, Expr::Join(t.y, t.z, t.pyz), t.pxy,
+                                  /*preserves_left=*/false);
+    EXPECT_SAME_RESULT(lhs, rhs, t, i);
+  }
+}
+
+// Mirrored identity 12, pattern (<-, <-): (X <- Y) <- Z = X <- (Y <- Z)
+// requires P_xy strong w.r.t. Y.
+TEST(ReassocTest, MirroredIdentity12) {
+  Rng rng(205);
+  for (int i = 0; i < kTrials; ++i) {
+    Tri t = MakeTri(&rng);
+    ExprPtr lhs = Expr::OuterJoin(
+        Expr::OuterJoin(t.x, t.y, t.pxy, /*preserves_left=*/false), t.z,
+        t.pyz, /*preserves_left=*/false);
+    ExprPtr rhs = Expr::OuterJoin(
+        t.x, Expr::OuterJoin(t.y, t.z, t.pyz, /*preserves_left=*/false),
+        t.pxy, /*preserves_left=*/false);
+    EXPECT_SAME_RESULT(lhs, rhs, t, i);
+  }
+}
+
+// --- Counterexamples ----------------------------------------------------
+
+// Example 2 of the paper, replayed exactly: despite having the same query
+// graph, R1 -> (R2 - R3) differs from (R1 -> R2) - R3 when (r2, r3) does
+// not satisfy the join predicate.
+TEST(CounterexampleTest, Example2JoinUnderOuterjoinDoesNotAssociate) {
+  Database db;
+  RelId r1 = *db.AddRelation("R1", {"a"});
+  RelId r2 = *db.AddRelation("R2", {"b"});
+  RelId r3 = *db.AddRelation("R3", {"c"});
+  AttrId a = db.Attr("R1", "a");
+  AttrId b = db.Attr("R2", "b");
+  AttrId c = db.Attr("R3", "c");
+  db.AddRow(r1, {Value::Int(1)});
+  db.AddRow(r2, {Value::Int(1)});   // matches r1 on the outerjoin pred
+  db.AddRow(r3, {Value::Int(99)});  // does NOT match r2 on the join pred
+  ExprPtr e1 = Expr::Leaf(r1, db);
+  ExprPtr e2 = Expr::Leaf(r2, db);
+  ExprPtr e3 = Expr::Leaf(r3, db);
+  PredicatePtr poj = EqCols(a, b);
+  PredicatePtr pjn = EqCols(b, c);
+
+  ExprPtr oj_of_join = Expr::OuterJoin(e1, Expr::Join(e2, e3, pjn), poj);
+  ExprPtr join_of_oj = Expr::Join(Expr::OuterJoin(e1, e2, poj), e3, pjn);
+
+  Relation first = Eval(oj_of_join, db);
+  Relation second = Eval(join_of_oj, db);
+  // First yields {(r1, -, -)}; second yields the empty set.
+  ASSERT_EQ(first.NumRows(), 1u);
+  EXPECT_EQ(first.ValueOf(0, a).AsInt(), 1);
+  EXPECT_TRUE(first.ValueOf(0, b).is_null());
+  EXPECT_TRUE(first.ValueOf(0, c).is_null());
+  EXPECT_EQ(second.NumRows(), 0u);
+  EXPECT_FALSE(BagEquals(first, second));
+}
+
+// Example 3 of the paper, replayed exactly: a non-strong predicate
+// precludes outerjoin reassociation. A = {(a)}, B = {(b, -)}, C = {(c)};
+// P_ab = (A.attr1 = B.attr1); P_bc = (B.attr2 = C.attr1 OR B.attr2 IS
+// NULL).
+TEST(CounterexampleTest, Example3NonstrongPredicateBreaksIdentity12) {
+  Database db;
+  RelId ra = *db.AddRelation("A", {"attr1"});
+  RelId rb = *db.AddRelation("B", {"attr1", "attr2"});
+  RelId rc = *db.AddRelation("C", {"attr1"});
+  AttrId a1 = db.Attr("A", "attr1");
+  AttrId b1 = db.Attr("B", "attr1");
+  AttrId b2 = db.Attr("B", "attr2");
+  AttrId c1 = db.Attr("C", "attr1");
+  db.AddRow(ra, {Value::Int(0)});
+  db.AddRow(rb, {Value::Int(1), Value::Null()});  // (b, -): b != a
+  db.AddRow(rc, {Value::Int(2)});
+  PredicatePtr pab = EqCols(a1, b1);
+  PredicatePtr pbc = Predicate::Or(
+      {EqCols(b2, c1), Predicate::IsNull(Operand::Column(b2))});
+  ASSERT_FALSE(pbc->IsStrongWrt(AttrSet::Of({b2})));
+
+  ExprPtr ea = Expr::Leaf(ra, db);
+  ExprPtr eb = Expr::Leaf(rb, db);
+  ExprPtr ec = Expr::Leaf(rc, db);
+  ExprPtr left_assoc =
+      Expr::OuterJoin(Expr::OuterJoin(ea, eb, pab), ec, pbc);
+  ExprPtr right_assoc =
+      Expr::OuterJoin(ea, Expr::OuterJoin(eb, ec, pbc), pab);
+
+  Relation lhs = Eval(left_assoc, db);
+  Relation rhs = Eval(right_assoc, db);
+  // (A -> B) -> C: A's row pads B, then the padded B.attr2 (null)
+  // satisfies P_bc via the IS NULL disjunct -> (a, -, -, c).
+  ASSERT_EQ(lhs.NumRows(), 1u);
+  EXPECT_EQ(lhs.ValueOf(0, c1).AsInt(), 2);
+  // A -> (B -> C): B's row pairs with C, but A matches nothing -> padded
+  // (a, -, -, -).
+  ASSERT_EQ(rhs.NumRows(), 1u);
+  EXPECT_TRUE(rhs.ValueOf(0, c1).is_null());
+  EXPECT_FALSE(BagEquals(lhs, rhs));
+}
+
+// The forbidden pattern (->, <-): (X -> Y) <- Z vs X -> (Y <- Z).
+TEST(CounterexampleTest, TwoInwardOuterjoinsDoNotAssociate) {
+  Database db;
+  RelId rx = *db.AddRelation("X", {"a"});
+  RelId ry = *db.AddRelation("Y", {"b"});
+  RelId rz = *db.AddRelation("Z", {"c"});
+  AttrId a = db.Attr("X", "a");
+  AttrId b = db.Attr("Y", "b");
+  AttrId c = db.Attr("Z", "c");
+  db.AddRow(rx, {Value::Int(1)});
+  db.AddRow(ry, {Value::Int(1)});
+  db.AddRow(rz, {Value::Int(9)});  // no match with y
+  ExprPtr x = Expr::Leaf(rx, db);
+  ExprPtr y = Expr::Leaf(ry, db);
+  ExprPtr z = Expr::Leaf(rz, db);
+  ExprPtr lhs = Expr::OuterJoin(Expr::OuterJoin(x, y, EqCols(a, b)), z,
+                                EqCols(b, c), /*preserves_left=*/false);
+  ExprPtr rhs = Expr::OuterJoin(
+      x, Expr::OuterJoin(y, z, EqCols(b, c), /*preserves_left=*/false),
+      EqCols(a, b));
+  EXPECT_FALSE(BagEquals(Eval(lhs, db), Eval(rhs, db)));
+}
+
+// Identity 12's strength requirement is necessary: randomized search
+// confirms the weak-predicate variant disagrees on some database (and the
+// strong variant never does; see Identity12... test above).
+TEST(CounterexampleTest, WeakPredicateDisagreementIsReachable) {
+  Rng rng(206);
+  int disagreements = 0;
+  for (int i = 0; i < 200; ++i) {
+    Tri t = MakeTri(&rng, /*weak_pyz_wrt_y=*/true);
+    ExprPtr lhs = Expr::OuterJoin(Expr::OuterJoin(t.x, t.y, t.pxy), t.z,
+                                  t.pyz);
+    ExprPtr rhs = Expr::OuterJoin(t.x, Expr::OuterJoin(t.y, t.z, t.pyz),
+                                  t.pxy);
+    if (!BagEquals(Eval(lhs, *t.db), Eval(rhs, *t.db))) ++disagreements;
+  }
+  EXPECT_GT(disagreements, 0);
+}
+
+}  // namespace
+}  // namespace fro

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "relational/relation.h"
+
+namespace fro {
+namespace {
+
+Relation MakeRel(std::vector<AttrId> cols,
+                 std::vector<std::vector<int>> rows) {
+  Relation rel((Scheme(std::move(cols))));
+  for (const auto& row : rows) {
+    std::vector<Value> values;
+    for (int v : row) values.push_back(Value::Int(v));
+    rel.AddRow(Tuple(std::move(values)));
+  }
+  return rel;
+}
+
+TEST(TupleTest, ConcatAndNulls) {
+  Tuple a({Value::Int(1)});
+  Tuple b({Value::Int(2), Value::Int(3)});
+  Tuple c = a.Concat(b);
+  EXPECT_EQ(c.arity(), 3u);
+  EXPECT_EQ(c.value(2).AsInt(), 3);
+  Tuple n = Tuple::Nulls(2);
+  EXPECT_TRUE(n.value(0).is_null());
+  EXPECT_TRUE(n.value(1).is_null());
+}
+
+TEST(RelationTest, ArityChecked) {
+  Relation rel((Scheme({1, 2})));
+  EXPECT_DEATH(rel.AddRow(Tuple({Value::Int(1)})), "arity");
+}
+
+TEST(RelationTest, PadToScheme) {
+  Relation rel = MakeRel({1}, {{5}});
+  Relation padded = PadToScheme(rel, Scheme({2, 1}));
+  ASSERT_EQ(padded.NumRows(), 1u);
+  EXPECT_TRUE(padded.row(0).value(0).is_null());
+  EXPECT_EQ(padded.row(0).value(1).AsInt(), 5);
+}
+
+TEST(RelationTest, BagUnionPadded) {
+  Relation a = MakeRel({1}, {{5}});
+  Relation b = MakeRel({2}, {{6}, {7}});
+  Relation u = BagUnionPadded(a, b);
+  EXPECT_EQ(u.NumRows(), 3u);
+  EXPECT_EQ(u.scheme().size(), 2u);
+}
+
+TEST(RelationTest, BagEqualsIgnoresColumnAndRowOrder) {
+  Relation a = MakeRel({1, 2}, {{1, 2}, {3, 4}});
+  Relation b = MakeRel({2, 1}, {{4, 3}, {2, 1}});
+  EXPECT_TRUE(BagEquals(a, b));
+}
+
+TEST(RelationTest, BagEqualsIsMultisetSensitive) {
+  Relation a = MakeRel({1}, {{1}, {1}});
+  Relation b = MakeRel({1}, {{1}});
+  EXPECT_FALSE(BagEquals(a, b));
+  Relation c = MakeRel({1}, {{1}, {1}});
+  EXPECT_TRUE(BagEquals(a, c));
+}
+
+TEST(RelationTest, BagEqualsPadsNarrowerScheme) {
+  // A relation with an extra all-null column equals the narrower one under
+  // the paper's padding convention.
+  Relation narrow = MakeRel({1}, {{5}});
+  Relation wide((Scheme({1, 2})));
+  wide.AddRow(Tuple({Value::Int(5), Value::Null()}));
+  EXPECT_TRUE(BagEquals(narrow, wide));
+}
+
+TEST(RelationTest, BagEqualsDistinguishesValues) {
+  Relation a = MakeRel({1}, {{1}});
+  Relation b = MakeRel({1}, {{2}});
+  EXPECT_FALSE(BagEquals(a, b));
+}
+
+TEST(RelationTest, EmptyRelationsEqual) {
+  Relation a((Scheme({1})));
+  Relation b((Scheme({2})));
+  EXPECT_TRUE(BagEquals(a, b));  // both empty, padded schemes
+}
+
+TEST(RelationTest, CanonicalStringMatchesBagEquality) {
+  Relation a = MakeRel({1, 2}, {{1, 2}, {3, 4}});
+  Relation b = MakeRel({2, 1}, {{4, 3}, {2, 1}});
+  EXPECT_EQ(CanonicalString(a), CanonicalString(b));
+  Relation c = MakeRel({1, 2}, {{1, 2}});
+  EXPECT_NE(CanonicalString(a), CanonicalString(c));
+}
+
+}  // namespace
+}  // namespace fro

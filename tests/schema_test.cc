@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "relational/database.h"
+#include "relational/schema.h"
+
+namespace fro {
+namespace {
+
+TEST(AttrSetTest, BuildSortsAndDedups) {
+  AttrSet s({3, 1, 3, 2});
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.ids(), (std::vector<AttrId>{1, 2, 3}));
+}
+
+TEST(AttrSetTest, SetAlgebra) {
+  AttrSet a = AttrSet::Of({1, 2, 3});
+  AttrSet b = AttrSet::Of({3, 4});
+  EXPECT_EQ(a.Union(b).ids(), (std::vector<AttrId>{1, 2, 3, 4}));
+  EXPECT_EQ(a.Intersect(b).ids(), (std::vector<AttrId>{3}));
+  EXPECT_EQ(a.Subtract(b).ids(), (std::vector<AttrId>{1, 2}));
+  EXPECT_TRUE(a.Overlaps(b));
+  EXPECT_FALSE(a.Overlaps(AttrSet::Of({9})));
+  EXPECT_TRUE(a.Contains(2));
+  EXPECT_FALSE(a.Contains(4));
+  EXPECT_TRUE(a.ContainsAll(AttrSet::Of({1, 3})));
+  EXPECT_FALSE(a.ContainsAll(b));
+  EXPECT_TRUE(a.ContainsAll(AttrSet()));
+}
+
+TEST(AttrSetTest, InsertKeepsSorted) {
+  AttrSet s;
+  s.Insert(5);
+  s.Insert(1);
+  s.Insert(5);
+  EXPECT_EQ(s.ids(), (std::vector<AttrId>{1, 5}));
+}
+
+TEST(SchemeTest, IndexAndConcat) {
+  Scheme a({10, 11});
+  Scheme b({20});
+  EXPECT_EQ(a.IndexOf(11), 1);
+  EXPECT_EQ(a.IndexOf(99), -1);
+  Scheme c = a.Concat(b);
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_EQ(c.IndexOf(20), 2);
+  EXPECT_TRUE(c.Contains(10));
+}
+
+TEST(SchemeTest, ConcatOverlapDies) {
+  Scheme a({10, 11});
+  Scheme b({11});
+  EXPECT_DEATH(a.Concat(b), "duplicate attribute");
+}
+
+TEST(CatalogTest, RegistrationAndLookup) {
+  Catalog catalog;
+  Result<RelId> r = catalog.RegisterRelation("R");
+  ASSERT_TRUE(r.ok());
+  Result<AttrId> a = catalog.RegisterAttr(*r, "x");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(catalog.AttrName(*a), "R.x");
+  EXPECT_EQ(catalog.AttrRelation(*a), *r);
+  EXPECT_EQ(*catalog.FindRelation("R"), *r);
+  EXPECT_EQ(*catalog.FindAttr("R", "x"), *a);
+  EXPECT_FALSE(catalog.FindRelation("S").ok());
+  EXPECT_FALSE(catalog.FindAttr("R", "y").ok());
+  // Duplicate registrations fail.
+  EXPECT_FALSE(catalog.RegisterRelation("R").ok());
+  EXPECT_FALSE(catalog.RegisterAttr(*r, "x").ok());
+}
+
+TEST(DatabaseTest, AddRelationWiresSchemeAndRows) {
+  Database db;
+  Result<RelId> r = db.AddRelation("T", {"a", "b"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(db.scheme(*r).size(), 2u);
+  db.AddRow(*r, {Value::Int(1), Value::Int(2)});
+  EXPECT_EQ(db.relation(*r).NumRows(), 1u);
+  EXPECT_EQ(db.relation(*r).ValueOf(0, db.Attr("T", "b")).AsInt(), 2);
+  EXPECT_EQ(db.Rel("T"), *r);
+}
+
+TEST(DatabaseTest, SetRowsReplaces) {
+  Database db;
+  RelId r = *db.AddRelation("T", {"a"});
+  db.AddRow(r, {Value::Int(1)});
+  db.SetRows(r, {Tuple({Value::Int(7)}), Tuple({Value::Int(8)})});
+  EXPECT_EQ(db.relation(r).NumRows(), 2u);
+}
+
+}  // namespace
+}  // namespace fro

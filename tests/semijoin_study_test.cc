@@ -1,0 +1,156 @@
+// Section 6.3's closing remark, studied empirically: "for join/semijoin
+// queries, it appears that fewer basic transforms preserve the result ...
+// semijoin edges in series appear to be an additional forbidden
+// subgraph."
+
+#include <gtest/gtest.h>
+
+#include "algebra/eval.h"
+#include "algebra/transform.h"
+#include "common/rng.h"
+#include "testing/datagen.h"
+
+namespace fro {
+namespace {
+
+struct Tri {
+  std::unique_ptr<Database> db;
+  ExprPtr x, y, z;
+  PredicatePtr pxy, pyz, pxz;
+};
+
+Tri MakeTri(Rng* rng) {
+  Tri t;
+  RandomRowsOptions rows;
+  rows.rows_max = 6;
+  rows.domain = 3;
+  rows.null_prob = 0.15;
+  t.db = MakeRandomDatabase(3, 2, rows, rng);
+  t.x = Expr::Leaf(t.db->Rel("R0"), *t.db);
+  t.y = Expr::Leaf(t.db->Rel("R1"), *t.db);
+  t.z = Expr::Leaf(t.db->Rel("R2"), *t.db);
+  t.pxy = EqCols(t.db->Attr("R0", "a0"), t.db->Attr("R1", "a0"));
+  t.pyz = EqCols(t.db->Attr("R1", "a1"), t.db->Attr("R2", "a0"));
+  t.pxz = EqCols(t.db->Attr("R0", "a1"), t.db->Attr("R2", "a1"));
+  return t;
+}
+
+constexpr int kTrials = 60;
+
+// A semijoin "hanging off" a join reassociates freely:
+// (X - Y) >- Z  =  X - (Y >- Z).
+TEST(SemijoinStudyTest, SemijoinOverJoinPreserves) {
+  Rng rng(1201);
+  for (int i = 0; i < kTrials; ++i) {
+    Tri t = MakeTri(&rng);
+    ExprPtr lhs = Expr::Semijoin(Expr::Join(t.x, t.y, t.pxy), t.z, t.pyz);
+    ExprPtr rhs = Expr::Join(t.x, Expr::Semijoin(t.y, t.z, t.pyz), t.pxy);
+    EXPECT_TRUE(BagEquals(Eval(lhs, *t.db), Eval(rhs, *t.db)))
+        << lhs->ToString() << " vs " << rhs->ToString();
+  }
+}
+
+// ... and over the preserved side of an outerjoin:
+// (X <- Y) >- Z  =  X <- (Y >- Z).
+TEST(SemijoinStudyTest, SemijoinOverPreservedOuterjoinPreserves) {
+  Rng rng(1202);
+  for (int i = 0; i < kTrials; ++i) {
+    Tri t = MakeTri(&rng);
+    ExprPtr lhs = Expr::Semijoin(
+        Expr::OuterJoin(t.x, t.y, t.pxy, /*preserves_left=*/false), t.z,
+        t.pyz);
+    ExprPtr rhs = Expr::OuterJoin(t.x, Expr::Semijoin(t.y, t.z, t.pyz),
+                                  t.pxy, /*preserves_left=*/false);
+    EXPECT_TRUE(BagEquals(Eval(lhs, *t.db), Eval(rhs, *t.db)));
+  }
+}
+
+// The classification table knows both patterns.
+TEST(SemijoinStudyTest, ClassificationMarksThemPreserving) {
+  Rng rng(1203);
+  Tri t = MakeTri(&rng);
+  ExprPtr over_join =
+      Expr::Semijoin(Expr::Join(t.x, t.y, t.pxy), t.z, t.pyz);
+  BtClassification c1 =
+      ClassifyBt(over_join, {BtSite::Kind::kAssocLR, {}});
+  EXPECT_EQ(c1.preservation, Preservation::kAlways);
+  ExprPtr over_oj = Expr::Semijoin(
+      Expr::OuterJoin(t.x, t.y, t.pxy, false), t.z, t.pyz);
+  BtClassification c2 = ClassifyBt(over_oj, {BtSite::Kind::kAssocLR, {}});
+  EXPECT_EQ(c2.preservation, Preservation::kAlways);
+}
+
+// Semijoin under an outerjoin's preserved side does NOT reassociate:
+// (X -> Y) >- Z vs X -> (Y >- Z) differ (the semijoin filter applies to
+// padded tuples on the left but to Y tuples on the right).
+TEST(SemijoinStudyTest, SemijoinOverNullSuppliedSideBreaks) {
+  Rng rng(1204);
+  int disagreements = 0;
+  for (int i = 0; i < 200; ++i) {
+    Tri t = MakeTri(&rng);
+    ExprPtr lhs =
+        Expr::Semijoin(Expr::OuterJoin(t.x, t.y, t.pxy), t.z, t.pyz);
+    ExprPtr rhs = Expr::OuterJoin(t.x, Expr::Semijoin(t.y, t.z, t.pyz),
+                                  t.pxy);
+    if (!BagEquals(Eval(lhs, *t.db), Eval(rhs, *t.db))) ++disagreements;
+  }
+  EXPECT_GT(disagreements, 0);
+  // And the table classifies the pattern as non-preserving.
+  Tri t = MakeTri(&rng);
+  ExprPtr q = Expr::Semijoin(Expr::OuterJoin(t.x, t.y, t.pxy), t.z, t.pyz);
+  EXPECT_EQ(ClassifyBt(q, {BtSite::Kind::kAssocLR, {}}).preservation,
+            Preservation::kNever);
+}
+
+// "Semijoin edges in series": X >- (Y >- Z) cannot be reassociated into
+// (X >- Y) >- Z at all — the inner semijoin drops Z's attributes, so the
+// outer predicate could never reference Z, and the BT machinery reports
+// no applicable reassociation.
+TEST(SemijoinStudyTest, SeriesSemijoinsHaveNoReassociation) {
+  Rng rng(1205);
+  Tri t = MakeTri(&rng);
+  ExprPtr series =
+      Expr::Semijoin(t.x, Expr::Semijoin(t.y, t.z, t.pyz), t.pxy);
+  for (const BtSite& site : FindApplicableBts(series)) {
+    EXPECT_EQ(site.kind, BtSite::Kind::kReversal)
+        << "unexpected reassociation applicable on series semijoins";
+  }
+}
+
+// Contrast: two semijoins in a "star" off the same relation commute.
+// (X >- Y) >- Z = (X >- Z) >- Y with predicates P_xy, P_xz.
+TEST(SemijoinStudyTest, StarSemijoinsCommute) {
+  Rng rng(1206);
+  for (int i = 0; i < kTrials; ++i) {
+    Tri t = MakeTri(&rng);
+    ExprPtr lhs = Expr::Semijoin(Expr::Semijoin(t.x, t.y, t.pxy), t.z,
+                                 t.pxz);
+    ExprPtr rhs = Expr::Semijoin(Expr::Semijoin(t.x, t.z, t.pxz), t.y,
+                                 t.pxy);
+    EXPECT_TRUE(BagEquals(Eval(lhs, *t.db), Eval(rhs, *t.db)));
+  }
+}
+
+// Semijoin absorbs duplicates of the filter side: X >- Y unchanged when
+// Y's rows are duplicated — a property regular join lacks. (This is why
+// the paper treats semijoin separately.)
+TEST(SemijoinStudyTest, SemijoinInsensitiveToFilterSideDuplicates) {
+  Rng rng(1207);
+  for (int i = 0; i < kTrials; ++i) {
+    Tri t = MakeTri(&rng);
+    ExprPtr once = Expr::Semijoin(t.x, t.y, t.pxy);
+    ExprPtr doubled =
+        Expr::Semijoin(t.x, Expr::Union(t.y, t.y), t.pxy);
+    EXPECT_TRUE(BagEquals(Eval(once, *t.db), Eval(doubled, *t.db)));
+    ExprPtr join_once = Expr::Join(t.x, t.y, t.pxy);
+    ExprPtr join_doubled = Expr::Join(t.x, Expr::Union(t.y, t.y), t.pxy);
+    // The join is duplicate-sensitive whenever it matched anything.
+    if (Eval(join_once, *t.db).NumRows() > 0) {
+      EXPECT_FALSE(
+          BagEquals(Eval(join_once, *t.db), Eval(join_doubled, *t.db)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fro

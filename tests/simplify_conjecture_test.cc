@@ -1,0 +1,92 @@
+// Section 4's conjecture: "if the restriction predicate occurs after all
+// outerjoins, then the simplification cannot introduce new violations of
+// free reorderability."
+//
+// Verified empirically: starting from freely-reorderable queries under
+// top-level restrictions, the Section 4 rule's output core is still
+// freely reorderable. The section's closing caveat is reproduced too:
+// replacing an outerjoin by a join because of a referential-integrity
+// constraint CAN leave the reduced graph non-reorderable.
+
+#include <gtest/gtest.h>
+
+#include "algebra/eval.h"
+#include "algebra/simplify.h"
+#include "common/rng.h"
+#include "enumerate/it_enum.h"
+#include "graph/from_expr.h"
+#include "graph/nice.h"
+#include "testing/graphgen.h"
+
+namespace fro {
+namespace {
+
+// Strips top Restrict nodes.
+ExprPtr Core(ExprPtr expr) {
+  while (expr->kind() == OpKind::kRestrict) expr = expr->left();
+  return expr;
+}
+
+TEST(SimplifyConjectureTest, SimplificationPreservesReorderability) {
+  Rng rng(1901);
+  int converted_cases = 0;
+  for (int trial = 0; trial < 80; ++trial) {
+    RandomQueryOptions options;
+    options.num_relations = 3 + static_cast<int>(rng.Uniform(4));
+    options.oj_fraction = 0.6;
+    GeneratedQuery q = GenerateRandomQuery(options, &rng);
+    ASSERT_TRUE(CheckFreelyReorderable(q.graph).freely_reorderable());
+    ExprPtr tree = RandomIt(q.graph, *q.db, &rng);
+    ASSERT_NE(tree, nullptr);
+    // A restriction strong on a random relation's attribute, applied
+    // after all outerjoins (on top).
+    RelId target = static_cast<RelId>(rng.Uniform(q.db->num_relations()));
+    const std::vector<AttrId>& attrs =
+        q.db->catalog().RelationAttrs(target);
+    PredicatePtr filter = CmpLit(CmpOp::kGe, attrs[0], Value::Int(0));
+    ExprPtr query = Expr::Restrict(tree, filter);
+
+    SimplifyResult simplified = SimplifyOuterjoins(query);
+    if (simplified.outerjoins_converted > 0) ++converted_cases;
+    // The simplified core still has a defined graph...
+    Result<QueryGraph> graph = GraphOf(Core(simplified.expr), *q.db);
+    ASSERT_TRUE(graph.ok()) << simplified.expr->ToString();
+    // ...that is still freely reorderable (the conjecture).
+    EXPECT_TRUE(CheckFreelyReorderable(*graph).freely_reorderable())
+        << "simplification broke reorderability:\n before: "
+        << query->ToString() << "\n after: " << simplified.expr->ToString();
+    // And of course the results agree.
+    EXPECT_TRUE(BagEquals(Eval(query, *q.db), Eval(simplified.expr, *q.db)));
+  }
+  EXPECT_GT(converted_cases, 10);
+}
+
+// The paper's closing caveat (Section 4): R1 -> R2 -> R3 is freely
+// reorderable, but replacing R2 -> R3 by R2 - R3 on the strength of a
+// referential-integrity constraint yields R1 -> (R2 - R3), which is NOT.
+TEST(SimplifyConjectureTest, IntegrityConstraintRewriteBreaksIt) {
+  Database db;
+  RelId r1 = *db.AddRelation("R1", {"a"});
+  RelId r2 = *db.AddRelation("R2", {"b"});
+  RelId r3 = *db.AddRelation("R3", {"c"});
+  PredicatePtr p12 = EqCols(db.Attr("R1", "a"), db.Attr("R2", "b"));
+  PredicatePtr p23 = EqCols(db.Attr("R2", "b"), db.Attr("R3", "c"));
+  ExprPtr chain = Expr::OuterJoin(
+      Expr::Leaf(r1, db),
+      Expr::OuterJoin(Expr::Leaf(r2, db), Expr::Leaf(r3, db), p23), p12);
+  Result<QueryGraph> before = GraphOf(chain, db);
+  ASSERT_TRUE(before.ok());
+  EXPECT_TRUE(CheckFreelyReorderable(*before).freely_reorderable());
+
+  // The "legal but dangerous" rewrite: inner outerjoin -> join.
+  ExprPtr rewritten = Expr::OuterJoin(
+      Expr::Leaf(r1, db),
+      Expr::Join(Expr::Leaf(r2, db), Expr::Leaf(r3, db), p23), p12);
+  Result<QueryGraph> after = GraphOf(rewritten, db);
+  ASSERT_TRUE(after.ok());
+  EXPECT_FALSE(CheckNice(*after).nice);
+  EXPECT_FALSE(CheckFreelyReorderable(*after).freely_reorderable());
+}
+
+}  // namespace
+}  // namespace fro

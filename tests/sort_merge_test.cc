@@ -1,0 +1,134 @@
+// Sort-merge kernel tests: behaviour and exact parity with the hash and
+// nested-loop strategies.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "relational/sort_merge.h"
+#include "testing/datagen.h"
+
+namespace fro {
+namespace {
+
+class SortMergeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    r_ = *db_.AddRelation("R", {"a", "b"});
+    s_ = *db_.AddRelation("S", {"c", "d"});
+    a_ = db_.Attr("R", "a");
+    b_ = db_.Attr("R", "b");
+    c_ = db_.Attr("S", "c");
+    d_ = db_.Attr("S", "d");
+    db_.AddRow(r_, {Value::Int(1), Value::Int(10)});
+    db_.AddRow(r_, {Value::Int(2), Value::Int(20)});
+    db_.AddRow(r_, {Value::Int(1), Value::Int(11)});
+    db_.AddRow(r_, {Value::Null(), Value::Int(30)});
+    db_.AddRow(s_, {Value::Int(1), Value::Int(100)});
+    db_.AddRow(s_, {Value::Int(3), Value::Int(103)});
+    db_.AddRow(s_, {Value::Null(), Value::Int(104)});
+  }
+  const Relation& R() { return db_.relation(r_); }
+  const Relation& S() { return db_.relation(s_); }
+
+  Database db_;
+  RelId r_, s_;
+  AttrId a_, b_, c_, d_;
+};
+
+TEST_F(SortMergeTest, InnerJoinMatches) {
+  Relation out = SortMergeJoin(R(), S(), EqCols(a_, c_), nullptr);
+  EXPECT_EQ(out.NumRows(), 2u);  // two a=1 rows x one c=1 row
+  EXPECT_TRUE(
+      BagEquals(out, Join(R(), S(), EqCols(a_, c_), JoinAlgo::kHash,
+                          nullptr)));
+}
+
+TEST_F(SortMergeTest, LeftOuterPadsNullAndUnmatchedKeys) {
+  Relation out = SortMergeLeftOuterJoin(R(), S(), EqCols(a_, c_), nullptr);
+  // 2 matches + a=2 padded + null-a padded.
+  EXPECT_EQ(out.NumRows(), 4u);
+  EXPECT_TRUE(BagEquals(out, LeftOuterJoin(R(), S(), EqCols(a_, c_),
+                                           JoinAlgo::kNestedLoop, nullptr)));
+}
+
+TEST_F(SortMergeTest, AntiAndSemi) {
+  Relation anti = SortMergeAntijoin(R(), S(), EqCols(a_, c_), nullptr);
+  EXPECT_EQ(anti.NumRows(), 2u);
+  Relation semi = SortMergeSemijoin(R(), S(), EqCols(a_, c_), nullptr);
+  EXPECT_EQ(semi.NumRows(), 2u);  // both a=1 rows, once each
+  EXPECT_TRUE(BagEquals(
+      anti, Antijoin(R(), S(), EqCols(a_, c_), JoinAlgo::kHash, nullptr)));
+  EXPECT_TRUE(BagEquals(
+      semi, Semijoin(R(), S(), EqCols(a_, c_), JoinAlgo::kHash, nullptr)));
+}
+
+TEST_F(SortMergeTest, ResidualPredicateRechecked) {
+  PredicatePtr pred = Predicate::And(
+      {EqCols(a_, c_), CmpCols(CmpOp::kLt, b_, d_)});
+  Relation out = SortMergeJoin(R(), S(), pred, nullptr);
+  EXPECT_TRUE(BagEquals(out, Join(R(), S(), pred, JoinAlgo::kNestedLoop,
+                                  nullptr)));
+}
+
+TEST_F(SortMergeTest, RequiresEquiKeys) {
+  EXPECT_DEATH(
+      SortMergeJoin(R(), S(), CmpCols(CmpOp::kLt, a_, c_), nullptr),
+      "equi-key");
+}
+
+TEST_F(SortMergeTest, EmptyInputs) {
+  Relation empty_s((Scheme({c_, d_})));
+  Relation oj =
+      SortMergeLeftOuterJoin(R(), empty_s, EqCols(a_, c_), nullptr);
+  EXPECT_EQ(oj.NumRows(), R().NumRows());
+  Relation empty_r((Scheme({a_, b_})));
+  EXPECT_EQ(SortMergeJoin(empty_r, S(), EqCols(a_, c_), nullptr).NumRows(),
+            0u);
+}
+
+// Parity property across random data for all four modes.
+TEST(SortMergePropertyTest, AgreesWithOtherStrategies) {
+  Rng rng(2701);
+  for (int trial = 0; trial < 50; ++trial) {
+    RandomRowsOptions rows;
+    rows.rows_max = 10;
+    rows.null_prob = 0.2;
+    rows.domain = 4;
+    auto db = MakeRandomDatabase(2, 2, rows, &rng);
+    const Relation& l = db->relation(0);
+    const Relation& r = db->relation(1);
+    AttrId la = db->Attr("R0", "a0");
+    AttrId lb = db->Attr("R0", "a1");
+    AttrId ra = db->Attr("R1", "a0");
+    AttrId rb = db->Attr("R1", "a1");
+    PredicatePtr pred =
+        trial % 2 == 0
+            ? EqCols(la, ra)
+            : Predicate::And({EqCols(la, ra), CmpCols(CmpOp::kLe, lb, rb)});
+    EXPECT_TRUE(BagEquals(SortMergeJoin(l, r, pred, nullptr),
+                          Join(l, r, pred, JoinAlgo::kHash, nullptr)));
+    EXPECT_TRUE(
+        BagEquals(SortMergeLeftOuterJoin(l, r, pred, nullptr),
+                  LeftOuterJoin(l, r, pred, JoinAlgo::kHash, nullptr)));
+    EXPECT_TRUE(BagEquals(SortMergeAntijoin(l, r, pred, nullptr),
+                          Antijoin(l, r, pred, JoinAlgo::kHash, nullptr)));
+    EXPECT_TRUE(BagEquals(SortMergeSemijoin(l, r, pred, nullptr),
+                          Semijoin(l, r, pred, JoinAlgo::kHash, nullptr)));
+  }
+}
+
+TEST(SortMergePropertyTest, MixedIntDoubleKeysMatch) {
+  // SqlEq(1, 1.0) is true; the normalized sort keys must agree.
+  Database db;
+  RelId l = *db.AddRelation("L", {"x"});
+  RelId r = *db.AddRelation("R", {"y"});
+  db.AddRow(l, {Value::Int(1)});
+  db.AddRow(r, {Value::Double(1.0)});
+  Relation out = SortMergeJoin(db.relation(l), db.relation(r),
+                               EqCols(db.Attr("L", "x"), db.Attr("R", "y")),
+                               nullptr);
+  EXPECT_EQ(out.NumRows(), 1u);
+}
+
+}  // namespace
+}  // namespace fro

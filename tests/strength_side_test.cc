@@ -1,0 +1,135 @@
+// Which side's strength does Theorem 1 need?
+//
+// The paper's theorem statement (Section 1.3) says outerjoin predicates
+// must "return False when all attributes of the PRESERVED relation are
+// null", while Lemma 2's sketch mentions the null-supplied relation. The
+// two sides are distinguishable with asymmetric predicates, and this test
+// settles the question empirically (the library implements the
+// preserved-side reading):
+//
+//  * strong w.r.t. preserved, weak w.r.t. null-supplied  => all
+//    implementing trees agree (free reorderability holds);
+//  * weak w.r.t. preserved, strong w.r.t. null-supplied  => implementing
+//    trees can disagree.
+
+#include <gtest/gtest.h>
+
+#include "algebra/eval.h"
+#include "common/rng.h"
+#include "enumerate/it_enum.h"
+#include "graph/nice.h"
+#include "testing/datagen.h"
+
+namespace fro {
+namespace {
+
+struct Chain {
+  std::unique_ptr<Database> db;
+  QueryGraph graph;
+  AttrId attr[3][2];  // [relation][column]
+};
+
+// X -> Y -> Z with predicate factory f(preserved_attr, null_side_attr).
+template <typename PredFactory>
+Chain MakeChain(Rng* rng, PredFactory&& factory) {
+  Chain c;
+  RandomRowsOptions rows;
+  rows.rows_min = 1;
+  rows.rows_max = 5;
+  rows.domain = 3;
+  rows.null_prob = 0.3;  // plenty of nulls: the asymmetry needs them
+  c.db = MakeRandomDatabase(3, 2, rows, rng);
+  for (int r = 0; r < 3; ++r) {
+    for (int a = 0; a < 2; ++a) {
+      c.attr[r][a] =
+          c.db->Attr("R" + std::to_string(r), "a" + std::to_string(a));
+    }
+    c.graph.AddNode(static_cast<RelId>(r),
+                    c.db->scheme(static_cast<RelId>(r)).ToAttrSet());
+  }
+  // Edge X -> Y (Y null-supplied) and Y -> Z (Z null-supplied).
+  FRO_CHECK(c.graph
+                .AddOuterJoinEdge(0, 1, factory(c.attr[0][0], c.attr[1][0]))
+                .ok());
+  FRO_CHECK(c.graph
+                .AddOuterJoinEdge(1, 2, factory(c.attr[1][1], c.attr[2][0]))
+                .ok());
+  return c;
+}
+
+// Strong w.r.t. `preserved`, weak w.r.t. `null_side`:
+// p OR (null_side IS NULL AND preserved IS NOT NULL).
+PredicatePtr WeakOnNullSide(AttrId preserved, AttrId null_side) {
+  return Predicate::Or(
+      {EqCols(preserved, null_side),
+       Predicate::And(
+           {Predicate::IsNull(Operand::Column(null_side)),
+            Predicate::Not(
+                Predicate::IsNull(Operand::Column(preserved)))})});
+}
+
+// Weak w.r.t. `preserved`, strong w.r.t. `null_side`.
+PredicatePtr WeakOnPreserved(AttrId preserved, AttrId null_side) {
+  return Predicate::Or(
+      {EqCols(preserved, null_side),
+       Predicate::And(
+           {Predicate::IsNull(Operand::Column(preserved)),
+            Predicate::Not(
+                Predicate::IsNull(Operand::Column(null_side)))})});
+}
+
+TEST(StrengthSideTest, PredicateShapesHaveTheClaimedStrength) {
+  Database db;
+  RelId r = *db.AddRelation("T", {"p", "n"});
+  (void)r;
+  AttrId p = db.Attr("T", "p");
+  AttrId n = db.Attr("T", "n");
+  PredicatePtr weak_null = WeakOnNullSide(p, n);
+  EXPECT_TRUE(weak_null->IsStrongWrt(AttrSet::Of({p})));
+  EXPECT_FALSE(weak_null->IsStrongWrt(AttrSet::Of({n})));
+  PredicatePtr weak_pres = WeakOnPreserved(p, n);
+  EXPECT_FALSE(weak_pres->IsStrongWrt(AttrSet::Of({p})));
+  EXPECT_TRUE(weak_pres->IsStrongWrt(AttrSet::Of({n})));
+}
+
+TEST(StrengthSideTest, PreservedSideStrengthSuffices) {
+  // Nice chain, predicates weak w.r.t. the null-supplied side only: the
+  // classifier accepts it and — the real content — ALL implementing
+  // trees agree on every random database.
+  Rng rng(3201);
+  for (int trial = 0; trial < 120; ++trial) {
+    Chain c = MakeChain(&rng, WeakOnNullSide);
+    ReorderabilityCheck check = CheckFreelyReorderable(c.graph);
+    ASSERT_TRUE(check.freely_reorderable());
+    ASSERT_FALSE(check.all_strong_wrt_null_supplied);  // truly asymmetric
+    std::vector<ExprPtr> trees = EnumerateIts(c.graph, *c.db);
+    ASSERT_EQ(trees.size(), 2u);
+    EXPECT_TRUE(BagEquals(Eval(trees[0], *c.db), Eval(trees[1], *c.db)))
+        << "preserved-side strength did NOT suffice on trial " << trial
+        << "\n " << trees[0]->ToString() << "\n " << trees[1]->ToString();
+  }
+}
+
+TEST(StrengthSideTest, NullSuppliedSideStrengthDoesNotSuffice) {
+  // Same chain with the asymmetry flipped: strong w.r.t. null-supplied,
+  // weak w.r.t. preserved. The classifier rejects it, and implementing
+  // trees really do disagree on some databases.
+  Rng rng(3202);
+  int disagreements = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    Chain c = MakeChain(&rng, WeakOnPreserved);
+    ReorderabilityCheck check = CheckFreelyReorderable(c.graph);
+    ASSERT_TRUE(check.nice.nice);
+    ASSERT_FALSE(check.freely_reorderable());
+    std::vector<ExprPtr> trees = EnumerateIts(c.graph, *c.db);
+    ASSERT_EQ(trees.size(), 2u);
+    if (!BagEquals(Eval(trees[0], *c.db), Eval(trees[1], *c.db))) {
+      ++disagreements;
+    }
+  }
+  EXPECT_GT(disagreements, 0)
+      << "expected null-side-only strength to break reorderability";
+}
+
+}  // namespace
+}  // namespace fro

@@ -1,0 +1,105 @@
+// Section 6.1's extension: reordering freely-reorderable subqueries of a
+// query that is not freely reorderable as a whole.
+
+#include <gtest/gtest.h>
+
+#include "algebra/eval.h"
+#include "common/rng.h"
+#include "optimizer/optimizer.h"
+#include "optimizer/subquery.h"
+#include "testing/datagen.h"
+
+namespace fro {
+namespace {
+
+// W -> (X - Y - Z): the outerjoin over a join makes the whole query
+// non-reorderable (Example 2's pattern), but the inner join chain
+// X - Y - Z is a freely-reorderable island.
+struct Fixture {
+  std::unique_ptr<Database> db;
+  ExprPtr query;
+  ExprPtr inner;  // the island, in a deliberately bad association
+};
+
+Fixture MakeFixture(int n) {
+  Fixture f;
+  f.db = std::make_unique<Database>();
+  RelId w = *f.db->AddRelation("W", {"a"});
+  RelId x = *f.db->AddRelation("X", {"b", "c"});
+  RelId y = *f.db->AddRelation("Y", {"d", "e"});
+  RelId z = *f.db->AddRelation("Z", {"f"});
+  Rng rng(5);
+  // W: 1 row; X: n rows keyed; Y: n rows; Z: 1 row — so the good join
+  // order starts from the small relations.
+  f.db->AddRow(w, {Value::Int(0)});
+  for (int i = 0; i < n; ++i) {
+    f.db->AddRow(x, {Value::Int(i), Value::Int(i)});
+    f.db->AddRow(y, {Value::Int(i), Value::Int(i)});
+  }
+  f.db->AddRow(z, {Value::Int(0)});
+  PredicatePtr pwx = EqCols(f.db->Attr("W", "a"), f.db->Attr("X", "b"));
+  PredicatePtr pxy = EqCols(f.db->Attr("X", "c"), f.db->Attr("Y", "d"));
+  PredicatePtr pyz = EqCols(f.db->Attr("Y", "e"), f.db->Attr("Z", "f"));
+  // Bad association inside the island: X joins Y first (n rows), then Z.
+  f.inner = Expr::Join(
+      Expr::Join(Expr::Leaf(x, *f.db), Expr::Leaf(y, *f.db), pxy),
+      Expr::Leaf(z, *f.db), pyz);
+  f.query = Expr::OuterJoin(Expr::Leaf(w, *f.db), f.inner, pwx);
+  return f;
+}
+
+TEST(SubqueryTest, ReordersTheIslandAndPreservesResults) {
+  Fixture f = MakeFixture(50);
+  CostModel model(*f.db, CostKind::kCout);
+  SubqueryReorderResult result = ReorderSubqueries(f.query, *f.db, model);
+  EXPECT_EQ(result.subqueries_reordered, 1);
+  // The island was re-associated: Z (1 row) now joins before the big
+  // X-Y pair, dropping the island's intermediate cost.
+  EXPECT_LT(model.PlanCost(result.expr->right()),
+            model.PlanCost(f.inner));
+  // Semantics intact.
+  EXPECT_TRUE(BagEquals(Eval(f.query, *f.db), Eval(result.expr, *f.db)));
+  // The outer (non-reorderable) operator is untouched.
+  EXPECT_EQ(result.expr->kind(), OpKind::kOuterJoin);
+  EXPECT_TRUE(result.expr->left()->is_leaf());
+}
+
+TEST(SubqueryTest, FullyReorderableTreeBecomesOneIsland) {
+  auto db = MakeExample1Database(10);
+  ExprPtr naive = Expr::Join(
+      Expr::Leaf(db->Rel("R1"), *db),
+      Expr::OuterJoin(Expr::Leaf(db->Rel("R2"), *db),
+                      Expr::Leaf(db->Rel("R3"), *db),
+                      EqCols(db->Attr("R2", "fk"), db->Attr("R3", "k"))),
+      EqCols(db->Attr("R1", "k"), db->Attr("R2", "k")));
+  CostModel model(*db, CostKind::kCout);
+  SubqueryReorderResult result = ReorderSubqueries(naive, *db, model);
+  EXPECT_EQ(result.subqueries_reordered, 1);
+  EXPECT_TRUE(BagEquals(Eval(naive, *db), Eval(result.expr, *db)));
+}
+
+TEST(SubqueryTest, TwoRelationSubtreesLeftAlone) {
+  Database db;
+  RelId x = *db.AddRelation("X", {"a"});
+  RelId y = *db.AddRelation("Y", {"b"});
+  db.AddRow(x, {Value::Int(1)});
+  db.AddRow(y, {Value::Int(1)});
+  ExprPtr q = Expr::Join(Expr::Leaf(x, db), Expr::Leaf(y, db),
+                         EqCols(db.Attr("X", "a"), db.Attr("Y", "b")));
+  CostModel model(db, CostKind::kCout);
+  SubqueryReorderResult result = ReorderSubqueries(q, db, model);
+  EXPECT_EQ(result.subqueries_reordered, 0);
+  EXPECT_EQ(result.expr, q);
+}
+
+TEST(SubqueryTest, FacadeAppliesItToNonReorderableQueries) {
+  Fixture f = MakeFixture(30);
+  Result<OptimizeOutcome> outcome = Optimize(f.query, *f.db);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_FALSE(outcome->freely_reorderable);
+  EXPECT_EQ(outcome->subqueries_reordered, 1);
+  EXPECT_TRUE(BagEquals(Eval(f.query, *f.db), Eval(outcome->plan, *f.db)));
+}
+
+}  // namespace
+}  // namespace fro

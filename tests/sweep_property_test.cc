@@ -1,0 +1,151 @@
+// Parameterized property sweeps: Theorem 1 and the executor invariants
+// checked across a grid of data distributions (null density, domain
+// size, outerjoin density), not just the defaults.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "algebra/eval.h"
+#include "common/rng.h"
+#include "enumerate/closure.h"
+#include "enumerate/it_enum.h"
+#include "graph/nice.h"
+#include "optimizer/optimizer.h"
+#include "testing/graphgen.h"
+
+namespace fro {
+namespace {
+
+// (null_prob_percent, domain, oj_fraction_percent)
+using SweepParam = std::tuple<int, int, int>;
+
+class TheoremSweepTest : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(TheoremSweepTest, AllImplementingTreesAgree) {
+  auto [null_pct, domain, oj_pct] = GetParam();
+  Rng rng(1400 + static_cast<uint64_t>(null_pct * 100 + domain * 10 +
+                                       oj_pct));
+  int graphs = 0;
+  for (int trial = 0; trial < 25 && graphs < 12; ++trial) {
+    RandomQueryOptions options;
+    options.num_relations = 3 + static_cast<int>(rng.Uniform(4));
+    options.oj_fraction = oj_pct / 100.0;
+    options.rows.null_prob = null_pct / 100.0;
+    options.rows.domain = domain;
+    options.rows.rows_min = 1;
+    GeneratedQuery q = GenerateRandomQuery(options, &rng);
+    ASSERT_TRUE(CheckFreelyReorderable(q.graph).freely_reorderable());
+    if (CountIts(q.graph) > 300) continue;
+    ++graphs;
+    std::vector<ExprPtr> trees = EnumerateIts(q.graph, *q.db);
+    Relation reference = Eval(trees[0], *q.db);
+    for (const ExprPtr& tree : trees) {
+      ASSERT_TRUE(BagEquals(reference, Eval(tree, *q.db)))
+          << "null%=" << null_pct << " domain=" << domain
+          << " oj%=" << oj_pct << "\n tree: " << tree->ToString();
+    }
+  }
+  EXPECT_GE(graphs, 8);
+}
+
+TEST_P(TheoremSweepTest, KernelsAgreeOnRandomTrees) {
+  auto [null_pct, domain, oj_pct] = GetParam();
+  Rng rng(1500 + static_cast<uint64_t>(null_pct * 100 + domain * 10 +
+                                       oj_pct));
+  for (int trial = 0; trial < 10; ++trial) {
+    RandomQueryOptions options;
+    options.num_relations = 4;
+    options.oj_fraction = oj_pct / 100.0;
+    options.rows.null_prob = null_pct / 100.0;
+    options.rows.domain = domain;
+    GeneratedQuery q = GenerateRandomQuery(options, &rng);
+    ExprPtr tree = RandomIt(q.graph, *q.db, &rng);
+    ASSERT_NE(tree, nullptr);
+    EvalOptions nl;
+    nl.algo = JoinAlgo::kNestedLoop;
+    EvalOptions hash;
+    hash.algo = JoinAlgo::kHash;
+    EXPECT_TRUE(BagEquals(Eval(tree, *q.db, nl), Eval(tree, *q.db, hash)))
+        << tree->ToString();
+  }
+}
+
+TEST_P(TheoremSweepTest, OptimizerPreservesResults) {
+  auto [null_pct, domain, oj_pct] = GetParam();
+  Rng rng(1600 + static_cast<uint64_t>(null_pct * 100 + domain * 10 +
+                                       oj_pct));
+  for (int trial = 0; trial < 10; ++trial) {
+    RandomQueryOptions options;
+    options.num_relations = 4 + static_cast<int>(rng.Uniform(3));
+    options.oj_fraction = oj_pct / 100.0;
+    options.rows.null_prob = null_pct / 100.0;
+    options.rows.domain = domain;
+    options.rows.rows_min = 1;
+    GeneratedQuery q = GenerateRandomQuery(options, &rng);
+    ExprPtr tree = RandomIt(q.graph, *q.db, &rng);
+    Result<OptimizeOutcome> outcome = Optimize(tree, *q.db);
+    ASSERT_TRUE(outcome.ok());
+    EXPECT_TRUE(outcome->freely_reorderable);
+    EXPECT_TRUE(BagEquals(Eval(tree, *q.db), Eval(outcome->plan, *q.db)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, TheoremSweepTest,
+    ::testing::Combine(::testing::Values(0, 20, 50),   // null density %
+                       ::testing::Values(2, 4, 8),     // value domain
+                       ::testing::Values(20, 60)),     // OJ density %
+    [](const ::testing::TestParamInfo<SweepParam>& info) {
+      return "null" + std::to_string(std::get<0>(info.param)) + "_dom" +
+             std::to_string(std::get<1>(info.param)) + "_oj" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+// The BT closure is independent of the starting implementing tree.
+TEST(ClosureInvarianceTest, SameClosureFromAnyStart) {
+  Rng rng(1700);
+  for (int trial = 0; trial < 10; ++trial) {
+    RandomQueryOptions options;
+    options.num_relations = 4 + static_cast<int>(rng.Uniform(2));
+    GeneratedQuery q = GenerateRandomQuery(options, &rng);
+    if (CountIts(q.graph) > 200) continue;
+    std::vector<ExprPtr> trees = EnumerateIts(q.graph, *q.db);
+    std::set<std::string> first_closure;
+    for (size_t start = 0; start < trees.size(); start += 7) {
+      ClosureResult closure = BtClosure(trees[start]);
+      std::set<std::string> fingerprints;
+      for (const ExprPtr& t : closure.trees) {
+        fingerprints.insert(t->Fingerprint());
+      }
+      if (first_closure.empty()) {
+        first_closure = std::move(fingerprints);
+      } else {
+        EXPECT_EQ(fingerprints, first_closure);
+      }
+    }
+  }
+}
+
+// Determinism: the same seed yields the same database, graph, trees, and
+// results.
+TEST(DeterminismTest, GenerationAndEvaluationAreReproducible) {
+  for (uint64_t seed : {1ULL, 42ULL, 2026ULL}) {
+    RandomQueryOptions options;
+    options.num_relations = 5;
+    Rng rng1(seed);
+    Rng rng2(seed);
+    GeneratedQuery q1 = GenerateRandomQuery(options, &rng1);
+    GeneratedQuery q2 = GenerateRandomQuery(options, &rng2);
+    ASSERT_EQ(q1.graph.num_edges(), q2.graph.num_edges());
+    Rng sample1(seed + 1);
+    Rng sample2(seed + 1);
+    ExprPtr t1 = RandomIt(q1.graph, *q1.db, &sample1);
+    ExprPtr t2 = RandomIt(q2.graph, *q2.db, &sample2);
+    EXPECT_EQ(t1->Fingerprint(), t2->Fingerprint());
+    EXPECT_TRUE(BagEquals(Eval(t1, *q1.db), Eval(t2, *q2.db)));
+  }
+}
+
+}  // namespace
+}  // namespace fro

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "relational/text_io.h"
+#include "testing/datagen.h"
+
+namespace fro {
+namespace {
+
+TEST(ValueTextTest, RoundTripsEveryKind) {
+  for (const Value& v :
+       {Value::Null(), Value::Int(42), Value::Int(-7), Value::Double(1.5),
+        Value::Double(3.0), Value::String("hi"), Value::String("")}) {
+    Result<Value> back = ValueFromText(ValueToText(v));
+    ASSERT_TRUE(back.ok()) << v.ToString();
+    EXPECT_EQ(*back, v) << v.ToString();
+  }
+}
+
+TEST(ValueTextTest, Errors) {
+  EXPECT_FALSE(ValueFromText("'oops").ok());
+  EXPECT_FALSE(ValueFromText("12x").ok());
+  EXPECT_FALSE(ValueFromText("1.2.3").ok());
+}
+
+TEST(TextIoTest, DatabaseRoundTrip) {
+  Database db;
+  RelId r = *db.AddRelation("R", {"a", "b"});
+  RelId s = *db.AddRelation("S", {"c"});
+  db.AddRow(r, {Value::Int(1), Value::String("x")});
+  db.AddRow(r, {Value::Null(), Value::Double(2.5)});
+  db.AddRow(s, {Value::Int(9)});
+  std::string text = DatabaseToText(db);
+  Result<std::unique_ptr<Database>> loaded = LoadDatabaseText(text);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ((*loaded)->num_relations(), 2u);
+  EXPECT_TRUE(BagEquals((*loaded)->relation(0), db.relation(r)));
+  EXPECT_TRUE(BagEquals((*loaded)->relation(1), db.relation(s)));
+  EXPECT_EQ((*loaded)->catalog().RelationName(0), "R");
+  // Attribute names survive (qualified form).
+  EXPECT_EQ((*loaded)->Attr("R", "b"), db.Attr("R", "b"));
+}
+
+TEST(TextIoTest, CommentsAndBlankLinesIgnored) {
+  Result<std::unique_ptr<Database>> loaded = LoadDatabaseText(
+      "# a comment\n"
+      "relation T x y\n"
+      "\n"
+      "1,2\n"
+      "# another\n"
+      ",'s'\n");
+  ASSERT_TRUE(loaded.ok());
+  const Relation& t = (*loaded)->relation(0);
+  ASSERT_EQ(t.NumRows(), 2u);
+  EXPECT_TRUE(t.row(1).value(0).is_null());
+  EXPECT_EQ(t.row(1).value(1).AsString(), "s");
+}
+
+TEST(TextIoTest, MalformedInputsRejected) {
+  EXPECT_FALSE(LoadDatabaseText("1,2\n").ok());           // row before header
+  EXPECT_FALSE(LoadDatabaseText("relation T\n").ok());    // no columns
+  EXPECT_FALSE(LoadDatabaseText("relation T a\n1,2\n").ok());  // arity
+  EXPECT_FALSE(LoadDatabaseText("relation T a\nbad\n").ok());  // bad token
+  EXPECT_FALSE(
+      LoadDatabaseText("relation T a\nrelation T a\n").ok());  // duplicate
+}
+
+TEST(TextIoTest, RandomDatabasesRoundTrip) {
+  Rng rng(2201);
+  for (int trial = 0; trial < 20; ++trial) {
+    RandomRowsOptions options;
+    options.rows_max = 8;
+    options.null_prob = 0.3;
+    auto db = MakeRandomDatabase(3, 3, options, &rng);
+    Result<std::unique_ptr<Database>> loaded =
+        LoadDatabaseText(DatabaseToText(*db));
+    ASSERT_TRUE(loaded.ok());
+    for (RelId r = 0; r < 3; ++r) {
+      EXPECT_TRUE(BagEquals((*loaded)->relation(r), db->relation(r)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fro

@@ -1,0 +1,161 @@
+// The main theorem, verified empirically (paper Section 3.2, Theorem 1):
+// if graph(Q) is nice and outerjoin predicates are strong, then EVERY
+// implementing tree of graph(Q) evaluates to the same result — on every
+// database.
+//
+// The converse directions are exercised too: breaking niceness or
+// strength admits implementing trees that disagree.
+
+#include <gtest/gtest.h>
+
+#include "algebra/eval.h"
+#include "common/rng.h"
+#include "enumerate/it_enum.h"
+#include "graph/nice.h"
+#include "testing/graphgen.h"
+
+namespace fro {
+namespace {
+
+// Evaluates all (or up to `limit`) ITs and returns the number of distinct
+// results.
+int DistinctResults(const QueryGraph& graph, const Database& db,
+                    size_t limit) {
+  std::vector<ExprPtr> trees = EnumerateIts(graph, db, limit);
+  std::vector<Relation> distinct;
+  for (const ExprPtr& t : trees) {
+    Relation r = Eval(t, db);
+    bool found = false;
+    for (const Relation& seen : distinct) {
+      if (BagEquals(r, seen)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) distinct.push_back(std::move(r));
+  }
+  return static_cast<int>(distinct.size());
+}
+
+TEST(Theorem1Test, AllItsAgreeOnNiceStrongGraphs) {
+  Rng rng(701);
+  int graphs = 0;
+  uint64_t trees_checked = 0;
+  for (int trial = 0; trial < 60 && graphs < 40; ++trial) {
+    RandomQueryOptions options;
+    options.num_relations = 3 + static_cast<int>(rng.Uniform(5));
+    options.rows.null_prob = 0.2;
+    GeneratedQuery q = GenerateRandomQuery(options, &rng);
+    ASSERT_TRUE(CheckFreelyReorderable(q.graph).freely_reorderable());
+    uint64_t count = CountIts(q.graph);
+    if (count > 600) continue;
+    ++graphs;
+    trees_checked += count;
+    EXPECT_EQ(DistinctResults(q.graph, *q.db, 600), 1)
+        << "ITs disagree on a freely-reorderable graph:\n"
+        << q.graph.ToString(&q.db->catalog());
+  }
+  EXPECT_GE(graphs, 30);
+  EXPECT_GT(trees_checked, 500u);
+}
+
+TEST(Theorem1Test, HoldsUnderHashAndNestedLoopKernels) {
+  // Free reorderability is a semantic property; verify it is independent
+  // of the execution algorithm.
+  Rng rng(702);
+  RandomQueryOptions options;
+  options.num_relations = 5;
+  GeneratedQuery q = GenerateRandomQuery(options, &rng);
+  std::vector<ExprPtr> trees = EnumerateIts(q.graph, *q.db, 50);
+  EvalOptions nl;
+  nl.algo = JoinAlgo::kNestedLoop;
+  EvalOptions hash;
+  hash.algo = JoinAlgo::kHash;
+  Relation reference = Eval(trees[0], *q.db, nl);
+  for (const ExprPtr& t : trees) {
+    EXPECT_TRUE(BagEquals(reference, Eval(t, *q.db, nl)));
+    EXPECT_TRUE(BagEquals(reference, Eval(t, *q.db, hash)));
+  }
+}
+
+// Violating niceness admits disagreeing implementing trees. Not every
+// random database exposes the disagreement, so accumulate over many
+// trials and require a substantial disagreement rate.
+TEST(Theorem1Test, NonNiceGraphsProduceDisagreements) {
+  Rng rng(703);
+  int disagreeing = 0;
+  int total = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    RandomQueryOptions options;
+    options.num_relations = 3 + static_cast<int>(rng.Uniform(3));
+    options.violation = trial % 2 == 0
+                            ? RandomQueryOptions::Violation::kJoinAtNullSupplied
+                            : RandomQueryOptions::Violation::kTwoInEdges;
+    options.rows.rows_min = 1;
+    GeneratedQuery q = GenerateRandomQuery(options, &rng);
+    if (CheckNice(q.graph).nice) continue;  // injection may have no room
+    if (CountIts(q.graph) > 300) continue;
+    ++total;
+    if (DistinctResults(q.graph, *q.db, 300) > 1) ++disagreeing;
+  }
+  ASSERT_GT(total, 20);
+  EXPECT_GT(disagreeing, total / 4)
+      << "expected frequent disagreements on non-nice graphs";
+}
+
+// Weak (non-strong) outerjoin predicates on nice graphs also admit
+// disagreements (Example 3's failure mode).
+TEST(Theorem1Test, WeakPredicatesProduceDisagreements) {
+  Rng rng(704);
+  int disagreeing = 0;
+  int total = 0;
+  for (int trial = 0; trial < 80; ++trial) {
+    RandomQueryOptions options;
+    options.num_relations = 3 + static_cast<int>(rng.Uniform(3));
+    options.oj_fraction = 0.8;
+    options.weak_pred_prob = 1.0;
+    options.rows.rows_min = 1;
+    options.rows.null_prob = 0.3;
+    GeneratedQuery q = GenerateRandomQuery(options, &rng);
+    ReorderabilityCheck check = CheckFreelyReorderable(q.graph);
+    if (check.all_outerjoin_preds_strong) continue;  // need a weak pred
+    ASSERT_TRUE(check.nice.nice);
+    if (CountIts(q.graph) > 300) continue;
+    ++total;
+    if (DistinctResults(q.graph, *q.db, 300) > 1) ++disagreeing;
+  }
+  ASSERT_GT(total, 20);
+  EXPECT_GT(disagreeing, 0)
+      << "expected some disagreements under weak predicates";
+}
+
+// The flagship end-to-end statement: for a freely-reorderable query, an
+// optimizer may pick ANY implementing tree. Example 1's graph is such a
+// graph; check every one of its ITs returns the identical relation.
+TEST(Theorem1Test, Example1GraphFullyInterchangeable) {
+  Database db;
+  RelId r1 = *db.AddRelation("R1", {"k"});
+  RelId r2 = *db.AddRelation("R2", {"k", "fk"});
+  RelId r3 = *db.AddRelation("R3", {"k"});
+  db.AddRow(r1, {Value::Int(0)});
+  for (int i = 0; i < 5; ++i) {
+    db.AddRow(r2, {Value::Int(i), Value::Int(i)});
+    db.AddRow(r3, {Value::Int(i)});
+  }
+  QueryGraph g;
+  g.AddNode(r1, db.scheme(r1).ToAttrSet());
+  g.AddNode(r2, db.scheme(r2).ToAttrSet());
+  g.AddNode(r3, db.scheme(r3).ToAttrSet());
+  ASSERT_TRUE(
+      g.AddJoinEdge(0, 1, EqCols(db.Attr("R1", "k"), db.Attr("R2", "k")))
+          .ok());
+  ASSERT_TRUE(g.AddOuterJoinEdge(1, 2, EqCols(db.Attr("R2", "fk"),
+                                              db.Attr("R3", "k")))
+                  .ok());
+  ASSERT_TRUE(CheckFreelyReorderable(g).freely_reorderable());
+  EXPECT_EQ(CountIts(g), 2u);
+  EXPECT_EQ(DistinctResults(g, db, 10), 1);
+}
+
+}  // namespace
+}  // namespace fro

@@ -1,0 +1,292 @@
+// Basic-transform engine tests: applicability, graph invariance
+// (Observation in Section 3.2), the classification table, and Lemma 2
+// (all BTs applicable on ITs of nice graphs with strong predicates are
+// result preserving) — cross-validated empirically.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "algebra/eval.h"
+#include "algebra/transform.h"
+#include "common/rng.h"
+#include "enumerate/it_enum.h"
+#include "graph/from_expr.h"
+#include "graph/nice.h"
+#include "testing/graphgen.h"
+
+namespace fro {
+namespace {
+
+// Order-insensitive rendering of a query graph for equality checks.
+std::string CanonicalGraphString(const QueryGraph& graph) {
+  std::vector<std::string> lines;
+  for (const GraphEdge& e : graph.edges()) {
+    RelId ru = graph.node_rel(e.u);
+    RelId rv = graph.node_rel(e.v);
+    std::vector<std::string> conjuncts;
+    for (const PredicatePtr& c : e.pred->Conjuncts(e.pred)) {
+      conjuncts.push_back(c->ToString(nullptr));
+    }
+    std::sort(conjuncts.begin(), conjuncts.end());
+    std::string label;
+    for (const std::string& c : conjuncts) label += c + "&";
+    std::string line;
+    if (e.directed) {
+      line = std::to_string(ru) + ">" + std::to_string(rv);
+    } else {
+      line = std::to_string(std::min(ru, rv)) + "-" +
+             std::to_string(std::max(ru, rv));
+    }
+    lines.push_back(line + ":" + label);
+  }
+  std::sort(lines.begin(), lines.end());
+  std::string out;
+  for (const std::string& line : lines) out += line + "\n";
+  return out;
+}
+
+class TransformTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    x_ = *db_.AddRelation("X", {"a", "b"});
+    y_ = *db_.AddRelation("Y", {"c", "d"});
+    z_ = *db_.AddRelation("Z", {"e", "f"});
+    xa_ = db_.Attr("X", "a");
+    xb_ = db_.Attr("X", "b");
+    yc_ = db_.Attr("Y", "c");
+    yd_ = db_.Attr("Y", "d");
+    ze_ = db_.Attr("Z", "e");
+    zf_ = db_.Attr("Z", "f");
+    db_.AddRow(x_, {Value::Int(1), Value::Int(2)});
+    db_.AddRow(y_, {Value::Int(1), Value::Int(3)});
+    db_.AddRow(z_, {Value::Int(3), Value::Int(2)});
+  }
+
+  ExprPtr X() { return Expr::Leaf(x_, db_); }
+  ExprPtr Y() { return Expr::Leaf(y_, db_); }
+  ExprPtr Z() { return Expr::Leaf(z_, db_); }
+
+  Database db_;
+  RelId x_, y_, z_;
+  AttrId xa_, xb_, yc_, yd_, ze_, zf_;
+};
+
+TEST_F(TransformTest, ReversalSwapsAndFlips) {
+  ExprPtr q = Expr::OuterJoin(X(), Y(), EqCols(xa_, yc_), true);
+  Result<ExprPtr> rev = ApplyBt(q, BtSite{BtSite::Kind::kReversal, {}});
+  ASSERT_TRUE(rev.ok());
+  EXPECT_EQ((*rev)->ToString(&db_.catalog()), "(Y <- X)");
+  // Reversal twice is the identity.
+  Result<ExprPtr> back = ApplyBt(*rev, BtSite{BtSite::Kind::kReversal, {}});
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(ExprEquals(*back, q));
+  // Reversal preserves results.
+  EXPECT_TRUE(BagEquals(Eval(q, db_), Eval(*rev, db_)));
+}
+
+TEST_F(TransformTest, AssocLRRestructures) {
+  ExprPtr q = Expr::Join(Expr::Join(X(), Y(), EqCols(xa_, yc_)), Z(),
+                         EqCols(yd_, ze_));
+  BtSite site{BtSite::Kind::kAssocLR, {}};
+  ASSERT_TRUE(IsApplicable(q, site));
+  Result<ExprPtr> out = ApplyBt(q, site);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ((*out)->ToString(&db_.catalog()), "(X - (Y - Z))");
+  EXPECT_TRUE(BagEquals(Eval(q, db_), Eval(*out, db_)));
+}
+
+TEST_F(TransformTest, AssocRLIsInverse) {
+  ExprPtr q = Expr::Join(X(), Expr::Join(Y(), Z(), EqCols(yd_, ze_)),
+                         EqCols(xa_, yc_));
+  BtSite site{BtSite::Kind::kAssocRL, {}};
+  ASSERT_TRUE(IsApplicable(q, site));
+  Result<ExprPtr> out = ApplyBt(q, site);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ((*out)->ToString(&db_.catalog()), "((X - Y) - Z)");
+}
+
+TEST_F(TransformTest, ConjunctMigrationOnCyclicGraph) {
+  // ((X - Y) -[Pxz & Pyz] Z): the Pxz conjunct must migrate to the other
+  // operator when reassociating (identity 1's cyclic case).
+  PredicatePtr pxz = EqCols(xb_, zf_);
+  PredicatePtr pyz = EqCols(yd_, ze_);
+  ExprPtr q = Expr::Join(Expr::Join(X(), Y(), EqCols(xa_, yc_)), Z(),
+                         Predicate::And({pxz, pyz}));
+  BtSite site{BtSite::Kind::kAssocLR, {}};
+  ASSERT_TRUE(IsApplicable(q, site));
+  Result<ExprPtr> out = ApplyBt(q, site);
+  ASSERT_TRUE(out.ok());
+  // The new upper operator holds Pxy AND Pxz; the lower holds Pyz.
+  const Expr* root = out->get();
+  EXPECT_EQ(root->pred()->Conjuncts(root->pred()).size(), 2u);
+  EXPECT_EQ(root->right()->pred()->Conjuncts(root->right()->pred()).size(),
+            1u);
+  EXPECT_TRUE(BagEquals(Eval(q, db_), Eval(*out, db_)));
+}
+
+TEST_F(TransformTest, ConjunctMigrationRequiresJoins) {
+  // Same shape but the upper operator is an outerjoin referencing X: such
+  // a query has no defined graph, and the BT must refuse to move a
+  // conjunct through a non-join.
+  PredicatePtr pxz = EqCols(xb_, zf_);
+  ExprPtr q = Expr::OuterJoin(Expr::Join(X(), Y(), EqCols(xa_, yc_)), Z(),
+                              Predicate::And({pxz, EqCols(yd_, ze_)}));
+  EXPECT_FALSE(IsApplicable(q, BtSite{BtSite::Kind::kAssocLR, {}}));
+}
+
+TEST_F(TransformTest, NotApplicableWhenPredicateIgnoresMiddle) {
+  // ((X - Y) - Z) where the upper predicate references only X: the paper's
+  // applicability condition fails (the lower op would become a product).
+  ExprPtr q = Expr::Join(Expr::Join(X(), Y(), EqCols(xa_, yc_)), Z(),
+                         EqCols(xb_, zf_));
+  EXPECT_FALSE(IsApplicable(q, BtSite{BtSite::Kind::kAssocLR, {}}));
+}
+
+TEST_F(TransformTest, GraphInvariance) {
+  // Observation (Section 3.2): a BT never changes graph(Q).
+  PredicatePtr pxz = EqCols(xb_, zf_);
+  ExprPtr q = Expr::Join(Expr::Join(X(), Y(), EqCols(xa_, yc_)), Z(),
+                         Predicate::And({pxz, EqCols(yd_, ze_)}));
+  std::string before = CanonicalGraphString(*GraphOf(q, db_));
+  for (const BtSite& site : FindApplicableBts(q)) {
+    Result<ExprPtr> out = ApplyBt(q, site);
+    ASSERT_TRUE(out.ok());
+    Result<QueryGraph> g = GraphOf(*out, db_);
+    ASSERT_TRUE(g.ok());
+    EXPECT_EQ(CanonicalGraphString(*g), before);
+  }
+}
+
+TEST_F(TransformTest, ClassificationTable) {
+  PredicatePtr pxy = EqCols(xa_, yc_);
+  PredicatePtr pyz = EqCols(yd_, ze_);
+  // (-,-) always.
+  ExprPtr jj = Expr::Join(Expr::Join(X(), Y(), pxy), Z(), pyz);
+  EXPECT_EQ(ClassifyBt(jj, {BtSite::Kind::kAssocLR, {}}).preservation,
+            Preservation::kAlways);
+  // (->,-) never: Example 2's pattern.
+  ExprPtr oj_join =
+      Expr::Join(Expr::OuterJoin(X(), Y(), pxy), Z(), pyz);
+  BtClassification never =
+      ClassifyBt(oj_join, {BtSite::Kind::kAssocLR, {}});
+  EXPECT_EQ(never.preservation, Preservation::kNever);
+  EXPECT_FALSE(never.IsPreserving());
+  // (->,->) conditional on strength: holds with equality...
+  ExprPtr oj_oj =
+      Expr::OuterJoin(Expr::OuterJoin(X(), Y(), pxy), Z(), pyz);
+  BtClassification cond = ClassifyBt(oj_oj, {BtSite::Kind::kAssocLR, {}});
+  EXPECT_EQ(cond.preservation, Preservation::kConditional);
+  EXPECT_TRUE(cond.condition_holds);
+  EXPECT_TRUE(cond.IsPreserving());
+  // ...and fails with Example 3's weak predicate.
+  PredicatePtr weak = Predicate::Or(
+      {EqCols(yd_, ze_), Predicate::IsNull(Operand::Column(yd_))});
+  ExprPtr weak_oj =
+      Expr::OuterJoin(Expr::OuterJoin(X(), Y(), pxy), Z(), weak);
+  BtClassification fails =
+      ClassifyBt(weak_oj, {BtSite::Kind::kAssocLR, {}});
+  EXPECT_EQ(fails.preservation, Preservation::kConditional);
+  EXPECT_FALSE(fails.condition_holds);
+  EXPECT_FALSE(fails.IsPreserving());
+}
+
+TEST_F(TransformTest, FindApplicableBtsFindsAllSites) {
+  ExprPtr q = Expr::Join(Expr::Join(X(), Y(), EqCols(xa_, yc_)), Z(),
+                         EqCols(yd_, ze_));
+  std::vector<BtSite> sites = FindApplicableBts(q);
+  // Two reversals (root + left child) and the root AssocLR.
+  int reversals = 0, assoc_lr = 0, assoc_rl = 0;
+  for (const BtSite& s : sites) {
+    switch (s.kind) {
+      case BtSite::Kind::kReversal:
+        ++reversals;
+        break;
+      case BtSite::Kind::kAssocLR:
+        ++assoc_lr;
+        break;
+      case BtSite::Kind::kAssocRL:
+        ++assoc_rl;
+        break;
+    }
+  }
+  EXPECT_EQ(reversals, 2);
+  EXPECT_EQ(assoc_lr, 1);
+  EXPECT_EQ(assoc_rl, 0);
+}
+
+// --- Property tests over random queries ---------------------------------
+
+// Lemma 2: on an IT of a nice graph with strong predicates, every
+// applicable BT is result preserving — by classification AND empirically.
+TEST(TransformPropertyTest, Lemma2AllBtsPreservingOnNiceGraphs) {
+  Rng rng(301);
+  int checked_bts = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    RandomQueryOptions options;
+    options.num_relations = 4 + static_cast<int>(rng.Uniform(3));
+    GeneratedQuery q = GenerateRandomQuery(options, &rng);
+    ASSERT_TRUE(CheckFreelyReorderable(q.graph).freely_reorderable());
+    ExprPtr it = RandomIt(q.graph, *q.db, &rng);
+    ASSERT_NE(it, nullptr);
+    Relation reference = Eval(it, *q.db);
+    for (const BtSite& site : FindApplicableBts(it)) {
+      BtClassification c = ClassifyBt(it, site);
+      EXPECT_TRUE(c.IsPreserving())
+          << "non-preserving BT (" << c.rule << ") applicable on nice IT "
+          << it->ToString();
+      Result<ExprPtr> out = ApplyBt(it, site);
+      ASSERT_TRUE(out.ok());
+      EXPECT_TRUE(BagEquals(reference, Eval(*out, *q.db)))
+          << "BT changed the result: " << it->ToString() << " => "
+          << (*out)->ToString();
+      ++checked_bts;
+    }
+  }
+  EXPECT_GT(checked_bts, 100);
+}
+
+// Soundness of the classification table: whenever a BT is classified as
+// preserving, applying it must not change the result — on any query,
+// including non-nice graphs and weak predicates.
+TEST(TransformPropertyTest, PreservingClassificationIsSound) {
+  Rng rng(302);
+  int checked = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    RandomQueryOptions options;
+    options.num_relations = 4 + static_cast<int>(rng.Uniform(3));
+    options.weak_pred_prob = 0.5;
+    switch (trial % 4) {
+      case 0:
+        options.violation = RandomQueryOptions::Violation::kNone;
+        break;
+      case 1:
+        options.violation =
+            RandomQueryOptions::Violation::kJoinAtNullSupplied;
+        break;
+      case 2:
+        options.violation = RandomQueryOptions::Violation::kTwoInEdges;
+        break;
+      case 3:
+        options.violation = RandomQueryOptions::Violation::kOjCycle;
+        break;
+    }
+    GeneratedQuery q = GenerateRandomQuery(options, &rng);
+    ExprPtr it = RandomIt(q.graph, *q.db, &rng);
+    if (it == nullptr) continue;  // some violated graphs have no IT
+    Relation reference = Eval(it, *q.db);
+    for (const BtSite& site : FindApplicableBts(it)) {
+      if (!ClassifyBt(it, site).IsPreserving()) continue;
+      Result<ExprPtr> out = ApplyBt(it, site);
+      ASSERT_TRUE(out.ok());
+      EXPECT_TRUE(BagEquals(reference, Eval(*out, *q.db)))
+          << "classified-preserving BT changed the result on "
+          << it->ToString() << " => " << (*out)->ToString();
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 50);
+}
+
+}  // namespace
+}  // namespace fro

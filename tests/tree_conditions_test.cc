@@ -1,0 +1,147 @@
+// Section 6.3's conjecture: tree-side conditions equivalent to graph
+// niceness. The refinement implemented in graph/tree_conditions.h is
+// validated empirically: over random implementing trees, the tree
+// conditions hold iff graph(Q) is nice.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "enumerate/it_enum.h"
+#include "graph/from_expr.h"
+#include "graph/nice.h"
+#include "graph/tree_conditions.h"
+#include "testing/graphgen.h"
+
+namespace fro {
+namespace {
+
+class TreeCondTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    x_ = *db_.AddRelation("X", {"a"});
+    y_ = *db_.AddRelation("Y", {"b"});
+    z_ = *db_.AddRelation("Z", {"c"});
+    a_ = db_.Attr("X", "a");
+    b_ = db_.Attr("Y", "b");
+    c_ = db_.Attr("Z", "c");
+  }
+  ExprPtr X() { return Expr::Leaf(x_, db_); }
+  ExprPtr Y() { return Expr::Leaf(y_, db_); }
+  ExprPtr Z() { return Expr::Leaf(z_, db_); }
+
+  Database db_;
+  RelId x_, y_, z_;
+  AttrId a_, b_, c_;
+};
+
+TEST_F(TreeCondTest, NiceShapesPass) {
+  // (X - Y) -> Z.
+  EXPECT_TRUE(CheckTreeConditions(
+                  Expr::OuterJoin(Expr::Join(X(), Y(), EqCols(a_, b_)), Z(),
+                                  EqCols(b_, c_)))
+                  .ok);
+  // X - (Y -> Z): padded Z attrs are not referenced above.
+  EXPECT_TRUE(CheckTreeConditions(
+                  Expr::Join(X(), Expr::OuterJoin(Y(), Z(), EqCols(b_, c_)),
+                             EqCols(a_, b_)))
+                  .ok);
+  // The outerjoin chain (X -> Y) -> Z: the upper predicate references the
+  // padded Y from the PRESERVED side — legal.
+  EXPECT_TRUE(CheckTreeConditions(
+                  Expr::OuterJoin(Expr::OuterJoin(X(), Y(), EqCols(a_, b_)),
+                                  Z(), EqCols(b_, c_)))
+                  .ok);
+}
+
+TEST_F(TreeCondTest, NullSuppliedJoinFails) {
+  // X -> (Y - Z): Example 2. Condition (a).
+  TreeConditionCheck check = CheckTreeConditions(Expr::OuterJoin(
+      X(), Expr::Join(Y(), Z(), EqCols(b_, c_)), EqCols(a_, b_)));
+  EXPECT_FALSE(check.ok);
+  EXPECT_NE(check.violation.find("regular join"), std::string::npos);
+}
+
+TEST_F(TreeCondTest, PaddedAttrsInLaterJoinFails) {
+  // (X -> Y) - Z with the join predicate on Y: the padded Y attributes
+  // are "involved later as an operand of a regular join".
+  TreeConditionCheck check = CheckTreeConditions(Expr::Join(
+      Expr::OuterJoin(X(), Y(), EqCols(a_, b_)), Z(), EqCols(b_, c_)));
+  EXPECT_FALSE(check.ok);
+  EXPECT_NE(check.violation.find("regular join"), std::string::npos);
+}
+
+TEST_F(TreeCondTest, TwoInwardOuterjoinsFail) {
+  // (X -> Y) <- Z: Z preserves itself over the padded Y and references it
+  // from its null-supplied side.
+  TreeConditionCheck check = CheckTreeConditions(
+      Expr::OuterJoin(Expr::OuterJoin(X(), Y(), EqCols(a_, b_)), Z(),
+                      EqCols(b_, c_), /*preserves_left=*/false));
+  EXPECT_FALSE(check.ok);
+}
+
+TEST_F(TreeCondTest, NonItOperatorsRejected) {
+  TreeConditionCheck check = CheckTreeConditions(
+      Expr::Antijoin(X(), Y(), EqCols(a_, b_)));
+  EXPECT_FALSE(check.ok);
+  EXPECT_NE(check.violation.find("Antijoin"), std::string::npos);
+}
+
+// The conjecture, validated: tree conditions <=> graph niceness, over
+// random implementing trees of nice and violated graphs.
+TEST(TreeCondPropertyTest, EquivalentToGraphNiceness) {
+  Rng rng(1101);
+  int nice_cases = 0;
+  int non_nice_cases = 0;
+  for (int trial = 0; trial < 120; ++trial) {
+    RandomQueryOptions options;
+    options.num_relations = 3 + static_cast<int>(rng.Uniform(4));
+    switch (trial % 4) {
+      case 0:
+      case 1:
+        options.violation = RandomQueryOptions::Violation::kNone;
+        break;
+      case 2:
+        options.violation =
+            RandomQueryOptions::Violation::kJoinAtNullSupplied;
+        break;
+      case 3:
+        options.violation = RandomQueryOptions::Violation::kTwoInEdges;
+        break;
+    }
+    GeneratedQuery q = GenerateRandomQuery(options, &rng);
+    ExprPtr it = RandomIt(q.graph, *q.db, &rng);
+    if (it == nullptr) continue;
+    const bool graph_nice = CheckNice(q.graph).nice;
+    TreeConditionCheck tree = CheckTreeConditions(it);
+    EXPECT_EQ(tree.ok, graph_nice)
+        << "tree conditions and Lemma 1 disagree on " << it->ToString()
+        << "\n graph:\n"
+        << q.graph.ToString() << " tree violation: " << tree.violation;
+    graph_nice ? ++nice_cases : ++non_nice_cases;
+  }
+  EXPECT_GT(nice_cases, 30);
+  EXPECT_GT(non_nice_cases, 20);
+}
+
+// Every implementing tree of a graph agrees with every other on the tree
+// conditions (they all implement the same graph).
+TEST(TreeCondPropertyTest, ConsistentAcrossAllItsOfAGraph) {
+  Rng rng(1102);
+  for (int trial = 0; trial < 20; ++trial) {
+    RandomQueryOptions options;
+    options.num_relations = 4;
+    options.violation = trial % 2 == 0
+                            ? RandomQueryOptions::Violation::kNone
+                            : RandomQueryOptions::Violation::kTwoInEdges;
+    GeneratedQuery q = GenerateRandomQuery(options, &rng);
+    std::vector<ExprPtr> trees = EnumerateIts(q.graph, *q.db, 100);
+    if (trees.empty()) continue;
+    const bool first = CheckTreeConditions(trees[0]).ok;
+    for (const ExprPtr& tree : trees) {
+      EXPECT_EQ(CheckTreeConditions(tree).ok, first) << tree->ToString();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fro

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "relational/tribool.h"
+#include "relational/value.h"
+
+namespace fro {
+namespace {
+
+TEST(TriBoolTest, KleeneTables) {
+  const TriBool f = TriBool::kFalse;
+  const TriBool u = TriBool::kUnknown;
+  const TriBool t = TriBool::kTrue;
+  EXPECT_EQ(TriAnd(t, t), t);
+  EXPECT_EQ(TriAnd(t, u), u);
+  EXPECT_EQ(TriAnd(f, u), f);
+  EXPECT_EQ(TriAnd(u, u), u);
+  EXPECT_EQ(TriOr(f, f), f);
+  EXPECT_EQ(TriOr(f, u), u);
+  EXPECT_EQ(TriOr(t, u), t);
+  EXPECT_EQ(TriOr(u, u), u);
+  EXPECT_EQ(TriNot(t), f);
+  EXPECT_EQ(TriNot(f), t);
+  EXPECT_EQ(TriNot(u), u);
+  EXPECT_TRUE(IsTrue(t));
+  EXPECT_FALSE(IsTrue(u));
+  EXPECT_FALSE(IsTrue(f));
+}
+
+TEST(ValueTest, KindsAndAccessors) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value::Int(5).AsInt(), 5);
+  EXPECT_EQ(Value::Double(1.5).AsDouble(), 1.5);
+  EXPECT_EQ(Value::String("hi").AsString(), "hi");
+  EXPECT_EQ(Value::Int(3).NumericValue(), 3.0);
+}
+
+TEST(ValueTest, StructuralEquality) {
+  EXPECT_EQ(Value::Null(), Value::Null());
+  EXPECT_EQ(Value::Int(1), Value::Int(1));
+  // Int and double are structurally distinct even if numerically equal.
+  EXPECT_FALSE(Value::Int(1) == Value::Double(1.0));
+  EXPECT_FALSE(Value::Int(1) == Value::Null());
+}
+
+TEST(ValueTest, StructuralOrderIsTotal) {
+  // null < int < double < string by kind.
+  EXPECT_LT(Value::Null(), Value::Int(0));
+  EXPECT_LT(Value::Int(99), Value::Double(0.0));
+  EXPECT_LT(Value::Double(99), Value::String(""));
+  EXPECT_LT(Value::Int(1), Value::Int(2));
+  EXPECT_LT(Value::String("a"), Value::String("b"));
+}
+
+TEST(ValueTest, SqlComparisonWithNullIsUnknown) {
+  EXPECT_EQ(SqlEq(Value::Null(), Value::Int(1)), TriBool::kUnknown);
+  EXPECT_EQ(SqlEq(Value::Int(1), Value::Null()), TriBool::kUnknown);
+  EXPECT_EQ(SqlEq(Value::Null(), Value::Null()), TriBool::kUnknown);
+  EXPECT_EQ(SqlNe(Value::Null(), Value::Int(1)), TriBool::kUnknown);
+  EXPECT_EQ(SqlLt(Value::Null(), Value::Int(1)), TriBool::kUnknown);
+}
+
+TEST(ValueTest, SqlComparisonNumeric) {
+  EXPECT_EQ(SqlEq(Value::Int(2), Value::Int(2)), TriBool::kTrue);
+  EXPECT_EQ(SqlEq(Value::Int(2), Value::Double(2.0)), TriBool::kTrue);
+  EXPECT_EQ(SqlLt(Value::Int(1), Value::Double(1.5)), TriBool::kTrue);
+  EXPECT_EQ(SqlGt(Value::Int(1), Value::Int(3)), TriBool::kFalse);
+  EXPECT_EQ(SqlGe(Value::Int(3), Value::Int(3)), TriBool::kTrue);
+  EXPECT_EQ(SqlLe(Value::Int(4), Value::Int(3)), TriBool::kFalse);
+  EXPECT_EQ(SqlNe(Value::Int(4), Value::Int(3)), TriBool::kTrue);
+}
+
+TEST(ValueTest, SqlComparisonStrings) {
+  EXPECT_EQ(SqlEq(Value::String("a"), Value::String("a")), TriBool::kTrue);
+  EXPECT_EQ(SqlLt(Value::String("a"), Value::String("b")), TriBool::kTrue);
+}
+
+TEST(ValueTest, CrossKindComparisonIsUnknown) {
+  EXPECT_EQ(SqlEq(Value::String("1"), Value::Int(1)), TriBool::kUnknown);
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value::Int(7).Hash(), Value::Int(7).Hash());
+  EXPECT_EQ(Value::Null().Hash(), Value::Null().Hash());
+  EXPECT_EQ(Value::String("x").Hash(), Value::String("x").Hash());
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value::Null().ToString(), "-");
+  EXPECT_EQ(Value::Int(-3).ToString(), "-3");
+  EXPECT_EQ(Value::String("q").ToString(), "'q'");
+}
+
+}  // namespace
+}  // namespace fro
