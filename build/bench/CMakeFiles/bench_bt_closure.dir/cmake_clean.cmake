@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bt_closure.dir/bench_bt_closure.cc.o"
+  "CMakeFiles/bench_bt_closure.dir/bench_bt_closure.cc.o.d"
+  "bench_bt_closure"
+  "bench_bt_closure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bt_closure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_counterexamples.dir/bench_counterexamples.cc.o"
+  "CMakeFiles/bench_counterexamples.dir/bench_counterexamples.cc.o.d"
+  "bench_counterexamples"
+  "bench_counterexamples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_counterexamples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_counterexamples.
+# This may be replaced when dependencies are built.

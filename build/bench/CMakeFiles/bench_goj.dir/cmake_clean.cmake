@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_goj.dir/bench_goj.cc.o"
+  "CMakeFiles/bench_goj.dir/bench_goj.cc.o.d"
+  "bench_goj"
+  "bench_goj.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_goj.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

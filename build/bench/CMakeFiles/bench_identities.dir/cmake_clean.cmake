@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_identities.dir/bench_identities.cc.o"
+  "CMakeFiles/bench_identities.dir/bench_identities.cc.o.d"
+  "bench_identities"
+  "bench_identities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_identities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

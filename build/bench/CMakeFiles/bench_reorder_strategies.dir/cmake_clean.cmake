@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_reorder_strategies.dir/bench_reorder_strategies.cc.o"
+  "CMakeFiles/bench_reorder_strategies.dir/bench_reorder_strategies.cc.o.d"
+  "bench_reorder_strategies"
+  "bench_reorder_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reorder_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dept_emp.dir/dept_emp.cpp.o"
+  "CMakeFiles/dept_emp.dir/dept_emp.cpp.o.d"
+  "dept_emp"
+  "dept_emp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dept_emp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dept_emp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for dept_emp.
+# This may be replaced when dependencies are built.

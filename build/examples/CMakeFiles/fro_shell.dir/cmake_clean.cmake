@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fro_shell.dir/fro_shell.cpp.o"
+  "CMakeFiles/fro_shell.dir/fro_shell.cpp.o.d"
+  "fro_shell"
+  "fro_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fro_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prosecutor.dir/prosecutor.cpp.o"
+  "CMakeFiles/prosecutor.dir/prosecutor.cpp.o.d"
+  "prosecutor"
+  "prosecutor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prosecutor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algebra/eval.cc" "src/algebra/CMakeFiles/fro_algebra.dir/eval.cc.o" "gcc" "src/algebra/CMakeFiles/fro_algebra.dir/eval.cc.o.d"
+  "/root/repo/src/algebra/expr.cc" "src/algebra/CMakeFiles/fro_algebra.dir/expr.cc.o" "gcc" "src/algebra/CMakeFiles/fro_algebra.dir/expr.cc.o.d"
+  "/root/repo/src/algebra/parse.cc" "src/algebra/CMakeFiles/fro_algebra.dir/parse.cc.o" "gcc" "src/algebra/CMakeFiles/fro_algebra.dir/parse.cc.o.d"
+  "/root/repo/src/algebra/pushdown.cc" "src/algebra/CMakeFiles/fro_algebra.dir/pushdown.cc.o" "gcc" "src/algebra/CMakeFiles/fro_algebra.dir/pushdown.cc.o.d"
+  "/root/repo/src/algebra/simplify.cc" "src/algebra/CMakeFiles/fro_algebra.dir/simplify.cc.o" "gcc" "src/algebra/CMakeFiles/fro_algebra.dir/simplify.cc.o.d"
+  "/root/repo/src/algebra/transform.cc" "src/algebra/CMakeFiles/fro_algebra.dir/transform.cc.o" "gcc" "src/algebra/CMakeFiles/fro_algebra.dir/transform.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/relational/CMakeFiles/fro_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fro_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

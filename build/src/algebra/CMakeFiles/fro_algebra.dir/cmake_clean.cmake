@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fro_algebra.dir/eval.cc.o"
+  "CMakeFiles/fro_algebra.dir/eval.cc.o.d"
+  "CMakeFiles/fro_algebra.dir/expr.cc.o"
+  "CMakeFiles/fro_algebra.dir/expr.cc.o.d"
+  "CMakeFiles/fro_algebra.dir/parse.cc.o"
+  "CMakeFiles/fro_algebra.dir/parse.cc.o.d"
+  "CMakeFiles/fro_algebra.dir/pushdown.cc.o"
+  "CMakeFiles/fro_algebra.dir/pushdown.cc.o.d"
+  "CMakeFiles/fro_algebra.dir/simplify.cc.o"
+  "CMakeFiles/fro_algebra.dir/simplify.cc.o.d"
+  "CMakeFiles/fro_algebra.dir/transform.cc.o"
+  "CMakeFiles/fro_algebra.dir/transform.cc.o.d"
+  "libfro_algebra.a"
+  "libfro_algebra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fro_algebra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fro_common.dir/status.cc.o"
+  "CMakeFiles/fro_common.dir/status.cc.o.d"
+  "CMakeFiles/fro_common.dir/str_util.cc.o"
+  "CMakeFiles/fro_common.dir/str_util.cc.o.d"
+  "libfro_common.a"
+  "libfro_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fro_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

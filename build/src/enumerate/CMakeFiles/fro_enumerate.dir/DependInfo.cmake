@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/enumerate/bt_path.cc" "src/enumerate/CMakeFiles/fro_enumerate.dir/bt_path.cc.o" "gcc" "src/enumerate/CMakeFiles/fro_enumerate.dir/bt_path.cc.o.d"
+  "/root/repo/src/enumerate/closure.cc" "src/enumerate/CMakeFiles/fro_enumerate.dir/closure.cc.o" "gcc" "src/enumerate/CMakeFiles/fro_enumerate.dir/closure.cc.o.d"
+  "/root/repo/src/enumerate/cuts.cc" "src/enumerate/CMakeFiles/fro_enumerate.dir/cuts.cc.o" "gcc" "src/enumerate/CMakeFiles/fro_enumerate.dir/cuts.cc.o.d"
+  "/root/repo/src/enumerate/it_enum.cc" "src/enumerate/CMakeFiles/fro_enumerate.dir/it_enum.cc.o" "gcc" "src/enumerate/CMakeFiles/fro_enumerate.dir/it_enum.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/fro_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/algebra/CMakeFiles/fro_algebra.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/fro_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fro_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

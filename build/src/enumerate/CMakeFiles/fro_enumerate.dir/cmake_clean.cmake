@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fro_enumerate.dir/bt_path.cc.o"
+  "CMakeFiles/fro_enumerate.dir/bt_path.cc.o.d"
+  "CMakeFiles/fro_enumerate.dir/closure.cc.o"
+  "CMakeFiles/fro_enumerate.dir/closure.cc.o.d"
+  "CMakeFiles/fro_enumerate.dir/cuts.cc.o"
+  "CMakeFiles/fro_enumerate.dir/cuts.cc.o.d"
+  "CMakeFiles/fro_enumerate.dir/it_enum.cc.o"
+  "CMakeFiles/fro_enumerate.dir/it_enum.cc.o.d"
+  "libfro_enumerate.a"
+  "libfro_enumerate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fro_enumerate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

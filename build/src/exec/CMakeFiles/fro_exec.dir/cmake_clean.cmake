@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fro_exec.dir/build.cc.o"
+  "CMakeFiles/fro_exec.dir/build.cc.o.d"
+  "CMakeFiles/fro_exec.dir/operators.cc.o"
+  "CMakeFiles/fro_exec.dir/operators.cc.o.d"
+  "libfro_exec.a"
+  "libfro_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fro_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/from_expr.cc" "src/graph/CMakeFiles/fro_graph.dir/from_expr.cc.o" "gcc" "src/graph/CMakeFiles/fro_graph.dir/from_expr.cc.o.d"
+  "/root/repo/src/graph/nice.cc" "src/graph/CMakeFiles/fro_graph.dir/nice.cc.o" "gcc" "src/graph/CMakeFiles/fro_graph.dir/nice.cc.o.d"
+  "/root/repo/src/graph/query_graph.cc" "src/graph/CMakeFiles/fro_graph.dir/query_graph.cc.o" "gcc" "src/graph/CMakeFiles/fro_graph.dir/query_graph.cc.o.d"
+  "/root/repo/src/graph/tree_conditions.cc" "src/graph/CMakeFiles/fro_graph.dir/tree_conditions.cc.o" "gcc" "src/graph/CMakeFiles/fro_graph.dir/tree_conditions.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/algebra/CMakeFiles/fro_algebra.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/fro_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fro_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

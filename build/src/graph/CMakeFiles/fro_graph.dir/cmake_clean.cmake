@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fro_graph.dir/from_expr.cc.o"
+  "CMakeFiles/fro_graph.dir/from_expr.cc.o.d"
+  "CMakeFiles/fro_graph.dir/nice.cc.o"
+  "CMakeFiles/fro_graph.dir/nice.cc.o.d"
+  "CMakeFiles/fro_graph.dir/query_graph.cc.o"
+  "CMakeFiles/fro_graph.dir/query_graph.cc.o.d"
+  "CMakeFiles/fro_graph.dir/tree_conditions.cc.o"
+  "CMakeFiles/fro_graph.dir/tree_conditions.cc.o.d"
+  "libfro_graph.a"
+  "libfro_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fro_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fro_lang.dir/lang.cc.o"
+  "CMakeFiles/fro_lang.dir/lang.cc.o.d"
+  "CMakeFiles/fro_lang.dir/lexer.cc.o"
+  "CMakeFiles/fro_lang.dir/lexer.cc.o.d"
+  "CMakeFiles/fro_lang.dir/model.cc.o"
+  "CMakeFiles/fro_lang.dir/model.cc.o.d"
+  "CMakeFiles/fro_lang.dir/parser.cc.o"
+  "CMakeFiles/fro_lang.dir/parser.cc.o.d"
+  "CMakeFiles/fro_lang.dir/translate.cc.o"
+  "CMakeFiles/fro_lang.dir/translate.cc.o.d"
+  "libfro_lang.a"
+  "libfro_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fro_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/optimizer/cardinality.cc" "src/optimizer/CMakeFiles/fro_optimizer.dir/cardinality.cc.o" "gcc" "src/optimizer/CMakeFiles/fro_optimizer.dir/cardinality.cc.o.d"
+  "/root/repo/src/optimizer/constraints.cc" "src/optimizer/CMakeFiles/fro_optimizer.dir/constraints.cc.o" "gcc" "src/optimizer/CMakeFiles/fro_optimizer.dir/constraints.cc.o.d"
+  "/root/repo/src/optimizer/cost.cc" "src/optimizer/CMakeFiles/fro_optimizer.dir/cost.cc.o" "gcc" "src/optimizer/CMakeFiles/fro_optimizer.dir/cost.cc.o.d"
+  "/root/repo/src/optimizer/dp.cc" "src/optimizer/CMakeFiles/fro_optimizer.dir/dp.cc.o" "gcc" "src/optimizer/CMakeFiles/fro_optimizer.dir/dp.cc.o.d"
+  "/root/repo/src/optimizer/explain.cc" "src/optimizer/CMakeFiles/fro_optimizer.dir/explain.cc.o" "gcc" "src/optimizer/CMakeFiles/fro_optimizer.dir/explain.cc.o.d"
+  "/root/repo/src/optimizer/goj_rewrite.cc" "src/optimizer/CMakeFiles/fro_optimizer.dir/goj_rewrite.cc.o" "gcc" "src/optimizer/CMakeFiles/fro_optimizer.dir/goj_rewrite.cc.o.d"
+  "/root/repo/src/optimizer/greedy.cc" "src/optimizer/CMakeFiles/fro_optimizer.dir/greedy.cc.o" "gcc" "src/optimizer/CMakeFiles/fro_optimizer.dir/greedy.cc.o.d"
+  "/root/repo/src/optimizer/optimizer.cc" "src/optimizer/CMakeFiles/fro_optimizer.dir/optimizer.cc.o" "gcc" "src/optimizer/CMakeFiles/fro_optimizer.dir/optimizer.cc.o.d"
+  "/root/repo/src/optimizer/subquery.cc" "src/optimizer/CMakeFiles/fro_optimizer.dir/subquery.cc.o" "gcc" "src/optimizer/CMakeFiles/fro_optimizer.dir/subquery.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/enumerate/CMakeFiles/fro_enumerate.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/fro_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/algebra/CMakeFiles/fro_algebra.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/fro_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fro_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fro_optimizer.dir/cardinality.cc.o"
+  "CMakeFiles/fro_optimizer.dir/cardinality.cc.o.d"
+  "CMakeFiles/fro_optimizer.dir/constraints.cc.o"
+  "CMakeFiles/fro_optimizer.dir/constraints.cc.o.d"
+  "CMakeFiles/fro_optimizer.dir/cost.cc.o"
+  "CMakeFiles/fro_optimizer.dir/cost.cc.o.d"
+  "CMakeFiles/fro_optimizer.dir/dp.cc.o"
+  "CMakeFiles/fro_optimizer.dir/dp.cc.o.d"
+  "CMakeFiles/fro_optimizer.dir/explain.cc.o"
+  "CMakeFiles/fro_optimizer.dir/explain.cc.o.d"
+  "CMakeFiles/fro_optimizer.dir/goj_rewrite.cc.o"
+  "CMakeFiles/fro_optimizer.dir/goj_rewrite.cc.o.d"
+  "CMakeFiles/fro_optimizer.dir/greedy.cc.o"
+  "CMakeFiles/fro_optimizer.dir/greedy.cc.o.d"
+  "CMakeFiles/fro_optimizer.dir/optimizer.cc.o"
+  "CMakeFiles/fro_optimizer.dir/optimizer.cc.o.d"
+  "CMakeFiles/fro_optimizer.dir/subquery.cc.o"
+  "CMakeFiles/fro_optimizer.dir/subquery.cc.o.d"
+  "libfro_optimizer.a"
+  "libfro_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fro_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/relational/database.cc" "src/relational/CMakeFiles/fro_relational.dir/database.cc.o" "gcc" "src/relational/CMakeFiles/fro_relational.dir/database.cc.o.d"
+  "/root/repo/src/relational/index.cc" "src/relational/CMakeFiles/fro_relational.dir/index.cc.o" "gcc" "src/relational/CMakeFiles/fro_relational.dir/index.cc.o.d"
+  "/root/repo/src/relational/index_manager.cc" "src/relational/CMakeFiles/fro_relational.dir/index_manager.cc.o" "gcc" "src/relational/CMakeFiles/fro_relational.dir/index_manager.cc.o.d"
+  "/root/repo/src/relational/ops.cc" "src/relational/CMakeFiles/fro_relational.dir/ops.cc.o" "gcc" "src/relational/CMakeFiles/fro_relational.dir/ops.cc.o.d"
+  "/root/repo/src/relational/predicate.cc" "src/relational/CMakeFiles/fro_relational.dir/predicate.cc.o" "gcc" "src/relational/CMakeFiles/fro_relational.dir/predicate.cc.o.d"
+  "/root/repo/src/relational/pretty.cc" "src/relational/CMakeFiles/fro_relational.dir/pretty.cc.o" "gcc" "src/relational/CMakeFiles/fro_relational.dir/pretty.cc.o.d"
+  "/root/repo/src/relational/relation.cc" "src/relational/CMakeFiles/fro_relational.dir/relation.cc.o" "gcc" "src/relational/CMakeFiles/fro_relational.dir/relation.cc.o.d"
+  "/root/repo/src/relational/schema.cc" "src/relational/CMakeFiles/fro_relational.dir/schema.cc.o" "gcc" "src/relational/CMakeFiles/fro_relational.dir/schema.cc.o.d"
+  "/root/repo/src/relational/sort_merge.cc" "src/relational/CMakeFiles/fro_relational.dir/sort_merge.cc.o" "gcc" "src/relational/CMakeFiles/fro_relational.dir/sort_merge.cc.o.d"
+  "/root/repo/src/relational/text_io.cc" "src/relational/CMakeFiles/fro_relational.dir/text_io.cc.o" "gcc" "src/relational/CMakeFiles/fro_relational.dir/text_io.cc.o.d"
+  "/root/repo/src/relational/tuple.cc" "src/relational/CMakeFiles/fro_relational.dir/tuple.cc.o" "gcc" "src/relational/CMakeFiles/fro_relational.dir/tuple.cc.o.d"
+  "/root/repo/src/relational/value.cc" "src/relational/CMakeFiles/fro_relational.dir/value.cc.o" "gcc" "src/relational/CMakeFiles/fro_relational.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fro_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

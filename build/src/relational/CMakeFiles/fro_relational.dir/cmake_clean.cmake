@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fro_relational.dir/database.cc.o"
+  "CMakeFiles/fro_relational.dir/database.cc.o.d"
+  "CMakeFiles/fro_relational.dir/index.cc.o"
+  "CMakeFiles/fro_relational.dir/index.cc.o.d"
+  "CMakeFiles/fro_relational.dir/index_manager.cc.o"
+  "CMakeFiles/fro_relational.dir/index_manager.cc.o.d"
+  "CMakeFiles/fro_relational.dir/ops.cc.o"
+  "CMakeFiles/fro_relational.dir/ops.cc.o.d"
+  "CMakeFiles/fro_relational.dir/predicate.cc.o"
+  "CMakeFiles/fro_relational.dir/predicate.cc.o.d"
+  "CMakeFiles/fro_relational.dir/pretty.cc.o"
+  "CMakeFiles/fro_relational.dir/pretty.cc.o.d"
+  "CMakeFiles/fro_relational.dir/relation.cc.o"
+  "CMakeFiles/fro_relational.dir/relation.cc.o.d"
+  "CMakeFiles/fro_relational.dir/schema.cc.o"
+  "CMakeFiles/fro_relational.dir/schema.cc.o.d"
+  "CMakeFiles/fro_relational.dir/sort_merge.cc.o"
+  "CMakeFiles/fro_relational.dir/sort_merge.cc.o.d"
+  "CMakeFiles/fro_relational.dir/text_io.cc.o"
+  "CMakeFiles/fro_relational.dir/text_io.cc.o.d"
+  "CMakeFiles/fro_relational.dir/tuple.cc.o"
+  "CMakeFiles/fro_relational.dir/tuple.cc.o.d"
+  "CMakeFiles/fro_relational.dir/value.cc.o"
+  "CMakeFiles/fro_relational.dir/value.cc.o.d"
+  "libfro_relational.a"
+  "libfro_relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fro_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfro_relational.a"
+)

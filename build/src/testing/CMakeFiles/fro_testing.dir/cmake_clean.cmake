@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fro_testing.dir/datagen.cc.o"
+  "CMakeFiles/fro_testing.dir/datagen.cc.o.d"
+  "CMakeFiles/fro_testing.dir/graphgen.cc.o"
+  "CMakeFiles/fro_testing.dir/graphgen.cc.o.d"
+  "CMakeFiles/fro_testing.dir/nested_gen.cc.o"
+  "CMakeFiles/fro_testing.dir/nested_gen.cc.o.d"
+  "CMakeFiles/fro_testing.dir/nested_sample.cc.o"
+  "CMakeFiles/fro_testing.dir/nested_sample.cc.o.d"
+  "libfro_testing.a"
+  "libfro_testing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fro_testing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfro_testing.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algebra_parse_test.dir/algebra_parse_test.cc.o"
+  "CMakeFiles/algebra_parse_test.dir/algebra_parse_test.cc.o.d"
+  "algebra_parse_test"
+  "algebra_parse_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algebra_parse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bt_path_test.dir/bt_path_test.cc.o"
+  "CMakeFiles/bt_path_test.dir/bt_path_test.cc.o.d"
+  "bt_path_test"
+  "bt_path_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bt_path_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_proof_test.dir/fig3_proof_test.cc.o"
+  "CMakeFiles/fig3_proof_test.dir/fig3_proof_test.cc.o.d"
+  "fig3_proof_test"
+  "fig3_proof_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_proof_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

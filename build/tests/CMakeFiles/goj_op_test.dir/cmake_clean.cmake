@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/goj_op_test.dir/goj_op_test.cc.o"
+  "CMakeFiles/goj_op_test.dir/goj_op_test.cc.o.d"
+  "goj_op_test"
+  "goj_op_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/goj_op_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/goj_rewrite_test.dir/goj_rewrite_test.cc.o"
+  "CMakeFiles/goj_rewrite_test.dir/goj_rewrite_test.cc.o.d"
+  "goj_rewrite_test"
+  "goj_rewrite_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/goj_rewrite_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/it_enum_test.dir/it_enum_test.cc.o"
+  "CMakeFiles/it_enum_test.dir/it_enum_test.cc.o.d"
+  "it_enum_test"
+  "it_enum_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/it_enum_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

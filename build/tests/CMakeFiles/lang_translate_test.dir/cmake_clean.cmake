@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lang_translate_test.dir/lang_translate_test.cc.o"
+  "CMakeFiles/lang_translate_test.dir/lang_translate_test.cc.o.d"
+  "lang_translate_test"
+  "lang_translate_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lang_translate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

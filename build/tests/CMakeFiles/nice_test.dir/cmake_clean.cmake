@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nice_test.dir/nice_test.cc.o"
+  "CMakeFiles/nice_test.dir/nice_test.cc.o.d"
+  "nice_test"
+  "nice_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nice_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

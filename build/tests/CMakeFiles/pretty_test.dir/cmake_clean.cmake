@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pretty_test.dir/pretty_test.cc.o"
+  "CMakeFiles/pretty_test.dir/pretty_test.cc.o.d"
+  "pretty_test"
+  "pretty_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pretty_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pushdown_constraints_test.dir/pushdown_constraints_test.cc.o"
+  "CMakeFiles/pushdown_constraints_test.dir/pushdown_constraints_test.cc.o.d"
+  "pushdown_constraints_test"
+  "pushdown_constraints_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pushdown_constraints_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

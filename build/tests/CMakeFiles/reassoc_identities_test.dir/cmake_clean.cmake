@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reassoc_identities_test.dir/reassoc_identities_test.cc.o"
+  "CMakeFiles/reassoc_identities_test.dir/reassoc_identities_test.cc.o.d"
+  "reassoc_identities_test"
+  "reassoc_identities_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reassoc_identities_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/select_list_test.dir/select_list_test.cc.o"
+  "CMakeFiles/select_list_test.dir/select_list_test.cc.o.d"
+  "select_list_test"
+  "select_list_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/select_list_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simplify_conjecture_test.dir/simplify_conjecture_test.cc.o"
+  "CMakeFiles/simplify_conjecture_test.dir/simplify_conjecture_test.cc.o.d"
+  "simplify_conjecture_test"
+  "simplify_conjecture_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simplify_conjecture_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

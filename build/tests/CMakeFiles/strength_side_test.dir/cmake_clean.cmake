@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strength_side_test.dir/strength_side_test.cc.o"
+  "CMakeFiles/strength_side_test.dir/strength_side_test.cc.o.d"
+  "strength_side_test"
+  "strength_side_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strength_side_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/subquery_test.cc" "tests/CMakeFiles/subquery_test.dir/subquery_test.cc.o" "gcc" "tests/CMakeFiles/subquery_test.dir/subquery_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/testing/CMakeFiles/fro_testing.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/fro_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimizer/CMakeFiles/fro_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/fro_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/enumerate/CMakeFiles/fro_enumerate.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/fro_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/algebra/CMakeFiles/fro_algebra.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/fro_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fro_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

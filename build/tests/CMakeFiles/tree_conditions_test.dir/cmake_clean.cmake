@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_conditions_test.dir/tree_conditions_test.cc.o"
+  "CMakeFiles/tree_conditions_test.dir/tree_conditions_test.cc.o.d"
+  "tree_conditions_test"
+  "tree_conditions_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_conditions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
