@@ -7,6 +7,7 @@
 // Commands (one per line):
 //   Select All From ...        run a query, print the result
 //   \explain <query>           show the optimized plan with estimates
+//   \analyze <query>           execute the plan, show actual vs. estimated
 //   \graph <query>             show the derived query graph (text + DOT)
 //   \trees <query>             enumerate all implementing trees
 //   \help                      this text
@@ -32,6 +33,7 @@ void PrintHelp() {
       "commands:\n"
       "  Select All From <items> [Where <conjuncts>]   run a query\n"
       "  \\explain <query>   optimized plan with cardinality estimates\n"
+      "  \\analyze <query>   EXPLAIN ANALYZE: run the plan, actual counters\n"
       "  \\graph <query>     derived query graph (text and Graphviz DOT)\n"
       "  \\trees <query>     all implementing trees and their results\n"
       "  \\help              this text\n"
@@ -59,6 +61,24 @@ void RunExplain(const NestedDb& db, const std::string& query) {
   }
   std::printf("%s",
               Explain(run->optimize.plan, *run->translation.db).c_str());
+}
+
+void RunAnalyze(const NestedDb& db, const std::string& query) {
+  Result<QueryRunResult> run = RunQuery(db, query);
+  if (!run.ok()) {
+    std::printf("error: %s\n", run.status().ToString().c_str());
+    return;
+  }
+  ExplainAnalyzeResult analyzed =
+      ExplainAnalyze(run->optimize.plan, *run->translation.db);
+  std::printf("%s", analyzed.text.c_str());
+  std::printf(
+      "(%zu rows; %llu base tuples read; %llu tuples read in total; "
+      "worst q-error %.2f)\n",
+      analyzed.result.NumRows(),
+      static_cast<unsigned long long>(analyzed.base_tuples_read),
+      static_cast<unsigned long long>(analyzed.totals.tuples_read()),
+      analyzed.max_q_error);
 }
 
 void RunGraph(const NestedDb& db, const std::string& query) {
@@ -104,6 +124,8 @@ void Dispatch(const NestedDb& db, const std::string& line) {
     PrintHelp();
   } else if (StartsWith(line, "\\explain ")) {
     RunExplain(db, line.substr(9));
+  } else if (StartsWith(line, "\\analyze ")) {
+    RunAnalyze(db, line.substr(9));
   } else if (StartsWith(line, "\\graph ")) {
     RunGraph(db, line.substr(7));
   } else if (StartsWith(line, "\\trees ")) {
@@ -147,6 +169,9 @@ int main(int argc, char** argv) {
     Dispatch(db,
              "\\explain Select All From DEPARTMENT-->Manager-->Audit "
              "Where DEPARTMENT.Location = 'Zurich'");
+    Dispatch(db,
+             "\\analyze Select All From EMPLOYEE*ChildName, DEPARTMENT "
+             "Where EMPLOYEE.D# = DEPARTMENT.D#");
     Dispatch(db, "\\trees Select All From DEPARTMENT-->Manager*ChildName");
   }
   return 0;

@@ -13,6 +13,7 @@
 #include "enumerate/it_enum.h"
 #include "graph/from_expr.h"
 #include "graph/nice.h"
+#include "optimizer/explain.h"
 #include "optimizer/optimizer.h"
 
 using namespace fro;
@@ -83,6 +84,13 @@ void Explore(const char* title, const ExprPtr& query, const Database& db) {
                 BagEquals(Eval(query, db), Eval(outcome->plan, db))
                     ? "yes"
                     : "NO (bug!)");
+    ExplainAnalyzeResult analyzed = ExplainAnalyze(outcome->plan, db);
+    std::printf("explain analyze (pipelined execution):\n%s",
+                analyzed.text.c_str());
+    std::printf("  => %zu rows, %llu base tuples read, worst q-error %.2f\n",
+                analyzed.result.NumRows(),
+                static_cast<unsigned long long>(analyzed.base_tuples_read),
+                analyzed.max_q_error);
   }
 }
 

@@ -107,10 +107,7 @@ class Evaluator {
   void Account(const KernelStats& ks, const ExprPtr& left_child,
                const Expr* right_child, const Relation& out, bool is_root) {
     if (stats_ == nullptr) return;
-    stats_->totals.tuples_read += ks.left_reads + ks.right_reads;
-    stats_->totals.tuples_emitted += ks.emitted;
-    stats_->totals.index_probes += ks.probes;
-    stats_->totals.predicate_evals += ks.predicate_evals;
+    stats_->totals += ks;
     if (left_child->is_leaf()) stats_->base_tuples_read += ks.left_reads;
     if (right_child != nullptr && right_child->is_leaf()) {
       stats_->base_tuples_read += ks.right_reads;

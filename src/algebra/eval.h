@@ -21,6 +21,8 @@ struct EvalOptions {
 };
 
 struct EvalStats {
+  /// Counters summed over every operator of the tree (the same per-kernel
+  /// counters the pipelined executor keeps per operator).
   ExecStats totals;
   /// Tuples retrieved from *ground* relations only — the accounting used by
   /// Example 1 of the paper (intermediate results live in memory and are

@@ -24,23 +24,30 @@ JoinMode ModeOf(OpKind kind) {
 }
 
 IteratorPtr Build(const ExprPtr& expr, const Database& db, JoinAlgo algo) {
+  IteratorPtr it;
   switch (expr->kind()) {
     case OpKind::kLeaf:
-      return std::make_unique<ScanIterator>(&db.relation(expr->rel()));
+      it = std::make_unique<ScanIterator>(&db.relation(expr->rel()));
+      break;
     case OpKind::kRestrict:
-      return std::make_unique<FilterIterator>(
-          Build(expr->left(), db, algo), expr->pred());
+      it = std::make_unique<FilterIterator>(Build(expr->left(), db, algo),
+                                            expr->pred());
+      break;
     case OpKind::kProject:
-      return std::make_unique<ProjectIterator>(Build(expr->left(), db, algo),
-                                               expr->project_cols(),
-                                               expr->project_dedup());
+      it = std::make_unique<ProjectIterator>(Build(expr->left(), db, algo),
+                                             expr->project_cols(),
+                                             expr->project_dedup());
+      break;
     case OpKind::kUnion:
-      return std::make_unique<UnionIterator>(Build(expr->left(), db, algo),
-                                             Build(expr->right(), db, algo));
+      it = std::make_unique<UnionIterator>(Build(expr->left(), db, algo),
+                                           Build(expr->right(), db, algo));
+      break;
     case OpKind::kGoj:
-      return std::make_unique<GojIterator>(Build(expr->left(), db, algo),
-                                           Build(expr->right(), db, algo),
-                                           expr->pred(), expr->goj_subset());
+      it = std::make_unique<GojIterator>(Build(expr->left(), db, algo),
+                                         Build(expr->right(), db, algo),
+                                         expr->pred(), expr->goj_subset(),
+                                         algo);
+      break;
     default: {
       // Join-like: anchor the preserved/kept operand on the left.
       ExprPtr anchor = expr->left();
@@ -57,14 +64,18 @@ IteratorPtr Build(const ExprPtr& expr, const Database& db, JoinAlgo algo) {
           keys.Usable() &&
           (algo == JoinAlgo::kHash || algo == JoinAlgo::kAuto);
       if (use_hash) {
-        return std::make_unique<HashJoinIterator>(
+        it = std::make_unique<HashJoinIterator>(
             std::move(left), std::move(right), expr->pred(), mode,
             std::move(keys.left), std::move(keys.right));
+      } else {
+        it = std::make_unique<NestedLoopJoinIterator>(
+            std::move(left), std::move(right), expr->pred(), mode);
       }
-      return std::make_unique<NestedLoopJoinIterator>(
-          std::move(left), std::move(right), expr->pred(), mode);
+      break;
     }
   }
+  it->set_source_expr(expr);
+  return it;
 }
 
 }  // namespace

@@ -1,46 +1,131 @@
 // Volcano-style pipelined execution: every physical operator is a tuple
 // iterator with Open/Next/Close. This is the executor a downstream system
 // would embed; the materializing evaluator in algebra/eval.h remains the
-// semantic reference (tests assert the two agree on every operator).
+// semantic reference (tests assert the two agree on every operator, on
+// results and on execution counters alike).
+//
+// Instrumentation: each iterator owns an ExecStats filled as it runs —
+// tuples pulled from each child, tuples emitted, predicate evaluations,
+// index probes, and (when enabled) wall-clock time spent in Open/Next.
+// The counters follow the kernel accounting of relational/ops.h exactly,
+// so summing the non-scan operators of a pipeline reproduces the totals
+// the materializing evaluator reports for the same expression. Open()
+// resets the counters, keeping rescans self-contained.
 
 #ifndef FRO_EXEC_ITERATOR_H_
 #define FRO_EXEC_ITERATOR_H_
 
+#include <chrono>
 #include <memory>
+#include <vector>
 
+#include "algebra/expr.h"
+#include "relational/exec_stats.h"
 #include "relational/relation.h"
 
 namespace fro {
 
 /// Pull-based tuple iterator. Lifecycle: Open() -> Next()* -> Close().
-/// Open() may be called again after Close() to rescan.
+/// Open() may be called again after Close() to rescan. Subclasses
+/// implement the *Impl hooks; the public entry points maintain the stats.
 class TupleIterator {
  public:
   virtual ~TupleIterator() = default;
 
-  virtual void Open() = 0;
+  void Open() {
+    stats_ = ExecStats();
+    if (timing_) {
+      const auto start = std::chrono::steady_clock::now();
+      OpenImpl();
+      stats_.open_ns += ElapsedNs(start);
+    } else {
+      OpenImpl();
+    }
+  }
+
   /// Produces the next tuple; returns false when exhausted.
-  virtual bool Next(Tuple* out) = 0;
-  virtual void Close() = 0;
+  bool Next(Tuple* out) {
+    bool produced;
+    if (timing_) {
+      const auto start = std::chrono::steady_clock::now();
+      produced = NextImpl(out);
+      stats_.next_ns += ElapsedNs(start);
+    } else {
+      produced = NextImpl(out);
+    }
+    if (produced) ++stats_.emitted;
+    return produced;
+  }
+
+  void Close() { CloseImpl(); }
 
   /// The output scheme; valid before Open().
   virtual const Scheme& scheme() const = 0;
 
+  /// Physical operator name, e.g. "HashJoin".
+  virtual const char* physical_name() const = 0;
+
+  /// Child operators, in (left, right) order; empty for leaves. Pointers
+  /// stay valid for this iterator's lifetime.
+  virtual std::vector<TupleIterator*> children() const { return {}; }
+
+  /// Counters since the last Open().
+  const ExecStats& stats() const { return stats_; }
+
   /// Tuples produced since the last Open().
-  uint64_t produced() const { return produced_; }
+  uint64_t produced() const { return stats_.emitted; }
+
+  /// The expression node this operator implements; set by the plan
+  /// builder, null for hand-assembled pipelines.
+  const ExprPtr& source_expr() const { return source_; }
+  void set_source_expr(ExprPtr expr) { source_ = std::move(expr); }
+
+  /// Enables (or disables) wall-clock collection on this operator and its
+  /// whole subtree. Off by default: timing costs two clock reads per
+  /// Next() call; the counters themselves are always maintained.
+  void EnableTiming(bool on = true) {
+    timing_ = on;
+    for (TupleIterator* child : children()) child->EnableTiming(on);
+  }
+
+  /// Pre-order visit of the operator tree rooted here.
+  template <typename Visitor>
+  void Visit(Visitor&& visitor, int depth = 0) {
+    visitor(this, depth);
+    for (TupleIterator* child : children()) {
+      child->Visit(visitor, depth + 1);
+    }
+  }
 
  protected:
-  void CountProduced() { ++produced_; }
-  void ResetProduced() { produced_ = 0; }
+  virtual void OpenImpl() = 0;
+  virtual bool NextImpl(Tuple* out) = 0;
+  virtual void CloseImpl() = 0;
+
+  ExecStats& mutable_stats() { return stats_; }
 
  private:
-  uint64_t produced_ = 0;
+  static uint64_t ElapsedNs(std::chrono::steady_clock::time_point start) {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+  }
+
+  ExecStats stats_;
+  ExprPtr source_;
+  bool timing_ = false;
 };
 
 using IteratorPtr = std::unique_ptr<TupleIterator>;
 
 /// Runs an iterator to exhaustion and materializes the result.
 Relation Drain(TupleIterator* iterator);
+
+/// Sums the counters of every operator in the tree except scans, whose
+/// emissions are already charged to their consumers as reads — the same
+/// accounting the materializing evaluator uses for a whole expression.
+ExecStats CollectPipelineStats(TupleIterator* root);
 
 }  // namespace fro
 

@@ -17,25 +17,30 @@ Relation Drain(TupleIterator* iterator) {
   return out;
 }
 
+ExecStats CollectPipelineStats(TupleIterator* root) {
+  ExecStats totals;
+  root->Visit([&](TupleIterator* node, int) {
+    if (node->children().empty()) return;  // scans: charged as reads above
+    totals += node->stats();
+  });
+  return totals;
+}
+
 // --- Scan ----------------------------------------------------------------
 
 ScanIterator::ScanIterator(const Relation* relation) : relation_(relation) {
   FRO_CHECK(relation != nullptr);
 }
 
-void ScanIterator::Open() {
-  pos_ = 0;
-  ResetProduced();
-}
+void ScanIterator::OpenImpl() { pos_ = 0; }
 
-bool ScanIterator::Next(Tuple* out) {
+bool ScanIterator::NextImpl(Tuple* out) {
   if (pos_ >= relation_->NumRows()) return false;
   *out = relation_->row(pos_++);
-  CountProduced();
   return true;
 }
 
-void ScanIterator::Close() {}
+void ScanIterator::CloseImpl() {}
 
 const Scheme& ScanIterator::scheme() const { return relation_->scheme(); }
 
@@ -46,24 +51,22 @@ FilterIterator::FilterIterator(IteratorPtr child, PredicatePtr pred)
   FRO_CHECK(pred_ != nullptr);
 }
 
-void FilterIterator::Open() {
-  child_->Open();
-  ResetProduced();
-}
+void FilterIterator::OpenImpl() { child_->Open(); }
 
-bool FilterIterator::Next(Tuple* out) {
+bool FilterIterator::NextImpl(Tuple* out) {
   Tuple tuple;
   while (child_->Next(&tuple)) {
+    ++mutable_stats().left_reads;
+    ++mutable_stats().predicate_evals;
     if (IsTrue(pred_->Eval(tuple, child_->scheme()))) {
       *out = std::move(tuple);
-      CountProduced();
       return true;
     }
   }
   return false;
 }
 
-void FilterIterator::Close() { child_->Close(); }
+void FilterIterator::CloseImpl() { child_->Close(); }
 
 const Scheme& FilterIterator::scheme() const { return child_->scheme(); }
 
@@ -79,15 +82,15 @@ ProjectIterator::ProjectIterator(IteratorPtr child, std::vector<AttrId> cols,
   }
 }
 
-void ProjectIterator::Open() {
+void ProjectIterator::OpenImpl() {
   child_->Open();
   seen_.clear();
-  ResetProduced();
 }
 
-bool ProjectIterator::Next(Tuple* out) {
+bool ProjectIterator::NextImpl(Tuple* out) {
   Tuple tuple;
   while (child_->Next(&tuple)) {
+    ++mutable_stats().left_reads;
     std::vector<Value> values;
     values.reserve(positions_.size());
     for (int pos : positions_) {
@@ -95,13 +98,12 @@ bool ProjectIterator::Next(Tuple* out) {
     }
     if (dedup_ && !seen_.insert(values).second) continue;
     *out = Tuple(std::move(values));
-    CountProduced();
     return true;
   }
   return false;
 }
 
-void ProjectIterator::Close() {
+void ProjectIterator::CloseImpl() {
   child_->Close();
   seen_.clear();
 }
@@ -127,32 +129,31 @@ Tuple UnionIterator::PadFrom(const Tuple& tuple,
   return Tuple(std::move(values));
 }
 
-void UnionIterator::Open() {
+void UnionIterator::OpenImpl() {
   left_->Open();
   right_->Open();
   on_right_ = false;
-  ResetProduced();
 }
 
-bool UnionIterator::Next(Tuple* out) {
+bool UnionIterator::NextImpl(Tuple* out) {
   Tuple tuple;
   if (!on_right_) {
     if (left_->Next(&tuple)) {
+      ++mutable_stats().left_reads;
       *out = PadFrom(tuple, left_->scheme());
-      CountProduced();
       return true;
     }
     on_right_ = true;
   }
   if (right_->Next(&tuple)) {
+    ++mutable_stats().right_reads;
     *out = PadFrom(tuple, right_->scheme());
-    CountProduced();
     return true;
   }
   return false;
 }
 
-void UnionIterator::Close() {
+void UnionIterator::CloseImpl() {
   left_->Close();
   right_->Close();
 }
@@ -186,9 +187,10 @@ NestedLoopJoinIterator::NestedLoopJoinIterator(IteratorPtr left,
       right_(std::move(right)),
       pred_(std::move(pred)),
       mode_(mode),
-      out_scheme_(JoinOutScheme(left_->scheme(), right_->scheme(), mode)) {}
+      out_scheme_(JoinOutScheme(left_->scheme(), right_->scheme(), mode)),
+      joined_scheme_(left_->scheme().Concat(right_->scheme())) {}
 
-void NestedLoopJoinIterator::Open() {
+void NestedLoopJoinIterator::OpenImpl() {
   left_->Open();
   // Materialize the right input once (block nested loop).
   right_rows_.clear();
@@ -197,27 +199,28 @@ void NestedLoopJoinIterator::Open() {
   while (right_->Next(&tuple)) right_rows_.push_back(tuple);
   right_->Close();
   current_left_.reset();
-  ResetProduced();
 }
 
 bool NestedLoopJoinIterator::AdvanceLeft() {
   Tuple tuple;
   if (!left_->Next(&tuple)) return false;
+  ++mutable_stats().left_reads;
   current_left_ = std::move(tuple);
   right_pos_ = 0;
   left_had_match_ = false;
   return true;
 }
 
-bool NestedLoopJoinIterator::Next(Tuple* out) {
-  const Scheme joined_scheme = left_->scheme().Concat(right_->scheme());
+bool NestedLoopJoinIterator::NextImpl(Tuple* out) {
   for (;;) {
     if (!current_left_.has_value() && !AdvanceLeft()) return false;
     bool dropped_left = false;
     while (right_pos_ < right_rows_.size()) {
       const Tuple& rrow = right_rows_[right_pos_++];
+      ++mutable_stats().right_reads;
       Tuple joined = current_left_->Concat(rrow);
-      if (pred_ != nullptr && !IsTrue(pred_->Eval(joined, joined_scheme))) {
+      ++mutable_stats().predicate_evals;
+      if (pred_ != nullptr && !IsTrue(pred_->Eval(joined, joined_scheme_))) {
         continue;
       }
       left_had_match_ = true;
@@ -225,12 +228,10 @@ bool NestedLoopJoinIterator::Next(Tuple* out) {
         case JoinMode::kInner:
         case JoinMode::kLeftOuter:
           *out = std::move(joined);
-          CountProduced();
           return true;
         case JoinMode::kSemi:
           *out = *current_left_;
           current_left_.reset();
-          CountProduced();
           return true;
         case JoinMode::kAnti:
           current_left_.reset();
@@ -246,18 +247,16 @@ bool NestedLoopJoinIterator::Next(Tuple* out) {
     current_left_.reset();
     if (mode_ == JoinMode::kLeftOuter && unmatched) {
       *out = left_tuple.Concat(Tuple::Nulls(right_->scheme().size()));
-      CountProduced();
       return true;
     }
     if (mode_ == JoinMode::kAnti && unmatched) {
       *out = std::move(left_tuple);
-      CountProduced();
       return true;
     }
   }
 }
 
-void NestedLoopJoinIterator::Close() {
+void NestedLoopJoinIterator::CloseImpl() {
   left_->Close();
   right_rows_.clear();
   current_left_.reset();
@@ -276,6 +275,7 @@ HashJoinIterator::HashJoinIterator(IteratorPtr left, IteratorPtr right,
       pred_(std::move(pred)),
       mode_(mode),
       out_scheme_(JoinOutScheme(left_->scheme(), right_->scheme(), mode)),
+      joined_scheme_(left_->scheme().Concat(right_->scheme())),
       left_keys_(std::move(left_keys)),
       right_keys_(std::move(right_keys)) {
   FRO_CHECK(!left_keys_.empty());
@@ -287,7 +287,7 @@ HashJoinIterator::HashJoinIterator(IteratorPtr left, IteratorPtr right,
   }
 }
 
-void HashJoinIterator::Open() {
+void HashJoinIterator::OpenImpl() {
   left_->Open();
   // Build phase: materialize and index the right input.
   Relation raw(right_->scheme());
@@ -296,18 +296,16 @@ void HashJoinIterator::Open() {
   while (right_->Next(&tuple)) raw.AddRow(tuple);
   right_->Close();
   build_side_ = std::move(raw);
-  Relation normalized = NormalizeOnKeyColumns(build_side_, right_keys_);
-  // Keep the normalized copy alive through the index by swapping it in;
-  // probes return row indices valid for build_side_ too (same order).
-  index_ = std::make_unique<HashIndex>(normalized, right_keys_);
+  normalized_build_ = NormalizeOnKeyColumns(build_side_, right_keys_);
+  index_ = std::make_unique<HashIndex>(normalized_build_, right_keys_);
   current_left_.reset();
   matches_ = nullptr;
-  ResetProduced();
 }
 
 bool HashJoinIterator::AdvanceLeft() {
   Tuple tuple;
   if (!left_->Next(&tuple)) return false;
+  ++mutable_stats().left_reads;
   current_left_ = std::move(tuple);
   left_had_match_ = false;
   match_pos_ = 0;
@@ -323,19 +321,21 @@ bool HashJoinIterator::AdvanceLeft() {
     }
     key.push_back(std::move(v));
   }
+  ++mutable_stats().probes;
   matches_ = null_key_ ? &no_matches_ : &index_->Probe(key);
   return true;
 }
 
-bool HashJoinIterator::Next(Tuple* out) {
-  const Scheme joined_scheme = left_->scheme().Concat(right_->scheme());
+bool HashJoinIterator::NextImpl(Tuple* out) {
   for (;;) {
     if (!current_left_.has_value() && !AdvanceLeft()) return false;
     bool dropped_left = false;
     while (match_pos_ < matches_->size()) {
       const Tuple& rrow = build_side_.row((*matches_)[match_pos_++]);
+      ++mutable_stats().right_reads;
       Tuple joined = current_left_->Concat(rrow);
-      if (pred_ != nullptr && !IsTrue(pred_->Eval(joined, joined_scheme))) {
+      ++mutable_stats().predicate_evals;
+      if (pred_ != nullptr && !IsTrue(pred_->Eval(joined, joined_scheme_))) {
         continue;
       }
       left_had_match_ = true;
@@ -343,12 +343,10 @@ bool HashJoinIterator::Next(Tuple* out) {
         case JoinMode::kInner:
         case JoinMode::kLeftOuter:
           *out = std::move(joined);
-          CountProduced();
           return true;
         case JoinMode::kSemi:
           *out = *current_left_;
           current_left_.reset();
-          CountProduced();
           return true;
         case JoinMode::kAnti:
           current_left_.reset();
@@ -363,21 +361,20 @@ bool HashJoinIterator::Next(Tuple* out) {
     current_left_.reset();
     if (mode_ == JoinMode::kLeftOuter && unmatched) {
       *out = left_tuple.Concat(Tuple::Nulls(right_->scheme().size()));
-      CountProduced();
       return true;
     }
     if (mode_ == JoinMode::kAnti && unmatched) {
       *out = std::move(left_tuple);
-      CountProduced();
       return true;
     }
   }
 }
 
-void HashJoinIterator::Close() {
+void HashJoinIterator::CloseImpl() {
   left_->Close();
   index_.reset();
   build_side_ = Relation();
+  normalized_build_ = Relation();
   current_left_.reset();
   matches_ = nullptr;
 }
@@ -396,35 +393,38 @@ SortMergeJoinIterator::SortMergeJoinIterator(IteratorPtr left,
       mode_(mode),
       out_scheme_(JoinOutScheme(left_->scheme(), right_->scheme(), mode)) {}
 
-void SortMergeJoinIterator::Open() {
+void SortMergeJoinIterator::OpenImpl() {
   Relation left_rel = Drain(left_.get());
   Relation right_rel = Drain(right_.get());
+  KernelStats ks;
   switch (mode_) {
     case JoinMode::kInner:
-      result_ = SortMergeJoin(left_rel, right_rel, pred_, nullptr);
+      result_ = SortMergeJoin(left_rel, right_rel, pred_, &ks);
       break;
     case JoinMode::kLeftOuter:
-      result_ = SortMergeLeftOuterJoin(left_rel, right_rel, pred_, nullptr);
+      result_ = SortMergeLeftOuterJoin(left_rel, right_rel, pred_, &ks);
       break;
     case JoinMode::kAnti:
-      result_ = SortMergeAntijoin(left_rel, right_rel, pred_, nullptr);
+      result_ = SortMergeAntijoin(left_rel, right_rel, pred_, &ks);
       break;
     case JoinMode::kSemi:
-      result_ = SortMergeSemijoin(left_rel, right_rel, pred_, nullptr);
+      result_ = SortMergeSemijoin(left_rel, right_rel, pred_, &ks);
       break;
   }
+  // The kernel already counted the full output; emissions are counted by
+  // the base class as rows actually stream out.
+  ks.emitted = 0;
+  mutable_stats() += ks;
   pos_ = 0;
-  ResetProduced();
 }
 
-bool SortMergeJoinIterator::Next(Tuple* out) {
+bool SortMergeJoinIterator::NextImpl(Tuple* out) {
   if (pos_ >= result_.NumRows()) return false;
   *out = result_.row(pos_++);
-  CountProduced();
   return true;
 }
 
-void SortMergeJoinIterator::Close() {
+void SortMergeJoinIterator::CloseImpl() {
   result_ = Relation();
   pos_ = 0;
 }
@@ -434,30 +434,32 @@ const Scheme& SortMergeJoinIterator::scheme() const { return out_scheme_; }
 // --- Generalized outerjoin ---------------------------------------------
 
 GojIterator::GojIterator(IteratorPtr left, IteratorPtr right,
-                         PredicatePtr pred, AttrSet subset)
+                         PredicatePtr pred, AttrSet subset, JoinAlgo algo)
     : left_(std::move(left)),
       right_(std::move(right)),
       pred_(std::move(pred)),
       subset_(std::move(subset)),
+      algo_(algo),
       out_scheme_(left_->scheme().Concat(right_->scheme())) {}
 
-void GojIterator::Open() {
+void GojIterator::OpenImpl() {
   Relation left_rel = Drain(left_.get());
   Relation right_rel = Drain(right_.get());
-  result_ = GeneralizedOuterJoin(left_rel, right_rel, pred_, subset_,
-                                 JoinAlgo::kAuto, nullptr);
+  KernelStats ks;
+  result_ = GeneralizedOuterJoin(left_rel, right_rel, pred_, subset_, algo_,
+                                 &ks);
+  ks.emitted = 0;  // counted by the base class as rows stream out
+  mutable_stats() += ks;
   pos_ = 0;
-  ResetProduced();
 }
 
-bool GojIterator::Next(Tuple* out) {
+bool GojIterator::NextImpl(Tuple* out) {
   if (pos_ >= result_.NumRows()) return false;
   *out = result_.row(pos_++);
-  CountProduced();
   return true;
 }
 
-void GojIterator::Close() {
+void GojIterator::CloseImpl() {
   result_ = Relation();
   pos_ = 0;
 }

@@ -7,6 +7,12 @@
 // Open) and hash (build on the right input, probe from the left). The
 // generalized outerjoin is inherently blocking (it needs the full set of
 // matched S-projections) and is implemented as a materializing operator.
+//
+// Every operator maintains the ExecStats counters of its base class with
+// the kernel accounting of relational/ops.h: reads count candidate tuples
+// fetched from an input, probes count per-left-row hash lookups, and the
+// antijoin/semijoin modes stop scanning a left row's candidates at the
+// first match (exactly like the kernels).
 
 #ifndef FRO_EXEC_OPERATORS_H_
 #define FRO_EXEC_OPERATORS_H_
@@ -17,6 +23,7 @@
 
 #include "exec/iterator.h"
 #include "relational/index.h"
+#include "relational/ops.h"
 #include "relational/predicate.h"
 
 namespace fro {
@@ -32,10 +39,13 @@ enum class JoinMode : uint8_t {
 class ScanIterator : public TupleIterator {
  public:
   explicit ScanIterator(const Relation* relation);
-  void Open() override;
-  bool Next(Tuple* out) override;
-  void Close() override;
   const Scheme& scheme() const override;
+  const char* physical_name() const override { return "Scan"; }
+
+ protected:
+  void OpenImpl() override;
+  bool NextImpl(Tuple* out) override;
+  void CloseImpl() override;
 
  private:
   const Relation* relation_;
@@ -46,10 +56,16 @@ class ScanIterator : public TupleIterator {
 class FilterIterator : public TupleIterator {
  public:
   FilterIterator(IteratorPtr child, PredicatePtr pred);
-  void Open() override;
-  bool Next(Tuple* out) override;
-  void Close() override;
   const Scheme& scheme() const override;
+  const char* physical_name() const override { return "Filter"; }
+  std::vector<TupleIterator*> children() const override {
+    return {child_.get()};
+  }
+
+ protected:
+  void OpenImpl() override;
+  bool NextImpl(Tuple* out) override;
+  void CloseImpl() override;
 
  private:
   IteratorPtr child_;
@@ -61,10 +77,16 @@ class FilterIterator : public TupleIterator {
 class ProjectIterator : public TupleIterator {
  public:
   ProjectIterator(IteratorPtr child, std::vector<AttrId> cols, bool dedup);
-  void Open() override;
-  bool Next(Tuple* out) override;
-  void Close() override;
   const Scheme& scheme() const override;
+  const char* physical_name() const override { return "Project"; }
+  std::vector<TupleIterator*> children() const override {
+    return {child_.get()};
+  }
+
+ protected:
+  void OpenImpl() override;
+  bool NextImpl(Tuple* out) override;
+  void CloseImpl() override;
 
  private:
   IteratorPtr child_;
@@ -78,10 +100,16 @@ class ProjectIterator : public TupleIterator {
 class UnionIterator : public TupleIterator {
  public:
   UnionIterator(IteratorPtr left, IteratorPtr right);
-  void Open() override;
-  bool Next(Tuple* out) override;
-  void Close() override;
   const Scheme& scheme() const override;
+  const char* physical_name() const override { return "Union"; }
+  std::vector<TupleIterator*> children() const override {
+    return {left_.get(), right_.get()};
+  }
+
+ protected:
+  void OpenImpl() override;
+  bool NextImpl(Tuple* out) override;
+  void CloseImpl() override;
 
  private:
   Tuple PadFrom(const Tuple& tuple, const Scheme& source) const;
@@ -98,10 +126,16 @@ class NestedLoopJoinIterator : public TupleIterator {
  public:
   NestedLoopJoinIterator(IteratorPtr left, IteratorPtr right,
                          PredicatePtr pred, JoinMode mode);
-  void Open() override;
-  bool Next(Tuple* out) override;
-  void Close() override;
   const Scheme& scheme() const override;
+  const char* physical_name() const override { return "NestedLoopJoin"; }
+  std::vector<TupleIterator*> children() const override {
+    return {left_.get(), right_.get()};
+  }
+
+ protected:
+  void OpenImpl() override;
+  bool NextImpl(Tuple* out) override;
+  void CloseImpl() override;
 
  private:
   bool AdvanceLeft();
@@ -111,6 +145,7 @@ class NestedLoopJoinIterator : public TupleIterator {
   PredicatePtr pred_;
   JoinMode mode_;
   Scheme out_scheme_;
+  Scheme joined_scheme_;
   std::vector<Tuple> right_rows_;
   std::optional<Tuple> current_left_;
   size_t right_pos_ = 0;
@@ -127,10 +162,16 @@ class HashJoinIterator : public TupleIterator {
   HashJoinIterator(IteratorPtr left, IteratorPtr right, PredicatePtr pred,
                    JoinMode mode, std::vector<AttrId> left_keys,
                    std::vector<AttrId> right_keys);
-  void Open() override;
-  bool Next(Tuple* out) override;
-  void Close() override;
   const Scheme& scheme() const override;
+  const char* physical_name() const override { return "HashJoin"; }
+  std::vector<TupleIterator*> children() const override {
+    return {left_.get(), right_.get()};
+  }
+
+ protected:
+  void OpenImpl() override;
+  bool NextImpl(Tuple* out) override;
+  void CloseImpl() override;
 
  private:
   bool AdvanceLeft();
@@ -140,9 +181,16 @@ class HashJoinIterator : public TupleIterator {
   PredicatePtr pred_;
   JoinMode mode_;
   Scheme out_scheme_;
+  Scheme joined_scheme_;
   std::vector<AttrId> left_keys_;
   std::vector<AttrId> right_keys_;
   Relation build_side_;
+  // Key-normalized copy of build_side_ the index is built over; kept as a
+  // member because HashIndex requires its relation to outlive it. Probe
+  // results are row indices valid for build_side_ too (same row order),
+  // and output tuples come from build_side_ so key values keep their
+  // original representation.
+  Relation normalized_build_;
   std::unique_ptr<HashIndex> index_;
   std::vector<int> left_key_positions_;
   std::optional<Tuple> current_left_;
@@ -160,10 +208,16 @@ class SortMergeJoinIterator : public TupleIterator {
  public:
   SortMergeJoinIterator(IteratorPtr left, IteratorPtr right,
                         PredicatePtr pred, JoinMode mode);
-  void Open() override;
-  bool Next(Tuple* out) override;
-  void Close() override;
   const Scheme& scheme() const override;
+  const char* physical_name() const override { return "SortMergeJoin"; }
+  std::vector<TupleIterator*> children() const override {
+    return {left_.get(), right_.get()};
+  }
+
+ protected:
+  void OpenImpl() override;
+  bool NextImpl(Tuple* out) override;
+  void CloseImpl() override;
 
  private:
   IteratorPtr left_;
@@ -180,17 +234,24 @@ class SortMergeJoinIterator : public TupleIterator {
 class GojIterator : public TupleIterator {
  public:
   GojIterator(IteratorPtr left, IteratorPtr right, PredicatePtr pred,
-              AttrSet subset);
-  void Open() override;
-  bool Next(Tuple* out) override;
-  void Close() override;
+              AttrSet subset, JoinAlgo algo = JoinAlgo::kAuto);
   const Scheme& scheme() const override;
+  const char* physical_name() const override { return "Goj"; }
+  std::vector<TupleIterator*> children() const override {
+    return {left_.get(), right_.get()};
+  }
+
+ protected:
+  void OpenImpl() override;
+  bool NextImpl(Tuple* out) override;
+  void CloseImpl() override;
 
  private:
   IteratorPtr left_;
   IteratorPtr right_;
   PredicatePtr pred_;
   AttrSet subset_;
+  JoinAlgo algo_;
   Scheme out_scheme_;
   Relation result_;
   size_t pos_ = 0;

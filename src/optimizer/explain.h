@@ -11,6 +11,9 @@
 #include "algebra/expr.h"
 #include "graph/query_graph.h"
 #include "optimizer/cardinality.h"
+#include "relational/exec_stats.h"
+#include "relational/ops.h"
+#include "relational/relation.h"
 
 namespace fro {
 
@@ -30,6 +33,31 @@ struct ExplainOptions {
 ///     Scan SHIPMENT  ~2 rows
 std::string Explain(const ExprPtr& expr, const Database& db,
                     const ExplainOptions& options = ExplainOptions());
+
+/// Everything EXPLAIN ANALYZE learned from one instrumented execution.
+struct ExplainAnalyzeResult {
+  /// Tree rendering, one operator per line: the physical operator, the
+  /// logical label, `~est rows` next to `actual rows / reads / evals /
+  /// probes / time`, and a per-node Q-error for the estimator.
+  std::string text;
+  /// The query result (the plan is executed for real).
+  Relation result;
+  /// Counters summed over all non-scan operators; equals the totals the
+  /// materializing evaluator reports for the same expression.
+  ExecStats totals;
+  /// Tuples retrieved from ground relations — Example 1's accounting
+  /// (2·10⁷+1 vs. 3), measured through the pipelined executor.
+  uint64_t base_tuples_read = 0;
+  /// Worst per-node Q-error, max(est, actual) / min(est, actual) with
+  /// both clamped to at least one row.
+  double max_q_error = 1.0;
+};
+
+/// Executes `expr` through the pipelined Volcano executor with
+/// per-operator instrumentation (including wall-clock timing) and renders
+/// estimated-versus-actual rows for every plan node.
+ExplainAnalyzeResult ExplainAnalyze(const ExprPtr& expr, const Database& db,
+                                    JoinAlgo algo = JoinAlgo::kAuto);
 
 /// Graphviz DOT for an expression tree.
 std::string ExprToDot(const ExprPtr& expr, const Database& db);

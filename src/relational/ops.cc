@@ -111,8 +111,12 @@ class Matcher {
 
   const Scheme& out_scheme() const { return out_scheme_; }
 
+  /// With `stop_after_first_match`, stops scanning candidates for a left
+  /// row as soon as one match is found — the accounting (and work) the
+  /// antijoin/semijoin kernels and the pipelined executor share.
   template <typename OnMatch, typename OnDone>
-  void Run(OnMatch&& on_match, OnDone&& on_done) {
+  void Run(OnMatch&& on_match, OnDone&& on_done,
+           bool stop_after_first_match = false) {
     std::vector<int> left_key_positions;
     if (use_hash_) {
       for (AttrId attr : keys_.left) {
@@ -149,12 +153,14 @@ class Matcher {
         if (!null_key) {
           for (size_t right_index : index_->Probe(key)) {
             consider(right_index);
+            if (stop_after_first_match && had_match) break;
           }
         }
       } else {
         for (size_t right_index = 0; right_index < right_.NumRows();
              ++right_index) {
           consider(right_index);
+          if (stop_after_first_match && had_match) break;
         }
       }
       on_done(lrow, had_match);
@@ -228,7 +234,8 @@ Relation Antijoin(const Relation& left, const Relation& right,
                   ++local.emitted;
                   out.AddRow(lrow);
                 }
-              });
+              },
+              /*stop_after_first_match=*/true);
   if (stats != nullptr) *stats += local;
   return out;
 }
@@ -246,7 +253,8 @@ Relation Semijoin(const Relation& left, const Relation& right,
                   ++local.emitted;
                   out.AddRow(lrow);
                 }
-              });
+              },
+              /*stop_after_first_match=*/true);
   if (stats != nullptr) *stats += local;
   return out;
 }

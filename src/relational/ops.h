@@ -20,32 +20,13 @@
 #include <cstdint>
 #include <vector>
 
+#include "relational/exec_stats.h"
 #include "relational/index.h"
 #include "relational/predicate.h"
 #include "relational/relation.h"
 #include "relational/schema.h"
 
 namespace fro {
-
-/// Per-kernel-invocation counters. `left_reads` / `right_reads` separate
-/// the two inputs so the evaluator can attribute base-table retrievals
-/// (the quantity Example 1 of the paper counts).
-struct KernelStats {
-  uint64_t left_reads = 0;   // tuples fetched from the left input
-  uint64_t right_reads = 0;  // tuples fetched from the right input
-  uint64_t emitted = 0;      // tuples in the output
-  uint64_t probes = 0;       // hash probes performed
-  uint64_t predicate_evals = 0;
-
-  KernelStats& operator+=(const KernelStats& other) {
-    left_reads += other.left_reads;
-    right_reads += other.right_reads;
-    emitted += other.emitted;
-    probes += other.probes;
-    predicate_evals += other.predicate_evals;
-    return *this;
-  }
-};
 
 enum class JoinAlgo : uint8_t {
   kNestedLoop,

@@ -65,6 +65,32 @@ TEST_F(ExplainTest, GojLabelShowsSubset) {
   EXPECT_NE(text.find("Goj [S = {R2.k}]"), std::string::npos);
 }
 
+TEST_F(ExplainTest, ExplainAnalyzeRendersEstimatedAndActual) {
+  ExplainAnalyzeResult run = ExplainAnalyze(query_, *db_);
+  // Physical operators with their logical labels.
+  EXPECT_NE(run.text.find("HashJoin: Join [R1.k=R2.k]"), std::string::npos);
+  EXPECT_NE(run.text.find("Scan: Scan R1"), std::string::npos);
+  // Estimated next to actual, plus the per-node Q-error column.
+  EXPECT_NE(run.text.find("~"), std::string::npos);
+  EXPECT_NE(run.text.find("actual rows="), std::string::npos);
+  EXPECT_NE(run.text.find("reads="), std::string::npos);
+  EXPECT_NE(run.text.find("time="), std::string::npos);
+  EXPECT_NE(run.text.find("q-err="), std::string::npos);
+  // The plan really executed: one result row for Example 1.
+  EXPECT_EQ(run.result.NumRows(), 1u);
+  EXPECT_GE(run.max_q_error, 1.0);
+  // Naive order over n = 5: all of R2 and R3 plus one R1 row.
+  EXPECT_EQ(run.base_tuples_read, 11u);
+}
+
+TEST_F(ExplainTest, ExplainAnalyzeHonorsJoinAlgo) {
+  ExplainAnalyzeResult run =
+      ExplainAnalyze(query_, *db_, JoinAlgo::kNestedLoop);
+  EXPECT_NE(run.text.find("NestedLoopJoin"), std::string::npos);
+  EXPECT_EQ(run.text.find("HashJoin"), std::string::npos);
+  EXPECT_EQ(run.result.NumRows(), 1u);
+}
+
 TEST_F(ExplainTest, ExprToDotWellFormed) {
   std::string dot = ExprToDot(query_, *db_);
   EXPECT_NE(dot.find("digraph plan"), std::string::npos);
