@@ -25,7 +25,8 @@ GeneratedQuery MakeQuery(int n, uint64_t seed) {
   return GenerateRandomQuery(options, &rng);
 }
 
-void RunClosure(benchmark::State& state, bool only_preserving) {
+void RunClosure(benchmark::State& state, bool only_preserving,
+                int num_threads) {
   const int n = static_cast<int>(state.range(0));
   GeneratedQuery q = MakeQuery(n, 99);
   Rng rng(100);
@@ -34,26 +35,36 @@ void RunClosure(benchmark::State& state, bool only_preserving) {
   const uint64_t all_trees = CountIts(q.graph);
   size_t closure_size = 0;
   uint64_t applications = 0;
+  size_t peak_frontier = 0;
   for (auto _ : state) {
     ClosureOptions options;
     options.only_result_preserving = only_preserving;
+    options.num_threads = num_threads;
     ClosureResult closure = BtClosure(start, options);
     benchmark::DoNotOptimize(closure);
     closure_size = closure.trees.size();
     applications = closure.bt_applications;
+    peak_frontier = closure.peak_frontier;
   }
   // Lemma 3 (and, with strong predicates, Lemma 2): the closure covers
   // every implementing tree.
   FRO_CHECK_EQ(closure_size, all_trees);
   state.counters["closure_trees"] = static_cast<double>(closure_size);
   state.counters["bt_applications"] = static_cast<double>(applications);
+  state.counters["peak_frontier"] = static_cast<double>(peak_frontier);
+  // Distinct states discovered per second of search.
+  state.counters["states_per_sec"] = benchmark::Counter(
+      static_cast<double>(closure_size), benchmark::Counter::kIsIterationInvariantRate);
 }
 
 void BM_Closure_AllBts(benchmark::State& state) {
-  RunClosure(state, /*only_preserving=*/false);
+  RunClosure(state, /*only_preserving=*/false, /*num_threads=*/1);
 }
 void BM_Closure_PreservingBts(benchmark::State& state) {
-  RunClosure(state, /*only_preserving=*/true);
+  RunClosure(state, /*only_preserving=*/true, /*num_threads=*/1);
+}
+void BM_Closure_AllBtsParallel(benchmark::State& state) {
+  RunClosure(state, /*only_preserving=*/false, /*num_threads=*/4);
 }
 
 BENCHMARK(BM_Closure_AllBts)
@@ -63,6 +74,12 @@ BENCHMARK(BM_Closure_AllBts)
     ->Arg(7)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Closure_PreservingBts)
+    ->Arg(4)
+    ->Arg(5)
+    ->Arg(6)
+    ->Arg(7)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Closure_AllBtsParallel)
     ->Arg(4)
     ->Arg(5)
     ->Arg(6)

@@ -64,11 +64,16 @@ Topology MakeFig2Star(int rays) {
 void BM_CountIts_JoinChain(benchmark::State& state) {
   Topology t = MakeChain(static_cast<int>(state.range(0)), false);
   uint64_t count = 0;
+  EnumStats stats;
   for (auto _ : state) {
-    count = CountIts(t.graph);
+    count = CountIts(t.graph, &stats);
     benchmark::DoNotOptimize(count);
   }
   state.counters["trees"] = static_cast<double>(count);
+  state.counters["states_visited"] = static_cast<double>(stats.states_visited);
+  state.counters["states_per_sec"] = benchmark::Counter(
+      static_cast<double>(stats.states_visited),
+      benchmark::Counter::kIsIterationInvariantRate);
 }
 BENCHMARK(BM_CountIts_JoinChain)
     ->Arg(6)
@@ -110,12 +115,18 @@ BENCHMARK(BM_CountIts_Fig2Star)
 void BM_EnumerateIts_MixedChain(benchmark::State& state) {
   Topology t = MakeChain(static_cast<int>(state.range(0)), true);
   size_t trees = 0;
+  EnumStats stats;
   for (auto _ : state) {
-    std::vector<ExprPtr> all = EnumerateIts(t.graph, *t.db);
+    std::vector<ExprPtr> all =
+        EnumerateIts(t.graph, *t.db, static_cast<size_t>(-1), &stats);
     benchmark::DoNotOptimize(all);
     trees = all.size();
   }
   state.counters["trees"] = static_cast<double>(trees);
+  state.counters["states_visited"] = static_cast<double>(stats.states_visited);
+  state.counters["trees_per_sec"] = benchmark::Counter(
+      static_cast<double>(trees),
+      benchmark::Counter::kIsIterationInvariantRate);
 }
 BENCHMARK(BM_EnumerateIts_MixedChain)
     ->Arg(6)

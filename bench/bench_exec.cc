@@ -166,6 +166,57 @@ BENCHMARK(BM_ScanFilterPipeline)
     ->Arg(100000)
     ->Unit(benchmark::kMillisecond);
 
+// Hash-index probe paths: allocating a fresh key vector per probe versus
+// borrowing a reused scratch buffer (the HashJoinIterator probe loop).
+struct ProbeFixture {
+  std::unique_ptr<Database> db;
+  std::unique_ptr<Relation> rel;
+  std::unique_ptr<HashIndex> index;
+};
+
+ProbeFixture MakeProbeFixture(int n) {
+  ProbeFixture f;
+  f.db = MakeExample1Database(n);
+  f.rel = std::make_unique<Relation>(f.db->relation(f.db->Rel("R2")));
+  f.index = std::make_unique<HashIndex>(
+      *f.rel, std::vector<AttrId>{f.db->Attr("R2", "k")});
+  return f;
+}
+
+void BM_ProbeAllocKey(benchmark::State& state) {
+  ProbeFixture f = MakeProbeFixture(static_cast<int>(state.range(0)));
+  const int n = static_cast<int>(state.range(0));
+  size_t hits = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < n; ++i) {
+      std::vector<Value> key;
+      key.reserve(1);
+      key.push_back(Value::Int(i));
+      hits += f.index->Probe(key).size();
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ProbeAllocKey)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+void BM_ProbeBorrowedKey(benchmark::State& state) {
+  ProbeFixture f = MakeProbeFixture(static_cast<int>(state.range(0)));
+  const int n = static_cast<int>(state.range(0));
+  size_t hits = 0;
+  std::vector<Value> key;
+  for (auto _ : state) {
+    for (int i = 0; i < n; ++i) {
+      key.clear();
+      key.push_back(Value::Int(i));
+      hits += f.index->Probe(key.data(), key.size()).size();
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ProbeBorrowedKey)->Arg(10000)->Unit(benchmark::kMillisecond);
+
 }  // namespace
 }  // namespace fro
 

@@ -28,21 +28,40 @@ GeneratedQuery MakeQuery(int n, uint64_t seed) {
   return GenerateRandomQuery(options, &rng);
 }
 
-void BM_DpSearch(benchmark::State& state) {
+void RunDpSearch(benchmark::State& state, DpAlgorithm algorithm) {
   const int n = static_cast<int>(state.range(0));
   GeneratedQuery q = MakeQuery(n, 11);
   CostModel model(*q.db, CostKind::kCout);
+  DpOptions options;
+  options.algorithm = algorithm;
   uint64_t considered = 0;
+  uint64_t states = 0;
   for (auto _ : state) {
-    Result<PlanResult> best = OptimizeReorderable(q.graph, *q.db, model);
+    Result<PlanResult> best = OptimizeReorderable(q.graph, *q.db, model,
+                                                  /*maximize=*/false, options);
     FRO_CHECK(best.ok());
     benchmark::DoNotOptimize(*best);
     considered = best->plans_considered;
+    states = best->states_visited;
   }
-  state.counters["subplans"] = static_cast<double>(considered);
+  state.counters["plans_considered"] = static_cast<double>(considered);
+  state.counters["states_visited"] = static_cast<double>(states);
   state.counters["relations"] = n;
 }
+
+void BM_DpSearch(benchmark::State& state) {
+  RunDpSearch(state, DpAlgorithm::kDpccp);
+}
+void BM_DpSearch_AllMasks(benchmark::State& state) {
+  RunDpSearch(state, DpAlgorithm::kAllMasks);
+}
 BENCHMARK(BM_DpSearch)
+    ->Arg(5)
+    ->Arg(8)
+    ->Arg(11)
+    ->Arg(14)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_DpSearch_AllMasks)
     ->Arg(5)
     ->Arg(8)
     ->Arg(11)

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_PR2.json (repo root) from bench_search_report: the
+# before/after numbers for the plan-space-search optimizations (closure
+# dedup, DPccp vs all-masks DP, borrowed-key probes).
+#
+# Usage: scripts/bench.sh [--smoke]
+#   --smoke   one repetition at reduced sizes (CI sanity run)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=build-bench
+SMOKE=""
+for arg in "$@"; do
+  case "$arg" in
+    --smoke) SMOKE="--smoke" ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$BUILD_DIR" --target bench_search_report -j"$(nproc)"
+"$BUILD_DIR/bench/bench_search_report" $SMOKE > BENCH_PR2.json
+echo "wrote BENCH_PR2.json:"
+cat BENCH_PR2.json

@@ -1,10 +1,138 @@
 #include "algebra/expr.h"
 
 #include <algorithm>
+#include <array>
+#include <atomic>
+#include <mutex>
+#include <unordered_map>
 
 #include "common/check.h"
+#include "common/hash.h"
 
 namespace fro {
+
+namespace {
+
+// --- Structural hashing ---------------------------------------------------
+
+// Bottom-up: children are already sealed, so their hashes are O(1) reads.
+// Leaf hashes include the scheme because the same RelId can carry
+// different attributes under different databases, and the arena is
+// process-global.
+uint64_t ComputeNodeHash(const Expr& node) {
+  uint64_t h = HashMix(0x51, static_cast<uint64_t>(node.kind()));
+  switch (node.kind()) {
+    case OpKind::kLeaf:
+      h = HashMix(h, node.rel());
+      for (AttrId attr : node.attrs()) h = HashMix(h, attr);
+      return h;
+    case OpKind::kRestrict:
+      h = HashMix(h, node.pred()->Hash());
+      return HashMix(h, node.left()->hash());
+    case OpKind::kProject:
+      h = HashMix(h, node.project_dedup() ? 1 : 2);
+      for (AttrId attr : node.project_cols()) h = HashMix(h, attr);
+      return HashMix(h, node.left()->hash());
+    default:
+      h = HashMix(h, node.preserves_left() ? 1 : 2);
+      h = HashMix(h, node.pred() != nullptr ? node.pred()->Hash() : 0);
+      if (node.kind() == OpKind::kGoj) {
+        for (AttrId attr : node.goj_subset()) h = HashMix(h, attr);
+      }
+      h = HashMix(h, node.left()->hash());
+      return HashMix(h, node.right()->hash());
+  }
+}
+
+// --- Hash-consing arena ---------------------------------------------------
+
+// Structural equality between a candidate and an interned node with the
+// same hash. Children of both nodes are interned, so structurally equal
+// subtrees are pointer-equal and the check stays shallow; predicates are
+// not interned, so they compare structurally (cheap: hash first).
+bool SameNode(const Expr& a, const Expr& b) {
+  if (a.kind() != b.kind()) return false;
+  auto preds_equal = [&]() {
+    if (a.pred() == b.pred()) return true;  // covers both-null and shared
+    if (a.pred() == nullptr || b.pred() == nullptr) return false;
+    return PredEquals(*a.pred(), *b.pred());
+  };
+  switch (a.kind()) {
+    case OpKind::kLeaf:
+      return a.rel() == b.rel() && a.attrs() == b.attrs();
+    case OpKind::kRestrict:
+      return a.left() == b.left() && preds_equal();
+    case OpKind::kProject:
+      return a.left() == b.left() &&
+             a.project_dedup() == b.project_dedup() &&
+             a.project_cols() == b.project_cols();
+    default:
+      return a.left() == b.left() && a.right() == b.right() &&
+             a.preserves_left() == b.preserves_left() &&
+             a.goj_subset() == b.goj_subset() && preds_equal();
+  }
+}
+
+// The arena is sharded so parallel enumeration (closure workers) can
+// intern concurrently without a global bottleneck. Entries are weak: the
+// arena never keeps a tree alive, and expired slots are swept lazily when
+// a shard grows past its high-water mark.
+struct InternShard {
+  std::mutex mu;
+  std::unordered_multimap<uint64_t, std::weak_ptr<const Expr>> nodes;
+  size_t prune_at = 256;
+};
+
+constexpr size_t kInternShards = 64;
+
+std::array<InternShard, kInternShards>& InternShards() {
+  // Leaked intentionally: interning may run during static destruction of
+  // test fixtures holding ExprPtrs.
+  static auto* shards = new std::array<InternShard, kInternShards>();
+  return *shards;
+}
+
+std::atomic<uint64_t> g_intern_hits{0};
+std::atomic<uint64_t> g_intern_misses{0};
+
+}  // namespace
+
+ExprInternStats GetExprInternStats() {
+  ExprInternStats stats;
+  stats.hits = g_intern_hits.load(std::memory_order_relaxed);
+  stats.misses = g_intern_misses.load(std::memory_order_relaxed);
+  for (InternShard& shard : InternShards()) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [hash, weak] : shard.nodes) {
+      if (!weak.expired()) ++stats.live;
+    }
+  }
+  return stats;
+}
+
+ExprPtr Expr::Seal(std::shared_ptr<Expr> node) {
+  node->hash_ = ComputeNodeHash(*node);
+  InternShard& shard = InternShards()[node->hash_ % kInternShards];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto [lo, hi] = shard.nodes.equal_range(node->hash_);
+  for (auto it = lo; it != hi; ++it) {
+    if (ExprPtr existing = it->second.lock()) {
+      if (SameNode(*existing, *node)) {
+        g_intern_hits.fetch_add(1, std::memory_order_relaxed);
+        return existing;
+      }
+    }
+  }
+  g_intern_misses.fetch_add(1, std::memory_order_relaxed);
+  if (shard.nodes.size() >= shard.prune_at) {
+    for (auto it = shard.nodes.begin(); it != shard.nodes.end();) {
+      it = it->second.expired() ? shard.nodes.erase(it) : std::next(it);
+    }
+    shard.prune_at = std::max<size_t>(256, shard.nodes.size() * 2);
+  }
+  shard.nodes.emplace(node->hash_, node);
+  return node;
+}
 
 const char* OpKindName(OpKind kind) {
   switch (kind) {
@@ -38,7 +166,7 @@ ExprPtr Expr::Leaf(RelId rel, const Database& db) {
   node->attrs_ = db.scheme(rel).ToAttrSet();
   node->rel_mask_ = 1ULL << rel;
   node->num_leaves_ = 1;
-  return node;
+  return Seal(std::move(node));
 }
 
 ExprPtr Expr::FinishBinary(std::shared_ptr<Expr> node) {
@@ -47,7 +175,7 @@ ExprPtr Expr::FinishBinary(std::shared_ptr<Expr> node) {
       << "operands share ground relations";
   node->rel_mask_ = node->left_->rel_mask_ | node->right_->rel_mask_;
   node->num_leaves_ = node->left_->num_leaves_ + node->right_->num_leaves_;
-  return node;
+  return Seal(std::move(node));
 }
 
 ExprPtr Expr::Join(ExprPtr left, ExprPtr right, PredicatePtr pred) {
@@ -120,7 +248,7 @@ ExprPtr Expr::Union(ExprPtr left, ExprPtr right) {
   // same ground relations, so bypass the disjointness check.
   node->rel_mask_ = node->left_->rel_mask() | node->right_->rel_mask();
   node->num_leaves_ = node->left_->num_leaves() + node->right_->num_leaves();
-  return node;
+  return Seal(std::move(node));
 }
 
 ExprPtr Expr::Restrict(ExprPtr child, PredicatePtr pred) {
@@ -132,7 +260,7 @@ ExprPtr Expr::Restrict(ExprPtr child, PredicatePtr pred) {
   node->num_leaves_ = child->num_leaves();
   node->left_ = std::move(child);
   node->pred_ = std::move(pred);
-  return node;
+  return Seal(std::move(node));
 }
 
 ExprPtr Expr::Project(ExprPtr child, std::vector<AttrId> cols, bool dedup) {
@@ -144,7 +272,7 @@ ExprPtr Expr::Project(ExprPtr child, std::vector<AttrId> cols, bool dedup) {
   node->left_ = std::move(child);
   node->project_cols_ = std::move(cols);
   node->project_dedup_ = dedup;
-  return node;
+  return Seal(std::move(node));
 }
 
 RelId Expr::rel() const {
@@ -273,7 +401,7 @@ std::string Expr::Fingerprint() const {
 bool ExprEquals(const ExprPtr& a, const ExprPtr& b) {
   if (a == b) return true;
   if (a == nullptr || b == nullptr) return false;
-  return a->Fingerprint() == b->Fingerprint();
+  return a->hash() == b->hash();
 }
 
 }  // namespace fro

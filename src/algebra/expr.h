@@ -96,6 +96,13 @@ class Expr {
   const std::vector<AttrId>& project_cols() const { return project_cols_; }
   bool project_dedup() const { return project_dedup_; }
 
+  /// Cached 64-bit structural hash, computed bottom-up at construction in
+  /// O(1) per node. Structurally equal trees (same shapes, operators,
+  /// orientation flags, and predicate structure modulo AND/OR conjunct
+  /// order) have equal hashes; this is the key the closure engine, BT-path
+  /// search, and interner use instead of `Fingerprint()`.
+  uint64_t hash() const { return hash_; }
+
   /// Attributes visible in this expression's result.
   const AttrSet& attrs() const { return attrs_; }
   /// Bitmask over RelIds of the ground relations mentioned below this node
@@ -111,6 +118,7 @@ class Expr {
 
   /// Deterministic structural serialization: equal strings iff equal trees
   /// (same shapes, operators, orientation flags, and predicate structure).
+  /// Kept as a debug / golden-test renderer; hot paths key on `hash()`.
   std::string Fingerprint() const;
 
  private:
@@ -119,6 +127,9 @@ class Expr {
     return std::shared_ptr<Expr>(new Expr());
   }
   static ExprPtr FinishBinary(std::shared_ptr<Expr> node);
+  /// Computes the node's hash and hands it to the interning arena;
+  /// returns the canonical shared node. Every factory funnels through it.
+  static ExprPtr Seal(std::shared_ptr<Expr> node);
 
   OpKind kind_ = OpKind::kLeaf;
   RelId rel_ = 0;
@@ -133,14 +144,29 @@ class Expr {
   AttrSet attrs_;
   uint64_t rel_mask_ = 0;
   int num_leaves_ = 0;
+  uint64_t hash_ = 0;
 };
+
+/// Counters of the hash-consing arena the Expr factories intern through.
+/// `hits` counts constructions that returned an existing structurally
+/// equal node; `live` is the number of interned nodes still referenced
+/// somewhere (expired entries are pruned lazily).
+struct ExprInternStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  size_t live = 0;
+};
+ExprInternStats GetExprInternStats();
 
 /// The operator symbol as it appears between this node's operands in the
 /// paper's infix notation: "-", "->", "<-", "|>", "<|", ">-", "-<",
 /// "GOJ". (">-"/"-<" denote semijoin keeping left/right.)
 std::string OpSymbol(const Expr& node);
 
-/// Structural equality via fingerprints.
+/// Structural equality via the cached hashes. With the interning arena,
+/// structurally equal live trees are normally the same pointer already;
+/// the hash comparison covers nodes whose twins were constructed after
+/// the originals expired.
 bool ExprEquals(const ExprPtr& a, const ExprPtr& b);
 
 }  // namespace fro

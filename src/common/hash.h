@@ -1,0 +1,21 @@
+// 64-bit hash mixing, shared by the structural hashes of predicates and
+// expression trees and by hash-table keying throughout the library.
+
+#ifndef FRO_COMMON_HASH_H_
+#define FRO_COMMON_HASH_H_
+
+#include <cstdint>
+
+namespace fro {
+
+/// Mixes `v` into the running hash `h` (boost-style combiner over 64-bit
+/// lanes). Not commutative: callers that need order-insensitivity must
+/// normalize (e.g. sort) before mixing.
+inline uint64_t HashMix(uint64_t h, uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+}  // namespace fro
+
+#endif  // FRO_COMMON_HASH_H_

@@ -79,42 +79,44 @@ BtPathResult FindBtPath(const ExprPtr& from, const ExprPtr& to,
   BtPathResult result;
   ExprPtr start = CanonicalOrientation(from);
   ExprPtr target = CanonicalOrientation(to);
-  const std::string target_fp = target->Fingerprint();
+  const uint64_t target_key = target->hash();
 
   struct NodeInfo {
     ExprPtr tree;
-    std::string parent_fp;  // empty for the start
+    uint64_t parent_key = 0;
     std::string rule;
+    bool is_start = false;
   };
-  std::unordered_map<std::string, NodeInfo> visited;
-  std::deque<std::string> queue;
-  const std::string start_fp = start->Fingerprint();
-  visited.emplace(start_fp, NodeInfo{start, "", ""});
-  queue.push_back(start_fp);
+  std::unordered_map<uint64_t, NodeInfo> visited;
+  std::deque<uint64_t> queue;
+  const uint64_t start_key = start->hash();
+  visited.emplace(start_key, NodeInfo{start, 0, "", /*is_start=*/true});
+  queue.push_back(start_key);
 
   while (!queue.empty() && visited.size() < max_states) {
-    std::string fp = queue.front();
+    uint64_t key = queue.front();
     queue.pop_front();
-    if (fp == target_fp) break;
-    ExprPtr tree = visited.at(fp).tree;
+    if (key == target_key) break;
+    ExprPtr tree = visited.at(key).tree;
     for (Neighbor& neighbor : Neighbors(tree, only_result_preserving)) {
-      std::string nfp = neighbor.tree->Fingerprint();
-      if (visited.count(nfp) > 0) continue;
-      visited.emplace(nfp,
-                      NodeInfo{neighbor.tree, fp, std::move(neighbor.rule)});
-      queue.push_back(nfp);
+      uint64_t nkey = neighbor.tree->hash();
+      if (visited.count(nkey) > 0) continue;
+      visited.emplace(
+          nkey, NodeInfo{neighbor.tree, key, std::move(neighbor.rule), false});
+      queue.push_back(nkey);
     }
   }
 
-  auto it = visited.find(target_fp);
+  auto it = visited.find(target_key);
   if (it == visited.end()) return result;
   // Reconstruct backwards.
   std::vector<BtPathStep> reversed;
-  std::string fp = target_fp;
-  while (!fp.empty()) {
-    const NodeInfo& info = visited.at(fp);
+  uint64_t key = target_key;
+  for (;;) {
+    const NodeInfo& info = visited.at(key);
     reversed.push_back({info.tree, info.rule});
-    fp = info.parent_fp;
+    if (info.is_start) break;
+    key = info.parent_key;
   }
   result.found = true;
   result.steps.assign(reversed.rbegin(), reversed.rend());

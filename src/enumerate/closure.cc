@@ -1,7 +1,11 @@
 #include "enumerate/closure.h"
 
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
 #include <deque>
-#include <string>
+#include <mutex>
+#include <thread>
 #include <unordered_set>
 
 #include "algebra/transform.h"
@@ -75,17 +79,18 @@ std::vector<ExprPtr> Neighbors(const ExprPtr& tree, bool only_preserving,
   return out;
 }
 
-}  // namespace
-
-ClosureResult BtClosure(const ExprPtr& start, const ClosureOptions& options) {
+// Deterministic single-threaded BFS: stable `trees` order, exact
+// truncation semantics (stop as soon as the state budget is exhausted).
+ClosureResult SerialClosure(const ExprPtr& canonical_start,
+                            const ClosureOptions& options) {
   ClosureResult result;
-  std::unordered_set<std::string> seen;
+  std::unordered_set<uint64_t> seen;
   std::deque<ExprPtr> queue;
 
-  ExprPtr canonical_start = CanonicalOrientation(start);
-  seen.insert(canonical_start->Fingerprint());
+  seen.insert(canonical_start->hash());
   result.trees.push_back(canonical_start);
   queue.push_back(canonical_start);
+  result.peak_frontier = 1;
 
   while (!queue.empty()) {
     ExprPtr tree = queue.front();
@@ -96,13 +101,127 @@ ClosureResult BtClosure(const ExprPtr& start, const ClosureOptions& options) {
         result.truncated = true;
         return result;
       }
-      if (seen.insert(next->Fingerprint()).second) {
+      if (seen.insert(next->hash()).second) {
         result.trees.push_back(next);
         queue.push_back(next);
+        result.peak_frontier = std::max(result.peak_frontier, queue.size());
       }
     }
   }
   return result;
+}
+
+// Parallel frontier expansion. The seen-set is sharded by hash so workers
+// dedup without a global lock; the work queue is a single mutex-protected
+// deque (expansion dominates, so queue contention is negligible). The
+// state *set* matches the serial search exactly; `trees` order does not.
+class ParallelClosure {
+ public:
+  ParallelClosure(const ClosureOptions& options) : options_(options) {}
+
+  ClosureResult Run(const ExprPtr& canonical_start) {
+    MarkSeen(canonical_start->hash());
+    seen_total_.store(1);
+    trees_.push_back(canonical_start);
+    queue_.push_back(canonical_start);
+    peak_frontier_ = 1;
+    outstanding_ = 1;
+
+    const int n = std::max(2, options_.num_threads);
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      workers.emplace_back([this] { Worker(); });
+    }
+    for (std::thread& worker : workers) worker.join();
+
+    ClosureResult result;
+    result.trees = std::move(trees_);
+    result.truncated = truncated_.load();
+    result.bt_applications = applications_.load();
+    result.peak_frontier = peak_frontier_;
+    return result;
+  }
+
+ private:
+  static constexpr size_t kShards = 64;
+
+  struct SeenShard {
+    std::mutex mu;
+    std::unordered_set<uint64_t> set;
+  };
+
+  bool MarkSeen(uint64_t hash) {
+    SeenShard& shard = shards_[hash % kShards];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    return shard.set.insert(hash).second;
+  }
+
+  void Worker() {
+    std::vector<ExprPtr> local_trees;
+    uint64_t local_applications = 0;
+    for (;;) {
+      ExprPtr tree;
+      {
+        std::unique_lock<std::mutex> lock(queue_mu_);
+        queue_cv_.wait(lock,
+                       [this] { return !queue_.empty() || outstanding_ == 0; });
+        if (queue_.empty()) break;
+        tree = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      std::vector<ExprPtr> fresh;
+      for (ExprPtr& next : Neighbors(tree, options_.only_result_preserving,
+                                     &local_applications)) {
+        if (!MarkSeen(next->hash())) continue;
+        // Admission is bounded by the state budget; hashes beyond it stay
+        // marked (they will not be re-proposed) but are not recorded.
+        if (seen_total_.fetch_add(1) + 1 > options_.max_states) {
+          truncated_.store(true);
+          continue;
+        }
+        local_trees.push_back(next);
+        fresh.push_back(std::move(next));
+      }
+      {
+        std::lock_guard<std::mutex> lock(queue_mu_);
+        for (ExprPtr& next : fresh) queue_.push_back(std::move(next));
+        peak_frontier_ = std::max(peak_frontier_, queue_.size());
+        outstanding_ += fresh.size();
+        --outstanding_;
+      }
+      queue_cv_.notify_all();
+    }
+    applications_.fetch_add(local_applications);
+    std::lock_guard<std::mutex> lock(trees_mu_);
+    trees_.insert(trees_.end(), local_trees.begin(), local_trees.end());
+  }
+
+  const ClosureOptions& options_;
+  SeenShard shards_[kShards];
+  std::atomic<size_t> seen_total_{0};
+  std::atomic<bool> truncated_{false};
+  std::atomic<uint64_t> applications_{0};
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<ExprPtr> queue_;
+  size_t outstanding_ = 0;  // queued + being expanded, under queue_mu_
+  size_t peak_frontier_ = 0;
+
+  std::mutex trees_mu_;
+  std::vector<ExprPtr> trees_;
+};
+
+}  // namespace
+
+ClosureResult BtClosure(const ExprPtr& start, const ClosureOptions& options) {
+  ExprPtr canonical_start = CanonicalOrientation(start);
+  if (options.num_threads <= 1) {
+    return SerialClosure(canonical_start, options);
+  }
+  ParallelClosure closure(options);
+  return closure.Run(canonical_start);
 }
 
 }  // namespace fro

@@ -5,6 +5,13 @@
 // folded away; a closure step is "optional reversals at the two involved
 // nodes, then one reassociation, then recanonicalize". A step is
 // result-preserving iff its reassociation is (reversals always are).
+//
+// States are deduplicated on the cached structural hash (Expr::hash);
+// with the hash-consing arena a visit costs O(1) instead of the
+// O(tree)-sized fingerprint string the seed implementation rebuilt per
+// visit. Expansion can run on a worker pool whose shared seen-set is
+// mutex-sharded by hash; the serial mode is deterministic and is what
+// tests use.
 
 #ifndef FRO_ENUMERATE_CLOSURE_H_
 #define FRO_ENUMERATE_CLOSURE_H_
@@ -22,6 +29,10 @@ struct ClosureOptions {
   bool only_result_preserving = false;
   /// Stop after reaching this many states (safety valve).
   size_t max_states = 1000000;
+  /// Worker threads expanding the frontier. <= 1 runs the deterministic
+  /// serial BFS (stable `trees` order); > 1 runs the parallel search,
+  /// which visits the same state set in unspecified order.
+  int num_threads = 1;
 };
 
 struct ClosureResult {
@@ -30,6 +41,8 @@ struct ClosureResult {
   bool truncated = false;
   /// Number of successful BT applications performed during the search.
   uint64_t bt_applications = 0;
+  /// Largest number of states that were queued but not yet expanded.
+  size_t peak_frontier = 0;
 };
 
 ClosureResult BtClosure(const ExprPtr& start,

@@ -43,6 +43,8 @@ class Enumerator {
     return memo_.emplace(mask, std::move(trees)).first->second;
   }
 
+  uint64_t states_visited() const { return memo_.size(); }
+
  private:
   const QueryGraph& graph_;
   const Database& db_;
@@ -70,6 +72,8 @@ class Counter {
     return count;
   }
 
+  uint64_t states_visited() const { return memo_.size(); }
+
  private:
   const QueryGraph& graph_;
   std::unordered_map<uint64_t, uint64_t> memo_;
@@ -78,19 +82,28 @@ class Counter {
 }  // namespace
 
 std::vector<ExprPtr> EnumerateIts(const QueryGraph& graph, const Database& db,
-                                  size_t limit) {
+                                  size_t limit, EnumStats* stats) {
   FRO_CHECK(graph.IsConnected(graph.AllMask()))
       << "implementing trees require a connected query graph";
   Enumerator enumerator(graph, db, limit);
   std::vector<ExprPtr> trees = enumerator.TreesFor(graph.AllMask());
   if (trees.size() > limit) trees.resize(limit);
+  if (stats != nullptr) {
+    stats->states_visited = enumerator.states_visited();
+    stats->trees = trees.size();
+  }
   return trees;
 }
 
-uint64_t CountIts(const QueryGraph& graph) {
+uint64_t CountIts(const QueryGraph& graph, EnumStats* stats) {
   if (!graph.IsConnected(graph.AllMask())) return 0;
   Counter counter(graph);
-  return counter.CountFor(graph.AllMask());
+  uint64_t count = counter.CountFor(graph.AllMask());
+  if (stats != nullptr) {
+    stats->states_visited = counter.states_visited();
+    stats->trees = count;
+  }
+  return count;
 }
 
 namespace {

@@ -26,13 +26,23 @@
 
 namespace fro {
 
+/// Search-space accounting for enumeration / counting runs.
+struct EnumStats {
+  /// Distinct connected node-masks the memo table materialized.
+  uint64_t states_visited = 0;
+  /// Trees produced (EnumerateIts) or counted (CountIts).
+  uint64_t trees = 0;
+};
+
 /// All canonical implementing trees of `graph` (which must be connected).
-/// Stops after `limit` trees when given.
+/// Stops after `limit` trees when given. Fills `stats` when non-null.
 std::vector<ExprPtr> EnumerateIts(const QueryGraph& graph, const Database& db,
-                                  size_t limit = static_cast<size_t>(-1));
+                                  size_t limit = static_cast<size_t>(-1),
+                                  EnumStats* stats = nullptr);
 
 /// Number of canonical implementing trees, without materializing them.
-uint64_t CountIts(const QueryGraph& graph);
+/// Fills `stats` when non-null.
+uint64_t CountIts(const QueryGraph& graph, EnumStats* stats = nullptr);
 
 /// A uniformly random canonical implementing tree (null if the graph has
 /// none, e.g. it is disconnected).

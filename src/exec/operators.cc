@@ -309,8 +309,7 @@ bool HashJoinIterator::AdvanceLeft() {
   current_left_ = std::move(tuple);
   left_had_match_ = false;
   match_pos_ = 0;
-  std::vector<Value> key;
-  key.reserve(left_key_positions_.size());
+  probe_key_.clear();
   null_key_ = false;
   for (int pos : left_key_positions_) {
     Value v =
@@ -319,10 +318,11 @@ bool HashJoinIterator::AdvanceLeft() {
       null_key_ = true;
       break;
     }
-    key.push_back(std::move(v));
+    probe_key_.push_back(std::move(v));
   }
   ++mutable_stats().probes;
-  matches_ = null_key_ ? &no_matches_ : &index_->Probe(key);
+  matches_ = null_key_ ? &no_matches_
+                       : &index_->Probe(probe_key_.data(), probe_key_.size());
   return true;
 }
 

@@ -193,6 +193,10 @@ class HashJoinIterator : public TupleIterator {
   Relation normalized_build_;
   std::unique_ptr<HashIndex> index_;
   std::vector<int> left_key_positions_;
+  // Probe-key scratch reused across left tuples; probes borrow its
+  // contents via HashIndex's borrowed-key Probe, so no per-tuple key
+  // vector is allocated.
+  std::vector<Value> probe_key_;
   std::optional<Tuple> current_left_;
   const std::vector<size_t>* matches_ = nullptr;
   size_t match_pos_ = 0;

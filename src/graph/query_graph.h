@@ -64,6 +64,10 @@ class QueryGraph {
   std::vector<int> EdgesCrossing(uint64_t a, uint64_t b) const;
   /// Nodes adjacent to `mask` (excluding `mask` itself).
   uint64_t Neighbors(uint64_t mask) const;
+  /// Precomputed neighbor bitset of a single node.
+  uint64_t adjacency(int node) const {
+    return adjacency_[static_cast<size_t>(node)];
+  }
   /// Edges with both endpoints inside `mask`.
   std::vector<int> EdgesWithin(uint64_t mask) const;
 

@@ -2,9 +2,11 @@
 
 #include <bit>
 #include <unordered_map>
+#include <utility>
 
 #include "common/check.h"
 #include "enumerate/cuts.h"
+#include "enumerate/dpccp.h"
 
 namespace fro {
 
@@ -21,11 +23,16 @@ struct Entry {
 Result<PlanResult> OptimizeReorderable(const QueryGraph& graph,
                                        const Database& db,
                                        const CostModel& cost_model,
-                                       bool maximize) {
+                                       bool maximize,
+                                       const DpOptions& options) {
   if (graph.num_nodes() == 0) {
     return InvalidArgument("empty query graph");
   }
   const uint64_t all = graph.AllMask();
+  // Nodes are numbered densely from bit 0; both enumeration strategies
+  // rely on that.
+  FRO_CHECK(all == ~0ULL || std::has_single_bit(all + 1))
+      << "query graph node mask is not contiguous";
   if (!graph.IsConnected(all)) {
     return FailedPrecondition("query graph is not connected");
   }
@@ -43,46 +50,66 @@ Result<PlanResult> OptimizeReorderable(const QueryGraph& graph,
     best.emplace(1ULL << node, std::move(entry));
   }
 
-  // Enumerate connected masks in increasing popcount order by iterating
-  // all masks ascending (any submask is numerically smaller, so its entry
-  // exists by the time it is needed).
-  for (uint64_t mask = 1; mask <= all; ++mask) {
-    if (std::popcount(mask) < 2) continue;
-    if ((mask & all) != mask) continue;
-    if (!graph.IsConnected(mask)) continue;
-    Entry chosen;
-    bool have = false;
-    ForEachCut(graph, mask, [&](const Cut& cut) {
-      auto lit = best.find(cut.left);
-      auto rit = best.find(cut.right);
-      if (lit == best.end() || rit == best.end()) return true;
-      const Entry& lhs = lit->second;
-      const Entry& rhs = rit->second;
-      OpKind kind = cut.outerjoin ? OpKind::kOuterJoin : OpKind::kJoin;
-      double rows = estimator.JoinLikeCard(kind, cut.preserves_left,
-                                           cut.pred, lhs.rows, rhs.rows);
-      double cost =
-          lhs.cost + rhs.cost +
-          cost_model.NodeCost(kind, cut.preserves_left, lhs.rows,
-                              lhs.plan->is_leaf(), rhs.rows,
-                              rhs.plan->is_leaf(), rows);
+  // Combines the best plans of the bipartition (a, b) into a candidate
+  // for a|b, keeping it if it beats the incumbent. Skips unrealizable
+  // bipartitions (Cartesian products, mixed or multi-directed cuts) and
+  // parts with no plan of their own.
+  auto try_combine = [&](uint64_t a, uint64_t b) {
+    Cut cut;
+    if (!MakeCut(graph, a, b, &cut)) return;
+    auto lit = best.find(cut.left);
+    auto rit = best.find(cut.right);
+    if (lit == best.end() || rit == best.end()) return;
+    const Entry& lhs = lit->second;
+    const Entry& rhs = rit->second;
+    OpKind kind = cut.outerjoin ? OpKind::kOuterJoin : OpKind::kJoin;
+    double rows = estimator.JoinLikeCard(kind, cut.preserves_left, cut.pred,
+                                         lhs.rows, rhs.rows);
+    double cost =
+        lhs.cost + rhs.cost +
+        cost_model.NodeCost(kind, cut.preserves_left, lhs.rows,
+                            lhs.plan->is_leaf(), rhs.rows,
+                            rhs.plan->is_leaf(), rows);
+    const uint64_t united = a | b;
+    auto it = best.find(united);
+    const bool better =
+        it == best.end() ||
+        (maximize ? cost > it->second.cost : cost < it->second.cost);
+    if (!better) return;
+    Entry entry;
+    entry.plan = cut.outerjoin ? Expr::OuterJoin(lhs.plan, rhs.plan, cut.pred,
+                                                 cut.preserves_left)
+                               : Expr::Join(lhs.plan, rhs.plan, cut.pred);
+    entry.cost = cost;
+    entry.rows = rows;
+    if (it == best.end()) {
+      best.emplace(united, std::move(entry));
+    } else {
+      it->second = std::move(entry);
+    }
+  };
+
+  if (options.algorithm == DpAlgorithm::kDpccp) {
+    ForEachCsgCmpPair(graph, [&](uint64_t s1, uint64_t s2) {
       ++considered;
-      const bool better =
-          !have || (maximize ? cost > chosen.cost : cost < chosen.cost);
-      if (better) {
-        Entry entry;
-        entry.plan = cut.outerjoin
-                         ? Expr::OuterJoin(lhs.plan, rhs.plan, cut.pred,
-                                           cut.preserves_left)
-                         : Expr::Join(lhs.plan, rhs.plan, cut.pred);
-        entry.cost = cost;
-        entry.rows = rows;
-        chosen = std::move(entry);
-        have = true;
-      }
-      return true;
+      try_combine(s1, s2);
     });
-    if (have) best.emplace(mask, std::move(chosen));
+  } else {
+    // Ascending-mask scan: any submask is numerically smaller than its
+    // mask, so part entries exist by the time they are needed. Every
+    // submask of every connected mask is examined (the mirror half is
+    // skipped via the low bit, but still counted as work done).
+    for (uint64_t mask = 1; mask != 0 && mask <= all; ++mask) {
+      if (std::popcount(mask) < 2) continue;
+      if (!graph.IsConnected(mask)) continue;
+      const uint64_t low = mask & (~mask + 1);
+      for (uint64_t sub = (mask - 1) & mask; sub != 0;
+           sub = (sub - 1) & mask) {
+        ++considered;
+        if ((sub & low) == 0) continue;
+        try_combine(sub, mask & ~sub);
+      }
+    }
   }
 
   auto it = best.find(all);
@@ -93,6 +120,7 @@ Result<PlanResult> OptimizeReorderable(const QueryGraph& graph,
   result.plan = it->second.plan;
   result.cost = it->second.cost;
   result.plans_considered = considered;
+  result.states_visited = best.size();
   return result;
 }
 

@@ -7,10 +7,14 @@
 //
 // Theorem 1 guarantees every implementing tree computes the same result,
 // so the search is pure cost minimization: best plan per connected node
-// subset, combined over realizable cuts (the DPsub strategy).
+// subset, combined over realizable cuts. The default strategy enumerates
+// csg-cmp pairs directly (DPccp); the seed all-masks submask scan is kept
+// behind `DpAlgorithm::kAllMasks` as a cross-check oracle.
 
 #ifndef FRO_OPTIMIZER_DP_H_
 #define FRO_OPTIMIZER_DP_H_
+
+#include <cstdint>
 
 #include "common/status.h"
 #include "graph/query_graph.h"
@@ -18,21 +22,43 @@
 
 namespace fro {
 
+enum class DpAlgorithm : uint8_t {
+  /// Connected-subgraph / connected-complement pair enumeration
+  /// (Moerkotte & Neumann); work is linear in the number of csg-cmp
+  /// pairs.
+  kDpccp,
+  /// The original ascending-mask scan with a full submask loop per
+  /// connected mask (Theta(3^n) over cliques). Retained as an oracle for
+  /// equivalence tests and benchmarks.
+  kAllMasks,
+};
+
+struct DpOptions {
+  DpAlgorithm algorithm = DpAlgorithm::kDpccp;
+};
+
 struct PlanResult {
   ExprPtr plan;
   double cost = 0;
-  /// Candidate (sub)plans examined during the search.
+  /// Candidate bipartitions examined during the search: every emitted
+  /// csg-cmp pair under kDpccp, every submask attempt on a connected
+  /// mask under kAllMasks.
   uint64_t plans_considered = 0;
+  /// Node subsets holding a materialized best plan (incl. singletons).
+  uint64_t states_visited = 0;
 };
 
 /// Finds the cheapest (or, with `maximize`, the costliest) implementing
 /// tree of `graph` under `cost_model`. The graph must be connected; the
 /// caller is responsible for having verified free reorderability (the
 /// plan is otherwise not guaranteed equivalent to the original query).
+/// Both algorithms choose identical plans and costs; they differ only in
+/// how the candidate space is walked.
 Result<PlanResult> OptimizeReorderable(const QueryGraph& graph,
                                        const Database& db,
                                        const CostModel& cost_model,
-                                       bool maximize = false);
+                                       bool maximize = false,
+                                       const DpOptions& options = {});
 
 }  // namespace fro
 

@@ -4,17 +4,47 @@
 
 namespace fro {
 
-size_t HashIndex::KeyHash::operator()(const std::vector<Value>& key) const {
+namespace {
+
+size_t HashKeySpan(const Value* data, size_t len) {
   size_t h = 0x811c9dc5;
-  for (const Value& v : key) {
-    h ^= v.Hash() + 0x9e3779b9 + (h << 6) + (h >> 2);
+  for (size_t i = 0; i < len; ++i) {
+    h ^= data[i].Hash() + 0x9e3779b9 + (h << 6) + (h >> 2);
   }
   return h;
+}
+
+bool KeySpanEquals(const Value* a, size_t a_len, const std::vector<Value>& b) {
+  if (a_len != b.size()) return false;
+  for (size_t i = 0; i < a_len; ++i) {
+    if (!(a[i] == b[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+size_t HashIndex::KeyHash::operator()(const std::vector<Value>& key) const {
+  return HashKeySpan(key.data(), key.size());
+}
+
+size_t HashIndex::KeyHash::operator()(const KeyView& key) const {
+  return HashKeySpan(key.data, key.len);
 }
 
 bool HashIndex::KeyEq::operator()(const std::vector<Value>& a,
                                   const std::vector<Value>& b) const {
   return a == b;
+}
+
+bool HashIndex::KeyEq::operator()(const KeyView& a,
+                                  const std::vector<Value>& b) const {
+  return KeySpanEquals(a.data, a.len, b);
+}
+
+bool HashIndex::KeyEq::operator()(const std::vector<Value>& a,
+                                  const KeyView& b) const {
+  return KeySpanEquals(b.data, b.len, a);
 }
 
 HashIndex::HashIndex(const Relation& relation,
@@ -46,10 +76,15 @@ HashIndex::HashIndex(const Relation& relation,
 
 const std::vector<size_t>& HashIndex::Probe(
     const std::vector<Value>& key) const {
-  for (const Value& v : key) {
-    if (v.is_null()) return empty_;
+  return Probe(key.data(), key.size());
+}
+
+const std::vector<size_t>& HashIndex::Probe(const Value* key,
+                                            size_t len) const {
+  for (size_t i = 0; i < len; ++i) {
+    if (key[i].is_null()) return empty_;
   }
-  auto it = buckets_.find(key);
+  auto it = buckets_.find(KeyView{key, len});
   return it == buckets_.end() ? empty_ : it->second;
 }
 

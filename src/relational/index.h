@@ -3,6 +3,7 @@
 #ifndef FRO_RELATIONAL_INDEX_H_
 #define FRO_RELATIONAL_INDEX_H_
 
+#include <cstddef>
 #include <unordered_map>
 #include <vector>
 
@@ -23,16 +24,32 @@ class HashIndex {
   /// values). Keys containing nulls return no rows.
   const std::vector<size_t>& Probe(const std::vector<Value>& key) const;
 
+  /// Borrowed-key probe: the same lookup over `len` values at `key`
+  /// without materializing an owned key vector (heterogeneous unordered
+  /// lookup). Lets callers reuse a scratch buffer across probes.
+  const std::vector<size_t>& Probe(const Value* key, size_t len) const;
+
   size_t num_keys() const { return buckets_.size(); }
   const std::vector<AttrId>& key_attrs() const { return key_attrs_; }
 
  private:
+  /// Non-owning view of a probe key; hashed and compared exactly like an
+  /// owned key vector so it can stand in for one during lookup.
+  struct KeyView {
+    const Value* data;
+    size_t len;
+  };
   struct KeyHash {
+    using is_transparent = void;
     size_t operator()(const std::vector<Value>& key) const;
+    size_t operator()(const KeyView& key) const;
   };
   struct KeyEq {
+    using is_transparent = void;
     bool operator()(const std::vector<Value>& a,
                     const std::vector<Value>& b) const;
+    bool operator()(const KeyView& a, const std::vector<Value>& b) const;
+    bool operator()(const std::vector<Value>& a, const KeyView& b) const;
   };
 
   std::vector<AttrId> key_attrs_;

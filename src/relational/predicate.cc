@@ -1,6 +1,9 @@
 #include "relational/predicate.h"
 
+#include <algorithm>
+
 #include "common/check.h"
+#include "common/hash.h"
 
 namespace fro {
 
@@ -53,12 +56,32 @@ AttrSet OperandRefs(const Operand& op) {
   return refs;
 }
 
+uint64_t HashOperand(const Operand& op) {
+  if (op.is_column()) return HashMix(0x11, op.attr());
+  return HashMix(0x22, op.literal().Hash());
+}
+
+// Hashes of AND/OR children, combined order-insensitively by mixing in
+// sorted order (the hash analog of the canonical fingerprint's sorted
+// rendering).
+uint64_t HashChildrenCommutative(uint64_t tag,
+                                 const std::vector<PredicatePtr>& children) {
+  std::vector<uint64_t> hashes;
+  hashes.reserve(children.size());
+  for (const PredicatePtr& child : children) hashes.push_back(child->Hash());
+  std::sort(hashes.begin(), hashes.end());
+  uint64_t h = tag;
+  for (uint64_t ch : hashes) h = HashMix(h, ch);
+  return h;
+}
+
 }  // namespace
 
 PredicatePtr Predicate::Const(bool value) {
   auto p = std::shared_ptr<Predicate>(new Predicate());
   p->kind_ = Kind::kConst;
   p->const_value_ = value;
+  p->hash_ = HashMix(0x1, value ? 1 : 0);
   return p;
 }
 
@@ -67,6 +90,9 @@ PredicatePtr Predicate::Cmp(CmpOp op, Operand lhs, Operand rhs) {
   p->kind_ = Kind::kCmp;
   p->cmp_op_ = op;
   p->references_ = OperandRefs(lhs).Union(OperandRefs(rhs));
+  p->hash_ = HashMix(HashMix(HashMix(0x2, static_cast<uint64_t>(op)),
+                             HashOperand(lhs)),
+                     HashOperand(rhs));
   p->operands_.push_back(std::move(lhs));
   p->operands_.push_back(std::move(rhs));
   return p;
@@ -101,6 +127,7 @@ PredicatePtr Predicate::And(std::vector<PredicatePtr> children) {
   for (const PredicatePtr& child : flat) {
     p->references_ = p->references_.Union(child->References());
   }
+  p->hash_ = HashChildrenCommutative(0x3, flat);
   p->children_ = std::move(flat);
   return p;
 }
@@ -117,6 +144,7 @@ PredicatePtr Predicate::Or(std::vector<PredicatePtr> children) {
   for (const PredicatePtr& child : flat) {
     p->references_ = p->references_.Union(child->References());
   }
+  p->hash_ = HashChildrenCommutative(0x4, flat);
   p->children_ = std::move(flat);
   return p;
 }
@@ -126,6 +154,7 @@ PredicatePtr Predicate::Not(PredicatePtr child) {
   auto p = std::shared_ptr<Predicate>(new Predicate());
   p->kind_ = Kind::kNot;
   p->references_ = child->References();
+  p->hash_ = HashMix(0x5, child->Hash());
   p->children_.push_back(std::move(child));
   return p;
 }
@@ -134,6 +163,7 @@ PredicatePtr Predicate::IsNull(Operand operand) {
   auto p = std::shared_ptr<Predicate>(new Predicate());
   p->kind_ = Kind::kIsNull;
   p->references_ = OperandRefs(operand);
+  p->hash_ = HashMix(0x6, HashOperand(operand));
   p->operands_.push_back(std::move(operand));
   return p;
 }
@@ -357,6 +387,59 @@ PredicatePtr AndOf(PredicatePtr a, PredicatePtr b) {
   if (a == nullptr) return b;
   if (b == nullptr) return a;
   return Predicate::And({std::move(a), std::move(b)});
+}
+
+namespace {
+
+bool OperandEquals(const Operand& a, const Operand& b) {
+  if (a.is_column() != b.is_column()) return false;
+  if (a.is_column()) return a.attr() == b.attr();
+  return a.literal() == b.literal();
+}
+
+// Children sorted by hash so commutative nodes compare pairwise. A hash
+// tie between structurally different siblings can only produce a false
+// negative (callers then treat the predicates as distinct), never a false
+// positive.
+std::vector<const Predicate*> SortedByHash(
+    const std::vector<PredicatePtr>& children) {
+  std::vector<const Predicate*> out;
+  out.reserve(children.size());
+  for (const PredicatePtr& child : children) out.push_back(child.get());
+  std::sort(out.begin(), out.end(),
+            [](const Predicate* x, const Predicate* y) {
+              return x->Hash() < y->Hash();
+            });
+  return out;
+}
+
+}  // namespace
+
+bool PredEquals(const Predicate& a, const Predicate& b) {
+  if (&a == &b) return true;
+  if (a.kind() != b.kind() || a.Hash() != b.Hash()) return false;
+  switch (a.kind()) {
+    case Predicate::Kind::kConst:
+      return a.const_value() == b.const_value();
+    case Predicate::Kind::kCmp:
+      return a.cmp_op() == b.cmp_op() && OperandEquals(a.lhs(), b.lhs()) &&
+             OperandEquals(a.rhs(), b.rhs());
+    case Predicate::Kind::kAnd:
+    case Predicate::Kind::kOr: {
+      if (a.children().size() != b.children().size()) return false;
+      std::vector<const Predicate*> lhs = SortedByHash(a.children());
+      std::vector<const Predicate*> rhs = SortedByHash(b.children());
+      for (size_t i = 0; i < lhs.size(); ++i) {
+        if (!PredEquals(*lhs[i], *rhs[i])) return false;
+      }
+      return true;
+    }
+    case Predicate::Kind::kNot:
+      return PredEquals(*a.children()[0], *b.children()[0]);
+    case Predicate::Kind::kIsNull:
+      return OperandEquals(a.operand(), b.operand());
+  }
+  return false;
 }
 
 }  // namespace fro

@@ -77,6 +77,13 @@ class Predicate {
   static PredicatePtr IsNull(Operand operand);
 
   Kind kind() const { return kind_; }
+
+  /// Cached 64-bit structural hash, computed at construction. Canonical
+  /// with respect to AND/OR child order (children are combined in sorted
+  /// hash order), matching the equivalence the canonical fingerprint uses:
+  /// two conjunctions differing only in conjunct order hash identically.
+  uint64_t Hash() const { return hash_; }
+
   bool const_value() const { return const_value_; }
   CmpOp cmp_op() const { return cmp_op_; }
   const Operand& lhs() const { return operands_[0]; }
@@ -104,6 +111,7 @@ class Predicate {
   Predicate() = default;
 
   Kind kind_ = Kind::kConst;
+  uint64_t hash_ = 0;
   bool const_value_ = true;
   CmpOp cmp_op_ = CmpOp::kEq;
   std::vector<Operand> operands_;
@@ -119,6 +127,11 @@ PredicatePtr CmpLit(CmpOp op, AttrId a, Value v);
 
 /// AND of two predicates (either may be null, meaning absent).
 PredicatePtr AndOf(PredicatePtr a, PredicatePtr b);
+
+/// Structural equality modulo AND/OR child order (the same equivalence
+/// `Hash()` is canonical for). Used by the expression interner to verify
+/// candidates that collide on `Hash()`.
+bool PredEquals(const Predicate& a, const Predicate& b);
 
 }  // namespace fro
 

@@ -124,5 +124,56 @@ TEST_F(ExprTest, OpSymbols) {
   EXPECT_EQ(OpSymbol(*Expr::Semijoin(x, y, EqCols(a_, b_), true)), ">-");
 }
 
+TEST_F(ExprTest, InterningSharesStructurallyEqualNodes) {
+  // Structurally-equal construction returns the same node: leaves...
+  ExprPtr l1 = Expr::Leaf(x_, db_);
+  ExprPtr l2 = Expr::Leaf(x_, db_);
+  EXPECT_EQ(l1.get(), l2.get());
+  // ...and whole trees built from independently-created parts.
+  ExprPtr j1 = Expr::Join(Expr::Leaf(x_, db_), Expr::Leaf(y_, db_),
+                          EqCols(a_, b_));
+  ExprPtr j2 = Expr::Join(Expr::Leaf(x_, db_), Expr::Leaf(y_, db_),
+                          EqCols(a_, b_));
+  EXPECT_EQ(j1.get(), j2.get());
+  EXPECT_EQ(j1->hash(), j2->hash());
+  // Different structure means a different node (and, with overwhelming
+  // probability, a different hash).
+  ExprPtr other = Expr::Join(Expr::Leaf(x_, db_), Expr::Leaf(z_, db_),
+                             EqCols(a_, c_));
+  EXPECT_NE(j1.get(), other.get());
+  EXPECT_NE(j1->hash(), other->hash());
+}
+
+TEST_F(ExprTest, InternStatsCountHitsAndMisses) {
+  ExprInternStats before = GetExprInternStats();
+  ExprPtr j1 = Expr::OuterJoin(Expr::Leaf(x_, db_), Expr::Leaf(y_, db_),
+                               EqCols(a_, b_), /*preserves_left=*/true);
+  ExprInternStats mid = GetExprInternStats();
+  ExprPtr j2 = Expr::OuterJoin(Expr::Leaf(x_, db_), Expr::Leaf(y_, db_),
+                               EqCols(a_, b_), /*preserves_left=*/true);
+  ExprInternStats after = GetExprInternStats();
+  EXPECT_EQ(j1.get(), j2.get());
+  EXPECT_GT(mid.misses, before.misses);   // first build interns new nodes
+  EXPECT_GT(after.hits, mid.hits);        // second build reuses them
+}
+
+TEST_F(ExprTest, HashDistinguishesOperatorVariants) {
+  ExprPtr x = Expr::Leaf(x_, db_);
+  ExprPtr y = Expr::Leaf(y_, db_);
+  PredicatePtr p = EqCols(a_, b_);
+  std::vector<uint64_t> hashes = {
+      Expr::Join(x, y, p)->hash(),
+      Expr::OuterJoin(x, y, p, true)->hash(),
+      Expr::OuterJoin(x, y, p, false)->hash(),
+      Expr::Semijoin(x, y, p, true)->hash(),
+      Expr::Antijoin(x, y, p, true)->hash(),
+  };
+  for (size_t i = 0; i < hashes.size(); ++i) {
+    for (size_t j = i + 1; j < hashes.size(); ++j) {
+      EXPECT_NE(hashes[i], hashes[j]) << i << " vs " << j;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace fro
