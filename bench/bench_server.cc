@@ -1,0 +1,256 @@
+// Open-loop load generator for fro_serve: an in-process FroServer on a
+// loopback socket, N client threads each sending the Section 5 workload
+// on a fixed arrival schedule (arrivals are planned up front, independent
+// of completions), client-side raw latency samples. Two phases — plan
+// cache off (capacity 0) and on (capacity 128, pre-warmed) — so the
+// report isolates what hash-keyed plan reuse buys: identical results,
+// lower p50.
+//
+// Emits one JSON object on stdout (scripts/bench.sh redirects it into
+// BENCH_PR3.json). `--smoke` shrinks the request counts for CI.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "testing/nested_sample.h"
+
+namespace fro {
+namespace {
+
+const char* kWorkload[] = {
+    "Select All From EMPLOYEE*ChildName, DEPARTMENT "
+    "Where EMPLOYEE.D# = DEPARTMENT.D#",
+    "Select All From DEPARTMENT-->Manager-->Audit",
+    "Select All From DEPARTMENT-->Manager*ChildName "
+    "Where DEPARTMENT.Location = 'Zurich'",
+    "Select All From EMPLOYEE Where EMPLOYEE.Rank = 7",
+    "Select All From EMPLOYEE*ChildName, DEPARTMENT-->Secretary "
+    "Where EMPLOYEE.D# = DEPARTMENT.D#",
+    "Select EMPLOYEE.Rank, DEPARTMENT.Location From EMPLOYEE, DEPARTMENT "
+    "Where EMPLOYEE.D# = DEPARTMENT.D#",
+    // Planning-heavy members: many tuple variables widen the DP space, so
+    // these are where the plan cache's savings concentrate. They outnumber
+    // the cheap queries above so the workload's p50 (not just its tail)
+    // reflects planning cost; the Location constant distinguishes the
+    // structural hashes, everything else is shared shape.
+    "Select All From EMPLOYEE E1, DEPARTMENT D1, EMPLOYEE E2, "
+    "DEPARTMENT D2, EMPLOYEE E3 "
+    "Where E1.D# = D1.D# and E2.D# = D1.D# and E2.Rank = E3.Rank "
+    "and E3.D# = D2.D#",
+    "Select All From EMPLOYEE E1, DEPARTMENT D1, EMPLOYEE E2, "
+    "DEPARTMENT D2, EMPLOYEE E3 "
+    "Where E1.D# = D1.D# and E2.D# = D1.D# and E2.Rank = E3.Rank "
+    "and E3.D# = D2.D# and D1.Location = 'Zurich'",
+    "Select All From EMPLOYEE E1, DEPARTMENT D1, EMPLOYEE E2, "
+    "DEPARTMENT D2, EMPLOYEE E3 "
+    "Where E1.D# = D1.D# and E2.D# = D1.D# and E2.Rank = E3.Rank "
+    "and E3.D# = D2.D# and D1.Location = 'Toronto'",
+    "Select All From EMPLOYEE E1, DEPARTMENT D1, EMPLOYEE E2, "
+    "DEPARTMENT D2, EMPLOYEE E3, DEPARTMENT D3, EMPLOYEE E4 "
+    "Where E1.D# = D1.D# and E2.D# = D1.D# and E2.Rank = E3.Rank "
+    "and E3.D# = D2.D# and E4.D# = D2.D# and E4.Rank = E1.Rank "
+    "and D3.D# = E3.D#",
+    "Select All From EMPLOYEE E1, DEPARTMENT D1, EMPLOYEE E2, "
+    "DEPARTMENT D2, EMPLOYEE E3, DEPARTMENT D3, EMPLOYEE E4 "
+    "Where E1.D# = D1.D# and E2.D# = D1.D# and E2.Rank = E3.Rank "
+    "and E3.D# = D2.D# and E4.D# = D2.D# and E4.Rank = E1.Rank "
+    "and D3.D# = E3.D# and D3.Location = 'Zurich'",
+    "Select All From EMPLOYEE E1, DEPARTMENT D1, EMPLOYEE E2, "
+    "DEPARTMENT D2, EMPLOYEE E3, DEPARTMENT D3, EMPLOYEE E4 "
+    "Where E1.D# = D1.D# and E2.D# = D1.D# and E2.Rank = E3.Rank "
+    "and E3.D# = D2.D# and E4.D# = D2.D# and E4.Rank = E1.Rank "
+    "and D3.D# = E3.D# and D3.Location = 'Toronto'",
+    "Select All From EMPLOYEE E1, DEPARTMENT D1, EMPLOYEE E2, "
+    "DEPARTMENT D2, EMPLOYEE E3, DEPARTMENT D3, EMPLOYEE E4 "
+    "Where E1.D# = D1.D# and E2.D# = D1.D# and E2.Rank = E3.Rank "
+    "and E3.D# = D2.D# and E4.D# = D2.D# and E4.Rank = E1.Rank "
+    "and D3.D# = E3.D# and D3.Location = 'Boston'",
+    "Select All From EMPLOYEE E1, DEPARTMENT D1, EMPLOYEE E2, "
+    "DEPARTMENT D2, EMPLOYEE E3, DEPARTMENT D3, EMPLOYEE E4 "
+    "Where E1.D# = D1.D# and E2.D# = D1.D# and E2.Rank = E3.Rank "
+    "and E3.D# = D2.D# and E4.D# = D2.D# and E4.Rank = E1.Rank "
+    "and D3.D# = E3.D# and D3.Location = 'Paris'",
+};
+constexpr size_t kWorkloadSize = sizeof(kWorkload) / sizeof(kWorkload[0]);
+
+using Clock = std::chrono::steady_clock;
+
+struct PhaseResult {
+  std::vector<uint64_t> latencies_us;  // successful requests only
+  uint64_t errors = 0;
+  double wall_seconds = 0;
+  PlanCacheStats cache;
+};
+
+double Quantile(std::vector<uint64_t>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  const size_t idx = static_cast<size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return static_cast<double>(sorted[std::min(idx, sorted.size() - 1)]);
+}
+
+/// One phase: fresh server at the given cache capacity, `clients` threads
+/// each sending `requests` queries at a planned inter-arrival gap.
+PhaseResult RunPhase(const NestedDb& db, size_t cache_capacity, int clients,
+                     int requests, uint64_t gap_us, bool warm) {
+  ServerOptions options;
+  options.num_workers = clients;
+  options.max_pending = clients * 2;
+  options.plan_cache_capacity = cache_capacity;
+  FroServer server(&db, options);
+  FRO_CHECK(server.Start().ok()) << "server failed to start";
+
+  if (warm) {
+    // Populate the plan cache (and AST memo) so the measured phase is all
+    // hits; the cold phase skips this and pays planning on every request.
+    FroClient warmup;
+    FRO_CHECK(warmup.Connect("127.0.0.1", server.port()).ok())
+        << "warmup connect failed";
+    for (const char* query : kWorkload) {
+      Result<Response> r = warmup.Query(query);
+      FRO_CHECK(r.ok() && r->status.ok()) << "warmup query failed";
+    }
+  }
+
+  std::vector<std::vector<uint64_t>> per_client(
+      static_cast<size_t>(clients));
+  std::atomic<uint64_t> errors{0};
+  const Clock::time_point start = Clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      FroClient client;
+      if (!client.Connect("127.0.0.1", server.port()).ok()) {
+        errors.fetch_add(static_cast<uint64_t>(requests));
+        return;
+      }
+      std::vector<uint64_t>& samples = per_client[static_cast<size_t>(c)];
+      samples.reserve(static_cast<size_t>(requests));
+      for (int i = 0; i < requests; ++i) {
+        // Open-loop arrival schedule: send times are fixed up front
+        // relative to phase start, not to the previous completion.
+        const Clock::time_point planned =
+            start + std::chrono::microseconds(
+                        static_cast<uint64_t>(i) * gap_us * 2 +
+                        static_cast<uint64_t>(c) * gap_us);
+        std::this_thread::sleep_until(planned);
+        const size_t q = (static_cast<size_t>(i) + static_cast<size_t>(c)) %
+                         kWorkloadSize;
+        const Clock::time_point sent = Clock::now();
+        Result<Response> r = client.Query(kWorkload[q]);
+        const Clock::time_point got = Clock::now();
+        if (!r.ok() || !r->status.ok()) {
+          errors.fetch_add(1);
+          continue;
+        }
+        samples.push_back(static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(got - sent)
+                .count()));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  PhaseResult result;
+  result.wall_seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  for (std::vector<uint64_t>& samples : per_client) {
+    result.latencies_us.insert(result.latencies_us.end(), samples.begin(),
+                               samples.end());
+  }
+  result.errors = errors.load();
+  result.cache = server.plan_cache().stats();
+  server.Stop();
+  return result;
+}
+
+void EmitPhaseJson(FILE* out, const char* name, size_t capacity,
+                   PhaseResult& r, bool last) {
+  std::sort(r.latencies_us.begin(), r.latencies_us.end());
+  double sum = 0;
+  for (uint64_t us : r.latencies_us) sum += static_cast<double>(us);
+  const double n = static_cast<double>(r.latencies_us.size());
+  std::fprintf(
+      out,
+      "    {\"phase\": \"%s\", \"cache_capacity\": %zu, "
+      "\"requests\": %zu, \"errors\": %llu,\n"
+      "     \"qps\": %.1f, \"p50_us\": %.1f, \"p99_us\": %.1f, "
+      "\"mean_us\": %.1f,\n"
+      "     \"cache_hits\": %llu, \"cache_misses\": %llu, "
+      "\"cache_hit_rate\": %.4f}%s\n",
+      name, capacity, r.latencies_us.size(),
+      static_cast<unsigned long long>(r.errors),
+      r.wall_seconds > 0 ? n / r.wall_seconds : 0.0,
+      Quantile(r.latencies_us, 0.5), Quantile(r.latencies_us, 0.99),
+      n > 0 ? sum / n : 0.0,
+      static_cast<unsigned long long>(r.cache.hits),
+      static_cast<unsigned long long>(r.cache.misses), r.cache.hit_rate(),
+      last ? "" : ",");
+}
+
+int Main(int argc, char** argv) {
+  bool smoke = false;
+  int clients = 4;
+  int requests = 400;
+  int scale = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strncmp(argv[i], "--clients=", 10) == 0) {
+      clients = std::atoi(argv[i] + 10);
+    }
+    if (std::strncmp(argv[i], "--requests=", 11) == 0) {
+      requests = std::atoi(argv[i] + 11);
+    }
+    if (std::strncmp(argv[i], "--scale=", 8) == 0) {
+      scale = std::atoi(argv[i] + 8);
+    }
+  }
+  if (smoke) {
+    clients = 2;
+    requests = 60;
+  }
+  // Arrival gap chosen so the offered load stays well inside what one
+  // worker per client sustains on this workload — open-loop generators
+  // measure latency at an offered rate, not peak throughput.
+  const uint64_t gap_us = smoke ? 400 : 250;
+
+  const NestedDb db =
+      scale > 1 ? MakeScaledCompanyNestedDb(scale) : MakeCompanyNestedDb();
+
+  PhaseResult cold = RunPhase(db, /*cache_capacity=*/0, clients, requests,
+                              gap_us, /*warm=*/false);
+  PhaseResult hot = RunPhase(db, /*cache_capacity=*/128, clients, requests,
+                             gap_us, /*warm=*/true);
+
+  std::fprintf(stdout,
+               "{\n  \"bench\": \"server_load\", \"smoke\": %s, "
+               "\"clients\": %d, \"requests_per_client\": %d, "
+               "\"scale\": %d, \"workload_queries\": %zu,\n  \"phases\": [\n",
+               smoke ? "true" : "false", clients, requests, scale,
+               kWorkloadSize);
+  EmitPhaseJson(stdout, "cache_off", 0, cold, /*last=*/false);
+  EmitPhaseJson(stdout, "cache_on_warm", 128, hot, /*last=*/true);
+  const double cold_p50 = Quantile(cold.latencies_us, 0.5);
+  const double hot_p50 = Quantile(hot.latencies_us, 0.5);
+  std::fprintf(stdout,
+               "  ],\n  \"warm_p50_speedup\": %.2f\n}\n",
+               hot_p50 > 0 ? cold_p50 / hot_p50 : 0.0);
+  return (cold.errors + hot.errors) == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace fro
+
+int main(int argc, char** argv) { return fro::Main(argc, argv); }

@@ -10,9 +10,17 @@
 //   \analyze <query>           execute the plan, show actual vs. estimated
 //   \graph <query>             show the derived query graph (text + DOT)
 //   \trees <query>             enumerate all implementing trees
+//   \connect host:port         switch to remote mode against a fro_serve
+//   \disconnect                back to local execution
+//   \cachestats                plan-cache counters (local or remote)
 //   \help                      this text
+//
+// In remote mode plain queries, \explain, and \analyze travel over the
+// fro_serve protocol; local execution keeps its own plan cache so
+// \cachestats is meaningful either way.
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 
@@ -22,11 +30,23 @@
 #include "lang/lang.h"
 #include "relational/pretty.h"
 #include "optimizer/explain.h"
+#include "server/client.h"
+#include "server/plan_cache.h"
 #include "testing/nested_sample.h"
 
 using namespace fro;
 
 namespace {
+
+/// Local plan cache: repeated shell queries skip the DP search, and
+/// \cachestats has numbers to show without a server.
+LruPlanCache& LocalPlanCache() {
+  static LruPlanCache cache(64);
+  return cache;
+}
+
+/// Non-null while \connect is active.
+FroClient* g_remote = nullptr;
 
 void PrintHelp() {
   std::printf(
@@ -36,13 +56,72 @@ void PrintHelp() {
       "  \\analyze <query>   EXPLAIN ANALYZE: run the plan, actual counters\n"
       "  \\graph <query>     derived query graph (text and Graphviz DOT)\n"
       "  \\trees <query>     all implementing trees and their results\n"
+      "  \\connect h:p       speak the fro_serve protocol to h:p\n"
+      "  \\disconnect        return to local execution\n"
+      "  \\cachestats        plan-cache counters (local or remote)\n"
       "  \\help              this text\n"
       "schema: EMPLOYEE(D#, Rank, ChildName*), REPORT(Title, Cost),\n"
       "        DEPARTMENT(D#, Location, ->Manager, ->Secretary, ->Audit)\n");
 }
 
+RunOptions LocalRunOptions() {
+  RunOptions options;
+  options.plan_cache = &LocalPlanCache();
+  return options;
+}
+
+void PrintRemote(const Result<Response>& reply) {
+  if (!reply.ok()) {
+    std::printf("transport error: %s\n", reply.status().ToString().c_str());
+    return;
+  }
+  if (!reply->status.ok()) {
+    std::printf("server error: %s\n", reply->status.ToString().c_str());
+    return;
+  }
+  std::printf("%s", reply->body.c_str());
+}
+
+void RunConnect(const std::string& target) {
+  const size_t colon = target.rfind(':');
+  if (colon == std::string::npos) {
+    std::printf("usage: \\connect host:port\n");
+    return;
+  }
+  const std::string host = target.substr(0, colon);
+  const int port = std::atoi(target.substr(colon + 1).c_str());
+  static FroClient client;
+  client.Close();
+  Status status = client.Connect(host, port);
+  if (!status.ok()) {
+    std::printf("connect failed: %s\n", status.ToString().c_str());
+    g_remote = nullptr;
+    return;
+  }
+  g_remote = &client;
+  std::printf("connected to %s:%d; queries now run remotely\n", host.c_str(),
+              port);
+}
+
+void RunDisconnect() {
+  if (g_remote != nullptr) {
+    g_remote->Close();
+    g_remote = nullptr;
+  }
+  std::printf("local execution\n");
+}
+
+void RunCacheStats() {
+  if (g_remote != nullptr) {
+    PrintRemote(g_remote->Stats());
+    return;
+  }
+  std::printf("local plan_cache %s\n",
+              LocalPlanCache().stats().ToString().c_str());
+}
+
 void RunPlain(const NestedDb& db, const std::string& query) {
-  Result<QueryRunResult> run = RunQuery(db, query);
+  Result<QueryRunResult> run = RunQuery(db, query, LocalRunOptions());
   if (!run.ok()) {
     std::printf("error: %s\n", run.status().ToString().c_str());
     return;
@@ -54,7 +133,7 @@ void RunPlain(const NestedDb& db, const std::string& query) {
 }
 
 void RunExplain(const NestedDb& db, const std::string& query) {
-  Result<QueryRunResult> run = RunQuery(db, query);
+  Result<QueryRunResult> run = RunQuery(db, query, LocalRunOptions());
   if (!run.ok()) {
     std::printf("error: %s\n", run.status().ToString().c_str());
     return;
@@ -64,7 +143,7 @@ void RunExplain(const NestedDb& db, const std::string& query) {
 }
 
 void RunAnalyze(const NestedDb& db, const std::string& query) {
-  Result<QueryRunResult> run = RunQuery(db, query);
+  Result<QueryRunResult> run = RunQuery(db, query, LocalRunOptions());
   if (!run.ok()) {
     std::printf("error: %s\n", run.status().ToString().c_str());
     return;
@@ -122,14 +201,30 @@ void Dispatch(const NestedDb& db, const std::string& line) {
   std::printf("fro> %s\n", line.c_str());
   if (StartsWith(line, "\\help")) {
     PrintHelp();
+  } else if (StartsWith(line, "\\connect ")) {
+    RunConnect(line.substr(9));
+  } else if (StartsWith(line, "\\disconnect")) {
+    RunDisconnect();
+  } else if (StartsWith(line, "\\cachestats")) {
+    RunCacheStats();
   } else if (StartsWith(line, "\\explain ")) {
-    RunExplain(db, line.substr(9));
+    if (g_remote != nullptr) {
+      PrintRemote(g_remote->Explain(line.substr(9)));
+    } else {
+      RunExplain(db, line.substr(9));
+    }
   } else if (StartsWith(line, "\\analyze ")) {
-    RunAnalyze(db, line.substr(9));
+    if (g_remote != nullptr) {
+      PrintRemote(g_remote->Analyze(line.substr(9)));
+    } else {
+      RunAnalyze(db, line.substr(9));
+    }
   } else if (StartsWith(line, "\\graph ")) {
     RunGraph(db, line.substr(7));
   } else if (StartsWith(line, "\\trees ")) {
     RunTrees(db, line.substr(7));
+  } else if (g_remote != nullptr) {
+    PrintRemote(g_remote->Query(line));
   } else {
     RunPlain(db, line);
   }

@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
-# Regenerates BENCH_PR2.json (repo root) from bench_search_report: the
-# before/after numbers for the plan-space-search optimizations (closure
-# dedup, DPccp vs all-masks DP, borrowed-key probes).
+# Regenerates the benchmark reports at the repo root:
+#   BENCH_PR2.json  bench_search_report — plan-space-search optimizations
+#                   (closure dedup, DPccp vs all-masks DP, borrowed keys)
+#   BENCH_PR3.json  bench_server — fro_serve under open-loop load, plan
+#                   cache off vs on (QPS, p50/p99, hit rate)
 #
 # Usage: scripts/bench.sh [--smoke]
-#   --smoke   one repetition at reduced sizes (CI sanity run)
+#   --smoke   reduced sizes / request counts (CI sanity run)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -18,7 +20,10 @@ for arg in "$@"; do
 done
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
-cmake --build "$BUILD_DIR" --target bench_search_report -j"$(nproc)"
+cmake --build "$BUILD_DIR" --target bench_search_report bench_server -j"$(nproc)"
 "$BUILD_DIR/bench/bench_search_report" $SMOKE > BENCH_PR2.json
 echo "wrote BENCH_PR2.json:"
 cat BENCH_PR2.json
+"$BUILD_DIR/bench/bench_server" $SMOKE > BENCH_PR3.json
+echo "wrote BENCH_PR3.json:"
+cat BENCH_PR3.json

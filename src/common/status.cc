@@ -16,8 +16,28 @@ const char* StatusCodeName(StatusCode code) {
       return "Unimplemented";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
+}
+
+StatusCode StatusCodeFromName(const std::string& name) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kFailedPrecondition, StatusCode::kUnimplemented,
+        StatusCode::kInternal, StatusCode::kDeadlineExceeded,
+        StatusCode::kCancelled, StatusCode::kResourceExhausted,
+        StatusCode::kUnavailable}) {
+    if (name == StatusCodeName(code)) return code;
+  }
+  return StatusCode::kInternal;
 }
 
 std::string Status::ToString() const {
@@ -42,6 +62,18 @@ Status Unimplemented(std::string message) {
 }
 Status Internal(std::string message) {
   return Status(StatusCode::kInternal, std::move(message));
+}
+Status DeadlineExceeded(std::string message) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(message));
+}
+Status Cancelled(std::string message) {
+  return Status(StatusCode::kCancelled, std::move(message));
+}
+Status ResourceExhausted(std::string message) {
+  return Status(StatusCode::kResourceExhausted, std::move(message));
+}
+Status Unavailable(std::string message) {
+  return Status(StatusCode::kUnavailable, std::move(message));
 }
 
 }  // namespace fro

@@ -22,7 +22,18 @@ enum class StatusCode {
   kFailedPrecondition,
   kUnimplemented,
   kInternal,
+  // Serving-path outcomes (src/server): a query ran past its deadline,
+  // was cancelled by a client, was refused by admission control, or the
+  // peer/socket went away.
+  kDeadlineExceeded,
+  kCancelled,
+  kResourceExhausted,
+  kUnavailable,
 };
+
+/// Parses a name produced by StatusCodeName back into its code; returns
+/// kInternal for unrecognized names (wire-protocol round-tripping).
+StatusCode StatusCodeFromName(const std::string& name);
 
 /// Returns a human-readable name for a status code ("InvalidArgument", ...).
 const char* StatusCodeName(StatusCode code);
@@ -60,6 +71,10 @@ Status NotFound(std::string message);
 Status FailedPrecondition(std::string message);
 Status Unimplemented(std::string message);
 Status Internal(std::string message);
+Status DeadlineExceeded(std::string message);
+Status Cancelled(std::string message);
+Status ResourceExhausted(std::string message);
+Status Unavailable(std::string message);
 
 /// A value of type T or an error Status. Use `ok()` before dereferencing.
 template <typename T>

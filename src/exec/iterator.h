@@ -15,15 +15,73 @@
 #ifndef FRO_EXEC_ITERATOR_H_
 #define FRO_EXEC_ITERATOR_H_
 
+#include <atomic>
 #include <chrono>
 #include <memory>
 #include <vector>
 
 #include "algebra/expr.h"
+#include "common/status.h"
 #include "relational/exec_stats.h"
 #include "relational/relation.h"
 
 namespace fro {
+
+/// Cooperative interruption of a running pipeline: a cancel flag any
+/// thread may raise and an optional wall-clock deadline. Every operator
+/// consults the control at the top of Next() (see TupleIterator), so a
+/// pipeline stops within one tuple of the request at any depth.
+///
+/// Threading: RequestCancel() may be called from any thread; everything
+/// else belongs to the single thread driving the pipeline. The deadline
+/// clock is only read every kDeadlineStride checks, keeping the per-tuple
+/// overhead to one relaxed atomic load.
+class ExecControl {
+ public:
+  static constexpr uint64_t kDeadlineStride = 256;
+
+  /// Raises the cancel flag; safe from any thread, idempotent.
+  void RequestCancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// Arms the deadline. Call before Open(), from the driving thread.
+  void set_deadline(std::chrono::steady_clock::time_point deadline) {
+    has_deadline_ = true;
+    deadline_ = deadline;
+  }
+
+  /// True once the pipeline should stop producing. Driving thread only.
+  bool ShouldStop() {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    if (deadline_hit_) return true;
+    if (has_deadline_ && ++checks_ % kDeadlineStride == 0 &&
+        std::chrono::steady_clock::now() >= deadline_) {
+      deadline_hit_ = true;
+      return true;
+    }
+    return false;
+  }
+
+  /// True if any stop condition fired (without re-checking the clock).
+  bool stopped() const {
+    return deadline_hit_ || cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// Why the pipeline stopped: Cancelled, DeadlineExceeded, or OK.
+  Status status() const {
+    if (cancelled_.load(std::memory_order_relaxed)) {
+      return fro::Cancelled("query cancelled");
+    }
+    if (deadline_hit_) return DeadlineExceeded("query deadline exceeded");
+    return Status::Ok();
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  bool has_deadline_ = false;
+  bool deadline_hit_ = false;
+  uint64_t checks_ = 0;
+  std::chrono::steady_clock::time_point deadline_{};
+};
 
 /// Pull-based tuple iterator. Lifecycle: Open() -> Next()* -> Close().
 /// Open() may be called again after Close() to rescan. Subclasses
@@ -43,8 +101,12 @@ class TupleIterator {
     }
   }
 
-  /// Produces the next tuple; returns false when exhausted.
+  /// Produces the next tuple; returns false when exhausted — or when the
+  /// attached ExecControl asks the pipeline to stop, making exhaustion
+  /// indistinguishable from interruption here: callers that attached a
+  /// control must check its stopped()/status() after the drain.
   bool Next(Tuple* out) {
+    if (control_ != nullptr && control_->ShouldStop()) return false;
     bool produced;
     if (timing_) {
       const auto start = std::chrono::steady_clock::now();
@@ -88,6 +150,14 @@ class TupleIterator {
     for (TupleIterator* child : children()) child->EnableTiming(on);
   }
 
+  /// Attaches a cooperative interrupt to this operator and its whole
+  /// subtree (every depth checks, so deeply buffered operators stop too).
+  /// Pass nullptr to detach. The control must outlive the iterator's use.
+  void SetControl(ExecControl* control) {
+    control_ = control;
+    for (TupleIterator* child : children()) child->SetControl(control);
+  }
+
   /// Pre-order visit of the operator tree rooted here.
   template <typename Visitor>
   void Visit(Visitor&& visitor, int depth = 0) {
@@ -114,6 +184,7 @@ class TupleIterator {
 
   ExecStats stats_;
   ExprPtr source_;
+  ExecControl* control_ = nullptr;
   bool timing_ = false;
 };
 

@@ -6,9 +6,11 @@
 
 #include <string>
 
+#include "lang/ast.h"
 #include "lang/model.h"
 #include "lang/translate.h"
 #include "optimizer/optimizer.h"
+#include "optimizer/plan_cache.h"
 #include "relational/relation.h"
 
 namespace fro {
@@ -27,6 +29,10 @@ struct RunOptions {
   /// implementing tree is executed as is.
   bool optimize = true;
   CostKind cost_kind = CostKind::kCout;
+  /// Optional plan cache threaded through to Optimize (keyed on the
+  /// translated query's structural hash; see optimizer/plan_cache.h).
+  /// Not owned. With caching, OptimizeOutcome::cache_hit reports reuse.
+  PlanCacheInterface* plan_cache = nullptr;
 };
 
 /// Parses and runs `query_text` against `nested`. Fails on syntax errors,
@@ -34,6 +40,14 @@ struct RunOptions {
 Result<QueryRunResult> RunQuery(const NestedDb& nested,
                                 const std::string& query_text,
                                 const RunOptions& options = RunOptions());
+
+/// Runs an already-parsed query: the translate/optimize/execute tail of
+/// RunQuery. Lets a serving layer parse once and replay the AST across
+/// EXPLAIN / ANALYZE / execute without re-lexing the text.
+Result<QueryRunResult> RunParsedQuery(const NestedDb& nested,
+                                      const SelectQuery& ast,
+                                      const RunOptions& options =
+                                          RunOptions());
 
 }  // namespace fro
 

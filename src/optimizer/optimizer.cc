@@ -60,10 +60,10 @@ ExprPtr MaybePushDown(ExprPtr plan, const OptimizeOptions& options,
   return pushed.expr;
 }
 
-}  // namespace
-
-Result<OptimizeOutcome> Optimize(const ExprPtr& query, const Database& db,
-                                 const OptimizeOptions& options) {
+// The full pipeline, bypassing `options.plan_cache`.
+Result<OptimizeOutcome> OptimizeUncached(const ExprPtr& query,
+                                         const Database& db,
+                                         const OptimizeOptions& options) {
   OptimizeOutcome outcome;
   CostModel cost_model(db, options.cost_kind);
   outcome.original_cost = cost_model.PlanCost(query);
@@ -132,6 +132,55 @@ Result<OptimizeOutcome> Optimize(const ExprPtr& query, const Database& db,
            ? "; left-deepened with " + std::to_string(outcome.goj_rewrites) +
                  " GOJ rewrite(s)"
            : "");
+  return outcome;
+}
+
+}  // namespace
+
+const char* PlanClassName(PlanClass plan_class) {
+  switch (plan_class) {
+    case PlanClass::kFreelyReorderable:
+      return "freely-reorderable";
+    case PlanClass::kGojRewritten:
+      return "goj-rewritten";
+  }
+  return "unknown";
+}
+
+Result<OptimizeOutcome> Optimize(const ExprPtr& query, const Database& db,
+                                 const OptimizeOptions& options) {
+  if (options.plan_cache == nullptr) {
+    return OptimizeUncached(query, db, options);
+  }
+  // The key is the canonical query's structural hash: alias-renamed but
+  // structurally identical queries flatten to the same relation/attribute
+  // ids and therefore collide here on purpose (plan_cache.h explains why
+  // replaying the plan is then sound).
+  const uint64_t key = query->hash();
+  if (std::optional<CachedPlan> cached = options.plan_cache->Lookup(key)) {
+    OptimizeOutcome outcome;
+    outcome.plan = cached->plan;
+    outcome.cost = cached->cost;
+    outcome.freely_reorderable =
+        cached->plan_class == PlanClass::kFreelyReorderable;
+    outcome.goj_rewrites = cached->goj_rewrites;
+    outcome.cache_hit = true;
+    outcome.notes = "plan cache hit [" +
+                    std::string(PlanClassName(cached->plan_class)) + "]: " +
+                    cached->notes;
+    return outcome;
+  }
+  FRO_ASSIGN_OR_RETURN(OptimizeOutcome outcome,
+                       OptimizeUncached(query, db, options));
+  CachedPlan entry;
+  entry.plan = outcome.plan;
+  entry.plan_class = outcome.freely_reorderable
+                         ? PlanClass::kFreelyReorderable
+                         : PlanClass::kGojRewritten;
+  entry.cost = outcome.cost;
+  entry.goj_rewrites = outcome.goj_rewrites;
+  entry.notes = outcome.notes;
+  options.plan_cache->Insert(key, std::move(entry));
   return outcome;
 }
 

@@ -21,6 +21,7 @@
 #include "common/status.h"
 #include "optimizer/cost.h"
 #include "optimizer/dp.h"
+#include "optimizer/plan_cache.h"
 
 namespace fro {
 
@@ -36,6 +37,11 @@ struct OptimizeOptions {
   /// Largest relation count handled by the exact DP; bigger
   /// freely-reorderable graphs use greedy operator ordering instead.
   int max_dp_relations = 14;
+  /// Optional plan cache, keyed on the input query's structural hash.
+  /// On a hit the whole pipeline is skipped and the cached plan returned
+  /// (sound for structurally identical queries; see plan_cache.h). Not
+  /// owned; must be thread-safe if Optimize runs concurrently.
+  PlanCacheInterface* plan_cache = nullptr;
 };
 
 struct OptimizeOutcome {
@@ -52,6 +58,9 @@ struct OptimizeOutcome {
   /// that were DP-optimized in place (the Section 6.1 extension).
   int subqueries_reordered = 0;
   uint64_t plans_considered = 0;
+  /// True when the plan came from `options.plan_cache` and the search was
+  /// skipped entirely.
+  bool cache_hit = false;
   std::string notes;
 };
 

@@ -1,0 +1,68 @@
+// The optimizer's view of a plan cache.
+//
+// Theorem 1 makes plan caching sound for the freely-reorderable class:
+// for a nice query graph with strong outerjoin predicates, *every*
+// implementing tree evaluates to the same relation, so an optimized tree
+// cached under the canonical query's structural hash (algebra/expr.h,
+// PR 2's hash-consing) can be replayed verbatim for any structurally
+// identical query — including alias-renamed copies, whose flattened
+// relations and attributes receive the same ids in the same order. For
+// queries outside the class the cache stores the plan the full pipeline
+// produced (simplification + Section 6.1 subquery reordering + GOJ
+// left-deepening); the rewrite metadata rides along so observability
+// tools can distinguish the two populations.
+//
+// The optimizer only consumes this interface; the concrete thread-safe
+// LRU lives in server/plan_cache.h so the optimizer keeps zero
+// serving-layer dependencies.
+
+#ifndef FRO_OPTIMIZER_PLAN_CACHE_H_
+#define FRO_OPTIMIZER_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "algebra/expr.h"
+
+namespace fro {
+
+/// How a cached plan was obtained — mirrors the optimizer's branches.
+enum class PlanClass : uint8_t {
+  /// Theorem 1 held: nice graph, strong predicates; any implementing
+  /// tree is result-identical, reuse is unconditionally sound.
+  kFreelyReorderable,
+  /// Outside the class: the plan embeds GOJ rewrites / kept association.
+  kGojRewritten,
+};
+
+const char* PlanClassName(PlanClass plan_class);
+
+/// One cached optimization outcome. Everything needed to skip the search
+/// and go straight to execution.
+struct CachedPlan {
+  ExprPtr plan;
+  PlanClass plan_class = PlanClass::kFreelyReorderable;
+  double cost = 0;
+  int goj_rewrites = 0;
+  std::string notes;
+};
+
+/// Abstract cache handle. Implementations must be safe for concurrent
+/// Lookup/Insert from multiple optimizer callers (the serving worker
+/// pool); the single-threaded paths may pass nullptr everywhere.
+class PlanCacheInterface {
+ public:
+  virtual ~PlanCacheInterface() = default;
+
+  /// The cached plan under `key` (a canonical query's Expr::hash()), or
+  /// nullopt. Implementations should treat a hit as a recency touch.
+  virtual std::optional<CachedPlan> Lookup(uint64_t key) = 0;
+
+  /// Stores `plan` under `key`, evicting as capacity demands.
+  virtual void Insert(uint64_t key, CachedPlan plan) = 0;
+};
+
+}  // namespace fro
+
+#endif  // FRO_OPTIMIZER_PLAN_CACHE_H_

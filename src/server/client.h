@@ -1,0 +1,57 @@
+// Blocking client for the fro_serve protocol; the substrate under
+// fro_client, fro_shell's \connect mode, the integration tests, and the
+// load generator. One FroClient owns one connection and is not
+// thread-safe — use one per client thread.
+
+#ifndef FRO_SERVER_CLIENT_H_
+#define FRO_SERVER_CLIENT_H_
+
+#include <string>
+
+#include "server/protocol.h"
+
+namespace fro {
+
+class FroClient {
+ public:
+  FroClient() = default;
+  ~FroClient();
+
+  FroClient(const FroClient&) = delete;
+  FroClient& operator=(const FroClient&) = delete;
+  FroClient(FroClient&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  FroClient& operator=(FroClient&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  /// Connects to `host:port` (host as dotted quad or "localhost").
+  Status Connect(const std::string& host, int port);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// One request/response round trip. A returned error Status means the
+  /// transport failed; a server-side failure comes back as an OK Result
+  /// whose Response.status is the server's error.
+  Result<Response> Call(const Request& request);
+
+  /// Verb shorthands.
+  Result<Response> Query(const std::string& text,
+                         const std::string& tag = "");
+  Result<Response> Explain(const std::string& text);
+  Result<Response> Analyze(const std::string& text);
+  Result<Response> Stats();
+  Result<Response> Cancel(const std::string& tag);
+  Result<Response> Ping();
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace fro
+
+#endif  // FRO_SERVER_CLIENT_H_

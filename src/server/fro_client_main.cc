@@ -1,0 +1,83 @@
+// fro_client — command-line client for fro_serve.
+//
+//   $ fro_client --port 7437 "Select All From EMPLOYEE*ChildName"
+//   $ echo "\\stats" | fro_client --port 7437
+//
+// Each input line (arguments joined, else stdin) is one request:
+//   \explain <query>   EXPLAIN
+//   \analyze <query>   ANALYZE
+//   \stats             STATS
+//   \cancel <tag>      CANCEL
+//   \ping              PING
+//   anything else      QUERY
+//
+// Responses print as `[ok]` or `[err <status>]` plus the body.
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "common/str_util.h"
+#include "server/client.h"
+
+namespace {
+
+void Dispatch(fro::FroClient& client, const std::string& line) {
+  if (line.empty()) return;
+  fro::Result<fro::Response> reply =
+      fro::StartsWith(line, "\\explain ")  ? client.Explain(line.substr(9))
+      : fro::StartsWith(line, "\\analyze ") ? client.Analyze(line.substr(9))
+      : fro::StartsWith(line, "\\stats")    ? client.Stats()
+      : fro::StartsWith(line, "\\cancel ")  ? client.Cancel(line.substr(8))
+      : fro::StartsWith(line, "\\ping")     ? client.Ping()
+                                            : client.Query(line);
+  if (!reply.ok()) {
+    std::printf("[transport error] %s\n", reply.status().ToString().c_str());
+    return;
+  }
+  if (reply->status.ok()) {
+    std::printf("[ok]\n%s", reply->body.c_str());
+  } else {
+    std::printf("[err %s]\n", reply->status.ToString().c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  int port = 7437;
+  int first_arg = 1;
+  for (; first_arg < argc; ++first_arg) {
+    if (std::strcmp(argv[first_arg], "--host") == 0 &&
+        first_arg + 1 < argc) {
+      host = argv[++first_arg];
+    } else if (std::strcmp(argv[first_arg], "--port") == 0 &&
+               first_arg + 1 < argc) {
+      port = std::atoi(argv[++first_arg]);
+    } else {
+      break;
+    }
+  }
+
+  fro::FroClient client;
+  fro::Status connected = client.Connect(host, port);
+  if (!connected.ok()) {
+    std::fprintf(stderr, "fro_client: %s\n", connected.ToString().c_str());
+    return 1;
+  }
+
+  if (first_arg < argc) {
+    std::string line;
+    for (int i = first_arg; i < argc; ++i) {
+      if (i > first_arg) line += " ";
+      line += argv[i];
+    }
+    Dispatch(client, line);
+    return 0;
+  }
+  std::string line;
+  while (std::getline(std::cin, line)) Dispatch(client, line);
+  return 0;
+}

@@ -1,0 +1,102 @@
+// fro_serve — the query-serving daemon. Serves the Section 5 company
+// database (optionally scaled) over the length-prefixed TCP protocol.
+//
+//   $ fro_serve --port 7437
+//   $ fro_serve --port 0 --workers 8 --cache-capacity 256 --scale 100
+//
+// Flags:
+//   --port N            listen port on 127.0.0.1 (0 = ephemeral, printed)
+//   --workers N         worker threads (default 4)
+//   --queue N           admission queue bound (default 16)
+//   --deadline-ms N     per-query deadline, 0 disables (default 30000)
+//   --cache-capacity N  plan-cache entries, 0 disables (default 128)
+//   --scale N           company-database scale factor (default 1)
+//   --metrics-dump      print the STATS payload on shutdown
+//
+// SIGINT / SIGTERM shut the server down cleanly.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "server/server.h"
+#include "testing/nested_sample.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleSignal(int) { g_stop = 1; }
+
+int UsageError(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--port N] [--workers N] [--queue N] "
+               "[--deadline-ms N] [--cache-capacity N] [--scale N] "
+               "[--metrics-dump]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fro::ServerOptions options;
+  options.port = 7437;
+  int scale = 1;
+  bool metrics_dump = false;
+  for (int i = 1; i < argc; ++i) {
+    auto int_flag = [&](const char* name, int* out) {
+      if (std::strcmp(argv[i], name) == 0 && i + 1 < argc) {
+        *out = std::atoi(argv[++i]);
+        return true;
+      }
+      return false;
+    };
+    int cache_capacity = -1;
+    if (int_flag("--port", &options.port) ||
+        int_flag("--workers", &options.num_workers) ||
+        int_flag("--queue", &options.max_pending) ||
+        int_flag("--deadline-ms", &options.default_deadline_ms) ||
+        int_flag("--scale", &scale)) {
+      continue;
+    }
+    if (int_flag("--cache-capacity", &cache_capacity)) {
+      options.plan_cache_capacity = static_cast<size_t>(
+          cache_capacity < 0 ? 0 : cache_capacity);
+      continue;
+    }
+    if (std::strcmp(argv[i], "--metrics-dump") == 0) {
+      metrics_dump = true;
+      continue;
+    }
+    return UsageError(argv[0]);
+  }
+
+  fro::NestedDb db = scale <= 1 ? fro::MakeCompanyNestedDb()
+                                : fro::MakeScaledCompanyNestedDb(scale);
+  fro::FroServer server(&db, options);
+  fro::Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "fro_serve: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("fro_serve listening on 127.0.0.1:%d (workers=%d queue=%d "
+              "deadline=%dms cache=%zu scale=%d)\n",
+              server.port(), options.num_workers, options.max_pending,
+              options.default_deadline_ms, options.plan_cache_capacity,
+              scale);
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (!g_stop) {
+    struct timespec ts = {0, 100 * 1000 * 1000};
+    nanosleep(&ts, nullptr);
+  }
+  server.Stop();
+  if (metrics_dump) {
+    std::printf("%s", server.StatsText().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,126 @@
+#include "server/metrics.h"
+
+#include <cstdio>
+
+namespace fro {
+
+namespace {
+
+int BucketOf(uint64_t micros) {
+  int bucket = 0;
+  while (micros > 1 && bucket < LatencyHistogram::kBuckets - 1) {
+    micros >>= 1;
+    ++bucket;
+  }
+  return bucket;
+}
+
+}  // namespace
+
+void LatencyHistogram::Record(uint64_t micros) {
+  buckets_[BucketOf(micros)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_micros_.fetch_add(micros, std::memory_order_relaxed);
+}
+
+double LatencyHistogram::Quantile(double q) const {
+  const uint64_t total = count();
+  if (total == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  uint64_t rank = static_cast<uint64_t>(q * (total - 1));
+  uint64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    const uint64_t in_bucket = buckets_[b].load(std::memory_order_relaxed);
+    if (in_bucket == 0) continue;
+    if (seen + in_bucket > rank) {
+      // Linear interpolation inside [2^(b-1), 2^b).
+      const double lo = b == 0 ? 0.0 : static_cast<double>(1ull << (b - 1));
+      const double hi = static_cast<double>(1ull << b);
+      const double frac =
+          static_cast<double>(rank - seen + 1) / static_cast<double>(in_bucket);
+      return lo + (hi - lo) * frac;
+    }
+    seen += in_bucket;
+  }
+  return static_cast<double>(1ull << (kBuckets - 1));
+}
+
+double LatencyHistogram::mean() const {
+  const uint64_t total = count();
+  if (total == 0) return 0;
+  return static_cast<double>(sum_micros_.load(std::memory_order_relaxed)) /
+         static_cast<double>(total);
+}
+
+void ServerMetrics::RecordQuery(const QueryObservation& observation) {
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  latency_.Record(observation.latency_micros);
+  if (observation.cache_hit) {
+    cache_hits_.fetch_add(1, std::memory_order_relaxed);
+  }
+  switch (observation.status.code()) {
+    case StatusCode::kOk:
+      ok_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case StatusCode::kDeadlineExceeded:
+      timeouts_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case StatusCode::kCancelled:
+      cancelled_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    default:
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+}
+
+void ServerMetrics::RecordOperator(const std::string& physical_name,
+                                   const ExecStats& stats) {
+  std::lock_guard<std::mutex> lock(op_mu_);
+  op_totals_[physical_name] += stats;
+}
+
+std::string ServerMetrics::ToText() const {
+  char line[256];
+  std::string out;
+  std::snprintf(line, sizeof(line),
+                "queries=%llu ok=%llu errors=%llu timeouts=%llu "
+                "cancelled=%llu rejected=%llu\n",
+                static_cast<unsigned long long>(queries()),
+                static_cast<unsigned long long>(
+                    ok_.load(std::memory_order_relaxed)),
+                static_cast<unsigned long long>(errors()),
+                static_cast<unsigned long long>(timeouts()),
+                static_cast<unsigned long long>(cancelled()),
+                static_cast<unsigned long long>(rejected()));
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "connections=%llu frame_errors=%llu query_cache_hits=%llu\n",
+                static_cast<unsigned long long>(
+                    connections_.load(std::memory_order_relaxed)),
+                static_cast<unsigned long long>(
+                    frame_errors_.load(std::memory_order_relaxed)),
+                static_cast<unsigned long long>(cache_hits()));
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "latency_mean_us=%.1f latency_p50_us=%.1f "
+                "latency_p99_us=%.1f\n",
+                latency_.mean(), latency_.Quantile(0.5),
+                latency_.Quantile(0.99));
+  out += line;
+  std::lock_guard<std::mutex> lock(op_mu_);
+  for (const auto& [name, stats] : op_totals_) {
+    std::snprintf(line, sizeof(line),
+                  "op %s reads=%llu emitted=%llu probes=%llu evals=%llu\n",
+                  name.c_str(),
+                  static_cast<unsigned long long>(stats.tuples_read()),
+                  static_cast<unsigned long long>(stats.emitted),
+                  static_cast<unsigned long long>(stats.probes),
+                  static_cast<unsigned long long>(stats.predicate_evals));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace fro

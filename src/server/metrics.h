@@ -1,0 +1,104 @@
+// The per-server metrics registry behind the STATS verb and
+// `fro_serve --metrics-dump`: request outcome counters, a log-bucketed
+// latency histogram (approximate p50/p99), and per-physical-operator
+// ExecStats totals aggregated from every executed pipeline (PR 1's
+// instrumentation, rolled up across queries).
+
+#ifndef FRO_SERVER_METRICS_H_
+#define FRO_SERVER_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+#include "relational/exec_stats.h"
+
+namespace fro {
+
+/// Latencies in microseconds, bucketed by power of two up to ~17 minutes.
+/// Record() is lock-free; percentiles interpolate within the winning
+/// bucket (exact enough for dashboards; benches keep raw samples).
+class LatencyHistogram {
+ public:
+  static constexpr int kBuckets = 30;
+
+  void Record(uint64_t micros);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  /// Approximate quantile in microseconds, q in [0, 1].
+  double Quantile(double q) const;
+  double mean() const;
+
+ private:
+  std::atomic<uint64_t> buckets_[kBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_micros_{0};
+};
+
+/// One query's contribution to the registry.
+struct QueryObservation {
+  Status status;
+  uint64_t latency_micros = 0;
+  bool cache_hit = false;
+};
+
+class ServerMetrics {
+ public:
+  void RecordQuery(const QueryObservation& observation);
+  /// Folds one executed pipeline's per-operator counters into the
+  /// per-operator totals (`physical_name` -> summed ExecStats).
+  void RecordOperator(const std::string& physical_name,
+                      const ExecStats& stats);
+  void RecordRejected() { rejected_.fetch_add(1, std::memory_order_relaxed); }
+  void RecordConnection() {
+    connections_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void RecordFrameError() {
+    frame_errors_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  uint64_t queries() const { return queries_.load(std::memory_order_relaxed); }
+  uint64_t errors() const { return errors_.load(std::memory_order_relaxed); }
+  uint64_t timeouts() const {
+    return timeouts_.load(std::memory_order_relaxed);
+  }
+  uint64_t cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+  uint64_t rejected() const {
+    return rejected_.load(std::memory_order_relaxed);
+  }
+  uint64_t cache_hits() const {
+    return cache_hits_.load(std::memory_order_relaxed);
+  }
+  uint64_t frame_errors() const {
+    return frame_errors_.load(std::memory_order_relaxed);
+  }
+  const LatencyHistogram& latency() const { return latency_; }
+
+  /// The STATS dump: one `key=value` per line plus an `op <name> ...`
+  /// line per physical operator.
+  std::string ToText() const;
+
+ private:
+  std::atomic<uint64_t> queries_{0};
+  std::atomic<uint64_t> ok_{0};
+  std::atomic<uint64_t> errors_{0};
+  std::atomic<uint64_t> timeouts_{0};
+  std::atomic<uint64_t> cancelled_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> cache_hits_{0};
+  std::atomic<uint64_t> connections_{0};
+  std::atomic<uint64_t> frame_errors_{0};
+  LatencyHistogram latency_;
+
+  mutable std::mutex op_mu_;
+  std::map<std::string, ExecStats> op_totals_;
+};
+
+}  // namespace fro
+
+#endif  // FRO_SERVER_METRICS_H_

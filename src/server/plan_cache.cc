@@ -1,0 +1,71 @@
+#include "server/plan_cache.h"
+
+#include <cstdio>
+
+namespace fro {
+
+std::string PlanCacheStats::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "hits=%llu misses=%llu insertions=%llu evictions=%llu "
+                "size=%zu capacity=%zu hit_rate=%.4f",
+                static_cast<unsigned long long>(hits),
+                static_cast<unsigned long long>(misses),
+                static_cast<unsigned long long>(insertions),
+                static_cast<unsigned long long>(evictions), size, capacity,
+                hit_rate());
+  return buf;
+}
+
+std::optional<CachedPlan> LruPlanCache::Lookup(uint64_t key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);  // touch
+  return it->second->plan;
+}
+
+void LruPlanCache::Insert(uint64_t key, CachedPlan plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (capacity_ == 0) return;
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Concurrent optimizers can race to fill the same key; both plans are
+    // equally valid (the search is deterministic), keep the newer.
+    it->second->plan = std::move(plan);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  ++insertions_;
+  lru_.push_front(Entry{key, std::move(plan)});
+  index_[key] = lru_.begin();
+  while (lru_.size() > capacity_) {
+    ++evictions_;
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+}
+
+void LruPlanCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+}
+
+PlanCacheStats LruPlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  PlanCacheStats out;
+  out.hits = hits_;
+  out.misses = misses_;
+  out.insertions = insertions_;
+  out.evictions = evictions_;
+  out.size = lru_.size();
+  out.capacity = capacity_;
+  return out;
+}
+
+}  // namespace fro

@@ -1,0 +1,171 @@
+#include "server/protocol.h"
+
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/str_util.h"
+
+namespace fro {
+
+namespace {
+
+// Verb spellings, indexed by Verb.
+constexpr const char* kVerbNames[] = {"QUERY",  "EXPLAIN", "ANALYZE",
+                                      "STATS",  "CANCEL",  "PING"};
+
+bool VerbRequiresArgument(Verb verb) {
+  return verb == Verb::kQuery || verb == Verb::kExplain ||
+         verb == Verb::kAnalyze || verb == Verb::kCancel;
+}
+
+// Reads exactly `n` bytes; distinguishes clean EOF before the first byte.
+Status ReadFull(int fd, char* out, size_t n, bool* clean_eof) {
+  *clean_eof = false;
+  size_t got = 0;
+  while (got < n) {
+    ssize_t r = ::recv(fd, out + got, n - got, 0);
+    if (r == 0) {
+      if (got == 0) *clean_eof = true;
+      return Unavailable(got == 0 ? "connection closed"
+                                  : "connection closed mid-frame");
+    }
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Unavailable(std::string("recv failed: ") + std::strerror(errno));
+    }
+    got += static_cast<size_t>(r);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+const char* VerbName(Verb verb) {
+  return kVerbNames[static_cast<size_t>(verb)];
+}
+
+Result<Request> ParseRequest(const std::string& payload) {
+  if (payload.empty()) return InvalidArgument("empty request frame");
+  const size_t space = payload.find(' ');
+  std::string head = payload.substr(0, space);
+  Request request;
+  if (space != std::string::npos) {
+    request.argument = payload.substr(space + 1);
+  }
+  const size_t at = head.find('@');
+  if (at != std::string::npos) {
+    request.tag = head.substr(at + 1);
+    head = head.substr(0, at);
+    if (request.tag.empty()) return InvalidArgument("empty tag after '@'");
+  }
+  bool known = false;
+  for (size_t i = 0; i < std::size(kVerbNames); ++i) {
+    if (head == kVerbNames[i]) {
+      request.verb = static_cast<Verb>(i);
+      known = true;
+      break;
+    }
+  }
+  if (!known) return InvalidArgument("unknown verb: " + head);
+  if (VerbRequiresArgument(request.verb) && request.argument.empty()) {
+    return InvalidArgument(std::string(VerbName(request.verb)) +
+                           " requires an argument");
+  }
+  return request;
+}
+
+std::string SerializeRequest(const Request& request) {
+  std::string out = VerbName(request.verb);
+  if (!request.tag.empty()) {
+    out += '@';
+    out += request.tag;
+  }
+  if (!request.argument.empty()) {
+    out += ' ';
+    out += request.argument;
+  }
+  return out;
+}
+
+std::string SerializeResponse(const Response& response) {
+  if (response.status.ok()) return "OK\n" + response.body;
+  // Error messages are folded to one line so the status line stays
+  // parseable.
+  std::string message = response.status.message();
+  for (char& c : message) {
+    if (c == '\n') c = ' ';
+  }
+  return std::string("ERR ") + StatusCodeName(response.status.code()) + " " +
+         message;
+}
+
+Result<Response> ParseResponse(const std::string& payload) {
+  Response response;
+  if (StartsWith(payload, "OK\n")) {
+    response.body = payload.substr(3);
+    return response;
+  }
+  if (StartsWith(payload, "OK")) return response;  // empty body
+  if (!StartsWith(payload, "ERR ")) {
+    return InvalidArgument("malformed response frame");
+  }
+  const std::string rest = payload.substr(4);
+  const size_t space = rest.find(' ');
+  const std::string code_name = rest.substr(0, space);
+  const std::string message =
+      space == std::string::npos ? "" : rest.substr(space + 1);
+  response.status = Status(StatusCodeFromName(code_name), message);
+  return response;
+}
+
+Status WriteFrame(int fd, const std::string& payload) {
+  if (payload.size() > kMaxFrameBytes) {
+    return InvalidArgument("frame payload exceeds kMaxFrameBytes");
+  }
+  const uint32_t n = static_cast<uint32_t>(payload.size());
+  char header[4] = {static_cast<char>(n >> 24), static_cast<char>(n >> 16),
+                    static_cast<char>(n >> 8), static_cast<char>(n)};
+  std::string wire(header, 4);
+  wire += payload;
+  size_t sent = 0;
+  while (sent < wire.size()) {
+    // MSG_NOSIGNAL: a peer that closed mid-write yields EPIPE, not a
+    // process-wide SIGPIPE.
+    ssize_t r = ::send(fd, wire.data() + sent, wire.size() - sent,
+                       MSG_NOSIGNAL);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Unavailable(std::string("send failed: ") + std::strerror(errno));
+    }
+    sent += static_cast<size_t>(r);
+  }
+  return Status::Ok();
+}
+
+Status ReadFrame(int fd, std::string* payload) {
+  char header[4];
+  bool clean_eof = false;
+  FRO_RETURN_IF_ERROR(ReadFull(fd, header, 4, &clean_eof));
+  const uint32_t n = (static_cast<uint32_t>(static_cast<unsigned char>(
+                          header[0]))
+                      << 24) |
+                     (static_cast<uint32_t>(static_cast<unsigned char>(
+                          header[1]))
+                      << 16) |
+                     (static_cast<uint32_t>(static_cast<unsigned char>(
+                          header[2]))
+                      << 8) |
+                     static_cast<uint32_t>(static_cast<unsigned char>(
+                         header[3]));
+  if (n > kMaxFrameBytes) {
+    return InvalidArgument("declared frame length " + std::to_string(n) +
+                           " exceeds limit " + std::to_string(kMaxFrameBytes));
+  }
+  payload->resize(n);
+  if (n == 0) return Status::Ok();
+  return ReadFull(fd, payload->data(), n, &clean_eof);
+}
+
+}  // namespace fro

@@ -1,0 +1,124 @@
+// fro_serve's TCP front end: an acceptor thread plus a fixed worker pool
+// behind a bounded admission queue.
+//
+// Architecture. The acceptor enqueues accepted connections; each worker
+// pops one and serves its frames sequentially until the client closes, so
+// the worker count bounds in-flight queries and the queue bounds waiting
+// connections. When the queue is full the acceptor replies with one
+// `ERR ResourceExhausted` frame and closes — load is shed at admission,
+// never by blocking the accept loop.
+//
+// Deadlines and cancellation. Every QUERY gets an ExecControl with a
+// deadline of `options.default_deadline_ms`; the executor checks it
+// cooperatively (exec/iterator.h), so runaway queries stop within one
+// tuple. A QUERY whose verb carried `@tag` is registered while it runs,
+// and `CANCEL tag` from any connection raises its cancel flag.
+//
+// Sharing. All workers share one read-only NestedDb, one LruPlanCache,
+// and one ServerMetrics; per-query state (translation, plan, pipeline)
+// is worker-local. This is exactly the concurrency regime the
+// concurrent_smoke_test exercises under ThreadSanitizer.
+
+#ifndef FRO_SERVER_SERVER_H_
+#define FRO_SERVER_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "exec/iterator.h"
+#include "lang/model.h"
+#include "server/metrics.h"
+#include "server/plan_cache.h"
+#include "server/session.h"
+
+namespace fro {
+
+struct ServerOptions {
+  /// TCP port to bind on 127.0.0.1; 0 picks an ephemeral port (read it
+  /// back via port() — how the tests avoid collisions).
+  int port = 0;
+  /// Worker threads = maximum concurrently served connections.
+  int num_workers = 4;
+  /// Admission queue bound: connections accepted but not yet claimed by a
+  /// worker. Beyond it, new connections are refused with
+  /// ResourceExhausted.
+  int max_pending = 16;
+  /// Per-query execution deadline; <= 0 disables deadlines.
+  int default_deadline_ms = 30000;
+  /// Plan-cache entries; 0 serves every query cold (cache off).
+  size_t plan_cache_capacity = 128;
+};
+
+class FroServer {
+ public:
+  /// `db` must outlive the server and is never mutated.
+  FroServer(const NestedDb* db, ServerOptions options);
+  ~FroServer();
+
+  FroServer(const FroServer&) = delete;
+  FroServer& operator=(const FroServer&) = delete;
+
+  /// Binds, listens, and spawns the acceptor + workers.
+  Status Start();
+
+  /// Stops accepting, interrupts open connections and running queries,
+  /// joins all threads. Idempotent.
+  void Stop();
+
+  /// The bound port (valid after Start()).
+  int port() const { return port_; }
+
+  const ServerMetrics& metrics() const { return metrics_; }
+  const LruPlanCache& plan_cache() const { return plan_cache_; }
+  const QuerySession& session() const { return *session_; }
+
+  /// The STATS verb's payload: metrics, plan-cache, and AST-memo lines.
+  std::string StatsText() const;
+
+ private:
+  void AcceptLoop();
+  void WorkerLoop();
+  void ServeConnection(int fd);
+  Response Dispatch(const Request& request);
+
+  /// Registry of cancellable in-flight queries (tag -> control).
+  void RegisterQuery(const std::string& tag, ExecControl* control);
+  void UnregisterQuery(const std::string& tag);
+  bool CancelQuery(const std::string& tag);
+
+  const NestedDb* db_;
+  ServerOptions options_;
+  LruPlanCache plan_cache_;
+  ServerMetrics metrics_;
+  std::unique_ptr<QuerySession> session_;
+
+  std::atomic<bool> running_{false};
+  /// Atomic because Stop() closes it while AcceptLoop reads it to accept.
+  std::atomic<int> listen_fd_{-1};
+  int port_ = 0;
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<int> pending_;  // accepted, unclaimed connection fds
+
+  std::mutex conn_mu_;
+  std::unordered_set<int> open_conns_;  // fds being served, for Stop()
+
+  std::mutex inflight_mu_;
+  std::unordered_map<std::string, ExecControl*> inflight_;
+};
+
+}  // namespace fro
+
+#endif  // FRO_SERVER_SERVER_H_

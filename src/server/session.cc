@@ -1,0 +1,197 @@
+#include "server/session.h"
+
+#include <chrono>
+
+#include "common/check.h"
+#include "exec/build.h"
+#include "lang/lang.h"
+#include "lang/parser.h"
+#include "lang/translate.h"
+#include "optimizer/explain.h"
+#include "optimizer/optimizer.h"
+#include "relational/pretty.h"
+
+namespace fro {
+
+namespace {
+
+// The optimize tail shared by all three verbs: translate the parsed AST
+// and plan it through the (possibly cached) optimizer.
+struct PlannedQuery {
+  TranslationResult translation;
+  OptimizeOutcome optimize;
+};
+
+Result<PlannedQuery> Plan(const NestedDb& db, const SelectQuery& ast,
+                          PlanCacheInterface* cache) {
+  PlannedQuery planned;
+  FRO_ASSIGN_OR_RETURN(planned.translation, TranslateQuery(db, ast));
+  OptimizeOptions options;
+  options.plan_cache = cache;
+  FRO_ASSIGN_OR_RETURN(
+      planned.optimize,
+      Optimize(planned.translation.query, *planned.translation.db, options));
+  return planned;
+}
+
+std::string RenderResult(const Relation& relation, const Catalog& catalog,
+                         const std::string& notes) {
+  PrettyOptions pretty;
+  pretty.canonical = true;
+  pretty.max_rows = static_cast<size_t>(-1);
+  std::string body = PrettyTable(relation, &catalog, pretty);
+  body += "(" + std::to_string(relation.NumRows()) + " rows; " + notes + ")\n";
+  return body;
+}
+
+}  // namespace
+
+QuerySession::QuerySession(const NestedDb* db, LruPlanCache* plan_cache,
+                           ServerMetrics* metrics, SessionOptions options)
+    : db_(db), plan_cache_(plan_cache), metrics_(metrics), options_(options) {
+  FRO_CHECK(db_ != nullptr) << "QuerySession requires a database";
+}
+
+Result<SelectQuery> QuerySession::ParseCached(const std::string& text) {
+  if (options_.ast_cache_capacity == 0) return ParseQuery(text);
+  {
+    std::lock_guard<std::mutex> lock(ast_mu_);
+    auto it = ast_index_.find(text);
+    if (it != ast_index_.end()) {
+      ++ast_hits_;
+      ast_lru_.splice(ast_lru_.begin(), ast_lru_, it->second);
+      return it->second->second;  // copy out under the lock
+    }
+    ++ast_misses_;
+  }
+  FRO_ASSIGN_OR_RETURN(SelectQuery ast, ParseQuery(text));
+  std::lock_guard<std::mutex> lock(ast_mu_);
+  if (ast_index_.find(text) == ast_index_.end()) {
+    ast_lru_.emplace_front(text, ast);
+    ast_index_[text] = ast_lru_.begin();
+    while (ast_lru_.size() > options_.ast_cache_capacity) {
+      ast_index_.erase(ast_lru_.back().first);
+      ast_lru_.pop_back();
+    }
+  }
+  return ast;
+}
+
+uint64_t QuerySession::ast_hits() const {
+  std::lock_guard<std::mutex> lock(ast_mu_);
+  return ast_hits_;
+}
+
+uint64_t QuerySession::ast_misses() const {
+  std::lock_guard<std::mutex> lock(ast_mu_);
+  return ast_misses_;
+}
+
+Response QuerySession::RunQueryVerb(const std::string& text,
+                                    ExecControl* control, bool* cache_hit) {
+  Response response;
+  Result<SelectQuery> ast = ParseCached(text);
+  if (!ast.ok()) {
+    response.status = ast.status();
+    return response;
+  }
+  Result<PlannedQuery> planned = Plan(*db_, *ast, plan_cache_);
+  if (!planned.ok()) {
+    response.status = planned.status();
+    return response;
+  }
+  *cache_hit = planned->optimize.cache_hit;
+
+  const Database& rel_db = *planned->translation.db;
+  IteratorPtr root = BuildIterator(planned->optimize.plan, rel_db);
+  root->SetControl(control);
+  // Drain() opens, exhausts, and closes; the counters survive Close (only
+  // Open resets them), so the rollup below reads settled stats.
+  Relation result = Drain(root.get());
+  if (metrics_ != nullptr) {
+    root->Visit([this](TupleIterator* op, int) {
+      metrics_->RecordOperator(op->physical_name(), op->stats());
+    });
+  }
+  if (control != nullptr && control->stopped()) {
+    response.status = control->status();
+    return response;
+  }
+  response.body =
+      RenderResult(result, rel_db.catalog(), planned->optimize.notes);
+  return response;
+}
+
+Response QuerySession::RunExplainVerb(const std::string& text) {
+  Response response;
+  Result<SelectQuery> ast = ParseCached(text);
+  if (!ast.ok()) {
+    response.status = ast.status();
+    return response;
+  }
+  Result<PlannedQuery> planned = Plan(*db_, *ast, plan_cache_);
+  if (!planned.ok()) {
+    response.status = planned.status();
+    return response;
+  }
+  response.body = Explain(planned->optimize.plan, *planned->translation.db);
+  response.body += "(" + planned->optimize.notes + ")\n";
+  return response;
+}
+
+Response QuerySession::RunAnalyzeVerb(const std::string& text) {
+  Response response;
+  Result<SelectQuery> ast = ParseCached(text);
+  if (!ast.ok()) {
+    response.status = ast.status();
+    return response;
+  }
+  Result<PlannedQuery> planned = Plan(*db_, *ast, plan_cache_);
+  if (!planned.ok()) {
+    response.status = planned.status();
+    return response;
+  }
+  ExplainAnalyzeResult analyzed =
+      ExplainAnalyze(planned->optimize.plan, *planned->translation.db);
+  response.body = analyzed.text;
+  response.body += "(" + std::to_string(analyzed.result.NumRows()) +
+                   " rows; " +
+                   std::to_string(analyzed.base_tuples_read) +
+                   " base tuples read)\n";
+  return response;
+}
+
+Response QuerySession::Execute(const Request& request, ExecControl* control) {
+  const auto start = std::chrono::steady_clock::now();
+  bool cache_hit = false;
+  Response response;
+  switch (request.verb) {
+    case Verb::kQuery:
+      response = RunQueryVerb(request.argument, control, &cache_hit);
+      break;
+    case Verb::kExplain:
+      response = RunExplainVerb(request.argument);
+      break;
+    case Verb::kAnalyze:
+      response = RunAnalyzeVerb(request.argument);
+      break;
+    default:
+      response.status =
+          InvalidArgument(std::string("QuerySession cannot serve verb ") +
+                          VerbName(request.verb));
+      break;
+  }
+  if (metrics_ != nullptr) {
+    QueryObservation observation;
+    observation.status = response.status;
+    observation.latency_micros = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+    observation.cache_hit = cache_hit;
+    metrics_->RecordQuery(observation);
+  }
+  return response;
+}
+
+}  // namespace fro

@@ -1,0 +1,82 @@
+// The query-serving session: every data-bearing verb (QUERY / EXPLAIN /
+// ANALYZE) funnels through here. One QuerySession is shared by all
+// worker threads; it is stateless per call apart from three shared,
+// internally synchronized components:
+//
+//   * an AST memo — repeated query texts are lexed and parsed once and
+//     the SelectQuery replayed (the lang layer's parse-once reuse),
+//   * the LRU plan cache threaded into Optimize (hash-keyed plan reuse),
+//   * the metrics registry (latency, outcomes, per-operator totals).
+//
+// QUERY runs through the pipelined Volcano executor with the caller's
+// ExecControl attached, so deadlines and CANCEL stop it mid-drain;
+// results render as the canonical table (sorted rows and columns), which
+// is what makes "byte-identical to serial execution" a testable claim.
+
+#ifndef FRO_SERVER_SESSION_H_
+#define FRO_SERVER_SESSION_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "exec/iterator.h"
+#include "lang/ast.h"
+#include "lang/model.h"
+#include "server/metrics.h"
+#include "server/plan_cache.h"
+#include "server/protocol.h"
+
+namespace fro {
+
+struct SessionOptions {
+  /// Parsed-AST memo entries kept (LRU); 0 disables the memo.
+  size_t ast_cache_capacity = 256;
+};
+
+class QuerySession {
+ public:
+  /// None of the pointers are owned; `metrics` and `plan_cache` may be
+  /// null (no recording / no caching). `db` must outlive the session and
+  /// stay unmodified while queries run.
+  QuerySession(const NestedDb* db, LruPlanCache* plan_cache,
+               ServerMetrics* metrics,
+               SessionOptions options = SessionOptions());
+
+  /// Serves one QUERY / EXPLAIN / ANALYZE request. `control` may be null
+  /// (no deadline, not cancellable). Thread-safe.
+  Response Execute(const Request& request, ExecControl* control);
+
+  /// Parse-once memo counters (hits = reused ASTs).
+  uint64_t ast_hits() const;
+  uint64_t ast_misses() const;
+
+ private:
+  Result<SelectQuery> ParseCached(const std::string& text);
+
+  Response RunQueryVerb(const std::string& text, ExecControl* control,
+                        bool* cache_hit);
+  Response RunExplainVerb(const std::string& text);
+  Response RunAnalyzeVerb(const std::string& text);
+
+  const NestedDb* db_;
+  LruPlanCache* plan_cache_;
+  ServerMetrics* metrics_;
+  SessionOptions options_;
+
+  mutable std::mutex ast_mu_;
+  /// Front = most recently used.
+  std::list<std::pair<std::string, SelectQuery>> ast_lru_;
+  std::unordered_map<std::string,
+                     std::list<std::pair<std::string, SelectQuery>>::iterator>
+      ast_index_;
+  uint64_t ast_hits_ = 0;
+  uint64_t ast_misses_ = 0;
+};
+
+}  // namespace fro
+
+#endif  // FRO_SERVER_SESSION_H_

@@ -74,4 +74,82 @@ NestedDb MakeCompanyNestedDb() {
   return db;
 }
 
+NestedDb MakeScaledCompanyNestedDb(int scale) {
+  NestedDb db;
+  FRO_CHECK(db.DefineType("REPORT",
+                          {{"Title", FieldDef::Kind::kScalar, ""},
+                           {"Cost", FieldDef::Kind::kScalar, ""}})
+                .ok());
+  FRO_CHECK(db.DefineType("EMPLOYEE",
+                          {{"D#", FieldDef::Kind::kScalar, ""},
+                           {"Rank", FieldDef::Kind::kScalar, ""},
+                           {"ChildName", FieldDef::Kind::kSetValued, ""}})
+                .ok());
+  FRO_CHECK(db.DefineType(
+                  "DEPARTMENT",
+                  {{"D#", FieldDef::Kind::kScalar, ""},
+                   {"Location", FieldDef::Kind::kScalar, ""},
+                   {"Manager", FieldDef::Kind::kEntityRef, "EMPLOYEE"},
+                   {"Secretary", FieldDef::Kind::kEntityRef, "EMPLOYEE"},
+                   {"Audit", FieldDef::Kind::kEntityRef, "REPORT"}})
+                .ok());
+  const char* locations[] = {"Zurich", "Queretaro", "Lisbon", "Osaka"};
+  for (int copy = 0; copy < scale; ++copy) {
+    const int64_t d1 = copy * 3 + 1;
+    const int64_t d2 = copy * 3 + 2;
+    const int64_t d3 = copy * 3 + 3;
+    int64_t audit1 = *db.AddEntity(
+        "REPORT",
+        {FieldValue::Scalar(Value::String("Audit#" + std::to_string(copy))),
+         FieldValue::Scalar(Value::Int(100 + copy))});
+    int64_t audit2 = *db.AddEntity(
+        "REPORT",
+        {FieldValue::Scalar(Value::String("Inquiry#" + std::to_string(copy))),
+         FieldValue::Scalar(Value::Int(900 + copy))});
+    // Ranks cycle through a domain of 4 so EMPLOYEE-by-Rank self-joins
+    // produce ~(4*scale)^2/4 matches.
+    int64_t e1 = *db.AddEntity(
+        "EMPLOYEE", {FieldValue::Scalar(Value::Int(d1)),
+                     FieldValue::Scalar(Value::Int(copy % 4)),
+                     FieldValue::Set({Value::String("Mia"),
+                                      Value::String("Ben")})});
+    int64_t e2 = *db.AddEntity(
+        "EMPLOYEE", {FieldValue::Scalar(Value::Int(d1)),
+                     FieldValue::Scalar(Value::Int((copy + 1) % 4)),
+                     FieldValue::Set({})});
+    int64_t e3 = *db.AddEntity(
+        "EMPLOYEE", {FieldValue::Scalar(Value::Int(d2)),
+                     FieldValue::Scalar(Value::Int((copy + 2) % 4)),
+                     FieldValue::Set({Value::String("Lea")})});
+    FRO_CHECK(db.AddEntity("EMPLOYEE",
+                           {FieldValue::Scalar(Value::Null()),
+                            FieldValue::Scalar(Value::Int((copy + 3) % 4)),
+                            FieldValue::Set({Value::String("Rex")})})
+                  .ok());
+    FRO_CHECK(
+        db.AddEntity("DEPARTMENT",
+                     {FieldValue::Scalar(Value::Int(d1)),
+                      FieldValue::Scalar(Value::String(locations[copy % 4])),
+                      FieldValue::Ref(e1), FieldValue::Ref(e2),
+                      FieldValue::Ref(audit1)})
+            .ok());
+    FRO_CHECK(
+        db.AddEntity("DEPARTMENT",
+                     {FieldValue::Scalar(Value::Int(d2)),
+                      FieldValue::Scalar(Value::String(
+                          locations[(copy + 1) % 4])),
+                      FieldValue::Ref(e3), FieldValue::NullRef(),
+                      FieldValue::Ref(audit2)})
+            .ok());
+    FRO_CHECK(
+        db.AddEntity("DEPARTMENT",
+                     {FieldValue::Scalar(Value::Int(d3)),
+                      FieldValue::Scalar(Value::String(locations[copy % 4])),
+                      FieldValue::Ref(e2), FieldValue::NullRef(),
+                      FieldValue::NullRef()})
+            .ok());
+  }
+  return db;
+}
+
 }  // namespace fro

@@ -21,6 +21,13 @@ namespace fro {
 ///   REPORT(Title, Cost)                       2 reports
 NestedDb MakeCompanyNestedDb();
 
+/// The company database scaled up for load tests: `scale` copies of the
+/// base population (scale*4 employees across scale*3 departments and
+/// scale*2 reports, department numbers disjoint per copy, ranks drawn
+/// from a small domain so self-joins on Rank fan out quadratically —
+/// the long-running query the deadline and CANCEL paths need).
+NestedDb MakeScaledCompanyNestedDb(int scale);
+
 }  // namespace fro
 
 #endif  // FRO_TESTING_NESTED_SAMPLE_H_

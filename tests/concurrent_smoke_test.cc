@@ -1,0 +1,132 @@
+// Concurrency smoke test: many threads drive RunQuery over one shared
+// read-only NestedDb and one shared LruPlanCache, then every result is
+// compared against a serial baseline. This is the ThreadSanitizer target
+// for the shared-state audit: the hash-consing interner (sharded
+// mutexes), the plan cache (single mutex), and the catalog/schema
+// structures are all exercised from every thread at once.
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lang/lang.h"
+#include "relational/relation.h"
+#include "server/plan_cache.h"
+#include "testing/nested_sample.h"
+
+namespace fro {
+namespace {
+
+const char* kQueries[] = {
+    "Select All From EMPLOYEE*ChildName, DEPARTMENT "
+    "Where EMPLOYEE.D# = DEPARTMENT.D#",
+    "Select All From DEPARTMENT-->Manager-->Audit",
+    "Select All From DEPARTMENT-->Manager*ChildName "
+    "Where DEPARTMENT.Location = 'Zurich'",
+    "Select All From EMPLOYEE Where EMPLOYEE.Rank = 7",
+    "Select All From EMPLOYEE*ChildName, DEPARTMENT-->Secretary "
+    "Where EMPLOYEE.D# = DEPARTMENT.D#",
+    "Select EMPLOYEE.Rank, DEPARTMENT.Location From EMPLOYEE, DEPARTMENT "
+    "Where EMPLOYEE.D# = DEPARTMENT.D#",
+};
+constexpr size_t kNumQueries = std::size(kQueries);
+
+TEST(ConcurrentSmokeTest, ParallelRunQueryMatchesSerialBaseline) {
+  const NestedDb db = MakeCompanyNestedDb();
+  LruPlanCache cache(32);
+  RunOptions options;
+  options.plan_cache = &cache;
+
+  // Serial baseline, recorded with a cold cache so the concurrent phase
+  // below starts warm (every plan already inserted).
+  std::vector<std::string> baseline(kNumQueries);
+  for (size_t i = 0; i < kNumQueries; ++i) {
+    Result<QueryRunResult> r = RunQuery(db, kQueries[i], options);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    baseline[i] =
+        CanonicalString(r->relation, &r->translation.db->catalog());
+    ASSERT_FALSE(baseline[i].empty());
+  }
+
+  constexpr int kThreads = 8;
+  constexpr int kPasses = 6;
+  std::atomic<int> mismatches{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int pass = 0; pass < kPasses; ++pass) {
+        for (size_t i = 0; i < kNumQueries; ++i) {
+          // Stagger offsets so threads collide on the same cache keys.
+          const size_t q = (i + static_cast<size_t>(t)) % kNumQueries;
+          Result<QueryRunResult> r = RunQuery(db, kQueries[q], options);
+          if (!r.ok()) {
+            failures.fetch_add(1);
+            continue;
+          }
+          const std::string got =
+              CanonicalString(r->relation, &r->translation.db->catalog());
+          if (got != baseline[q]) mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0);
+
+  // Every concurrent run after the serial warmup must have hit.
+  PlanCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, kNumQueries);
+  EXPECT_EQ(stats.hits,
+            static_cast<uint64_t>(kThreads) * kPasses * kNumQueries);
+}
+
+// Cold-start contention: all threads race to plan the same queries with
+// nothing cached. Duplicate inserts are expected (last writer wins per
+// key); correctness and crash-freedom are the assertions.
+TEST(ConcurrentSmokeTest, ColdCacheStampedeIsSafe) {
+  const NestedDb db = MakeCompanyNestedDb();
+  LruPlanCache cache(32);
+  RunOptions options;
+  options.plan_cache = &cache;
+
+  std::vector<std::string> baseline(kNumQueries);
+  {
+    // Baseline computed without any cache.
+    for (size_t i = 0; i < kNumQueries; ++i) {
+      Result<QueryRunResult> r = RunQuery(db, kQueries[i], RunOptions());
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      baseline[i] =
+          CanonicalString(r->relation, &r->translation.db->catalog());
+    }
+  }
+
+  constexpr int kThreads = 8;
+  std::atomic<int> bad{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (size_t q = 0; q < kNumQueries; ++q) {
+        Result<QueryRunResult> r = RunQuery(db, kQueries[q], options);
+        if (!r.ok() ||
+            CanonicalString(r->relation, &r->translation.db->catalog()) !=
+                baseline[q]) {
+          bad.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(bad.load(), 0);
+  EXPECT_LE(cache.stats().size, 32u);
+}
+
+}  // namespace
+}  // namespace fro

@@ -1,0 +1,172 @@
+// Plan-cache correctness: hash-keyed reuse through Optimize and the lang
+// facade. The soundness claim under test is Theorem 1's: for the freely
+// reorderable class the cached implementing tree is result-identical, so
+// a hit must change nothing observable but the latency.
+
+#include "server/plan_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "algebra/expr.h"
+#include "lang/lang.h"
+#include "relational/relation.h"
+#include "testing/nested_sample.h"
+
+namespace fro {
+namespace {
+
+CachedPlan DummyPlan(const std::string& notes) {
+  CachedPlan plan;
+  plan.notes = notes;
+  return plan;
+}
+
+TEST(LruPlanCacheTest, InsertLookupTouchEvict) {
+  LruPlanCache cache(2);
+  cache.Insert(1, DummyPlan("one"));
+  cache.Insert(2, DummyPlan("two"));
+  // Touch key 1 so key 2 is the LRU entry.
+  ASSERT_TRUE(cache.Lookup(1).has_value());
+  cache.Insert(3, DummyPlan("three"));
+  EXPECT_TRUE(cache.Lookup(1).has_value());
+  EXPECT_FALSE(cache.Lookup(2).has_value());
+  EXPECT_TRUE(cache.Lookup(3).has_value());
+
+  PlanCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.insertions, 3u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.size, 2u);
+  EXPECT_EQ(stats.hits, 3u);
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+TEST(LruPlanCacheTest, CapacityOneEvictsOnEveryAlternation) {
+  LruPlanCache cache(1);
+  EXPECT_FALSE(cache.Lookup(10).has_value());
+  cache.Insert(10, DummyPlan("a"));
+  EXPECT_FALSE(cache.Lookup(20).has_value());
+  cache.Insert(20, DummyPlan("b"));  // evicts 10
+  EXPECT_FALSE(cache.Lookup(10).has_value());
+  cache.Insert(10, DummyPlan("a"));  // evicts 20
+  EXPECT_FALSE(cache.Lookup(20).has_value());
+
+  PlanCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 2u);
+  EXPECT_EQ(stats.size, 1u);
+  EXPECT_EQ(stats.hits, 0u);
+}
+
+TEST(LruPlanCacheTest, CapacityZeroDisablesCaching) {
+  LruPlanCache cache(0);
+  cache.Insert(1, DummyPlan("dropped"));
+  EXPECT_FALSE(cache.Lookup(1).has_value());
+  EXPECT_EQ(cache.stats().size, 0u);
+}
+
+class PlanCacheQueryTest : public ::testing::Test {
+ protected:
+  PlanCacheQueryTest() : db_(MakeCompanyNestedDb()) {}
+
+  Result<QueryRunResult> Run(const std::string& text, LruPlanCache* cache) {
+    RunOptions options;
+    options.plan_cache = cache;
+    return RunQuery(db_, text, options);
+  }
+
+  NestedDb db_;
+};
+
+TEST_F(PlanCacheQueryTest, RepeatedQueryHitsAndPlansAreIdentical) {
+  LruPlanCache cache(8);
+  const std::string query =
+      "Select All From EMPLOYEE*ChildName, DEPARTMENT "
+      "Where EMPLOYEE.D# = DEPARTMENT.D#";
+
+  Result<QueryRunResult> cold = Run(query, &cache);
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  EXPECT_FALSE(cold->optimize.cache_hit);
+
+  Result<QueryRunResult> warm = Run(query, &cache);
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  EXPECT_TRUE(warm->optimize.cache_hit);
+
+  // Same structural hash => the very same interned plan tree.
+  EXPECT_EQ(cold->optimize.plan->hash(), warm->optimize.plan->hash());
+  EXPECT_TRUE(ExprEquals(cold->optimize.plan, warm->optimize.plan));
+
+  // And the same result, byte for byte.
+  const Catalog& catalog = warm->translation.db->catalog();
+  EXPECT_EQ(CanonicalString(cold->relation, &catalog),
+            CanonicalString(warm->relation, &catalog));
+
+  PlanCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+TEST_F(PlanCacheQueryTest, AliasRenamedStructurallyIdenticalQueryHits) {
+  LruPlanCache cache(8);
+  // Same shape, different tuple-variable names: the flattened relations
+  // and attributes get identical ids in identical order, so the
+  // translated queries share one structural hash.
+  const std::string original =
+      "Select All From EMPLOYEE X, DEPARTMENT Y "
+      "Where X.D# = Y.D# and Y.Location = 'Zurich'";
+  const std::string renamed =
+      "Select All From EMPLOYEE Emp, DEPARTMENT Dept "
+      "Where Emp.D# = Dept.D# and Dept.Location = 'Zurich'";
+
+  Result<QueryRunResult> first = Run(original, &cache);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_FALSE(first->optimize.cache_hit);
+
+  Result<QueryRunResult> second = Run(renamed, &cache);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_TRUE(second->optimize.cache_hit)
+      << "alias renaming changed the structural hash";
+
+  EXPECT_EQ(first->translation.query->hash(),
+            second->translation.query->hash());
+  // The cached plan still evaluates correctly under the renamed catalog.
+  // Compare without catalogs: the display names differ by alias ("X.D#"
+  // vs "Emp.D#") but the attribute ids and tuples must be identical.
+  EXPECT_EQ(CanonicalString(first->relation),
+            CanonicalString(second->relation));
+}
+
+TEST_F(PlanCacheQueryTest, DifferentQueriesDoNotCollide) {
+  LruPlanCache cache(8);
+  Result<QueryRunResult> a =
+      Run("Select All From EMPLOYEE Where EMPLOYEE.Rank = 7", &cache);
+  Result<QueryRunResult> b =
+      Run("Select All From EMPLOYEE Where EMPLOYEE.Rank = 11", &cache);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_FALSE(b->optimize.cache_hit);
+  EXPECT_NE(a->translation.query->hash(), b->translation.query->hash());
+  EXPECT_EQ(a->relation.NumRows(), 1u);
+  EXPECT_EQ(b->relation.NumRows(), 1u);
+}
+
+TEST_F(PlanCacheQueryTest, EvictionUnderCapacityOne) {
+  LruPlanCache cache(1);
+  const std::string q1 = "Select All From EMPLOYEE*ChildName";
+  const std::string q2 = "Select All From DEPARTMENT-->Manager";
+
+  ASSERT_TRUE(Run(q1, &cache).ok());
+  Result<QueryRunResult> hit = Run(q1, &cache);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_TRUE(hit->optimize.cache_hit);
+
+  ASSERT_TRUE(Run(q2, &cache).ok());  // evicts q1
+  Result<QueryRunResult> evicted = Run(q1, &cache);
+  ASSERT_TRUE(evicted.ok());
+  EXPECT_FALSE(evicted->optimize.cache_hit);
+
+  PlanCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.capacity, 1u);
+  EXPECT_GE(stats.evictions, 2u);
+}
+
+}  // namespace
+}  // namespace fro
