@@ -31,7 +31,7 @@
 #include "relational/pretty.h"
 #include "optimizer/explain.h"
 #include "server/client.h"
-#include "server/plan_cache.h"
+#include "optimizer/plan_cache.h"
 #include "testing/nested_sample.h"
 
 using namespace fro;

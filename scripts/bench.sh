@@ -4,6 +4,8 @@
 #                   (closure dedup, DPccp vs all-masks DP, borrowed keys)
 #   BENCH_PR3.json  bench_server — fro_serve under open-loop load, plan
 #                   cache off vs on (QPS, p50/p99, hit rate)
+#   BENCH_PR4.json  bench_batch — tuple vs batch engine on scan/filter/
+#                   hash-join pipelines (streaming + materializing)
 #
 # Usage: scripts/bench.sh [--smoke]
 #   --smoke   reduced sizes / request counts (CI sanity run)
@@ -20,10 +22,13 @@ for arg in "$@"; do
 done
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
-cmake --build "$BUILD_DIR" --target bench_search_report bench_server -j"$(nproc)"
+cmake --build "$BUILD_DIR" --target bench_search_report bench_server bench_batch -j"$(nproc)"
 "$BUILD_DIR/bench/bench_search_report" $SMOKE > BENCH_PR2.json
 echo "wrote BENCH_PR2.json:"
 cat BENCH_PR2.json
 "$BUILD_DIR/bench/bench_server" $SMOKE > BENCH_PR3.json
 echo "wrote BENCH_PR3.json:"
 cat BENCH_PR3.json
+"$BUILD_DIR/bench/bench_batch" $SMOKE > BENCH_PR4.json
+echo "wrote BENCH_PR4.json:"
+cat BENCH_PR4.json

@@ -1,0 +1,15 @@
+#include "exec/batch.h"
+
+namespace fro {
+
+const char* ExecEngineName(ExecEngine engine) {
+  switch (engine) {
+    case ExecEngine::kTuple:
+      return "tuple";
+    case ExecEngine::kBatch:
+      return "batch";
+  }
+  return "unknown";
+}
+
+}  // namespace fro

@@ -1,0 +1,155 @@
+// Batch-at-a-time execution containers (the X100/vectorized lineage).
+//
+// A TupleBatch is a fixed-capacity chunk of tuples plus an optional
+// selection vector. Operators exchange whole batches instead of single
+// tuples, so the per-tuple interpretation overhead of the Volcano engine
+// (a virtual call, an ExecControl check, and optional clock reads per
+// tuple) is paid once per batch.
+//
+// Storage discipline: a batch owns `capacity` tuple slots that survive
+// Clear(), and producers write into slots with the Assign* helpers of
+// Tuple. After the first few batches every slot's value vector has
+// reached its steady-state arity, so filling a batch performs no
+// allocations for numeric data — the main reason the batch engine beats
+// the tuple engine on wide pipelines (see bench/bench_batch.cc).
+//
+// Selection-vector semantics: when active, only rows_[sel[i]] are alive;
+// `size()` counts live rows and `selected(i)` indexes them densely.
+// Filters narrow the selection in place rather than copying survivors, so
+// a scan->filter pipeline moves no tuple bytes at all.
+
+#ifndef FRO_EXEC_BATCH_H_
+#define FRO_EXEC_BATCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "relational/tuple.h"
+
+namespace fro {
+
+/// Which execution engine a plan is compiled for. The engines agree on
+/// results and ExecStats counters (asserted operator by operator in
+/// tests/batch_exec_test.cc); they differ only in granularity and speed.
+enum class ExecEngine : uint8_t {
+  /// Tuple-at-a-time Volcano iterators (exec/iterator.h).
+  kTuple,
+  /// Batch-at-a-time iterators (exec/batch_iterator.h). The default.
+  kBatch,
+};
+
+const char* ExecEngineName(ExecEngine engine);
+
+/// A fixed-capacity chunk of tuples with an optional selection vector.
+class TupleBatch {
+ public:
+  static constexpr size_t kDefaultCapacity = 1024;
+
+  explicit TupleBatch(size_t capacity = kDefaultCapacity)
+      : capacity_(capacity), rows_(capacity) {
+    FRO_CHECK_GT(capacity, 0u) << "TupleBatch capacity must be positive";
+  }
+
+  size_t capacity() const { return capacity_; }
+
+  /// Raw rows appended, ignoring any selection.
+  size_t NumRows() const { return count_; }
+
+  /// Live rows (selection applied when active).
+  size_t size() const { return sel_active_ ? sel_.size() : count_; }
+  bool empty() const { return size() == 0; }
+  bool full() const { return count_ >= capacity_; }
+
+  /// Forgets all rows and the selection; slot storage is retained so
+  /// refilling the batch reuses each slot's value capacity.
+  void Clear() {
+    count_ = 0;
+    view_ = nullptr;
+    sel_active_ = false;
+    sel_.clear();
+  }
+
+  /// Presents `n` externally-owned contiguous rows as the batch's
+  /// content without copying anything — the zero-copy scan path: a
+  /// scan->filter pipeline over a materialized relation moves no tuple
+  /// bytes at all. The rows must outlive every read of the batch.
+  /// Appending into a view batch is not allowed (Clear() first).
+  void SetView(const Tuple* rows, size_t n) {
+    FRO_DCHECK(n <= capacity_);
+    view_ = rows;
+    count_ = n;
+    sel_active_ = false;
+    sel_.clear();
+  }
+
+  bool is_view() const { return view_ != nullptr; }
+
+  /// The slot the next append would fill, without committing it. Producers
+  /// use the peek slot as a scratch tuple: build the candidate in place,
+  /// and only CommitSlot() if it survives (e.g. passes the join
+  /// predicate). The batch must not be full.
+  Tuple* PeekSlot() {
+    FRO_DCHECK(!full());
+    FRO_DCHECK(view_ == nullptr);
+    return &rows_[count_];
+  }
+  void CommitSlot() { ++count_; }
+
+  /// Appends and returns the slot to assign into.
+  Tuple* AppendSlot() {
+    Tuple* slot = PeekSlot();
+    ++count_;
+    return slot;
+  }
+  void Append(const Tuple& tuple) { AppendSlot()->AssignFrom(tuple); }
+
+  /// Raw-index access (positions 0..NumRows(), ignoring selection).
+  const Tuple& row(size_t raw) const {
+    return view_ != nullptr ? view_[raw] : rows_[raw];
+  }
+  Tuple& mutable_row(size_t raw) {
+    FRO_DCHECK(view_ == nullptr);
+    return rows_[raw];
+  }
+
+  bool sel_active() const { return sel_active_; }
+  const std::vector<uint32_t>& sel() const { return sel_; }
+
+  /// Raw index of the i-th live row.
+  size_t sel_index(size_t i) const {
+    return sel_active_ ? sel_[i] : i;
+  }
+
+  /// The i-th live row.
+  const Tuple& selected(size_t i) const { return row(sel_index(i)); }
+
+  /// Narrows the live rows to those for which `keep(row, raw_index)`
+  /// returns true; activates the selection vector. Reuses scratch storage,
+  /// so repeated narrowing does not allocate.
+  template <typename Keep>
+  void NarrowSelection(Keep&& keep) {
+    sel_scratch_.clear();
+    const size_t n = size();
+    for (size_t i = 0; i < n; ++i) {
+      const uint32_t raw = static_cast<uint32_t>(sel_index(i));
+      if (keep(row(raw), raw)) sel_scratch_.push_back(raw);
+    }
+    sel_.swap(sel_scratch_);
+    sel_active_ = true;
+  }
+
+ private:
+  size_t capacity_;
+  size_t count_ = 0;
+  bool sel_active_ = false;
+  /// When non-null, rows live in the viewed array instead of rows_.
+  const Tuple* view_ = nullptr;
+  std::vector<Tuple> rows_;  // `capacity_` slots, reused across Clear()
+  std::vector<uint32_t> sel_;
+  std::vector<uint32_t> sel_scratch_;
+};
+
+}  // namespace fro
+
+#endif  // FRO_EXEC_BATCH_H_

@@ -1,0 +1,803 @@
+#include "exec/batch_operators.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/check.h"
+#include "relational/ops.h"
+#include "relational/sort_merge.h"
+
+namespace fro {
+
+Relation DrainBatches(BatchIterator* iterator) {
+  Relation out(iterator->scheme());
+  iterator->Open();
+  TupleBatch batch;
+  while (iterator->NextBatch(&batch)) {
+    const size_t n = batch.size();
+    for (size_t i = 0; i < n; ++i) out.AddRow(batch.selected(i));
+  }
+  iterator->Close();
+  return out;
+}
+
+Result<Relation> DrainChecked(BatchIterator* iterator, ExecControl* control) {
+  Relation out(iterator->scheme());
+  iterator->Open();
+  TupleBatch batch;
+  while (iterator->NextBatch(&batch)) {
+    const size_t n = batch.size();
+    for (size_t i = 0; i < n; ++i) out.AddRow(batch.selected(i));
+  }
+  iterator->Close();
+  if (control != nullptr) {
+    // One authoritative deadline check at completion: the per-tuple
+    // stride (or per-batch check) may never have read the clock on a
+    // short pipeline, but an armed deadline that has passed must
+    // surface regardless of query size.
+    control->ShouldStopBatch();
+    FRO_RETURN_IF_ERROR(control->status());
+  }
+  return out;
+}
+
+ExecStats CollectPipelineStats(BatchIterator* root) {
+  ExecStats totals;
+  root->Visit([&](BatchIterator* node, int) {
+    if (node->children().empty()) {
+      // Scans: their emissions are already charged as reads to their
+      // consumers. A bridge into the tuple engine contributes the wrapped
+      // subtree's pipeline totals instead (its scans are skipped too).
+      if (auto* adapter = dynamic_cast<TupleBatchAdapter*>(node)) {
+        totals += CollectPipelineStats(adapter->tuple_child());
+      }
+      return;
+    }
+    totals += node->stats();
+  });
+  return totals;
+}
+
+// --- Scan ----------------------------------------------------------------
+
+BatchScanIterator::BatchScanIterator(const Relation* relation)
+    : relation_(relation) {
+  FRO_CHECK(relation != nullptr);
+}
+
+void BatchScanIterator::OpenImpl() { pos_ = 0; }
+
+bool BatchScanIterator::NextBatchImpl(TupleBatch* out) {
+  const size_t total = relation_->NumRows();
+  if (pos_ >= total) return false;
+  // Zero-copy: the batch views a capacity-sized window of the relation's
+  // contiguous row storage. Consumers read rows in place; the relation
+  // outlives the pipeline (BatchScanIterator's contract).
+  const size_t n = std::min(out->capacity(), total - pos_);
+  out->SetView(&relation_->rows()[pos_], n);
+  pos_ += n;
+  return true;
+}
+
+void BatchScanIterator::CloseImpl() {}
+
+const Scheme& BatchScanIterator::scheme() const { return relation_->scheme(); }
+
+// --- Filter ----------------------------------------------------------------
+
+BatchFilterIterator::BatchFilterIterator(BatchIteratorPtr child,
+                                         PredicatePtr pred)
+    : child_(std::move(child)), pred_(std::move(pred)) {
+  FRO_CHECK(pred_ != nullptr);
+}
+
+void BatchFilterIterator::OpenImpl() {
+  child_->Open();
+  bound_.Bind(pred_, child_->scheme());
+}
+
+bool BatchFilterIterator::NextBatchImpl(TupleBatch* out) {
+  // Narrow the child's batch in place; loop past fully-filtered batches so
+  // a true return always carries at least one live row. Counters update
+  // once per batch (one read + one eval per live input row), keeping the
+  // narrowing loop free of bookkeeping.
+  while (child_->NextBatch(out)) {
+    const uint64_t n = out->size();
+    mutable_stats().left_reads += n;
+    mutable_stats().predicate_evals += n;
+    out->NarrowSelection(
+        [&](const Tuple& row, uint32_t) { return IsTrue(bound_.Eval(row)); });
+    if (!out->empty()) return true;
+  }
+  return false;
+}
+
+void BatchFilterIterator::CloseImpl() { child_->Close(); }
+
+const Scheme& BatchFilterIterator::scheme() const { return child_->scheme(); }
+
+// --- Project ---------------------------------------------------------------
+
+BatchProjectIterator::BatchProjectIterator(BatchIteratorPtr child,
+                                           std::vector<AttrId> cols,
+                                           bool dedup, size_t batch_capacity)
+    : child_(std::move(child)),
+      out_scheme_(Scheme(cols)),
+      dedup_(dedup),
+      input_(batch_capacity) {
+  for (AttrId attr : cols) {
+    int pos = child_->scheme().IndexOf(attr);
+    FRO_CHECK_GE(pos, 0) << "projection column not in child scheme";
+    positions_.push_back(pos);
+  }
+}
+
+void BatchProjectIterator::OpenImpl() {
+  child_->Open();
+  seen_.clear();
+  input_.Clear();
+  input_pos_ = 0;
+}
+
+bool BatchProjectIterator::NextBatchImpl(TupleBatch* out) {
+  for (;;) {
+    if (input_pos_ >= input_.size()) {
+      if (!child_->NextBatch(&input_)) return !out->empty();
+      input_pos_ = 0;
+      continue;
+    }
+    while (input_pos_ < input_.size()) {
+      if (out->full()) return true;
+      const Tuple& row = input_.selected(input_pos_++);
+      ++mutable_stats().left_reads;
+      if (dedup_) {
+        key_scratch_.resize(positions_.size());
+        for (size_t i = 0; i < positions_.size(); ++i) {
+          key_scratch_[i] = row.value(static_cast<size_t>(positions_[i]));
+        }
+        if (!seen_.insert(key_scratch_).second) continue;
+      }
+      out->AppendSlot()->AssignMapped(row, positions_);
+    }
+  }
+}
+
+void BatchProjectIterator::CloseImpl() {
+  child_->Close();
+  seen_.clear();
+}
+
+const Scheme& BatchProjectIterator::scheme() const { return out_scheme_; }
+
+// --- Union -----------------------------------------------------------------
+
+BatchUnionIterator::BatchUnionIterator(BatchIteratorPtr left,
+                                       BatchIteratorPtr right,
+                                       size_t batch_capacity)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      input_(batch_capacity) {
+  AttrSet all =
+      left_->scheme().ToAttrSet().Union(right_->scheme().ToAttrSet());
+  out_scheme_ = Scheme(all.ids());
+  for (size_t c = 0; c < out_scheme_.size(); ++c) {
+    left_map_.push_back(left_->scheme().IndexOf(out_scheme_.col(c)));
+    right_map_.push_back(right_->scheme().IndexOf(out_scheme_.col(c)));
+  }
+}
+
+void BatchUnionIterator::OpenImpl() {
+  left_->Open();
+  right_->Open();
+  on_right_ = false;
+  input_.Clear();
+  input_pos_ = 0;
+}
+
+bool BatchUnionIterator::NextBatchImpl(TupleBatch* out) {
+  for (;;) {
+    if (input_pos_ >= input_.size()) {
+      BatchIterator* side = on_right_ ? right_.get() : left_.get();
+      if (!side->NextBatch(&input_)) {
+        if (!on_right_) {
+          on_right_ = true;
+          input_.Clear();
+          input_pos_ = 0;
+          continue;
+        }
+        return !out->empty();
+      }
+      input_pos_ = 0;
+      continue;
+    }
+    const std::vector<int>& map = on_right_ ? right_map_ : left_map_;
+    while (input_pos_ < input_.size()) {
+      if (out->full()) return true;
+      const Tuple& row = input_.selected(input_pos_++);
+      if (on_right_) {
+        ++mutable_stats().right_reads;
+      } else {
+        ++mutable_stats().left_reads;
+      }
+      out->AppendSlot()->AssignMapped(row, map);
+    }
+  }
+}
+
+void BatchUnionIterator::CloseImpl() {
+  left_->Close();
+  right_->Close();
+}
+
+const Scheme& BatchUnionIterator::scheme() const { return out_scheme_; }
+
+// --- Nested-loop join ------------------------------------------------------
+
+namespace {
+
+Scheme BatchJoinOutScheme(const Scheme& left, const Scheme& right,
+                          JoinMode mode) {
+  switch (mode) {
+    case JoinMode::kInner:
+    case JoinMode::kLeftOuter:
+      return left.Concat(right);
+    case JoinMode::kAnti:
+    case JoinMode::kSemi:
+      return left;
+  }
+  return left;
+}
+
+}  // namespace
+
+BatchNestedLoopJoinIterator::BatchNestedLoopJoinIterator(
+    BatchIteratorPtr left, BatchIteratorPtr right, PredicatePtr pred,
+    JoinMode mode, size_t batch_capacity)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      pred_(std::move(pred)),
+      mode_(mode),
+      out_scheme_(
+          BatchJoinOutScheme(left_->scheme(), right_->scheme(), mode)),
+      joined_scheme_(left_->scheme().Concat(right_->scheme())),
+      input_(batch_capacity) {}
+
+void BatchNestedLoopJoinIterator::OpenImpl() {
+  left_->Open();
+  if (pred_ != nullptr) bound_.Bind(pred_, joined_scheme_);
+  // Materialize the right input once (block nested loop).
+  right_rows_.clear();
+  right_->Open();
+  TupleBatch scratch;
+  while (right_->NextBatch(&scratch)) {
+    const size_t n = scratch.size();
+    for (size_t i = 0; i < n; ++i) right_rows_.push_back(scratch.selected(i));
+  }
+  right_->Close();
+  input_.Clear();
+  input_pos_ = 0;
+  left_active_ = false;
+}
+
+bool BatchNestedLoopJoinIterator::NextBatchImpl(TupleBatch* out) {
+  for (;;) {
+    if (!left_active_) {
+      if (input_pos_ >= input_.size()) {
+        if (!left_->NextBatch(&input_)) return !out->empty();
+        input_pos_ = 0;
+        continue;
+      }
+      ++mutable_stats().left_reads;
+      right_pos_ = 0;
+      left_had_match_ = false;
+      left_active_ = true;
+    }
+    const Tuple& lrow = input_.selected(input_pos_);
+    bool dropped_left = false;
+    while (right_pos_ < right_rows_.size()) {
+      if (out->full()) return true;
+      const Tuple& rrow = right_rows_[right_pos_++];
+      ++mutable_stats().right_reads;
+      // Build the candidate directly in the output slot; commit only on a
+      // predicate match.
+      Tuple* slot = out->PeekSlot();
+      slot->AssignConcat(lrow, rrow);
+      ++mutable_stats().predicate_evals;
+      if (pred_ != nullptr && !IsTrue(bound_.Eval(*slot))) {
+        continue;
+      }
+      left_had_match_ = true;
+      switch (mode_) {
+        case JoinMode::kInner:
+        case JoinMode::kLeftOuter:
+          out->CommitSlot();
+          break;
+        case JoinMode::kSemi:
+          slot->AssignFrom(lrow);
+          out->CommitSlot();
+          dropped_left = true;
+          break;
+        case JoinMode::kAnti:
+          dropped_left = true;
+          break;
+      }
+      if (dropped_left) break;
+    }
+    if (!dropped_left) {
+      // Right side exhausted for this left tuple.
+      const bool unmatched = !left_had_match_;
+      if (mode_ == JoinMode::kLeftOuter && unmatched) {
+        if (out->full()) return true;
+        out->AppendSlot()->AssignConcatNulls(lrow, right_->scheme().size());
+      } else if (mode_ == JoinMode::kAnti && unmatched) {
+        if (out->full()) return true;
+        out->AppendSlot()->AssignFrom(lrow);
+      }
+    }
+    left_active_ = false;
+    ++input_pos_;
+  }
+}
+
+void BatchNestedLoopJoinIterator::CloseImpl() {
+  left_->Close();
+  right_rows_.clear();
+  left_active_ = false;
+}
+
+const Scheme& BatchNestedLoopJoinIterator::scheme() const {
+  return out_scheme_;
+}
+
+// --- Hash join ---------------------------------------------------------
+
+BatchHashJoinIterator::BatchHashJoinIterator(
+    BatchIteratorPtr left, BatchIteratorPtr right, PredicatePtr pred,
+    JoinMode mode, std::vector<AttrId> left_keys,
+    std::vector<AttrId> right_keys, size_t batch_capacity)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      pred_(std::move(pred)),
+      mode_(mode),
+      out_scheme_(
+          BatchJoinOutScheme(left_->scheme(), right_->scheme(), mode)),
+      joined_scheme_(left_->scheme().Concat(right_->scheme())),
+      left_keys_(std::move(left_keys)),
+      right_keys_(std::move(right_keys)),
+      input_(batch_capacity) {
+  FRO_CHECK(!left_keys_.empty());
+  FRO_CHECK_EQ(left_keys_.size(), right_keys_.size());
+  for (AttrId attr : left_keys_) {
+    int pos = left_->scheme().IndexOf(attr);
+    FRO_CHECK_GE(pos, 0);
+    left_key_positions_.push_back(pos);
+  }
+}
+
+namespace {
+
+/// The conjuncts of `pred` an equi-key index probe on (left_keys[i],
+/// right_keys[i]) does NOT discharge. A conjunct `l = r` whose column
+/// pair is one of the key pairs is decided exactly by the probe's
+/// normalized-key equality (SQL equality on non-null keys; null keys
+/// never probe), so only the remaining conjuncts need per-candidate
+/// re-evaluation. Returns nullptr when nothing remains.
+PredicatePtr ResidualAfterEquiKeys(const PredicatePtr& pred,
+                                   const std::vector<AttrId>& left_keys,
+                                   const std::vector<AttrId>& right_keys) {
+  if (pred == nullptr) return nullptr;
+  std::vector<PredicatePtr> residual;
+  for (const PredicatePtr& conjunct : pred->Conjuncts(pred)) {
+    bool covered = false;
+    if (conjunct->kind() == Predicate::Kind::kCmp &&
+        conjunct->cmp_op() == CmpOp::kEq && conjunct->lhs().is_column() &&
+        conjunct->rhs().is_column()) {
+      const AttrId l = conjunct->lhs().attr();
+      const AttrId r = conjunct->rhs().attr();
+      for (size_t i = 0; i < left_keys.size() && !covered; ++i) {
+        covered = (l == left_keys[i] && r == right_keys[i]) ||
+                  (l == right_keys[i] && r == left_keys[i]);
+      }
+    }
+    if (!covered) residual.push_back(conjunct);
+  }
+  if (residual.empty()) return nullptr;
+  return Predicate::And(std::move(residual));
+}
+
+/// Hash for the flat probe table: the key's bit pattern, spread by a
+/// multiply/xor-shift mix (ints widened to doubles leave most entropy in
+/// the high mantissa bits; the multiply diffuses it).
+uint64_t FastKeyHash(double key) {
+  uint64_t bits;
+  std::memcpy(&bits, &key, sizeof(bits));
+  bits *= 0x9E3779B97F4A7C15ull;
+  bits ^= bits >> 32;
+  return bits;
+}
+
+/// NormalizeHashKeyValue restricted to numeric values: the normalized
+/// double, or nothing when the value is null or non-numeric.
+std::optional<double> NumericKey(const Value& v) {
+  if (v.kind() == Value::Kind::kInt) {
+    return static_cast<double>(v.AsInt());
+  }
+  if (v.kind() == Value::Kind::kDouble) {
+    // Collapse -0.0 to +0.0 so equal keys hash identically.
+    const double d = v.AsDouble();
+    return d == 0.0 ? 0.0 : d;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+void BatchHashJoinIterator::OpenImpl() {
+  left_->Open();
+  residual_ = ResidualAfterEquiKeys(pred_, left_keys_, right_keys_);
+  if (residual_ != nullptr) bound_.Bind(residual_, joined_scheme_);
+  // Build phase: materialize and index the right input, once per Open().
+  Relation raw(right_->scheme());
+  right_->Open();
+  TupleBatch scratch;
+  while (right_->NextBatch(&scratch)) {
+    const size_t n = scratch.size();
+    for (size_t i = 0; i < n; ++i) raw.AddRow(scratch.selected(i));
+  }
+  right_->Close();
+  build_side_ = std::move(raw);
+  // Single numeric key: build the flat probe table instead of the
+  // generic HashIndex. Null keys are skipped (they never equi-match); a
+  // non-numeric key value anywhere on the build side falls back to the
+  // generic path, which handles heterogeneous keys.
+  use_fast_index_ = false;
+  if (left_key_positions_.size() == 1 &&
+      build_side_.NumRows() < (size_t{1} << 31)) {
+    const int build_pos = build_side_.scheme().IndexOf(right_keys_[0]);
+    FRO_CHECK_GE(build_pos, 0);
+    const size_t n = build_side_.NumRows();
+    size_t cap = 16;
+    while (cap < n * 2) cap <<= 1;
+    fast_buckets_.assign(cap, FastBucket{0.0, 0});
+    fast_next_.assign(n, 0);
+    fast_mask_ = cap - 1;
+    // Per-bucket chain tail during the build, so duplicate keys chain in
+    // build order (match order must equal the HashIndex path's).
+    std::vector<uint32_t> tails(cap, 0);
+    use_fast_index_ = true;
+    for (size_t i = 0; i < n; ++i) {
+      const Value& v =
+          build_side_.row(i).value(static_cast<size_t>(build_pos));
+      if (v.is_null()) continue;
+      const std::optional<double> key = NumericKey(v);
+      if (!key.has_value()) {
+        use_fast_index_ = false;
+        break;
+      }
+      size_t b = FastKeyHash(*key) & fast_mask_;
+      while (fast_buckets_[b].head != 0 && !(fast_buckets_[b].key == *key)) {
+        b = (b + 1) & fast_mask_;
+      }
+      if (fast_buckets_[b].head == 0) {
+        fast_buckets_[b] = FastBucket{*key, static_cast<uint32_t>(i + 1)};
+      } else {
+        fast_next_[tails[b] - 1] = static_cast<uint32_t>(i + 1);
+      }
+      tails[b] = static_cast<uint32_t>(i + 1);
+    }
+  }
+  if (!use_fast_index_) {
+    fast_buckets_.clear();
+    fast_next_.clear();
+    normalized_build_ = NormalizeOnKeyColumns(build_side_, right_keys_);
+    index_ = std::make_unique<HashIndex>(normalized_build_, right_keys_);
+  }
+  input_.Clear();
+  input_pos_ = 0;
+  left_active_ = false;
+  matches_ = nullptr;
+  fast_match_ = 0;
+}
+
+bool BatchHashJoinIterator::NextBatchImpl(TupleBatch* out) {
+  for (;;) {
+    if (!left_active_) {
+      if (input_pos_ >= input_.size()) {
+        if (!left_->NextBatch(&input_)) return !out->empty();
+        input_pos_ = 0;
+        continue;
+      }
+      const Tuple& lrow = input_.selected(input_pos_);
+      ++mutable_stats().left_reads;
+      left_had_match_ = false;
+      match_pos_ = 0;
+      ++mutable_stats().probes;
+      if (use_fast_index_) {
+        // A null probe key never matches; a non-numeric one cannot equal
+        // any of the (all-numeric) build keys, so both yield no matches —
+        // exactly what the generic probe would return.
+        fast_match_ = 0;
+        const std::optional<double> key =
+            NumericKey(lrow.value(static_cast<size_t>(left_key_positions_[0])));
+        if (key.has_value()) {
+          size_t b = FastKeyHash(*key) & fast_mask_;
+          while (fast_buckets_[b].head != 0) {
+            if (fast_buckets_[b].key == *key) {
+              fast_match_ = fast_buckets_[b].head;
+              break;
+            }
+            b = (b + 1) & fast_mask_;
+          }
+        }
+      } else {
+        probe_key_.clear();
+        bool null_key = false;
+        for (int pos : left_key_positions_) {
+          Value v =
+              NormalizeHashKeyValue(lrow.value(static_cast<size_t>(pos)));
+          if (v.is_null()) {
+            null_key = true;
+            break;
+          }
+          probe_key_.push_back(std::move(v));
+        }
+        matches_ = null_key
+                       ? &no_matches_
+                       : &index_->Probe(probe_key_.data(), probe_key_.size());
+      }
+      left_active_ = true;
+    }
+    const Tuple& lrow = input_.selected(input_pos_);
+    bool dropped_left = false;
+    for (;;) {
+      size_t ridx;
+      if (use_fast_index_) {
+        if (fast_match_ == 0) break;
+        ridx = fast_match_ - 1;
+      } else {
+        if (match_pos_ >= matches_->size()) break;
+        ridx = (*matches_)[match_pos_];
+      }
+      if (out->full()) return true;
+      if (use_fast_index_) {
+        fast_match_ = fast_next_[ridx];
+      } else {
+        ++match_pos_;
+      }
+      const Tuple& rrow = build_side_.row(ridx);
+      ++mutable_stats().right_reads;
+      // One predicate check per candidate, same as the tuple engine. When
+      // the predicate is exactly the equi-key conjunction, the probe's
+      // normalized-key equality already discharged it (no false
+      // positives), so only a residual beyond the keys is re-evaluated.
+      ++mutable_stats().predicate_evals;
+      if (residual_ != nullptr) {
+        Tuple* slot = out->PeekSlot();
+        slot->AssignConcat(lrow, rrow);
+        if (!IsTrue(bound_.Eval(*slot))) continue;
+        left_had_match_ = true;
+        switch (mode_) {
+          case JoinMode::kInner:
+          case JoinMode::kLeftOuter:
+            out->CommitSlot();
+            break;
+          case JoinMode::kSemi:
+            slot->AssignFrom(lrow);
+            out->CommitSlot();
+            dropped_left = true;
+            break;
+          case JoinMode::kAnti:
+            dropped_left = true;
+            break;
+        }
+      } else {
+        left_had_match_ = true;
+        switch (mode_) {
+          case JoinMode::kInner:
+          case JoinMode::kLeftOuter:
+            out->PeekSlot()->AssignConcat(lrow, rrow);
+            out->CommitSlot();
+            break;
+          case JoinMode::kSemi:
+            out->PeekSlot()->AssignFrom(lrow);
+            out->CommitSlot();
+            dropped_left = true;
+            break;
+          case JoinMode::kAnti:
+            dropped_left = true;
+            break;
+        }
+      }
+      if (dropped_left) break;
+    }
+    if (!dropped_left) {
+      const bool unmatched = !left_had_match_;
+      if (mode_ == JoinMode::kLeftOuter && unmatched) {
+        if (out->full()) return true;
+        out->AppendSlot()->AssignConcatNulls(lrow, right_->scheme().size());
+      } else if (mode_ == JoinMode::kAnti && unmatched) {
+        if (out->full()) return true;
+        out->AppendSlot()->AssignFrom(lrow);
+      }
+    }
+    left_active_ = false;
+    ++input_pos_;
+  }
+}
+
+void BatchHashJoinIterator::CloseImpl() {
+  left_->Close();
+  index_.reset();
+  fast_buckets_.clear();
+  fast_next_.clear();
+  use_fast_index_ = false;
+  fast_match_ = 0;
+  build_side_ = Relation();
+  normalized_build_ = Relation();
+  left_active_ = false;
+  matches_ = nullptr;
+}
+
+const Scheme& BatchHashJoinIterator::scheme() const { return out_scheme_; }
+
+// --- Sort-merge join -----------------------------------------------------
+
+BatchSortMergeJoinIterator::BatchSortMergeJoinIterator(BatchIteratorPtr left,
+                                                       BatchIteratorPtr right,
+                                                       PredicatePtr pred,
+                                                       JoinMode mode)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      pred_(std::move(pred)),
+      mode_(mode),
+      out_scheme_(
+          BatchJoinOutScheme(left_->scheme(), right_->scheme(), mode)) {}
+
+void BatchSortMergeJoinIterator::OpenImpl() {
+  Relation left_rel = DrainBatches(left_.get());
+  Relation right_rel = DrainBatches(right_.get());
+  KernelStats ks;
+  switch (mode_) {
+    case JoinMode::kInner:
+      result_ = SortMergeJoin(left_rel, right_rel, pred_, &ks);
+      break;
+    case JoinMode::kLeftOuter:
+      result_ = SortMergeLeftOuterJoin(left_rel, right_rel, pred_, &ks);
+      break;
+    case JoinMode::kAnti:
+      result_ = SortMergeAntijoin(left_rel, right_rel, pred_, &ks);
+      break;
+    case JoinMode::kSemi:
+      result_ = SortMergeSemijoin(left_rel, right_rel, pred_, &ks);
+      break;
+  }
+  // The kernel already counted the full output; emissions are counted by
+  // the base class as batches actually stream out.
+  ks.emitted = 0;
+  mutable_stats() += ks;
+  pos_ = 0;
+}
+
+bool BatchSortMergeJoinIterator::NextBatchImpl(TupleBatch* out) {
+  if (pos_ >= result_.NumRows()) return false;
+  while (!out->full() && pos_ < result_.NumRows()) {
+    out->AppendSlot()->AssignFrom(result_.row(pos_++));
+  }
+  return true;
+}
+
+void BatchSortMergeJoinIterator::CloseImpl() {
+  result_ = Relation();
+  pos_ = 0;
+}
+
+const Scheme& BatchSortMergeJoinIterator::scheme() const {
+  return out_scheme_;
+}
+
+// --- Generalized outerjoin ---------------------------------------------
+
+BatchGojIterator::BatchGojIterator(BatchIteratorPtr left,
+                                   BatchIteratorPtr right, PredicatePtr pred,
+                                   AttrSet subset, JoinAlgo algo)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      pred_(std::move(pred)),
+      subset_(std::move(subset)),
+      algo_(algo),
+      out_scheme_(left_->scheme().Concat(right_->scheme())) {}
+
+void BatchGojIterator::OpenImpl() {
+  Relation left_rel = DrainBatches(left_.get());
+  Relation right_rel = DrainBatches(right_.get());
+  KernelStats ks;
+  result_ = GeneralizedOuterJoin(left_rel, right_rel, pred_, subset_, algo_,
+                                 &ks);
+  ks.emitted = 0;  // counted by the base class as batches stream out
+  mutable_stats() += ks;
+  pos_ = 0;
+}
+
+bool BatchGojIterator::NextBatchImpl(TupleBatch* out) {
+  if (pos_ >= result_.NumRows()) return false;
+  while (!out->full() && pos_ < result_.NumRows()) {
+    out->AppendSlot()->AssignFrom(result_.row(pos_++));
+  }
+  return true;
+}
+
+void BatchGojIterator::CloseImpl() {
+  result_ = Relation();
+  pos_ = 0;
+}
+
+const Scheme& BatchGojIterator::scheme() const { return out_scheme_; }
+
+// --- Adapters ----------------------------------------------------------
+
+TupleBatchAdapter::TupleBatchAdapter(IteratorPtr child)
+    : child_(std::move(child)) {
+  FRO_CHECK(child_ != nullptr);
+}
+
+void TupleBatchAdapter::OpenImpl() { child_->Open(); }
+
+bool TupleBatchAdapter::NextBatchImpl(TupleBatch* out) {
+  while (!out->full()) {
+    Tuple* slot = out->PeekSlot();
+    if (!child_->Next(slot)) return !out->empty();
+    out->CommitSlot();
+  }
+  return true;
+}
+
+void TupleBatchAdapter::CloseImpl() { child_->Close(); }
+
+const Scheme& TupleBatchAdapter::scheme() const { return child_->scheme(); }
+
+void TupleBatchAdapter::EnableTiming(bool on) {
+  BatchIterator::EnableTiming(on);
+  child_->EnableTiming(on);
+}
+
+void TupleBatchAdapter::SetControl(ExecControl* control) {
+  BatchIterator::SetControl(control);
+  child_->SetControl(control);
+}
+
+BatchTupleAdapter::BatchTupleAdapter(BatchIteratorPtr child,
+                                     size_t batch_capacity)
+    : child_(std::move(child)), buffer_(batch_capacity) {
+  FRO_CHECK(child_ != nullptr);
+}
+
+void BatchTupleAdapter::OpenImpl() {
+  child_->Open();
+  buffer_.Clear();
+  pos_ = 0;
+}
+
+bool BatchTupleAdapter::NextImpl(Tuple* out) {
+  while (pos_ >= buffer_.size()) {
+    if (!child_->NextBatch(&buffer_)) return false;
+    pos_ = 0;
+  }
+  out->AssignFrom(buffer_.selected(pos_++));
+  return true;
+}
+
+void BatchTupleAdapter::CloseImpl() { child_->Close(); }
+
+const Scheme& BatchTupleAdapter::scheme() const { return child_->scheme(); }
+
+void BatchTupleAdapter::EnableTiming(bool on) {
+  TupleIterator::EnableTiming(on);
+  child_->EnableTiming(on);
+}
+
+void BatchTupleAdapter::SetControl(ExecControl* control) {
+  TupleIterator::SetControl(control);
+  child_->SetControl(control);
+}
+
+}  // namespace fro

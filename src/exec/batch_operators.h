@@ -1,0 +1,339 @@
+// Batch-native physical operators, mirroring exec/operators.h operator
+// for operator: scan, filter (in-place selection narrowing), project,
+// union-with-padding, block nested-loop and hash join-likes in all four
+// modes (inner, left outer, anti, semi), blocking sort-merge join-likes,
+// and the blocking generalized outerjoin. Plus the two adapters that
+// bridge the engines so operators can migrate incrementally.
+//
+// Counter parity: every operator maintains ExecStats with exactly the
+// tuple engine's accounting — reads per candidate tuple fetched, one
+// probe per probe-side row, one predicate evaluation per candidate pair,
+// anti/semi short-circuiting at the first match. The equivalence suite
+// (tests/batch_exec_test.cc) asserts this per operator.
+//
+// Join emission uses TupleBatch's peek-slot protocol: the candidate
+// joined tuple is built directly in the output batch's next slot, the
+// predicate is evaluated there, and the slot is committed only on a
+// match — no per-tuple allocation once slots are warm.
+
+#ifndef FRO_EXEC_BATCH_OPERATORS_H_
+#define FRO_EXEC_BATCH_OPERATORS_H_
+
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "exec/batch_iterator.h"
+#include "exec/operators.h"
+#include "relational/index.h"
+#include "relational/ops.h"
+#include "relational/predicate.h"
+
+namespace fro {
+
+/// Full scan of a materialized relation (which must outlive the scan).
+class BatchScanIterator : public BatchIterator {
+ public:
+  explicit BatchScanIterator(const Relation* relation);
+  const Scheme& scheme() const override;
+  const char* physical_name() const override { return "Scan"; }
+
+ protected:
+  void OpenImpl() override;
+  bool NextBatchImpl(TupleBatch* out) override;
+  void CloseImpl() override;
+
+ private:
+  const Relation* relation_;
+  size_t pos_ = 0;
+};
+
+/// sigma[pred](child): narrows the child's batch in place via the
+/// selection vector — survivors are never copied.
+class BatchFilterIterator : public BatchIterator {
+ public:
+  BatchFilterIterator(BatchIteratorPtr child, PredicatePtr pred);
+  const Scheme& scheme() const override;
+  const char* physical_name() const override { return "Filter"; }
+  std::vector<BatchIterator*> children() const override {
+    return {child_.get()};
+  }
+
+ protected:
+  void OpenImpl() override;
+  bool NextBatchImpl(TupleBatch* out) override;
+  void CloseImpl() override;
+
+ private:
+  BatchIteratorPtr child_;
+  PredicatePtr pred_;
+  /// Position-bound form of pred_, rebound each Open(): per-row eval
+  /// without per-row scheme lookups.
+  BoundPredicate bound_;
+};
+
+/// pi[cols](child), optionally duplicate-eliminating.
+class BatchProjectIterator : public BatchIterator {
+ public:
+  BatchProjectIterator(BatchIteratorPtr child, std::vector<AttrId> cols,
+                       bool dedup,
+                       size_t batch_capacity = TupleBatch::kDefaultCapacity);
+  const Scheme& scheme() const override;
+  const char* physical_name() const override { return "Project"; }
+  std::vector<BatchIterator*> children() const override {
+    return {child_.get()};
+  }
+
+ protected:
+  void OpenImpl() override;
+  bool NextBatchImpl(TupleBatch* out) override;
+  void CloseImpl() override;
+
+ private:
+  BatchIteratorPtr child_;
+  std::vector<int> positions_;
+  Scheme out_scheme_;
+  bool dedup_;
+  std::set<std::vector<Value>> seen_;
+  std::vector<Value> key_scratch_;
+  TupleBatch input_;
+  size_t input_pos_ = 0;  // next live row of input_ to consume
+};
+
+/// Bag union with the padding convention; children stream sequentially.
+class BatchUnionIterator : public BatchIterator {
+ public:
+  BatchUnionIterator(BatchIteratorPtr left, BatchIteratorPtr right,
+                     size_t batch_capacity = TupleBatch::kDefaultCapacity);
+  const Scheme& scheme() const override;
+  const char* physical_name() const override { return "Union"; }
+  std::vector<BatchIterator*> children() const override {
+    return {left_.get(), right_.get()};
+  }
+
+ protected:
+  void OpenImpl() override;
+  bool NextBatchImpl(TupleBatch* out) override;
+  void CloseImpl() override;
+
+ private:
+  BatchIteratorPtr left_;
+  BatchIteratorPtr right_;
+  Scheme out_scheme_;
+  std::vector<int> left_map_;   // out column -> left position or -1
+  std::vector<int> right_map_;  // out column -> right position or -1
+  bool on_right_ = false;
+  TupleBatch input_;
+  size_t input_pos_ = 0;
+};
+
+/// Block nested-loop join-like operator: right input materialized at
+/// Open(), left tuples stream a batch at a time.
+class BatchNestedLoopJoinIterator : public BatchIterator {
+ public:
+  BatchNestedLoopJoinIterator(
+      BatchIteratorPtr left, BatchIteratorPtr right, PredicatePtr pred,
+      JoinMode mode, size_t batch_capacity = TupleBatch::kDefaultCapacity);
+  const Scheme& scheme() const override;
+  const char* physical_name() const override { return "NestedLoopJoin"; }
+  std::vector<BatchIterator*> children() const override {
+    return {left_.get(), right_.get()};
+  }
+
+ protected:
+  void OpenImpl() override;
+  bool NextBatchImpl(TupleBatch* out) override;
+  void CloseImpl() override;
+
+ private:
+  BatchIteratorPtr left_;
+  BatchIteratorPtr right_;
+  PredicatePtr pred_;
+  BoundPredicate bound_;  // pred_ resolved against joined_scheme_
+  JoinMode mode_;
+  Scheme out_scheme_;
+  Scheme joined_scheme_;
+  std::vector<Tuple> right_rows_;
+  TupleBatch input_;  // current left batch
+  size_t input_pos_ = 0;
+  bool left_active_ = false;
+  size_t right_pos_ = 0;
+  bool left_had_match_ = false;
+};
+
+/// Hash join-like operator: builds once on the right input at Open(),
+/// probes a batch of left tuples at a time. The plan builder selects it
+/// only when equi-keys exist; the full predicate is re-checked.
+class BatchHashJoinIterator : public BatchIterator {
+ public:
+  BatchHashJoinIterator(BatchIteratorPtr left, BatchIteratorPtr right,
+                        PredicatePtr pred, JoinMode mode,
+                        std::vector<AttrId> left_keys,
+                        std::vector<AttrId> right_keys,
+                        size_t batch_capacity = TupleBatch::kDefaultCapacity);
+  const Scheme& scheme() const override;
+  const char* physical_name() const override { return "HashJoin"; }
+  std::vector<BatchIterator*> children() const override {
+    return {left_.get(), right_.get()};
+  }
+
+ protected:
+  void OpenImpl() override;
+  bool NextBatchImpl(TupleBatch* out) override;
+  void CloseImpl() override;
+
+ private:
+  BatchIteratorPtr left_;
+  BatchIteratorPtr right_;
+  PredicatePtr pred_;
+  /// pred_ minus the equi-key conjuncts the probe discharges; nullptr
+  /// when the probe decides the whole predicate (pure equi-join).
+  PredicatePtr residual_;
+  BoundPredicate bound_;  // residual_ resolved against joined_scheme_
+  JoinMode mode_;
+  Scheme out_scheme_;
+  Scheme joined_scheme_;
+  std::vector<AttrId> left_keys_;
+  std::vector<AttrId> right_keys_;
+  Relation build_side_;
+  /// Key-normalized copy the index hashes over (see HashJoinIterator).
+  Relation normalized_build_;
+  std::unique_ptr<HashIndex> index_;
+  /// Specialized probe table, engaged when the key is one column and
+  /// every build-side key value is numeric. Keys are normalized the way
+  /// NormalizeHashKeyValue does (int widened to double), stored in a
+  /// flat power-of-two open-addressing array; rows sharing a key are
+  /// chained in build order through fast_next_, so match sets and match
+  /// order are identical to the HashIndex path. Probing it is one
+  /// contiguous-array lookup — no per-row Value materialization, no
+  /// generic key hashing, no node-based map traversal.
+  struct FastBucket {
+    double key;
+    uint32_t head;  // first build row with this key, +1; 0 = empty
+  };
+  std::vector<FastBucket> fast_buckets_;
+  std::vector<uint32_t> fast_next_;  // row -> next row with same key, +1
+  size_t fast_mask_ = 0;
+  uint32_t fast_match_ = 0;  // probe chain cursor (row + 1; 0 = done)
+  bool use_fast_index_ = false;
+  std::vector<int> left_key_positions_;
+  std::vector<Value> probe_key_;
+  TupleBatch input_;  // current left batch
+  size_t input_pos_ = 0;
+  bool left_active_ = false;
+  const std::vector<size_t>* matches_ = nullptr;
+  size_t match_pos_ = 0;
+  bool left_had_match_ = false;
+  const std::vector<size_t> no_matches_;
+};
+
+/// Sort-merge join-like operator (all four modes): blocking — both
+/// inputs materialized at Open(), merged by the sort-merge kernels, and
+/// the result streamed out in batches.
+class BatchSortMergeJoinIterator : public BatchIterator {
+ public:
+  BatchSortMergeJoinIterator(BatchIteratorPtr left, BatchIteratorPtr right,
+                             PredicatePtr pred, JoinMode mode);
+  const Scheme& scheme() const override;
+  const char* physical_name() const override { return "SortMergeJoin"; }
+  std::vector<BatchIterator*> children() const override {
+    return {left_.get(), right_.get()};
+  }
+
+ protected:
+  void OpenImpl() override;
+  bool NextBatchImpl(TupleBatch* out) override;
+  void CloseImpl() override;
+
+ private:
+  BatchIteratorPtr left_;
+  BatchIteratorPtr right_;
+  PredicatePtr pred_;
+  JoinMode mode_;
+  Scheme out_scheme_;
+  Relation result_;
+  size_t pos_ = 0;
+};
+
+/// GOJ[subset, pred](left, right): blocking; materializes both inputs at
+/// Open() and streams the kernel's result in batches.
+class BatchGojIterator : public BatchIterator {
+ public:
+  BatchGojIterator(BatchIteratorPtr left, BatchIteratorPtr right,
+                   PredicatePtr pred, AttrSet subset,
+                   JoinAlgo algo = JoinAlgo::kAuto);
+  const Scheme& scheme() const override;
+  const char* physical_name() const override { return "Goj"; }
+  std::vector<BatchIterator*> children() const override {
+    return {left_.get(), right_.get()};
+  }
+
+ protected:
+  void OpenImpl() override;
+  bool NextBatchImpl(TupleBatch* out) override;
+  void CloseImpl() override;
+
+ private:
+  BatchIteratorPtr left_;
+  BatchIteratorPtr right_;
+  PredicatePtr pred_;
+  AttrSet subset_;
+  JoinAlgo algo_;
+  Scheme out_scheme_;
+  Relation result_;
+  size_t pos_ = 0;
+};
+
+/// Migration bridge: presents a tuple-at-a-time subtree as a
+/// BatchIterator by pulling Next() into batch slots. Stats-transparent:
+/// it adds no reads of its own, and rollups treat it as a leaf (the
+/// wrapped subtree keeps its own per-operator counters, reachable via
+/// tuple_child()).
+class TupleBatchAdapter : public BatchIterator {
+ public:
+  explicit TupleBatchAdapter(IteratorPtr child);
+  const Scheme& scheme() const override;
+  const char* physical_name() const override { return "TupleBatchAdapter"; }
+  void EnableTiming(bool on = true) override;
+  void SetControl(ExecControl* control) override;
+
+  TupleIterator* tuple_child() const { return child_.get(); }
+
+ protected:
+  void OpenImpl() override;
+  bool NextBatchImpl(TupleBatch* out) override;
+  void CloseImpl() override;
+
+ private:
+  IteratorPtr child_;
+};
+
+/// Migration bridge in the other direction: presents a batch subtree as
+/// a TupleIterator by buffering one batch and replaying it tuple by
+/// tuple. Stats-transparent like TupleBatchAdapter.
+class BatchTupleAdapter : public TupleIterator {
+ public:
+  BatchTupleAdapter(BatchIteratorPtr child,
+                    size_t batch_capacity = TupleBatch::kDefaultCapacity);
+  const Scheme& scheme() const override;
+  const char* physical_name() const override { return "BatchTupleAdapter"; }
+  void EnableTiming(bool on = true) override;
+  void SetControl(ExecControl* control) override;
+
+  BatchIterator* batch_child() const { return child_.get(); }
+
+ protected:
+  void OpenImpl() override;
+  bool NextImpl(Tuple* out) override;
+  void CloseImpl() override;
+
+ private:
+  BatchIteratorPtr child_;
+  TupleBatch buffer_;
+  size_t pos_ = 0;
+};
+
+}  // namespace fro
+
+#endif  // FRO_EXEC_BATCH_OPERATORS_H_

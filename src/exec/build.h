@@ -1,9 +1,14 @@
-// Compiling expression trees into Volcano iterator pipelines.
+// Compiling expression trees into physical pipelines, for either
+// execution engine: tuple-at-a-time Volcano iterators or batch-at-a-time
+// vectorized iterators. The two compilations make identical physical
+// choices (hash vs. nested loop, operand anchoring), so plans differ only
+// in granularity.
 
 #ifndef FRO_EXEC_BUILD_H_
 #define FRO_EXEC_BUILD_H_
 
 #include "algebra/expr.h"
+#include "exec/batch_iterator.h"
 #include "exec/iterator.h"
 #include "relational/database.h"
 #include "relational/ops.h"
@@ -18,9 +23,21 @@ namespace fro {
 IteratorPtr BuildIterator(const ExprPtr& expr, const Database& db,
                           JoinAlgo algo = JoinAlgo::kAuto);
 
+/// Batch-engine counterpart of BuildIterator: the same plan shape,
+/// compiled to batch-native operators exchanging TupleBatches of
+/// `batch_capacity` tuples.
+BatchIteratorPtr BuildBatchIterator(
+    const ExprPtr& expr, const Database& db, JoinAlgo algo = JoinAlgo::kAuto,
+    size_t batch_capacity = TupleBatch::kDefaultCapacity);
+
 /// Convenience: build, drain, and return the materialized result.
 Relation ExecutePipelined(const ExprPtr& expr, const Database& db,
                           JoinAlgo algo = JoinAlgo::kAuto);
+
+/// Convenience: build a batch plan, drain it, return the result.
+Relation ExecuteBatched(const ExprPtr& expr, const Database& db,
+                        JoinAlgo algo = JoinAlgo::kAuto,
+                        size_t batch_capacity = TupleBatch::kDefaultCapacity);
 
 }  // namespace fro
 

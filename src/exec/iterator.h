@@ -61,6 +61,19 @@ class ExecControl {
     return false;
   }
 
+  /// Batch-granularity variant of ShouldStop(): always consults the
+  /// clock. Called once per TupleBatch, so the amortization the
+  /// per-tuple stride provides is already structural.
+  bool ShouldStopBatch() {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    if (deadline_hit_) return true;
+    if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
+      deadline_hit_ = true;
+      return true;
+    }
+    return false;
+  }
+
   /// True if any stop condition fired (without re-checking the clock).
   bool stopped() const {
     return deadline_hit_ || cancelled_.load(std::memory_order_relaxed);
@@ -144,8 +157,9 @@ class TupleIterator {
 
   /// Enables (or disables) wall-clock collection on this operator and its
   /// whole subtree. Off by default: timing costs two clock reads per
-  /// Next() call; the counters themselves are always maintained.
-  void EnableTiming(bool on = true) {
+  /// Next() call; the counters themselves are always maintained. Virtual
+  /// so engine-bridging adapters can forward into a wrapped subtree.
+  virtual void EnableTiming(bool on = true) {
     timing_ = on;
     for (TupleIterator* child : children()) child->EnableTiming(on);
   }
@@ -153,7 +167,7 @@ class TupleIterator {
   /// Attaches a cooperative interrupt to this operator and its whole
   /// subtree (every depth checks, so deeply buffered operators stop too).
   /// Pass nullptr to detach. The control must outlive the iterator's use.
-  void SetControl(ExecControl* control) {
+  virtual void SetControl(ExecControl* control) {
     control_ = control;
     for (TupleIterator* child : children()) child->SetControl(control);
   }
@@ -191,7 +205,23 @@ class TupleIterator {
 using IteratorPtr = std::unique_ptr<TupleIterator>;
 
 /// Runs an iterator to exhaustion and materializes the result.
+///
+/// Deprecated for pipelines with an attached ExecControl: this drain is
+/// blind to interruption — a cancel or deadline looks like ordinary
+/// exhaustion and the caller receives a silently truncated relation
+/// unless it remembers to consult control->stopped() afterwards. Use
+/// DrainChecked, which folds that check into the return value. Drain
+/// remains fine for control-free pipelines (tests, benchmarks, internal
+/// materialization of blocking operators).
 Relation Drain(TupleIterator* iterator);
+
+/// Status-carrying drain: opens, exhausts, and closes `iterator`, then
+/// returns the materialized relation — unless `control` (may be null)
+/// stopped the pipeline, in which case the truncated result is discarded
+/// and the control's Cancelled/DeadlineExceeded status is returned
+/// instead. This is the single execution surface lang::RunQuery and the
+/// server sessions drain through.
+Result<Relation> DrainChecked(TupleIterator* iterator, ExecControl* control);
 
 /// Sums the counters of every operator in the tree except scans, whose
 /// emissions are already charged to their consumers as reads — the same

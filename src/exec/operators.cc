@@ -17,6 +17,25 @@ Relation Drain(TupleIterator* iterator) {
   return out;
 }
 
+Result<Relation> DrainChecked(TupleIterator* iterator, ExecControl* control) {
+  Relation out(iterator->scheme());
+  iterator->Open();
+  Tuple tuple;
+  while (iterator->Next(&tuple)) {
+    out.AddRow(tuple);
+  }
+  iterator->Close();
+  if (control != nullptr) {
+    // One authoritative deadline check at completion: the per-tuple
+    // stride (or per-batch check) may never have read the clock on a
+    // short pipeline, but an armed deadline that has passed must
+    // surface regardless of query size.
+    control->ShouldStopBatch();
+    FRO_RETURN_IF_ERROR(control->status());
+  }
+  return out;
+}
+
 ExecStats CollectPipelineStats(TupleIterator* root) {
   ExecStats totals;
   root->Visit([&](TupleIterator* node, int) {

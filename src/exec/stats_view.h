@@ -1,0 +1,68 @@
+// Engine-agnostic plan statistics: a snapshot of an executed operator
+// tree (names, source expressions, counters) detached from the iterators
+// that produced it. EXPLAIN ANALYZE rendering and the server's metrics
+// rollup consume this view, so they work unchanged over the tuple and the
+// batch engine — and over mixed trees bridged by adapters, whose wrapped
+// subtrees are spliced in as ordinary children.
+
+#ifndef FRO_EXEC_STATS_VIEW_H_
+#define FRO_EXEC_STATS_VIEW_H_
+
+#include <string>
+#include <vector>
+
+#include "algebra/expr.h"
+#include "exec/batch_iterator.h"
+#include "exec/iterator.h"
+#include "relational/exec_stats.h"
+
+namespace fro {
+
+/// One operator of an executed plan, with its counters at snapshot time.
+struct PlanOpStats {
+  std::string physical_name;
+  /// The expression node the operator implements; null for hand-assembled
+  /// pipelines and for engine-bridging adapters.
+  ExprPtr source_expr;
+  ExecStats stats;
+  /// True for engine-bridging adapters: they forward rows without doing
+  /// relational work, so pipeline totals skip them (their wrapped subtree
+  /// appears as their only child and is accounted normally).
+  bool passthrough = false;
+  std::vector<PlanOpStats> children;
+
+  bool is_source() const { return children.empty(); }
+};
+
+/// Snapshots an executed tuple pipeline. A BatchTupleAdapter contributes
+/// a passthrough node whose child is the wrapped batch subtree.
+PlanOpStats SnapshotPlanStats(TupleIterator* root);
+
+/// Snapshots an executed batch pipeline. A TupleBatchAdapter contributes
+/// a passthrough node whose child is the wrapped tuple subtree.
+PlanOpStats SnapshotPlanStats(BatchIterator* root);
+
+/// Sums the counters of every operator except sources (scans, whose
+/// emissions are charged to their consumers as reads) and passthrough
+/// adapters — the same accounting as CollectPipelineStats, but engine-
+/// agnostic.
+ExecStats SumPipelineStats(const PlanOpStats& root);
+
+/// Tuples retrieved from ground relations — Example 1's accounting: each
+/// operator's reads from a child that implements a leaf expression.
+uint64_t BaseTuplesRead(const PlanOpStats& root);
+
+/// Pre-order visit: fn(const PlanOpStats&, int depth). Passthrough nodes
+/// are visited like any other; callers that do not want them can test
+/// `node.passthrough`.
+template <typename Fn>
+void ForEachOp(const PlanOpStats& node, Fn&& fn, int depth = 0) {
+  fn(node, depth);
+  for (const PlanOpStats& child : node.children) {
+    ForEachOp(child, fn, depth + 1);
+  }
+}
+
+}  // namespace fro
+
+#endif  // FRO_EXEC_STATS_VIEW_H_

@@ -1,16 +1,27 @@
 // One-call facade for the Section 5 language: parse, translate, verify
-// free reorderability, optimize, evaluate.
+// free reorderability, optimize, execute.
+//
+// Execution goes through the pipelined executor (batch engine by
+// default) and drains through the Status-carrying DrainChecked surface,
+// so a cancelled or deadline-exceeded run comes back as an error Status
+// instead of a silently truncated relation.
 
 #ifndef FRO_LANG_LANG_H_
 #define FRO_LANG_LANG_H_
 
+#include <chrono>
+#include <optional>
 #include <string>
 
+#include "exec/batch.h"
+#include "exec/iterator.h"
+#include "exec/stats_view.h"
 #include "lang/ast.h"
 #include "lang/model.h"
 #include "lang/translate.h"
 #include "optimizer/optimizer.h"
 #include "optimizer/plan_cache.h"
+#include "relational/ops.h"
 #include "relational/relation.h"
 
 namespace fro {
@@ -22,8 +33,23 @@ struct QueryRunResult {
   TranslationResult translation;
   /// The optimizer's outcome (plan actually executed).
   OptimizeOutcome optimize;
+  /// Per-operator execution counters of the pipeline that produced
+  /// `relation`, engine-agnostic (see exec/stats_view.h). Consumers sum
+  /// or roll these up without caring which engine ran.
+  PlanOpStats plan_stats;
+  /// The engine that executed the plan.
+  ExecEngine engine = ExecEngine::kBatch;
 };
 
+/// Execution options shared by every run surface: lang::RunQuery,
+/// prepared-AST replay (RunParsedQuery), and the server's per-request
+/// path all consume this one struct, so deadline, cache, and engine
+/// choice are set in exactly one place. Builder-style: construct, then
+/// chain WithX() setters —
+///
+///   RunQuery(db, text, RunOptions()
+///                          .WithPlanCache(&cache)
+///                          .WithDeadline(std::chrono::milliseconds(50)));
 struct RunOptions {
   /// Reorder via the DP optimizer; with false the translator's
   /// implementing tree is executed as is.
@@ -33,10 +59,54 @@ struct RunOptions {
   /// translated query's structural hash; see optimizer/plan_cache.h).
   /// Not owned. With caching, OptimizeOutcome::cache_hit reports reuse.
   PlanCacheInterface* plan_cache = nullptr;
+  /// Which executor runs the plan. The engines agree on results and
+  /// counters; batch is faster and the default.
+  ExecEngine engine = ExecEngine::kBatch;
+  /// Physical join strategy constraint passed to the plan builder.
+  JoinAlgo join_algo = JoinAlgo::kAuto;
+  /// Optional cooperative interrupt, e.g. the server's per-request cancel
+  /// handle. Not owned; must outlive the run. When null and a deadline is
+  /// set, the run uses an internal control.
+  ExecControl* control = nullptr;
+  /// Optional wall-clock budget for execution, armed on `control` (or on
+  /// an internal control) when the run starts. Exceeding it surfaces as
+  /// StatusCode::kDeadlineExceeded.
+  std::optional<std::chrono::milliseconds> deadline;
+
+  RunOptions& WithOptimize(bool on) {
+    optimize = on;
+    return *this;
+  }
+  RunOptions& WithCostKind(CostKind kind) {
+    cost_kind = kind;
+    return *this;
+  }
+  RunOptions& WithPlanCache(PlanCacheInterface* cache) {
+    plan_cache = cache;
+    return *this;
+  }
+  RunOptions& WithEngine(ExecEngine e) {
+    engine = e;
+    return *this;
+  }
+  RunOptions& WithJoinAlgo(JoinAlgo algo) {
+    join_algo = algo;
+    return *this;
+  }
+  RunOptions& WithControl(ExecControl* c) {
+    control = c;
+    return *this;
+  }
+  RunOptions& WithDeadline(std::chrono::milliseconds budget) {
+    deadline = budget;
+    return *this;
+  }
 };
 
 /// Parses and runs `query_text` against `nested`. Fails on syntax errors,
-/// unknown types/fields, or disconnected From lists.
+/// unknown types/fields, or disconnected From lists — and, through the
+/// DrainChecked execution surface, on cancellation (kCancelled) or an
+/// exceeded deadline (kDeadlineExceeded).
 Result<QueryRunResult> RunQuery(const NestedDb& nested,
                                 const std::string& query_text,
                                 const RunOptions& options = RunOptions());

@@ -4,6 +4,7 @@
 
 #include "common/str_util.h"
 #include "exec/build.h"
+#include "exec/stats_view.h"
 
 namespace fro {
 
@@ -99,17 +100,15 @@ double QError(double est, double actual) {
   return std::max(e, a) / std::min(e, a);
 }
 
-void RenderAnalyzeNode(TupleIterator* node, const Database& db,
+void RenderAnalyzeNode(const PlanOpStats& node, const Database& db,
                        const CardinalityEstimator& estimator, int depth,
                        ExplainAnalyzeResult* result) {
-  const ExecStats& s = node->stats();
+  const ExecStats& s = node.stats;
   std::string line(static_cast<size_t>(depth) * 2, ' ');
-  line += node->physical_name();
-  if (node->source_expr() != nullptr) {
-    line += ": " + NodeLabel(*node->source_expr(), db, /*with_pred=*/true);
-  }
-  if (node->source_expr() != nullptr) {
-    const double est = estimator.Estimate(node->source_expr());
+  line += node.physical_name;
+  if (node.source_expr != nullptr) {
+    line += ": " + NodeLabel(*node.source_expr, db, /*with_pred=*/true);
+    const double est = estimator.Estimate(node.source_expr);
     const double q = QError(est, static_cast<double>(s.emitted));
     result->max_q_error = std::max(result->max_q_error, q);
     line += StrFormat("  ~%.6g rows", est);
@@ -125,17 +124,7 @@ void RenderAnalyzeNode(TupleIterator* node, const Database& db,
   line += "\n";
   result->text += line;
 
-  // Example 1's accounting: reads drawn from a ground-relation input are
-  // base-table retrievals.
-  const std::vector<TupleIterator*> children = node->children();
-  auto child_is_leaf = [&](size_t i) {
-    return i < children.size() && children[i]->source_expr() != nullptr &&
-           children[i]->source_expr()->is_leaf();
-  };
-  if (child_is_leaf(0)) result->base_tuples_read += s.left_reads;
-  if (child_is_leaf(1)) result->base_tuples_read += s.right_reads;
-
-  for (TupleIterator* child : children) {
+  for (const PlanOpStats& child : node.children) {
     RenderAnalyzeNode(child, db, estimator, depth + 1, result);
   }
 }
@@ -143,14 +132,24 @@ void RenderAnalyzeNode(TupleIterator* node, const Database& db,
 }  // namespace
 
 ExplainAnalyzeResult ExplainAnalyze(const ExprPtr& expr, const Database& db,
-                                    JoinAlgo algo) {
+                                    JoinAlgo algo, ExecEngine engine) {
   CardinalityEstimator estimator(db);
-  IteratorPtr root = BuildIterator(expr, db, algo);
-  root->EnableTiming();
   ExplainAnalyzeResult result;
-  result.result = Drain(root.get());
-  result.totals = CollectPipelineStats(root.get());
-  RenderAnalyzeNode(root.get(), db, estimator, 0, &result);
+  PlanOpStats snapshot;
+  if (engine == ExecEngine::kTuple) {
+    IteratorPtr root = BuildIterator(expr, db, algo);
+    root->EnableTiming();
+    result.result = Drain(root.get());
+    snapshot = SnapshotPlanStats(root.get());
+  } else {
+    BatchIteratorPtr root = BuildBatchIterator(expr, db, algo);
+    root->EnableTiming();
+    result.result = DrainBatches(root.get());
+    snapshot = SnapshotPlanStats(root.get());
+  }
+  result.totals = SumPipelineStats(snapshot);
+  result.base_tuples_read = BaseTuplesRead(snapshot);
+  RenderAnalyzeNode(snapshot, db, estimator, 0, &result);
   return result;
 }
 

@@ -9,6 +9,7 @@
 #include <string>
 
 #include "algebra/expr.h"
+#include "exec/batch.h"
 #include "graph/query_graph.h"
 #include "optimizer/cardinality.h"
 #include "relational/exec_stats.h"
@@ -53,11 +54,14 @@ struct ExplainAnalyzeResult {
   double max_q_error = 1.0;
 };
 
-/// Executes `expr` through the pipelined Volcano executor with
-/// per-operator instrumentation (including wall-clock timing) and renders
-/// estimated-versus-actual rows for every plan node.
+/// Executes `expr` through the chosen execution engine (batch by
+/// default) with per-operator instrumentation (including wall-clock
+/// timing) and renders estimated-versus-actual rows for every plan node.
+/// The engines agree on results and counters, so the choice only affects
+/// the timing figures.
 ExplainAnalyzeResult ExplainAnalyze(const ExprPtr& expr, const Database& db,
-                                    JoinAlgo algo = JoinAlgo::kAuto);
+                                    JoinAlgo algo = JoinAlgo::kAuto,
+                                    ExecEngine engine = ExecEngine::kBatch);
 
 /// Graphviz DOT for an expression tree.
 std::string ExprToDot(const ExprPtr& expr, const Database& db);

@@ -137,16 +137,6 @@ Result<OptimizeOutcome> OptimizeUncached(const ExprPtr& query,
 
 }  // namespace
 
-const char* PlanClassName(PlanClass plan_class) {
-  switch (plan_class) {
-    case PlanClass::kFreelyReorderable:
-      return "freely-reorderable";
-    case PlanClass::kGojRewritten:
-      return "goj-rewritten";
-  }
-  return "unknown";
-}
-
 Result<OptimizeOutcome> Optimize(const ExprPtr& query, const Database& db,
                                  const OptimizeOptions& options) {
   if (options.plan_cache == nullptr) {

@@ -1,8 +1,18 @@
-#include "server/plan_cache.h"
+#include "optimizer/plan_cache.h"
 
 #include <cstdio>
 
 namespace fro {
+
+const char* PlanClassName(PlanClass plan_class) {
+  switch (plan_class) {
+    case PlanClass::kFreelyReorderable:
+      return "freely-reorderable";
+    case PlanClass::kGojRewritten:
+      return "goj-rewritten";
+  }
+  return "unknown";
+}
 
 std::string PlanCacheStats::ToString() const {
   char buf[256];

@@ -12,16 +12,21 @@
 // left-deepening); the rewrite metadata rides along so observability
 // tools can distinguish the two populations.
 //
-// The optimizer only consumes this interface; the concrete thread-safe
-// LRU lives in server/plan_cache.h so the optimizer keeps zero
-// serving-layer dependencies.
+// This header is the single plan-cache surface: the abstract interface
+// the optimizer consumes, the thread-safe LRU realization every caller
+// shares (server sessions, fro_shell, lang::RunOptions), and the one
+// PlanCacheStats struct that `fro_shell \cachestats` and the server's
+// STATS verb both render. It depends on nothing from the serving layer.
 
 #ifndef FRO_OPTIMIZER_PLAN_CACHE_H_
 #define FRO_OPTIMIZER_PLAN_CACHE_H_
 
 #include <cstdint>
+#include <list>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <unordered_map>
 
 #include "algebra/expr.h"
 
@@ -61,6 +66,60 @@ class PlanCacheInterface {
 
   /// Stores `plan` under `key`, evicting as capacity demands.
   virtual void Insert(uint64_t key, CachedPlan plan) = 0;
+};
+
+/// Point-in-time counters of an LruPlanCache.
+struct PlanCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;
+  size_t size = 0;
+  size_t capacity = 0;
+
+  double hit_rate() const {
+    const uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+
+  std::string ToString() const;
+};
+
+/// Thread-safe LRU realization of PlanCacheInterface: a mutex-guarded
+/// map keyed on uint64 plan hashes. A hit means "this exact query shape
+/// was optimized before" — and by Theorem 1 replaying the cached
+/// implementing tree is sound. Recency is maintained on Lookup and
+/// Insert; capacity overflows evict the least recently used entry;
+/// counters are cumulative for the cache's lifetime. `capacity == 0`
+/// disables caching entirely (every Lookup misses, Inserts are dropped) —
+/// the serving layer's "cache off" mode for A/B benchmarking.
+class LruPlanCache : public PlanCacheInterface {
+ public:
+  explicit LruPlanCache(size_t capacity) : capacity_(capacity) {}
+
+  std::optional<CachedPlan> Lookup(uint64_t key) override;
+  void Insert(uint64_t key, CachedPlan plan) override;
+
+  /// Drops every entry; counters are kept.
+  void Clear();
+
+  PlanCacheStats stats() const;
+
+ private:
+  struct Entry {
+    uint64_t key;
+    CachedPlan plan;
+  };
+
+  mutable std::mutex mu_;
+  size_t capacity_;
+  /// Front = most recently used.
+  std::list<Entry> lru_;
+  std::unordered_map<uint64_t, std::list<Entry>::iterator> index_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t insertions_ = 0;
+  uint64_t evictions_ = 0;
 };
 
 }  // namespace fro

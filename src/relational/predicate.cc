@@ -442,4 +442,115 @@ bool PredEquals(const Predicate& a, const Predicate& b) {
   return false;
 }
 
+// --- BoundPredicate ------------------------------------------------------
+
+void BoundPredicate::Bind(const PredicatePtr& pred, const Scheme& scheme) {
+  FRO_CHECK(pred != nullptr);
+  nodes_.clear();
+  Compile(*pred, scheme);
+}
+
+uint32_t BoundPredicate::Compile(const Predicate& pred,
+                                 const Scheme& scheme) {
+  const uint32_t index = static_cast<uint32_t>(nodes_.size());
+  nodes_.emplace_back();
+  {
+    Node& node = nodes_[index];
+    node.kind = pred.kind();
+    switch (pred.kind()) {
+      case Predicate::Kind::kConst:
+        node.const_value = pred.const_value();
+        break;
+      case Predicate::Kind::kCmp:
+      case Predicate::Kind::kIsNull: {
+        node.op = pred.cmp_op();
+        auto bind_operand = [&](const Operand& op, int* pos, Value* lit) {
+          if (op.is_column()) {
+            *pos = scheme.IndexOf(op.attr());
+            FRO_CHECK_GE(*pos, 0)
+                << "operand column " << op.attr() << " not in scheme";
+          } else {
+            *pos = -1;
+            *lit = op.literal();
+          }
+        };
+        bind_operand(pred.lhs(), &node.lhs_pos, &node.lhs_lit);
+        if (pred.kind() == Predicate::Kind::kCmp) {
+          bind_operand(pred.rhs(), &node.rhs_pos, &node.rhs_lit);
+        }
+        break;
+      }
+      case Predicate::Kind::kAnd:
+      case Predicate::Kind::kOr:
+      case Predicate::Kind::kNot:
+        break;
+    }
+  }
+  // Children recurse after the parent slot exists; re-fetch the node
+  // afterwards because recursion may reallocate nodes_.
+  std::vector<uint32_t> children;
+  for (const PredicatePtr& child : pred.children()) {
+    children.push_back(Compile(*child, scheme));
+  }
+  nodes_[index].children = std::move(children);
+  return index;
+}
+
+TriBool BoundPredicate::EvalNode(uint32_t index, const Tuple& tuple) const {
+  const Node& node = nodes_[index];
+  switch (node.kind) {
+    case Predicate::Kind::kConst:
+      return node.const_value ? TriBool::kTrue : TriBool::kFalse;
+    case Predicate::Kind::kCmp: {
+      const Value& a = node.lhs_pos >= 0
+                           ? tuple.value(static_cast<size_t>(node.lhs_pos))
+                           : node.lhs_lit;
+      const Value& b = node.rhs_pos >= 0
+                           ? tuple.value(static_cast<size_t>(node.rhs_pos))
+                           : node.rhs_lit;
+      switch (node.op) {
+        case CmpOp::kEq:
+          return SqlEq(a, b);
+        case CmpOp::kNe:
+          return SqlNe(a, b);
+        case CmpOp::kLt:
+          return SqlLt(a, b);
+        case CmpOp::kLe:
+          return SqlLe(a, b);
+        case CmpOp::kGt:
+          return SqlGt(a, b);
+        case CmpOp::kGe:
+          return SqlGe(a, b);
+      }
+      return TriBool::kUnknown;
+    }
+    case Predicate::Kind::kAnd: {
+      TriBool acc = TriBool::kTrue;
+      for (uint32_t child : node.children) {
+        acc = TriAnd(acc, EvalNode(child, tuple));
+        if (acc == TriBool::kFalse) break;
+      }
+      return acc;
+    }
+    case Predicate::Kind::kOr: {
+      TriBool acc = TriBool::kFalse;
+      for (uint32_t child : node.children) {
+        acc = TriOr(acc, EvalNode(child, tuple));
+        if (acc == TriBool::kTrue) break;
+      }
+      return acc;
+    }
+    case Predicate::Kind::kNot:
+      return TriNot(EvalNode(node.children[0], tuple));
+    case Predicate::Kind::kIsNull:
+      return (node.lhs_pos >= 0
+                  ? tuple.value(static_cast<size_t>(node.lhs_pos))
+                  : node.lhs_lit)
+                     .is_null()
+                 ? TriBool::kTrue
+                 : TriBool::kFalse;
+  }
+  return TriBool::kUnknown;
+}
+
 }  // namespace fro

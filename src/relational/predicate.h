@@ -119,6 +119,50 @@ class Predicate {
   AttrSet references_;
 };
 
+/// A predicate compiled against one fixed Scheme: every column operand's
+/// position is resolved at bind time, so per-row evaluation is a flat
+/// tree walk over direct tuple indices — no per-row hash lookups. This is
+/// the batch executor's amortization of predicate interpretation: bind
+/// once per pipeline, evaluate per tuple. Equivalent to
+/// `pred->Eval(tuple, scheme)` on every input (the equivalence suite
+/// asserts engine agreement).
+class BoundPredicate {
+ public:
+  /// Unbound; Eval must not be called until Bind().
+  BoundPredicate() = default;
+  BoundPredicate(const PredicatePtr& pred, const Scheme& scheme) {
+    Bind(pred, scheme);
+  }
+
+  /// (Re)binds to `pred` resolved against `scheme`. Like
+  /// Operand::Resolve, check-fails if a referenced column is missing.
+  void Bind(const PredicatePtr& pred, const Scheme& scheme);
+
+  bool bound() const { return !nodes_.empty(); }
+
+  /// Three-valued evaluation; positions were resolved at bind time.
+  TriBool Eval(const Tuple& tuple) const { return EvalNode(0, tuple); }
+
+ private:
+  struct Node {
+    Predicate::Kind kind = Predicate::Kind::kConst;
+    bool const_value = true;
+    CmpOp op = CmpOp::kEq;
+    /// Column position in the bound scheme, or -1 for a literal operand.
+    int lhs_pos = -1;
+    int rhs_pos = -1;
+    Value lhs_lit;
+    Value rhs_lit;
+    /// Indices into nodes_ (children stored after their parent).
+    std::vector<uint32_t> children;
+  };
+
+  uint32_t Compile(const Predicate& pred, const Scheme& scheme);
+  TriBool EvalNode(uint32_t index, const Tuple& tuple) const;
+
+  std::vector<Node> nodes_;
+};
+
 /// Convenience factories for the common column/column and column/literal
 /// comparisons.
 PredicatePtr EqCols(AttrId a, AttrId b);

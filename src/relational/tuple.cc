@@ -10,6 +10,31 @@ Tuple Tuple::Concat(const Tuple& other) const {
   return Tuple(std::move(out));
 }
 
+void Tuple::AssignConcat(const Tuple& a, const Tuple& b) {
+  values_.resize(a.values_.size() + b.values_.size());
+  size_t i = 0;
+  for (const Value& v : a.values_) values_[i++] = v;
+  for (const Value& v : b.values_) values_[i++] = v;
+}
+
+void Tuple::AssignConcatNulls(const Tuple& a, size_t null_count) {
+  values_.resize(a.values_.size() + null_count);
+  size_t i = 0;
+  for (const Value& v : a.values_) values_[i++] = v;
+  for (; i < values_.size(); ++i) values_[i] = Value::Null();
+}
+
+void Tuple::AssignMapped(const Tuple& src, const std::vector<int>& positions) {
+  values_.resize(positions.size());
+  for (size_t i = 0; i < positions.size(); ++i) {
+    if (positions[i] < 0) {
+      values_[i] = Value::Null();
+    } else {
+      values_[i] = src.value(static_cast<size_t>(positions[i]));
+    }
+  }
+}
+
 size_t Tuple::Hash() const {
   size_t h = 0x811c9dc5;
   for (const Value& v : values_) {

@@ -31,6 +31,19 @@ class Tuple {
   /// Concatenation (t1, t2) from the paper.
   Tuple Concat(const Tuple& other) const;
 
+  /// In-place assignment helpers for the batch executor: they overwrite
+  /// this tuple's values while reusing its existing storage, so writing
+  /// into a recycled batch slot performs no allocation once the slot has
+  /// reached its steady-state arity.
+  void AssignFrom(const Tuple& other) { values_ = other.values_; }
+  /// this := (a, b). Neither operand may alias this tuple.
+  void AssignConcat(const Tuple& a, const Tuple& b);
+  /// this := (a, null, ..., null) with `null_count` trailing nulls.
+  void AssignConcatNulls(const Tuple& a, size_t null_count);
+  /// this := src mapped through `positions`; a negative position yields
+  /// null (the padding convention). `src` must not alias this tuple.
+  void AssignMapped(const Tuple& src, const std::vector<int>& positions);
+
   /// Structural equality (null == null), for bag semantics.
   bool operator==(const Tuple& other) const { return values_ == other.values_; }
   bool operator<(const Tuple& other) const { return values_ < other.values_; }

@@ -1,75 +1,10 @@
-// Thread-safe LRU realization of the optimizer's PlanCacheInterface.
-//
-// Keys are canonical-query structural hashes (PR 2's hash-consing), so a
-// hit means "this exact query shape was optimized before" — and by
-// Theorem 1 (see optimizer/plan_cache.h) replaying the cached
-// implementing tree is sound. Recency is maintained on Lookup and
-// Insert; capacity overflows evict the least recently used entry.
-// Counters are cumulative for the cache's lifetime.
+// Compatibility shim: the plan cache (interface, LRU realization, and
+// PlanCacheStats) merged into the single surface in
+// optimizer/plan_cache.h. Include that header directly in new code.
 
 #ifndef FRO_SERVER_PLAN_CACHE_H_
 #define FRO_SERVER_PLAN_CACHE_H_
 
-#include <cstdint>
-#include <list>
-#include <mutex>
-#include <optional>
-#include <string>
-#include <unordered_map>
-
-#include "optimizer/plan_cache.h"
-
-namespace fro {
-
-/// Point-in-time counters of an LruPlanCache.
-struct PlanCacheStats {
-  uint64_t hits = 0;
-  uint64_t misses = 0;
-  uint64_t insertions = 0;
-  uint64_t evictions = 0;
-  size_t size = 0;
-  size_t capacity = 0;
-
-  double hit_rate() const {
-    const uint64_t total = hits + misses;
-    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
-  }
-
-  std::string ToString() const;
-};
-
-/// A mutex-guarded LRU map keyed on uint64 plan hashes. `capacity == 0`
-/// disables caching entirely (every Lookup misses, Inserts are dropped) —
-/// the serving layer's "cache off" mode for A/B benchmarking.
-class LruPlanCache : public PlanCacheInterface {
- public:
-  explicit LruPlanCache(size_t capacity) : capacity_(capacity) {}
-
-  std::optional<CachedPlan> Lookup(uint64_t key) override;
-  void Insert(uint64_t key, CachedPlan plan) override;
-
-  /// Drops every entry; counters are kept.
-  void Clear();
-
-  PlanCacheStats stats() const;
-
- private:
-  struct Entry {
-    uint64_t key;
-    CachedPlan plan;
-  };
-
-  mutable std::mutex mu_;
-  size_t capacity_;
-  /// Front = most recently used.
-  std::list<Entry> lru_;
-  std::unordered_map<uint64_t, std::list<Entry>::iterator> index_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
-  uint64_t insertions_ = 0;
-  uint64_t evictions_ = 0;
-};
-
-}  // namespace fro
+#include "optimizer/plan_cache.h"  // IWYU pragma: export
 
 #endif  // FRO_SERVER_PLAN_CACHE_H_

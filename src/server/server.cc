@@ -18,9 +18,12 @@ FroServer::FroServer(const NestedDb* db, ServerOptions options)
       options_(options),
       plan_cache_(options.plan_cache_capacity),
       session_(nullptr) {
+  SessionOptions session_options;
+  session_options.engine = options_.engine;
+  session_options.default_deadline_ms = options_.default_deadline_ms;
   session_ = std::make_unique<QuerySession>(
       db_, options_.plan_cache_capacity > 0 ? &plan_cache_ : nullptr,
-      &metrics_);
+      &metrics_, session_options);
 }
 
 FroServer::~FroServer() { Stop(); }
@@ -203,12 +206,10 @@ Response FroServer::Dispatch(const Request& request) {
     case Verb::kQuery:
     case Verb::kExplain:
     case Verb::kAnalyze: {
+      // The control carries only cancellation here; the session arms the
+      // deadline itself through RunOptions (the single place execution
+      // options are set).
       ExecControl control;
-      if (options_.default_deadline_ms > 0) {
-        control.set_deadline(
-            std::chrono::steady_clock::now() +
-            std::chrono::milliseconds(options_.default_deadline_ms));
-      }
       const bool cancellable =
           request.verb == Verb::kQuery && !request.tag.empty();
       if (cancellable) RegisterQuery(request.tag, &control);

@@ -37,7 +37,7 @@
 #include "exec/iterator.h"
 #include "lang/model.h"
 #include "server/metrics.h"
-#include "server/plan_cache.h"
+#include "optimizer/plan_cache.h"
 #include "server/session.h"
 
 namespace fro {
@@ -56,6 +56,9 @@ struct ServerOptions {
   int default_deadline_ms = 30000;
   /// Plan-cache entries; 0 serves every query cold (cache off).
   size_t plan_cache_capacity = 128;
+  /// Execution engine for QUERY / ANALYZE (batch by default; results and
+  /// counters are engine-independent).
+  ExecEngine engine = ExecEngine::kBatch;
 };
 
 class FroServer {

@@ -3,7 +3,6 @@
 #include <chrono>
 
 #include "common/check.h"
-#include "exec/build.h"
 #include "lang/lang.h"
 #include "lang/parser.h"
 #include "lang/translate.h"
@@ -95,30 +94,32 @@ Response QuerySession::RunQueryVerb(const std::string& text,
     response.status = ast.status();
     return response;
   }
-  Result<PlannedQuery> planned = Plan(*db_, *ast, plan_cache_);
-  if (!planned.ok()) {
-    response.status = planned.status();
+  // The one place this request's execution options are assembled:
+  // deadline, plan cache, and engine choice all flow through RunOptions
+  // into the Status-carrying RunParsedQuery surface.
+  RunOptions run = RunOptions()
+                       .WithPlanCache(plan_cache_)
+                       .WithEngine(options_.engine)
+                       .WithControl(control);
+  if (options_.default_deadline_ms > 0) {
+    run.WithDeadline(std::chrono::milliseconds(options_.default_deadline_ms));
+  }
+  Result<QueryRunResult> result = RunParsedQuery(*db_, *ast, run);
+  if (!result.ok()) {
+    // Includes kCancelled / kDeadlineExceeded from DrainChecked: the
+    // status reaches the wire protocol instead of a truncated table.
+    response.status = result.status();
     return response;
   }
-  *cache_hit = planned->optimize.cache_hit;
-
-  const Database& rel_db = *planned->translation.db;
-  IteratorPtr root = BuildIterator(planned->optimize.plan, rel_db);
-  root->SetControl(control);
-  // Drain() opens, exhausts, and closes; the counters survive Close (only
-  // Open resets them), so the rollup below reads settled stats.
-  Relation result = Drain(root.get());
+  *cache_hit = result->optimize.cache_hit;
   if (metrics_ != nullptr) {
-    root->Visit([this](TupleIterator* op, int) {
-      metrics_->RecordOperator(op->physical_name(), op->stats());
+    ForEachOp(result->plan_stats, [this](const PlanOpStats& op, int) {
+      metrics_->RecordOperator(op.physical_name, op.stats);
     });
   }
-  if (control != nullptr && control->stopped()) {
-    response.status = control->status();
-    return response;
-  }
-  response.body =
-      RenderResult(result, rel_db.catalog(), planned->optimize.notes);
+  response.body = RenderResult(result->relation,
+                               result->translation.db->catalog(),
+                               result->optimize.notes);
   return response;
 }
 
@@ -152,7 +153,8 @@ Response QuerySession::RunAnalyzeVerb(const std::string& text) {
     return response;
   }
   ExplainAnalyzeResult analyzed =
-      ExplainAnalyze(planned->optimize.plan, *planned->translation.db);
+      ExplainAnalyze(planned->optimize.plan, *planned->translation.db,
+                     JoinAlgo::kAuto, options_.engine);
   response.body = analyzed.text;
   response.body += "(" + std::to_string(analyzed.result.NumRows()) +
                    " rows; " +

@@ -8,10 +8,14 @@
 //   * the LRU plan cache threaded into Optimize (hash-keyed plan reuse),
 //   * the metrics registry (latency, outcomes, per-operator totals).
 //
-// QUERY runs through the pipelined Volcano executor with the caller's
-// ExecControl attached, so deadlines and CANCEL stop it mid-drain;
-// results render as the canonical table (sorted rows and columns), which
-// is what makes "byte-identical to serial execution" a testable claim.
+// QUERY runs through lang::RunParsedQuery — the one Status-carrying
+// execution surface — with the caller's ExecControl attached, so
+// deadlines and CANCEL stop it mid-drain and surface as kCancelled /
+// kDeadlineExceeded statuses; results render as the canonical table
+// (sorted rows and columns), which is what makes "byte-identical to
+// serial execution" a testable claim. The executor engine (batch by
+// default) is a per-session option; per-operator metrics roll up from
+// the engine-agnostic PlanOpStats snapshot either engine produces.
 
 #ifndef FRO_SERVER_SESSION_H_
 #define FRO_SERVER_SESSION_H_
@@ -23,11 +27,12 @@
 #include <unordered_map>
 #include <utility>
 
+#include "exec/batch.h"
 #include "exec/iterator.h"
 #include "lang/ast.h"
 #include "lang/model.h"
 #include "server/metrics.h"
-#include "server/plan_cache.h"
+#include "optimizer/plan_cache.h"
 #include "server/protocol.h"
 
 namespace fro {
@@ -35,6 +40,12 @@ namespace fro {
 struct SessionOptions {
   /// Parsed-AST memo entries kept (LRU); 0 disables the memo.
   size_t ast_cache_capacity = 256;
+  /// Which execution engine serves QUERY / ANALYZE (results and counters
+  /// are engine-independent).
+  ExecEngine engine = ExecEngine::kBatch;
+  /// Per-query execution deadline armed through RunOptions; <= 0
+  /// disables deadlines.
+  int default_deadline_ms = 0;
 };
 
 class QuerySession {

@@ -1,0 +1,631 @@
+// Batch-engine equivalence suite: the batch executor must be
+// result-transparent — byte-identical results (canonical form) and
+// identical ExecStats counters — against BOTH the tuple-at-a-time
+// executor and the materializing evaluator, operator by operator, on
+// the paper's example databases, null-heavy outerjoin inputs, empty
+// relations, and batch-boundary input sizes (0, 1, capacity,
+// capacity+1). Also covers the engine-bridging adapters, the
+// Status-carrying DrainChecked surface (kCancelled /
+// kDeadlineExceeded), and RunQuery's engine/deadline options.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <vector>
+
+#include "algebra/eval.h"
+#include "common/rng.h"
+#include "enumerate/it_enum.h"
+#include "exec/batch_operators.h"
+#include "exec/build.h"
+#include "exec/operators.h"
+#include "exec/stats_view.h"
+#include "lang/lang.h"
+#include "testing/datagen.h"
+#include "testing/graphgen.h"
+#include "testing/nested_sample.h"
+
+namespace fro {
+namespace {
+
+// Counter equality ignoring wall-clock fields (the evaluator keeps none).
+void ExpectCountersEq(const ExecStats& got, const ExecStats& want,
+                      const std::string& context) {
+  EXPECT_EQ(got.left_reads, want.left_reads) << context;
+  EXPECT_EQ(got.right_reads, want.right_reads) << context;
+  EXPECT_EQ(got.emitted, want.emitted) << context;
+  EXPECT_EQ(got.probes, want.probes) << context;
+  EXPECT_EQ(got.predicate_evals, want.predicate_evals) << context;
+}
+
+// Runs `expr` through all three engines — evaluator, tuple pipeline,
+// batch pipeline (at `capacity` tuples per batch) — and asserts results
+// byte-identical in canonical form and pipeline counter totals equal.
+void ExpectAllEnginesAgree(const ExprPtr& expr, const Database& db,
+                           JoinAlgo algo, size_t capacity) {
+  const std::string context =
+      expr->ToString() + " cap=" + std::to_string(capacity);
+
+  EvalOptions eval_options;
+  eval_options.algo = algo;
+  EvalStats eval_stats;
+  Relation reference = Eval(expr, db, eval_options, &eval_stats);
+
+  IteratorPtr tuple_root = BuildIterator(expr, db, algo);
+  Relation tuple_out = Drain(tuple_root.get());
+
+  BatchIteratorPtr batch_root = BuildBatchIterator(expr, db, algo, capacity);
+  Relation batch_out = DrainBatches(batch_root.get());
+
+  // Byte-identical: canonical renderings match exactly.
+  EXPECT_EQ(CanonicalString(batch_out), CanonicalString(tuple_out)) << context;
+  EXPECT_TRUE(BagEquals(reference, batch_out)) << context;
+
+  const ExecStats tuple_totals = CollectPipelineStats(tuple_root.get());
+  const ExecStats batch_totals = CollectPipelineStats(batch_root.get());
+  ExpectCountersEq(batch_totals, tuple_totals, context + " [batch vs tuple]");
+  ExpectCountersEq(batch_totals, eval_stats.totals,
+                   context + " [batch vs eval]");
+}
+
+void ExpectAllEnginesAgreeAllCapacities(const ExprPtr& expr,
+                                        const Database& db, JoinAlgo algo) {
+  for (size_t capacity : {size_t{1}, size_t{3}, TupleBatch::kDefaultCapacity}) {
+    ExpectAllEnginesAgree(expr, db, algo, capacity);
+  }
+}
+
+// --- TupleBatch container semantics -----------------------------------
+
+TEST(TupleBatchTest, AppendSizeAndSelection) {
+  TupleBatch batch(4);
+  EXPECT_TRUE(batch.empty());
+  EXPECT_FALSE(batch.full());
+  for (int i = 0; i < 4; ++i) {
+    batch.Append(Tuple({Value::Int(i)}));
+  }
+  EXPECT_TRUE(batch.full());
+  EXPECT_EQ(batch.size(), 4u);
+  EXPECT_EQ(batch.NumRows(), 4u);
+
+  // Keep even values only: selection narrows without moving tuples.
+  batch.NarrowSelection([](const Tuple& row, uint32_t) {
+    return row.value(0).AsInt() % 2 == 0;
+  });
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch.NumRows(), 4u);  // raw rows untouched
+  EXPECT_EQ(batch.selected(0).value(0).AsInt(), 0);
+  EXPECT_EQ(batch.selected(1).value(0).AsInt(), 2);
+
+  // Narrowing composes: a second predicate sees only live rows.
+  batch.NarrowSelection([](const Tuple& row, uint32_t) {
+    return row.value(0).AsInt() > 0;
+  });
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch.selected(0).value(0).AsInt(), 2);
+}
+
+TEST(TupleBatchTest, PeekSlotCommitsOnlyOnRequest) {
+  TupleBatch batch(2);
+  Tuple* slot = batch.PeekSlot();
+  slot->AssignFrom(Tuple({Value::Int(7)}));
+  EXPECT_EQ(batch.size(), 0u);  // peeked, not committed: row is dead
+  batch.CommitSlot();
+  EXPECT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch.selected(0).value(0).AsInt(), 7);
+
+  // A peeked-but-uncommitted candidate is simply overwritten next time.
+  batch.PeekSlot()->AssignFrom(Tuple({Value::Int(8)}));
+  batch.PeekSlot()->AssignFrom(Tuple({Value::Int(9)}));
+  batch.CommitSlot();
+  EXPECT_EQ(batch.selected(1).value(0).AsInt(), 9);
+}
+
+TEST(TupleBatchTest, ClearRetainsSlotsAndDropsSelection) {
+  TupleBatch batch(3);
+  batch.Append(Tuple({Value::Int(1), Value::Int(2)}));
+  batch.NarrowSelection([](const Tuple&, uint32_t) { return false; });
+  EXPECT_TRUE(batch.empty());
+  batch.Clear();
+  EXPECT_FALSE(batch.sel_active());
+  EXPECT_EQ(batch.NumRows(), 0u);
+  // Slots survive Clear(): refilling reuses them (same address).
+  Tuple* slot = batch.PeekSlot();
+  EXPECT_EQ(slot, &batch.mutable_row(0));
+  slot->AssignFrom(Tuple({Value::Int(3), Value::Int(4)}));
+  batch.CommitSlot();
+  EXPECT_EQ(batch.size(), 1u);
+}
+
+// --- Operator-by-operator equivalence ---------------------------------
+
+class BatchEquivTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    r_ = *db_.AddRelation("R", {"a", "b"});
+    s_ = *db_.AddRelation("S", {"c", "d"});
+    a_ = db_.Attr("R", "a");
+    b_ = db_.Attr("R", "b");
+    c_ = db_.Attr("S", "c");
+    d_ = db_.Attr("S", "d");
+    db_.AddRow(r_, {Value::Int(1), Value::Int(10)});
+    db_.AddRow(r_, {Value::Int(2), Value::Int(20)});
+    db_.AddRow(r_, {Value::Int(2), Value::Int(21)});
+    db_.AddRow(r_, {Value::Null(), Value::Int(30)});
+    db_.AddRow(s_, {Value::Int(1), Value::Int(100)});
+    db_.AddRow(s_, {Value::Int(1), Value::Int(101)});
+    db_.AddRow(s_, {Value::Int(3), Value::Int(102)});
+    db_.AddRow(s_, {Value::Null(), Value::Int(103)});
+  }
+
+  ExprPtr LeafR() const { return Expr::Leaf(r_, db_); }
+  ExprPtr LeafS() const { return Expr::Leaf(s_, db_); }
+
+  std::vector<ExprPtr> AllOperatorKinds() const {
+    return {
+        Expr::Join(LeafR(), LeafS(), EqCols(a_, c_)),
+        Expr::OuterJoin(LeafR(), LeafS(), EqCols(a_, c_),
+                        /*preserves_left=*/true),
+        Expr::OuterJoin(LeafR(), LeafS(), EqCols(a_, c_),
+                        /*preserves_left=*/false),
+        Expr::Antijoin(LeafR(), LeafS(), EqCols(a_, c_), /*keeps_left=*/true),
+        Expr::Antijoin(LeafR(), LeafS(), EqCols(a_, c_), /*keeps_left=*/false),
+        Expr::Semijoin(LeafR(), LeafS(), EqCols(a_, c_), /*keeps_left=*/true),
+        Expr::Semijoin(LeafR(), LeafS(), EqCols(a_, c_), /*keeps_left=*/false),
+        Expr::Goj(LeafR(), LeafS(), EqCols(a_, c_), AttrSet::Of({a_, b_})),
+        Expr::Restrict(LeafR(), CmpLit(CmpOp::kGe, b_, Value::Int(20))),
+        Expr::Project(LeafR(), {a_}, /*dedup=*/false),
+        Expr::Project(LeafR(), {a_}, /*dedup=*/true),
+        Expr::Union(LeafR(), LeafS()),
+        // A non-equi predicate forces the nested-loop path even under kAuto.
+        Expr::Join(LeafR(), LeafS(), CmpCols(CmpOp::kLt, a_, c_)),
+    };
+  }
+
+  Database db_;
+  RelId r_, s_;
+  AttrId a_, b_, c_, d_;
+};
+
+TEST_F(BatchEquivTest, EveryOperatorKindAgreesAcrossEngines) {
+  for (const ExprPtr& expr : AllOperatorKinds()) {
+    for (JoinAlgo algo : {JoinAlgo::kAuto, JoinAlgo::kNestedLoop}) {
+      ExpectAllEnginesAgreeAllCapacities(expr, db_, algo);
+    }
+  }
+}
+
+TEST_F(BatchEquivTest, CompositePipelineAgrees) {
+  ExprPtr expr = Expr::Project(
+      Expr::Restrict(Expr::Join(LeafR(), LeafS(), EqCols(a_, c_)),
+                     CmpLit(CmpOp::kGe, d_, Value::Int(100))),
+      {a_, d_}, /*dedup=*/true);
+  for (JoinAlgo algo : {JoinAlgo::kAuto, JoinAlgo::kNestedLoop}) {
+    ExpectAllEnginesAgreeAllCapacities(expr, db_, algo);
+  }
+}
+
+// Null join keys on both sides: the SQL three-valued-logic corners that
+// distinguish outerjoin, antijoin, and semijoin.
+TEST(BatchNullKeyTest, NullHeavyOuterAntiSemiAgree) {
+  Database db;
+  RelId r = *db.AddRelation("R", {"a"});
+  RelId s = *db.AddRelation("S", {"c"});
+  AttrId a = db.Attr("R", "a");
+  AttrId c = db.Attr("S", "c");
+  db.AddRow(r, {Value::Int(1)});
+  db.AddRow(r, {Value::Null()});
+  db.AddRow(r, {Value::Int(2)});
+  db.AddRow(r, {Value::Null()});
+  db.AddRow(s, {Value::Int(1)});
+  db.AddRow(s, {Value::Null()});
+  db.AddRow(s, {Value::Null()});
+
+  auto leaf_r = [&] { return Expr::Leaf(r, db); };
+  auto leaf_s = [&] { return Expr::Leaf(s, db); };
+  std::vector<ExprPtr> exprs;
+  for (bool flag : {true, false}) {
+    exprs.push_back(Expr::OuterJoin(leaf_r(), leaf_s(), EqCols(a, c), flag));
+    exprs.push_back(Expr::Antijoin(leaf_r(), leaf_s(), EqCols(a, c), flag));
+    exprs.push_back(Expr::Semijoin(leaf_r(), leaf_s(), EqCols(a, c), flag));
+  }
+  for (const ExprPtr& expr : exprs) {
+    for (JoinAlgo algo : {JoinAlgo::kAuto, JoinAlgo::kNestedLoop}) {
+      ExpectAllEnginesAgreeAllCapacities(expr, db, algo);
+    }
+  }
+}
+
+// Empty inputs on either or both sides of every join mode.
+TEST(BatchEmptyInputTest, EmptyRelationsAgree) {
+  for (bool left_empty : {true, false}) {
+    for (bool right_empty : {true, false}) {
+      Database db;
+      RelId r = *db.AddRelation("R", {"a"});
+      RelId s = *db.AddRelation("S", {"c"});
+      AttrId a = db.Attr("R", "a");
+      AttrId c = db.Attr("S", "c");
+      if (!left_empty) {
+        db.AddRow(r, {Value::Int(1)});
+        db.AddRow(r, {Value::Int(2)});
+      }
+      if (!right_empty) {
+        db.AddRow(s, {Value::Int(1)});
+      }
+      std::vector<ExprPtr> exprs = {
+          Expr::Leaf(r, db),
+          Expr::Restrict(Expr::Leaf(r, db),
+                         CmpLit(CmpOp::kGe, a, Value::Int(2))),
+          Expr::Project(Expr::Leaf(r, db), {a}, /*dedup=*/true),
+          Expr::Union(Expr::Leaf(r, db), Expr::Leaf(s, db)),
+          Expr::Join(Expr::Leaf(r, db), Expr::Leaf(s, db), EqCols(a, c)),
+          Expr::OuterJoin(Expr::Leaf(r, db), Expr::Leaf(s, db), EqCols(a, c),
+                          /*preserves_left=*/true),
+          Expr::Antijoin(Expr::Leaf(r, db), Expr::Leaf(s, db), EqCols(a, c),
+                         /*keeps_left=*/true),
+          Expr::Semijoin(Expr::Leaf(r, db), Expr::Leaf(s, db), EqCols(a, c),
+                         /*keeps_left=*/true),
+          Expr::Goj(Expr::Leaf(r, db), Expr::Leaf(s, db), EqCols(a, c),
+                    AttrSet::Of({a})),
+      };
+      for (const ExprPtr& expr : exprs) {
+        for (JoinAlgo algo : {JoinAlgo::kAuto, JoinAlgo::kNestedLoop}) {
+          ExpectAllEnginesAgreeAllCapacities(expr, db, algo);
+        }
+      }
+    }
+  }
+}
+
+// Input sizes straddling the batch boundary: 0, 1, capacity, capacity+1
+// rows through scan -> filter -> hash join at capacity 4, so every
+// resume point (mid-left-row, unmatched-left epilogue) is exercised.
+TEST(BatchBoundaryTest, SizesAroundCapacityAgree) {
+  constexpr size_t kCapacity = 4;
+  for (int rows : {0, 1, 4, 5}) {
+    Database db;
+    RelId r = *db.AddRelation("R", {"a", "b"});
+    RelId s = *db.AddRelation("S", {"c"});
+    AttrId a = db.Attr("R", "a");
+    AttrId b = db.Attr("R", "b");
+    AttrId c = db.Attr("S", "c");
+    for (int i = 0; i < rows; ++i) {
+      db.AddRow(r, {Value::Int(i % 3), Value::Int(i)});
+    }
+    // Build side fans out: two matches per key 0/1, none for key 2.
+    db.AddRow(s, {Value::Int(0)});
+    db.AddRow(s, {Value::Int(0)});
+    db.AddRow(s, {Value::Int(1)});
+    db.AddRow(s, {Value::Int(1)});
+
+    ExprPtr expr = Expr::Join(
+        Expr::Restrict(Expr::Leaf(r, db),
+                       CmpLit(CmpOp::kGe, b, Value::Int(0))),
+        Expr::Leaf(s, db), EqCols(a, c));
+    ExprPtr outer = Expr::OuterJoin(Expr::Leaf(r, db), Expr::Leaf(s, db),
+                                    EqCols(a, c), /*preserves_left=*/true);
+    for (JoinAlgo algo : {JoinAlgo::kAuto, JoinAlgo::kNestedLoop}) {
+      ExpectAllEnginesAgree(expr, db, algo, kCapacity);
+      ExpectAllEnginesAgree(outer, db, algo, kCapacity);
+    }
+  }
+}
+
+// The paper's Example 1 and DEPT/EMP databases through both engines.
+TEST(BatchExampleDatabasesTest, Example1OrdersAgree) {
+  std::unique_ptr<Database> db = MakeExample1Database(100);
+  RelId r1 = db->Rel("R1");
+  RelId r2 = db->Rel("R2");
+  RelId r3 = db->Rel("R3");
+  AttrId r1k = db->Attr("R1", "k");
+  AttrId r2k = db->Attr("R2", "k");
+  AttrId r2fk = db->Attr("R2", "fk");
+  AttrId r3k = db->Attr("R3", "k");
+
+  ExprPtr naive = Expr::OuterJoin(
+      Expr::Leaf(r1, *db),
+      Expr::OuterJoin(Expr::Leaf(r2, *db), Expr::Leaf(r3, *db),
+                      EqCols(r2fk, r3k), /*preserves_left=*/true),
+      EqCols(r1k, r2k), /*preserves_left=*/true);
+  ExprPtr reordered = Expr::OuterJoin(
+      Expr::OuterJoin(Expr::Leaf(r1, *db), Expr::Leaf(r2, *db),
+                      EqCols(r1k, r2k), /*preserves_left=*/true),
+      Expr::Leaf(r3, *db), EqCols(r2fk, r3k), /*preserves_left=*/true);
+
+  for (const ExprPtr& expr : {naive, reordered}) {
+    ExpectAllEnginesAgreeAllCapacities(expr, *db, JoinAlgo::kAuto);
+  }
+  EXPECT_TRUE(BagEquals(ExecuteBatched(naive, *db),
+                        ExecuteBatched(reordered, *db)));
+}
+
+TEST(BatchExampleDatabasesTest, DeptEmpOuterjoinAgrees) {
+  std::unique_ptr<Database> db = MakeDeptEmpDatabase();
+  RelId dept = db->Rel("DEPT");
+  RelId emp = db->Rel("EMP");
+  AttrId dept_dno = db->Attr("DEPT", "dno");
+  AttrId emp_dno = db->Attr("EMP", "dno");
+  ExprPtr expr =
+      Expr::OuterJoin(Expr::Leaf(dept, *db), Expr::Leaf(emp, *db),
+                      EqCols(dept_dno, emp_dno), /*preserves_left=*/true);
+  for (JoinAlgo algo : {JoinAlgo::kAuto, JoinAlgo::kNestedLoop}) {
+    ExpectAllEnginesAgreeAllCapacities(expr, *db, algo);
+  }
+}
+
+// Example 2: the two bracketings of R1 -> (R2 - R3) genuinely differ
+// (that is the paper's counterexample) — but *within* each bracketing,
+// every engine must produce the same rows. Engine equivalence has to
+// hold exactly where plan equivalence fails.
+TEST(BatchExampleDatabasesTest, Example2BracketingsAgreePerTree) {
+  Database db;
+  RelId r1 = *db.AddRelation("R1", {"a"});
+  RelId r2 = *db.AddRelation("R2", {"b"});
+  RelId r3 = *db.AddRelation("R3", {"c"});
+  AttrId a = db.Attr("R1", "a");
+  AttrId b = db.Attr("R2", "b");
+  AttrId c = db.Attr("R3", "c");
+  db.AddRow(r1, {Value::Int(1)});
+  db.AddRow(r2, {Value::Int(1)});   // matches r1 on the outerjoin pred
+  db.AddRow(r3, {Value::Int(99)});  // does NOT match r2 on the join pred
+  PredicatePtr poj = EqCols(a, b);
+  PredicatePtr pjn = EqCols(b, c);
+  ExprPtr oj_of_join = Expr::OuterJoin(
+      Expr::Leaf(r1, db),
+      Expr::Join(Expr::Leaf(r2, db), Expr::Leaf(r3, db), pjn), poj,
+      /*preserves_left=*/true);
+  ExprPtr join_of_oj = Expr::Join(
+      Expr::OuterJoin(Expr::Leaf(r1, db), Expr::Leaf(r2, db), poj,
+                      /*preserves_left=*/true),
+      Expr::Leaf(r3, db), pjn);
+  for (JoinAlgo algo : {JoinAlgo::kAuto, JoinAlgo::kNestedLoop}) {
+    ExpectAllEnginesAgreeAllCapacities(oj_of_join, db, algo);
+    ExpectAllEnginesAgreeAllCapacities(join_of_oj, db, algo);
+  }
+  // The counterexample itself still holds through the batch engine.
+  EXPECT_EQ(ExecuteBatched(oj_of_join, db).NumRows(), 1u);
+  EXPECT_EQ(ExecuteBatched(join_of_oj, db).NumRows(), 0u);
+}
+
+// Example 3: the non-strong predicate (… OR … IS NULL) that breaks
+// identity 12. Null-supplied tuples satisfying a predicate via the
+// IS NULL disjunct are exactly the case batched predicate evaluation
+// must not get wrong.
+TEST(BatchExampleDatabasesTest, Example3NonstrongPredicateAgreesPerTree) {
+  Database db;
+  RelId ra = *db.AddRelation("A", {"attr1"});
+  RelId rb = *db.AddRelation("B", {"attr1", "attr2"});
+  RelId rc = *db.AddRelation("C", {"attr1"});
+  AttrId a1 = db.Attr("A", "attr1");
+  AttrId b1 = db.Attr("B", "attr1");
+  AttrId b2 = db.Attr("B", "attr2");
+  AttrId c1 = db.Attr("C", "attr1");
+  db.AddRow(ra, {Value::Int(0)});
+  db.AddRow(rb, {Value::Int(1), Value::Null()});  // (b, -): b != a
+  db.AddRow(rc, {Value::Int(2)});
+  PredicatePtr pab = EqCols(a1, b1);
+  PredicatePtr pbc = Predicate::Or(
+      {EqCols(b2, c1), Predicate::IsNull(Operand::Column(b2))});
+  ExprPtr left_assoc = Expr::OuterJoin(
+      Expr::OuterJoin(Expr::Leaf(ra, db), Expr::Leaf(rb, db), pab,
+                      /*preserves_left=*/true),
+      Expr::Leaf(rc, db), pbc, /*preserves_left=*/true);
+  ExprPtr right_assoc = Expr::OuterJoin(
+      Expr::Leaf(ra, db),
+      Expr::OuterJoin(Expr::Leaf(rb, db), Expr::Leaf(rc, db), pbc,
+                      /*preserves_left=*/true),
+      pab, /*preserves_left=*/true);
+  for (JoinAlgo algo : {JoinAlgo::kAuto, JoinAlgo::kNestedLoop}) {
+    ExpectAllEnginesAgreeAllCapacities(left_assoc, db, algo);
+    ExpectAllEnginesAgreeAllCapacities(right_assoc, db, algo);
+  }
+  EXPECT_FALSE(BagEquals(ExecuteBatched(left_assoc, db),
+                         ExecuteBatched(right_assoc, db)));
+}
+
+TEST(BatchPropertyTest, RandomQueriesAgreeAcrossEngines) {
+  Rng rng(8804);
+  for (int trial = 0; trial < 25; ++trial) {
+    RandomQueryOptions options;
+    options.num_relations = 3 + static_cast<int>(rng.Uniform(3));
+    options.rows.null_prob = 0.25;
+    GeneratedQuery q = GenerateRandomQuery(options, &rng);
+    ExprPtr tree = RandomIt(q.graph, *q.db, &rng);
+    ASSERT_NE(tree, nullptr);
+    for (JoinAlgo algo : {JoinAlgo::kAuto, JoinAlgo::kNestedLoop}) {
+      const size_t capacity = 1 + rng.Uniform(5);
+      ExpectAllEnginesAgree(tree, *q.db, algo, capacity);
+      ExpectAllEnginesAgree(tree, *q.db, algo, TupleBatch::kDefaultCapacity);
+    }
+  }
+}
+
+// --- Adapters: tuple subtrees under batch pipelines and vice versa ----
+
+TEST_F(BatchEquivTest, TupleBatchAdapterBridgesTupleSubtree) {
+  ExprPtr join = Expr::Join(LeafR(), LeafS(), EqCols(a_, c_));
+  Relation direct = ExecutePipelined(join, db_);
+
+  // Wrap the whole tuple plan and narrow it with a batch filter on top.
+  PredicatePtr pred = CmpLit(CmpOp::kGe, b_, Value::Int(20));
+  auto wrapped = std::make_unique<TupleBatchAdapter>(
+      BuildIterator(join, db_, JoinAlgo::kAuto));
+  BatchFilterIterator filter(std::move(wrapped), pred);
+
+  Relation out = DrainBatches(&filter);
+  ExprPtr filtered = Expr::Restrict(join, pred);
+  EXPECT_EQ(CanonicalString(out),
+            CanonicalString(ExecutePipelined(filtered, db_)));
+
+  // Stats rollup reaches through the adapter into the tuple subtree:
+  // the wrapped join's reads are visible in the batch-side totals.
+  ExecStats totals = CollectPipelineStats(&filter);
+  EXPECT_GT(totals.left_reads, 0u);
+  EXPECT_GT(totals.probes, 0u);
+
+  // The snapshot marks the adapter node itself as a passthrough, so its
+  // re-emitted rows are not double-counted by SumPipelineStats.
+  PlanOpStats snapshot = SnapshotPlanStats(&filter);
+  ASSERT_EQ(snapshot.children.size(), 1u);
+  EXPECT_TRUE(snapshot.children[0].passthrough);
+  EXPECT_EQ(direct.NumRows(), snapshot.children[0].stats.emitted);
+}
+
+TEST_F(BatchEquivTest, BatchTupleAdapterBridgesBatchSubtree) {
+  ExprPtr join = Expr::Join(LeafR(), LeafS(), EqCols(a_, c_));
+  Relation direct = ExecutePipelined(join, db_);
+
+  for (size_t capacity : {size_t{1}, size_t{2}, TupleBatch::kDefaultCapacity}) {
+    BatchTupleAdapter adapter(
+        BuildBatchIterator(join, db_, JoinAlgo::kAuto, capacity), capacity);
+    Relation out = Drain(&adapter);
+    EXPECT_EQ(CanonicalString(out), CanonicalString(direct))
+        << "cap=" << capacity;
+
+    // The adapter is the snapshot root and is marked passthrough; its
+    // child is the wrapped batch join. Passthrough emission is excluded
+    // from the rollup, so totals show the join's output once, not twice.
+    PlanOpStats snapshot = SnapshotPlanStats(&adapter);
+    EXPECT_TRUE(snapshot.passthrough);
+    ASSERT_EQ(snapshot.children.size(), 1u);
+    EXPECT_EQ(snapshot.children[0].stats.emitted, direct.NumRows());
+    EXPECT_EQ(SumPipelineStats(snapshot).emitted, direct.NumRows());
+  }
+}
+
+TEST_F(BatchEquivTest, AdapterRoundTripIsIdentity) {
+  ExprPtr expr = Expr::Restrict(LeafR(), CmpLit(CmpOp::kGe, b_, Value::Int(20)));
+  // batch -> tuple -> batch sandwich.
+  auto inner = std::make_unique<BatchTupleAdapter>(
+      BuildBatchIterator(expr, db_, JoinAlgo::kAuto, 2), 2);
+  TupleBatchAdapter sandwich(std::move(inner));
+  EXPECT_EQ(CanonicalString(DrainBatches(&sandwich)),
+            CanonicalString(ExecutePipelined(expr, db_)));
+}
+
+// --- DrainChecked: the Status-carrying execution surface --------------
+
+TEST_F(BatchEquivTest, DrainCheckedSurfacesCancellation) {
+  ExprPtr expr = Expr::Join(LeafR(), LeafS(), EqCols(a_, c_));
+  {
+    ExecControl control;
+    control.RequestCancel();
+    IteratorPtr root = BuildIterator(expr, db_, JoinAlgo::kAuto);
+    root->SetControl(&control);
+    Result<Relation> result = DrainChecked(root.get(), &control);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+  }
+  {
+    ExecControl control;
+    control.RequestCancel();
+    BatchIteratorPtr root = BuildBatchIterator(expr, db_, JoinAlgo::kAuto);
+    root->SetControl(&control);
+    Result<Relation> result = DrainChecked(root.get(), &control);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+  }
+}
+
+TEST_F(BatchEquivTest, DrainCheckedSurfacesDeadline) {
+  ExprPtr expr = Expr::Join(LeafR(), LeafS(), EqCols(a_, c_));
+  {
+    ExecControl control;
+    control.set_deadline(std::chrono::steady_clock::now());  // already due
+    IteratorPtr root = BuildIterator(expr, db_, JoinAlgo::kAuto);
+    root->SetControl(&control);
+    Result<Relation> result = DrainChecked(root.get(), &control);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  }
+  {
+    ExecControl control;
+    control.set_deadline(std::chrono::steady_clock::now());
+    BatchIteratorPtr root = BuildBatchIterator(expr, db_, JoinAlgo::kAuto);
+    root->SetControl(&control);
+    Result<Relation> result = DrainChecked(root.get(), &control);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  }
+}
+
+TEST_F(BatchEquivTest, DrainCheckedWithoutControlMatchesDrain) {
+  ExprPtr expr = Expr::Join(LeafR(), LeafS(), EqCols(a_, c_));
+  {
+    IteratorPtr root = BuildIterator(expr, db_, JoinAlgo::kAuto);
+    Result<Relation> checked = DrainChecked(root.get(), nullptr);
+    ASSERT_TRUE(checked.ok());
+    EXPECT_EQ(CanonicalString(*checked),
+              CanonicalString(ExecutePipelined(expr, db_)));
+  }
+  {
+    BatchIteratorPtr root = BuildBatchIterator(expr, db_, JoinAlgo::kAuto);
+    Result<Relation> checked = DrainChecked(root.get(), nullptr);
+    ASSERT_TRUE(checked.ok());
+    EXPECT_EQ(CanonicalString(*checked),
+              CanonicalString(ExecutePipelined(expr, db_)));
+  }
+}
+
+// Adapters forward the control into the subtree they wrap: a cancelled
+// control stops a tuple pipeline running under a batch root.
+TEST_F(BatchEquivTest, AdapterForwardsControlToWrappedSubtree) {
+  ExprPtr expr = Expr::Join(LeafR(), LeafS(), EqCols(a_, c_));
+  ExecControl control;
+  control.RequestCancel();
+  TupleBatchAdapter adapter(BuildIterator(expr, db_, JoinAlgo::kAuto));
+  adapter.SetControl(&control);
+  Result<Relation> result = DrainChecked(&adapter, &control);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+}
+
+// --- RunQuery: engine choice and deadline through RunOptions ----------
+
+TEST(BatchRunQueryTest, EnginesAgreeThroughTheFacade) {
+  NestedDb db = MakeCompanyNestedDb();
+  const std::string query =
+      "Select All From EMPLOYEE*ChildName, DEPARTMENT "
+      "Where EMPLOYEE.D# = DEPARTMENT.D#";
+  Result<QueryRunResult> batch =
+      RunQuery(db, query, RunOptions().WithEngine(ExecEngine::kBatch));
+  Result<QueryRunResult> tuple =
+      RunQuery(db, query, RunOptions().WithEngine(ExecEngine::kTuple));
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  ASSERT_TRUE(tuple.ok()) << tuple.status().ToString();
+  EXPECT_EQ(batch->engine, ExecEngine::kBatch);
+  EXPECT_EQ(tuple->engine, ExecEngine::kTuple);
+  EXPECT_EQ(CanonicalString(batch->relation), CanonicalString(tuple->relation));
+  ExpectCountersEq(SumPipelineStats(batch->plan_stats),
+                   SumPipelineStats(tuple->plan_stats), query);
+}
+
+TEST(BatchRunQueryTest, ExpiredDeadlineSurfacesThroughRunQuery) {
+  NestedDb db = MakeScaledCompanyNestedDb(50);
+  const std::string query =
+      "Select All From EMPLOYEE e1, EMPLOYEE e2 Where e1.Rank = e2.Rank";
+  for (ExecEngine engine : {ExecEngine::kTuple, ExecEngine::kBatch}) {
+    Result<QueryRunResult> run =
+        RunQuery(db, query,
+                 RunOptions().WithEngine(engine).WithDeadline(
+                     std::chrono::milliseconds(0)));
+    ASSERT_FALSE(run.ok()) << ExecEngineName(engine);
+    EXPECT_EQ(run.status().code(), StatusCode::kDeadlineExceeded)
+        << ExecEngineName(engine);
+  }
+}
+
+TEST(BatchRunQueryTest, CancelledControlSurfacesThroughRunQuery) {
+  NestedDb db = MakeCompanyNestedDb();
+  ExecControl control;
+  control.RequestCancel();
+  Result<QueryRunResult> run =
+      RunQuery(db, "Select All From EMPLOYEE",
+               RunOptions().WithControl(&control));
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kCancelled);
+}
+
+}  // namespace
+}  // namespace fro

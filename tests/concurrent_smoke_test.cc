@@ -14,7 +14,7 @@
 
 #include "lang/lang.h"
 #include "relational/relation.h"
-#include "server/plan_cache.h"
+#include "optimizer/plan_cache.h"
 #include "testing/nested_sample.h"
 
 namespace fro {

@@ -3,7 +3,7 @@
 // reorderable class the cached implementing tree is result-identical, so
 // a hit must change nothing observable but the latency.
 
-#include "server/plan_cache.h"
+#include "optimizer/plan_cache.h"
 
 #include <gtest/gtest.h>
 
