@@ -144,6 +144,20 @@ class AlgebraParser {
 
   Result<ExprPtr> ParseExpr() {
     if (Peek().kind == AlgToken::Kind::kIdent) {
+      // `sigma[pred](expr)` is a restriction (matching ToString); a bare
+      // identifier — even one spelled "sigma" — is a relation name.
+      if (Lower(Peek().text) == "sigma" &&
+          tokens_[pos_ + 1].kind == AlgToken::Kind::kPunct &&
+          tokens_[pos_ + 1].text == "[") {
+        Advance();
+        Advance();
+        FRO_ASSIGN_OR_RETURN(PredicatePtr pred, ParsePredicate());
+        FRO_RETURN_IF_ERROR(ExpectPunct("]"));
+        FRO_RETURN_IF_ERROR(ExpectPunct("("));
+        FRO_ASSIGN_OR_RETURN(ExprPtr child, ParseExpr());
+        FRO_RETURN_IF_ERROR(ExpectPunct(")"));
+        return Expr::Restrict(std::move(child), std::move(pred));
+      }
       std::string name = Advance().text;
       FRO_ASSIGN_OR_RETURN(RelId rel, db_.catalog().FindRelation(name));
       return Expr::Leaf(rel, db_);
@@ -155,9 +169,14 @@ class AlgebraParser {
       return Err("expected an operator symbol");
     }
     std::string op = Advance().text;
-    FRO_RETURN_IF_ERROR(ExpectPunct("["));
-    FRO_ASSIGN_OR_RETURN(PredicatePtr pred, ParsePredicate());
-    FRO_RETURN_IF_ERROR(ExpectPunct("]"));
+    // `[pred]` is optional: ToString omits it for predicate-free
+    // (cartesian) operators, which must still round-trip.
+    PredicatePtr pred;
+    if (IsPunct("[")) {
+      Advance();
+      FRO_ASSIGN_OR_RETURN(pred, ParsePredicate());
+      FRO_RETURN_IF_ERROR(ExpectPunct("]"));
+    }
     FRO_ASSIGN_OR_RETURN(ExprPtr right, ParseExpr());
     FRO_RETURN_IF_ERROR(ExpectPunct(")"));
     if (op == "-") return Expr::Join(left, right, pred);
@@ -193,6 +212,14 @@ class AlgebraParser {
   }
 
   Result<PredicatePtr> ParseAtom() {
+    if (IsKeyword("true")) {
+      Advance();
+      return Predicate::Const(true);
+    }
+    if (IsKeyword("false")) {
+      Advance();
+      return Predicate::Const(false);
+    }
     if (IsKeyword("not")) {
       Advance();
       FRO_RETURN_IF_ERROR(ExpectPunct("("));

@@ -4,12 +4,14 @@
 // Grammar (fully parenthesized; keywords case-insensitive):
 //   expr    := IDENT                                  -- a relation name
 //            | '(' expr OP '[' pred ']' expr ')'
+//            | 'sigma' '[' pred ']' '(' expr ')'      -- restriction
 //   OP      := '-'   (join)        | '->' | '<-'  (outerjoin)
 //            | '|>' | '<|' (antijoin) | '>-' | '-<' (semijoin)
 //   pred    := conj ('or' conj)*
 //   conj    := atom ('and' atom)*
 //   atom    := '(' pred ')'
 //            | 'not' '(' pred ')'
+//            | 'TRUE' | 'FALSE'
 //            | operand 'is' 'null'
 //            | operand CMP operand
 //   CMP     := '=' | '<>' | '<' | '<=' | '>' | '>='

@@ -3,6 +3,24 @@
 // Tests and benchmarks must be reproducible, so all randomized machinery in
 // the library takes an explicit `Rng` seeded by the caller. The generator is
 // xoshiro256**, seeded via splitmix64.
+//
+// Seed contract (what "reproducible from the printed seed" means — the
+// fuzzing harness in src/fuzz/ depends on every clause):
+//
+//   1. The value stream of `Rng(seed)` is a pure function of `seed`:
+//      no global state, no time, no std::random_device, identical across
+//      processes, platforms, and thread interleavings.
+//   2. Everything downstream of an Rng must consume values in a
+//      deterministic order. Generators (testing/datagen.h,
+//      testing/graphgen.h, testing/nested_gen.h, enumerate/it_enum.h's
+//      RandomIt) draw in fixed source-code order and never iterate
+//      unordered containers while drawing; audit any new consumer for
+//      both properties before trusting its seeds.
+//   3. Independent substreams are derived with `DeriveSeed(seed, i)`,
+//      never by reusing one Rng across logically separate cases — that
+//      way case i can be replayed without generating cases 0..i-1.
+//   4. There are no unseeded defaults: every randomized API takes the
+//      caller's Rng or an explicit seed.
 
 #ifndef FRO_COMMON_RNG_H_
 #define FRO_COMMON_RNG_H_
@@ -74,6 +92,17 @@ class Rng {
 
   uint64_t state_[4];
 };
+
+/// Derives the seed of an independent substream from a master seed and a
+/// stream index (one splitmix64 step over a golden-ratio-spaced input).
+/// Substream i is replayable without touching substreams 0..i-1; distinct
+/// (seed, index) pairs give decorrelated streams.
+inline uint64_t DeriveSeed(uint64_t seed, uint64_t index) {
+  uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
 
 }  // namespace fro
 

@@ -1,0 +1,144 @@
+#include "fuzz/case_gen.h"
+
+#include <vector>
+
+#include "common/check.h"
+#include "enumerate/it_enum.h"
+#include "testing/graphgen.h"
+
+namespace fro {
+
+namespace {
+
+const char* kProfileNames[] = {
+    "nice-strong",    "null-heavy",  "weak-preds",
+    "join-at-null",   "two-in-edges", "oj-cycle",
+    "cyclic-core",    "dupfree-goj", "empty-relations",
+};
+static_assert(sizeof(kProfileNames) / sizeof(kProfileNames[0]) ==
+              static_cast<size_t>(FuzzProfile::kNumProfiles));
+
+RandomQueryOptions OptionsFor(FuzzProfile profile, Rng* rng) {
+  RandomQueryOptions options;
+  options.num_relations = 2 + static_cast<int>(rng->Uniform(5));  // 2..6
+  options.attrs_per_rel = 1 + static_cast<int>(rng->Uniform(3));  // 1..3
+  options.rows.rows_min = 0;
+  options.rows.rows_max = 6;
+  options.rows.domain = 2 + static_cast<int>(rng->Uniform(4));
+  options.rows.null_prob = 0.15;
+
+  switch (profile) {
+    case FuzzProfile::kNiceStrong:
+      break;
+    case FuzzProfile::kNullHeavy:
+      options.rows.null_prob = 0.45;
+      options.rows.domain = 2;
+      break;
+    case FuzzProfile::kWeakPreds:
+      options.oj_fraction = 0.8;
+      options.weak_pred_prob = 0.6;
+      options.rows.null_prob = 0.3;
+      break;
+    case FuzzProfile::kJoinAtNullSupplied:
+      options.num_relations = 3 + static_cast<int>(rng->Uniform(3));
+      options.violation = RandomQueryOptions::Violation::kJoinAtNullSupplied;
+      break;
+    case FuzzProfile::kTwoInEdges:
+      options.num_relations = 3 + static_cast<int>(rng->Uniform(3));
+      options.violation = RandomQueryOptions::Violation::kTwoInEdges;
+      break;
+    case FuzzProfile::kOjCycle:
+      options.num_relations = 3 + static_cast<int>(rng->Uniform(3));
+      options.oj_fraction = 0.9;
+      options.violation = RandomQueryOptions::Violation::kOjCycle;
+      break;
+    case FuzzProfile::kCyclicCore:
+      options.extra_join_edge_prob = 0.6;
+      options.oj_fraction = 0.25;
+      break;
+    case FuzzProfile::kDupFreeGoj:
+      options.num_relations = 3 + static_cast<int>(rng->Uniform(3));
+      options.violation = RandomQueryOptions::Violation::kJoinAtNullSupplied;
+      options.rows.unique_rows = true;
+      options.rows.rows_min = 1;
+      break;
+    case FuzzProfile::kEmptyRelations:
+      options.rows.rows_max = 2;
+      break;
+    case FuzzProfile::kNumProfiles:
+      FRO_CHECK(false);
+  }
+  return options;
+}
+
+// A random restriction over the attributes visible in `query`: a
+// comparison against a small literal, an IS NULL, or its negation.
+// Strong comparisons above an outerjoin are what trigger the Section 4
+// simplification inside the optimizer.
+PredicatePtr RandomRestriction(const ExprPtr& query, Rng* rng) {
+  const std::vector<AttrId>& attrs = query->attrs().ids();
+  FRO_CHECK(!attrs.empty());
+  AttrId attr = attrs[rng->Uniform(attrs.size())];
+  switch (rng->Uniform(4)) {
+    case 0:
+      return Predicate::IsNull(Operand::Column(attr));
+    case 1:
+      return Predicate::Not(Predicate::IsNull(Operand::Column(attr)));
+    case 2:
+      return CmpLit(CmpOp::kNe, attr,
+                    Value::Int(rng->UniformInt(0, 3)));
+    default:
+      return CmpLit(CmpOp::kEq, attr,
+                    Value::Int(rng->UniformInt(0, 3)));
+  }
+}
+
+}  // namespace
+
+const char* FuzzProfileName(FuzzProfile profile) {
+  const size_t index = static_cast<size_t>(profile);
+  FRO_CHECK_LT(index, static_cast<size_t>(FuzzProfile::kNumProfiles));
+  return kProfileNames[index];
+}
+
+FuzzProfile FuzzProfileFromName(const std::string& name) {
+  for (size_t i = 0; i < static_cast<size_t>(FuzzProfile::kNumProfiles);
+       ++i) {
+    if (name == kProfileNames[i]) return static_cast<FuzzProfile>(i);
+  }
+  return FuzzProfile::kNumProfiles;
+}
+
+FuzzCase GenerateFuzzCase(uint64_t seed, FuzzProfile pinned) {
+  // Bounded retry: a violation profile occasionally yields a graph with
+  // no implementing tree (RandomIt returns null). Each attempt draws
+  // from an independent derived stream so retries stay reproducible.
+  for (uint64_t attempt = 0;; ++attempt) {
+    Rng rng(DeriveSeed(seed, attempt));
+    FuzzProfile profile =
+        pinned != FuzzProfile::kNumProfiles
+            ? pinned
+            : static_cast<FuzzProfile>(rng.Uniform(
+                  static_cast<uint64_t>(FuzzProfile::kNumProfiles)));
+    // After repeated failures fall back to the always-realizable profile.
+    if (attempt >= 8) profile = FuzzProfile::kNiceStrong;
+
+    RandomQueryOptions options = OptionsFor(profile, &rng);
+    GeneratedQuery generated = GenerateRandomQuery(options, &rng);
+    ExprPtr query = RandomIt(generated.graph, *generated.db, &rng);
+    if (query == nullptr) continue;
+
+    if (rng.Bernoulli(0.3)) {
+      query = Expr::Restrict(query, RandomRestriction(query, &rng));
+    }
+
+    FuzzCase out;
+    out.seed = seed;
+    out.profile = profile;
+    out.db = std::move(generated.db);
+    out.query = std::move(query);
+    return out;
+  }
+}
+
+}  // namespace fro

@@ -1,0 +1,65 @@
+// Seeded fuzz-case generation: a database plus a query expression, both
+// derived deterministically from one 64-bit case seed.
+//
+// Cases are drawn from a mix of adversarial profiles layered on
+// testing/graphgen + testing/datagen: nice graphs with strong predicates
+// (Theorem 1 territory), weak null-accepting outerjoin predicates
+// (Example 3), each Lemma 1 niceness violation (Example 2 among them —
+// the shapes the GOJ rewrites must handle), cyclic join cores, NULL-
+// skewed columns, empty relations, and duplicate-free GOJ-ready data.
+//
+// Determinism contract: a FuzzCase is a pure function of its seed (see
+// common/rng.h). Replaying `GenerateFuzzCase(seed)` in any process on
+// any machine reproduces the identical database, query, and profile.
+
+#ifndef FRO_FUZZ_CASE_GEN_H_
+#define FRO_FUZZ_CASE_GEN_H_
+
+#include <memory>
+#include <string>
+
+#include "algebra/expr.h"
+#include "common/rng.h"
+#include "relational/database.h"
+
+namespace fro {
+
+/// The generation profiles, cycled through by seed. Kept public so a
+/// driver can pin one (`fro_fuzz --profile`).
+enum class FuzzProfile : uint8_t {
+  kNiceStrong = 0,    // freely reorderable: nice graph, strong preds
+  kNullHeavy,         // nice + strong, ~45% null values, tiny domain
+  kWeakPreds,         // null-accepting outerjoin predicates (Example 3)
+  kJoinAtNullSupplied,  // Lemma 1 violation: X -> Y - Z (Example 2)
+  kTwoInEdges,        // Lemma 1 violation: X -> Y <- Z
+  kOjCycle,           // Lemma 1 violation: outerjoin cycle
+  kCyclicCore,        // dense join core: cycles + collapsed edges
+  kDupFreeGoj,        // duplicate-free rows + non-nice shape: GOJ rewrites
+  kEmptyRelations,    // 0-2 rows per relation: boundary cardinalities
+  kNumProfiles,
+};
+
+const char* FuzzProfileName(FuzzProfile profile);
+
+/// Parses a profile by its FuzzProfileName; returns kNumProfiles on an
+/// unknown name.
+FuzzProfile FuzzProfileFromName(const std::string& name);
+
+struct FuzzCase {
+  uint64_t seed = 0;
+  FuzzProfile profile = FuzzProfile::kNiceStrong;
+  std::unique_ptr<Database> db;
+  /// A Join/Outerjoin implementing tree of the generated graph,
+  /// optionally wrapped in a top-level Restrict (exercising the Section 4
+  /// simplification and restriction pushdown through the optimizer).
+  ExprPtr query;
+};
+
+/// Generates the case for `seed`. The profile is chosen by the seed
+/// unless `pinned` names one.
+FuzzCase GenerateFuzzCase(uint64_t seed,
+                          FuzzProfile pinned = FuzzProfile::kNumProfiles);
+
+}  // namespace fro
+
+#endif  // FRO_FUZZ_CASE_GEN_H_

@@ -1,0 +1,126 @@
+#include "fuzz/corpus.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "algebra/parse.h"
+#include "relational/text_io.h"
+
+namespace fro {
+
+namespace {
+
+std::string SeedToHex(uint64_t seed) {
+  std::ostringstream out;
+  out << "0x" << std::hex << seed;
+  return out.str();
+}
+
+// File-name-safe form of a check name ("bt:reassoc" -> "bt-reassoc").
+std::string Slug(const std::string& check) {
+  std::string out = check;
+  for (char& c : out) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '-') c = '-';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string CorpusCaseToText(const FuzzCase& fuzz_case,
+                             const std::string& check) {
+  std::string out = "# fro_fuzz corpus case\n";
+  out += "meta seed " + SeedToHex(fuzz_case.seed) + " profile " +
+         FuzzProfileName(fuzz_case.profile);
+  if (!check.empty()) out += " check " + check;
+  out += "\n";
+  out += DatabaseToText(*fuzz_case.db);
+  out += "query " +
+         fuzz_case.query->ToString(&fuzz_case.db->catalog(),
+                                   /*with_preds=*/true) +
+         "\n";
+  return out;
+}
+
+Result<CorpusCase> ParseCorpusCase(const std::string& text) {
+  std::string db_text;
+  std::string query_text;
+  CorpusCase out;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.rfind("meta ", 0) == 0) {
+      std::istringstream meta(line.substr(5));
+      std::string key, value;
+      while (meta >> key >> value) {
+        if (key == "seed") {
+          out.fuzz_case.seed = std::stoull(value, nullptr, 0);
+        } else if (key == "profile") {
+          FuzzProfile profile = FuzzProfileFromName(value);
+          if (profile != FuzzProfile::kNumProfiles) {
+            out.fuzz_case.profile = profile;
+          }
+        } else if (key == "check") {
+          out.check = value;
+        }
+      }
+      continue;
+    }
+    if (line.rfind("query ", 0) == 0) {
+      if (!query_text.empty()) {
+        return InvalidArgument("multiple query lines in corpus case");
+      }
+      query_text = line.substr(6);
+      continue;
+    }
+    db_text += line;
+    db_text += '\n';
+  }
+  if (query_text.empty()) {
+    return InvalidArgument("corpus case has no query line");
+  }
+  FRO_ASSIGN_OR_RETURN(out.fuzz_case.db, LoadDatabaseText(db_text));
+  FRO_ASSIGN_OR_RETURN(out.fuzz_case.query,
+                       ParseAlgebra(query_text, *out.fuzz_case.db));
+  return out;
+}
+
+Result<CorpusCase> LoadCorpusCase(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return InvalidArgument("cannot open corpus file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseCorpusCase(buffer.str());
+}
+
+Result<std::string> SaveCorpusCase(const FuzzCase& fuzz_case,
+                                   const std::string& check,
+                                   const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  std::string name = "seed-" + SeedToHex(fuzz_case.seed);
+  if (!check.empty()) name += "-" + Slug(check);
+  std::string path = (std::filesystem::path(dir) / (name + ".case")).string();
+  std::ofstream out(path);
+  if (!out) return InvalidArgument("cannot write corpus file: " + path);
+  out << CorpusCaseToText(fuzz_case, check);
+  return path;
+}
+
+std::vector<std::string> ListCorpusFiles(const std::string& dir) {
+  std::vector<std::string> out;
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(dir, ec)) {
+    if (entry.path().extension() == ".case") {
+      out.push_back(entry.path().string());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace fro

@@ -1,0 +1,60 @@
+// Textual repro files for fuzz findings ("corpus cases").
+//
+// A case file is self-contained and human-readable:
+//
+//   # optional free-form comment lines
+//   meta seed 0x1234 profile null-heavy check batch-engine
+//   relation R1 a b
+//   1,2
+//   ,3
+//   relation R2 a
+//   1
+//   query (R1 ->[R1.a=R2.a] R2)
+//
+// The `meta` line is optional provenance (any subset of the key/value
+// pairs). Relation blocks use relational/text_io.h's format verbatim;
+// the `query` line is algebra/parse.h syntax and must come after every
+// relation it references. Replay a case with
+// `fro_fuzz --replay <file>` or programmatically via LoadCorpusCase +
+// RunDifferential; tests/corpus_replay_test.cc runs every checked-in
+// case through the full differential driver in tier 1.
+
+#ifndef FRO_FUZZ_CORPUS_H_
+#define FRO_FUZZ_CORPUS_H_
+
+#include <string>
+#include <vector>
+
+#include "fuzz/case_gen.h"
+
+namespace fro {
+
+/// Serializes a case (with optional provenance `check` — the diverging
+/// check name, or "" for none) into the corpus format.
+std::string CorpusCaseToText(const FuzzCase& fuzz_case,
+                             const std::string& check = "");
+
+/// Parsed provenance + the case itself.
+struct CorpusCase {
+  FuzzCase fuzz_case;
+  std::string check;  // empty when the meta line carried none
+};
+
+/// Parses a corpus case from text. The database is rebuilt first, then
+/// the query is parsed against it.
+Result<CorpusCase> ParseCorpusCase(const std::string& text);
+
+/// Reads and parses a corpus case file.
+Result<CorpusCase> LoadCorpusCase(const std::string& path);
+
+/// Writes a case file; returns the path written.
+Result<std::string> SaveCorpusCase(const FuzzCase& fuzz_case,
+                                   const std::string& check,
+                                   const std::string& dir);
+
+/// Lists the *.case files under `dir`, sorted by name.
+std::vector<std::string> ListCorpusFiles(const std::string& dir);
+
+}  // namespace fro
+
+#endif  // FRO_FUZZ_CORPUS_H_

@@ -1,0 +1,291 @@
+#include "fuzz/differential.h"
+
+#include <unordered_set>
+#include <vector>
+
+#include "algebra/eval.h"
+#include "algebra/simplify.h"
+#include "algebra/transform.h"
+#include "common/check.h"
+#include "enumerate/closure.h"
+#include "enumerate/it_enum.h"
+#include "exec/build.h"
+#include "fuzz/oracle.h"
+#include "graph/from_expr.h"
+#include "graph/nice.h"
+#include "optimizer/goj_rewrite.h"
+#include "optimizer/optimizer.h"
+#include "optimizer/plan_cache.h"
+#include "relational/tuple.h"
+
+namespace fro {
+
+namespace {
+
+// Trims a canonical relation rendering for a readable report.
+std::string Excerpt(const Relation& rel, const Catalog* catalog) {
+  std::string s = CanonicalString(rel, catalog);
+  constexpr size_t kMax = 800;
+  if (s.size() > kMax) {
+    s.resize(kMax);
+    s += "\n... (truncated)";
+  }
+  return s;
+}
+
+class Differ {
+ public:
+  Differ(const FuzzCase& fuzz_case, const DiffOptions& options,
+         DiffReport* report)
+      : c_(fuzz_case), options_(options), report_(report) {
+    oracle_ = OracleEval(c_.query, *c_.db);
+  }
+
+  const Relation& oracle() const { return oracle_; }
+
+  /// Compares `got` (a pipeline's result for the original query) against
+  /// the oracle.
+  void ExpectOracle(const std::string& check, const Relation& got) {
+    ExpectEqual(check, oracle_, got);
+  }
+
+  void ExpectEqual(const std::string& check, const Relation& want,
+                   const Relation& got) {
+    ++report_->checks_run;
+    if (BagEquals(want, got)) return;
+    report_->divergences.push_back(
+        {check, "expected:\n" + Excerpt(want, &c_.db->catalog()) +
+                    "\nactual:\n" + Excerpt(got, &c_.db->catalog())});
+  }
+
+  void Fail(const std::string& check, const std::string& detail) {
+    ++report_->checks_run;
+    report_->divergences.push_back({check, detail});
+  }
+
+  bool WantCheck(const std::string& check) const {
+    if (only_ == nullptr) return true;
+    if (*only_ == check) return true;
+    // "bt:*" selects every basic-transform metamorphic site.
+    return *only_ == "bt:*" && check.rfind("bt:", 0) == 0;
+  }
+
+  void RestrictTo(const std::string* only) { only_ = only; }
+
+  // --- the checks -----------------------------------------------------
+
+  void CheckEvaluator() {
+    if (WantCheck("eval-nl")) {
+      EvalOptions nl;
+      nl.algo = JoinAlgo::kNestedLoop;
+      ExpectOracle("eval-nl", Eval(c_.query, *c_.db, nl));
+    }
+    if (WantCheck("eval-hash")) {
+      EvalOptions hash;
+      hash.algo = JoinAlgo::kHash;
+      ExpectOracle("eval-hash", Eval(c_.query, *c_.db, hash));
+    }
+  }
+
+  void CheckEngines() {
+    if (WantCheck("tuple-engine")) {
+      ExpectOracle("tuple-engine", ExecutePipelined(c_.query, *c_.db));
+    }
+    if (WantCheck("batch-engine")) {
+      ExpectOracle("batch-engine", ExecuteBatched(c_.query, *c_.db));
+    }
+    if (WantCheck("batch-engine-cap1")) {
+      ExpectOracle("batch-engine-cap1",
+                   ExecuteBatched(c_.query, *c_.db, JoinAlgo::kAuto, 1));
+    }
+    if (WantCheck("batch-engine-cap3")) {
+      ExpectOracle("batch-engine-cap3",
+                   ExecuteBatched(c_.query, *c_.db, JoinAlgo::kAuto, 3));
+    }
+  }
+
+  void CheckStatsParity() {
+    if (!WantCheck("stats-parity")) return;
+    IteratorPtr tuple_root = BuildIterator(c_.query, *c_.db);
+    Relation tuple_out = Drain(tuple_root.get());
+    BatchIteratorPtr batch_root = BuildBatchIterator(c_.query, *c_.db);
+    Relation batch_out = DrainBatches(batch_root.get());
+    ++report_->checks_run;
+    const ExecStats t = CollectPipelineStats(tuple_root.get());
+    const ExecStats b = CollectPipelineStats(batch_root.get());
+    if (t.left_reads != b.left_reads || t.right_reads != b.right_reads ||
+        t.emitted != b.emitted || t.probes != b.probes ||
+        t.predicate_evals != b.predicate_evals) {
+      report_->divergences.push_back(
+          {"stats-parity",
+           "tuple: " + t.ToString() + " (left=" +
+               std::to_string(t.left_reads) + " right=" +
+               std::to_string(t.right_reads) + ")\nbatch: " + b.ToString() +
+               " (left=" + std::to_string(b.left_reads) + " right=" +
+               std::to_string(b.right_reads) + ")"});
+    }
+    // The drained results ride along for free.
+    ExpectEqual("stats-parity-results", tuple_out, batch_out);
+  }
+
+  void CheckOptimizer() {
+    const bool want_plan = WantCheck("optimizer");
+    const bool want_cache = options_.plan_cache && WantCheck("plan-cache");
+    if (!want_plan && !want_cache) return;
+
+    Result<OptimizeOutcome> outcome = Optimize(c_.query, *c_.db);
+    if (!outcome.ok()) {
+      Fail("optimizer", "Optimize failed: " + outcome.status().ToString());
+      return;
+    }
+    if (want_plan) {
+      ExpectOracle("optimizer", Eval(outcome->plan, *c_.db));
+      ExpectOracle("optimizer-tuple",
+                   ExecutePipelined(outcome->plan, *c_.db));
+      ExpectOracle("optimizer-batch", ExecuteBatched(outcome->plan, *c_.db));
+    }
+    if (want_cache) {
+      LruPlanCache cache(4);
+      OptimizeOptions cached_options;
+      cached_options.plan_cache = &cache;
+      Result<OptimizeOutcome> first =
+          Optimize(c_.query, *c_.db, cached_options);
+      Result<OptimizeOutcome> second =
+          Optimize(c_.query, *c_.db, cached_options);
+      if (!first.ok() || !second.ok()) {
+        Fail("plan-cache", "cached Optimize failed");
+        return;
+      }
+      ++report_->checks_run;
+      if (!second->cache_hit) {
+        report_->divergences.push_back(
+            {"plan-cache", "second optimization of an identical query did "
+                           "not hit the cache"});
+      }
+      ExpectOracle("plan-cache", Eval(second->plan, *c_.db));
+    }
+  }
+
+  void CheckClosure() {
+    if (!WantCheck("closure")) return;
+    ClosureOptions closure_options;
+    closure_options.only_result_preserving = true;
+    closure_options.max_states = options_.max_closure_trees;
+    ClosureResult closure = BtClosure(c_.query, closure_options);
+    for (const ExprPtr& tree : closure.trees) {
+      ExpectOracle("closure", Eval(tree, *c_.db));
+    }
+  }
+
+  void CheckItEnumeration() {
+    if (!WantCheck("it-enum")) return;
+    // Theorem 1 only: the whole IT space agrees iff the graph is nice
+    // with strong predicates. GraphOf is undefined for wrapped queries.
+    if (c_.query->kind() == OpKind::kRestrict) return;
+    Result<QueryGraph> graph = GraphOf(c_.query, *c_.db);
+    if (!graph.ok()) return;
+    if (!CheckFreelyReorderable(*graph).freely_reorderable()) return;
+    std::vector<ExprPtr> trees =
+        EnumerateIts(*graph, *c_.db, options_.max_enum_trees);
+    for (const ExprPtr& tree : trees) {
+      ExpectOracle("it-enum", Eval(tree, *c_.db));
+    }
+  }
+
+  void CheckMetamorphic() {
+    if (!options_.metamorphic) return;
+
+    if (WantCheck("canonical-orientation")) {
+      ExpectOracle("canonical-orientation",
+                   OracleEval(CanonicalOrientation(c_.query), *c_.db));
+    }
+    if (WantCheck("simplify")) {
+      SimplifyResult simplified = SimplifyOuterjoins(c_.query);
+      ExpectOracle("simplify", OracleEval(simplified.expr, *c_.db));
+    }
+    if (WantCheck("goj-rewrite") &&
+        BaseRelationsDuplicateFree(c_.query, *c_.db)) {
+      int rewrites = 0;
+      ExprPtr deepened = LeftDeepenWithGoj(c_.query, &rewrites);
+      if (rewrites > 0) {
+        ExpectOracle("goj-rewrite", OracleEval(deepened, *c_.db));
+      }
+    }
+
+    // Every applicable result-preserving basic transform must preserve
+    // the oracle result (Lemma 2's direction of Theorem 1).
+    std::vector<BtSite> sites = FindApplicableBts(c_.query);
+    size_t exercised = 0;
+    for (const BtSite& site : sites) {
+      if (exercised >= options_.max_bt_sites) break;
+      BtClassification classification = ClassifyBt(c_.query, site);
+      if (!classification.IsPreserving()) continue;
+      const std::string check = "bt:" + classification.rule;
+      if (!WantCheck(check)) continue;
+      Result<ExprPtr> transformed = ApplyBt(c_.query, site);
+      if (!transformed.ok()) {
+        Fail(check, "ApplyBt failed on an applicable site: " +
+                        transformed.status().ToString());
+        continue;
+      }
+      ++exercised;
+      ExpectOracle(check, OracleEval(*transformed, *c_.db));
+    }
+  }
+
+  void RunAll() {
+    CheckEvaluator();
+    CheckEngines();
+    CheckStatsParity();
+    CheckOptimizer();
+    CheckClosure();
+    CheckItEnumeration();
+    CheckMetamorphic();
+  }
+
+ private:
+  const FuzzCase& c_;
+  const DiffOptions& options_;
+  DiffReport* report_;
+  Relation oracle_;
+  const std::string* only_ = nullptr;
+};
+
+}  // namespace
+
+std::string DiffReport::ToString() const {
+  if (divergences.empty()) {
+    return "ok (" + std::to_string(checks_run) + " checks)";
+  }
+  std::string out = std::to_string(divergences.size()) + " divergence(s):\n";
+  for (const Divergence& d : divergences) {
+    out += "[" + d.check + "]\n" + d.detail + "\n";
+  }
+  return out;
+}
+
+DiffReport RunDifferential(const FuzzCase& fuzz_case,
+                           const DiffOptions& options) {
+  DiffReport report;
+  Differ differ(fuzz_case, options, &report);
+  differ.RunAll();
+  return report;
+}
+
+bool CheckStillDiverges(const FuzzCase& fuzz_case, const std::string& check,
+                        const DiffOptions& options) {
+  DiffReport report;
+  Differ differ(fuzz_case, options, &report);
+  const std::string only = check.rfind("bt:", 0) == 0 ? "bt:*" : check;
+  differ.RestrictTo(&only);
+  differ.RunAll();
+  for (const Divergence& d : report.divergences) {
+    if (d.check == check) return true;
+    if (only == "bt:*" && d.check.rfind("bt:", 0) == 0) return true;
+    // A result check that shrank into a Status failure still reproduces.
+    if (d.check.rfind(check, 0) == 0) return true;
+  }
+  return false;
+}
+
+}  // namespace fro

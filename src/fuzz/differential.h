@@ -1,0 +1,85 @@
+// The differential driver: runs one fuzz case through every execution
+// and rewrite pipeline the library has and compares each against the
+// brute-force oracle (fuzz/oracle.h).
+//
+// Result checks (bag equality against the oracle):
+//   eval-nl / eval-hash    the materializing evaluator, both kernels
+//   tuple-engine           the Volcano pipeline
+//   batch-engine[-capN]    the vectorized pipeline at several capacities
+//   optimizer[-plan]       the plan Optimize() picks, on both engines
+//   plan-cache             a second Optimize through an LruPlanCache must
+//                          hit and replay an equal-result plan
+//   closure                every implementing tree in the result-
+//                          preserving BT closure (size-capped)
+//   it-enum                on freely-reorderable graphs, every
+//                          implementing tree (count-capped) — Theorem 1
+//
+// Counter parity:
+//   stats-parity           tuple and batch pipelines must report
+//                          identical ExecStats totals (reads, emitted,
+//                          probes, predicate evaluations)
+//
+// Metamorphic checks (transform the *query*, re-run the oracle, compare
+// with the oracle on the original):
+//   bt:<rule>              every applicable result-preserving basic
+//                          transform (Section 3.2)
+//   simplify               the Section 4 outerjoin-to-join rule
+//   goj-rewrite            Section 6.2 left-deepening (identities 15/16),
+//                          gated on duplicate-free base relations — the
+//                          identities' stated precondition
+//   canonical-orientation  reversal normalization
+//
+// Each divergence carries the check name and a canonical rendering of
+// expected vs. actual, so a failing case is diagnosable from the report
+// alone; fuzz/shrink.h re-runs a single named check while minimizing.
+
+#ifndef FRO_FUZZ_DIFFERENTIAL_H_
+#define FRO_FUZZ_DIFFERENTIAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz/case_gen.h"
+
+namespace fro {
+
+struct DiffOptions {
+  /// Cap on closure states explored / trees evaluated per case.
+  size_t max_closure_trees = 32;
+  /// Cap on enumerated implementing trees per freely-reorderable case.
+  size_t max_enum_trees = 16;
+  /// Cap on metamorphic BT sites exercised per case.
+  size_t max_bt_sites = 12;
+  /// Run the (oracle-squared cost) metamorphic checks.
+  bool metamorphic = true;
+  /// Exercise plan-cache replay.
+  bool plan_cache = true;
+};
+
+struct Divergence {
+  std::string check;
+  std::string detail;
+};
+
+struct DiffReport {
+  std::vector<Divergence> divergences;
+  uint64_t checks_run = 0;
+
+  bool ok() const { return divergences.empty(); }
+  std::string ToString() const;
+};
+
+/// Runs every pipeline over `fuzz_case` and returns the divergences.
+DiffReport RunDifferential(const FuzzCase& fuzz_case,
+                           const DiffOptions& options = DiffOptions());
+
+/// Re-runs only the named check (a Divergence::check value; "bt:*"
+/// prefixes match any basic-transform site). True if the check still
+/// diverges — the shrinker's predicate.
+bool CheckStillDiverges(const FuzzCase& fuzz_case, const std::string& check,
+                        const DiffOptions& options = DiffOptions());
+
+}  // namespace fro
+
+#endif  // FRO_FUZZ_DIFFERENTIAL_H_

@@ -1,0 +1,274 @@
+#include "fuzz/shrink.h"
+
+#include <string>
+#include <vector>
+
+#include "algebra/transform.h"
+#include "common/check.h"
+#include "common/str_util.h"
+
+namespace fro {
+
+namespace {
+
+// Deep-copies a database. Relations and attributes are re-registered in
+// id order, so every RelId / AttrId (and therefore the query expression)
+// stays valid against the clone.
+std::unique_ptr<Database> CloneDatabase(const Database& db) {
+  auto clone = std::make_unique<Database>();
+  for (RelId rel = 0; rel < static_cast<RelId>(db.num_relations()); ++rel) {
+    const std::string& rel_name = db.catalog().RelationName(rel);
+    std::vector<std::string> cols;
+    for (AttrId attr : db.catalog().RelationAttrs(rel)) {
+      // Attribute names are interned qualified ("rel.attr"); AddRelation
+      // wants the bare column name.
+      const std::string& qualified = db.catalog().AttrName(attr);
+      cols.push_back(qualified.substr(rel_name.size() + 1));
+    }
+    Result<RelId> added = clone->AddRelation(rel_name, cols);
+    FRO_CHECK(added.ok() && *added == rel);
+    clone->SetRows(rel, db.relation(rel).rows());
+  }
+  return clone;
+}
+
+FuzzCase CloneCase(const FuzzCase& fuzz_case) {
+  FuzzCase out;
+  out.seed = fuzz_case.seed;
+  out.profile = fuzz_case.profile;
+  out.db = CloneDatabase(*fuzz_case.db);
+  out.query = fuzz_case.query;
+  return out;
+}
+
+// Drops every conjunct (or lone predicate) referencing any attribute in
+// `dropped`; an emptied conjunction collapses to TRUE.
+PredicatePtr PrunePredicate(const PredicatePtr& pred,
+                            const AttrSet& dropped) {
+  if (pred == nullptr) return nullptr;
+  std::vector<PredicatePtr> kept;
+  for (const PredicatePtr& conjunct : pred->Conjuncts(pred)) {
+    if (!conjunct->References().Overlaps(dropped)) kept.push_back(conjunct);
+  }
+  return Predicate::And(std::move(kept));
+}
+
+// Rebuilds a join-like or restrict node with a new predicate.
+ExprPtr WithPredicate(const Expr& node, ExprPtr left, ExprPtr right,
+                      PredicatePtr pred) {
+  switch (node.kind()) {
+    case OpKind::kJoin:
+      return Expr::Join(std::move(left), std::move(right), std::move(pred));
+    case OpKind::kOuterJoin:
+      return Expr::OuterJoin(std::move(left), std::move(right),
+                             std::move(pred), node.preserves_left());
+    case OpKind::kAntijoin:
+      return Expr::Antijoin(std::move(left), std::move(right),
+                            std::move(pred), node.preserves_left());
+    case OpKind::kSemijoin:
+      return Expr::Semijoin(std::move(left), std::move(right),
+                            std::move(pred), node.preserves_left());
+    case OpKind::kRestrict:
+      return Expr::Restrict(std::move(left), std::move(pred));
+    default:
+      return nullptr;
+  }
+}
+
+// Removes every leaf of relation `rel`; prunes predicate conjuncts that
+// reference the vanished attributes. Returns null when the whole subtree
+// vanishes, or the original expression when an unsupported operator
+// blocks the rewrite.
+ExprPtr DropRelation(const ExprPtr& expr, RelId rel, const AttrSet& dropped,
+                     bool* blocked) {
+  if (expr->is_leaf()) {
+    return expr->rel() == rel ? nullptr : expr;
+  }
+  if (expr->kind() == OpKind::kRestrict) {
+    ExprPtr child = DropRelation(expr->left(), rel, dropped, blocked);
+    if (*blocked || child == nullptr) return child;
+    PredicatePtr pred = PrunePredicate(expr->pred(), dropped);
+    if (pred->kind() == Predicate::Kind::kConst && pred->const_value()) {
+      return child;
+    }
+    return Expr::Restrict(std::move(child), std::move(pred));
+  }
+  if (!expr->is_join_like()) {
+    *blocked = true;  // GOJ / union / project: leave the case alone
+    return expr;
+  }
+  ExprPtr left = DropRelation(expr->left(), rel, dropped, blocked);
+  if (*blocked) return expr;
+  ExprPtr right = DropRelation(expr->right(), rel, dropped, blocked);
+  if (*blocked) return expr;
+  if (left == nullptr) return right;
+  if (right == nullptr) return left;
+  return WithPredicate(*expr, std::move(left), std::move(right),
+                       PrunePredicate(expr->pred(), dropped));
+}
+
+// Collects the paths of all nodes carrying predicates, pre-order.
+void CollectPredicateSites(const ExprPtr& node, ExprPath* path,
+                           std::vector<ExprPath>* out) {
+  if (node == nullptr || node->is_leaf()) return;
+  if (node->pred() != nullptr &&
+      (node->is_join_like() || node->kind() == OpKind::kRestrict)) {
+    out->push_back(*path);
+  }
+  if (node->left() != nullptr) {
+    path->push_back(false);
+    CollectPredicateSites(node->left(), path, out);
+    path->pop_back();
+  }
+  if (node->right() != nullptr) {
+    path->push_back(true);
+    CollectPredicateSites(node->right(), path, out);
+    path->pop_back();
+  }
+}
+
+// Every distinct ground relation mentioned by the query, ascending.
+std::vector<RelId> RelationsOf(const ExprPtr& query) {
+  std::vector<RelId> out;
+  uint64_t mask = query->rel_mask();
+  for (RelId rel = 0; mask != 0; ++rel, mask >>= 1) {
+    if (mask & 1) out.push_back(rel);
+  }
+  return out;
+}
+
+}  // namespace
+
+size_t CaseTupleCount(const FuzzCase& fuzz_case) {
+  size_t total = 0;
+  for (RelId rel : RelationsOf(fuzz_case.query)) {
+    total += fuzz_case.db->relation(rel).NumRows();
+  }
+  return total;
+}
+
+FuzzCase ShrinkCaseWith(const FuzzCase& fuzz_case,
+                        const ShrinkPredicate& predicate,
+                        ShrinkStats* stats) {
+  FuzzCase current = CloneCase(fuzz_case);
+  ShrinkStats local;
+  ShrinkStats* s = stats != nullptr ? stats : &local;
+
+  auto still_fails = [&](const FuzzCase& candidate) {
+    ++s->property_evaluations;
+    return predicate(candidate);
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    ++s->rounds;
+
+    // 1. Empty relations outright, then drop single tuples.
+    for (RelId rel = 0; rel < static_cast<RelId>(current.db->num_relations());
+         ++rel) {
+      const std::vector<Tuple>& rows = current.db->relation(rel).rows();
+      if (!rows.empty()) {
+        FuzzCase candidate = CloneCase(current);
+        candidate.db->SetRows(rel, {});
+        if (still_fails(candidate)) {
+          current = std::move(candidate);
+          changed = true;
+          ++s->accepted_reductions;
+          continue;
+        }
+      }
+      for (size_t i = current.db->relation(rel).NumRows(); i-- > 0;) {
+        std::vector<Tuple> fewer = current.db->relation(rel).rows();
+        fewer.erase(fewer.begin() + static_cast<ptrdiff_t>(i));
+        FuzzCase candidate = CloneCase(current);
+        candidate.db->SetRows(rel, std::move(fewer));
+        if (still_fails(candidate)) {
+          current = std::move(candidate);
+          changed = true;
+          ++s->accepted_reductions;
+        }
+      }
+    }
+
+    // 2. Drop whole relations from the query.
+    if (current.query->num_leaves() > 1) {
+      for (RelId rel : RelationsOf(current.query)) {
+        bool blocked = false;
+        ExprPtr reduced =
+            DropRelation(current.query, rel,
+                         current.db->scheme(rel).ToAttrSet(), &blocked);
+        if (blocked || reduced == nullptr || reduced == current.query) {
+          continue;
+        }
+        FuzzCase candidate = CloneCase(current);
+        candidate.query = reduced;
+        if (still_fails(candidate)) {
+          current = std::move(candidate);
+          changed = true;
+          ++s->accepted_reductions;
+        }
+      }
+    }
+
+    // 3. Drop single AND-conjuncts / OR-disjuncts of any predicate.
+    std::vector<ExprPath> sites;
+    {
+      ExprPath path;
+      CollectPredicateSites(current.query, &path, &sites);
+    }
+    for (const ExprPath& path : sites) {
+      const Expr* node = NodeAt(current.query, path);
+      if (node == nullptr || node->pred() == nullptr) continue;
+      const Predicate& pred = *node->pred();
+      const bool is_and = pred.kind() == Predicate::Kind::kAnd;
+      const bool is_or = pred.kind() == Predicate::Kind::kOr;
+      if (!is_and && !is_or) continue;
+      for (size_t drop = 0; drop < pred.children().size(); ++drop) {
+        std::vector<PredicatePtr> kept;
+        for (size_t i = 0; i < pred.children().size(); ++i) {
+          if (i != drop) kept.push_back(pred.children()[i]);
+        }
+        PredicatePtr reduced_pred = is_and ? Predicate::And(std::move(kept))
+                                           : Predicate::Or(std::move(kept));
+        const Expr* live = NodeAt(current.query, path);
+        if (live == nullptr) break;
+        ExprPtr rebuilt = WithPredicate(*live, live->left(), live->right(),
+                                        std::move(reduced_pred));
+        if (rebuilt == nullptr) continue;
+        FuzzCase candidate = CloneCase(current);
+        candidate.query = ReplaceAt(current.query, path, std::move(rebuilt));
+        if (still_fails(candidate)) {
+          current = std::move(candidate);
+          changed = true;
+          ++s->accepted_reductions;
+          break;  // the site's predicate changed; revisit next round
+        }
+      }
+    }
+
+    // 4. Peel a top-level Restrict.
+    if (current.query->kind() == OpKind::kRestrict) {
+      FuzzCase candidate = CloneCase(current);
+      candidate.query = current.query->left();
+      if (still_fails(candidate)) {
+        current = std::move(candidate);
+        changed = true;
+        ++s->accepted_reductions;
+      }
+    }
+  }
+  return current;
+}
+
+FuzzCase ShrinkCase(const FuzzCase& fuzz_case, const std::string& check,
+                    const DiffOptions& options, ShrinkStats* stats) {
+  return ShrinkCaseWith(
+      fuzz_case,
+      [&](const FuzzCase& candidate) {
+        return CheckStillDiverges(candidate, check, options);
+      },
+      stats);
+}
+
+}  // namespace fro

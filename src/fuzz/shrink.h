@@ -1,0 +1,59 @@
+// Minimization of failing fuzz cases.
+//
+// Given a case and the name of a diverging check, the shrinker greedily
+// applies reductions while the divergence persists, looping to a fixed
+// point:
+//
+//   * empty out whole relations, then drop individual tuples,
+//   * drop ground-relation leaves from the query (predicate conjuncts
+//     that reference a dropped relation's attributes are pruned; a
+//     predicate with no remaining conjuncts becomes TRUE),
+//   * drop individual AND-conjuncts / OR-disjuncts of operator
+//     predicates, and drop a top-level Restrict wrapper.
+//
+// Reductions are attempted in a fixed deterministic order, so the
+// shrunken case is a function of (input case, check). Typical engine
+// bugs minimize to a handful of tuples over two or three relations —
+// small enough to read, and to check in under tests/corpus/.
+
+#ifndef FRO_FUZZ_SHRINK_H_
+#define FRO_FUZZ_SHRINK_H_
+
+#include <functional>
+#include <string>
+
+#include "fuzz/case_gen.h"
+#include "fuzz/differential.h"
+
+namespace fro {
+
+struct ShrinkStats {
+  int rounds = 0;
+  int accepted_reductions = 0;
+  int property_evaluations = 0;
+};
+
+/// The interesting-case predicate: true while the candidate still
+/// exhibits the failure being minimized.
+using ShrinkPredicate = std::function<bool(const FuzzCase&)>;
+
+/// Minimizes `fuzz_case` while `still_fails` holds (it must hold on the
+/// input). The generic core — tests drive it with synthetic bugs.
+FuzzCase ShrinkCaseWith(const FuzzCase& fuzz_case,
+                        const ShrinkPredicate& still_fails,
+                        ShrinkStats* stats = nullptr);
+
+/// Minimizes `fuzz_case` with respect to `check` (which must currently
+/// diverge on it). Returns the minimized case; `stats` (optional)
+/// reports the work done.
+FuzzCase ShrinkCase(const FuzzCase& fuzz_case, const std::string& check,
+                    const DiffOptions& options = DiffOptions(),
+                    ShrinkStats* stats = nullptr);
+
+/// Total number of tuples across the base relations `query` mentions —
+/// the size metric shrinking minimizes.
+size_t CaseTupleCount(const FuzzCase& fuzz_case);
+
+}  // namespace fro
+
+#endif  // FRO_FUZZ_SHRINK_H_

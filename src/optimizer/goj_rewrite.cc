@@ -1,6 +1,10 @@
 #include "optimizer/goj_rewrite.h"
 
+#include <unordered_set>
+#include <vector>
+
 #include "algebra/transform.h"
+#include "relational/tuple.h"
 
 namespace fro {
 
@@ -123,6 +127,28 @@ ExprPtr LeftDeepenWithGoj(const ExprPtr& expr, int* rewrites) {
     }
   }
   return node;
+}
+
+bool BaseRelationsDuplicateFree(const ExprPtr& query, const Database& db) {
+  uint64_t mask = query->rel_mask();
+  for (RelId rel = 0; mask != 0; ++rel, mask >>= 1) {
+    if ((mask & 1) == 0) continue;
+    const Relation& relation = db.relation(rel);
+    std::unordered_set<size_t> hashes;
+    std::vector<Tuple> seen;
+    for (const Tuple& row : relation.rows()) {
+      if (hashes.insert(row.Hash()).second) {
+        seen.push_back(row);
+        continue;
+      }
+      // Hash collision or true duplicate: confirm structurally.
+      for (const Tuple& prior : seen) {
+        if (prior == row) return false;
+      }
+      seen.push_back(row);
+    }
+  }
+  return true;
 }
 
 }  // namespace fro

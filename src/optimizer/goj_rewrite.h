@@ -12,12 +12,20 @@
 // Preconditions (from the paper): relations are duplicate free, predicates
 // are strong, and each predicate is of the form P_xy / P_yz (references
 // exactly the adjacent pair).
+//
+// Duplicate-freeness matters for bag results: a GOJ pads one row per
+// *distinct* S-projection (eq. 14) while an outerjoin pads per *row*, so
+// identity 15 changes multiplicities as soon as a preserved-side row is
+// duplicated. The optimizer checks BaseRelationsDuplicateFree before
+// applying these rewrites (a divergence the fuzzing harness finds within
+// seconds if the gate is removed).
 
 #ifndef FRO_OPTIMIZER_GOJ_REWRITE_H_
 #define FRO_OPTIMIZER_GOJ_REWRITE_H_
 
 #include "algebra/expr.h"
 #include "common/status.h"
+#include "relational/database.h"
 
 namespace fro {
 
@@ -34,6 +42,10 @@ Result<ExprPtr> ApplyIdentity16(const ExprPtr& expr);
 /// Returns the rewritten tree; `rewrites` (if non-null) counts
 /// applications.
 ExprPtr LeftDeepenWithGoj(const ExprPtr& expr, int* rewrites);
+
+/// True when every base relation mentioned by `query` is duplicate-free —
+/// the precondition under which identities 15/16 preserve bag results.
+bool BaseRelationsDuplicateFree(const ExprPtr& query, const Database& db);
 
 }  // namespace fro
 

@@ -117,8 +117,16 @@ Result<OptimizeOutcome> OptimizeUncached(const ExprPtr& query,
       ReorderSubqueries(core, db, cost_model);
   outcome.subqueries_reordered = islands.subqueries_reordered;
   ExprPtr plan = islands.expr;
+  // Identity 15 pads one row per distinct preserved-side projection while
+  // the outerjoin it replaces pads per row, so the rewrite is only sound
+  // over duplicate-free base relations (goj_rewrite.h).
+  bool goj_blocked_by_duplicates = false;
   if (options.apply_goj_rewrites) {
-    plan = LeftDeepenWithGoj(plan, &outcome.goj_rewrites);
+    if (BaseRelationsDuplicateFree(plan, db)) {
+      plan = LeftDeepenWithGoj(plan, &outcome.goj_rewrites);
+    } else {
+      goj_blocked_by_duplicates = true;
+    }
   }
   outcome.plan = MaybePushDown(RewrapRestricts(plan, filters), options,
                                &outcome);
@@ -131,6 +139,9 @@ Result<OptimizeOutcome> OptimizeUncached(const ExprPtr& query,
       (outcome.goj_rewrites > 0
            ? "; left-deepened with " + std::to_string(outcome.goj_rewrites) +
                  " GOJ rewrite(s)"
+           : "") +
+      (goj_blocked_by_duplicates
+           ? "; GOJ rewrites skipped (duplicate rows in a base relation)"
            : "");
   return outcome;
 }

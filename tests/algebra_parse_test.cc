@@ -89,10 +89,39 @@ TEST_F(AlgebraParseTest, WeakPredicateStrengthVisible) {
   EXPECT_TRUE((*strong)->IsStrongWrt(AttrSet::Of({db_.Attr("X", "a")})));
 }
 
+TEST_F(AlgebraParseTest, PredicateFreeOperatorsAndConstants) {
+  // `(X - Y)` is a cartesian join — exactly what ToString prints for a
+  // predicate-free operator, so it must round-trip.
+  Result<ExprPtr> cartesian = ParseAlgebra("(X - Y)", db_);
+  ASSERT_TRUE(cartesian.ok());
+  EXPECT_EQ((*cartesian)->kind(), OpKind::kJoin);
+  EXPECT_EQ((*cartesian)->pred(), nullptr);
+  EXPECT_EQ(Eval(*cartesian, db_).NumRows(), 1u);
+
+  Result<ExprPtr> constant = ParseAlgebra("(X -[TRUE] Y)", db_);
+  ASSERT_TRUE(constant.ok());
+  ASSERT_NE((*constant)->pred(), nullptr);
+  EXPECT_EQ((*constant)->pred()->kind(), Predicate::Kind::kConst);
+  Result<PredicatePtr> false_pred = ParseAlgebraPredicate("false", db_);
+  ASSERT_TRUE(false_pred.ok());
+  EXPECT_FALSE((*false_pred)->const_value());
+
+  Result<ExprPtr> restricted =
+      ParseAlgebra("sigma[X.a is null]((X -[X.a=Y.b] Y))", db_);
+  ASSERT_TRUE(restricted.ok());
+  EXPECT_EQ((*restricted)->kind(), OpKind::kRestrict);
+  // Parse of ToString(with_preds) is the identity on the restrict form.
+  const std::string printed =
+      (*restricted)->ToString(&db_.catalog(), /*with_preds=*/true);
+  Result<ExprPtr> reparsed = ParseAlgebra(printed, db_);
+  ASSERT_TRUE(reparsed.ok()) << printed;
+  EXPECT_EQ((*reparsed)->Fingerprint(), (*restricted)->Fingerprint());
+}
+
 TEST_F(AlgebraParseTest, Errors) {
   EXPECT_FALSE(ParseAlgebra("", db_).ok());
   EXPECT_FALSE(ParseAlgebra("NOPE", db_).ok());             // unknown rel
-  EXPECT_FALSE(ParseAlgebra("(X - Y)", db_).ok());          // missing pred
+  EXPECT_FALSE(ParseAlgebra("(X -[] Y)", db_).ok());        // empty pred
   EXPECT_FALSE(ParseAlgebra("(X -[X.a=Y.b] Y", db_).ok());  // unbalanced
   EXPECT_FALSE(ParseAlgebra("(X ~[X.a=Y.b] Y)", db_).ok());  // bad op
   EXPECT_FALSE(ParseAlgebra("(X -[X.q=Y.b] Y)", db_).ok());  // bad attr

@@ -1,0 +1,52 @@
+// Replays every checked-in corpus case (tests/corpus/*.case) through the
+// full differential driver. A case lands here either as a paper example
+// or as a shrunken fuzzer finding whose bug has been fixed — so each one
+// is a regression test: it must stay divergence-free forever.
+
+#include <gtest/gtest.h>
+
+#include "fuzz/corpus.h"
+#include "fuzz/differential.h"
+
+#ifndef FRO_CORPUS_DIR
+#error "build must define FRO_CORPUS_DIR (see tests/CMakeLists.txt)"
+#endif
+
+namespace fro {
+namespace {
+
+TEST(CorpusReplayTest, DirectoryIsNonEmpty) {
+  EXPECT_GE(ListCorpusFiles(FRO_CORPUS_DIR).size(), 6u)
+      << "corpus directory missing or depleted: " << FRO_CORPUS_DIR;
+}
+
+TEST(CorpusReplayTest, EveryCaseIsDivergenceFree) {
+  for (const std::string& path : ListCorpusFiles(FRO_CORPUS_DIR)) {
+    SCOPED_TRACE(path);
+    Result<CorpusCase> loaded = LoadCorpusCase(path);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    DiffReport report = RunDifferential(loaded->fuzz_case);
+    EXPECT_TRUE(report.ok()) << report.ToString();
+    EXPECT_GT(report.checks_run, 0u);
+  }
+}
+
+// Serialization is stable: load -> serialize -> parse -> serialize is a
+// fixed point, so shrunken repros can be checked in verbatim.
+TEST(CorpusReplayTest, SerializationRoundTrips) {
+  for (const std::string& path : ListCorpusFiles(FRO_CORPUS_DIR)) {
+    SCOPED_TRACE(path);
+    Result<CorpusCase> loaded = LoadCorpusCase(path);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    const std::string once =
+        CorpusCaseToText(loaded->fuzz_case, loaded->check);
+    Result<CorpusCase> reparsed = ParseCorpusCase(once);
+    ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+    EXPECT_EQ(CorpusCaseToText(reparsed->fuzz_case, reparsed->check), once);
+    EXPECT_EQ(reparsed->fuzz_case.query->Fingerprint(),
+              loaded->fuzz_case.query->Fingerprint());
+  }
+}
+
+}  // namespace
+}  // namespace fro
