@@ -6,6 +6,8 @@
 #                   cache off vs on (QPS, p50/p99, hit rate)
 #   BENCH_PR4.json  bench_batch — tuple vs batch engine on scan/filter/
 #                   hash-join pipelines (streaming + materializing)
+#   BENCH_PR6.json  bench_parallel — morsel-driven parallel scaling at
+#                   1/2/4/8 workers (records hardware_concurrency)
 #
 # Usage: scripts/bench.sh [--smoke]
 #   --smoke   reduced sizes / request counts (CI sanity run)
@@ -22,7 +24,7 @@ for arg in "$@"; do
 done
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
-cmake --build "$BUILD_DIR" --target bench_search_report bench_server bench_batch -j"$(nproc)"
+cmake --build "$BUILD_DIR" --target bench_search_report bench_server bench_batch bench_parallel -j"$(nproc)"
 "$BUILD_DIR/bench/bench_search_report" $SMOKE > BENCH_PR2.json
 echo "wrote BENCH_PR2.json:"
 cat BENCH_PR2.json
@@ -32,3 +34,6 @@ cat BENCH_PR3.json
 "$BUILD_DIR/bench/bench_batch" $SMOKE > BENCH_PR4.json
 echo "wrote BENCH_PR4.json:"
 cat BENCH_PR4.json
+"$BUILD_DIR/bench/bench_parallel" $SMOKE > BENCH_PR6.json
+echo "wrote BENCH_PR6.json:"
+cat BENCH_PR6.json

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/check.h"
+#include "exec/morsel.h"
 #include "relational/ops.h"
 #include "relational/sort_merge.h"
 
@@ -47,9 +48,13 @@ ExecStats CollectPipelineStats(BatchIterator* root) {
     if (node->children().empty()) {
       // Scans: their emissions are already charged as reads to their
       // consumers. A bridge into the tuple engine contributes the wrapped
-      // subtree's pipeline totals instead (its scans are skipped too).
+      // subtree's pipeline totals instead (its scans are skipped too); an
+      // exchange contributes its worker pipelines' totals plus the shared
+      // build subtrees', each counted once.
       if (auto* adapter = dynamic_cast<TupleBatchAdapter*>(node)) {
         totals += CollectPipelineStats(adapter->tuple_child());
+      } else if (auto* exchange = dynamic_cast<BatchExchangeIterator*>(node)) {
+        totals += exchange->CollectWorkerStats();
       }
       return;
     }
@@ -374,14 +379,6 @@ BatchHashJoinIterator::BatchHashJoinIterator(
   }
 }
 
-namespace {
-
-/// The conjuncts of `pred` an equi-key index probe on (left_keys[i],
-/// right_keys[i]) does NOT discharge. A conjunct `l = r` whose column
-/// pair is one of the key pairs is decided exactly by the probe's
-/// normalized-key equality (SQL equality on non-null keys; null keys
-/// never probe), so only the remaining conjuncts need per-candidate
-/// re-evaluation. Returns nullptr when nothing remains.
 PredicatePtr ResidualAfterEquiKeys(const PredicatePtr& pred,
                                    const std::vector<AttrId>& left_keys,
                                    const std::vector<AttrId>& right_keys) {
@@ -404,6 +401,8 @@ PredicatePtr ResidualAfterEquiKeys(const PredicatePtr& pred,
   if (residual.empty()) return nullptr;
   return Predicate::And(std::move(residual));
 }
+
+namespace {
 
 /// Hash for the flat probe table: the key's bit pattern, spread by a
 /// multiply/xor-shift mix (ints widened to doubles leave most entropy in

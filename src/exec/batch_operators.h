@@ -32,6 +32,17 @@
 
 namespace fro {
 
+/// The conjuncts of `pred` an equi-key index probe on (left_keys[i],
+/// right_keys[i]) does NOT discharge. A conjunct `l = r` whose column
+/// pair is one of the key pairs is decided exactly by the probe's
+/// normalized-key equality (SQL equality on non-null keys; null keys
+/// never probe), so only the remaining conjuncts need per-candidate
+/// re-evaluation. Returns nullptr when nothing remains. Shared by the
+/// serial and morsel-parallel hash joins so their accounting agrees.
+PredicatePtr ResidualAfterEquiKeys(const PredicatePtr& pred,
+                                   const std::vector<AttrId>& left_keys,
+                                   const std::vector<AttrId>& right_keys);
+
 /// Full scan of a materialized relation (which must outlive the scan).
 class BatchScanIterator : public BatchIterator {
  public:

@@ -32,10 +32,14 @@ namespace fro {
 /// consults the control at the top of Next() (see TupleIterator), so a
 /// pipeline stops within one tuple of the request at any depth.
 ///
-/// Threading: RequestCancel() may be called from any thread; everything
-/// else belongs to the single thread driving the pipeline. The deadline
-/// clock is only read every kDeadlineStride checks, keeping the per-tuple
-/// overhead to one relaxed atomic load.
+/// Threading: RequestCancel() may be called from any thread; arming the
+/// deadline belongs to the driving thread, before Open(). ShouldStop()
+/// (with its check-stride counter) is single-driver only, but
+/// ShouldStopBatch(), stopped(), and status() are safe from concurrent
+/// worker threads — the morsel-parallel executor shares one control
+/// across all workers, so both stop flags are relaxed atomics. The
+/// deadline clock is only read every kDeadlineStride checks in the tuple
+/// path, keeping the per-tuple overhead to one relaxed atomic load.
 class ExecControl {
  public:
   static constexpr uint64_t kDeadlineStride = 256;
@@ -52,10 +56,10 @@ class ExecControl {
   /// True once the pipeline should stop producing. Driving thread only.
   bool ShouldStop() {
     if (cancelled_.load(std::memory_order_relaxed)) return true;
-    if (deadline_hit_) return true;
+    if (deadline_hit_.load(std::memory_order_relaxed)) return true;
     if (has_deadline_ && ++checks_ % kDeadlineStride == 0 &&
         std::chrono::steady_clock::now() >= deadline_) {
-      deadline_hit_ = true;
+      deadline_hit_.store(true, std::memory_order_relaxed);
       return true;
     }
     return false;
@@ -63,12 +67,13 @@ class ExecControl {
 
   /// Batch-granularity variant of ShouldStop(): always consults the
   /// clock. Called once per TupleBatch, so the amortization the
-  /// per-tuple stride provides is already structural.
+  /// per-tuple stride provides is already structural. Safe from
+  /// concurrent worker threads.
   bool ShouldStopBatch() {
     if (cancelled_.load(std::memory_order_relaxed)) return true;
-    if (deadline_hit_) return true;
+    if (deadline_hit_.load(std::memory_order_relaxed)) return true;
     if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
-      deadline_hit_ = true;
+      deadline_hit_.store(true, std::memory_order_relaxed);
       return true;
     }
     return false;
@@ -76,7 +81,8 @@ class ExecControl {
 
   /// True if any stop condition fired (without re-checking the clock).
   bool stopped() const {
-    return deadline_hit_ || cancelled_.load(std::memory_order_relaxed);
+    return deadline_hit_.load(std::memory_order_relaxed) ||
+           cancelled_.load(std::memory_order_relaxed);
   }
 
   /// Why the pipeline stopped: Cancelled, DeadlineExceeded, or OK.
@@ -84,14 +90,16 @@ class ExecControl {
     if (cancelled_.load(std::memory_order_relaxed)) {
       return fro::Cancelled("query cancelled");
     }
-    if (deadline_hit_) return DeadlineExceeded("query deadline exceeded");
+    if (deadline_hit_.load(std::memory_order_relaxed)) {
+      return DeadlineExceeded("query deadline exceeded");
+    }
     return Status::Ok();
   }
 
  private:
   std::atomic<bool> cancelled_{false};
   bool has_deadline_ = false;
-  bool deadline_hit_ = false;
+  std::atomic<bool> deadline_hit_{false};
   uint64_t checks_ = 0;
   std::chrono::steady_clock::time_point deadline_{};
 };

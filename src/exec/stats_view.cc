@@ -1,6 +1,7 @@
 #include "exec/stats_view.h"
 
 #include "exec/batch_operators.h"
+#include "exec/morsel.h"
 
 namespace fro {
 
@@ -35,6 +36,14 @@ PlanOpStats SnapshotPlanStats(BatchIterator* root) {
   if (auto* adapter = dynamic_cast<TupleBatchAdapter*>(root)) {
     out.passthrough = true;
     out.children.push_back(SnapshotPlanStats(adapter->tuple_child()));
+    return out;
+  }
+  if (auto* exchange = dynamic_cast<BatchExchangeIterator*>(root)) {
+    // The exchange forwards merged rows without relational work of its
+    // own; its spine, merged node-wise across workers (with the shared
+    // build subtrees spliced in), hangs beneath it.
+    out.passthrough = true;
+    out.children.push_back(exchange->SnapshotMerged());
     return out;
   }
   for (BatchIterator* child : root->children()) {

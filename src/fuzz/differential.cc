@@ -10,6 +10,7 @@
 #include "enumerate/closure.h"
 #include "enumerate/it_enum.h"
 #include "exec/build.h"
+#include "exec/morsel.h"
 #include "fuzz/oracle.h"
 #include "graph/from_expr.h"
 #include "graph/nice.h"
@@ -128,6 +129,51 @@ class Differ {
     ExpectEqual("stats-parity-results", tuple_out, batch_out);
   }
 
+  void CheckParallel() {
+    // Morsel-driven parallel pipelines (exec/morsel.h) must agree with
+    // the oracle AND report exactly the serial batch engine's counters at
+    // every worker count. Tiny morsels and batches force real work
+    // splitting (and the GOJ cross-partition padding merge) even on the
+    // small relations fuzz cases generate.
+    for (const int workers : {1, 2, 4}) {
+      const std::string result_check =
+          "parallel-engine-w" + std::to_string(workers);
+      const std::string stats_check =
+          "parallel-stats-parity-w" + std::to_string(workers);
+      const bool want_result = WantCheck(result_check);
+      const bool want_stats = WantCheck(stats_check);
+      if (!want_result && !want_stats) continue;
+      ParallelOptions par;
+      par.threads = workers;
+      par.morsel_rows = 2;
+      par.batch_capacity = 4;
+      BatchIteratorPtr root =
+          BuildParallelBatchIterator(c_.query, *c_.db, par);
+      Relation out = DrainBatches(root.get());
+      if (want_result) ExpectOracle(result_check, out);
+      if (want_stats) {
+        BatchIteratorPtr serial = BuildBatchIterator(c_.query, *c_.db);
+        DrainBatches(serial.get());
+        ++report_->checks_run;
+        const ExecStats p = CollectPipelineStats(root.get());
+        const ExecStats s = CollectPipelineStats(serial.get());
+        if (p.left_reads != s.left_reads ||
+            p.right_reads != s.right_reads || p.emitted != s.emitted ||
+            p.probes != s.probes ||
+            p.predicate_evals != s.predicate_evals) {
+          report_->divergences.push_back(
+              {stats_check,
+               "serial: " + s.ToString() + " (left=" +
+                   std::to_string(s.left_reads) + " right=" +
+                   std::to_string(s.right_reads) + ")\nparallel: " +
+                   p.ToString() + " (left=" +
+                   std::to_string(p.left_reads) + " right=" +
+                   std::to_string(p.right_reads) + ")"});
+        }
+      }
+    }
+  }
+
   void CheckOptimizer() {
     const bool want_plan = WantCheck("optimizer");
     const bool want_cache = options_.plan_cache && WantCheck("plan-cache");
@@ -237,6 +283,7 @@ class Differ {
     CheckEvaluator();
     CheckEngines();
     CheckStatsParity();
+    CheckParallel();
     CheckOptimizer();
     CheckClosure();
     CheckItEnumeration();

@@ -6,6 +6,8 @@
 //   eval-nl / eval-hash    the materializing evaluator, both kernels
 //   tuple-engine           the Volcano pipeline
 //   batch-engine[-capN]    the vectorized pipeline at several capacities
+//   parallel-engine-wN     the morsel-driven parallel pipeline at N
+//                          workers (tiny morsels force real splitting)
 //   optimizer[-plan]       the plan Optimize() picks, on both engines
 //   plan-cache             a second Optimize through an LruPlanCache must
 //                          hit and replay an equal-result plan
@@ -18,6 +20,8 @@
 //   stats-parity           tuple and batch pipelines must report
 //                          identical ExecStats totals (reads, emitted,
 //                          probes, predicate evaluations)
+//   parallel-stats-parity-wN  the N-worker parallel pipeline must report
+//                          exactly the serial batch engine's totals
 //
 // Metamorphic checks (transform the *query*, re-run the oracle, compare
 // with the oracle on the original):

@@ -64,6 +64,11 @@ struct RunOptions {
   ExecEngine engine = ExecEngine::kBatch;
   /// Physical join strategy constraint passed to the plan builder.
   JoinAlgo join_algo = JoinAlgo::kAuto;
+  /// Batch-engine worker threads for morsel-driven intra-query
+  /// parallelism (exec/morsel.h); <= 1 executes the ordinary serial
+  /// plan, bit-identical to the single-threaded engine. Ignored by the
+  /// tuple engine.
+  int threads = 1;
   /// Optional cooperative interrupt, e.g. the server's per-request cancel
   /// handle. Not owned; must outlive the run. When null and a deadline is
   /// set, the run uses an internal control.
@@ -91,6 +96,10 @@ struct RunOptions {
   }
   RunOptions& WithJoinAlgo(JoinAlgo algo) {
     join_algo = algo;
+    return *this;
+  }
+  RunOptions& WithThreads(int n) {
+    threads = n;
     return *this;
   }
   RunOptions& WithControl(ExecControl* c) {

@@ -4,6 +4,7 @@
 
 #include "common/str_util.h"
 #include "exec/build.h"
+#include "exec/morsel.h"
 #include "exec/stats_view.h"
 
 namespace fro {
@@ -132,7 +133,8 @@ void RenderAnalyzeNode(const PlanOpStats& node, const Database& db,
 }  // namespace
 
 ExplainAnalyzeResult ExplainAnalyze(const ExprPtr& expr, const Database& db,
-                                    JoinAlgo algo, ExecEngine engine) {
+                                    JoinAlgo algo, ExecEngine engine,
+                                    int threads) {
   CardinalityEstimator estimator(db);
   ExplainAnalyzeResult result;
   PlanOpStats snapshot;
@@ -142,7 +144,10 @@ ExplainAnalyzeResult ExplainAnalyze(const ExprPtr& expr, const Database& db,
     result.result = Drain(root.get());
     snapshot = SnapshotPlanStats(root.get());
   } else {
-    BatchIteratorPtr root = BuildBatchIterator(expr, db, algo);
+    ParallelOptions par;
+    par.threads = threads;
+    par.algo = algo;
+    BatchIteratorPtr root = BuildParallelBatchIterator(expr, db, par);
     root->EnableTiming();
     result.result = DrainBatches(root.get());
     snapshot = SnapshotPlanStats(root.get());

@@ -58,10 +58,15 @@ struct ExplainAnalyzeResult {
 /// default) with per-operator instrumentation (including wall-clock
 /// timing) and renders estimated-versus-actual rows for every plan node.
 /// The engines agree on results and counters, so the choice only affects
-/// the timing figures.
+/// the timing figures. With the batch engine and `threads > 1`,
+/// parallelizable regions execute as morsel-driven exchanges
+/// (exec/morsel.h): the rendering shows the Exchange node with the
+/// node-wise cross-worker merge of its spine beneath it, and every
+/// counter still sums to the serial totals.
 ExplainAnalyzeResult ExplainAnalyze(const ExprPtr& expr, const Database& db,
                                     JoinAlgo algo = JoinAlgo::kAuto,
-                                    ExecEngine engine = ExecEngine::kBatch);
+                                    ExecEngine engine = ExecEngine::kBatch,
+                                    int threads = 1);
 
 /// Graphviz DOT for an expression tree.
 std::string ExprToDot(const ExprPtr& expr, const Database& db);

@@ -10,6 +10,8 @@
 //   --queue N           admission queue bound (default 16)
 //   --deadline-ms N     per-query deadline, 0 disables (default 30000)
 //   --cache-capacity N  plan-cache entries, 0 disables (default 128)
+//   --query-threads N   per-query cap on `?threads=` asks (default 1)
+//   --thread-budget N   shared pool of extra exec threads (default 0)
 //   --scale N           company-database scale factor (default 1)
 //   --metrics-dump      print the STATS payload on shutdown
 //
@@ -32,8 +34,8 @@ void HandleSignal(int) { g_stop = 1; }
 int UsageError(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--port N] [--workers N] [--queue N] "
-               "[--deadline-ms N] [--cache-capacity N] [--scale N] "
-               "[--metrics-dump]\n",
+               "[--deadline-ms N] [--cache-capacity N] [--query-threads N] "
+               "[--thread-budget N] [--scale N] [--metrics-dump]\n",
                argv0);
   return 2;
 }
@@ -58,6 +60,8 @@ int main(int argc, char** argv) {
         int_flag("--workers", &options.num_workers) ||
         int_flag("--queue", &options.max_pending) ||
         int_flag("--deadline-ms", &options.default_deadline_ms) ||
+        int_flag("--query-threads", &options.max_query_threads) ||
+        int_flag("--thread-budget", &options.exec_thread_budget) ||
         int_flag("--scale", &scale)) {
       continue;
     }
@@ -82,10 +86,11 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("fro_serve listening on 127.0.0.1:%d (workers=%d queue=%d "
-              "deadline=%dms cache=%zu scale=%d)\n",
+              "deadline=%dms cache=%zu query-threads=%d thread-budget=%d "
+              "scale=%d)\n",
               server.port(), options.num_workers, options.max_pending,
               options.default_deadline_ms, options.plan_cache_capacity,
-              scale);
+              options.max_query_threads, options.exec_thread_budget, scale);
   std::fflush(stdout);
 
   std::signal(SIGINT, HandleSignal);

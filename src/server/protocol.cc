@@ -1,8 +1,10 @@
 #include "server/protocol.h"
 
 #include <sys/socket.h>
+#include <sys/uio.h>
 
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 
 #include "common/str_util.h"
@@ -20,22 +22,59 @@ bool VerbRequiresArgument(Verb verb) {
          verb == Verb::kAnalyze || verb == Verb::kCancel;
 }
 
-// Reads exactly `n` bytes; distinguishes clean EOF before the first byte.
-Status ReadFull(int fd, char* out, size_t n, bool* clean_eof) {
-  *clean_eof = false;
+// Reads exactly `n` bytes. Only an EOF before the first byte of a frame
+// *header* is a clean close; with `mid_frame` set — the payload read,
+// which begins with the peer already committed to `n` more bytes — EOF at
+// any offset, including zero, is a torn frame and is reported through
+// `*mid_frame_eof`.
+Status ReadFull(int fd, char* out, size_t n, bool mid_frame,
+                bool* mid_frame_eof) {
   size_t got = 0;
   while (got < n) {
     ssize_t r = ::recv(fd, out + got, n - got, 0);
     if (r == 0) {
-      if (got == 0) *clean_eof = true;
-      return Unavailable(got == 0 ? "connection closed"
-                                  : "connection closed mid-frame");
+      if (!mid_frame && got == 0) return Unavailable("connection closed");
+      if (mid_frame_eof != nullptr) *mid_frame_eof = true;
+      return Unavailable("connection closed mid-frame");
     }
     if (r < 0) {
       if (errno == EINTR) continue;
       return Unavailable(std::string("recv failed: ") + std::strerror(errno));
     }
     got += static_cast<size_t>(r);
+  }
+  return Status::Ok();
+}
+
+// Parses the `?opt[,opt...]` suffix of a request head into `request`.
+Status ParseRequestOptions(const std::string& text, Request* request) {
+  if (text.empty()) return InvalidArgument("empty options after '?'");
+  size_t pos = 0;
+  while (true) {
+    const size_t comma = text.find(',', pos);
+    const std::string option =
+        comma == std::string::npos ? text.substr(pos)
+                                   : text.substr(pos, comma - pos);
+    const size_t eq = option.find('=');
+    const std::string name = option.substr(0, eq);
+    const std::string value =
+        eq == std::string::npos ? "" : option.substr(eq + 1);
+    if (name == "threads") {
+      if (value.empty() ||
+          value.find_first_not_of("0123456789") != std::string::npos) {
+        return InvalidArgument("threads= expects a decimal count, got '" +
+                               value + "'");
+      }
+      unsigned long parsed = std::strtoul(value.c_str(), nullptr, 10);
+      // The session clamps to its real maximum anyway; capping here just
+      // keeps a hostile digit string from overflowing int.
+      if (parsed > 4096) parsed = 4096;
+      request->threads = static_cast<int>(parsed);
+    } else {
+      return InvalidArgument("unknown request option: " + option);
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
   }
   return Status::Ok();
 }
@@ -54,11 +93,22 @@ Result<Request> ParseRequest(const std::string& payload) {
   if (space != std::string::npos) {
     request.argument = payload.substr(space + 1);
   }
+  const size_t question = head.find('?');
+  std::string options_text;
+  bool have_options = false;
+  if (question != std::string::npos) {
+    options_text = head.substr(question + 1);
+    head = head.substr(0, question);
+    have_options = true;
+  }
   const size_t at = head.find('@');
   if (at != std::string::npos) {
     request.tag = head.substr(at + 1);
     head = head.substr(0, at);
     if (request.tag.empty()) return InvalidArgument("empty tag after '@'");
+  }
+  if (have_options) {
+    FRO_RETURN_IF_ERROR(ParseRequestOptions(options_text, &request));
   }
   bool known = false;
   for (size_t i = 0; i < std::size(kVerbNames); ++i) {
@@ -81,6 +131,10 @@ std::string SerializeRequest(const Request& request) {
   if (!request.tag.empty()) {
     out += '@';
     out += request.tag;
+  }
+  if (request.threads > 0) {
+    out += "?threads=";
+    out += std::to_string(request.threads);
   }
   if (!request.argument.empty()) {
     out += ' ';
@@ -107,7 +161,9 @@ Result<Response> ParseResponse(const std::string& payload) {
     response.body = payload.substr(3);
     return response;
   }
-  if (StartsWith(payload, "OK")) return response;  // empty body
+  // A bare "OK" status line with no body is legal; anything else glued
+  // onto the OK ("OKgarbage") is a malformed frame, not a success.
+  if (payload == "OK") return response;
   if (!StartsWith(payload, "ERR ")) {
     return InvalidArgument("malformed response frame");
   }
@@ -127,27 +183,45 @@ Status WriteFrame(int fd, const std::string& payload) {
   const uint32_t n = static_cast<uint32_t>(payload.size());
   char header[4] = {static_cast<char>(n >> 24), static_cast<char>(n >> 16),
                     static_cast<char>(n >> 8), static_cast<char>(n)};
-  std::string wire(header, 4);
-  wire += payload;
-  size_t sent = 0;
-  while (sent < wire.size()) {
+  // Gathering write: the 4-byte header and the payload leave through one
+  // sendmsg, so a response costs no header+payload copy into a fresh
+  // wire buffer.
+  struct iovec iov[2];
+  iov[0].iov_base = header;
+  iov[0].iov_len = sizeof(header);
+  iov[1].iov_base = const_cast<char*>(payload.data());
+  iov[1].iov_len = payload.size();
+  struct msghdr msg{};
+  msg.msg_iov = iov;
+  msg.msg_iovlen = payload.empty() ? 1 : 2;
+  while (msg.msg_iovlen > 0) {
     // MSG_NOSIGNAL: a peer that closed mid-write yields EPIPE, not a
     // process-wide SIGPIPE.
-    ssize_t r = ::send(fd, wire.data() + sent, wire.size() - sent,
-                       MSG_NOSIGNAL);
+    ssize_t r = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
     if (r < 0) {
       if (errno == EINTR) continue;
       return Unavailable(std::string("send failed: ") + std::strerror(errno));
     }
-    sent += static_cast<size_t>(r);
+    size_t done = static_cast<size_t>(r);
+    while (msg.msg_iovlen > 0 && done >= msg.msg_iov[0].iov_len) {
+      done -= msg.msg_iov[0].iov_len;
+      ++msg.msg_iov;
+      --msg.msg_iovlen;
+    }
+    if (msg.msg_iovlen > 0 && done > 0) {
+      msg.msg_iov[0].iov_base =
+          static_cast<char*>(msg.msg_iov[0].iov_base) + done;
+      msg.msg_iov[0].iov_len -= done;
+    }
   }
   return Status::Ok();
 }
 
-Status ReadFrame(int fd, std::string* payload) {
+Status ReadFrame(int fd, std::string* payload, bool* mid_frame_eof) {
+  if (mid_frame_eof != nullptr) *mid_frame_eof = false;
   char header[4];
-  bool clean_eof = false;
-  FRO_RETURN_IF_ERROR(ReadFull(fd, header, 4, &clean_eof));
+  FRO_RETURN_IF_ERROR(
+      ReadFull(fd, header, 4, /*mid_frame=*/false, mid_frame_eof));
   const uint32_t n = (static_cast<uint32_t>(static_cast<unsigned char>(
                           header[0]))
                       << 24) |
@@ -165,7 +239,10 @@ Status ReadFrame(int fd, std::string* payload) {
   }
   payload->resize(n);
   if (n == 0) return Status::Ok();
-  return ReadFull(fd, payload->data(), n, &clean_eof);
+  // The header committed the peer to `n` more bytes: an EOF here — even
+  // before the payload's first byte — is a torn frame, never a clean
+  // close.
+  return ReadFull(fd, payload->data(), n, /*mid_frame=*/true, mid_frame_eof);
 }
 
 }  // namespace fro

@@ -7,11 +7,13 @@
 //   payload  := UTF-8 text, at most kMaxFrameBytes bytes
 //
 // Requests. The payload's first token is the verb, optionally suffixed
-// with a client-chosen tag (`VERB@tag`); the rest of the payload is the
-// argument:
+// with a client-chosen tag (`VERB@tag`) and/or request options
+// (`VERB?threads=4`); the rest of the payload is the argument:
 //
-//   request  := verb ['@' tag] [' ' argument]
+//   request  := verb ['@' tag] ['?' options] [' ' argument]
 //   verb     := QUERY | EXPLAIN | ANALYZE | STATS | CANCEL | PING
+//   options  := option (',' option)*
+//   option   := "threads=" 1*DIGIT
 //
 //   QUERY   <section-5 query>   run, reply with the canonical result table
 //   EXPLAIN <section-5 query>   reply with the optimized plan + estimates
@@ -66,6 +68,11 @@ struct Request {
   /// Client-chosen tag from `VERB@tag`, empty if absent. A tagged QUERY
   /// is cancellable via CANCEL <tag> from any connection.
   std::string tag;
+  /// Requested intra-query worker threads from `VERB?threads=N`; 0 means
+  /// unset (the session's default applies). The session clamps the
+  /// request to its per-query maximum and to the server's shared thread
+  /// budget — a `threads=` option is a hint, never a reservation.
+  int threads = 0;
 };
 
 struct Response {
@@ -88,14 +95,20 @@ Result<Response> ParseResponse(const std::string& payload);
 
 // --- Socket framing (blocking fd I/O) --------------------------------------
 
-/// Writes one frame. `fd` must be a connected stream socket.
+/// Writes one frame. `fd` must be a connected stream socket. Header and
+/// payload go out through one gathering sendmsg — no per-response
+/// header+payload copy into a wire buffer.
 Status WriteFrame(int fd, const std::string& payload);
 
 /// Reads one frame into `*payload`. Returns Unavailable("connection
 /// closed") on a clean EOF at a frame boundary, InvalidArgument on an
-/// oversized declared length, and Unavailable on a mid-frame EOF or
-/// socket error.
-Status ReadFrame(int fd, std::string* payload);
+/// oversized declared length, and Unavailable("connection closed
+/// mid-frame") when the peer dies inside a frame — including between the
+/// header and its payload. When `mid_frame_eof` is non-null it is set
+/// exactly on that mid-frame EOF case, so servers can count torn frames
+/// (frame_errors) without string-matching the status.
+Status ReadFrame(int fd, std::string* payload,
+                 bool* mid_frame_eof = nullptr);
 
 }  // namespace fro
 

@@ -17,10 +17,16 @@ FroServer::FroServer(const NestedDb* db, ServerOptions options)
     : db_(db),
       options_(options),
       plan_cache_(options.plan_cache_capacity),
+      thread_budget_(options.exec_thread_budget > 0
+                         ? static_cast<size_t>(options.exec_thread_budget)
+                         : 0),
       session_(nullptr) {
   SessionOptions session_options;
   session_options.engine = options_.engine;
   session_options.default_deadline_ms = options_.default_deadline_ms;
+  session_options.max_query_threads =
+      options_.max_query_threads > 0 ? options_.max_query_threads : 1;
+  session_options.thread_budget = &thread_budget_;
   session_ = std::make_unique<QuerySession>(
       db_, options_.plan_cache_capacity > 0 ? &plan_cache_ : nullptr,
       &metrics_, session_options);
@@ -159,12 +165,17 @@ void FroServer::WorkerLoop() {
 void FroServer::ServeConnection(int fd) {
   std::string payload;
   while (running_.load(std::memory_order_acquire)) {
-    Status read = ReadFrame(fd, &payload);
+    bool mid_frame_eof = false;
+    Status read = ReadFrame(fd, &payload, &mid_frame_eof);
     if (!read.ok()) {
       // Clean close, mid-frame truncation, or an unframeable length: in
-      // every case drop the connection. A length-limit violation gets a
-      // best-effort explanatory frame first.
-      if (read.code() == StatusCode::kInvalidArgument) {
+      // every case drop the connection. A torn frame (peer died between
+      // a header and its payload, or inside either) counts as a framing
+      // error; a length-limit violation additionally gets a best-effort
+      // explanatory frame first.
+      if (mid_frame_eof) {
+        metrics_.RecordFrameError();
+      } else if (read.code() == StatusCode::kInvalidArgument) {
         metrics_.RecordFrameError();
         Response err;
         err.status = read;
@@ -245,6 +256,12 @@ std::string FroServer::StatsText() const {
   out += "plan_cache " + plan_cache_.stats().ToString() + "\n";
   out += "ast_memo hits=" + std::to_string(session_->ast_hits()) +
          " misses=" + std::to_string(session_->ast_misses()) + "\n";
+  out += "exec_threads max_per_query=" +
+         std::to_string(options_.max_query_threads > 0
+                            ? options_.max_query_threads
+                            : 1) +
+         " budget=" + std::to_string(options_.exec_thread_budget) +
+         " available=" + std::to_string(thread_budget_.available()) + "\n";
   return out;
 }
 

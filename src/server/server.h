@@ -59,6 +59,14 @@ struct ServerOptions {
   /// Execution engine for QUERY / ANALYZE (batch by default; results and
   /// counters are engine-independent).
   ExecEngine engine = ExecEngine::kBatch;
+  /// Per-query cap on `?threads=N` asks (morsel-driven intra-query
+  /// parallelism, exec/morsel.h); 1 serves every query serially.
+  int max_query_threads = 1;
+  /// Shared pool of *extra* intra-query worker threads across all
+  /// concurrently served queries. 0 means no extras: every query runs
+  /// serially no matter what it asks for. Extras are granted best-effort
+  /// per query and returned when it finishes.
+  int exec_thread_budget = 0;
 };
 
 class FroServer {
@@ -102,6 +110,9 @@ class FroServer {
   ServerOptions options_;
   LruPlanCache plan_cache_;
   ServerMetrics metrics_;
+  /// Admission control for intra-query parallelism, shared by all
+  /// sessions/workers; sized by options_.exec_thread_budget.
+  ThreadBudget thread_budget_;
   std::unique_ptr<QuerySession> session_;
 
   std::atomic<bool> running_{false};

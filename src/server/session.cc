@@ -45,6 +45,23 @@ std::string RenderResult(const Relation& relation, const Catalog& catalog,
 
 }  // namespace
 
+size_t ThreadBudget::TryAcquire(size_t want) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const size_t granted = want < available_ ? want : available_;
+  available_ -= granted;
+  return granted;
+}
+
+void ThreadBudget::Release(size_t granted) {
+  std::lock_guard<std::mutex> lock(mu_);
+  available_ += granted;
+}
+
+size_t ThreadBudget::available() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return available_;
+}
+
 QuerySession::QuerySession(const NestedDb* db, LruPlanCache* plan_cache,
                            ServerMetrics* metrics, SessionOptions options)
     : db_(db), plan_cache_(plan_cache), metrics_(metrics), options_(options) {
@@ -86,7 +103,25 @@ uint64_t QuerySession::ast_misses() const {
   return ast_misses_;
 }
 
-Response QuerySession::RunQueryVerb(const std::string& text,
+int QuerySession::AcquireThreads(int requested) {
+  int want = requested > 0 ? requested : options_.default_query_threads;
+  if (want > options_.max_query_threads) want = options_.max_query_threads;
+  if (want < 1) want = 1;
+  if (want == 1 || options_.thread_budget == nullptr) return want;
+  // The serving thread itself always works, so only the extras are
+  // admission-controlled; a dry budget degrades the query to serial.
+  const size_t granted =
+      options_.thread_budget->TryAcquire(static_cast<size_t>(want - 1));
+  return 1 + static_cast<int>(granted);
+}
+
+void QuerySession::ReleaseThreads(int acquired) {
+  if (acquired > 1 && options_.thread_budget != nullptr) {
+    options_.thread_budget->Release(static_cast<size_t>(acquired - 1));
+  }
+}
+
+Response QuerySession::RunQueryVerb(const std::string& text, int threads,
                                     ExecControl* control, bool* cache_hit) {
   Response response;
   Result<SelectQuery> ast = ParseCached(text);
@@ -95,11 +130,12 @@ Response QuerySession::RunQueryVerb(const std::string& text,
     return response;
   }
   // The one place this request's execution options are assembled:
-  // deadline, plan cache, and engine choice all flow through RunOptions
-  // into the Status-carrying RunParsedQuery surface.
+  // deadline, plan cache, engine choice, and worker threads all flow
+  // through RunOptions into the Status-carrying RunParsedQuery surface.
   RunOptions run = RunOptions()
                        .WithPlanCache(plan_cache_)
                        .WithEngine(options_.engine)
+                       .WithThreads(threads)
                        .WithControl(control);
   if (options_.default_deadline_ms > 0) {
     run.WithDeadline(std::chrono::milliseconds(options_.default_deadline_ms));
@@ -140,7 +176,7 @@ Response QuerySession::RunExplainVerb(const std::string& text) {
   return response;
 }
 
-Response QuerySession::RunAnalyzeVerb(const std::string& text) {
+Response QuerySession::RunAnalyzeVerb(const std::string& text, int threads) {
   Response response;
   Result<SelectQuery> ast = ParseCached(text);
   if (!ast.ok()) {
@@ -154,7 +190,7 @@ Response QuerySession::RunAnalyzeVerb(const std::string& text) {
   }
   ExplainAnalyzeResult analyzed =
       ExplainAnalyze(planned->optimize.plan, *planned->translation.db,
-                     JoinAlgo::kAuto, options_.engine);
+                     JoinAlgo::kAuto, options_.engine, threads);
   response.body = analyzed.text;
   response.body += "(" + std::to_string(analyzed.result.NumRows()) +
                    " rows; " +
@@ -168,15 +204,21 @@ Response QuerySession::Execute(const Request& request, ExecControl* control) {
   bool cache_hit = false;
   Response response;
   switch (request.verb) {
-    case Verb::kQuery:
-      response = RunQueryVerb(request.argument, control, &cache_hit);
+    case Verb::kQuery: {
+      const int threads = AcquireThreads(request.threads);
+      response = RunQueryVerb(request.argument, threads, control, &cache_hit);
+      ReleaseThreads(threads);
       break;
+    }
     case Verb::kExplain:
       response = RunExplainVerb(request.argument);
       break;
-    case Verb::kAnalyze:
-      response = RunAnalyzeVerb(request.argument);
+    case Verb::kAnalyze: {
+      const int threads = AcquireThreads(request.threads);
+      response = RunAnalyzeVerb(request.argument, threads);
+      ReleaseThreads(threads);
       break;
+    }
     default:
       response.status =
           InvalidArgument(std::string("QuerySession cannot serve verb ") +

@@ -37,6 +37,30 @@
 
 namespace fro {
 
+/// A shared pool of *extra* intra-query worker threads — the server's
+/// admission control for morsel-driven parallelism (exec/morsel.h). A
+/// query wanting N workers asks for N-1 extras (it always keeps its own
+/// serving thread); TryAcquire is best-effort and may grant fewer,
+/// including zero, in which case the query simply runs serially. A busy
+/// server therefore degrades to serial execution instead of queueing or
+/// oversubscribing cores.
+class ThreadBudget {
+ public:
+  explicit ThreadBudget(size_t capacity) : available_(capacity) {}
+
+  /// Grants min(want, available) extra threads and reserves them.
+  size_t TryAcquire(size_t want);
+
+  /// Returns `granted` threads to the pool (pass TryAcquire's result).
+  void Release(size_t granted);
+
+  size_t available() const;
+
+ private:
+  mutable std::mutex mu_;
+  size_t available_;
+};
+
 struct SessionOptions {
   /// Parsed-AST memo entries kept (LRU); 0 disables the memo.
   size_t ast_cache_capacity = 256;
@@ -46,6 +70,16 @@ struct SessionOptions {
   /// Per-query execution deadline armed through RunOptions; <= 0
   /// disables deadlines.
   int default_deadline_ms = 0;
+  /// Intra-query worker threads used when a request carries no
+  /// `?threads=` option; 1 = serial (the bit-identical default).
+  int default_query_threads = 1;
+  /// Hard per-request cap: a `?threads=N` ask is clamped to this before
+  /// consulting the budget.
+  int max_query_threads = 1;
+  /// Optional shared pool of extra worker threads (admission control
+  /// across concurrent queries). Not owned; null means no pooling — every
+  /// request gets its clamped ask.
+  ThreadBudget* thread_budget = nullptr;
 };
 
 class QuerySession {
@@ -68,10 +102,16 @@ class QuerySession {
  private:
   Result<SelectQuery> ParseCached(const std::string& text);
 
-  Response RunQueryVerb(const std::string& text, ExecControl* control,
-                        bool* cache_hit);
+  /// Resolves a request's thread ask into the worker count the query may
+  /// actually use: clamp to [1, max_query_threads], then reserve the
+  /// extras (ask - 1) from the budget. Pair with ReleaseThreads.
+  int AcquireThreads(int requested);
+  void ReleaseThreads(int acquired);
+
+  Response RunQueryVerb(const std::string& text, int threads,
+                        ExecControl* control, bool* cache_hit);
   Response RunExplainVerb(const std::string& text);
-  Response RunAnalyzeVerb(const std::string& text);
+  Response RunAnalyzeVerb(const std::string& text, int threads);
 
   const NestedDb* db_;
   LruPlanCache* plan_cache_;
