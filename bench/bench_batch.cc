@@ -15,9 +15,13 @@
 // Emits a JSON array of {pipeline, rows, out_rows, tuple_ns, batch_ns,
 // tuple_mtps, batch_mtps, speedup, tuple_materialize_ns,
 // batch_materialize_ns, materialize_speedup} rows on stdout
-// (scripts/bench.sh redirects it into BENCH_PR4.json). `--smoke` lowers
-// the repetition count but keeps the 100k-tuple scale, so the CI
-// artifact still documents the headline comparison.
+// (scripts/bench.sh redirects it into BENCH_PR7.json). Every *_ns field
+// is the median of the repetitions, with the observed spread alongside
+// as *_min_ns / *_max_ns — a run whose median sits far from its min was
+// noisy, and the baseline-comparison gate (scripts/bench_compare.py)
+// reads the spread to tell regressions from noise. `--smoke` lowers the
+// repetition count (never below 5) but keeps the 100k-tuple scale, so
+// the CI artifact still documents the headline comparison.
 
 #include <algorithm>
 #include <chrono>
@@ -42,14 +46,24 @@ int64_t NowNs() {
       .count();
 }
 
+/// One measured quantity: the median of the repetitions plus the
+/// observed min/max spread. The median is the headline number (robust
+/// to one-sided scheduler noise without the min's bias toward
+/// best-case cache luck); the spread qualifies it.
+struct Timing {
+  int64_t median_ns = 0;
+  int64_t min_ns = 0;
+  int64_t max_ns = 0;
+};
+
 struct Report {
   const char* pipeline;
   size_t rows;
   size_t out_rows;
-  int64_t tuple_ns;
-  int64_t batch_ns;
-  int64_t tuple_materialize_ns;
-  int64_t batch_materialize_ns;
+  Timing tuple;
+  Timing batch;
+  Timing tuple_materialize;
+  Timing batch_materialize;
 };
 
 struct Checksum {
@@ -66,17 +80,60 @@ struct Checksum {
   }
 };
 
-// Best-of-`reps` wall time (minimum filters scheduler noise; both
-// engines get identical treatment).
+/// The batch engine's streaming consumer reads column 0 columnar-wise:
+/// the result-equivalent of Consume() per live row, without forcing a
+/// columnar join output through row materialization (which is exactly
+/// the cost the streaming numbers exist to exclude — see file comment).
+void ConsumeBatch(const TupleBatch& batch, Checksum* sum) {
+  const size_t n = batch.size();
+  if (n == 0) return;
+  sum->count += n;
+  size_t off = 0;
+  const ColumnVector* col = batch.Column(0, &off);
+  switch (col->tag()) {
+    case ColumnVector::Tag::kEmpty:
+      break;  // all null: contributes count only
+    case ColumnVector::Tag::kInt: {
+      const int64_t* v = col->ints();
+      const uint8_t* nm = col->null_mask();
+      for (size_t i = 0; i < n; ++i) {
+        const size_t r = off + batch.sel_index(i);
+        if (nm[r] == 0) sum->sum += v[r];
+      }
+      break;
+    }
+    case ColumnVector::Tag::kDouble:
+      break;  // doubles don't feed the int checksum
+    case ColumnVector::Tag::kGeneric: {
+      const Value* v = col->generic();
+      for (size_t i = 0; i < n; ++i) {
+        const size_t r = off + batch.sel_index(i);
+        if (v[r].kind() == Value::Kind::kInt) sum->sum += v[r].AsInt();
+      }
+      break;
+    }
+  }
+}
+
+// Median-of-`reps` wall time with min/max spread; both engines get
+// identical treatment.
 template <typename RunOnce>
-int64_t BestOf(int reps, RunOnce&& run_once) {
-  int64_t best = INT64_MAX;
+Timing MeasureReps(int reps, RunOnce&& run_once) {
+  std::vector<int64_t> samples;
+  samples.reserve(static_cast<size_t>(reps));
   for (int r = 0; r < reps; ++r) {
     const int64_t start = NowNs();
     run_once();
-    best = std::min(best, NowNs() - start);
+    samples.push_back(NowNs() - start);
   }
-  return best;
+  std::sort(samples.begin(), samples.end());
+  Timing t;
+  const size_t n = samples.size();
+  t.median_ns = n % 2 == 1 ? samples[n / 2]
+                           : (samples[n / 2 - 1] + samples[n / 2]) / 2;
+  t.min_ns = samples.front();
+  t.max_ns = samples.back();
+  return t;
 }
 
 Report Compare(const char* name, const ExprPtr& expr, const Database& db,
@@ -88,7 +145,7 @@ Report Compare(const char* name, const ExprPtr& expr, const Database& db,
   // Streaming consumers: engine throughput without the materialization
   // sink. The checksums double as a result cross-check.
   Checksum tuple_sum, batch_sum;
-  report.tuple_ns = BestOf(reps, [&] {
+  report.tuple = MeasureReps(reps, [&] {
     IteratorPtr root = BuildIterator(expr, db);
     tuple_sum = Checksum();
     root->Open();
@@ -96,15 +153,12 @@ Report Compare(const char* name, const ExprPtr& expr, const Database& db,
     while (root->Next(&tuple)) tuple_sum.Consume(tuple);
     root->Close();
   });
-  report.batch_ns = BestOf(reps, [&] {
+  report.batch = MeasureReps(reps, [&] {
     BatchIteratorPtr root = BuildBatchIterator(expr, db);
     batch_sum = Checksum();
     root->Open();
     TupleBatch batch;
-    while (root->NextBatch(&batch)) {
-      const size_t n = batch.size();
-      for (size_t i = 0; i < n; ++i) batch_sum.Consume(batch.selected(i));
-    }
+    while (root->NextBatch(&batch)) ConsumeBatch(batch, &batch_sum);
     root->Close();
   });
   FRO_CHECK(tuple_sum == batch_sum) << "engines disagree on " << name;
@@ -113,11 +167,11 @@ Report Compare(const char* name, const ExprPtr& expr, const Database& db,
   // Materializing consumers: the end-to-end Drain cost.
   Relation tuple_out(Scheme{});
   Relation batch_out(Scheme{});
-  report.tuple_materialize_ns = BestOf(reps, [&] {
+  report.tuple_materialize = MeasureReps(reps, [&] {
     IteratorPtr root = BuildIterator(expr, db);
     tuple_out = Drain(root.get());
   });
-  report.batch_materialize_ns = BestOf(reps, [&] {
+  report.batch_materialize = MeasureReps(reps, [&] {
     BatchIteratorPtr root = BuildBatchIterator(expr, db);
     batch_out = DrainBatches(root.get());
   });
@@ -131,24 +185,37 @@ void Emit(const std::vector<Report>& reports) {
   std::printf("[\n");
   for (size_t i = 0; i < reports.size(); ++i) {
     const Report& r = reports[i];
-    const double tuple_mtps =
-        static_cast<double>(r.rows) * 1e3 / static_cast<double>(r.tuple_ns);
-    const double batch_mtps =
-        static_cast<double>(r.rows) * 1e3 / static_cast<double>(r.batch_ns);
+    const double tuple_mtps = static_cast<double>(r.rows) * 1e3 /
+                              static_cast<double>(r.tuple.median_ns);
+    const double batch_mtps = static_cast<double>(r.rows) * 1e3 /
+                              static_cast<double>(r.batch.median_ns);
     std::printf(
         "  {\"pipeline\": \"%s\", \"rows\": %zu, \"out_rows\": %zu, "
-        "\"tuple_ns\": %lld, \"batch_ns\": %lld, \"tuple_mtps\": %.2f, "
-        "\"batch_mtps\": %.2f, \"speedup\": %.2f, "
-        "\"tuple_materialize_ns\": %lld, \"batch_materialize_ns\": %lld, "
+        "\"tuple_ns\": %lld, \"tuple_min_ns\": %lld, \"tuple_max_ns\": %lld, "
+        "\"batch_ns\": %lld, \"batch_min_ns\": %lld, \"batch_max_ns\": %lld, "
+        "\"tuple_mtps\": %.2f, \"batch_mtps\": %.2f, \"speedup\": %.2f, "
+        "\"tuple_materialize_ns\": %lld, \"tuple_materialize_min_ns\": %lld, "
+        "\"tuple_materialize_max_ns\": %lld, "
+        "\"batch_materialize_ns\": %lld, \"batch_materialize_min_ns\": %lld, "
+        "\"batch_materialize_max_ns\": %lld, "
         "\"materialize_speedup\": %.2f}%s\n",
         r.pipeline, r.rows, r.out_rows,
-        static_cast<long long>(r.tuple_ns),
-        static_cast<long long>(r.batch_ns), tuple_mtps, batch_mtps,
-        static_cast<double>(r.tuple_ns) / static_cast<double>(r.batch_ns),
-        static_cast<long long>(r.tuple_materialize_ns),
-        static_cast<long long>(r.batch_materialize_ns),
-        static_cast<double>(r.tuple_materialize_ns) /
-            static_cast<double>(r.batch_materialize_ns),
+        static_cast<long long>(r.tuple.median_ns),
+        static_cast<long long>(r.tuple.min_ns),
+        static_cast<long long>(r.tuple.max_ns),
+        static_cast<long long>(r.batch.median_ns),
+        static_cast<long long>(r.batch.min_ns),
+        static_cast<long long>(r.batch.max_ns), tuple_mtps, batch_mtps,
+        static_cast<double>(r.tuple.median_ns) /
+            static_cast<double>(r.batch.median_ns),
+        static_cast<long long>(r.tuple_materialize.median_ns),
+        static_cast<long long>(r.tuple_materialize.min_ns),
+        static_cast<long long>(r.tuple_materialize.max_ns),
+        static_cast<long long>(r.batch_materialize.median_ns),
+        static_cast<long long>(r.batch_materialize.min_ns),
+        static_cast<long long>(r.batch_materialize.max_ns),
+        static_cast<double>(r.tuple_materialize.median_ns) /
+            static_cast<double>(r.batch_materialize.median_ns),
         i + 1 < reports.size() ? "," : "");
   }
   std::printf("]\n");
@@ -165,7 +232,7 @@ int Main(int argc, char** argv) {
     }
   }
   const size_t kRows = 200000;  // probe side; >= 100k per the PR target
-  const int reps = smoke ? 3 : 15;
+  const int reps = smoke ? 5 : 15;  // median needs >= 5 samples
 
   Database db;
   RelId r = *db.AddRelation("R", {"a", "b"});

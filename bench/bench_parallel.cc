@@ -7,11 +7,13 @@
 //
 // Emits a JSON object {"hardware_concurrency": N, "results": [...]} on
 // stdout (scripts/bench.sh redirects it into BENCH_PR6.json); each
-// result row is {pipeline, rows, out_rows, workers, ns, mtps,
-// speedup_vs_1}. hardware_concurrency is recorded because speedup is
-// bounded by the cores actually present: on a single-core host every
-// worker count degenerates to ~1x and the artifact documents why.
-// `--smoke` lowers the repetition count but keeps the 200k-tuple scale.
+// result row is {pipeline, rows, out_rows, workers, ns, min_ns, max_ns,
+// mtps, speedup_vs_1}, where ns is the median of the repetitions and
+// min/max record the observed spread. hardware_concurrency is recorded
+// because speedup is bounded by the cores actually present: on a
+// single-core host every worker count degenerates to ~1x and the
+// artifact documents why. `--smoke` lowers the repetition count (never
+// below 5) but keeps the 200k-tuple scale.
 
 #include <algorithm>
 #include <chrono>
@@ -38,13 +40,21 @@ int64_t NowNs() {
       .count();
 }
 
+/// Median wall time of the repetitions with the observed min/max
+/// spread (see bench_batch.cc for the rationale).
+struct Timing {
+  int64_t median_ns = 0;
+  int64_t min_ns = 0;
+  int64_t max_ns = 0;
+};
+
 struct Report {
   const char* pipeline;
   size_t rows;
   size_t out_rows;
   int workers;
-  int64_t ns;
-  int64_t baseline_ns;  // the workers=1 time for the same pipeline
+  Timing timing;
+  int64_t baseline_ns;  // the workers=1 median for the same pipeline
 };
 
 struct Checksum {
@@ -61,17 +71,25 @@ struct Checksum {
   }
 };
 
-// Best-of-`reps` wall time (minimum filters scheduler noise; every
-// worker count gets identical treatment).
+// Median-of-`reps` wall time with min/max spread; every worker count
+// gets identical treatment.
 template <typename RunOnce>
-int64_t BestOf(int reps, RunOnce&& run_once) {
-  int64_t best = INT64_MAX;
+Timing MeasureReps(int reps, RunOnce&& run_once) {
+  std::vector<int64_t> samples;
+  samples.reserve(static_cast<size_t>(reps));
   for (int r = 0; r < reps; ++r) {
     const int64_t start = NowNs();
     run_once();
-    best = std::min(best, NowNs() - start);
+    samples.push_back(NowNs() - start);
   }
-  return best;
+  std::sort(samples.begin(), samples.end());
+  Timing t;
+  const size_t n = samples.size();
+  t.median_ns = n % 2 == 1 ? samples[n / 2]
+                           : (samples[n / 2 - 1] + samples[n / 2]) / 2;
+  t.min_ns = samples.front();
+  t.max_ns = samples.back();
+  return t;
 }
 
 Checksum DrainToChecksum(BatchIterator* root) {
@@ -94,19 +112,19 @@ void Measure(const char* name, const ExprPtr& expr, const Database& db,
     ParallelOptions par;
     par.threads = workers;
     Checksum sum;
-    const int64_t ns = BestOf(reps, [&] {
+    const Timing timing = MeasureReps(reps, [&] {
       BatchIteratorPtr root = BuildParallelBatchIterator(expr, db, par);
       sum = DrainToChecksum(root.get());
     });
     if (workers == 1) {
       serial_sum = sum;
-      baseline_ns = ns;
+      baseline_ns = timing.median_ns;
     } else {
       FRO_CHECK(sum == serial_sum)
           << name << " diverges at " << workers << " workers";
     }
     reports->push_back(
-        {name, base_rows, sum.count, workers, ns, baseline_ns});
+        {name, base_rows, sum.count, workers, timing, baseline_ns});
   }
 }
 
@@ -115,15 +133,18 @@ void Emit(const std::vector<Report>& reports) {
               std::thread::hardware_concurrency());
   for (size_t i = 0; i < reports.size(); ++i) {
     const Report& r = reports[i];
-    const double mtps =
-        static_cast<double>(r.rows) * 1e3 / static_cast<double>(r.ns);
+    const double mtps = static_cast<double>(r.rows) * 1e3 /
+                        static_cast<double>(r.timing.median_ns);
     std::printf(
         "  {\"pipeline\": \"%s\", \"rows\": %zu, \"out_rows\": %zu, "
-        "\"workers\": %d, \"ns\": %lld, \"mtps\": %.2f, "
-        "\"speedup_vs_1\": %.2f}%s\n",
+        "\"workers\": %d, \"ns\": %lld, \"min_ns\": %lld, "
+        "\"max_ns\": %lld, \"mtps\": %.2f, \"speedup_vs_1\": %.2f}%s\n",
         r.pipeline, r.rows, r.out_rows, r.workers,
-        static_cast<long long>(r.ns), mtps,
-        static_cast<double>(r.baseline_ns) / static_cast<double>(r.ns),
+        static_cast<long long>(r.timing.median_ns),
+        static_cast<long long>(r.timing.min_ns),
+        static_cast<long long>(r.timing.max_ns), mtps,
+        static_cast<double>(r.baseline_ns) /
+            static_cast<double>(r.timing.median_ns),
         i + 1 < reports.size() ? "," : "");
   }
   std::printf("]}\n");
@@ -140,7 +161,7 @@ int Main(int argc, char** argv) {
     }
   }
   const size_t kRows = 200000;
-  const int reps = smoke ? 3 : 11;
+  const int reps = smoke ? 5 : 11;  // median needs >= 5 samples
 
   Database db;
   RelId r = *db.AddRelation("R", {"a", "b"});

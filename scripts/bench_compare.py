@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Gate benchmark regressions against a committed baseline.
+
+Usage: bench_compare.py BASELINE.json CURRENT.json [--threshold 0.25]
+
+Both files are bench_batch reports: a JSON array of per-pipeline rows
+keyed by "pipeline". For every metric under comparison (the batch
+engine's streaming and materializing medians), the current run fails
+when even its *fastest* repetition is more than THRESHOLD slower than
+the baseline's median:
+
+    current_min > baseline * (1 + threshold)  ->  regression
+
+Comparing the current minimum (rather than median) against the
+baseline keeps the gate one-sided against noise: a scheduler hiccup
+inflates medians and maxima long before it inflates the best-of-run,
+so a pipeline only fails when every repetition was slow. Old-format
+baselines without *_min_ns fields compare median-to-median.
+
+Exit status: 0 = no regression, 1 = regression, 2 = usage/parse error.
+"""
+
+import argparse
+import json
+import sys
+
+# (median field, min field) pairs gated per pipeline.
+METRICS = [
+    ("batch_ns", "batch_min_ns"),
+    ("batch_materialize_ns", "batch_materialize_min_ns"),
+]
+
+
+def load_rows(path):
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"bench_compare: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    if not isinstance(data, list):
+        print(f"bench_compare: {path}: expected a JSON array", file=sys.stderr)
+        sys.exit(2)
+    return {row["pipeline"]: row for row in data}
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="allowed fractional slowdown (default 0.25)")
+    args = parser.parse_args()
+
+    baseline = load_rows(args.baseline)
+    current = load_rows(args.current)
+
+    regressions = []
+    for pipeline, base_row in sorted(baseline.items()):
+        cur_row = current.get(pipeline)
+        if cur_row is None:
+            regressions.append(f"{pipeline}: missing from current run")
+            continue
+        for median_key, min_key in METRICS:
+            if median_key not in base_row:
+                continue  # baseline predates this metric
+            base = base_row[median_key]
+            cur_best = cur_row.get(min_key, cur_row.get(median_key))
+            limit = base * (1.0 + args.threshold)
+            ratio = cur_best / base if base else float("inf")
+            status = "REGRESSION" if cur_best > limit else "ok"
+            print(f"{pipeline:24s} {median_key:24s} baseline={base:>12d} "
+                  f"current_best={cur_best:>12d} ratio={ratio:5.2f}  {status}")
+            if cur_best > limit:
+                regressions.append(
+                    f"{pipeline}/{median_key}: {cur_best} vs baseline {base} "
+                    f"({ratio:.2f}x > {1.0 + args.threshold:.2f}x allowed)")
+
+    if regressions:
+        print("\nbench_compare: FAILED", file=sys.stderr)
+        for r in regressions:
+            print(f"  {r}", file=sys.stderr)
+        return 1
+    print("\nbench_compare: no regression beyond "
+          f"{args.threshold:.0%} threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

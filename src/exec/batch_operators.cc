@@ -1,7 +1,6 @@
 #include "exec/batch_operators.h"
 
 #include <algorithm>
-#include <cstring>
 
 #include "common/check.h"
 #include "exec/morsel.h"
@@ -65,8 +64,12 @@ ExecStats CollectPipelineStats(BatchIterator* root) {
 
 // --- Scan ----------------------------------------------------------------
 
-BatchScanIterator::BatchScanIterator(const Relation* relation)
-    : relation_(relation) {
+BatchScanIterator::BatchScanIterator(const Relation* relation,
+                                     std::shared_ptr<RelationColumns> columns)
+    : relation_(relation),
+      columns_(columns != nullptr
+                   ? std::move(columns)
+                   : std::make_shared<RelationColumns>(relation)) {
   FRO_CHECK(relation != nullptr);
 }
 
@@ -76,10 +79,12 @@ bool BatchScanIterator::NextBatchImpl(TupleBatch* out) {
   const size_t total = relation_->NumRows();
   if (pos_ >= total) return false;
   // Zero-copy: the batch views a capacity-sized window of the relation's
-  // contiguous row storage. Consumers read rows in place; the relation
-  // outlives the pipeline (BatchScanIterator's contract).
+  // contiguous row storage, with the relation's columnized mirror
+  // attached so downstream kernels get contiguous columns for free.
+  // Consumers read in place; the relation outlives the pipeline
+  // (BatchScanIterator's contract).
   const size_t n = std::min(out->capacity(), total - pos_);
-  out->SetView(&relation_->rows()[pos_], n);
+  out->SetView(&relation_->rows()[pos_], n, columns_.get(), pos_);
   pos_ += n;
   return true;
 }
@@ -98,20 +103,33 @@ BatchFilterIterator::BatchFilterIterator(BatchIteratorPtr child,
 
 void BatchFilterIterator::OpenImpl() {
   child_->Open();
-  bound_.Bind(pred_, child_->scheme());
+  vec_bound_.Bind(pred_, child_->scheme());
+  col_ptrs_.assign(child_->scheme().size(), nullptr);
 }
 
 bool BatchFilterIterator::NextBatchImpl(TupleBatch* out) {
   // Narrow the child's batch in place; loop past fully-filtered batches so
   // a true return always carries at least one live row. Counters update
   // once per batch (one read + one eval per live input row), keeping the
-  // narrowing loop free of bookkeeping.
+  // kernel free of bookkeeping. The kernel evaluates all raw rows
+  // densely — masks of already-deselected rows are computed but never
+  // consulted, which is cheaper than gathering survivors first.
   while (child_->NextBatch(out)) {
     const uint64_t n = out->size();
     mutable_stats().left_reads += n;
     mutable_stats().predicate_evals += n;
-    out->NarrowSelection(
-        [&](const Tuple& row, uint32_t) { return IsTrue(bound_.Eval(row)); });
+    const size_t raw_n = out->NumRows();
+    if (raw_n > 0) {
+      size_t offset = 0;
+      for (int pos : vec_bound_.column_positions()) {
+        col_ptrs_[static_cast<size_t>(pos)] =
+            out->Column(static_cast<size_t>(pos), &offset);
+      }
+      keep_mask_.resize(raw_n);
+      vec_bound_.Eval(col_ptrs_.data(), offset, raw_n, keep_mask_.data(),
+                      nullptr);
+      out->NarrowToMask(keep_mask_.data());
+    }
     if (!out->empty()) return true;
   }
   return false;
@@ -404,16 +422,9 @@ PredicatePtr ResidualAfterEquiKeys(const PredicatePtr& pred,
 
 namespace {
 
-/// Hash for the flat probe table: the key's bit pattern, spread by a
-/// multiply/xor-shift mix (ints widened to doubles leave most entropy in
-/// the high mantissa bits; the multiply diffuses it).
-uint64_t FastKeyHash(double key) {
-  uint64_t bits;
-  std::memcpy(&bits, &key, sizeof(bits));
-  bits *= 0x9E3779B97F4A7C15ull;
-  bits ^= bits >> 32;
-  return bits;
-}
+// The flat probe table hashes with HashNumericKey (relational/column.h),
+// shared with the batched HashColumns primitive so dense-hashed probes
+// land in the same buckets the build filled.
 
 /// NormalizeHashKeyValue restricted to numeric values: the normalized
 /// double, or nothing when the value is null or non-numeric.
@@ -436,49 +447,120 @@ void BatchHashJoinIterator::OpenImpl() {
   residual_ = ResidualAfterEquiKeys(pred_, left_keys_, right_keys_);
   if (residual_ != nullptr) bound_.Bind(residual_, joined_scheme_);
   // Build phase: materialize and index the right input, once per Open().
+  // Zero-copy detection: a plain base-relation scan streams the whole of
+  // one columnized relation as contiguous unselected views; when every
+  // batch fits that pattern the build references the relation (and its
+  // shared columnar mirror) instead of copying every tuple. The child is
+  // still drained normally so its ExecStats match the tuple engine's.
   Relation raw(right_->scheme());
   right_->Open();
   TupleBatch scratch;
+  const RelationColumns* shared = nullptr;
+  size_t shared_end = 0;
+  bool zero_copy = true;
   while (right_->NextBatch(&scratch)) {
     const size_t n = scratch.size();
+    if (zero_copy) {
+      size_t off = 0;
+      const RelationColumns* src = scratch.view_source(&off);
+      if (src != nullptr && !scratch.sel_active() &&
+          (shared == nullptr ? off == 0 : (src == shared &&
+                                           off == shared_end))) {
+        shared = src;
+        shared_end += n;
+        continue;  // rows already live in the relation
+      }
+      // Pattern broke: backfill the prefix we skipped, then copy.
+      zero_copy = false;
+      for (size_t i = 0; i < shared_end; ++i) {
+        raw.AddRow(shared->relation().row(i));
+      }
+    }
     for (size_t i = 0; i < n; ++i) raw.AddRow(scratch.selected(i));
   }
   right_->Close();
-  build_side_ = std::move(raw);
+  if (zero_copy && shared != nullptr &&
+      shared_end == shared->relation().NumRows()) {
+    build_side_ = Relation();
+    build_rel_ = &shared->relation();
+    shared_build_cols_ = shared;
+  } else {
+    if (zero_copy && shared != nullptr) {
+      // Contiguous views but not the whole relation (e.g. a morsel
+      // range): materialize the drained prefix after all.
+      for (size_t i = 0; i < shared_end; ++i) {
+        raw.AddRow(shared->relation().row(i));
+      }
+    }
+    build_side_ = std::move(raw);
+    build_rel_ = &build_side_;
+    shared_build_cols_ = nullptr;
+  }
   // Single numeric key: build the flat probe table instead of the
   // generic HashIndex. Null keys are skipped (they never equi-match); a
   // non-numeric key value anywhere on the build side falls back to the
   // generic path, which handles heterogeneous keys.
   use_fast_index_ = false;
   if (left_key_positions_.size() == 1 &&
-      build_side_.NumRows() < (size_t{1} << 31)) {
-    const int build_pos = build_side_.scheme().IndexOf(right_keys_[0]);
+      build_rel_->NumRows() < (size_t{1} << 30)) {
+    const int build_pos = build_rel_->scheme().IndexOf(right_keys_[0]);
     FRO_CHECK_GE(build_pos, 0);
-    const size_t n = build_side_.NumRows();
+    const size_t n = build_rel_->NumRows();
     size_t cap = 16;
     while (cap < n * 2) cap <<= 1;
     fast_buckets_.assign(cap, FastBucket{0.0, 0});
     fast_next_.assign(n, 0);
     fast_mask_ = cap - 1;
+    size_t cap_bits = 0;
+    while ((size_t{1} << cap_bits) < cap) ++cap_bits;
+    fast_shift_ = 64 - cap_bits;
+    // Bloom prefilter: 16 bits per bucket (cap * 2 bytes), addressed by
+    // the hash's top 32 bits so it is independent of the bucket index.
+    fast_bloom_.assign(cap * 2, 0);
+    fast_bloom_mask_ = cap * 2 - 1;
     // Per-bucket chain tail during the build, so duplicate keys chain in
     // build order (match order must equal the HashIndex path's).
     std::vector<uint32_t> tails(cap, 0);
     use_fast_index_ = true;
+    // Dense key pass when the shared mirror holds the key column typed:
+    // one double/int load + null byte per row, no Value indirection. A
+    // kGeneric column (mixed int/double, strings) and the copied-drain
+    // path fall back to the row loop, which also demotes to the generic
+    // index on the first non-numeric key.
+    const ColumnVector* kc =
+        shared_build_cols_ != nullptr
+            ? &shared_build_cols_->Column(static_cast<size_t>(build_pos))
+            : nullptr;
+    const bool dense_keys =
+        kc != nullptr && (kc->tag() == ColumnVector::Tag::kInt ||
+                          kc->tag() == ColumnVector::Tag::kDouble ||
+                          kc->tag() == ColumnVector::Tag::kEmpty);
     for (size_t i = 0; i < n; ++i) {
-      const Value& v =
-          build_side_.row(i).value(static_cast<size_t>(build_pos));
-      if (v.is_null()) continue;
-      const std::optional<double> key = NumericKey(v);
-      if (!key.has_value()) {
-        use_fast_index_ = false;
-        break;
+      double key;
+      if (dense_keys) {
+        if (kc->is_null(i)) continue;  // kEmpty columns are all null
+        key = NormalizedNumericKey(*kc, i);
+      } else {
+        const Value& v =
+            build_rel_->row(i).value(static_cast<size_t>(build_pos));
+        if (v.is_null()) continue;
+        const std::optional<double> k = NumericKey(v);
+        if (!k.has_value()) {
+          use_fast_index_ = false;
+          break;
+        }
+        key = *k;
       }
-      size_t b = FastKeyHash(*key) & fast_mask_;
-      while (fast_buckets_[b].head != 0 && !(fast_buckets_[b].key == *key)) {
+      const uint64_t h = HashNumericKey(key);
+      const uint64_t bh = h >> 32;
+      fast_bloom_[(bh >> 3) & fast_bloom_mask_] |=
+          static_cast<uint8_t>(1u << (bh & 7));
+      size_t b = h >> fast_shift_;
+      while (fast_buckets_[b].head != 0 && !(fast_buckets_[b].key == key)) {
         b = (b + 1) & fast_mask_;
       }
       if (fast_buckets_[b].head == 0) {
-        fast_buckets_[b] = FastBucket{*key, static_cast<uint32_t>(i + 1)};
+        fast_buckets_[b] = FastBucket{key, static_cast<uint32_t>(i + 1)};
       } else {
         fast_next_[tails[b] - 1] = static_cast<uint32_t>(i + 1);
       }
@@ -488,9 +570,34 @@ void BatchHashJoinIterator::OpenImpl() {
   if (!use_fast_index_) {
     fast_buckets_.clear();
     fast_next_.clear();
-    normalized_build_ = NormalizeOnKeyColumns(build_side_, right_keys_);
+    fast_bloom_.clear();
+    normalized_build_ = NormalizeOnKeyColumns(*build_rel_, right_keys_);
     index_ = std::make_unique<HashIndex>(normalized_build_, right_keys_);
   }
+  // Columnar emission whenever the probe discharges the whole predicate:
+  // matches are appended column-by-column from the probe side's columns
+  // and the build side's columnized mirror, instead of assembling a
+  // joined Tuple per match. Build columns are materialized once per
+  // Open(), like the index.
+  columnar_emit_ = residual_ == nullptr;
+  build_cols_.reset();
+  right_cols_.clear();
+  if (columnar_emit_ &&
+      (mode_ == JoinMode::kInner || mode_ == JoinMode::kLeftOuter)) {
+    const RelationColumns* cols = shared_build_cols_;
+    if (cols == nullptr) {
+      build_cols_ = std::make_unique<RelationColumns>(&build_side_);
+      cols = build_cols_.get();
+    }
+    for (size_t c = 0; c < build_rel_->scheme().size(); ++c) {
+      right_cols_.push_back(&cols->Column(c));
+    }
+  }
+  left_cols_.assign(left_->scheme().size(), nullptr);
+  probe_dense_ = false;
+  emit_left_.clear();
+  emit_right_.clear();
+  gather_batch_ok_ = false;
   input_.Clear();
   input_pos_ = 0;
   left_active_ = false;
@@ -498,15 +605,189 @@ void BatchHashJoinIterator::OpenImpl() {
   fast_match_ = 0;
 }
 
+void BatchHashJoinIterator::FlushGather(TupleBatch* out) {
+  const size_t n = emit_left_.size();
+  if (n == 0) return;
+  const size_t left_arity = left_cols_.size();
+  for (size_t c = 0; c < left_arity; ++c) {
+    out->mutable_column(c)->AppendGather(*left_cols_[c], emit_left_.data(),
+                                         n);
+  }
+  for (size_t c = 0; c < right_cols_.size(); ++c) {
+    out->mutable_column(left_arity + c)
+        ->AppendGather(*right_cols_[c], emit_right_.data(), n);
+  }
+  out->CommitColumnRows(n);
+  emit_left_.clear();
+  emit_right_.clear();
+}
+
 bool BatchHashJoinIterator::NextBatchImpl(TupleBatch* out) {
+  // NextBatch() hands us a cleared batch; columnar emission claims it
+  // before any row lands in it.
+  if (columnar_emit_) out->BeginColumns(out_scheme_.size());
+  const size_t left_arity = left_cols_.size();
+  // Gather-style emission: inner/left-outer matches accumulate as index
+  // pairs and flush per column (FlushGather) instead of appending value
+  // by value. Semi/anti emit too few values to be worth staging.
+  const bool gather = columnar_emit_ && (mode_ == JoinMode::kInner ||
+                                         mode_ == JoinMode::kLeftOuter);
   for (;;) {
     if (!left_active_) {
       if (input_pos_ >= input_.size()) {
+        if (gather && !emit_left_.empty()) {
+          // Pending pairs index the current input batch's columns; flush
+          // before those pointers are refreshed by the next batch.
+          FlushGather(out);
+          return true;
+        }
         if (!left_->NextBatch(&input_)) return !out->empty();
         input_pos_ = 0;
+        // Per-batch probe preparation. Fast-index probes hash the whole
+        // key column densely in one HashColumns pass (falling back to
+        // the per-row path when the column is generic); columnar
+        // emission refreshes the input's column pointers.
+        const size_t raw_n = input_.NumRows();
+        probe_dense_ = false;
+        if (use_fast_index_ && raw_n > 0) {
+          size_t koff = 0;
+          const ColumnVector* kc =
+              input_.Column(static_cast<size_t>(left_key_positions_[0]),
+                            &koff);
+          probe_keys_.resize(raw_n);
+          probe_hashes_.resize(raw_n);
+          probe_has_.resize(raw_n);
+          probe_dense_ =
+              HashColumns({kc}, koff, raw_n, probe_keys_.data(),
+                          probe_hashes_.data(), probe_has_.data());
+          if (probe_dense_) {
+            // Resolve every row's chain head up front, in two passes.
+            // Pass 1 inspects only the home bucket, with no data-
+            // dependent branch in the loop body: hit stores the chain
+            // head, anything else stores 0, and the rare rows whose home
+            // bucket holds a *different* key are flagged in probe_needs_.
+            // That body is a straight-line load/compare/select chain over
+            // a dense index range, which the compiler can if-convert and
+            // vectorize; an embedded probe walk (or any branch on probed
+            // data) measured ~30x slower per row here. Pass 2 finishes
+            // the flagged rows — a few percent at our load factor, and
+            // Bloom-gated so definite misses never walk — with the plain
+            // probe loop. Dead (unselected) rows are resolved too: the
+            // dense pass is cheaper than gathering selection indices,
+            // and their entries are simply never read.
+            match_head_.resize(raw_n);
+            probe_needs_.resize(raw_n);
+            for (size_t raw = 0; raw < raw_n; ++raw) {
+              const uint64_t h = probe_hashes_[raw];
+              const FastBucket& fb = fast_buckets_[h >> fast_shift_];
+              const uint64_t bh = h >> 32;
+              const uint32_t bit =
+                  (fast_bloom_[(bh >> 3) & fast_bloom_mask_] >> (bh & 7)) &
+                  1u;
+              const uint32_t has = probe_has_[raw];
+              const uint32_t occ = fb.head != 0;
+              const uint32_t hit =
+                  has & occ &
+                  static_cast<uint32_t>(fb.key == probe_keys_[raw]);
+              match_head_[raw] = fb.head * hit;
+              probe_needs_[raw] =
+                  static_cast<uint8_t>(has & bit & occ & (hit ^ 1u));
+            }
+            for (size_t raw = 0; raw < raw_n; ++raw) {
+              if (probe_needs_[raw]) {
+                const double key = probe_keys_[raw];
+                size_t b =
+                    ((probe_hashes_[raw] >> fast_shift_) + 1) & fast_mask_;
+                uint32_t m = 0;
+                while (fast_buckets_[b].head != 0) {
+                  if (fast_buckets_[b].key == key) {
+                    m = fast_buckets_[b].head;
+                    break;
+                  }
+                  b = (b + 1) & fast_mask_;
+                }
+                match_head_[raw] = m;
+              }
+            }
+          }
+        }
+        if (columnar_emit_ && raw_n > 0) {
+          for (size_t c = 0; c < left_arity; ++c) {
+            left_cols_[c] = input_.Column(c, &left_off_);
+          }
+          // Gather indices are 32-bit with kNullIndex reserved; a batch
+          // whose absolute row indices would not fit falls back to
+          // value-at-a-time emission.
+          gather_batch_ok_ =
+              left_off_ + raw_n < ColumnVector::kNullIndex;
+        }
         continue;
       }
-      const Tuple& lrow = input_.selected(input_pos_);
+      if (use_fast_index_ && probe_dense_ && gather && gather_batch_ok_) {
+        // Dense probe loop: the whole input batch in one pass — probe,
+        // chain walk, and gather-list emission per row with the counters
+        // accumulated locally — instead of a trip through the resumable
+        // state machine per row. When the output batch fills mid-row the
+        // loop suspends into that state machine (left_active_ /
+        // fast_match_), which resumes the chain exactly where the
+        // generic path would.
+        const size_t cap = out->capacity();
+        const size_t base = out->NumRows();
+        const size_t live = input_.size();
+        const bool pad = mode_ == JoinMode::kLeftOuter;
+        uint64_t rows_probed = 0;
+        uint64_t candidates = 0;
+        bool suspended = false;
+        while (input_pos_ < live && !suspended) {
+          const size_t raw = input_.sel_index(input_pos_);
+          ++rows_probed;
+          uint32_t m = match_head_[raw];
+          bool had = false;
+          for (;;) {
+            if (m == 0) {
+              if (!had && pad) {
+                if (base + emit_left_.size() >= cap) {
+                  // Suspend before the pad: the generic loop re-enters
+                  // this row with an exhausted chain and pads it.
+                  left_active_ = true;
+                  left_had_match_ = false;
+                  fast_match_ = 0;
+                  suspended = true;
+                  break;
+                }
+                emit_left_.push_back(
+                    static_cast<uint32_t>(left_off_ + raw));
+                emit_right_.push_back(ColumnVector::kNullIndex);
+              }
+              ++input_pos_;
+              break;
+            }
+            if (base + emit_left_.size() >= cap) {
+              // Suspend mid-chain; the generic loop resumes at m.
+              left_active_ = true;
+              left_had_match_ = had;
+              fast_match_ = m;
+              suspended = true;
+              break;
+            }
+            const uint32_t ridx = m - 1;
+            ++candidates;
+            emit_left_.push_back(static_cast<uint32_t>(left_off_ + raw));
+            emit_right_.push_back(ridx);
+            had = true;
+            m = fast_next_[ridx];
+          }
+        }
+        mutable_stats().left_reads += rows_probed;
+        mutable_stats().probes += rows_probed;
+        mutable_stats().right_reads += candidates;
+        mutable_stats().predicate_evals += candidates;
+        if (suspended) {
+          FlushGather(out);
+          return true;
+        }
+        continue;  // batch exhausted: the refresh block takes over
+      }
       ++mutable_stats().left_reads;
       left_had_match_ = false;
       match_pos_ = 0;
@@ -516,19 +797,29 @@ bool BatchHashJoinIterator::NextBatchImpl(TupleBatch* out) {
         // any of the (all-numeric) build keys, so both yield no matches —
         // exactly what the generic probe would return.
         fast_match_ = 0;
-        const std::optional<double> key =
-            NumericKey(lrow.value(static_cast<size_t>(left_key_positions_[0])));
-        if (key.has_value()) {
-          size_t b = FastKeyHash(*key) & fast_mask_;
-          while (fast_buckets_[b].head != 0) {
-            if (fast_buckets_[b].key == *key) {
-              fast_match_ = fast_buckets_[b].head;
-              break;
+        if (probe_dense_) {
+          fast_match_ = match_head_[input_.sel_index(input_pos_)];
+        } else {
+          const Tuple& lrow = input_.selected(input_pos_);
+          const std::optional<double> key = NumericKey(
+              lrow.value(static_cast<size_t>(left_key_positions_[0])));
+          if (key.has_value()) {
+            const uint64_t h = HashNumericKey(*key);
+            const uint64_t bh = h >> 32;
+            if ((fast_bloom_[(bh >> 3) & fast_bloom_mask_] >> (bh & 7)) & 1) {
+              size_t b = h >> fast_shift_;
+              while (fast_buckets_[b].head != 0) {
+                if (fast_buckets_[b].key == *key) {
+                  fast_match_ = fast_buckets_[b].head;
+                  break;
+                }
+                b = (b + 1) & fast_mask_;
+              }
             }
-            b = (b + 1) & fast_mask_;
           }
         }
       } else {
+        const Tuple& lrow = input_.selected(input_pos_);
         probe_key_.clear();
         bool null_key = false;
         for (int pos : left_key_positions_) {
@@ -546,7 +837,7 @@ bool BatchHashJoinIterator::NextBatchImpl(TupleBatch* out) {
       }
       left_active_ = true;
     }
-    const Tuple& lrow = input_.selected(input_pos_);
+    const size_t lraw = input_.sel_index(input_pos_);
     bool dropped_left = false;
     for (;;) {
       size_t ridx;
@@ -557,13 +848,16 @@ bool BatchHashJoinIterator::NextBatchImpl(TupleBatch* out) {
         if (match_pos_ >= matches_->size()) break;
         ridx = (*matches_)[match_pos_];
       }
-      if (out->full()) return true;
+      if (gather ? out->NumRows() + emit_left_.size() >= out->capacity()
+                 : out->full()) {
+        FlushGather(out);
+        return true;
+      }
       if (use_fast_index_) {
         fast_match_ = fast_next_[ridx];
       } else {
         ++match_pos_;
       }
-      const Tuple& rrow = build_side_.row(ridx);
       ++mutable_stats().right_reads;
       // One predicate check per candidate, same as the tuple engine. When
       // the predicate is exactly the equi-key conjunction, the probe's
@@ -571,6 +865,8 @@ bool BatchHashJoinIterator::NextBatchImpl(TupleBatch* out) {
       // positives), so only a residual beyond the keys is re-evaluated.
       ++mutable_stats().predicate_evals;
       if (residual_ != nullptr) {
+        const Tuple& lrow = input_.row(lraw);
+        const Tuple& rrow = build_rel_->row(ridx);
         Tuple* slot = out->PeekSlot();
         slot->AssignConcat(lrow, rrow);
         if (!IsTrue(bound_.Eval(*slot))) continue;
@@ -590,16 +886,33 @@ bool BatchHashJoinIterator::NextBatchImpl(TupleBatch* out) {
             break;
         }
       } else {
+        // Pure equi-join: columnar emission, value by value from the
+        // probe and build columns — no joined-Tuple assembly.
         left_had_match_ = true;
         switch (mode_) {
           case JoinMode::kInner:
           case JoinMode::kLeftOuter:
-            out->PeekSlot()->AssignConcat(lrow, rrow);
-            out->CommitSlot();
+            if (gather_batch_ok_ && ridx < ColumnVector::kNullIndex) {
+              emit_left_.push_back(static_cast<uint32_t>(left_off_ + lraw));
+              emit_right_.push_back(static_cast<uint32_t>(ridx));
+            } else {
+              for (size_t c = 0; c < left_arity; ++c) {
+                out->mutable_column(c)->AppendFrom(*left_cols_[c],
+                                                   left_off_ + lraw);
+              }
+              for (size_t c = 0; c < right_cols_.size(); ++c) {
+                out->mutable_column(left_arity + c)
+                    ->AppendFrom(*right_cols_[c], ridx);
+              }
+              out->CommitColumnRow();
+            }
             break;
           case JoinMode::kSemi:
-            out->PeekSlot()->AssignFrom(lrow);
-            out->CommitSlot();
+            for (size_t c = 0; c < left_arity; ++c) {
+              out->mutable_column(c)->AppendFrom(*left_cols_[c],
+                                                 left_off_ + lraw);
+            }
+            out->CommitColumnRow();
             dropped_left = true;
             break;
           case JoinMode::kAnti:
@@ -612,11 +925,38 @@ bool BatchHashJoinIterator::NextBatchImpl(TupleBatch* out) {
     if (!dropped_left) {
       const bool unmatched = !left_had_match_;
       if (mode_ == JoinMode::kLeftOuter && unmatched) {
-        if (out->full()) return true;
-        out->AppendSlot()->AssignConcatNulls(lrow, right_->scheme().size());
+        if (gather ? out->NumRows() + emit_left_.size() >= out->capacity()
+                   : out->full()) {
+          FlushGather(out);
+          return true;
+        }
+        if (columnar_emit_ && gather_batch_ok_) {
+          emit_left_.push_back(static_cast<uint32_t>(left_off_ + lraw));
+          emit_right_.push_back(ColumnVector::kNullIndex);
+        } else if (columnar_emit_) {
+          for (size_t c = 0; c < left_arity; ++c) {
+            out->mutable_column(c)->AppendFrom(*left_cols_[c],
+                                               left_off_ + lraw);
+          }
+          for (size_t c = 0; c < right_cols_.size(); ++c) {
+            out->mutable_column(left_arity + c)->AppendNull();
+          }
+          out->CommitColumnRow();
+        } else {
+          out->AppendSlot()->AssignConcatNulls(input_.row(lraw),
+                                               right_->scheme().size());
+        }
       } else if (mode_ == JoinMode::kAnti && unmatched) {
         if (out->full()) return true;
-        out->AppendSlot()->AssignFrom(lrow);
+        if (columnar_emit_) {
+          for (size_t c = 0; c < left_arity; ++c) {
+            out->mutable_column(c)->AppendFrom(*left_cols_[c],
+                                               left_off_ + lraw);
+          }
+          out->CommitColumnRow();
+        } else {
+          out->AppendSlot()->AssignFrom(input_.row(lraw));
+        }
       }
     }
     left_active_ = false;
@@ -629,8 +969,22 @@ void BatchHashJoinIterator::CloseImpl() {
   index_.reset();
   fast_buckets_.clear();
   fast_next_.clear();
+  fast_bloom_.clear();
   use_fast_index_ = false;
   fast_match_ = 0;
+  // build_cols_ points into build_side_; drop it first.
+  build_cols_.reset();
+  right_cols_.clear();
+  left_cols_.clear();
+  columnar_emit_ = false;
+  probe_dense_ = false;
+  match_head_.clear();
+  probe_needs_.clear();
+  emit_left_.clear();
+  emit_right_.clear();
+  gather_batch_ok_ = false;
+  build_rel_ = nullptr;
+  shared_build_cols_ = nullptr;
   build_side_ = Relation();
   normalized_build_ = Relation();
   left_active_ = false;

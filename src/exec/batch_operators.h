@@ -46,7 +46,12 @@ PredicatePtr ResidualAfterEquiKeys(const PredicatePtr& pred,
 /// Full scan of a materialized relation (which must outlive the scan).
 class BatchScanIterator : public BatchIterator {
  public:
-  explicit BatchScanIterator(const Relation* relation);
+  /// `columns` optionally shares a pre-built (or lazily-filled) columnar
+  /// mirror of `relation` — Database::CachedColumns hands one out so the
+  /// transpose is paid once per relation, not per plan build. When null
+  /// the scan builds a private mirror.
+  explicit BatchScanIterator(const Relation* relation,
+                             std::shared_ptr<RelationColumns> columns = nullptr);
   const Scheme& scheme() const override;
   const char* physical_name() const override { return "Scan"; }
 
@@ -57,6 +62,10 @@ class BatchScanIterator : public BatchIterator {
 
  private:
   const Relation* relation_;
+  /// Lazily-columnized mirror of relation_, attached to every view batch
+  /// the scan emits so downstream kernels read whole-relation contiguous
+  /// columns with zero per-batch transpose.
+  std::shared_ptr<RelationColumns> columns_;
   size_t pos_ = 0;
 };
 
@@ -79,9 +88,14 @@ class BatchFilterIterator : public BatchIterator {
  private:
   BatchIteratorPtr child_;
   PredicatePtr pred_;
-  /// Position-bound form of pred_, rebound each Open(): per-row eval
-  /// without per-row scheme lookups.
-  BoundPredicate bound_;
+  /// Column-kernel form of pred_, rebound each Open(): one
+  /// column-at-a-time evaluation per batch instead of a tree walk per
+  /// row (row-for-row equivalent to BoundPredicate).
+  VectorPredicate vec_bound_;
+  /// Reused per-batch buffers: column pointers by scheme position and
+  /// the raw-indexed keep mask the kernel writes.
+  std::vector<const ColumnVector*> col_ptrs_;
+  std::vector<uint8_t> keep_mask_;
 };
 
 /// pi[cols](child), optionally duplicate-eliminating.
@@ -208,6 +222,14 @@ class BatchHashJoinIterator : public BatchIterator {
   std::vector<AttrId> left_keys_;
   std::vector<AttrId> right_keys_;
   Relation build_side_;
+  /// The rows the probe table indexes: &build_side_ after a copying
+  /// drain, or the scanned base relation itself when the build child
+  /// streamed it as contiguous zero-copy views (a plain Leaf scan) — in
+  /// that case no tuple is copied and no column is re-transposed; the
+  /// shared mirror (owned by the scan child and the Database cache)
+  /// backs columnar emission directly.
+  const Relation* build_rel_ = nullptr;
+  const RelationColumns* shared_build_cols_ = nullptr;
   /// Key-normalized copy the index hashes over (see HashJoinIterator).
   Relation normalized_build_;
   std::unique_ptr<HashIndex> index_;
@@ -225,11 +247,62 @@ class BatchHashJoinIterator : public BatchIterator {
   };
   std::vector<FastBucket> fast_buckets_;
   std::vector<uint32_t> fast_next_;  // row -> next row with same key, +1
+  /// Bloom prefilter over the build keys (one bit per key from the top
+  /// hash bits, sized at 16 bits per bucket so it stays cache-resident
+  /// at ~6% of the bucket array): probes whose bit is clear skip the
+  /// bucket search entirely — on selective joins most probes miss, and
+  /// the miss answer comes from this small array instead of a random
+  /// access into the large one.
+  std::vector<uint8_t> fast_bloom_;
+  uint64_t fast_bloom_mask_ = 0;
   size_t fast_mask_ = 0;
+  /// Home bucket = hash >> fast_shift_ (the hash's TOP log2(cap) bits).
+  /// The low bits are measurably non-uniform for small-integer doubles
+  /// (their bit patterns share long runs of trailing zeros, and the
+  /// multiply in HashNumericKey only propagates entropy upward), which
+  /// produced linear-probe clusters dozens of buckets long; the top bits
+  /// are well mixed and keep clusters near the theoretical minimum.
+  size_t fast_shift_ = 64;
   uint32_t fast_match_ = 0;  // probe chain cursor (row + 1; 0 = done)
   bool use_fast_index_ = false;
   std::vector<int> left_key_positions_;
   std::vector<Value> probe_key_;
+  /// Batched probe-key hashing (HashColumns) over the current input
+  /// batch's key column, engaged when the fast index is live and the key
+  /// column is dense numeric: probe_has_[raw] = 0 marks rows that never
+  /// match (null key), otherwise probe_keys_/probe_hashes_ hold the
+  /// normalized key and its hash for raw row `raw`.
+  bool probe_dense_ = false;
+  std::vector<double> probe_keys_;
+  std::vector<uint64_t> probe_hashes_;
+  std::vector<uint8_t> probe_has_;
+  /// Per-batch probe resolution (dense path): match_head_[raw] is the
+  /// 1-based chain head for raw row `raw` (0 = no match), filled at
+  /// batch refresh by a two-pass probe sweep — a branch-free home-bucket
+  /// pass over the whole batch, then a walk for the few rows flagged in
+  /// probe_needs_ whose home bucket held a different key.
+  std::vector<uint32_t> match_head_;
+  std::vector<uint8_t> probe_needs_;
+  /// Columnar emission, engaged when the probe discharges the whole
+  /// predicate (residual_ == nullptr): output batches are built in
+  /// owned-column mode from the probe side's columns and the build
+  /// side's columnized mirror — no per-match Tuple assembly.
+  bool columnar_emit_ = false;
+  std::unique_ptr<RelationColumns> build_cols_;
+  std::vector<const ColumnVector*> right_cols_;
+  std::vector<const ColumnVector*> left_cols_;
+  size_t left_off_ = 0;
+  /// Gather-style emission (inner/left-outer columnar only): matches
+  /// accumulate as (probe row, build row) index pairs and each output
+  /// column is flushed in one AppendGather pass — tag dispatch once per
+  /// column per batch instead of once per value. kNullIndex in the
+  /// build list marks an outerjoin padding row. Pending pairs never
+  /// outlive the input batch whose columns they index (flushed before
+  /// the next batch loads).
+  void FlushGather(TupleBatch* out);
+  std::vector<uint32_t> emit_left_;
+  std::vector<uint32_t> emit_right_;
+  bool gather_batch_ok_ = false;
   TupleBatch input_;  // current left batch
   size_t input_pos_ = 0;
   bool left_active_ = false;

@@ -73,8 +73,11 @@ bool MorselQueue::Claim(size_t* begin, size_t* end) {
 }
 
 MorselScanIterator::MorselScanIterator(const Relation* relation,
-                                       std::shared_ptr<MorselQueue> queue)
-    : relation_(relation), queue_(std::move(queue)) {
+                                       std::shared_ptr<MorselQueue> queue,
+                                       std::shared_ptr<RelationColumns> columns)
+    : relation_(relation),
+      queue_(std::move(queue)),
+      columns_(std::move(columns)) {
   FRO_CHECK(relation_ != nullptr);
   FRO_CHECK(queue_ != nullptr);
 }
@@ -87,7 +90,7 @@ void MorselScanIterator::OpenImpl() {
 bool MorselScanIterator::NextBatchImpl(TupleBatch* out) {
   if (begin_ >= end_ && !queue_->Claim(&begin_, &end_)) return false;
   const size_t n = std::min(out->capacity(), end_ - begin_);
-  out->SetView(&relation_->rows()[begin_], n);
+  out->SetView(&relation_->rows()[begin_], n, columns_.get(), begin_);
   begin_ += n;
   return true;
 }
@@ -733,6 +736,9 @@ struct ExchangeState {
   const Relation* driver = nullptr;
   ExprPtr driver_expr;
   std::shared_ptr<MorselQueue> queue;
+  /// Column cache over the driver relation, shared by all workers'
+  /// morsel scans (RelationColumns builds each column once under a lock).
+  std::shared_ptr<RelationColumns> driver_columns;
   std::vector<ExchangeStep> steps;
   std::vector<BatchIteratorPtr> workers;
 };
@@ -954,8 +960,8 @@ BatchIteratorPtr BuildParallel(const ExprPtr& expr, const Database& db,
 /// Compiles one worker pipeline from the planned spine.
 BatchIteratorPtr BuildWorker(const ExchangeState& state,
                              const ParallelOptions& options) {
-  BatchIteratorPtr it =
-      std::make_unique<MorselScanIterator>(state.driver, state.queue);
+  BatchIteratorPtr it = std::make_unique<MorselScanIterator>(
+      state.driver, state.queue, state.driver_columns);
   it->set_source_expr(state.driver_expr);
   for (const ExchangeStep& step : state.steps) {
     switch (step.kind) {
@@ -1006,6 +1012,7 @@ BatchIteratorPtr MakeExchange(const ExprPtr& expr, const Database& db,
   state->driver_expr = cursor;
   state->queue = std::make_shared<MorselQueue>(state->driver->NumRows(),
                                                options.morsel_rows);
+  state->driver_columns = db.CachedColumns(cursor->rel());
   Scheme scheme = state->driver->scheme();
   for (const ExprPtr& node : chain) {
     ExchangeStep step;

@@ -45,6 +45,7 @@
 #include "algebra/expr.h"
 #include "exec/batch_iterator.h"
 #include "exec/stats_view.h"
+#include "relational/column.h"
 #include "relational/database.h"
 #include "relational/ops.h"
 #include "relational/relation.h"
@@ -95,8 +96,12 @@ class MorselQueue {
 /// storage, at most a batch-capacity of rows at a time.
 class MorselScanIterator : public BatchIterator {
  public:
+  /// `columns` optionally attaches a relation-wide column cache shared by
+  /// every worker (RelationColumns is internally synchronized), giving
+  /// downstream vectorized operators transpose-free column access.
   MorselScanIterator(const Relation* relation,
-                     std::shared_ptr<MorselQueue> queue);
+                     std::shared_ptr<MorselQueue> queue,
+                     std::shared_ptr<RelationColumns> columns = nullptr);
   const Scheme& scheme() const override;
   const char* physical_name() const override { return "MorselScan"; }
 
@@ -108,6 +113,7 @@ class MorselScanIterator : public BatchIterator {
  private:
   const Relation* relation_;
   std::shared_ptr<MorselQueue> queue_;
+  std::shared_ptr<RelationColumns> columns_;
   size_t begin_ = 0;  // unconsumed remainder of the claimed morsel
   size_t end_ = 0;
 };

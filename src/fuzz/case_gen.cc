@@ -14,6 +14,7 @@ const char* kProfileNames[] = {
     "nice-strong",    "null-heavy",  "weak-preds",
     "join-at-null",   "two-in-edges", "oj-cycle",
     "cyclic-core",    "dupfree-goj", "empty-relations",
+    "wide-scheme",
 };
 static_assert(sizeof(kProfileNames) / sizeof(kProfileNames[0]) ==
               static_cast<size_t>(FuzzProfile::kNumProfiles));
@@ -64,6 +65,16 @@ RandomQueryOptions OptionsFor(FuzzProfile profile, Rng* rng) {
       break;
     case FuzzProfile::kEmptyRelations:
       options.rows.rows_max = 2;
+      break;
+    case FuzzProfile::kWideScheme:
+      // Wide rows exercise the batch engine's columnar side: per-column
+      // transposition, null-mask propagation across many attributes, and
+      // column demotion when types mix. Null density is itself drawn per
+      // case so the corpus spans near-dense to near-half-null columns.
+      options.num_relations = 2 + static_cast<int>(rng->Uniform(2));
+      options.attrs_per_rel = 10 + static_cast<int>(rng->Uniform(11));
+      options.rows.null_prob = 0.05 + 0.1 * static_cast<double>(
+                                                rng->Uniform(5));
       break;
     case FuzzProfile::kNumProfiles:
       FRO_CHECK(false);

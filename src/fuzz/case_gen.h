@@ -36,6 +36,8 @@ enum class FuzzProfile : uint8_t {
   kCyclicCore,        // dense join core: cycles + collapsed edges
   kDupFreeGoj,        // duplicate-free rows + non-nice shape: GOJ rewrites
   kEmptyRelations,    // 0-2 rows per relation: boundary cardinalities
+  kWideScheme,        // 10-20 attrs per relation, mixed null density:
+                      // stresses columnar transposition and null masks
   kNumProfiles,
 };
 

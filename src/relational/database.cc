@@ -1,8 +1,20 @@
 #include "relational/database.h"
 
+#include <mutex>
+
 #include "common/check.h"
 
 namespace fro {
+
+namespace {
+/// Guards every Database's columns_cache_. Global because Database must
+/// stay movable and cache fills are rare (once per relation); reads
+/// take it once per plan build, never per batch.
+std::mutex& ColumnsCacheMutex() {
+  static std::mutex mu;
+  return mu;
+}
+}  // namespace
 
 Result<RelId> Database::AddRelation(
     const std::string& name, const std::vector<std::string>& column_names) {
@@ -15,6 +27,7 @@ Result<RelId> Database::AddRelation(
   }
   relations_.emplace_back(Scheme(std::move(cols)));
   FRO_CHECK_EQ(relations_.size(), static_cast<size_t>(rel) + 1);
+  InvalidateAllColumns();  // relations_ may have reallocated
   return rel;
 }
 
@@ -36,11 +49,13 @@ Result<RelId> Database::CloneRelation(RelId source,
 void Database::SetRows(RelId rel, std::vector<Tuple> rows) {
   FRO_CHECK_LT(rel, relations_.size());
   relations_[rel] = Relation(relations_[rel].scheme(), std::move(rows));
+  InvalidateColumns(rel);
 }
 
 void Database::AddRow(RelId rel, std::vector<Value> values) {
   FRO_CHECK_LT(rel, relations_.size());
   relations_[rel].AddRow(std::move(values));
+  InvalidateColumns(rel);
 }
 
 const Relation& Database::relation(RelId rel) const {
@@ -50,7 +65,31 @@ const Relation& Database::relation(RelId rel) const {
 
 Relation* Database::mutable_relation(RelId rel) {
   FRO_CHECK_LT(rel, relations_.size());
+  InvalidateColumns(rel);  // the caller may mutate rows through this
   return &relations_[rel];
+}
+
+std::shared_ptr<RelationColumns> Database::CachedColumns(RelId rel) const {
+  FRO_CHECK_LT(rel, relations_.size());
+  std::lock_guard<std::mutex> lock(ColumnsCacheMutex());
+  if (columns_cache_.size() != relations_.size()) {
+    columns_cache_.resize(relations_.size());
+  }
+  std::shared_ptr<RelationColumns>& slot = columns_cache_[rel];
+  if (slot == nullptr) {
+    slot = std::make_shared<RelationColumns>(&relations_[rel]);
+  }
+  return slot;
+}
+
+void Database::InvalidateColumns(RelId rel) {
+  std::lock_guard<std::mutex> lock(ColumnsCacheMutex());
+  if (rel < columns_cache_.size()) columns_cache_[rel].reset();
+}
+
+void Database::InvalidateAllColumns() {
+  std::lock_guard<std::mutex> lock(ColumnsCacheMutex());
+  columns_cache_.clear();
 }
 
 AttrId Database::Attr(const std::string& rel_name,

@@ -3,9 +3,11 @@
 #ifndef FRO_RELATIONAL_DATABASE_H_
 #define FRO_RELATIONAL_DATABASE_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "relational/column.h"
 #include "relational/relation.h"
 #include "relational/schema.h"
 
@@ -40,6 +42,15 @@ class Database {
   Relation* mutable_relation(RelId rel);
   const Scheme& scheme(RelId rel) const { return relation(rel).scheme(); }
 
+  /// Lazily-columnized mirror of `rel`'s rows, built on first request
+  /// and shared by every scan over this database afterwards — the
+  /// transpose is paid once per relation, not once per plan build.
+  /// Thread-safe against concurrent CachedColumns calls (concurrent
+  /// queries); mutating the relation through this Database's API drops
+  /// the cached mirror, under the usual contract that mutation does not
+  /// race query execution (scans already hold `rows()` by reference).
+  std::shared_ptr<RelationColumns> CachedColumns(RelId rel) const;
+
   const Catalog& catalog() const { return catalog_; }
   Catalog* mutable_catalog() { return &catalog_; }
   size_t num_relations() const { return relations_.size(); }
@@ -51,8 +62,18 @@ class Database {
   RelId Rel(const std::string& name) const;
 
  private:
+  /// Forgets cached column mirrors: the affected slot on row mutation,
+  /// every slot when relations_ may have reallocated (AddRelation).
+  void InvalidateColumns(RelId rel);
+  void InvalidateAllColumns();
+
   Catalog catalog_;
   std::vector<Relation> relations_;
+  /// Parallel to relations_. Mirrors hold `const Relation*` into
+  /// relations_, which stays stable under Database moves (the vector's
+  /// heap buffer moves wholesale) but not under AddRelation
+  /// reallocation — hence InvalidateAllColumns there.
+  mutable std::vector<std::shared_ptr<RelationColumns>> columns_cache_;
 };
 
 }  // namespace fro

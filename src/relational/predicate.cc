@@ -1,9 +1,11 @@
 #include "relational/predicate.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "common/check.h"
 #include "common/hash.h"
+#include "relational/column.h"
 
 namespace fro {
 
@@ -551,6 +553,335 @@ TriBool BoundPredicate::EvalNode(uint32_t index, const Tuple& tuple) const {
                  : TriBool::kFalse;
   }
   return TriBool::kUnknown;
+}
+
+// --- VectorPredicate -----------------------------------------------------
+
+void VectorPredicate::Bind(const PredicatePtr& pred, const Scheme& scheme) {
+  FRO_CHECK(pred != nullptr);
+  nodes_.clear();
+  col_positions_.clear();
+  Compile(*pred, scheme);
+  for (const Node& node : nodes_) {
+    for (int pos : {node.lhs_pos, node.rhs_pos}) {
+      if (pos >= 0 && std::find(col_positions_.begin(), col_positions_.end(),
+                                pos) == col_positions_.end()) {
+        col_positions_.push_back(pos);
+      }
+    }
+  }
+  true_masks_.resize(nodes_.size());
+  false_masks_.resize(nodes_.size());
+}
+
+uint32_t VectorPredicate::Compile(const Predicate& pred,
+                                  const Scheme& scheme) {
+  const uint32_t index = static_cast<uint32_t>(nodes_.size());
+  nodes_.emplace_back();
+  {
+    Node& node = nodes_[index];
+    node.kind = pred.kind();
+    switch (pred.kind()) {
+      case Predicate::Kind::kConst:
+        node.const_value = pred.const_value();
+        break;
+      case Predicate::Kind::kCmp:
+      case Predicate::Kind::kIsNull: {
+        node.op = pred.cmp_op();
+        auto bind_operand = [&](const Operand& op, int* pos, Value* lit) {
+          if (op.is_column()) {
+            *pos = scheme.IndexOf(op.attr());
+            FRO_CHECK_GE(*pos, 0)
+                << "operand column " << op.attr() << " not in scheme";
+          } else {
+            *pos = -1;
+            *lit = op.literal();
+          }
+        };
+        bind_operand(pred.lhs(), &node.lhs_pos, &node.lhs_lit);
+        if (pred.kind() == Predicate::Kind::kCmp) {
+          bind_operand(pred.rhs(), &node.rhs_pos, &node.rhs_lit);
+        }
+        break;
+      }
+      case Predicate::Kind::kAnd:
+      case Predicate::Kind::kOr:
+      case Predicate::Kind::kNot:
+        break;
+    }
+  }
+  std::vector<uint32_t> children;
+  for (const PredicatePtr& child : pred.children()) {
+    children.push_back(Compile(*child, scheme));
+  }
+  nodes_[index].children = std::move(children);
+  return index;
+}
+
+namespace {
+
+// A comparison side lowered for the dense kernels: contiguous doubles
+// (possibly a conversion/broadcast into scratch) plus an optional null
+// mask.
+struct DenseSide {
+  const double* data = nullptr;
+  const uint8_t* nulls = nullptr;  // nullptr = never null
+};
+
+enum class SideClass : uint8_t {
+  kDense,       // numeric doubles ready for the tight loops
+  kAllUnknown,  // null literal / all-null column: every outcome Unknown
+  kGeneric,     // strings or mixed kinds: scalar fallback
+};
+
+SideClass ClassifySide(int pos, const Value& lit,
+                       const ColumnVector* const* cols, size_t offset,
+                       size_t n, std::vector<double>* scratch,
+                       DenseSide* out) {
+  if (pos < 0) {
+    if (lit.is_null()) return SideClass::kAllUnknown;
+    if (lit.kind() == Value::Kind::kString) return SideClass::kGeneric;
+    scratch->assign(n, lit.NumericValue());
+    out->data = scratch->data();
+    out->nulls = nullptr;
+    return SideClass::kDense;
+  }
+  const ColumnVector& col = *cols[pos];
+  switch (col.tag()) {
+    case ColumnVector::Tag::kEmpty:
+      return SideClass::kAllUnknown;
+    case ColumnVector::Tag::kGeneric:
+      return SideClass::kGeneric;
+    case ColumnVector::Tag::kDouble:
+      out->data = col.doubles() + offset;
+      out->nulls = col.null_mask() + offset;
+      return SideClass::kDense;
+    case ColumnVector::Tag::kInt: {
+      scratch->resize(n);
+      const int64_t* v = col.ints() + offset;
+      double* d = scratch->data();
+      for (size_t i = 0; i < n; ++i) d[i] = static_cast<double>(v[i]);
+      out->data = scratch->data();
+      out->nulls = col.null_mask() + offset;
+      return SideClass::kDense;
+    }
+  }
+  return SideClass::kGeneric;
+}
+
+TriBool SqlCmp(CmpOp op, const Value& a, const Value& b) {
+  switch (op) {
+    case CmpOp::kEq:
+      return SqlEq(a, b);
+    case CmpOp::kNe:
+      return SqlNe(a, b);
+    case CmpOp::kLt:
+      return SqlLt(a, b);
+    case CmpOp::kLe:
+      return SqlLe(a, b);
+    case CmpOp::kGt:
+      return SqlGt(a, b);
+    case CmpOp::kGe:
+      return SqlGe(a, b);
+  }
+  return TriBool::kUnknown;
+}
+
+}  // namespace
+
+void VectorPredicate::EvalCmp(const Node& node,
+                              const ColumnVector* const* cols, size_t offset,
+                              size_t n, uint8_t* t, uint8_t* f) {
+  DenseSide lhs, rhs;
+  const SideClass cl = ClassifySide(node.lhs_pos, node.lhs_lit, cols, offset,
+                                    n, &lhs_scratch_, &lhs);
+  const SideClass cr = ClassifySide(node.rhs_pos, node.rhs_lit, cols, offset,
+                                    n, &rhs_scratch_, &rhs);
+  if (cl == SideClass::kAllUnknown || cr == SideClass::kAllUnknown) {
+    // Comparison with a definite null is Unknown on every row.
+    std::memset(t, 0, n);
+    std::memset(f, 0, n);
+    return;
+  }
+  if (cl == SideClass::kDense && cr == SideClass::kDense) {
+    const double* a = lhs.data;
+    const double* b = rhs.data;
+    // CompareSql derives its result from `<` and `>` alone (so NaN
+    // compares "equal"); the kernels mirror that exactly rather than
+    // using operator==.
+    switch (node.op) {
+      case CmpOp::kEq:
+        for (size_t i = 0; i < n; ++i) {
+          const uint8_t c = static_cast<uint8_t>(!(a[i] < b[i]) &
+                                                 !(a[i] > b[i]));
+          t[i] = c;
+          f[i] = static_cast<uint8_t>(c ^ 1);
+        }
+        break;
+      case CmpOp::kNe:
+        for (size_t i = 0; i < n; ++i) {
+          const uint8_t c =
+              static_cast<uint8_t>((a[i] < b[i]) | (a[i] > b[i]));
+          t[i] = c;
+          f[i] = static_cast<uint8_t>(c ^ 1);
+        }
+        break;
+      case CmpOp::kLt:
+        for (size_t i = 0; i < n; ++i) {
+          const uint8_t c = static_cast<uint8_t>(a[i] < b[i]);
+          t[i] = c;
+          f[i] = static_cast<uint8_t>(c ^ 1);
+        }
+        break;
+      case CmpOp::kLe:
+        for (size_t i = 0; i < n; ++i) {
+          const uint8_t c = static_cast<uint8_t>(!(a[i] > b[i]));
+          t[i] = c;
+          f[i] = static_cast<uint8_t>(c ^ 1);
+        }
+        break;
+      case CmpOp::kGt:
+        for (size_t i = 0; i < n; ++i) {
+          const uint8_t c = static_cast<uint8_t>(a[i] > b[i]);
+          t[i] = c;
+          f[i] = static_cast<uint8_t>(c ^ 1);
+        }
+        break;
+      case CmpOp::kGe:
+        for (size_t i = 0; i < n; ++i) {
+          const uint8_t c = static_cast<uint8_t>(!(a[i] < b[i]));
+          t[i] = c;
+          f[i] = static_cast<uint8_t>(c ^ 1);
+        }
+        break;
+    }
+    // Null rows demote to Unknown after the fact: a branch-free mask
+    // application instead of a branch inside the compare loop.
+    if (lhs.nulls != nullptr) {
+      const uint8_t* nm = lhs.nulls;
+      for (size_t i = 0; i < n; ++i) {
+        const uint8_t k = static_cast<uint8_t>(nm[i] == 0);
+        t[i] &= k;
+        f[i] &= k;
+      }
+    }
+    if (rhs.nulls != nullptr) {
+      const uint8_t* nm = rhs.nulls;
+      for (size_t i = 0; i < n; ++i) {
+        const uint8_t k = static_cast<uint8_t>(nm[i] == 0);
+        t[i] &= k;
+        f[i] &= k;
+      }
+    }
+    return;
+  }
+  // Scalar fallback: at least one side is generic storage. Values are
+  // fetched by reference where stored (generic arrays, literals) and via
+  // a per-row temporary for typed columns.
+  Value tmp_a, tmp_b;
+  auto fetch = [&](int pos, const Value& lit, size_t i,
+                   Value* tmp) -> const Value* {
+    if (pos < 0) return &lit;
+    const ColumnVector& col = *cols[pos];
+    if (col.tag() == ColumnVector::Tag::kGeneric) {
+      return &col.generic()[offset + i];
+    }
+    *tmp = col.ValueAt(offset + i);
+    return tmp;
+  };
+  for (size_t i = 0; i < n; ++i) {
+    const Value* a = fetch(node.lhs_pos, node.lhs_lit, i, &tmp_a);
+    const Value* b = fetch(node.rhs_pos, node.rhs_lit, i, &tmp_b);
+    const TriBool r = SqlCmp(node.op, *a, *b);
+    t[i] = static_cast<uint8_t>(r == TriBool::kTrue);
+    f[i] = static_cast<uint8_t>(r == TriBool::kFalse);
+  }
+}
+
+void VectorPredicate::EvalNode(uint32_t index,
+                               const ColumnVector* const* cols, size_t offset,
+                               size_t n) {
+  const Node& node = nodes_[index];
+  true_masks_[index].resize(n);
+  false_masks_[index].resize(n);
+  uint8_t* t = true_masks_[index].data();
+  uint8_t* f = false_masks_[index].data();
+  switch (node.kind) {
+    case Predicate::Kind::kConst:
+      std::memset(t, node.const_value ? 1 : 0, n);
+      std::memset(f, node.const_value ? 0 : 1, n);
+      break;
+    case Predicate::Kind::kCmp:
+      EvalCmp(node, cols, offset, n, t, f);
+      break;
+    case Predicate::Kind::kAnd:
+      // Kleene AND over masks: True iff all True, False iff any False.
+      // No short-circuit — the connectives are total functions, so full
+      // evaluation matches the row engine's early-out exactly.
+      for (size_t c = 0; c < node.children.size(); ++c) {
+        const uint32_t child = node.children[c];
+        EvalNode(child, cols, offset, n);
+        const uint8_t* ct = true_masks_[child].data();
+        const uint8_t* cf = false_masks_[child].data();
+        if (c == 0) {
+          std::memcpy(t, ct, n);
+          std::memcpy(f, cf, n);
+        } else {
+          for (size_t i = 0; i < n; ++i) t[i] &= ct[i];
+          for (size_t i = 0; i < n; ++i) f[i] |= cf[i];
+        }
+      }
+      break;
+    case Predicate::Kind::kOr:
+      for (size_t c = 0; c < node.children.size(); ++c) {
+        const uint32_t child = node.children[c];
+        EvalNode(child, cols, offset, n);
+        const uint8_t* ct = true_masks_[child].data();
+        const uint8_t* cf = false_masks_[child].data();
+        if (c == 0) {
+          std::memcpy(t, ct, n);
+          std::memcpy(f, cf, n);
+        } else {
+          for (size_t i = 0; i < n; ++i) t[i] |= ct[i];
+          for (size_t i = 0; i < n; ++i) f[i] &= cf[i];
+        }
+      }
+      break;
+    case Predicate::Kind::kNot: {
+      const uint32_t child = node.children[0];
+      EvalNode(child, cols, offset, n);
+      std::memcpy(t, false_masks_[child].data(), n);
+      std::memcpy(f, true_masks_[child].data(), n);
+      break;
+    }
+    case Predicate::Kind::kIsNull:
+      if (node.lhs_pos < 0) {
+        const uint8_t is_null = node.lhs_lit.is_null() ? 1 : 0;
+        std::memset(t, is_null, n);
+        std::memset(f, is_null ^ 1, n);
+      } else {
+        const uint8_t* nm = cols[node.lhs_pos]->null_mask() + offset;
+        for (size_t i = 0; i < n; ++i) {
+          const uint8_t is_null = static_cast<uint8_t>(nm[i] != 0);
+          t[i] = is_null;
+          f[i] = static_cast<uint8_t>(is_null ^ 1);
+        }
+      }
+      break;
+  }
+}
+
+void VectorPredicate::Eval(const ColumnVector* const* cols, size_t offset,
+                           size_t n, uint8_t* out_true, uint8_t* out_false) {
+  FRO_CHECK(bound());
+  if (n == 0) return;
+  EvalNode(0, cols, offset, n);
+  if (out_true != nullptr) {
+    std::memcpy(out_true, true_masks_[0].data(), n);
+  }
+  if (out_false != nullptr) {
+    std::memcpy(out_false, false_masks_[0].data(), n);
+  }
 }
 
 }  // namespace fro

@@ -163,6 +163,73 @@ class BoundPredicate {
   std::vector<Node> nodes_;
 };
 
+class ColumnVector;
+
+/// A predicate compiled against one fixed Scheme for column-at-a-time
+/// evaluation: the batch engine's kernel form of BoundPredicate. Where
+/// BoundPredicate walks the tree once per row, VectorPredicate walks it
+/// once per batch, each node producing two byte masks over the rows —
+/// is-True and is-False (neither set = Unknown, the 3VL encoding that
+/// makes Kleene connectives plain byte ops: AND is t1&t2 / f1|f2, OR is
+/// t1|t2 / f1&f2, NOT swaps). Comparisons over dense numeric columns run
+/// as tight auto-vectorizable loops with the null masks folded in
+/// afterwards; generic (string/mixed) columns fall back to a scalar loop
+/// over stored Values. Row-for-row equivalent to BoundPredicate::Eval —
+/// including the quirk that SQL numeric comparison is expressed purely
+/// via `<` and `>` (so kernels use e.g. !(a<b)&&!(a>b) for equality
+/// rather than operator==).
+class VectorPredicate {
+ public:
+  VectorPredicate() = default;
+  VectorPredicate(const PredicatePtr& pred, const Scheme& scheme) {
+    Bind(pred, scheme);
+  }
+
+  void Bind(const PredicatePtr& pred, const Scheme& scheme);
+  bool bound() const { return !nodes_.empty(); }
+
+  /// Evaluates rows [offset, offset+n) of a columnized input. `cols` is
+  /// indexed by bound-scheme position (length = scheme size; positions
+  /// the predicate never references may be null). out_true[i] /
+  /// out_false[i] receive 1 where row offset+i evaluates True / False;
+  /// either output may be null when not needed. Not const: reuses
+  /// per-instance scratch, so each thread needs its own VectorPredicate
+  /// (batch operators are per-worker already).
+  void Eval(const ColumnVector* const* cols, size_t offset, size_t n,
+            uint8_t* out_true, uint8_t* out_false);
+
+  /// Distinct bound-scheme positions the predicate reads: the columns a
+  /// caller must supply in `cols` (others may be left null).
+  const std::vector<int>& column_positions() const { return col_positions_; }
+
+ private:
+  struct Node {
+    Predicate::Kind kind = Predicate::Kind::kConst;
+    bool const_value = true;
+    CmpOp op = CmpOp::kEq;
+    int lhs_pos = -1;  // column position in the bound scheme, or -1
+    int rhs_pos = -1;
+    Value lhs_lit;
+    Value rhs_lit;
+    std::vector<uint32_t> children;
+  };
+
+  uint32_t Compile(const Predicate& pred, const Scheme& scheme);
+  void EvalNode(uint32_t index, const ColumnVector* const* cols,
+                size_t offset, size_t n);
+  void EvalCmp(const Node& node, const ColumnVector* const* cols,
+               size_t offset, size_t n, uint8_t* t, uint8_t* f);
+
+  std::vector<Node> nodes_;
+  std::vector<int> col_positions_;
+  // Per-node result masks and dense-side conversion buffers, reused
+  // across batches so steady-state evaluation never allocates.
+  std::vector<std::vector<uint8_t>> true_masks_;
+  std::vector<std::vector<uint8_t>> false_masks_;
+  std::vector<double> lhs_scratch_;
+  std::vector<double> rhs_scratch_;
+};
+
 /// Convenience factories for the common column/column and column/literal
 /// comparisons.
 PredicatePtr EqCols(AttrId a, AttrId b);

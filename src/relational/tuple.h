@@ -44,6 +44,12 @@ class Tuple {
   /// null (the padding convention). `src` must not alias this tuple.
   void AssignMapped(const Tuple& src, const std::vector<int>& positions);
 
+  /// Element-wise write access for the batch engine's column-to-row
+  /// materialization: resize to the target arity (reusing storage like
+  /// the Assign helpers), then overwrite values in place.
+  void ResizeForWrite(size_t arity) { values_.resize(arity); }
+  Value* mutable_value(size_t i) { return &values_[i]; }
+
   /// Structural equality (null == null), for bag semantics.
   bool operator==(const Tuple& other) const { return values_ == other.values_; }
   bool operator<(const Tuple& other) const { return values_ < other.values_; }
