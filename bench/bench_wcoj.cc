@@ -1,0 +1,238 @@
+// Worst-case-optimal multiway join vs the best binary plan on cyclic
+// cores (triangle, 4-cycle, diamond). The triangle and 4-cycle use the
+// classic AGM-hard edge relations {0}x[1..m] u [1..m]x{0} u {(0,0)}:
+// every pairwise join produces a ~(m+1)^2 intermediate while the cycle
+// output stays O(m), so the leapfrog triejoin's advantage grows with m.
+// The diamond (two triangles sharing an edge) runs over skewed random
+// data from testing/datagen.
+//
+// For every workload and scale the query is planned twice — once with
+// multiway joins disabled (the DPccp binary plan) and once collapsed to
+// a single kMultiwayJoin — and both plans are drained through the batch
+// engine with cross-checked cardinalities. Emits a JSON array on stdout
+// (scripts/bench.sh redirects it into BENCH_PR8.json); each row is
+// {pipeline, rows, out_rows, batch_ns, batch_min_ns, batch_max_ns} with
+// "speedup_vs_binary" on the multiway rows — the field the PR 8
+// acceptance bar (>= 3x on the largest triangle) reads, while
+// batch_ns/batch_min_ns let scripts/bench_compare.py gate regressions.
+// `--smoke` reduces the repetition count for CI.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "algebra/expr.h"
+#include "common/check.h"
+#include "common/rng.h"
+#include "exec/build.h"
+#include "optimizer/optimizer.h"
+#include "optimizer/wcoj_rewrite.h"
+#include "relational/predicate.h"
+#include "testing/datagen.h"
+
+namespace fro {
+namespace {
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct Timing {
+  int64_t median_ns = 0;
+  int64_t min_ns = 0;
+  int64_t max_ns = 0;
+};
+
+template <typename RunOnce>
+Timing MeasureReps(int reps, RunOnce&& run_once) {
+  std::vector<int64_t> samples;
+  samples.reserve(static_cast<size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    const int64_t start = NowNs();
+    run_once();
+    samples.push_back(NowNs() - start);
+  }
+  std::sort(samples.begin(), samples.end());
+  Timing t;
+  const size_t n = samples.size();
+  t.median_ns = n % 2 == 1 ? samples[n / 2]
+                           : (samples[n / 2 - 1] + samples[n / 2]) / 2;
+  t.min_ns = samples.front();
+  t.max_ns = samples.back();
+  return t;
+}
+
+struct Report {
+  std::string pipeline;
+  size_t rows;      // total input rows across the operands
+  size_t out_rows;  // result cardinality (identical for both plans)
+  Timing timing;
+  double speedup_vs_binary = 0;  // multiway rows only
+};
+
+// The AGM-hard edge relation: (0, j) and (j, 0) for j in [1, m], plus
+// (0, 0). Key 0 is a heavy hitter on both columns.
+void FillAgmEdges(Database* db, RelId rel, int m) {
+  db->AddRow(rel, {Value::Int(0), Value::Int(0)});
+  for (int j = 1; j <= m; ++j) {
+    db->AddRow(rel, {Value::Int(0), Value::Int(j)});
+    db->AddRow(rel, {Value::Int(j), Value::Int(0)});
+  }
+}
+
+// A k-cycle join query over relations R0..R{k-1}(a0, a1):
+// Ri.a1 = R{i+1}.a0 around the cycle.
+ExprPtr CycleQuery(const Database& db, int k) {
+  auto attr = [&](int i, const char* name) {
+    return db.Attr("R" + std::to_string(i), name);
+  };
+  ExprPtr expr = Expr::Leaf(0, db);
+  for (int i = 1; i < k - 1; ++i) {
+    expr = Expr::Join(expr, Expr::Leaf(static_cast<RelId>(i), db),
+                      EqCols(attr(i - 1, "a1"), attr(i, "a0")));
+  }
+  PredicatePtr closing =
+      AndOf(EqCols(attr(k - 2, "a1"), attr(k - 1, "a0")),
+            EqCols(attr(k - 1, "a1"), attr(0, "a0")));
+  return Expr::Join(expr, Expr::Leaf(static_cast<RelId>(k - 1), db),
+                    closing);
+}
+
+// Diamond: two triangles sharing the A-C edge. Five equality classes
+// over four 3-attribute relations.
+ExprPtr DiamondQuery(const Database& db) {
+  auto attr = [&](int i, const char* name) {
+    return db.Attr("R" + std::to_string(i), name);
+  };
+  ExprPtr ab = Expr::Join(Expr::Leaf(0, db), Expr::Leaf(1, db),
+                          EqCols(attr(0, "a0"), attr(1, "a0")));
+  ExprPtr abc = Expr::Join(ab, Expr::Leaf(2, db),
+                           AndOf(EqCols(attr(1, "a1"), attr(2, "a0")),
+                                 EqCols(attr(0, "a1"), attr(2, "a1"))));
+  return Expr::Join(abc, Expr::Leaf(3, db),
+                    AndOf(EqCols(attr(2, "a2"), attr(3, "a0")),
+                          EqCols(attr(0, "a2"), attr(3, "a1"))));
+}
+
+size_t TotalRows(const Database& db, int num_rels) {
+  size_t total = 0;
+  for (RelId r = 0; r < static_cast<RelId>(num_rels); ++r) {
+    total += db.relation(r).NumRows();
+  }
+  return total;
+}
+
+void Measure(const std::string& name, const ExprPtr& query,
+             const Database& db, int num_rels, int reps,
+             std::vector<Report>* reports) {
+  OptimizeOptions off;
+  off.enable_multiway_joins = false;
+  Result<OptimizeOutcome> binary = Optimize(query, db, off);
+  FRO_CHECK(binary.ok()) << binary.status().ToString();
+  ExprPtr multiway = ForceMultiwayJoins(query);
+
+  const size_t rows = TotalRows(db, num_rels);
+  size_t binary_out = 0, multiway_out = 0;
+  // One untimed warmup per plan: the fastest pipelines finish in
+  // microseconds, where cold caches would dominate the first sample.
+  binary_out = ExecuteBatched(binary->plan, db).NumRows();
+  multiway_out = ExecuteBatched(multiway, db).NumRows();
+  const Timing binary_t = MeasureReps(reps, [&] {
+    binary_out = ExecuteBatched(binary->plan, db).NumRows();
+  });
+  const Timing multiway_t = MeasureReps(reps, [&] {
+    multiway_out = ExecuteBatched(multiway, db).NumRows();
+  });
+  FRO_CHECK(binary_out == multiway_out)
+      << name << ": binary " << binary_out << " rows, multiway "
+      << multiway_out;
+
+  reports->push_back({name + "_binary", rows, binary_out, binary_t, 0});
+  reports->push_back({name + "_multiway", rows, multiway_out, multiway_t,
+                      static_cast<double>(binary_t.median_ns) /
+                          static_cast<double>(multiway_t.median_ns)});
+}
+
+void Emit(const std::vector<Report>& reports) {
+  std::printf("[\n");
+  for (size_t i = 0; i < reports.size(); ++i) {
+    const Report& r = reports[i];
+    std::printf(
+        "  {\"pipeline\": \"%s\", \"rows\": %zu, \"out_rows\": %zu, "
+        "\"batch_ns\": %lld, \"batch_min_ns\": %lld, "
+        "\"batch_max_ns\": %lld",
+        r.pipeline.c_str(), r.rows, r.out_rows,
+        static_cast<long long>(r.timing.median_ns),
+        static_cast<long long>(r.timing.min_ns),
+        static_cast<long long>(r.timing.max_ns));
+    if (r.speedup_vs_binary > 0) {
+      std::printf(", \"speedup_vs_binary\": %.2f", r.speedup_vs_binary);
+    }
+    std::printf("}%s\n", i + 1 < reports.size() ? "," : "");
+  }
+  std::printf("]\n");
+}
+
+int Main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      return 2;
+    }
+  }
+  // Smoke lowers the repetition count only: the scales (and so the
+  // pipeline names) stay identical, which scripts/bench_compare.py
+  // needs to match a smoke run against the committed full-run baseline.
+  const int reps = smoke ? 5 : 9;
+  const std::vector<int> triangle_scales = {50, 100, 200, 400};
+  const std::vector<int> cycle_scales = {50, 100, 200};
+  const std::vector<int> diamond_rows = {1000, 4000};
+
+  std::vector<Report> reports;
+  for (int m : triangle_scales) {
+    Database db;
+    for (int i = 0; i < 3; ++i) {
+      RelId r = *db.AddRelation("R" + std::to_string(i), {"a0", "a1"});
+      FillAgmEdges(&db, r, m);
+    }
+    Measure("triangle_m" + std::to_string(m), CycleQuery(db, 3), db, 3,
+            reps, &reports);
+  }
+  for (int m : cycle_scales) {
+    Database db;
+    for (int i = 0; i < 4; ++i) {
+      RelId r = *db.AddRelation("R" + std::to_string(i), {"a0", "a1"});
+      FillAgmEdges(&db, r, m);
+    }
+    Measure("four_cycle_m" + std::to_string(m), CycleQuery(db, 4), db, 4,
+            reps, &reports);
+  }
+  for (int n : diamond_rows) {
+    Rng rng(0x8a9);
+    RandomRowsOptions rows;
+    rows.rows_min = n;
+    rows.rows_max = n;
+    rows.domain = std::max(4, n / 8);
+    rows.null_prob = 0.05;
+    rows.skew = 2;
+    std::unique_ptr<Database> db = MakeRandomDatabase(4, 3, rows, &rng);
+    Measure("diamond_n" + std::to_string(n), DiamondQuery(*db), *db, 4,
+            reps, &reports);
+  }
+  Emit(reports);
+  return 0;
+}
+
+}  // namespace
+}  // namespace fro
+
+int main(int argc, char** argv) { return fro::Main(argc, argv); }

@@ -9,6 +9,9 @@
 #   BENCH_PR7.json  bench_batch — tuple vs (columnar) batch engine on
 #                   scan/filter/hash-join pipelines (streaming +
 #                   materializing; median of >=5 reps with min/max)
+#   BENCH_PR8.json  bench_wcoj — leapfrog multiway join vs the best
+#                   binary plan on cyclic cores (triangle, 4-cycle,
+#                   diamond; speedup_vs_binary per scale)
 #
 # BENCH_PR4.json stays frozen as the pre-columnar row-batch baseline
 # the PR 7 speedup target is measured against; bench_batch now writes
@@ -30,7 +33,7 @@ for arg in "$@"; do
 done
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
-cmake --build "$BUILD_DIR" --target bench_search_report bench_server bench_batch bench_parallel -j"$(nproc)"
+cmake --build "$BUILD_DIR" --target bench_search_report bench_server bench_batch bench_parallel bench_wcoj -j"$(nproc)"
 "$BUILD_DIR/bench/bench_search_report" $SMOKE > BENCH_PR2.json
 echo "wrote BENCH_PR2.json:"
 cat BENCH_PR2.json
@@ -43,3 +46,6 @@ cat BENCH_PR7.json
 "$BUILD_DIR/bench/bench_parallel" $SMOKE > BENCH_PR6.json
 echo "wrote BENCH_PR6.json:"
 cat BENCH_PR6.json
+"$BUILD_DIR/bench/bench_wcoj" $SMOKE > BENCH_PR8.json
+echo "wrote BENCH_PR8.json:"
+cat BENCH_PR8.json

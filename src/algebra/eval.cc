@@ -42,6 +42,35 @@ class Evaluator {
         Account(ks, expr->left(), expr->right().get(), out, is_root);
         return out;
       }
+      case OpKind::kMultiwayJoin: {
+        // Reference semantics: the filtered cross product of the operands
+        // in scheme order. The leapfrog executor must agree with this
+        // exactly (bag multiplicities, 3VL residuals, column order).
+        Relation acc = EvalNode(expr->mj_children()[0], /*is_root=*/false);
+        if (expr->mj_children()[0]->is_leaf() && stats_ != nullptr) {
+          stats_->base_tuples_read += acc.NumRows();
+        }
+        for (size_t i = 1; i < expr->mj_children().size(); ++i) {
+          const ExprPtr& child = expr->mj_children()[i];
+          Relation next = EvalNode(child, /*is_root=*/false);
+          KernelStats ks;
+          Relation joined = CrossProduct(acc, next, &ks);
+          if (stats_ != nullptr) {
+            stats_->totals += ks;
+            if (child->is_leaf()) stats_->base_tuples_read += ks.right_reads;
+            stats_->intermediate_tuples += joined.NumRows();
+          }
+          acc = std::move(joined);
+        }
+        if (expr->pred() == nullptr) return acc;
+        KernelStats ks;
+        Relation out = Restrict(acc, expr->pred(), &ks);
+        if (stats_ != nullptr) {
+          stats_->totals += ks;
+          if (!is_root) stats_->intermediate_tuples += out.NumRows();
+        }
+        return out;
+      }
       default:
         return EvalJoinLike(expr, is_root);
     }
@@ -66,7 +95,7 @@ class Evaluator {
       EquiKeys keys = ExtractEquiKeys(expr->pred(), anchor_rel.scheme(),
                                       other_rel.scheme());
       if (keys.Usable()) {
-        prebuilt = options_.indexes->Find(other->rel(), keys.right);
+        prebuilt = options_.indexes->Find(db_, other->rel(), keys.right);
       }
     }
 

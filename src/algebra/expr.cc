@@ -33,6 +33,13 @@ uint64_t ComputeNodeHash(const Expr& node) {
       h = HashMix(h, node.project_dedup() ? 1 : 2);
       for (AttrId attr : node.project_cols()) h = HashMix(h, attr);
       return HashMix(h, node.left()->hash());
+    case OpKind::kMultiwayJoin:
+      h = HashMix(h, node.pred() != nullptr ? node.pred()->Hash() : 0);
+      for (const ExprPtr& child : node.mj_children()) {
+        h = HashMix(h, child->hash());
+      }
+      for (AttrId attr : node.mj_var_order()) h = HashMix(h, attr);
+      return h;
     default:
       h = HashMix(h, node.preserves_left() ? 1 : 2);
       h = HashMix(h, node.pred() != nullptr ? node.pred()->Hash() : 0);
@@ -66,6 +73,9 @@ bool SameNode(const Expr& a, const Expr& b) {
       return a.left() == b.left() &&
              a.project_dedup() == b.project_dedup() &&
              a.project_cols() == b.project_cols();
+    case OpKind::kMultiwayJoin:
+      return a.mj_children() == b.mj_children() &&
+             a.mj_var_order() == b.mj_var_order() && preds_equal();
     default:
       return a.left() == b.left() && a.right() == b.right() &&
              a.preserves_left() == b.preserves_left() &&
@@ -154,6 +164,8 @@ const char* OpKindName(OpKind kind) {
       return "Restrict";
     case OpKind::kProject:
       return "Project";
+    case OpKind::kMultiwayJoin:
+      return "MultiwayJoin";
   }
   return "?";
 }
@@ -275,6 +287,25 @@ ExprPtr Expr::Project(ExprPtr child, std::vector<AttrId> cols, bool dedup) {
   return Seal(std::move(node));
 }
 
+ExprPtr Expr::MultiwayJoin(std::vector<ExprPtr> children, PredicatePtr pred,
+                           std::vector<AttrId> var_order) {
+  FRO_CHECK_GE(children.size(), 2u) << "MultiwayJoin needs >= 2 operands";
+  auto node = Make();
+  node->kind_ = OpKind::kMultiwayJoin;
+  for (const ExprPtr& child : children) {
+    FRO_CHECK(child != nullptr);
+    FRO_CHECK((node->rel_mask_ & child->rel_mask()) == 0)
+        << "multiway operands share ground relations";
+    node->rel_mask_ |= child->rel_mask();
+    node->num_leaves_ += child->num_leaves();
+    node->attrs_ = node->attrs_.Union(child->attrs());
+  }
+  node->children_ = std::move(children);
+  node->pred_ = std::move(pred);
+  node->var_order_ = std::move(var_order);
+  return Seal(std::move(node));
+}
+
 RelId Expr::rel() const {
   FRO_CHECK(kind_ == OpKind::kLeaf);
   return rel_;
@@ -316,6 +347,18 @@ std::string Expr::ToString(const Catalog* catalog, bool with_preds) const {
       }
       return std::string(project_dedup_ ? "pi" : "pi_bag") + "[" + cols +
              "](" + left_->ToString(catalog, with_preds) + ")";
+    }
+    case OpKind::kMultiwayJoin: {
+      std::string out = "MJ(";
+      for (size_t i = 0; i < children_.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += children_[i]->ToString(catalog, with_preds);
+      }
+      out += ")";
+      if (with_preds && pred_ != nullptr) {
+        out += "[" + pred_->ToString(catalog) + "]";
+      }
+      return out;
     }
     default: {
       std::string op = OpSymbol(*this);
@@ -381,6 +424,18 @@ std::string Expr::Fingerprint() const {
       for (AttrId attr : project_cols_) cols += std::to_string(attr) + ",";
       return std::string(project_dedup_ ? "P" : "Pb") + "{" + cols + "}(" +
              left_->Fingerprint() + ")";
+    }
+    case OpKind::kMultiwayJoin: {
+      std::string out = "MJ{";
+      out += pred_ != nullptr ? CanonicalPredFingerprint(*pred_) : "";
+      out += "}[";
+      for (AttrId attr : var_order_) out += std::to_string(attr) + ",";
+      out += "](";
+      for (size_t i = 0; i < children_.size(); ++i) {
+        if (i > 0) out += ",";
+        out += children_[i]->Fingerprint();
+      }
+      return out + ")";
     }
     default: {
       std::string op = OpSymbol(*this);

@@ -31,9 +31,10 @@ enum class OpKind : uint8_t {
   kAntijoin,   // paper's right-pointing / left-pointing triangle
   kSemijoin,   // future-work operator (Section 6.3)
   kGoj,        // generalized outerjoin (Section 6.2, eq. 14)
-  kUnion,      // bag union with the padding convention (Section 2.1)
+  kUnion,        // bag union with the padding convention (Section 2.1)
   kRestrict,
   kProject,
+  kMultiwayJoin,  // n-ary worst-case-optimal join over a cyclic core
 };
 
 const char* OpKindName(OpKind kind);
@@ -77,6 +78,19 @@ class Expr {
 
   static ExprPtr Project(ExprPtr child, std::vector<AttrId> cols, bool dedup);
 
+  /// N-ary inner join over `children` (all pairwise relation-disjoint),
+  /// executed worst-case-optimally by leapfrog triejoin over `var_order`
+  /// (one representative attribute per join variable, in search order).
+  /// `pred` is the full conjunction for the core — equality conjuncts
+  /// define the variables, everything else runs as a residual filter.
+  /// Output scheme is the concatenation of the children's schemes, i.e. it
+  /// is result-equivalent to the left-deep chain of regular joins over
+  /// `children` in order. Appears only in optimizer output plans; the
+  /// query-side rewrites (closure, GOJ, simplification) never see it.
+  static ExprPtr MultiwayJoin(std::vector<ExprPtr> children,
+                              PredicatePtr pred,
+                              std::vector<AttrId> var_order);
+
   OpKind kind() const { return kind_; }
   bool is_leaf() const { return kind_ == OpKind::kLeaf; }
   /// True for the binary operators that participate in implementing trees
@@ -86,10 +100,16 @@ class Expr {
            kind_ == OpKind::kAntijoin || kind_ == OpKind::kSemijoin;
   }
   bool is_binary() const { return right_ != nullptr; }
+  bool is_multiway() const { return kind_ == OpKind::kMultiwayJoin; }
 
   RelId rel() const;  // leaf only
   const ExprPtr& left() const { return left_; }
   const ExprPtr& right() const { return right_; }
+  /// kMultiwayJoin only: the n-ary operands, in output-scheme order.
+  const std::vector<ExprPtr>& mj_children() const { return children_; }
+  /// kMultiwayJoin only: global leapfrog variable order (representative
+  /// attribute per join variable).
+  const std::vector<AttrId>& mj_var_order() const { return var_order_; }
   const PredicatePtr& pred() const { return pred_; }
   bool preserves_left() const { return preserves_left_; }
   const AttrSet& goj_subset() const { return goj_subset_; }
@@ -140,6 +160,8 @@ class Expr {
   AttrSet goj_subset_;
   std::vector<AttrId> project_cols_;
   bool project_dedup_ = false;
+  std::vector<ExprPtr> children_;    // kMultiwayJoin only
+  std::vector<AttrId> var_order_;    // kMultiwayJoin only
 
   AttrSet attrs_;
   uint64_t rel_mask_ = 0;

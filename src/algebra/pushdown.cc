@@ -74,6 +74,35 @@ ExprPtr Push(const ExprPtr& expr, std::vector<PredicatePtr> pending,
                             expr->goj_subset()),
                   std::move(pending));
     }
+    case OpKind::kMultiwayJoin: {
+      // Inner-join semantics: a conjunct covered by a single operand may
+      // sink into it; the rest stay above the node.
+      std::vector<std::vector<PredicatePtr>> to_child(
+          expr->mj_children().size());
+      std::vector<PredicatePtr> stay;
+      for (const PredicatePtr& conjunct : pending) {
+        const AttrSet& refs = conjunct->References();
+        bool sunk = false;
+        for (size_t i = 0; i < expr->mj_children().size(); ++i) {
+          if (expr->mj_children()[i]->attrs().ContainsAll(refs)) {
+            to_child[i].push_back(conjunct);
+            ++*pushed;
+            sunk = true;
+            break;
+          }
+        }
+        if (!sunk) stay.push_back(conjunct);
+      }
+      std::vector<ExprPtr> children;
+      children.reserve(expr->mj_children().size());
+      for (size_t i = 0; i < expr->mj_children().size(); ++i) {
+        children.push_back(
+            Push(expr->mj_children()[i], std::move(to_child[i]), pushed));
+      }
+      return wrap(Expr::MultiwayJoin(std::move(children), expr->pred(),
+                                     expr->mj_var_order()),
+                  std::move(stay));
+    }
     default: {
       FRO_CHECK(expr->is_join_like());
       // Which operands may receive conjuncts?

@@ -79,6 +79,23 @@ ExprPtr Rewrite(const ExprPtr& expr, std::vector<PredicatePtr>* filters,
       if (left == expr->left() && right == expr->right()) return expr;
       return Expr::Goj(left, right, expr->pred(), expr->goj_subset());
     }
+    case OpKind::kMultiwayJoin: {
+      // A multiway join filters like an inner join: its predicate drops
+      // failing tuples, so it participates in the rule. The predicate may
+      // be absent (pure cross core).
+      if (expr->pred() != nullptr) filters->push_back(expr->pred());
+      bool changed = false;
+      std::vector<ExprPtr> children;
+      children.reserve(expr->mj_children().size());
+      for (const ExprPtr& child : expr->mj_children()) {
+        children.push_back(Rewrite(child, filters, converted));
+        if (children.back() != child) changed = true;
+      }
+      if (expr->pred() != nullptr) filters->pop_back();
+      if (!changed) return expr;
+      return Expr::MultiwayJoin(std::move(children), expr->pred(),
+                                expr->mj_var_order());
+    }
     case OpKind::kOuterJoin: {
       const ExprPtr& null_side =
           expr->preserves_left() ? expr->right() : expr->left();

@@ -3,6 +3,7 @@
 #include "common/check.h"
 #include "exec/batch_operators.h"
 #include "exec/operators.h"
+#include "wcoj/leapfrog.h"
 
 namespace fro {
 
@@ -49,6 +50,14 @@ IteratorPtr Build(const ExprPtr& expr, const Database& db, JoinAlgo algo) {
                                          expr->pred(), expr->goj_subset(),
                                          algo);
       break;
+    case OpKind::kMultiwayJoin: {
+      std::vector<IteratorPtr> inputs;
+      inputs.reserve(expr->mj_children().size());
+      for (const ExprPtr& child : expr->mj_children()) {
+        inputs.push_back(Build(child, db, algo));
+      }
+      return MakeLeapfrogIterator(expr, std::move(inputs));
+    }
     default: {
       // Join-like: anchor the preserved/kept operand on the left.
       ExprPtr anchor = expr->left();
@@ -110,6 +119,15 @@ BatchIteratorPtr BuildBatch(const ExprPtr& expr, const Database& db,
           BuildBatch(expr->right(), db, algo, batch_capacity), expr->pred(),
           expr->goj_subset(), algo);
       break;
+    case OpKind::kMultiwayJoin: {
+      std::vector<BatchIteratorPtr> inputs;
+      inputs.reserve(expr->mj_children().size());
+      for (const ExprPtr& child : expr->mj_children()) {
+        inputs.push_back(BuildBatch(child, db, algo, batch_capacity));
+      }
+      return MakeBatchLeapfrogIterator(expr, std::move(inputs),
+                                       batch_capacity);
+    }
     default: {
       // Join-like: anchor the preserved/kept operand on the left.
       ExprPtr anchor = expr->left();

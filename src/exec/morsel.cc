@@ -1107,6 +1107,11 @@ BatchIteratorPtr BuildParallel(const ExprPtr& expr, const Database& db,
           BuildParallel(expr->right(), db, options), expr->pred(),
           expr->goj_subset(), options.algo);
       break;
+    case OpKind::kMultiwayJoin:
+      // Leapfrog runs serially over its trie indexes (no spine to
+      // partition); build the whole subtree with the serial builder.
+      return BuildBatchIterator(expr, db, options.algo,
+                                options.batch_capacity);
     default: {
       FRO_CHECK(JoinLike(expr->kind())) << "unexpected operator kind";
       // Join-like: anchor the preserved/kept operand on the left, as the

@@ -14,7 +14,7 @@ const char* kProfileNames[] = {
     "nice-strong",    "null-heavy",  "weak-preds",
     "join-at-null",   "two-in-edges", "oj-cycle",
     "cyclic-core",    "dupfree-goj", "empty-relations",
-    "wide-scheme",
+    "wide-scheme",    "graph-pattern",
 };
 static_assert(sizeof(kProfileNames) / sizeof(kProfileNames[0]) ==
               static_cast<size_t>(FuzzProfile::kNumProfiles));
@@ -76,6 +76,27 @@ RandomQueryOptions OptionsFor(FuzzProfile profile, Rng* rng) {
       options.rows.null_prob = 0.05 + 0.1 * static_cast<double>(
                                                 rng->Uniform(5));
       break;
+    case FuzzProfile::kGraphPattern: {
+      // A fixed chordless cycle core (the wcoj rewrite collapses it to a
+      // leapfrog multiway join) with 0-2 outerjoin shell nodes hanging
+      // off. Skewed, null-heavy keys on a tiny domain make heavy hitters
+      // likely, which is where binary plans over cyclic cores blow up and
+      // where null-key trie exclusion must stay semantics-preserving.
+      options.core_shape =
+          rng->Bernoulli(0.5) ? RandomQueryOptions::CoreShape::kTriangle
+                              : RandomQueryOptions::CoreShape::kFourCycle;
+      const int cycle_len =
+          options.core_shape == RandomQueryOptions::CoreShape::kTriangle
+              ? 3
+              : 4;
+      options.num_relations = cycle_len + static_cast<int>(rng->Uniform(3));
+      options.rows.rows_min = 1;
+      options.rows.rows_max = 8;
+      options.rows.domain = 3;
+      options.rows.null_prob = 0.3;
+      options.rows.skew = 2;
+      break;
+    }
     case FuzzProfile::kNumProfiles:
       FRO_CHECK(false);
   }

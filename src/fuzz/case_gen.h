@@ -38,6 +38,9 @@ enum class FuzzProfile : uint8_t {
   kEmptyRelations,    // 0-2 rows per relation: boundary cardinalities
   kWideScheme,        // 10-20 attrs per relation, mixed null density:
                       // stresses columnar transposition and null masks
+  kGraphPattern,      // triangle/4-cycle join cores inside outerjoin
+                      // shells over skewed, null-heavy data: the shapes
+                      // the wcoj subsystem collapses to leapfrog joins
   kNumProfiles,
 };
 

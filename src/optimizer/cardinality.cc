@@ -246,6 +246,15 @@ double CardinalityEstimator::Estimate(const ExprPtr& expr) const {
     }
     case OpKind::kUnion:
       return Estimate(expr->left()) + Estimate(expr->right());
+    case OpKind::kMultiwayJoin: {
+      // Filtered cross product of the operands, same independence
+      // assumptions as the binary estimate it replaces.
+      double rows = Selectivity(expr->pred());
+      for (const ExprPtr& child : expr->mj_children()) {
+        rows *= Estimate(child);
+      }
+      return rows;
+    }
     default:
       return JoinLikeCard(expr->kind(), expr->preserves_left(), expr->pred(),
                           Estimate(expr->left()), Estimate(expr->right()));

@@ -47,6 +47,19 @@ double CostModel::PlanCost(const ExprPtr& expr) const {
       return PlanCost(expr->left());
     case OpKind::kUnion:
       return PlanCost(expr->left()) + PlanCost(expr->right());
+    case OpKind::kMultiwayJoin: {
+      // Leapfrog never materializes an intermediate wider than the
+      // output: charge the output rows (Cout) plus, for base retrievals,
+      // one full scan of each leaf operand (the trie builds).
+      double cost = 0;
+      for (const ExprPtr& child : expr->mj_children()) {
+        cost += PlanCost(child);
+        if (kind_ == CostKind::kBaseRetrievals && child->is_leaf()) {
+          cost += estimator_.Estimate(child);
+        }
+      }
+      return cost + estimator_.Estimate(expr);
+    }
     default: {
       const double left_rows = estimator_.Estimate(expr->left());
       const double right_rows = estimator_.Estimate(expr->right());

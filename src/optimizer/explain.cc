@@ -30,6 +30,18 @@ std::string NodeLabel(const Expr& node, const Database& db,
     }
     case OpKind::kUnion:
       return "Union (padded)";
+    case OpKind::kMultiwayJoin: {
+      std::string label = "MultiwayJoin (leapfrog) [vars:";
+      for (size_t i = 0; i < node.mj_var_order().size(); ++i) {
+        label += i > 0 ? ", " : " ";
+        label += catalog->AttrName(node.mj_var_order()[i]);
+      }
+      label += "]";
+      if (with_pred && node.pred() != nullptr) {
+        label += " [" + node.pred()->ToString(catalog) + "]";
+      }
+      return label;
+    }
     default: {
       std::string label = OpKindName(node.kind());
       if (node.kind() == OpKind::kOuterJoin) {
@@ -70,6 +82,9 @@ void ExplainNode(const ExprPtr& node, const Database& db,
   if (node->right() != nullptr) {
     ExplainNode(node->right(), db, estimator, options, depth + 1, out);
   }
+  for (const ExprPtr& child : node->mj_children()) {
+    ExplainNode(child, db, estimator, options, depth + 1, out);
+  }
 }
 
 void CollectDotNodes(const ExprPtr& node, const Database& db, int* counter,
@@ -91,6 +106,11 @@ void CollectDotNodes(const ExprPtr& node, const Database& db, int* counter,
   if (node->right() != nullptr) {
     int child;
     CollectDotNodes(node->right(), db, counter, out, &child);
+    out->append(StrFormat("  n%d -> n%d;\n", *my_id, child));
+  }
+  for (const ExprPtr& mj_child : node->mj_children()) {
+    int child;
+    CollectDotNodes(mj_child, db, counter, out, &child);
     out->append(StrFormat("  n%d -> n%d;\n", *my_id, child));
   }
 }

@@ -9,6 +9,7 @@
 #include "optimizer/goj_rewrite.h"
 #include "optimizer/greedy.h"
 #include "optimizer/subquery.h"
+#include "optimizer/wcoj_rewrite.h"
 
 namespace fro {
 
@@ -60,6 +61,18 @@ ExprPtr MaybePushDown(ExprPtr plan, const OptimizeOptions& options,
   return pushed.expr;
 }
 
+// Post-search pass: collapse cyclic join-only cores into worst-case-
+// optimal multiway joins (cost-gated) when requested.
+ExprPtr MaybeApplyWcoj(ExprPtr plan, const Database& db,
+                       const CostModel& cost_model,
+                       const OptimizeOptions& options,
+                       OptimizeOutcome* outcome) {
+  if (!options.enable_multiway_joins) return plan;
+  WcojRewriteResult rewritten = ApplyWcoj(plan, db, cost_model);
+  outcome->multiway_joins = rewritten.cores_collapsed;
+  return rewritten.expr;
+}
+
 // The full pipeline, bypassing `options.plan_cache`.
 Result<OptimizeOutcome> OptimizeUncached(const ExprPtr& query,
                                          const Database& db,
@@ -99,13 +112,20 @@ Result<OptimizeOutcome> OptimizeUncached(const ExprPtr& query,
       FRO_ASSIGN_OR_RETURN(best, OptimizeGreedy(*graph, db, cost_model));
     }
     outcome.plans_considered = best.plans_considered;
-    outcome.plan = MaybePushDown(RewrapRestricts(best.plan, filters),
+    ExprPtr core_plan =
+        MaybeApplyWcoj(best.plan, db, cost_model, options, &outcome);
+    outcome.plan = MaybePushDown(RewrapRestricts(core_plan, filters),
                                  options, &outcome);
     outcome.cost = cost_model.PlanCost(outcome.plan);
     outcome.notes = use_dp
                         ? "freely reorderable: DP over all implementing trees"
                         : "freely reorderable: greedy ordering (graph too "
                           "large for exact DP)";
+    if (outcome.multiway_joins > 0) {
+      outcome.notes += "; " + std::to_string(outcome.multiway_joins) +
+                       " cyclic core(s) collapsed to leapfrog multiway "
+                       "join(s)";
+    }
     return outcome;
   }
 
@@ -128,6 +148,7 @@ Result<OptimizeOutcome> OptimizeUncached(const ExprPtr& query,
       goj_blocked_by_duplicates = true;
     }
   }
+  plan = MaybeApplyWcoj(plan, db, cost_model, options, &outcome);
   outcome.plan = MaybePushDown(RewrapRestricts(plan, filters), options,
                                &outcome);
   outcome.cost = cost_model.PlanCost(outcome.plan);
@@ -142,6 +163,10 @@ Result<OptimizeOutcome> OptimizeUncached(const ExprPtr& query,
            : "") +
       (goj_blocked_by_duplicates
            ? "; GOJ rewrites skipped (duplicate rows in a base relation)"
+           : "") +
+      (outcome.multiway_joins > 0
+           ? "; " + std::to_string(outcome.multiway_joins) +
+                 " cyclic core(s) collapsed to leapfrog multiway join(s)"
            : "");
   return outcome;
 }

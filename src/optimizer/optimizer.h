@@ -37,6 +37,10 @@ struct OptimizeOptions {
   /// Largest relation count handled by the exact DP; bigger
   /// freely-reorderable graphs use greedy operator ordering instead.
   int max_dp_relations = 14;
+  /// After the binary plan search, collapse cyclic join-only cores into
+  /// worst-case-optimal multiway joins (leapfrog triejoin) when the
+  /// cost model prefers them; the outerjoin shell stays binary.
+  bool enable_multiway_joins = true;
   /// Optional plan cache, keyed on the input query's structural hash.
   /// On a hit the whole pipeline is skipped and the cached plan returned
   /// (sound for structurally identical queries; see plan_cache.h). Not
@@ -54,6 +58,8 @@ struct OptimizeOutcome {
   int outerjoins_simplified = 0;
   int goj_rewrites = 0;
   int restrictions_pushed = 0;
+  /// Cyclic cores collapsed into kMultiwayJoin nodes.
+  int multiway_joins = 0;
   /// For non-reorderable queries: maximal freely-reorderable subtrees
   /// that were DP-optimized in place (the Section 6.1 extension).
   int subqueries_reordered = 0;

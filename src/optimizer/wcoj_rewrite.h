@@ -1,0 +1,57 @@
+// Multiway-join planning: collapse cyclic join-only cores of an
+// optimized plan into kMultiwayJoin nodes (executed by the leapfrog
+// triejoin in src/wcoj/), keeping the freely-reorderable outerjoin
+// shell binary. This is where worst-case-optimal evaluation enters the
+// paper's pipeline: Theorem 1 governs the shell, the core is handed to
+// an operator whose runtime is bounded by the core's AGM fractional
+// edge cover instead of its best binary join order.
+
+#ifndef FRO_OPTIMIZER_WCOJ_REWRITE_H_
+#define FRO_OPTIMIZER_WCOJ_REWRITE_H_
+
+#include <vector>
+
+#include "algebra/expr.h"
+#include "optimizer/cost.h"
+
+namespace fro {
+
+struct WcojRewriteResult {
+  ExprPtr expr;
+  /// Cyclic cores collapsed into kMultiwayJoin nodes.
+  int cores_collapsed = 0;
+};
+
+/// Cost-gated core collapse over an optimized plan: every maximal
+/// pure-join region is scanned for cyclic cores (wcoj/cyclic_core.h);
+/// each core found is collapsed into one kMultiwayJoin node — variable
+/// order picked by exhaustive search up to 8 variables, by a
+/// degree/cardinality heuristic beyond — and the rewritten region is
+/// kept only when the cost model prefers it to the binary plan.
+/// Non-join operators (the outerjoin shell) are untouched.
+WcojRewriteResult ApplyWcoj(const ExprPtr& plan, const Database& db,
+                            const CostModel& cost_model);
+
+/// Fuzzing aid: collapses EVERY maximal pure-join region with >= 2
+/// operands into a single kMultiwayJoin — no core detection, no cost
+/// gate — so the differential driver can exercise the leapfrog operator
+/// on arbitrary join structures (including acyclic ones and cross
+/// products). Semantics-preserving: the result evaluates to the same
+/// bag as the input query.
+ExprPtr ForceMultiwayJoins(const ExprPtr& query);
+
+/// Picks the global variable order for a multiway join over `operands`
+/// with predicate `pred`: variables are the column=column equality
+/// classes spanning >= 2 operands; returns one representative attribute
+/// per variable in execution order. With an estimator and <= 8
+/// variables the order minimizes the sum of prefix products of
+/// per-variable minimum distinct counts (exhaustive); otherwise a
+/// heuristic orders by descending operand coverage, then ascending
+/// distinct count, then attribute id. Exposed for tests.
+std::vector<AttrId> ChooseVarOrder(const std::vector<ExprPtr>& operands,
+                                   const PredicatePtr& pred,
+                                   const CardinalityEstimator* estimator);
+
+}  // namespace fro
+
+#endif  // FRO_OPTIMIZER_WCOJ_REWRITE_H_

@@ -26,6 +26,7 @@ Result<RelId> Database::AddRelation(
     cols.push_back(attr);
   }
   relations_.emplace_back(Scheme(std::move(cols)));
+  generations_.push_back(0);
   FRO_CHECK_EQ(relations_.size(), static_cast<size_t>(rel) + 1);
   InvalidateAllColumns();  // relations_ may have reallocated
   return rel;
@@ -49,13 +50,20 @@ Result<RelId> Database::CloneRelation(RelId source,
 void Database::SetRows(RelId rel, std::vector<Tuple> rows) {
   FRO_CHECK_LT(rel, relations_.size());
   relations_[rel] = Relation(relations_[rel].scheme(), std::move(rows));
+  ++generations_[rel];
   InvalidateColumns(rel);
 }
 
 void Database::AddRow(RelId rel, std::vector<Value> values) {
   FRO_CHECK_LT(rel, relations_.size());
   relations_[rel].AddRow(std::move(values));
+  ++generations_[rel];
   InvalidateColumns(rel);
+}
+
+uint64_t Database::generation(RelId rel) const {
+  FRO_CHECK_LT(rel, relations_.size());
+  return generations_[rel];
 }
 
 const Relation& Database::relation(RelId rel) const {
@@ -65,6 +73,7 @@ const Relation& Database::relation(RelId rel) const {
 
 Relation* Database::mutable_relation(RelId rel) {
   FRO_CHECK_LT(rel, relations_.size());
+  ++generations_[rel];     // the handout itself is a (potential) mutation
   InvalidateColumns(rel);  // the caller may mutate rows through this
   return &relations_[rel];
 }

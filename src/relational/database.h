@@ -3,6 +3,7 @@
 #ifndef FRO_RELATIONAL_DATABASE_H_
 #define FRO_RELATIONAL_DATABASE_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -42,6 +43,12 @@ class Database {
   Relation* mutable_relation(RelId rel);
   const Scheme& scheme(RelId rel) const { return relation(rel).scheme(); }
 
+  /// Monotone per-relation mutation counter: bumped by SetRows, AddRow,
+  /// and every mutable_relation() handout. Index structures snapshot the
+  /// generation they were built at so stale snapshots are detectable
+  /// (IndexManager refuses to serve them).
+  uint64_t generation(RelId rel) const;
+
   /// Lazily-columnized mirror of `rel`'s rows, built on first request
   /// and shared by every scan over this database afterwards — the
   /// transpose is paid once per relation, not once per plan build.
@@ -69,6 +76,8 @@ class Database {
 
   Catalog catalog_;
   std::vector<Relation> relations_;
+  /// Parallel to relations_: mutation generation per relation.
+  std::vector<uint64_t> generations_;
   /// Parallel to relations_. Mirrors hold `const Relation*` into
   /// relations_, which stays stable under Database moves (the vector's
   /// heap buffer moves wholesale) but not under AddRelation

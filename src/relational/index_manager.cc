@@ -10,32 +10,105 @@ void IndexManager::CreateIndex(const Database& db, RelId rel,
                                std::vector<AttrId> key_attrs) {
   std::vector<AttrId> sorted = key_attrs;
   std::sort(sorted.begin(), sorted.end());
-  // Replace an existing index on the same keys.
+  // Replace an existing hash index on the same keys.
   entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
                                 [&](const Entry& e) {
-                                  return e.rel == rel &&
+                                  return !e.is_trie() && e.rel == rel &&
                                          e.sorted_keys == sorted;
                                 }),
                  entries_.end());
   Entry entry;
   entry.rel = rel;
+  entry.keys = key_attrs;
   entry.sorted_keys = std::move(sorted);
+  entry.generation = db.generation(rel);
   entry.normalized = NormalizeOnKeyColumns(db.relation(rel), key_attrs);
-  entry.index =
-      std::make_unique<HashIndex>(entry.normalized, key_attrs);
+  entry.index = std::make_unique<HashIndex>(entry.normalized, key_attrs);
   entries_.push_back(std::move(entry));
 }
 
 const HashIndex* IndexManager::Find(
-    RelId rel, const std::vector<AttrId>& key_attrs) const {
+    const Database& db, RelId rel,
+    const std::vector<AttrId>& key_attrs) const {
   std::vector<AttrId> sorted = key_attrs;
   std::sort(sorted.begin(), sorted.end());
   for (const Entry& entry : entries_) {
-    if (entry.rel == rel && entry.sorted_keys == sorted) {
-      return entry.index.get();
+    if (entry.is_trie() || entry.rel != rel || entry.sorted_keys != sorted) {
+      continue;
     }
+    // A snapshot from before the relation's latest mutation would
+    // silently serve pre-mutation rows; refuse it.
+    if (entry.generation != db.generation(rel)) return nullptr;
+    return entry.index.get();
   }
   return nullptr;
+}
+
+void IndexManager::AdoptTrie(const Database& db, RelId rel,
+                             std::vector<AttrId> key_attrs,
+                             std::unique_ptr<TrieIndexBase> trie) {
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [&](const Entry& e) {
+                                  return e.is_trie() && e.rel == rel &&
+                                         e.keys == key_attrs;
+                                }),
+                 entries_.end());
+  Entry entry;
+  entry.rel = rel;
+  entry.sorted_keys = key_attrs;
+  std::sort(entry.sorted_keys.begin(), entry.sorted_keys.end());
+  entry.keys = std::move(key_attrs);
+  entry.generation = db.generation(rel);
+  entry.trie = std::move(trie);
+  entries_.push_back(std::move(entry));
+}
+
+const TrieIndexBase* IndexManager::FindTrie(
+    const Database& db, RelId rel,
+    const std::vector<AttrId>& key_attrs) const {
+  for (const Entry& entry : entries_) {
+    if (!entry.is_trie() || entry.rel != rel || entry.keys != key_attrs) {
+      continue;
+    }
+    if (entry.generation != db.generation(rel)) return nullptr;
+    return entry.trie.get();
+  }
+  return nullptr;
+}
+
+size_t IndexManager::Refresh(const Database& db) {
+  size_t touched = 0;
+  // Drop stale tries (their builder lives a layer up), collect stale hash
+  // entries to rebuild.
+  std::vector<std::pair<RelId, std::vector<AttrId>>> rebuild;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->generation == db.generation(it->rel)) {
+      ++it;
+      continue;
+    }
+    ++touched;
+    if (!it->is_trie()) rebuild.emplace_back(it->rel, it->keys);
+    it = entries_.erase(it);
+  }
+  for (auto& [rel, keys] : rebuild) CreateIndex(db, rel, std::move(keys));
+  return touched;
+}
+
+std::vector<IndexInfo> IndexManager::ListIndexes(const Database& db) const {
+  std::vector<IndexInfo> out;
+  out.reserve(entries_.size());
+  for (const Entry& entry : entries_) {
+    IndexInfo info;
+    info.rel = entry.rel;
+    info.key_attrs = entry.keys;
+    info.is_trie = entry.is_trie();
+    info.rows = entry.is_trie() ? entry.trie->num_rows()
+                                : entry.normalized.NumRows();
+    info.generation = entry.generation;
+    info.stale = entry.generation != db.generation(entry.rel);
+    out.push_back(std::move(info));
+  }
+  return out;
 }
 
 }  // namespace fro

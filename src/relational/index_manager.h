@@ -1,14 +1,26 @@
-// Persistent hash indexes over base relations.
+// Persistent indexes over base relations.
 //
 // Example 1 of the paper "assume[s] that these keys have indexes"; the
 // manager makes that literal: indexes are built once and reused across
 // query executions instead of being rebuilt per hash join. The evaluator
 // consults the manager whenever a join-like operator's inner input is a
 // base relation whose equi-key columns are indexed.
+//
+// Every entry snapshots the relation's mutation generation
+// (Database::generation) at build time; lookups take the database and
+// refuse to serve an entry whose snapshot is stale, so a mutation can
+// never silently answer queries with pre-mutation rows. Call Refresh (or
+// CreateIndex again) after mutating to rebuild.
+//
+// Besides hash indexes the manager caches trie indexes (sorted
+// multi-level indexes for the leapfrog multiway join). The trie type
+// lives in src/wcoj/, a layer above this one, so entries hold it through
+// the opaque TrieIndexBase interface.
 
 #ifndef FRO_RELATIONAL_INDEX_MANAGER_H_
 #define FRO_RELATIONAL_INDEX_MANAGER_H_
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -17,32 +29,77 @@
 
 namespace fro {
 
+/// Opaque base for trie indexes built by the wcoj layer and cached here.
+/// The manager owns them but never looks inside; consumers downcast to
+/// the concrete type they registered.
+class TrieIndexBase {
+ public:
+  virtual ~TrieIndexBase() = default;
+  /// Number of (non-null-key) rows indexed, for introspection.
+  virtual size_t num_rows() const = 0;
+};
+
+/// One row of ListIndexes(), for the shell's \indexes command.
+struct IndexInfo {
+  RelId rel = 0;
+  std::vector<AttrId> key_attrs;  // trie: level order; hash: as created
+  bool is_trie = false;
+  size_t rows = 0;
+  uint64_t generation = 0;
+  bool stale = false;  // vs. the database passed to ListIndexes
+};
+
 class IndexManager {
  public:
   IndexManager() = default;
   IndexManager(const IndexManager&) = delete;
   IndexManager& operator=(const IndexManager&) = delete;
 
-  /// Builds (or rebuilds) an index on `rel`'s `key_attrs`. Key values are
-  /// normalized (int widened to double) so probes agree with SQL
-  /// equality. The database contents are snapshotted: call again after
-  /// mutating the relation.
+  /// Builds (or rebuilds) a hash index on `rel`'s `key_attrs`. Key values
+  /// are normalized (int widened to double) so probes agree with SQL
+  /// equality. The database contents are snapshotted at the relation's
+  /// current generation.
   void CreateIndex(const Database& db, RelId rel,
                    std::vector<AttrId> key_attrs);
 
-  /// An index on `rel` whose key set equals `key_attrs`
-  /// (order-insensitive), or null.
-  const HashIndex* Find(RelId rel,
+  /// A fresh hash index on `rel` whose key set equals `key_attrs`
+  /// (order-insensitive), or null. Entries built before the relation's
+  /// latest mutation are stale and never returned.
+  const HashIndex* Find(const Database& db, RelId rel,
                         const std::vector<AttrId>& key_attrs) const;
+
+  /// Adopts a trie index built by the wcoj layer, keyed by `rel` and the
+  /// exact level order `key_attrs`. Replaces an existing trie entry on
+  /// the same (rel, order).
+  void AdoptTrie(const Database& db, RelId rel,
+                 std::vector<AttrId> key_attrs,
+                 std::unique_ptr<TrieIndexBase> trie);
+
+  /// A fresh trie on `rel` with exactly this level order, or null (absent
+  /// or stale — level order is significant for tries).
+  const TrieIndexBase* FindTrie(const Database& db, RelId rel,
+                                const std::vector<AttrId>& key_attrs) const;
+
+  /// Rebuilds every stale hash entry against the current database
+  /// contents and drops stale tries (the wcoj layer rebuilds its own).
+  /// Returns the number of entries refreshed or dropped.
+  size_t Refresh(const Database& db);
+
+  /// Snapshot of every entry, staleness judged against `db`.
+  std::vector<IndexInfo> ListIndexes(const Database& db) const;
 
   size_t num_indexes() const { return entries_.size(); }
 
  private:
   struct Entry {
     RelId rel;
-    std::vector<AttrId> sorted_keys;
-    Relation normalized;  // owns the rows the index points into
-    std::unique_ptr<HashIndex> index;
+    std::vector<AttrId> keys;         // creation/level order
+    std::vector<AttrId> sorted_keys;  // hash entries match on this
+    uint64_t generation = 0;
+    Relation normalized;  // owns the rows the hash index points into
+    std::unique_ptr<HashIndex> index;     // hash entries
+    std::unique_ptr<TrieIndexBase> trie;  // trie entries
+    bool is_trie() const { return trie != nullptr; }
   };
   std::vector<Entry> entries_;
 };

@@ -20,8 +20,11 @@ void FillRandomRows(Database* db, RelId rel, const RandomRowsOptions& options,
       if (rng->Bernoulli(options.null_prob)) {
         values.push_back(Value::Null());
       } else {
-        values.push_back(Value::Int(
-            rng->UniformInt(0, options.domain - 1)));
+        int64_t v = rng->UniformInt(0, options.domain - 1);
+        for (int k = 0; k < options.skew; ++k) {
+          v = std::min(v, rng->UniformInt(0, options.domain - 1));
+        }
+        values.push_back(Value::Int(v));
       }
     }
     rows.emplace_back(std::move(values));

@@ -20,6 +20,11 @@ struct RandomRowsOptions {
   int domain = 4;
   /// Probability that any individual value is null instead.
   double null_prob = 0.15;
+  /// Value skew: 0 draws uniformly; k > 0 draws k+1 uniform values and
+  /// keeps the minimum, concentrating mass on small values (heavy hitters
+  /// share join keys, the worst case binary join plans over cyclic cores
+  /// blow up on). Integer-only, so replay is exact across platforms.
+  int skew = 0;
   /// Remove duplicate rows (the GOJ identities of Section 6.2 assume
   /// duplicate-free relations).
   bool unique_rows = false;

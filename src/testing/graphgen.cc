@@ -63,38 +63,57 @@ GeneratedQuery GenerateRandomQuery(const RandomQueryOptions& options,
   const int base = reserve_last ? n - 1 : n;
   FRO_CHECK_GE(base, 2);
 
-  // Decide the join-core size: at least 1 node; remaining nodes hang as an
-  // outerjoin forest.
-  int core = 1;
-  for (int i = 1; i < base; ++i) {
-    if (!rng->Bernoulli(options.oj_fraction)) ++core;
-  }
-  // Certain violations need at least one outerjoin node (two for a cycle).
-  if (options.violation != RandomQueryOptions::Violation::kNone) {
-    int needed = options.violation ==
-                         RandomQueryOptions::Violation::kOjCycle
-                     ? 2
-                     : 1;
-    core = std::min(core, base - needed);
-    core = std::max(core, 1);
-  }
+  int core;
+  if (options.core_shape != RandomQueryOptions::CoreShape::kRandom) {
+    // A fixed chordless cycle: the core size is the cycle length and
+    // every other node becomes outerjoin shell.
+    core = options.core_shape == RandomQueryOptions::CoreShape::kTriangle
+               ? 3
+               : 4;
+    FRO_CHECK_GE(base, core) << "core shape needs more relations";
+    for (int v = 0; v < core; ++v) {
+      int w = (v + 1) % core;
+      Status s = graph.AddJoinEdge(
+          v, w,
+          StrongPred(db, static_cast<RelId>(v), static_cast<RelId>(w), rng));
+      FRO_CHECK(s.ok()) << s.ToString();
+    }
+  } else {
+    // Decide the join-core size: at least 1 node; remaining nodes hang as
+    // an outerjoin forest.
+    core = 1;
+    for (int i = 1; i < base; ++i) {
+      if (!rng->Bernoulli(options.oj_fraction)) ++core;
+    }
+    // Certain violations need at least one outerjoin node (two for a
+    // cycle).
+    if (options.violation != RandomQueryOptions::Violation::kNone) {
+      int needed = options.violation ==
+                           RandomQueryOptions::Violation::kOjCycle
+                       ? 2
+                       : 1;
+      core = std::min(core, base - needed);
+      core = std::max(core, 1);
+    }
 
-  // Join core: random spanning tree over nodes [0, core).
-  for (int v = 1; v < core; ++v) {
-    int u = static_cast<int>(rng->Uniform(static_cast<uint64_t>(v)));
-    Status s = graph.AddJoinEdge(
-        u, v,
-        StrongPred(db, static_cast<RelId>(u), static_cast<RelId>(v), rng));
-    FRO_CHECK(s.ok()) << s.ToString();
-  }
-  // Extra core conjuncts (cycles / collapsed parallel edges).
-  for (int u = 0; u < core; ++u) {
-    for (int v = u + 1; v < core; ++v) {
-      if (!rng->Bernoulli(options.extra_join_edge_prob)) continue;
+    // Join core: random spanning tree over nodes [0, core).
+    for (int v = 1; v < core; ++v) {
+      int u = static_cast<int>(rng->Uniform(static_cast<uint64_t>(v)));
       Status s = graph.AddJoinEdge(
           u, v,
           StrongPred(db, static_cast<RelId>(u), static_cast<RelId>(v), rng));
       FRO_CHECK(s.ok()) << s.ToString();
+    }
+    // Extra core conjuncts (cycles / collapsed parallel edges).
+    for (int u = 0; u < core; ++u) {
+      for (int v = u + 1; v < core; ++v) {
+        if (!rng->Bernoulli(options.extra_join_edge_prob)) continue;
+        Status s = graph.AddJoinEdge(
+            u, v,
+            StrongPred(db, static_cast<RelId>(u), static_cast<RelId>(v),
+                       rng));
+        FRO_CHECK(s.ok()) << s.ToString();
+      }
     }
   }
 

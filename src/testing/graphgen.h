@@ -37,6 +37,18 @@ struct RandomQueryOptions {
   };
   Violation violation = Violation::kNone;
 
+  /// Join-core topology. kRandom grows a spanning tree plus
+  /// `extra_join_edge_prob` chords; kTriangle / kFourCycle force the core
+  /// to be exactly that chordless cycle (the canonical cyclic cores the
+  /// wcoj subsystem collapses), with every remaining node hanging off it
+  /// as outerjoin shell. Requires num_relations >= the cycle length.
+  enum class CoreShape {
+    kRandom,
+    kTriangle,
+    kFourCycle,
+  };
+  CoreShape core_shape = CoreShape::kRandom;
+
   RandomRowsOptions rows;
 };
 

@@ -1,0 +1,110 @@
+#include "wcoj/cyclic_core.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace fro {
+
+namespace {
+
+/// Bridge finder over the join-edge subgraph (classic low-link DFS).
+struct BridgeFinder {
+  struct Arc {
+    int to;
+    int edge;  // index into graph.edges()
+  };
+
+  std::vector<std::vector<Arc>> adj;
+  std::vector<int> tin, low;
+  std::vector<bool> is_bridge;  // indexed by graph edge index
+  int timer = 0;
+
+  void Dfs(int node, int via_edge) {
+    tin[node] = low[node] = timer++;
+    for (const Arc& arc : adj[node]) {
+      if (arc.edge == via_edge) continue;
+      if (tin[arc.to] >= 0) {
+        low[node] = std::min(low[node], tin[arc.to]);
+        continue;
+      }
+      Dfs(arc.to, arc.edge);
+      low[node] = std::min(low[node], low[arc.to]);
+      if (low[arc.to] > tin[node]) is_bridge[arc.edge] = true;
+    }
+  }
+};
+
+/// Node union-find over the (small) graph.
+struct NodeUnionFind {
+  std::vector<int> parent;
+  explicit NodeUnionFind(int n) : parent(n) {
+    for (int i = 0; i < n; ++i) parent[i] = i;
+  }
+  int Find(int a) {
+    while (parent[a] != a) a = parent[a] = parent[parent[a]];
+    return a;
+  }
+  void Union(int a, int b) { parent[Find(a)] = Find(b); }
+};
+
+}  // namespace
+
+std::vector<CyclicCore> FindCyclicCores(const QueryGraph& graph) {
+  const int n = graph.num_nodes();
+  FRO_CHECK_LE(n, 64);
+
+  BridgeFinder finder;
+  finder.adj.resize(static_cast<size_t>(n));
+  finder.tin.assign(static_cast<size_t>(n), -1);
+  finder.low.assign(static_cast<size_t>(n), -1);
+  finder.is_bridge.assign(static_cast<size_t>(graph.num_edges()), false);
+  for (int e = 0; e < graph.num_edges(); ++e) {
+    const GraphEdge& edge = graph.edge(e);
+    if (edge.directed) continue;  // outerjoin edges never join a core
+    finder.adj[static_cast<size_t>(edge.u)].push_back({edge.v, e});
+    finder.adj[static_cast<size_t>(edge.v)].push_back({edge.u, e});
+  }
+  for (int node = 0; node < n; ++node) {
+    if (finder.tin[static_cast<size_t>(node)] < 0) finder.Dfs(node, -1);
+  }
+
+  // Components of the non-bridge join edges are the 2-edge-connected
+  // pieces; those spanning >= 3 nodes are the cyclic cores.
+  NodeUnionFind components(n);
+  for (int e = 0; e < graph.num_edges(); ++e) {
+    const GraphEdge& edge = graph.edge(e);
+    if (edge.directed || finder.is_bridge[static_cast<size_t>(e)]) continue;
+    components.Union(edge.u, edge.v);
+  }
+
+  std::vector<CyclicCore> cores;
+  std::vector<int> core_of_root(static_cast<size_t>(n), -1);
+  for (int e = 0; e < graph.num_edges(); ++e) {
+    const GraphEdge& edge = graph.edge(e);
+    if (edge.directed || finder.is_bridge[static_cast<size_t>(e)]) continue;
+    const int root = components.Find(edge.u);
+    int& slot = core_of_root[static_cast<size_t>(root)];
+    if (slot < 0) {
+      slot = static_cast<int>(cores.size());
+      cores.emplace_back();
+    }
+    CyclicCore& core = cores[static_cast<size_t>(slot)];
+    core.node_mask |= (uint64_t{1} << edge.u) | (uint64_t{1} << edge.v);
+    core.edge_indices.push_back(e);
+  }
+
+  cores.erase(std::remove_if(cores.begin(), cores.end(),
+                             [](const CyclicCore& core) {
+                               return __builtin_popcountll(core.node_mask) < 3;
+                             }),
+              cores.end());
+  std::sort(cores.begin(), cores.end(),
+            [](const CyclicCore& a, const CyclicCore& b) {
+              return (a.node_mask & -a.node_mask) <
+                     (b.node_mask & -b.node_mask);
+            });
+  return cores;
+}
+
+}  // namespace fro

@@ -1,0 +1,40 @@
+// Cyclic-core detection over query graphs. The paper's Theorem 1 keeps
+// the outerjoin shell freely reorderable; the *join-only* part of the
+// graph may still be cyclic (triangles, 4-cycles, cliques), and cyclic
+// join cores are exactly where binary join plans lose to worst-case-
+// optimal multiway evaluation. A cyclic core is a 2-edge-connected
+// component of the join-edge subgraph (every edge on some cycle) with
+// at least three nodes; bridges and outerjoin edges never belong to
+// one. The optimizer collapses each detected core into a single
+// kMultiwayJoin node when the cost model agrees.
+
+#ifndef FRO_WCOJ_CYCLIC_CORE_H_
+#define FRO_WCOJ_CYCLIC_CORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/query_graph.h"
+
+namespace fro {
+
+/// One cyclic core of the join-edge subgraph.
+struct CyclicCore {
+  /// Nodes of the core (graph node indices, as a bitmask).
+  uint64_t node_mask = 0;
+  /// Indices (into graph.edges()) of the core's join edges — every
+  /// non-bridge join edge among the core's nodes.
+  std::vector<int> edge_indices;
+};
+
+/// Finds every cyclic core: bridges of the join-edge subgraph are
+/// removed (outerjoin edges are ignored entirely), and each remaining
+/// connected edge component spanning >= 3 nodes is a core. Cores are
+/// returned in ascending order of their lowest node index. A forest or
+/// a pure chain/star query yields none; parallel join conjuncts cannot
+/// fake a cycle because QueryGraph collapses them into one edge.
+std::vector<CyclicCore> FindCyclicCores(const QueryGraph& graph);
+
+}  // namespace fro
+
+#endif  // FRO_WCOJ_CYCLIC_CORE_H_

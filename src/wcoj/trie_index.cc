@@ -1,0 +1,191 @@
+#include "wcoj/trie_index.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+#include "relational/ops.h"
+
+namespace fro {
+
+TrieIndex::TrieIndex(const Relation& source,
+                     std::vector<AttrId> level_attrs)
+    : level_attrs_(std::move(level_attrs)) {
+  source_rows_ = source.NumRows();
+  std::vector<int> key_pos;
+  key_pos.reserve(level_attrs_.size());
+  for (AttrId attr : level_attrs_) {
+    const int pos = source.scheme().IndexOf(attr);
+    FRO_CHECK_GE(pos, 0) << "trie level attr missing from scheme";
+    key_pos.push_back(pos);
+  }
+
+  // Surviving rows: no null in any key column (nulls never equi-join).
+  std::vector<uint32_t> order;
+  order.reserve(source.NumRows());
+  for (size_t i = 0; i < source.NumRows(); ++i) {
+    bool has_null_key = false;
+    for (int pos : key_pos) {
+      if (source.row(i).value(static_cast<size_t>(pos)).is_null()) {
+        has_null_key = true;
+        break;
+      }
+    }
+    if (!has_null_key) order.push_back(static_cast<uint32_t>(i));
+  }
+
+  // Normalized keys per level, gathered before sorting so the comparator
+  // is a flat lookup.
+  std::vector<std::vector<Value>> raw(level_attrs_.size());
+  for (size_t l = 0; l < level_attrs_.size(); ++l) {
+    raw[l].reserve(order.size());
+    for (uint32_t r : order) {
+      raw[l].push_back(NormalizeHashKeyValue(
+          source.row(r).value(static_cast<size_t>(key_pos[l]))));
+    }
+  }
+  std::vector<uint32_t> perm(order.size());
+  std::iota(perm.begin(), perm.end(), 0u);
+  std::stable_sort(perm.begin(), perm.end(),
+                   [&](uint32_t a, uint32_t b) {
+                     for (size_t l = 0; l < raw.size(); ++l) {
+                       if (raw[l][a] < raw[l][b]) return true;
+                       if (raw[l][b] < raw[l][a]) return false;
+                     }
+                     return false;
+                   });
+
+  rows_ = Relation(source.scheme());
+  rows_.Reserve(perm.size());
+  keys_.assign(level_attrs_.size(), {});
+  for (auto& level : keys_) level.reserve(perm.size());
+  for (uint32_t p : perm) {
+    rows_.AddRow(source.row(order[p]));
+    for (size_t l = 0; l < keys_.size(); ++l) {
+      keys_[l].push_back(std::move(raw[l][p]));
+    }
+  }
+}
+
+const TrieIndex* BuildTrieIndex(const Database& db, RelId rel,
+                                const std::vector<AttrId>& level_attrs,
+                                IndexManager* cache,
+                                std::unique_ptr<TrieIndex>* owned) {
+  if (cache != nullptr) {
+    if (const TrieIndexBase* hit = cache->FindTrie(db, rel, level_attrs)) {
+      return static_cast<const TrieIndex*>(hit);
+    }
+    auto built = std::make_unique<TrieIndex>(db.relation(rel), level_attrs);
+    const TrieIndex* out = built.get();
+    cache->AdoptTrie(db, rel, level_attrs, std::move(built));
+    return out;
+  }
+  FRO_CHECK(owned != nullptr);
+  *owned = std::make_unique<TrieIndex>(db.relation(rel), level_attrs);
+  return owned->get();
+}
+
+void TrieCursor::Reset() {
+  levels_.clear();
+  seeks_ = 0;
+}
+
+size_t TrieCursor::UpperBound(size_t level, size_t lo, size_t hi,
+                              const Value& v) {
+  ++seeks_;
+  size_t n = hi - lo;
+  while (n > 0) {
+    const size_t half = n / 2;
+    const size_t mid = lo + half;
+    if (v < index_->key(level, mid)) {
+      n = half;
+    } else {
+      lo = mid + 1;
+      n -= half + 1;
+    }
+  }
+  return lo;
+}
+
+size_t TrieCursor::LowerBound(size_t level, size_t lo, size_t hi,
+                              const Value& v) {
+  ++seeks_;
+  size_t n = hi - lo;
+  while (n > 0) {
+    const size_t half = n / 2;
+    const size_t mid = lo + half;
+    if (index_->key(level, mid) < v) {
+      lo = mid + 1;
+      n -= half + 1;
+    } else {
+      n = half;
+    }
+  }
+  return lo;
+}
+
+bool TrieCursor::Open() {
+  size_t lo, hi;
+  if (levels_.empty()) {
+    lo = 0;
+    hi = index_->num_rows();
+  } else {
+    const Level& top = levels_.back();
+    FRO_CHECK_LT(top.pos, top.hi) << "Open() past the end of a level";
+    lo = top.pos;
+    hi = top.run_end;
+  }
+  if (lo >= hi) return false;
+  FRO_CHECK_LT(levels_.size(), index_->num_levels());
+  Level level;
+  level.lo = lo;
+  level.hi = hi;
+  level.pos = lo;
+  level.run_end =
+      UpperBound(levels_.size(), lo, hi, index_->key(levels_.size(), lo));
+  levels_.push_back(level);
+  return true;
+}
+
+void TrieCursor::Up() {
+  FRO_CHECK(!levels_.empty());
+  levels_.pop_back();
+}
+
+bool TrieCursor::AtEnd() const {
+  FRO_CHECK(!levels_.empty());
+  return levels_.back().pos >= levels_.back().hi;
+}
+
+const Value& TrieCursor::Key() const {
+  const Level& top = levels_.back();
+  FRO_CHECK_LT(top.pos, top.hi);
+  return index_->key(levels_.size() - 1, top.pos);
+}
+
+void TrieCursor::Next() {
+  Level& top = levels_.back();
+  FRO_CHECK_LT(top.pos, top.hi);
+  top.pos = top.run_end;
+  if (top.pos < top.hi) {
+    top.run_end = UpperBound(levels_.size() - 1, top.pos, top.hi,
+                             index_->key(levels_.size() - 1, top.pos));
+  }
+}
+
+void TrieCursor::SeekGeq(const Value& v) {
+  Level& top = levels_.back();
+  top.pos = LowerBound(levels_.size() - 1, top.pos, top.hi, v);
+  if (top.pos < top.hi) {
+    top.run_end = UpperBound(levels_.size() - 1, top.pos, top.hi,
+                             index_->key(levels_.size() - 1, top.pos));
+  }
+}
+
+std::pair<size_t, size_t> TrieCursor::CurrentRange() const {
+  const Level& top = levels_.back();
+  FRO_CHECK_LT(top.pos, top.hi);
+  return {top.pos, top.run_end};
+}
+
+}  // namespace fro

@@ -1,0 +1,126 @@
+// Sorted multi-level column indexes ("tries") and cursors for the
+// leapfrog triejoin (Veldhuizen). A TrieIndex over key attributes
+// (a1, ..., ak) stores the relation's rows sorted lexicographically by
+// the *normalized* key values (int widened to double, exactly like the
+// hash-join key normalization in relational/ops.h), so structural value
+// order and equality agree with SQL equality on keys. Rows with a null
+// in any key column are excluded: a null never satisfies an equality
+// predicate, so they cannot contribute to an equi-join result.
+//
+// Conceptually the sorted rows form a trie: level d groups rows by their
+// first d key values, and every node is a contiguous row range. The
+// cursor walks that trie with the classic open/up/next/seek interface,
+// each movement a binary search within the current range.
+
+#ifndef FRO_WCOJ_TRIE_INDEX_H_
+#define FRO_WCOJ_TRIE_INDEX_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "relational/database.h"
+#include "relational/index_manager.h"
+#include "relational/relation.h"
+
+namespace fro {
+
+/// Immutable sorted index over one relation's rows. Emitted tuples keep
+/// their ORIGINAL values (normalization is confined to key comparison),
+/// so 1 and 1.0 join but are output unchanged.
+class TrieIndex : public TrieIndexBase {
+ public:
+  /// Builds from any relation (base or materialized intermediate).
+  /// `level_attrs` must be distinct attributes of the relation's scheme;
+  /// it may be empty, in which case the index is a single flat range.
+  TrieIndex(const Relation& source, std::vector<AttrId> level_attrs);
+
+  size_t num_rows() const override { return rows_.NumRows(); }
+  size_t num_levels() const { return level_attrs_.size(); }
+  const std::vector<AttrId>& level_attrs() const { return level_attrs_; }
+  const Scheme& scheme() const { return rows_.scheme(); }
+
+  /// Sorted row `i` with original values.
+  const Tuple& row(size_t i) const { return rows_.row(i); }
+
+  /// Normalized key of sorted row `i` at `level`.
+  const Value& key(size_t level, size_t i) const { return keys_[level][i]; }
+
+  /// Rows scanned from the source while building (the trie-build read
+  /// cost charged to ExecStats).
+  size_t source_rows() const { return source_rows_; }
+
+ private:
+  Relation rows_;                    // sorted; original values
+  std::vector<AttrId> level_attrs_;  // level order
+  std::vector<std::vector<Value>> keys_;  // [level][sorted row] normalized
+  size_t source_rows_ = 0;
+};
+
+/// Builds a trie for `(rel, level_attrs)` through `cache` (may be null):
+/// a fresh cached trie is returned directly; otherwise a new one is
+/// built, adopted into the cache (stamped with the relation's current
+/// generation), and returned. The returned pointer is owned by the cache
+/// when one was supplied, by `*owned` otherwise.
+const TrieIndex* BuildTrieIndex(const Database& db, RelId rel,
+                                const std::vector<AttrId>& level_attrs,
+                                IndexManager* cache,
+                                std::unique_ptr<TrieIndex>* owned);
+
+/// Cursor over a TrieIndex: a stack of nested row ranges, one per open
+/// level. Depth -1 (after Reset) is the root covering every row.
+///
+///   Open()     descend into the current key's rows, positioned at the
+///              first distinct key of the next level
+///   Up()       ascend one level
+///   Next()     advance to the next distinct key at this level
+///   SeekGeq(v) least key >= v at this level (leapfrog's seek)
+///   AtEnd()    no more keys at this level
+///
+/// Every movement performs O(log n) comparisons; `seeks()` counts the
+/// binary-search operations (leapfrog seeks and steps alike) for the
+/// operator's `probes` accounting.
+class TrieCursor {
+ public:
+  explicit TrieCursor(const TrieIndex* index) : index_(index) { Reset(); }
+
+  void Reset();
+
+  int depth() const { return static_cast<int>(levels_.size()) - 1; }
+
+  /// Descends one level; returns false (and stays) if the range under
+  /// the current position is empty (only possible on an empty index).
+  bool Open();
+  void Up();
+
+  bool AtEnd() const;
+  /// Current distinct key; requires !AtEnd().
+  const Value& Key() const;
+  void Next();
+  void SeekGeq(const Value& v);
+
+  /// The contiguous row range matching the current key at the current
+  /// depth; requires !AtEnd().
+  std::pair<size_t, size_t> CurrentRange() const;
+
+  uint64_t seeks() const { return seeks_; }
+  void ResetSeeks() { seeks_ = 0; }
+
+ private:
+  struct Level {
+    size_t lo, hi;    // rows matching the parent prefix
+    size_t pos;       // start of the current key's run
+    size_t run_end;   // end of the current key's run
+  };
+
+  size_t UpperBound(size_t level, size_t lo, size_t hi, const Value& v);
+  size_t LowerBound(size_t level, size_t lo, size_t hi, const Value& v);
+
+  const TrieIndex* index_;
+  std::vector<Level> levels_;
+  uint64_t seeks_ = 0;
+};
+
+}  // namespace fro
+
+#endif  // FRO_WCOJ_TRIE_INDEX_H_

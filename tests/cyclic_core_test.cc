@@ -1,0 +1,208 @@
+// Cyclic-core detection (wcoj/cyclic_core.h): which join-edge subgraphs
+// count as cores, and the guarantee that core presence never changes the
+// Theorem 1 classification of the surrounding outerjoin shell.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/nice.h"
+#include "graph/query_graph.h"
+#include "relational/database.h"
+#include "wcoj/cyclic_core.h"
+
+namespace fro {
+namespace {
+
+// A database of n single-attribute relations R0..R{n-1}, plus a graph
+// with one node per relation; tests wire up edges with Join(u, v).
+class CyclicCoreTest : public ::testing::Test {
+ protected:
+  void Init(int n) {
+    for (int i = 0; i < n; ++i) {
+      RelId rel = *db_.AddRelation("R" + std::to_string(i), {"a"});
+      attr_.push_back(db_.Attr("R" + std::to_string(i), "a"));
+      graph_.AddNode(rel, db_.scheme(rel).ToAttrSet());
+    }
+  }
+
+  void Join(int u, int v) {
+    Status s = graph_.AddJoinEdge(u, v, EqCols(attr_[u], attr_[v]));
+    ASSERT_TRUE(s.ok()) << s.ToString();
+  }
+
+  void Outer(int u, int v) {
+    Status s = graph_.AddOuterJoinEdge(u, v, EqCols(attr_[u], attr_[v]));
+    ASSERT_TRUE(s.ok()) << s.ToString();
+  }
+
+  static uint64_t Mask(std::initializer_list<int> nodes) {
+    uint64_t m = 0;
+    for (int n : nodes) m |= uint64_t{1} << n;
+    return m;
+  }
+
+  Database db_;
+  QueryGraph graph_;
+  std::vector<AttrId> attr_;
+};
+
+TEST_F(CyclicCoreTest, ChainHasNoCore) {
+  Init(4);
+  Join(0, 1);
+  Join(1, 2);
+  Join(2, 3);
+  EXPECT_TRUE(FindCyclicCores(graph_).empty());
+}
+
+TEST_F(CyclicCoreTest, StarHasNoCore) {
+  Init(4);
+  Join(0, 1);
+  Join(0, 2);
+  Join(0, 3);
+  EXPECT_TRUE(FindCyclicCores(graph_).empty());
+}
+
+TEST_F(CyclicCoreTest, TriangleIsOneCore) {
+  Init(3);
+  Join(0, 1);
+  Join(1, 2);
+  Join(2, 0);
+  std::vector<CyclicCore> cores = FindCyclicCores(graph_);
+  ASSERT_EQ(cores.size(), 1u);
+  EXPECT_EQ(cores[0].node_mask, Mask({0, 1, 2}));
+  EXPECT_EQ(cores[0].edge_indices.size(), 3u);
+}
+
+TEST_F(CyclicCoreTest, FourCycleIsOneCore) {
+  Init(4);
+  Join(0, 1);
+  Join(1, 2);
+  Join(2, 3);
+  Join(3, 0);
+  std::vector<CyclicCore> cores = FindCyclicCores(graph_);
+  ASSERT_EQ(cores.size(), 1u);
+  EXPECT_EQ(cores[0].node_mask, Mask({0, 1, 2, 3}));
+  EXPECT_EQ(cores[0].edge_indices.size(), 4u);
+}
+
+TEST_F(CyclicCoreTest, CliqueIsOneCore) {
+  Init(4);
+  for (int u = 0; u < 4; ++u) {
+    for (int v = u + 1; v < 4; ++v) Join(u, v);
+  }
+  std::vector<CyclicCore> cores = FindCyclicCores(graph_);
+  ASSERT_EQ(cores.size(), 1u);
+  EXPECT_EQ(cores[0].node_mask, Mask({0, 1, 2, 3}));
+  EXPECT_EQ(cores[0].edge_indices.size(), 6u);
+}
+
+TEST_F(CyclicCoreTest, TwoTrianglesSharingAVertexMergeIntoOneCore) {
+  // Node 2 is an articulation vertex, but no edge is a bridge and every
+  // node pair has two edge-disjoint paths, so the union of the two
+  // triangles is a single 2-edge-connected component — one core
+  // covering all five relations.
+  Init(5);
+  Join(0, 1);
+  Join(1, 2);
+  Join(2, 0);
+  Join(2, 3);
+  Join(3, 4);
+  Join(4, 2);
+  std::vector<CyclicCore> cores = FindCyclicCores(graph_);
+  ASSERT_EQ(cores.size(), 1u);
+  EXPECT_EQ(cores[0].node_mask, Mask({0, 1, 2, 3, 4}));
+  EXPECT_EQ(cores[0].edge_indices.size(), 6u);
+}
+
+TEST_F(CyclicCoreTest, TrianglesLinkedByABridgeAreTwoCores) {
+  // Two triangles joined by a bridge edge: the bridge separates the
+  // 2-edge-connected components, so each triangle is its own core.
+  Init(6);
+  Join(0, 1);
+  Join(1, 2);
+  Join(2, 0);
+  Join(2, 3);  // bridge
+  Join(3, 4);
+  Join(4, 5);
+  Join(5, 3);
+  std::vector<CyclicCore> cores = FindCyclicCores(graph_);
+  ASSERT_EQ(cores.size(), 2u);
+  EXPECT_EQ(cores[0].node_mask, Mask({0, 1, 2}));
+  EXPECT_EQ(cores[1].node_mask, Mask({3, 4, 5}));
+}
+
+TEST_F(CyclicCoreTest, BridgeTailStaysOutsideTheCore) {
+  Init(5);
+  Join(0, 1);
+  Join(1, 2);
+  Join(2, 0);
+  Join(2, 3);  // bridge
+  Join(3, 4);  // bridge
+  std::vector<CyclicCore> cores = FindCyclicCores(graph_);
+  ASSERT_EQ(cores.size(), 1u);
+  EXPECT_EQ(cores[0].node_mask, Mask({0, 1, 2}));
+  EXPECT_EQ(cores[0].edge_indices.size(), 3u);
+}
+
+TEST_F(CyclicCoreTest, ParallelConjunctsCannotFakeACycle) {
+  // Two conjuncts between the same pair collapse into one graph edge,
+  // so a two-node "cycle" never forms.
+  Init(2);
+  Join(0, 1);
+  Join(0, 1);
+  ASSERT_EQ(graph_.edges().size(), 1u);
+  EXPECT_TRUE(FindCyclicCores(graph_).empty());
+}
+
+TEST_F(CyclicCoreTest, OuterjoinEdgesNeverJoinACore) {
+  // An outerjoin cycle is not a core, and an outerjoin edge incident to
+  // a join triangle does not extend it.
+  Init(5);
+  Outer(0, 1);
+  Outer(1, 2);
+  Outer(2, 0);
+  EXPECT_TRUE(FindCyclicCores(graph_).empty());
+
+  Join(2, 3);
+  Join(3, 4);
+  Join(4, 2);
+  std::vector<CyclicCore> cores = FindCyclicCores(graph_);
+  ASSERT_EQ(cores.size(), 1u);
+  EXPECT_EQ(cores[0].node_mask, Mask({2, 3, 4}));
+}
+
+// Theorem 1 classifies the outerjoin shell; a cyclic join core must not
+// change that classification in either direction.
+TEST_F(CyclicCoreTest, ShellClassificationIgnoresCorePresence) {
+  // Nice shell: triangle core with one outerjoin node hanging off.
+  Init(4);
+  Join(0, 1);
+  Join(1, 2);
+  Outer(0, 3);
+  const bool before = CheckFreelyReorderable(graph_).freely_reorderable();
+  EXPECT_TRUE(before);
+  Join(2, 0);  // close the cycle
+  ASSERT_EQ(FindCyclicCores(graph_).size(), 1u);
+  EXPECT_EQ(CheckFreelyReorderable(graph_).freely_reorderable(), before);
+}
+
+TEST_F(CyclicCoreTest, ShellViolationUnaffectedByCore) {
+  // Join at a null-supplied node (Lemma 1 violation) stays a violation
+  // whether or not the join part is cyclic.
+  Init(5);
+  Join(0, 1);
+  Join(1, 2);
+  Outer(0, 3);
+  Join(3, 4);  // X -> Y - Z: join edge at null-supplied node 3
+  const ReorderabilityCheck before = CheckFreelyReorderable(graph_);
+  EXPECT_FALSE(before.freely_reorderable());
+  Join(2, 0);  // close the join cycle
+  ASSERT_EQ(FindCyclicCores(graph_).size(), 1u);
+  const ReorderabilityCheck after = CheckFreelyReorderable(graph_);
+  EXPECT_FALSE(after.freely_reorderable());
+  EXPECT_EQ(after.nice.violation, before.nice.violation);
+}
+
+}  // namespace
+}  // namespace fro

@@ -18,9 +18,9 @@ TEST(IndexManagerTest, CreateFindReplace) {
   auto db = MakeExample1Database(10);
   AttrId r3k = db->Attr("R3", "k");
   IndexManager manager;
-  EXPECT_EQ(manager.Find(db->Rel("R3"), {r3k}), nullptr);
+  EXPECT_EQ(manager.Find(*db, db->Rel("R3"), {r3k}), nullptr);
   manager.CreateIndex(*db, db->Rel("R3"), {r3k});
-  const HashIndex* index = manager.Find(db->Rel("R3"), {r3k});
+  const HashIndex* index = manager.Find(*db, db->Rel("R3"), {r3k});
   ASSERT_NE(index, nullptr);
   EXPECT_EQ(index->num_keys(), 10u);
   // Rebuilding replaces rather than duplicates.
@@ -30,7 +30,7 @@ TEST(IndexManagerTest, CreateFindReplace) {
   manager.CreateIndex(*db, db->Rel("R2"), {db->Attr("R2", "fk")});
   EXPECT_EQ(manager.num_indexes(), 2u);
   // Wrong relation or keys: not found.
-  EXPECT_EQ(manager.Find(db->Rel("R1"), {r3k}), nullptr);
+  EXPECT_EQ(manager.Find(*db, db->Rel("R1"), {r3k}), nullptr);
 }
 
 TEST(IndexManagerTest, EvaluatorUsesIndexAndAgrees) {
@@ -107,7 +107,7 @@ TEST(IndexManagerTest, KernelLevelPrebuiltIndex) {
   db.AddRow(r, {Value::Int(1)});
   IndexManager manager;
   manager.CreateIndex(db, r, {db.Attr("R", "y")});
-  const HashIndex* index = manager.Find(r, {db.Attr("R", "y")});
+  const HashIndex* index = manager.Find(db, r, {db.Attr("R", "y")});
   ASSERT_NE(index, nullptr);
   PredicatePtr pred = EqCols(db.Attr("L", "x"), db.Attr("R", "y"));
   KernelStats stats;
@@ -119,6 +119,52 @@ TEST(IndexManagerTest, KernelLevelPrebuiltIndex) {
   Relation nl = Join(db.relation(l), db.relation(r), pred,
                      JoinAlgo::kNestedLoop, nullptr, index);
   EXPECT_TRUE(BagEquals(out, nl));
+}
+
+// Regression: an index built before a mutation used to keep serving the
+// pre-mutation rows. Snapshots now carry the relation's generation and a
+// stale entry is refused, so evaluation falls back to an ad-hoc join and
+// stays correct; Refresh() rebuilds against the current contents.
+TEST(IndexManagerTest, StaleSnapshotsAreRefused) {
+  Database db;
+  RelId l = *db.AddRelation("L", {"x"});
+  RelId r = *db.AddRelation("R", {"y"});
+  db.AddRow(l, {Value::Int(1)});
+  db.AddRow(l, {Value::Int(2)});
+  db.AddRow(r, {Value::Int(1)});
+  AttrId ry = db.Attr("R", "y");
+
+  IndexManager manager;
+  manager.CreateIndex(db, r, {ry});
+  ASSERT_NE(manager.Find(db, r, {ry}), nullptr);
+
+  // Any mutation bumps the relation's generation: the snapshot is stale
+  // and must not be served.
+  db.AddRow(r, {Value::Int(2)});
+  EXPECT_EQ(manager.Find(db, r, {ry}), nullptr);
+  ASSERT_EQ(manager.ListIndexes(db).size(), 1u);
+  EXPECT_TRUE(manager.ListIndexes(db)[0].stale);
+
+  // The evaluator consults the manager but silently falls back, so the
+  // post-mutation row participates in the join.
+  ExprPtr join = Expr::Join(Expr::Leaf(l, db), Expr::Leaf(r, db),
+                            EqCols(db.Attr("L", "x"), ry));
+  EvalOptions with_indexes;
+  with_indexes.indexes = &manager;
+  Relation out = Eval(join, db, with_indexes);
+  EXPECT_EQ(out.NumRows(), 2u);
+  EXPECT_TRUE(BagEquals(out, Eval(join, db)));
+
+  // Refresh rebuilds the stale entry against the current contents.
+  EXPECT_EQ(manager.Refresh(db), 1u);
+  const HashIndex* fresh = manager.Find(db, r, {ry});
+  ASSERT_NE(fresh, nullptr);
+  EXPECT_EQ(fresh->num_keys(), 2u);
+  EXPECT_FALSE(manager.ListIndexes(db)[0].stale);
+
+  // mutable_relation hands out write access, so it too invalidates.
+  db.mutable_relation(r);
+  EXPECT_EQ(manager.Find(db, r, {ry}), nullptr);
 }
 
 }  // namespace
