@@ -1,0 +1,268 @@
+// Yannakakis semijoin programs vs the best binary plan on skewed
+// acyclic chains. The chain R1(a,b) - R2(b,c) - R3(c,d) is built so
+// that EVERY binary join order hits a ~K^2 many-to-many intermediate
+// that is entirely dangling: R2 carries K rows on a heavy b-key that
+// die toward R3 and K rows on a heavy c-key that die toward R1, while
+// the small live block (s rows) fans out to f matches on each end. The
+// semijoin program reduces R2 to the live block first, so its
+// intermediates stay linear in input + output; the advantage grows
+// with K. A 4-chain variant stacks two dangling blowups.
+//
+// For every workload and scale the query is planned twice — once with
+// the acyclic pass disabled (the DPccp binary plan) and once through
+// the full cost-gated pipeline (which must choose the semijoin
+// program; the bench CHECKs that the gate fired) — and both plans are
+// drained through the batch engine with cross-checked cardinalities.
+// Emits a JSON array on stdout (scripts/bench.sh redirects it into
+// BENCH_PR9.json); each row is {pipeline, rows, out_rows, batch_ns,
+// batch_min_ns, batch_max_ns} with "speedup_vs_binary" on the acyclic
+// rows — the field the PR 9 acceptance bar (>= 2x on the skewed
+// chains) reads, while batch_ns/batch_min_ns let
+// scripts/bench_compare.py gate regressions. `--smoke` reduces the
+// repetition count for CI.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "algebra/expr.h"
+#include "common/check.h"
+#include "exec/build.h"
+#include "optimizer/optimizer.h"
+#include "relational/predicate.h"
+
+namespace fro {
+namespace {
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct Timing {
+  int64_t median_ns = 0;
+  int64_t min_ns = 0;
+  int64_t max_ns = 0;
+};
+
+template <typename RunOnce>
+Timing MeasureReps(int reps, RunOnce&& run_once) {
+  std::vector<int64_t> samples;
+  samples.reserve(static_cast<size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    const int64_t start = NowNs();
+    run_once();
+    samples.push_back(NowNs() - start);
+  }
+  std::sort(samples.begin(), samples.end());
+  Timing t;
+  const size_t n = samples.size();
+  t.median_ns = n % 2 == 1 ? samples[n / 2]
+                           : (samples[n / 2 - 1] + samples[n / 2]) / 2;
+  t.min_ns = samples.front();
+  t.max_ns = samples.back();
+  return t;
+}
+
+struct Report {
+  std::string pipeline;
+  size_t rows;      // total input rows across the operands
+  size_t out_rows;  // result cardinality (identical for both plans)
+  Timing timing;
+  double speedup_vs_binary = 0;  // acyclic rows only
+};
+
+// Counts kSemijoin nodes reachable in a plan (shared subtrees counted
+// once per path — nonzero iff the program inserted reductions).
+int CountSemijoins(const ExprPtr& expr) {
+  if (expr == nullptr || expr->kind() == OpKind::kLeaf) return 0;
+  int n = expr->kind() == OpKind::kSemijoin ? 1 : 0;
+  if (expr->is_multiway()) {
+    for (const ExprPtr& child : expr->mj_children()) {
+      n += CountSemijoins(child);
+    }
+    return n;
+  }
+  return n + CountSemijoins(expr->left()) + CountSemijoins(expr->right());
+}
+
+// The middle relation of a dangling blowup: K rows on heavy key
+// `left_key` whose right-hand values are dead downstream, K rows with
+// distinct dead left-hand values on heavy right key `right_key`, and
+// `s` live (0, 0) rows. `dead_base` offsets the dead value ranges so
+// the blocks of different relations never collide.
+void FillDanglingMiddle(Database* db, RelId rel, int k, int s,
+                        int left_key, int right_key, int dead_base) {
+  for (int j = 1; j <= k; ++j) {
+    db->AddRow(rel, {Value::Int(left_key), Value::Int(dead_base + j)});
+    db->AddRow(rel, {Value::Int(dead_base + k + j), Value::Int(right_key)});
+  }
+  for (int i = 0; i < s; ++i) {
+    db->AddRow(rel, {Value::Int(0), Value::Int(0)});
+  }
+}
+
+// An end relation: f live rows keyed 0 and K rows on `heavy_key` (the
+// neighbor's dangling block partner). `key_col` 0 puts the join key in
+// the first column (a left end), 1 in the second (a right end).
+void FillEnd(Database* db, RelId rel, int k, int f, int heavy_key,
+             int key_col) {
+  for (int i = 1; i <= f; ++i) {
+    Value key = Value::Int(0), payload = Value::Int(i);
+    if (key_col == 0) {
+      db->AddRow(rel, {key, payload});
+    } else {
+      db->AddRow(rel, {payload, key});
+    }
+  }
+  for (int j = 1; j <= k; ++j) {
+    Value key = Value::Int(heavy_key), payload = Value::Int(j);
+    if (key_col == 0) {
+      db->AddRow(rel, {key, payload});
+    } else {
+      db->AddRow(rel, {payload, key});
+    }
+  }
+}
+
+// Chain R0(a,b) - R1(b,c) - ... - R{n-1}: Ri.<right> = R{i+1}.<left>.
+ExprPtr ChainQuery(const Database& db, int n) {
+  auto attr = [&](int i, const char* name) {
+    return db.Attr("R" + std::to_string(i), name);
+  };
+  ExprPtr expr = Expr::Leaf(0, db);
+  for (int i = 1; i < n; ++i) {
+    expr = Expr::Join(expr, Expr::Leaf(static_cast<RelId>(i), db),
+                      EqCols(attr(i - 1, "a1"), attr(i, "a0")));
+  }
+  return expr;
+}
+
+size_t TotalRows(const Database& db, int num_rels) {
+  size_t total = 0;
+  for (RelId r = 0; r < static_cast<RelId>(num_rels); ++r) {
+    total += db.relation(r).NumRows();
+  }
+  return total;
+}
+
+void Measure(const std::string& name, const ExprPtr& query,
+             const Database& db, int num_rels, int reps,
+             std::vector<Report>* reports) {
+  OptimizeOptions off;
+  off.pipeline = RewritePipeline::Default().Without("acyclic");
+  Result<OptimizeOutcome> binary = Optimize(query, db, off);
+  FRO_CHECK(binary.ok()) << binary.status().ToString();
+  // The full pipeline: the cost-gated acyclic pass must pick the
+  // semijoin program on these shapes — the bench measures the shipped
+  // planner decision, not a forced rewrite.
+  Result<OptimizeOutcome> acyclic = Optimize(query, db);
+  FRO_CHECK(acyclic.ok()) << acyclic.status().ToString();
+  FRO_CHECK(CountSemijoins(acyclic->plan) > 0)
+      << name << ": the cost gate did not choose a semijoin program";
+
+  const size_t rows = TotalRows(db, num_rels);
+  size_t binary_out = 0, acyclic_out = 0;
+  // One untimed warmup per plan.
+  binary_out = ExecuteBatched(binary->plan, db).NumRows();
+  acyclic_out = ExecuteBatched(acyclic->plan, db).NumRows();
+  const Timing binary_t = MeasureReps(reps, [&] {
+    binary_out = ExecuteBatched(binary->plan, db).NumRows();
+  });
+  const Timing acyclic_t = MeasureReps(reps, [&] {
+    acyclic_out = ExecuteBatched(acyclic->plan, db).NumRows();
+  });
+  FRO_CHECK(binary_out == acyclic_out)
+      << name << ": binary " << binary_out << " rows, acyclic "
+      << acyclic_out;
+
+  reports->push_back({name + "_binary", rows, binary_out, binary_t, 0});
+  reports->push_back({name + "_acyclic", rows, acyclic_out, acyclic_t,
+                      static_cast<double>(binary_t.median_ns) /
+                          static_cast<double>(acyclic_t.median_ns)});
+}
+
+void Emit(const std::vector<Report>& reports) {
+  std::printf("[\n");
+  for (size_t i = 0; i < reports.size(); ++i) {
+    const Report& r = reports[i];
+    std::printf(
+        "  {\"pipeline\": \"%s\", \"rows\": %zu, \"out_rows\": %zu, "
+        "\"batch_ns\": %lld, \"batch_min_ns\": %lld, "
+        "\"batch_max_ns\": %lld",
+        r.pipeline.c_str(), r.rows, r.out_rows,
+        static_cast<long long>(r.timing.median_ns),
+        static_cast<long long>(r.timing.min_ns),
+        static_cast<long long>(r.timing.max_ns));
+    if (r.speedup_vs_binary > 0) {
+      std::printf(", \"speedup_vs_binary\": %.2f", r.speedup_vs_binary);
+    }
+    std::printf("}%s\n", i + 1 < reports.size() ? "," : "");
+  }
+  std::printf("]\n");
+}
+
+int Main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      return 2;
+    }
+  }
+  // Smoke lowers the repetition count only: the scales (and so the
+  // pipeline names) stay identical, which scripts/bench_compare.py
+  // needs to match a smoke run against the committed full-run baseline.
+  const int reps = smoke ? 5 : 9;
+  const int f = 8;  // live fan on each chain end
+  const int s = 2;  // live rows in each middle relation
+  const std::vector<int> chain3_scales = {100, 200, 400};
+  const std::vector<int> chain4_scales = {100, 200};
+
+  std::vector<Report> reports;
+  for (int k : chain3_scales) {
+    // R0 -(b, heavy key 1)- R1 -(c, heavy key 2)- R2. R1's dead blocks
+    // pair with the ends' heavy keys, so both join orders blow up.
+    Database db;
+    RelId r0 = *db.AddRelation("R0", {"a0", "a1"});
+    RelId r1 = *db.AddRelation("R1", {"a0", "a1"});
+    RelId r2 = *db.AddRelation("R2", {"a0", "a1"});
+    FillEnd(&db, r0, k, f, /*heavy_key=*/1, /*key_col=*/1);
+    FillDanglingMiddle(&db, r1, k, s, /*left_key=*/1, /*right_key=*/2,
+                       /*dead_base=*/1000);
+    FillEnd(&db, r2, k, f, /*heavy_key=*/2, /*key_col=*/0);
+    Measure("chain3_k" + std::to_string(k), ChainQuery(db, 3), db, 3, reps,
+            &reports);
+  }
+  for (int k : chain4_scales) {
+    // Two dangling middles back to back; their shared join key is live
+    // only on the (0, 0) block.
+    Database db;
+    RelId r0 = *db.AddRelation("R0", {"a0", "a1"});
+    RelId r1 = *db.AddRelation("R1", {"a0", "a1"});
+    RelId r2 = *db.AddRelation("R2", {"a0", "a1"});
+    RelId r3 = *db.AddRelation("R3", {"a0", "a1"});
+    FillEnd(&db, r0, k, f, /*heavy_key=*/1, /*key_col=*/1);
+    FillDanglingMiddle(&db, r1, k, s, /*left_key=*/1, /*right_key=*/3,
+                       /*dead_base=*/1000);
+    FillDanglingMiddle(&db, r2, k, s, /*left_key=*/3, /*right_key=*/2,
+                       /*dead_base=*/5000);
+    FillEnd(&db, r3, k, f, /*heavy_key=*/2, /*key_col=*/0);
+    Measure("chain4_k" + std::to_string(k), ChainQuery(db, 4), db, 4, reps,
+            &reports);
+  }
+  Emit(reports);
+  return 0;
+}
+
+}  // namespace
+}  // namespace fro
+
+int main(int argc, char** argv) { return fro::Main(argc, argv); }

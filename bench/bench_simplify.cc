@@ -74,7 +74,7 @@ void BM_RunWithSimplificationAndReorder(benchmark::State& state) {
   options.cost_kind = CostKind::kBaseRetrievals;
   Result<OptimizeOutcome> outcome = Optimize(f.query, *f.db, options);
   FRO_CHECK(outcome.ok());
-  FRO_CHECK_EQ(outcome->outerjoins_simplified, 1);
+  FRO_CHECK_EQ(outcome->PassApplications("simplify"), 1);
   FRO_CHECK(outcome->freely_reorderable);
   uint64_t base_reads = 0;
   for (auto _ : state) {

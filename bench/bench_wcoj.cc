@@ -132,7 +132,9 @@ void Measure(const std::string& name, const ExprPtr& query,
              const Database& db, int num_rels, int reps,
              std::vector<Report>* reports) {
   OptimizeOptions off;
-  off.enable_multiway_joins = false;
+  // Pure binary baseline: no multiway collapse, no semijoin programs.
+  off.pipeline =
+      RewritePipeline::Default().Without("wcoj").Without("acyclic");
   Result<OptimizeOutcome> binary = Optimize(query, db, off);
   FRO_CHECK(binary.ok()) << binary.status().ToString();
   ExprPtr multiway = ForceMultiwayJoins(query);

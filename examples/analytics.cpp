@@ -48,7 +48,7 @@ void Report(const Database& db, const char* title, const char* query_text) {
     std::printf("optimize error: %s\n", plan.status().ToString().c_str());
     return;
   }
-  std::printf("-- %s\n", plan->notes.c_str());
+  std::printf("-- %s\n", plan->Summary().c_str());
   std::printf("%s", Explain(plan->plan, db).c_str());
   Relation out = ExecutePipelined(plan->plan, db);
   std::printf("%s(%zu rows)\n", CanonicalString(out, &db.catalog()).c_str(),

@@ -74,7 +74,8 @@ int main() {
   }
   std::printf("\n— optimizer pipeline —\n");
   std::printf("simplified %d outerjoin(s); %s\n",
-              outcome->outerjoins_simplified, outcome->notes.c_str());
+              outcome->PassApplications("simplify"),
+              outcome->Summary().c_str());
   std::printf("plan: %s\n",
               outcome->plan->ToString(&db->catalog()).c_str());
   return 0;

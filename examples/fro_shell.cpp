@@ -140,7 +140,7 @@ void RunPlain(const NestedDb& db, const std::string& query) {
   const Catalog& catalog = run->translation.db->catalog();
   std::printf("%s", PrettyTable(run->relation, &catalog).c_str());
   std::printf("(%zu rows; %s)\n", run->relation.NumRows(),
-              run->optimize.notes.c_str());
+              run->optimize.Summary().c_str());
 }
 
 void RunExplain(const NestedDb& db, const std::string& query) {
@@ -162,6 +162,8 @@ void RunAnalyze(const NestedDb& db, const std::string& query) {
   ExplainAnalyzeResult analyzed =
       ExplainAnalyze(run->optimize.plan, *run->translation.db);
   std::printf("%s", analyzed.text.c_str());
+  // Same per-pass rendering as the server's ANALYZE verb and STATS.
+  std::printf("%s", FormatPassStats(run->optimize.passes).c_str());
   std::printf(
       "(%zu rows; %llu base tuples read; %llu tuples read in total; "
       "worst q-error %.2f)\n",

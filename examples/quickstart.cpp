@@ -66,7 +66,7 @@ int main() {
                 outcome.status().ToString().c_str());
     return 1;
   }
-  std::printf("optimizer: %s\n", outcome->notes.c_str());
+  std::printf("optimizer: %s\n", outcome->Summary().c_str());
   std::printf("plan:   %s  (cost %.1f, was %.1f)\n",
               outcome->plan->ToString(&db.catalog()).c_str(), outcome->cost,
               outcome->original_cost);

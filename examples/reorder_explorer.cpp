@@ -77,7 +77,7 @@ void Explore(const char* title, const ExprPtr& query, const Database& db) {
 
   Result<OptimizeOutcome> outcome = Optimize(query, db);
   if (outcome.ok()) {
-    std::printf("optimizer: %s\n", outcome->notes.c_str());
+    std::printf("optimizer: %s\n", outcome->Summary().c_str());
     std::printf("plan: %s\n",
                 outcome->plan->ToString(&db.catalog()).c_str());
     std::printf("plan agrees with query: %s\n",

@@ -1,0 +1,114 @@
+#include "acyclic/gyo.h"
+
+#include <map>
+
+#include "common/check.h"
+#include "graph/attr_classes.h"
+
+namespace fro {
+
+JoinHypergraph BuildJoinHypergraph(
+    const std::vector<ExprPtr>& operands,
+    const std::vector<PredicatePtr>& conjuncts) {
+  JoinHypergraph hg;
+  hg.edge_vars.assign(operands.size(), 0);
+
+  PredicatePtr all;
+  for (const PredicatePtr& c : conjuncts) all = AndOf(all, c);
+  const std::map<AttrId, std::vector<AttrId>> classes = AttrEqClasses(all);
+
+  for (const auto& [root, members] : classes) {
+    uint64_t covering = 0;
+    for (size_t i = 0; i < operands.size(); ++i) {
+      for (AttrId member : members) {
+        if (operands[i]->attrs().Contains(member)) {
+          covering |= uint64_t{1} << i;
+          break;
+        }
+      }
+    }
+    // A class confined to one operand is not a join variable: it only
+    // feeds intra-operand filters, which carry no hypergraph structure.
+    if (__builtin_popcountll(covering) < 2) continue;
+    if (hg.var_reps.size() == 64) {
+      hg.ok = false;
+      return hg;
+    }
+    const size_t v = hg.var_reps.size();
+    hg.var_reps.push_back(root);
+    for (size_t i = 0; i < operands.size(); ++i) {
+      if ((covering >> i) & 1) hg.edge_vars[i] |= uint64_t{1} << v;
+    }
+  }
+  return hg;
+}
+
+JoinTree GyoReduce(const JoinHypergraph& hypergraph) {
+  JoinTree tree;
+  const size_t n = hypergraph.edge_vars.size();
+  tree.parent.assign(n, -1);
+  if (!hypergraph.ok) return tree;  // cyclic: too large to represent
+  FRO_CHECK(n <= 64) << "join region exceeds 64 operands";
+
+  std::vector<uint64_t> vars = hypergraph.edge_vars;
+  std::vector<bool> active(n, true);
+  size_t num_active = n;
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+
+    // Rule 1: drop vertices contained in at most one active edge.
+    for (size_t v = 0; v < hypergraph.var_reps.size(); ++v) {
+      const uint64_t bit = uint64_t{1} << v;
+      size_t count = 0;
+      for (size_t i = 0; i < n; ++i) {
+        if (active[i] && (vars[i] & bit) != 0) ++count;
+      }
+      if (count == 1) {
+        for (size_t i = 0; i < n; ++i) vars[i] &= ~bit;
+        changed = true;
+      }
+    }
+
+    // Rule 2: remove one ear — an active edge whose vertices are all
+    // contained in another active edge. An edge stripped to zero
+    // vertices is its component's last survivor (or a cross-join
+    // island) and becomes a root rather than anyone's child.
+    bool removed_ear = false;
+    for (size_t i = 0; i < n && !removed_ear; ++i) {
+      if (!active[i]) continue;
+      if (vars[i] == 0) {
+        active[i] = false;
+        --num_active;
+        changed = true;
+        continue;
+      }
+      for (size_t j = 0; j < n; ++j) {
+        if (j == i || !active[j]) continue;
+        if ((vars[i] & ~vars[j]) == 0) {
+          active[i] = false;
+          --num_active;
+          tree.parent[i] = static_cast<int>(j);
+          tree.removal_order.push_back(static_cast<int>(i));
+          changed = true;
+          removed_ear = true;  // re-run rule 1 before the next ear
+          break;
+        }
+      }
+    }
+  }
+
+  tree.acyclic = num_active == 0;
+  if (!tree.acyclic) {
+    tree.parent.assign(n, -1);
+    tree.removal_order.clear();
+    return tree;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (tree.parent[i] < 0) tree.roots.push_back(static_cast<int>(i));
+  }
+  return tree;
+}
+
+}  // namespace fro

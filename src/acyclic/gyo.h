@@ -1,0 +1,71 @@
+// GYO ear reduction: alpha-acyclicity detection and join-tree
+// construction for join-only regions. The complement of wcoj's cyclic
+// cores: the paper's Section 4 simplifier turns outerjoins into joins,
+// and every join-only region that is NOT cyclic admits a join tree and
+// with it a Yannakakis semijoin program whose intermediates never blow
+// up past input+output size (see yannakakis.h).
+//
+// The hypergraph's vertices are the join variables — attribute
+// equivalence classes (graph/attr_classes.h) spanning at least two
+// operands — and its hyperedges are the region's frontier operands.
+// GYO reduction repeats two rules until neither applies: drop a vertex
+// contained in at most one remaining edge, and remove an edge whose
+// vertex set is contained in another remaining edge (an "ear",
+// recording the container as its join-tree parent). The hypergraph is
+// alpha-acyclic iff the reduction consumes every edge; the removal
+// order is then bottom-up in the join tree (a child is always removed
+// while its parent is still active).
+
+#ifndef FRO_ACYCLIC_GYO_H_
+#define FRO_ACYCLIC_GYO_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "algebra/expr.h"
+
+namespace fro {
+
+/// Join hypergraph of one join region: one hyperedge per frontier
+/// operand, one vertex per inter-operand attribute equivalence class.
+struct JoinHypergraph {
+  /// Canonical representative (minimum AttrId) of each join variable,
+  /// ascending. At most 64 variables.
+  std::vector<AttrId> var_reps;
+  /// Per operand, bitmask over var_reps indices: which join variables
+  /// the operand covers.
+  std::vector<uint64_t> edge_vars;
+  /// False when the region exceeds the 64-variable representation;
+  /// callers must then skip the rewrite (GyoReduce reports cyclic).
+  bool ok = true;
+};
+
+/// Builds the hypergraph from a region's operands and the column-
+/// equality conjuncts among them (non-equality conjuncts carry no
+/// structure; they are applied as filters by the planner).
+JoinHypergraph BuildJoinHypergraph(const std::vector<ExprPtr>& operands,
+                                   const std::vector<PredicatePtr>& conjuncts);
+
+/// Join tree (forest, when the region has cross-join islands) produced
+/// by GYO reduction.
+struct JoinTree {
+  /// True iff the hypergraph is alpha-acyclic. The remaining fields are
+  /// only meaningful when true.
+  bool acyclic = false;
+  /// Parent operand index of each operand; -1 for component roots.
+  std::vector<int> parent;
+  /// Non-root operands in GYO removal order — bottom-up: every operand
+  /// appears before its parent.
+  std::vector<int> removal_order;
+  /// Component roots, ascending.
+  std::vector<int> roots;
+};
+
+/// Runs GYO ear reduction. Deterministic: the lowest-index removable
+/// ear goes first, witnessed by the lowest-index container. A
+/// hypergraph flagged !ok reports cyclic (no rewrite).
+JoinTree GyoReduce(const JoinHypergraph& hypergraph);
+
+}  // namespace fro
+
+#endif  // FRO_ACYCLIC_GYO_H_

@@ -1,0 +1,117 @@
+#include "acyclic/yannakakis.h"
+
+#include "common/check.h"
+
+namespace fro {
+
+namespace {
+
+/// Linking predicate of the tree edge (child, parent): the conjuncts
+/// whose references live entirely within the two operands and touch
+/// both. Operand attribute sets are disjoint, so a conjunct qualifies
+/// for exactly one unordered operand pair.
+PredicatePtr LinkingPred(const ExprPtr& child, const ExprPtr& parent,
+                         const std::vector<PredicatePtr>& conjuncts) {
+  const AttrSet both = child->attrs().Union(parent->attrs());
+  PredicatePtr pred;
+  for (const PredicatePtr& c : conjuncts) {
+    const AttrSet& refs = c->References();
+    if (both.ContainsAll(refs) && refs.Overlaps(child->attrs()) &&
+        refs.Overlaps(parent->attrs())) {
+      pred = AndOf(std::move(pred), c);
+    }
+  }
+  return pred;
+}
+
+}  // namespace
+
+SemijoinProgram PlanYannakakis(const std::vector<ExprPtr>& operands,
+                               const std::vector<PredicatePtr>& conjuncts,
+                               const JoinTree& tree,
+                               const CardinalityEstimator* estimator,
+                               const YannakakisOptions& options) {
+  FRO_CHECK(tree.acyclic);
+  FRO_CHECK(tree.parent.size() == operands.size());
+  SemijoinProgram program;
+
+  // `current[i]` is operand i with its reductions applied so far.
+  std::vector<ExprPtr> current = operands;
+  auto reduce = [&](int kept, int other) {
+    const PredicatePtr pred =
+        LinkingPred(current[other], current[kept], conjuncts);
+    if (pred == nullptr) return;  // cross-join tree edge: nothing to key on
+    ExprPtr candidate = Expr::Semijoin(current[kept], current[other], pred,
+                                       /*keeps_left=*/true);
+    if (estimator != nullptr) {
+      const double before = estimator->Estimate(current[kept]);
+      const double after = estimator->Estimate(candidate);
+      if (before <= 0 || after >= options.min_reduction * before) return;
+    }
+    current[kept] = std::move(candidate);
+    ++program.semijoins;
+  };
+
+  // Bottom-up: removal order guarantees children are fully processed
+  // (their own subtrees already folded in) before their parent reduces.
+  for (const int child : tree.removal_order) {
+    reduce(tree.parent[child], child);
+  }
+  if (options.top_down) {
+    for (auto it = tree.removal_order.rbegin();
+         it != tree.removal_order.rend(); ++it) {
+      reduce(*it, tree.parent[*it]);
+    }
+  }
+
+  // Join phase: pre-order from each root keeps every joined operand
+  // adjacent (in the tree) to the prefix. Conjunct usage restarts here —
+  // semijoins only filtered; the joins must still apply every conjunct.
+  std::vector<std::vector<int>> children(operands.size());
+  for (size_t i = 0; i < operands.size(); ++i) {
+    if (tree.parent[i] >= 0) children[tree.parent[i]].push_back(i);
+  }
+  std::vector<bool> used(conjuncts.size(), false);
+  auto join_step = [&](ExprPtr acc, const ExprPtr& next) {
+    const AttrSet joined = acc->attrs().Union(next->attrs());
+    PredicatePtr pred;
+    for (size_t k = 0; k < conjuncts.size(); ++k) {
+      if (used[k]) continue;
+      if (joined.ContainsAll(conjuncts[k]->References())) {
+        pred = AndOf(std::move(pred), conjuncts[k]);
+        used[k] = true;
+      }
+    }
+    return Expr::Join(std::move(acc), next, std::move(pred));
+  };
+
+  ExprPtr result;
+  for (const int root : tree.roots) {
+    std::vector<int> stack = {root};
+    while (!stack.empty()) {
+      const int node = stack.back();
+      stack.pop_back();
+      result = result == nullptr ? current[node]
+                                 : join_step(std::move(result), current[node]);
+      for (auto it = children[node].rbegin(); it != children[node].rend();
+           ++it) {
+        stack.push_back(*it);
+      }
+    }
+  }
+  FRO_CHECK(result != nullptr);
+
+  // Safety net: anything the joins never covered (cannot happen for
+  // region-local conjuncts) still applies at the top.
+  PredicatePtr leftover;
+  for (size_t k = 0; k < conjuncts.size(); ++k) {
+    if (!used[k]) leftover = AndOf(std::move(leftover), conjuncts[k]);
+  }
+  if (leftover != nullptr) {
+    result = Expr::Restrict(std::move(result), std::move(leftover));
+  }
+  program.expr = std::move(result);
+  return program;
+}
+
+}  // namespace fro

@@ -1,0 +1,61 @@
+// Yannakakis semijoin programs over a GYO join tree. Given a join-only
+// region whose hypergraph reduced to a join tree (gyo.h), plans:
+//
+//   1. A bottom-up semijoin pass (in GYO removal order, so children
+//      before parents): parent := parent SEMIJOIN child on the tree
+//      edge's linking conjuncts. After the pass the root is fully
+//      reduced — every surviving root tuple extends to an output tuple.
+//   2. Optionally a top-down pass (reverse order) fully reducing every
+//      operand; off by default because the engines share no common
+//      subexpressions, so each extra reduction re-executes the parent.
+//   3. The joins along the tree, pre-order from each root, so every
+//      intermediate only contains tuples extendable to output.
+//
+// Safe-subjoin gating: with a cardinality estimator, each candidate
+// reduction is applied only when the estimated survivor fraction beats
+// `min_reduction` — reductions that keep (nearly) everything cost a
+// pass over the parent for nothing. With a null estimator every
+// reduction is applied (the forced mode fuzzing uses).
+//
+// Soundness does not rest on acyclicity: every semijoin filters by a
+// subset of the region's conjuncts, and the join phase re-applies all
+// conjuncts (earliest covering join, top Restrict safety net), so the
+// program computes the region's relation even if the tree were wrong.
+// Acyclicity is what bounds the intermediates.
+
+#ifndef FRO_ACYCLIC_YANNAKAKIS_H_
+#define FRO_ACYCLIC_YANNAKAKIS_H_
+
+#include <vector>
+
+#include "acyclic/gyo.h"
+#include "algebra/expr.h"
+#include "optimizer/cardinality.h"
+
+namespace fro {
+
+struct YannakakisOptions {
+  /// Apply a reduction only when the estimated survivor fraction of the
+  /// reduced side is below this (ignored without an estimator).
+  double min_reduction = 0.95;
+  /// Also run the top-down pass (full reduction).
+  bool top_down = false;
+};
+
+struct SemijoinProgram {
+  ExprPtr expr;
+  /// Semijoin reductions actually inserted.
+  int semijoins = 0;
+};
+
+/// Plans the semijoin program for one region. `tree` must be acyclic
+/// and sized to `operands`. A null `estimator` applies every reduction.
+SemijoinProgram PlanYannakakis(const std::vector<ExprPtr>& operands,
+                               const std::vector<PredicatePtr>& conjuncts,
+                               const JoinTree& tree,
+                               const CardinalityEstimator* estimator,
+                               const YannakakisOptions& options = {});
+
+}  // namespace fro
+
+#endif  // FRO_ACYCLIC_YANNAKAKIS_H_

@@ -190,6 +190,18 @@ ExprPtr Expr::FinishBinary(std::shared_ptr<Expr> node) {
   return Seal(std::move(node));
 }
 
+ExprPtr Expr::FinishFiltering(std::shared_ptr<Expr> node) {
+  FRO_CHECK(node->left_ != nullptr && node->right_ != nullptr);
+  // Semijoin/antijoin emit tuples of the kept side only, so rel_mask_
+  // (output provenance) covers just that side. This lets a Yannakakis
+  // program join a relation that already served as a probe side without
+  // tripping the plain-join disjointness check.
+  const ExprPtr& kept = node->preserves_left_ ? node->left_ : node->right_;
+  node->rel_mask_ = kept->rel_mask_;
+  node->num_leaves_ = node->left_->num_leaves_ + node->right_->num_leaves_;
+  return Seal(std::move(node));
+}
+
 ExprPtr Expr::Join(ExprPtr left, ExprPtr right, PredicatePtr pred) {
   auto node = Make();
   node->kind_ = OpKind::kJoin;
@@ -221,7 +233,7 @@ ExprPtr Expr::Antijoin(ExprPtr left, ExprPtr right, PredicatePtr pred,
   node->right_ = std::move(right);
   node->pred_ = std::move(pred);
   node->preserves_left_ = keeps_left;
-  return FinishBinary(std::move(node));
+  return FinishFiltering(std::move(node));
 }
 
 ExprPtr Expr::Semijoin(ExprPtr left, ExprPtr right, PredicatePtr pred,
@@ -233,7 +245,7 @@ ExprPtr Expr::Semijoin(ExprPtr left, ExprPtr right, PredicatePtr pred,
   node->right_ = std::move(right);
   node->pred_ = std::move(pred);
   node->preserves_left_ = keeps_left;
-  return FinishBinary(std::move(node));
+  return FinishFiltering(std::move(node));
 }
 
 ExprPtr Expr::Goj(ExprPtr left, ExprPtr right, PredicatePtr pred,

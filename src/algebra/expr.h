@@ -147,6 +147,7 @@ class Expr {
     return std::shared_ptr<Expr>(new Expr());
   }
   static ExprPtr FinishBinary(std::shared_ptr<Expr> node);
+  static ExprPtr FinishFiltering(std::shared_ptr<Expr> node);
   /// Computes the node's hash and hands it to the interning arena;
   /// returns the canonical shared node. Every factory funnels through it.
   static ExprPtr Seal(std::shared_ptr<Expr> node);

@@ -14,7 +14,7 @@ const char* kProfileNames[] = {
     "nice-strong",    "null-heavy",  "weak-preds",
     "join-at-null",   "two-in-edges", "oj-cycle",
     "cyclic-core",    "dupfree-goj", "empty-relations",
-    "wide-scheme",    "graph-pattern",
+    "wide-scheme",    "graph-pattern", "acyclic-chain",
 };
 static_assert(sizeof(kProfileNames) / sizeof(kProfileNames[0]) ==
               static_cast<size_t>(FuzzProfile::kNumProfiles));
@@ -94,6 +94,23 @@ RandomQueryOptions OptionsFor(FuzzProfile profile, Rng* rng) {
       options.rows.rows_max = 8;
       options.rows.domain = 3;
       options.rows.null_prob = 0.3;
+      options.rows.skew = 2;
+      break;
+    }
+    case FuzzProfile::kAcyclicChain: {
+      // A chordless join chain (the canonical GYO-reducible core) with
+      // 0-2 outerjoin shell nodes. Skewed many-to-many keys on a tiny
+      // domain make dangling tuples plentiful, which is exactly where
+      // Yannakakis semijoin reduction diverges from binary plans if it
+      // drops or double-counts anything; nulls keep the 3VL path hot.
+      options.core_shape = RandomQueryOptions::CoreShape::kChain;
+      options.chain_length = 3 + static_cast<int>(rng->Uniform(2));  // 3..4
+      options.num_relations =
+          options.chain_length + static_cast<int>(rng->Uniform(3));
+      options.rows.rows_min = 1;
+      options.rows.rows_max = 8;
+      options.rows.domain = 3;
+      options.rows.null_prob = 0.25;
       options.rows.skew = 2;
       break;
     }

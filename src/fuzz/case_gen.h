@@ -41,6 +41,11 @@ enum class FuzzProfile : uint8_t {
   kGraphPattern,      // triangle/4-cycle join cores inside outerjoin
                       // shells over skewed, null-heavy data: the shapes
                       // the wcoj subsystem collapses to leapfrog joins
+  kAcyclicChain,      // chordless join chains over skewed many-to-many
+                      // null-heavy keys, often under a strong Restrict
+                      // (the Section 4 simplification turning shell
+                      // outerjoins into joins enlarges the acyclic
+                      // core): the GYO/Yannakakis fast-path shapes
   kNumProfiles,
 };
 

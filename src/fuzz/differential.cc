@@ -14,6 +14,7 @@
 #include "fuzz/oracle.h"
 #include "graph/from_expr.h"
 #include "graph/nice.h"
+#include "optimizer/acyclic_rewrite.h"
 #include "optimizer/goj_rewrite.h"
 #include "optimizer/optimizer.h"
 #include "optimizer/plan_cache.h"
@@ -255,6 +256,86 @@ class Differ {
     }
   }
 
+  void CheckAcyclic() {
+    // Forced semijoin programs: rewrite every acyclic pure-join region
+    // into a fully-reduced Yannakakis program (bottom-up + top-down, no
+    // gates) and hold it to the oracle on both engines, to exact
+    // tuple/batch counter parity, and to the morsel-parallel executor.
+    // The cost-gated path is separately covered by CheckOptimizer.
+    ExprPtr forced = ForceAcyclicPrograms(c_.query);
+    if (forced == c_.query) return;  // no acyclic region: nothing new
+    if (WantCheck("acyclic-eval")) {
+      ExpectOracle("acyclic-eval", Eval(forced, *c_.db));
+    }
+    if (WantCheck("acyclic-tuple")) {
+      ExpectOracle("acyclic-tuple", ExecutePipelined(forced, *c_.db));
+    }
+    if (WantCheck("acyclic-batch")) {
+      ExpectOracle("acyclic-batch", ExecuteBatched(forced, *c_.db));
+    }
+    if (WantCheck("acyclic-batch-cap1")) {
+      ExpectOracle("acyclic-batch-cap1",
+                   ExecuteBatched(forced, *c_.db, JoinAlgo::kAuto, 1));
+    }
+    if (WantCheck("acyclic-stats-parity")) {
+      IteratorPtr tuple_root = BuildIterator(forced, *c_.db);
+      Relation tuple_out = Drain(tuple_root.get());
+      BatchIteratorPtr batch_root = BuildBatchIterator(forced, *c_.db);
+      Relation batch_out = DrainBatches(batch_root.get());
+      ++report_->checks_run;
+      const ExecStats t = CollectPipelineStats(tuple_root.get());
+      const ExecStats b = CollectPipelineStats(batch_root.get());
+      if (t.left_reads != b.left_reads || t.right_reads != b.right_reads ||
+          t.emitted != b.emitted || t.probes != b.probes ||
+          t.predicate_evals != b.predicate_evals) {
+        report_->divergences.push_back(
+            {"acyclic-stats-parity",
+             "tuple: " + t.ToString() + " (left=" +
+                 std::to_string(t.left_reads) + " right=" +
+                 std::to_string(t.right_reads) + ")\nbatch: " +
+                 b.ToString() + " (left=" + std::to_string(b.left_reads) +
+                 " right=" + std::to_string(b.right_reads) + ")"});
+      }
+      ExpectEqual("acyclic-stats-parity-results", tuple_out, batch_out);
+    }
+    for (const int workers : {1, 2, 4}) {
+      const std::string result_check =
+          "acyclic-parallel-w" + std::to_string(workers);
+      const std::string stats_check =
+          "acyclic-parallel-stats-parity-w" + std::to_string(workers);
+      const bool want_result = WantCheck(result_check);
+      const bool want_stats = WantCheck(stats_check);
+      if (!want_result && !want_stats) continue;
+      ParallelOptions par;
+      par.threads = workers;
+      par.morsel_rows = 2;
+      par.batch_capacity = 4;
+      BatchIteratorPtr root = BuildParallelBatchIterator(forced, *c_.db, par);
+      Relation out = DrainBatches(root.get());
+      if (want_result) ExpectOracle(result_check, out);
+      if (want_stats) {
+        BatchIteratorPtr serial = BuildBatchIterator(forced, *c_.db);
+        DrainBatches(serial.get());
+        ++report_->checks_run;
+        const ExecStats p = CollectPipelineStats(root.get());
+        const ExecStats s = CollectPipelineStats(serial.get());
+        if (p.left_reads != s.left_reads ||
+            p.right_reads != s.right_reads || p.emitted != s.emitted ||
+            p.probes != s.probes ||
+            p.predicate_evals != s.predicate_evals) {
+          report_->divergences.push_back(
+              {stats_check,
+               "serial: " + s.ToString() + " (left=" +
+                   std::to_string(s.left_reads) + " right=" +
+                   std::to_string(s.right_reads) + ")\nparallel: " +
+                   p.ToString() + " (left=" +
+                   std::to_string(p.left_reads) + " right=" +
+                   std::to_string(p.right_reads) + ")"});
+        }
+      }
+    }
+  }
+
   void CheckOptimizer() {
     const bool want_plan = WantCheck("optimizer");
     const bool want_cache = options_.plan_cache && WantCheck("plan-cache");
@@ -366,6 +447,7 @@ class Differ {
     CheckStatsParity();
     CheckParallel();
     CheckMultiway();
+    CheckAcyclic();
     CheckOptimizer();
     CheckClosure();
     CheckItEnumeration();

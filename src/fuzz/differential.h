@@ -8,6 +8,13 @@
 //   batch-engine[-capN]    the vectorized pipeline at several capacities
 //   parallel-engine-wN     the morsel-driven parallel pipeline at N
 //                          workers (tiny morsels force real splitting)
+//   wcoj-*                 forced multiway plans (every pure-join region
+//                          collapsed to a leapfrog join) on every
+//                          engine, with counter parity
+//   acyclic-*              forced Yannakakis semijoin programs (every
+//                          acyclic pure-join region fully reduced,
+//                          bottom-up + top-down, no gates) on every
+//                          engine, with counter parity
 //   optimizer[-plan]       the plan Optimize() picks, on both engines
 //   plan-cache             a second Optimize through an LruPlanCache must
 //                          hit and replay an equal-result plan

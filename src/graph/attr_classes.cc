@@ -1,0 +1,33 @@
+#include "graph/attr_classes.h"
+
+#include <algorithm>
+
+namespace fro {
+
+bool IsColEqCol(const PredicatePtr& pred) {
+  return pred->kind() == Predicate::Kind::kCmp &&
+         pred->cmp_op() == CmpOp::kEq && pred->lhs().is_column() &&
+         pred->rhs().is_column();
+}
+
+std::map<AttrId, std::vector<AttrId>> AttrEqClasses(const PredicatePtr& pred) {
+  std::map<AttrId, std::vector<AttrId>> classes;
+  if (pred == nullptr) return classes;
+
+  AttrUnionFind uf;
+  std::vector<AttrId> eq_attrs;
+  for (const PredicatePtr& c : pred->Conjuncts(pred)) {
+    if (!IsColEqCol(c)) continue;
+    uf.Union(c->lhs().attr(), c->rhs().attr());
+    eq_attrs.push_back(c->lhs().attr());
+    eq_attrs.push_back(c->rhs().attr());
+  }
+  std::sort(eq_attrs.begin(), eq_attrs.end());
+  eq_attrs.erase(std::unique(eq_attrs.begin(), eq_attrs.end()),
+                 eq_attrs.end());
+
+  for (AttrId a : eq_attrs) classes[uf.Find(a)].push_back(a);
+  return classes;
+}
+
+}  // namespace fro

@@ -1,0 +1,58 @@
+// Attribute equivalence classes under column-equality join conjuncts.
+//
+// Several consumers need the same grouping: the leapfrog executor turns
+// `a = b` conjuncts into join variables, the wcoj planner's variable-
+// order search weighs the classes by distinct counts, and the acyclic
+// subsystem's hypergraph uses them as vertices. They must all agree on
+// the classes AND on the canonical representative (the minimum AttrId of
+// the class), so the grouping lives here once.
+
+#ifndef FRO_GRAPH_ATTR_CLASSES_H_
+#define FRO_GRAPH_ATTR_CLASSES_H_
+
+#include <map>
+#include <vector>
+
+#include "relational/predicate.h"
+#include "relational/schema.h"
+
+namespace fro {
+
+/// Union-find over attribute ids. Roots are canonical: Find always
+/// returns the minimum AttrId of the merged class.
+class AttrUnionFind {
+ public:
+  AttrId Find(AttrId a) {
+    auto it = parent_.find(a);
+    if (it == parent_.end()) {
+      parent_.emplace(a, a);
+      return a;
+    }
+    if (it->second == a) return a;
+    const AttrId root = Find(it->second);
+    it->second = root;
+    return root;
+  }
+
+  void Union(AttrId a, AttrId b) {
+    const AttrId ra = Find(a);
+    const AttrId rb = Find(b);
+    if (ra != rb) parent_[std::max(ra, rb)] = std::min(ra, rb);
+  }
+
+ private:
+  std::map<AttrId, AttrId> parent_;
+};
+
+/// True for a `column = column` equality conjunct — the shape that
+/// merges two attributes into one class (and defines a join variable).
+bool IsColEqCol(const PredicatePtr& pred);
+
+/// Groups the attributes mentioned by the column-equality conjuncts of
+/// `pred` (a conjunction; null allowed) into equivalence classes, keyed
+/// by canonical representative and listing members in ascending order.
+std::map<AttrId, std::vector<AttrId>> AttrEqClasses(const PredicatePtr& pred);
+
+}  // namespace fro
+
+#endif  // FRO_GRAPH_ATTR_CLASSES_H_

@@ -1,0 +1,91 @@
+#include "optimizer/acyclic_rewrite.h"
+
+#include "acyclic/gyo.h"
+#include "acyclic/yannakakis.h"
+#include "optimizer/join_region.h"
+
+namespace fro {
+
+namespace {
+
+// True if the subtree already carries a semijoin/antijoin reduction.
+// Attribute statistics describe base relations only, so the estimator
+// would credit a second reduction of an already-reduced operand with
+// the same survivor fraction again (double counting); skipping such
+// regions keeps the pass idempotent — re-optimizing a planned program
+// leaves it alone.
+bool ContainsReduction(const ExprPtr& expr) {
+  if (expr == nullptr || expr->kind() == OpKind::kLeaf) return false;
+  if (expr->kind() == OpKind::kSemijoin ||
+      expr->kind() == OpKind::kAntijoin) {
+    return true;
+  }
+  if (expr->is_multiway()) {
+    for (const ExprPtr& child : expr->mj_children()) {
+      if (ContainsReduction(child)) return true;
+    }
+    return false;
+  }
+  return ContainsReduction(expr->left()) ||
+         ContainsReduction(expr->right());
+}
+
+}  // namespace
+
+AcyclicRewriteResult ApplyAcyclic(const ExprPtr& plan, const Database& db,
+                                  const CostModel& cost_model) {
+  (void)db;
+  AcyclicRewriteResult result;
+  result.expr = MapJoinRegions(
+      plan, [&](const ExprPtr& region_root,
+                const std::vector<ExprPtr>& operands,
+                const std::vector<PredicatePtr>& conjuncts) {
+        size_t next = 0;
+        ExprPtr baseline = RebuildSameShape(region_root, operands, &next);
+        // Two operands cannot beat their own binary join; > 64 exceeds
+        // the hypergraph representation.
+        if (operands.size() < 3 || operands.size() > 64) return baseline;
+        for (const ExprPtr& operand : operands) {
+          if (ContainsReduction(operand)) return baseline;
+        }
+
+        const JoinHypergraph hg = BuildJoinHypergraph(operands, conjuncts);
+        const JoinTree tree = GyoReduce(hg);
+        if (!tree.acyclic) return baseline;
+
+        SemijoinProgram program = PlanYannakakis(
+            operands, conjuncts, tree, &cost_model.estimator());
+        if (program.semijoins == 0) return baseline;
+        if (cost_model.PlanCost(program.expr) <
+            cost_model.PlanCost(baseline)) {
+          ++result.programs_planned;
+          result.semijoins += program.semijoins;
+          return program.expr;
+        }
+        return baseline;
+      });
+  return result;
+}
+
+ExprPtr ForceAcyclicPrograms(const ExprPtr& query) {
+  return MapJoinRegions(
+      query, [](const ExprPtr& region_root,
+                const std::vector<ExprPtr>& operands,
+                const std::vector<PredicatePtr>& conjuncts) {
+        size_t next = 0;
+        ExprPtr baseline = RebuildSameShape(region_root, operands, &next);
+        if (operands.size() < 2 || operands.size() > 64) return baseline;
+
+        const JoinHypergraph hg = BuildJoinHypergraph(operands, conjuncts);
+        const JoinTree tree = GyoReduce(hg);
+        if (!tree.acyclic) return baseline;
+
+        YannakakisOptions options;
+        options.top_down = true;
+        SemijoinProgram program = PlanYannakakis(
+            operands, conjuncts, tree, /*estimator=*/nullptr, options);
+        return program.expr;
+      });
+}
+
+}  // namespace fro

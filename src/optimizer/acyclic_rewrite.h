@@ -1,0 +1,45 @@
+// Acyclic fast path: rewrite alpha-acyclic join-only regions of an
+// optimized plan into Yannakakis semijoin programs (src/acyclic/). The
+// complement of the WCOJ rewrite: cyclic cores go to the leapfrog
+// triejoin, acyclic regions — the common case once the Section 4
+// simplifier has turned outerjoins into joins — get semijoin reduction
+// so no intermediate outgrows input + output. The outerjoin shell and
+// Theorem 1 classification are untouched. Runs after the WCOJ pass:
+// collapsed kMultiwayJoin cores become frontier operands, and the
+// remaining region is often newly acyclic.
+
+#ifndef FRO_OPTIMIZER_ACYCLIC_REWRITE_H_
+#define FRO_OPTIMIZER_ACYCLIC_REWRITE_H_
+
+#include "algebra/expr.h"
+#include "optimizer/cost.h"
+
+namespace fro {
+
+struct AcyclicRewriteResult {
+  ExprPtr expr;
+  /// Regions rewritten into semijoin programs.
+  int programs_planned = 0;
+  /// Total semijoin reductions inserted across those programs.
+  int semijoins = 0;
+};
+
+/// Cost-gated rewrite over an optimized plan: every maximal pure-join
+/// region with 3..64 operands is GYO-reduced; when acyclic, a
+/// Yannakakis program (bottom-up reductions gated per edge by the
+/// estimated survivor fraction, then joins along the tree) replaces the
+/// region if the cost model prefers it to the binary plan. Regions
+/// whose program inserts no semijoin are left alone.
+AcyclicRewriteResult ApplyAcyclic(const ExprPtr& plan, const Database& db,
+                                  const CostModel& cost_model);
+
+/// Fuzzing aid: rewrites EVERY acyclic pure-join region with >= 2
+/// operands into a fully-reduced semijoin program (bottom-up and
+/// top-down passes, no estimator gate, no cost gate); cyclic regions
+/// are left as-is. Semantics-preserving: the result evaluates to the
+/// same bag as the input query.
+ExprPtr ForceAcyclicPrograms(const ExprPtr& query);
+
+}  // namespace fro
+
+#endif  // FRO_OPTIMIZER_ACYCLIC_REWRITE_H_

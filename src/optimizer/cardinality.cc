@@ -229,6 +229,39 @@ double CardinalityEstimator::JoinLikeCard(OpKind kind, bool preserves_left,
   return 0;
 }
 
+double CardinalityEstimator::MatchFraction(const PredicatePtr& pred,
+                                           const AttrSet& kept_attrs,
+                                           double other_rows) const {
+  if (pred == nullptr) return other_rows > 0 ? 1.0 : 0.0;
+  if (pred->kind() == Predicate::Kind::kAnd) {
+    double fraction = 1.0;
+    for (const PredicatePtr& child : pred->children()) {
+      fraction *= MatchFraction(child, kept_attrs, other_rows);
+    }
+    return Clamp01(fraction);
+  }
+  if (pred->kind() == Predicate::Kind::kCmp &&
+      pred->cmp_op() == CmpOp::kEq && pred->lhs().is_column() &&
+      pred->rhs().is_column()) {
+    const AttrId lhs = pred->lhs().attr();
+    const AttrId rhs = pred->rhs().attr();
+    const bool lhs_kept = kept_attrs.Contains(lhs);
+    if (lhs_kept != kept_attrs.Contains(rhs)) {
+      const AttrId kept_attr = lhs_kept ? lhs : rhs;
+      const AttrId other_attr = lhs_kept ? rhs : lhs;
+      const AttrStats& kept_stats = StatsOf(kept_attr);
+      const double d_kept = kept_stats.distinct;
+      const double d_other = StatsOf(other_attr).distinct;
+      // Containment of value sets: the min(d_kept, d_other) shared
+      // values cover that fraction of the kept side's distinct values;
+      // nulls never match.
+      return Clamp01(std::min(d_kept, d_other) / d_kept) *
+             (1.0 - kept_stats.null_fraction);
+    }
+  }
+  return Clamp01(Selectivity(pred) * other_rows);
+}
+
 double CardinalityEstimator::Estimate(const ExprPtr& expr) const {
   switch (expr->kind()) {
     case OpKind::kLeaf:
@@ -254,6 +287,17 @@ double CardinalityEstimator::Estimate(const ExprPtr& expr) const {
         rows *= Estimate(child);
       }
       return rows;
+    }
+    case OpKind::kSemijoin:
+    case OpKind::kAntijoin: {
+      const bool kept_left = expr->preserves_left();
+      const ExprPtr& kept = kept_left ? expr->left() : expr->right();
+      const ExprPtr& other = kept_left ? expr->right() : expr->left();
+      const double kept_rows = Estimate(kept);
+      const double match =
+          MatchFraction(expr->pred(), kept->attrs(), Estimate(other));
+      return expr->kind() == OpKind::kSemijoin ? kept_rows * match
+                                               : kept_rows * (1.0 - match);
     }
     default:
       return JoinLikeCard(expr->kind(), expr->preserves_left(), expr->pred(),

@@ -58,6 +58,17 @@ class CardinalityEstimator {
                       double right_rows) const;
 
  private:
+  /// Estimated fraction of kept-side tuples with at least one partner
+  /// across `pred`, used for semijoin/antijoin cardinalities. Column
+  /// equalities use the containment-of-value-sets assumption — the
+  /// smaller value set is contained in the larger, so
+  /// min(d_kept, d_other) / d_kept of the kept rows survive — which,
+  /// unlike kept * sel * other_rows, stays small when the other side
+  /// repeats few values many times (the skew a semijoin reduction
+  /// exploits). Other conjuncts fall back to the independence bound.
+  double MatchFraction(const PredicatePtr& pred, const AttrSet& kept_attrs,
+                       double other_rows) const;
+
   const Database& db_;
   std::unordered_map<AttrId, AttrStats> attr_stats_;
 };

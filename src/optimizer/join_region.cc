@@ -1,0 +1,140 @@
+#include "optimizer/join_region.h"
+
+#include "common/check.h"
+
+namespace fro {
+
+void CollectJoinRegion(const ExprPtr& expr, std::vector<ExprPtr>* operands,
+                       std::vector<PredicatePtr>* conjuncts) {
+  if (expr->kind() != OpKind::kJoin) {
+    operands->push_back(expr);
+    return;
+  }
+  CollectJoinRegion(expr->left(), operands, conjuncts);
+  CollectJoinRegion(expr->right(), operands, conjuncts);
+  if (expr->pred() != nullptr) {
+    for (PredicatePtr& c : expr->pred()->Conjuncts(expr->pred())) {
+      conjuncts->push_back(std::move(c));
+    }
+  }
+}
+
+PredicatePtr FoldAnd(const std::vector<PredicatePtr>& conjuncts) {
+  PredicatePtr out;
+  for (const PredicatePtr& c : conjuncts) out = AndOf(out, c);
+  return out;
+}
+
+ExprPtr LeftDeepJoin(std::vector<ExprPtr> items,
+                     std::vector<PredicatePtr> conjuncts) {
+  FRO_CHECK(!items.empty());
+  std::vector<bool> used(conjuncts.size(), false);
+  ExprPtr current = items[0];
+  std::vector<bool> taken(items.size(), false);
+  taken[0] = true;
+  for (size_t step = 1; step < items.size(); ++step) {
+    // Prefer an item connected to the current prefix by some conjunct.
+    size_t pick = items.size();
+    for (size_t i = 0; i < items.size(); ++i) {
+      if (taken[i]) continue;
+      if (pick == items.size()) pick = i;  // fallback: first untaken
+      bool connected = false;
+      const AttrSet joined = current->attrs().Union(items[i]->attrs());
+      for (size_t k = 0; k < conjuncts.size(); ++k) {
+        if (used[k]) continue;
+        const AttrSet& refs = conjuncts[k]->References();
+        if (joined.ContainsAll(refs) && refs.Overlaps(current->attrs()) &&
+            refs.Overlaps(items[i]->attrs())) {
+          connected = true;
+          break;
+        }
+      }
+      if (connected) {
+        pick = i;
+        break;
+      }
+    }
+    taken[pick] = true;
+    const AttrSet joined = current->attrs().Union(items[pick]->attrs());
+    PredicatePtr pred;
+    for (size_t k = 0; k < conjuncts.size(); ++k) {
+      if (used[k]) continue;
+      if (joined.ContainsAll(conjuncts[k]->References())) {
+        pred = AndOf(std::move(pred), conjuncts[k]);
+        used[k] = true;
+      }
+    }
+    current = Expr::Join(std::move(current), items[pick], std::move(pred));
+  }
+  PredicatePtr leftover;
+  for (size_t k = 0; k < conjuncts.size(); ++k) {
+    if (!used[k]) leftover = AndOf(std::move(leftover), conjuncts[k]);
+  }
+  if (leftover != nullptr) {
+    current = Expr::Restrict(std::move(current), std::move(leftover));
+  }
+  return current;
+}
+
+ExprPtr RebuildSameShape(const ExprPtr& expr,
+                         const std::vector<ExprPtr>& operands, size_t* next) {
+  if (expr->kind() != OpKind::kJoin) return operands[(*next)++];
+  ExprPtr left = RebuildSameShape(expr->left(), operands, next);
+  ExprPtr right = RebuildSameShape(expr->right(), operands, next);
+  return Expr::Join(std::move(left), std::move(right), expr->pred());
+}
+
+ExprPtr MapJoinRegions(const ExprPtr& expr, const JoinRegionRewrite& rewrite) {
+  switch (expr->kind()) {
+    case OpKind::kLeaf:
+      return expr;
+    case OpKind::kJoin: {
+      std::vector<ExprPtr> operands;
+      std::vector<PredicatePtr> conjuncts;
+      CollectJoinRegion(expr, &operands, &conjuncts);
+      for (ExprPtr& operand : operands) {
+        operand = MapJoinRegions(operand, rewrite);
+      }
+      return rewrite(expr, operands, conjuncts);
+    }
+    case OpKind::kRestrict:
+      return Expr::Restrict(MapJoinRegions(expr->left(), rewrite),
+                            expr->pred());
+    case OpKind::kProject:
+      return Expr::Project(MapJoinRegions(expr->left(), rewrite),
+                           expr->project_cols(), expr->project_dedup());
+    case OpKind::kUnion:
+      return Expr::Union(MapJoinRegions(expr->left(), rewrite),
+                         MapJoinRegions(expr->right(), rewrite));
+    case OpKind::kOuterJoin:
+      return Expr::OuterJoin(MapJoinRegions(expr->left(), rewrite),
+                             MapJoinRegions(expr->right(), rewrite),
+                             expr->pred(), expr->preserves_left());
+    case OpKind::kAntijoin:
+      return Expr::Antijoin(MapJoinRegions(expr->left(), rewrite),
+                            MapJoinRegions(expr->right(), rewrite),
+                            expr->pred(), expr->preserves_left());
+    case OpKind::kSemijoin:
+      return Expr::Semijoin(MapJoinRegions(expr->left(), rewrite),
+                            MapJoinRegions(expr->right(), rewrite),
+                            expr->pred(), expr->preserves_left());
+    case OpKind::kGoj:
+      return Expr::Goj(MapJoinRegions(expr->left(), rewrite),
+                       MapJoinRegions(expr->right(), rewrite), expr->pred(),
+                       expr->goj_subset());
+    case OpKind::kMultiwayJoin: {
+      // Already multiway (idempotent re-application): walk the operands.
+      std::vector<ExprPtr> children;
+      children.reserve(expr->mj_children().size());
+      for (const ExprPtr& child : expr->mj_children()) {
+        children.push_back(MapJoinRegions(child, rewrite));
+      }
+      return Expr::MultiwayJoin(std::move(children), expr->pred(),
+                                expr->mj_var_order());
+    }
+  }
+  FRO_CHECK(false) << "unhandled operator kind";
+  return expr;
+}
+
+}  // namespace fro

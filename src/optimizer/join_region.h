@@ -1,0 +1,57 @@
+// Shared machinery for structural rewrites over pure-join regions.
+//
+// Both the WCOJ rewrite (cyclic cores -> kMultiwayJoin) and the acyclic
+// rewrite (GYO-acyclic regions -> Yannakakis semijoin programs) work on
+// the same unit: a maximal region of kJoin nodes, flattened into its
+// frontier operands and the conjuncts of every join predicate inside.
+// This header holds the flattening, the structural walk that visits
+// every region of a plan bottom-up, and the left-deep reassembly used
+// when a rewrite replaces part of a region.
+
+#ifndef FRO_OPTIMIZER_JOIN_REGION_H_
+#define FRO_OPTIMIZER_JOIN_REGION_H_
+
+#include <functional>
+#include <vector>
+
+#include "algebra/expr.h"
+
+namespace fro {
+
+/// Flattens the maximal pure-kJoin region rooted at `expr` into its
+/// frontier operands (non-kJoin subtrees, left-to-right) and the
+/// conjuncts of every join predicate in the region.
+void CollectJoinRegion(const ExprPtr& expr, std::vector<ExprPtr>* operands,
+                       std::vector<PredicatePtr>* conjuncts);
+
+/// Conjunction of `conjuncts` (null when empty).
+PredicatePtr FoldAnd(const std::vector<PredicatePtr>& conjuncts);
+
+/// Left-deep join over `items` applying each of `conjuncts` at the first
+/// join where its references are available; anything never applicable
+/// (cannot happen for region-local conjuncts, kept as a safety net)
+/// lands in a top Restrict.
+ExprPtr LeftDeepJoin(std::vector<ExprPtr> items,
+                     std::vector<PredicatePtr> conjuncts);
+
+/// Rebuilds the region's original join shape with operands substituted
+/// (in frontier order, `*next` advancing through `operands`).
+/// Hash-consing makes this free when nothing changed: identical operands
+/// intern back to the original node.
+ExprPtr RebuildSameShape(const ExprPtr& expr,
+                         const std::vector<ExprPtr>& operands, size_t* next);
+
+/// Maps `rewrite` over every maximal join region of `expr`, bottom-up:
+/// operands are rewritten before the region that contains them. The
+/// callback receives the region root (for RebuildSameShape), the
+/// already-rewritten frontier operands, and the region's conjuncts, and
+/// returns the replacement region expression. Non-join operators are
+/// rebuilt around the results unchanged.
+using JoinRegionRewrite = std::function<ExprPtr(
+    const ExprPtr& region_root, const std::vector<ExprPtr>& operands,
+    const std::vector<PredicatePtr>& conjuncts)>;
+ExprPtr MapJoinRegions(const ExprPtr& expr, const JoinRegionRewrite& rewrite);
+
+}  // namespace fro
+
+#endif  // FRO_OPTIMIZER_JOIN_REGION_H_

@@ -1,77 +1,8 @@
 #include "optimizer/optimizer.h"
 
-#include <vector>
-
-#include "algebra/pushdown.h"
-#include "algebra/simplify.h"
-#include "graph/from_expr.h"
-#include "graph/nice.h"
-#include "optimizer/goj_rewrite.h"
-#include "optimizer/greedy.h"
-#include "optimizer/subquery.h"
-#include "optimizer/wcoj_rewrite.h"
-
 namespace fro {
 
 namespace {
-
-// A peeled top-level wrapper (Restrict or Project), to be re-applied
-// around the reordered core.
-struct Wrapper {
-  OpKind kind;
-  PredicatePtr pred;           // kRestrict
-  std::vector<AttrId> cols;    // kProject
-  bool dedup = false;          // kProject
-};
-
-// Strips Restrict/Project operators off the root, outermost first.
-ExprPtr PeelWrappers(const ExprPtr& expr, std::vector<Wrapper>* wrappers) {
-  ExprPtr core = expr;
-  for (;;) {
-    if (core->kind() == OpKind::kRestrict) {
-      wrappers->push_back({OpKind::kRestrict, core->pred(), {}, false});
-    } else if (core->kind() == OpKind::kProject) {
-      wrappers->push_back({OpKind::kProject, nullptr, core->project_cols(),
-                           core->project_dedup()});
-    } else {
-      return core;
-    }
-    core = core->left();
-  }
-}
-
-ExprPtr RewrapRestricts(ExprPtr core, const std::vector<Wrapper>& wrappers) {
-  // Re-apply innermost first so the original order is restored.
-  for (auto it = wrappers.rbegin(); it != wrappers.rend(); ++it) {
-    if (it->kind == OpKind::kRestrict) {
-      core = Expr::Restrict(std::move(core), it->pred);
-    } else {
-      core = Expr::Project(std::move(core), it->cols, it->dedup);
-    }
-  }
-  return core;
-}
-
-// Post-planning pass: sink restrictions when requested.
-ExprPtr MaybePushDown(ExprPtr plan, const OptimizeOptions& options,
-                      OptimizeOutcome* outcome) {
-  if (!options.push_down_restrictions) return plan;
-  PushdownResult pushed = PushDownRestrictions(plan);
-  outcome->restrictions_pushed = pushed.conjuncts_pushed;
-  return pushed.expr;
-}
-
-// Post-search pass: collapse cyclic join-only cores into worst-case-
-// optimal multiway joins (cost-gated) when requested.
-ExprPtr MaybeApplyWcoj(ExprPtr plan, const Database& db,
-                       const CostModel& cost_model,
-                       const OptimizeOptions& options,
-                       OptimizeOutcome* outcome) {
-  if (!options.enable_multiway_joins) return plan;
-  WcojRewriteResult rewritten = ApplyWcoj(plan, db, cost_model);
-  outcome->multiway_joins = rewritten.cores_collapsed;
-  return rewritten.expr;
-}
 
 // The full pipeline, bypassing `options.plan_cache`.
 Result<OptimizeOutcome> OptimizeUncached(const ExprPtr& query,
@@ -81,97 +12,43 @@ Result<OptimizeOutcome> OptimizeUncached(const ExprPtr& query,
   CostModel cost_model(db, options.cost_kind);
   outcome.original_cost = cost_model.PlanCost(query);
 
-  ExprPtr current = query;
-  if (options.apply_simplification) {
-    SimplifyResult simplified = SimplifyOuterjoins(current);
-    outcome.outerjoins_simplified = simplified.outerjoins_converted;
-    current = simplified.expr;
-  }
+  RewriteContext context{db, cost_model, options.max_dp_relations};
+  PlanState state;
+  state.expr = query;
+  FRO_RETURN_IF_ERROR(options.pipeline.Run(&state, context, &outcome.passes));
 
-  std::vector<Wrapper> filters;
-  ExprPtr core = PeelWrappers(current, &filters);
-
-  Result<QueryGraph> graph = GraphOf(core, db);
-  if (!graph.ok()) {
-    outcome.plan = current;
-    outcome.cost = cost_model.PlanCost(current);
-    outcome.notes = "graph undefined (" + graph.status().message() +
-                    "); keeping the given association";
-    return outcome;
-  }
-
-  ReorderabilityCheck check = CheckFreelyReorderable(*graph);
-  outcome.freely_reorderable = check.freely_reorderable();
-
-  if (outcome.freely_reorderable) {
-    const bool use_dp = graph->num_nodes() <= options.max_dp_relations;
-    PlanResult best;
-    if (use_dp) {
-      FRO_ASSIGN_OR_RETURN(best, OptimizeReorderable(*graph, db, cost_model));
-    } else {
-      FRO_ASSIGN_OR_RETURN(best, OptimizeGreedy(*graph, db, cost_model));
-    }
-    outcome.plans_considered = best.plans_considered;
-    ExprPtr core_plan =
-        MaybeApplyWcoj(best.plan, db, cost_model, options, &outcome);
-    outcome.plan = MaybePushDown(RewrapRestricts(core_plan, filters),
-                                 options, &outcome);
-    outcome.cost = cost_model.PlanCost(outcome.plan);
-    outcome.notes = use_dp
-                        ? "freely reorderable: DP over all implementing trees"
-                        : "freely reorderable: greedy ordering (graph too "
-                          "large for exact DP)";
-    if (outcome.multiway_joins > 0) {
-      outcome.notes += "; " + std::to_string(outcome.multiway_joins) +
-                       " cyclic core(s) collapsed to leapfrog multiway "
-                       "join(s)";
-    }
-    return outcome;
-  }
-
-  // Not freely reorderable: keep the overall association but DP-optimize
-  // every maximal freely-reorderable subtree (Section 6.1's extension),
-  // then optionally left-deepen with GOJ so a pipelined executor can run
-  // it.
-  SubqueryReorderResult islands =
-      ReorderSubqueries(core, db, cost_model);
-  outcome.subqueries_reordered = islands.subqueries_reordered;
-  ExprPtr plan = islands.expr;
-  // Identity 15 pads one row per distinct preserved-side projection while
-  // the outerjoin it replaces pads per row, so the rewrite is only sound
-  // over duplicate-free base relations (goj_rewrite.h).
-  bool goj_blocked_by_duplicates = false;
-  if (options.apply_goj_rewrites) {
-    if (BaseRelationsDuplicateFree(plan, db)) {
-      plan = LeftDeepenWithGoj(plan, &outcome.goj_rewrites);
-    } else {
-      goj_blocked_by_duplicates = true;
-    }
-  }
-  plan = MaybeApplyWcoj(plan, db, cost_model, options, &outcome);
-  outcome.plan = MaybePushDown(RewrapRestricts(plan, filters), options,
-                               &outcome);
-  outcome.cost = cost_model.PlanCost(outcome.plan);
-  outcome.notes =
-      "not freely reorderable (" +
-      (check.nice.nice ? std::string("non-strong outerjoin predicate")
-                       : check.nice.violation) +
-      ")" +
-      (outcome.goj_rewrites > 0
-           ? "; left-deepened with " + std::to_string(outcome.goj_rewrites) +
-                 " GOJ rewrite(s)"
-           : "") +
-      (goj_blocked_by_duplicates
-           ? "; GOJ rewrites skipped (duplicate rows in a base relation)"
-           : "") +
-      (outcome.multiway_joins > 0
-           ? "; " + std::to_string(outcome.multiway_joins) +
-                 " cyclic core(s) collapsed to leapfrog multiway join(s)"
-           : "");
+  outcome.plan = state.expr;
+  outcome.cost = cost_model.PlanCost(state.expr);
+  outcome.freely_reorderable =
+      state.reorderability_known && state.freely_reorderable;
+  outcome.classification = state.classification;
   return outcome;
 }
 
 }  // namespace
+
+const PassStats* OptimizeOutcome::FindPass(std::string_view name) const {
+  for (const PassStats& p : passes) {
+    if (p.pass == name) return &p;
+  }
+  return nullptr;
+}
+
+int OptimizeOutcome::PassApplications(std::string_view name) const {
+  const PassStats* stats = FindPass(name);
+  return stats == nullptr ? 0 : stats->applications;
+}
+
+std::string OptimizeOutcome::Summary() const {
+  std::string out = classification;
+  for (const PassStats& p : passes) {
+    if (!p.ran || p.applications == 0 || p.detail.empty()) continue;
+    if (p.detail == classification) continue;  // reorder: already leads
+    if (!out.empty()) out += "; ";
+    out += p.detail;
+  }
+  return out;
+}
 
 Result<OptimizeOutcome> Optimize(const ExprPtr& query, const Database& db,
                                  const OptimizeOptions& options) {
@@ -189,11 +66,10 @@ Result<OptimizeOutcome> Optimize(const ExprPtr& query, const Database& db,
     outcome.cost = cached->cost;
     outcome.freely_reorderable =
         cached->plan_class == PlanClass::kFreelyReorderable;
-    outcome.goj_rewrites = cached->goj_rewrites;
     outcome.cache_hit = true;
-    outcome.notes = "plan cache hit [" +
-                    std::string(PlanClassName(cached->plan_class)) + "]: " +
-                    cached->notes;
+    outcome.classification = "plan cache hit [" +
+                             std::string(PlanClassName(cached->plan_class)) +
+                             "]: " + cached->notes;
     return outcome;
   }
   FRO_ASSIGN_OR_RETURN(OptimizeOutcome outcome,
@@ -204,8 +80,7 @@ Result<OptimizeOutcome> Optimize(const ExprPtr& query, const Database& db,
                          ? PlanClass::kFreelyReorderable
                          : PlanClass::kGojRewritten;
   entry.cost = outcome.cost;
-  entry.goj_rewrites = outcome.goj_rewrites;
-  entry.notes = outcome.notes;
+  entry.notes = outcome.Summary();
   options.plan_cache->Insert(key, std::move(entry));
   return outcome;
 }

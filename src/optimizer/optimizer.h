@@ -1,50 +1,62 @@
-// The optimizer facade, implementing the pipeline Section 4 + Section 6
-// of the paper suggest:
+// The optimizer facade: a composable rewrite-pass pipeline (see
+// rewrite_pass.h) over the algebra Sections 4 and 6 of the paper
+// suggest, extended with the structural rewrites later PRs added. The
+// default pipeline runs, in order:
 //
-//   1. Apply the Section 4 simplification (strong filters convert
-//      outerjoins to joins) — "carried out before creation of the query
-//      graph".
-//   2. Peel top-level restrictions, derive graph(Q).
-//   3. If the graph is freely reorderable (Theorem 1), run the DP search
-//      over all implementing trees and pick the cheapest.
-//   4. Otherwise, optionally left-deepen the query with the generalized-
-//      outerjoin rewrites (identities 15/16) so a conventional left-deep
-//      executor can run it; no cross-association search is attempted.
-//   5. Re-apply the peeled restrictions on top.
+//   1. "simplify" — the Section 4 simplification (strong filters
+//      convert outerjoins to joins), "carried out before creation of
+//      the query graph".
+//   2. "reorder" — peel top-level restrictions, derive graph(Q), and
+//      classify per Theorem 1: freely-reorderable graphs get the DP
+//      search over all implementing trees (greedy past
+//      max_dp_relations); everything else keeps its association but has
+//      every maximal freely-reorderable subtree DP-optimized in place
+//      (Section 6.1).
+//   3. "goj" — for non-freely-reorderable queries over duplicate-free
+//      base relations, left-deepen with the generalized-outerjoin
+//      rewrites (identities 15/16).
+//   4. "wcoj" — collapse cyclic join-only cores into worst-case-optimal
+//      leapfrog multiway joins (cost-gated); the outerjoin shell stays
+//      binary.
+//   5. "acyclic" — rewrite alpha-acyclic join-only regions (GYO) into
+//      Yannakakis semijoin programs (cost-gated, per-edge safe-subjoin
+//      analysis).
+//   6. "pushdown" — re-sink restriction conjuncts as deep as outerjoin
+//      semantics allow ("do restrictions as early as possible").
+//
+// Callers tailor the pipeline instead of toggling booleans:
+// `RewritePipeline::Default().Without("wcoj")` drops a pass, Append
+// adds one. Each pass reports uniform PassStats in the outcome.
 
 #ifndef FRO_OPTIMIZER_OPTIMIZER_H_
 #define FRO_OPTIMIZER_OPTIMIZER_H_
 
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "algebra/expr.h"
 #include "common/status.h"
 #include "optimizer/cost.h"
 #include "optimizer/dp.h"
 #include "optimizer/plan_cache.h"
+#include "optimizer/rewrite_pass.h"
 
 namespace fro {
 
 struct OptimizeOptions {
   CostKind cost_kind = CostKind::kCout;
-  /// Apply the Section 4 outerjoin-to-join simplification first.
-  bool apply_simplification = true;
-  /// For non-freely-reorderable queries, left-deepen with GOJ rewrites.
-  bool apply_goj_rewrites = true;
-  /// After planning, sink restriction conjuncts as deep as outerjoin
-  /// semantics allow ("do restrictions as early as possible", Section 4).
-  bool push_down_restrictions = true;
   /// Largest relation count handled by the exact DP; bigger
   /// freely-reorderable graphs use greedy operator ordering instead.
   int max_dp_relations = 14;
-  /// After the binary plan search, collapse cyclic join-only cores into
-  /// worst-case-optimal multiway joins (leapfrog triejoin) when the
-  /// cost model prefers them; the outerjoin shell stays binary.
-  bool enable_multiway_joins = true;
+  /// The rewrite passes to run, in order.
+  RewritePipeline pipeline = RewritePipeline::Default();
   /// Optional plan cache, keyed on the input query's structural hash.
   /// On a hit the whole pipeline is skipped and the cached plan returned
   /// (sound for structurally identical queries; see plan_cache.h). Not
-  /// owned; must be thread-safe if Optimize runs concurrently.
+  /// owned; must be thread-safe if Optimize runs concurrently. Callers
+  /// sharing one cache must share one pipeline shape, or replayed plans
+  /// may embed rewrites the replaying caller opted out of.
   PlanCacheInterface* plan_cache = nullptr;
 };
 
@@ -55,19 +67,23 @@ struct OptimizeOutcome {
   /// Estimated cost of the input query, for comparison.
   double original_cost = 0;
   bool freely_reorderable = false;
-  int outerjoins_simplified = 0;
-  int goj_rewrites = 0;
-  int restrictions_pushed = 0;
-  /// Cyclic cores collapsed into kMultiwayJoin nodes.
-  int multiway_joins = 0;
-  /// For non-reorderable queries: maximal freely-reorderable subtrees
-  /// that were DP-optimized in place (the Section 6.1 extension).
-  int subqueries_reordered = 0;
-  uint64_t plans_considered = 0;
-  /// True when the plan came from `options.plan_cache` and the search was
-  /// skipped entirely.
+  /// True when the plan came from `options.plan_cache` and the pipeline
+  /// was skipped entirely (passes is then empty).
   bool cache_hit = false;
-  std::string notes;
+  /// Uniform per-pass stats, one entry per pipeline pass in run order.
+  std::vector<PassStats> passes;
+  /// Theorem 1 classification prose from the reorder pass (or the
+  /// cache-hit banner).
+  std::string classification;
+
+  /// The stats of the named pass, or nullptr when it did not run this
+  /// outcome (absent from the pipeline, or a cache hit).
+  const PassStats* FindPass(std::string_view name) const;
+  /// Applications of the named pass (0 when absent or skipped).
+  int PassApplications(std::string_view name) const;
+  /// One-line rollup: classification, then every pass detail that
+  /// changed the plan. The string cached alongside the plan.
+  std::string Summary() const;
 };
 
 /// Optimizes a query consisting of Join/Outerjoin operators, optionally

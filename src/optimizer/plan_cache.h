@@ -7,10 +7,10 @@
 // PR 2's hash-consing) can be replayed verbatim for any structurally
 // identical query — including alias-renamed copies, whose flattened
 // relations and attributes receive the same ids in the same order. For
-// queries outside the class the cache stores the plan the full pipeline
-// produced (simplification + Section 6.1 subquery reordering + GOJ
-// left-deepening); the rewrite metadata rides along so observability
-// tools can distinguish the two populations.
+// queries outside the class the cache stores the plan the full rewrite
+// pipeline produced (simplification + Section 6.1 subquery reordering +
+// GOJ left-deepening + structural rewrites); the pipeline summary rides
+// along so observability tools can distinguish the two populations.
 //
 // This header is the single plan-cache surface: the abstract interface
 // the optimizer consumes, the thread-safe LRU realization every caller
@@ -49,7 +49,7 @@ struct CachedPlan {
   ExprPtr plan;
   PlanClass plan_class = PlanClass::kFreelyReorderable;
   double cost = 0;
-  int goj_rewrites = 0;
+  /// Pipeline summary (OptimizeOutcome::Summary()) of the original run.
   std::string notes;
 };
 

@@ -1,0 +1,333 @@
+#include "optimizer/rewrite_pass.h"
+
+#include <algorithm>
+
+#include "algebra/pushdown.h"
+#include "algebra/simplify.h"
+#include "graph/from_expr.h"
+#include "graph/nice.h"
+#include "optimizer/acyclic_rewrite.h"
+#include "optimizer/dp.h"
+#include "optimizer/goj_rewrite.h"
+#include "optimizer/greedy.h"
+#include "optimizer/subquery.h"
+#include "optimizer/wcoj_rewrite.h"
+
+namespace fro {
+
+namespace {
+
+// A peeled top-level wrapper (Restrict or Project), to be re-applied
+// around the reordered core.
+struct Wrapper {
+  OpKind kind;
+  PredicatePtr pred;         // kRestrict
+  std::vector<AttrId> cols;  // kProject
+  bool dedup = false;        // kProject
+};
+
+// Strips Restrict/Project operators off the root, outermost first.
+ExprPtr PeelWrappers(const ExprPtr& expr, std::vector<Wrapper>* wrappers) {
+  ExprPtr core = expr;
+  for (;;) {
+    if (core->kind() == OpKind::kRestrict) {
+      wrappers->push_back({OpKind::kRestrict, core->pred(), {}, false});
+    } else if (core->kind() == OpKind::kProject) {
+      wrappers->push_back({OpKind::kProject, nullptr, core->project_cols(),
+                           core->project_dedup()});
+    } else {
+      return core;
+    }
+    core = core->left();
+  }
+}
+
+ExprPtr RewrapWrappers(ExprPtr core, const std::vector<Wrapper>& wrappers) {
+  // Re-apply innermost first so the original order is restored.
+  for (auto it = wrappers.rbegin(); it != wrappers.rend(); ++it) {
+    if (it->kind == OpKind::kRestrict) {
+      core = Expr::Restrict(std::move(core), it->pred);
+    } else {
+      core = Expr::Project(std::move(core), it->cols, it->dedup);
+    }
+  }
+  return core;
+}
+
+std::string CountNoun(int n, const char* noun) {
+  return std::to_string(n) + " " + noun + "(s)";
+}
+
+/// Section 4 simplification: strong filters convert outerjoins to joins
+/// — "carried out before creation of the query graph".
+class SimplifyPass final : public RewritePass {
+ public:
+  std::string_view name() const override { return "simplify"; }
+  Status Apply(PlanState* state, const RewriteContext& context,
+               PassStats* stats) const override {
+    (void)context;
+    stats->ran = true;
+    SimplifyResult simplified = SimplifyOuterjoins(state->expr);
+    stats->applications = simplified.outerjoins_converted;
+    if (simplified.outerjoins_converted > 0) {
+      stats->detail = CountNoun(simplified.outerjoins_converted,
+                                "outerjoin") +
+                      " simplified to join(s)";
+    }
+    state->expr = simplified.expr;
+    return Status::Ok();
+  }
+};
+
+/// Theorem 1 classification plus the plan search it licenses: DP (or
+/// greedy, past max_dp_relations) over all implementing trees when the
+/// query graph is freely reorderable, per-island reordering (the
+/// Section 6.1 extension) when it is not. Records the classification
+/// facts every later structural pass keys off.
+class ReorderPass final : public RewritePass {
+ public:
+  std::string_view name() const override { return "reorder"; }
+  Status Apply(PlanState* state, const RewriteContext& context,
+               PassStats* stats) const override {
+    stats->ran = true;
+    std::vector<Wrapper> wrappers;
+    ExprPtr core = PeelWrappers(state->expr, &wrappers);
+
+    Result<QueryGraph> graph = GraphOf(core, context.db);
+    if (!graph.ok()) {
+      state->reorderability_known = false;
+      state->classification = "graph undefined (" +
+                              graph.status().message() +
+                              "); keeping the given association";
+      stats->detail = state->classification;
+      return Status::Ok();
+    }
+
+    ReorderabilityCheck check = CheckFreelyReorderable(*graph);
+    state->reorderability_known = true;
+    state->freely_reorderable = check.freely_reorderable();
+
+    if (state->freely_reorderable) {
+      const bool use_dp = graph->num_nodes() <= context.max_dp_relations;
+      PlanResult best;
+      if (use_dp) {
+        FRO_ASSIGN_OR_RETURN(
+            best, OptimizeReorderable(*graph, context.db,
+                                      context.cost_model));
+      } else {
+        FRO_ASSIGN_OR_RETURN(
+            best, OptimizeGreedy(*graph, context.db, context.cost_model));
+      }
+      stats->plans_considered = best.plans_considered;
+      stats->applications = 1;
+      state->classification =
+          use_dp ? "freely reorderable: DP over all implementing trees"
+                 : "freely reorderable: greedy ordering (graph too large "
+                   "for exact DP)";
+      stats->detail = state->classification;
+      state->expr = RewrapWrappers(best.plan, wrappers);
+      return Status::Ok();
+    }
+
+    SubqueryReorderResult islands =
+        ReorderSubqueries(core, context.db, context.cost_model);
+    stats->applications = islands.subqueries_reordered;
+    state->classification =
+        "not freely reorderable (" +
+        (check.nice.nice ? std::string("non-strong outerjoin predicate")
+                         : check.nice.violation) +
+        ")";
+    stats->detail = state->classification;
+    if (islands.subqueries_reordered > 0) {
+      stats->detail += "; " +
+                       CountNoun(islands.subqueries_reordered,
+                                 "reorderable island") +
+                       " DP-optimized in place";
+    }
+    state->expr = RewrapWrappers(islands.expr, wrappers);
+    return Status::Ok();
+  }
+};
+
+/// Left-deepens non-freely-reorderable queries with the generalized-
+/// outerjoin identities (15/16) so a conventional left-deep executor
+/// can run them.
+class GojPass final : public RewritePass {
+ public:
+  std::string_view name() const override { return "goj"; }
+  Status Apply(PlanState* state, const RewriteContext& context,
+               PassStats* stats) const override {
+    if (!state->reorderability_known) {
+      stats->skipped = "query graph undefined";
+      return Status::Ok();
+    }
+    if (state->freely_reorderable) {
+      stats->skipped = "query freely reorderable";
+      return Status::Ok();
+    }
+    // Identity 15 pads one row per distinct preserved-side projection
+    // while the outerjoin it replaces pads per row, so the rewrite is
+    // only sound over duplicate-free base relations (goj_rewrite.h).
+    if (!BaseRelationsDuplicateFree(state->expr, context.db)) {
+      stats->skipped = "duplicate rows in a base relation";
+      return Status::Ok();
+    }
+    stats->ran = true;
+    std::vector<Wrapper> wrappers;
+    ExprPtr core = PeelWrappers(state->expr, &wrappers);
+    int rewrites = 0;
+    core = LeftDeepenWithGoj(core, &rewrites);
+    stats->applications = rewrites;
+    if (rewrites > 0) {
+      stats->detail =
+          "left-deepened with " + CountNoun(rewrites, "GOJ rewrite");
+    }
+    state->expr = RewrapWrappers(std::move(core), wrappers);
+    return Status::Ok();
+  }
+};
+
+/// Collapses cyclic join-only cores into worst-case-optimal multiway
+/// joins (cost-gated); the outerjoin shell stays binary.
+class WcojPass final : public RewritePass {
+ public:
+  std::string_view name() const override { return "wcoj"; }
+  Status Apply(PlanState* state, const RewriteContext& context,
+               PassStats* stats) const override {
+    stats->ran = true;
+    WcojRewriteResult rewritten =
+        ApplyWcoj(state->expr, context.db, context.cost_model);
+    stats->applications = rewritten.cores_collapsed;
+    if (rewritten.cores_collapsed > 0) {
+      stats->detail = CountNoun(rewritten.cores_collapsed, "cyclic core") +
+                      " collapsed to leapfrog multiway join(s)";
+    }
+    state->expr = rewritten.expr;
+    return Status::Ok();
+  }
+};
+
+/// Rewrites alpha-acyclic join-only regions into Yannakakis semijoin
+/// programs (cost-gated, per-edge safe-subjoin analysis). After wcoj:
+/// collapsed cores count as single operands, so the remaining region is
+/// often newly acyclic.
+class AcyclicPass final : public RewritePass {
+ public:
+  std::string_view name() const override { return "acyclic"; }
+  Status Apply(PlanState* state, const RewriteContext& context,
+               PassStats* stats) const override {
+    stats->ran = true;
+    AcyclicRewriteResult rewritten =
+        ApplyAcyclic(state->expr, context.db, context.cost_model);
+    stats->applications = rewritten.programs_planned;
+    if (rewritten.programs_planned > 0) {
+      stats->detail = CountNoun(rewritten.programs_planned,
+                                "acyclic region") +
+                      " rewritten to semijoin program(s), " +
+                      CountNoun(rewritten.semijoins, "reduction");
+    }
+    state->expr = rewritten.expr;
+    return Status::Ok();
+  }
+};
+
+/// Sinks restriction conjuncts as deep as outerjoin semantics allow
+/// ("do restrictions as early as possible", Section 4).
+class PushdownPass final : public RewritePass {
+ public:
+  std::string_view name() const override { return "pushdown"; }
+  Status Apply(PlanState* state, const RewriteContext& context,
+               PassStats* stats) const override {
+    (void)context;
+    stats->ran = true;
+    PushdownResult pushed = PushDownRestrictions(state->expr);
+    stats->applications = pushed.conjuncts_pushed;
+    if (pushed.conjuncts_pushed > 0) {
+      stats->detail = CountNoun(pushed.conjuncts_pushed,
+                                "restriction conjunct") +
+                      " pushed down";
+    }
+    state->expr = pushed.expr;
+    return Status::Ok();
+  }
+};
+
+}  // namespace
+
+RewritePassPtr MakeSimplifyPass() {
+  return std::make_shared<const SimplifyPass>();
+}
+RewritePassPtr MakeReorderPass() {
+  return std::make_shared<const ReorderPass>();
+}
+RewritePassPtr MakeGojPass() { return std::make_shared<const GojPass>(); }
+RewritePassPtr MakeWcojPass() { return std::make_shared<const WcojPass>(); }
+RewritePassPtr MakeAcyclicPass() {
+  return std::make_shared<const AcyclicPass>();
+}
+RewritePassPtr MakePushdownPass() {
+  return std::make_shared<const PushdownPass>();
+}
+
+RewritePipeline RewritePipeline::Default() {
+  RewritePipeline pipeline;
+  pipeline.Append(MakeSimplifyPass())
+      .Append(MakeReorderPass())
+      .Append(MakeGojPass())
+      .Append(MakeWcojPass())
+      .Append(MakeAcyclicPass())
+      .Append(MakePushdownPass());
+  return pipeline;
+}
+
+RewritePipeline RewritePipeline::Empty() { return RewritePipeline(); }
+
+RewritePipeline& RewritePipeline::Append(RewritePassPtr pass) {
+  passes_.push_back(std::move(pass));
+  return *this;
+}
+
+RewritePipeline RewritePipeline::Without(std::string_view name) const {
+  RewritePipeline out;
+  for (const RewritePassPtr& pass : passes_) {
+    if (pass->name() != name) out.passes_.push_back(pass);
+  }
+  return out;
+}
+
+bool RewritePipeline::Has(std::string_view name) const {
+  return std::any_of(
+      passes_.begin(), passes_.end(),
+      [&](const RewritePassPtr& pass) { return pass->name() == name; });
+}
+
+Status RewritePipeline::Run(PlanState* state, const RewriteContext& context,
+                            std::vector<PassStats>* stats) const {
+  for (const RewritePassPtr& pass : passes_) {
+    PassStats pass_stats;
+    pass_stats.pass = std::string(pass->name());
+    FRO_RETURN_IF_ERROR(pass->Apply(state, context, &pass_stats));
+    stats->push_back(std::move(pass_stats));
+  }
+  return Status::Ok();
+}
+
+std::string FormatPassStats(const std::vector<PassStats>& passes) {
+  std::string out;
+  for (const PassStats& p : passes) {
+    out += "pass " + p.pass + ": ";
+    if (!p.ran) {
+      out += "skipped (" + p.skipped + ")";
+    } else {
+      out += "applications=" + std::to_string(p.applications);
+      if (p.plans_considered > 0) {
+        out += " plans_considered=" + std::to_string(p.plans_considered);
+      }
+      if (!p.detail.empty()) out += " (" + p.detail + ")";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace fro

@@ -1,0 +1,124 @@
+// The composable rewrite-pass surface of the optimizer. Three
+// structural rewrites (GOJ left-deepening, WCOJ core collapse, acyclic
+// semijoin programs) plus simplification and restriction pushdown all
+// used to hang off ad-hoc booleans in OptimizeOptions and per-rewrite
+// counters in OptimizeOutcome; they are now uniform passes over a
+// shared PlanState, ordered by a RewritePipeline, each reporting the
+// same PassStats shape. Dropping a rewrite is `Default().Without(name)`
+// instead of a new boolean; adding one is a new factory, not a new
+// field in every struct between the server and the tests.
+
+#ifndef FRO_OPTIMIZER_REWRITE_PASS_H_
+#define FRO_OPTIMIZER_REWRITE_PASS_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "algebra/expr.h"
+#include "common/status.h"
+#include "optimizer/cost.h"
+
+namespace fro {
+
+/// Everything a pass may consult but not mutate.
+struct RewriteContext {
+  const Database& db;
+  const CostModel& cost_model;
+  /// Largest relation count handled by the exact DP; bigger
+  /// freely-reorderable graphs use greedy operator ordering instead.
+  int max_dp_relations = 14;
+};
+
+/// Uniform per-pass report. One entry per pipeline pass, in run order.
+struct PassStats {
+  /// Pass name (RewritePass::name()).
+  std::string pass;
+  /// False when the pass declined to run; `skipped` says why.
+  bool ran = false;
+  std::string skipped;
+  /// Rewrites the pass applied: outerjoins simplified, islands
+  /// reordered, GOJ identities used, cores collapsed, semijoin programs
+  /// planned, conjuncts pushed. Zero when the pass ran but found
+  /// nothing to do.
+  int applications = 0;
+  /// Search effort, for passes that enumerate (the reorder DP).
+  uint64_t plans_considered = 0;
+  /// One-line human-readable detail ("DP over all implementing trees").
+  std::string detail;
+};
+
+/// The plan plus the facts passes establish about it. Later passes key
+/// off facts recorded by earlier ones (GOJ only left-deepens queries
+/// the reorder pass proved not freely reorderable).
+struct PlanState {
+  ExprPtr expr;
+  /// Set by the reorder pass; false until then, and false when the
+  /// query graph is undefined for the expression.
+  bool reorderability_known = false;
+  bool freely_reorderable = false;
+  /// Classification prose: "freely reorderable: DP over all
+  /// implementing trees", "not freely reorderable (<violation>)",
+  /// "graph undefined (<why>); keeping the given association".
+  std::string classification;
+};
+
+/// One rewrite pass. Stateless and immutable: a pass may be shared by
+/// any number of pipelines and invoked concurrently.
+class RewritePass {
+ public:
+  virtual ~RewritePass() = default;
+  virtual std::string_view name() const = 0;
+  /// Rewrites `state` in place; fills `stats` (pre-initialized with the
+  /// pass name, ran=false). A pass that does not apply records a
+  /// skipped reason and leaves the state untouched.
+  virtual Status Apply(PlanState* state, const RewriteContext& context,
+                       PassStats* stats) const = 0;
+};
+
+using RewritePassPtr = std::shared_ptr<const RewritePass>;
+
+/// An ordered sequence of rewrite passes.
+class RewritePipeline {
+ public:
+  /// The standard pipeline, in order: "simplify" (Section 4 outerjoin →
+  /// join conversion), "reorder" (Theorem 1 classification + DP/greedy
+  /// search, or per-island reordering), "goj" (identity 15/16
+  /// left-deepening of non-reorderable queries), "wcoj" (cyclic cores →
+  /// leapfrog multiway joins), "acyclic" (GYO + Yannakakis semijoin
+  /// programs — after wcoj so collapsed cores count as operands),
+  /// "pushdown" (sink restriction conjuncts).
+  static RewritePipeline Default();
+  /// No passes: Optimize only costs the query.
+  static RewritePipeline Empty();
+
+  RewritePipeline& Append(RewritePassPtr pass);
+  /// Copy of this pipeline with the named pass removed (no-op when the
+  /// name is absent).
+  RewritePipeline Without(std::string_view name) const;
+  bool Has(std::string_view name) const;
+  const std::vector<RewritePassPtr>& passes() const { return passes_; }
+
+  /// Runs the passes in order, appending one PassStats each.
+  Status Run(PlanState* state, const RewriteContext& context,
+             std::vector<PassStats>* stats) const;
+
+ private:
+  std::vector<RewritePassPtr> passes_;
+};
+
+RewritePassPtr MakeSimplifyPass();
+RewritePassPtr MakeReorderPass();
+RewritePassPtr MakeGojPass();
+RewritePassPtr MakeWcojPass();
+RewritePassPtr MakeAcyclicPass();
+RewritePassPtr MakePushdownPass();
+
+/// One line per pass ("pass <name>: ..."), the single rendering used by
+/// EXPLAIN ANALYZE, the shell's \analyze, and the server's STATS text.
+std::string FormatPassStats(const std::vector<PassStats>& passes);
+
+}  // namespace fro
+
+#endif  // FRO_OPTIMIZER_REWRITE_PASS_H_

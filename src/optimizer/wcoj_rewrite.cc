@@ -5,134 +5,13 @@
 #include <numeric>
 
 #include "common/check.h"
+#include "graph/attr_classes.h"
+#include "optimizer/join_region.h"
 #include "wcoj/cyclic_core.h"
 
 namespace fro {
 
 namespace {
-
-/// Union-find over attribute ids (mirrors the executor's grouping in
-/// wcoj/leapfrog.cc so planner and executor agree on the classes).
-class AttrUnionFind {
- public:
-  AttrId Find(AttrId a) {
-    auto it = parent_.find(a);
-    if (it == parent_.end()) {
-      parent_.emplace(a, a);
-      return a;
-    }
-    if (it->second == a) return a;
-    const AttrId root = Find(it->second);
-    it->second = root;
-    return root;
-  }
-
-  void Union(AttrId a, AttrId b) {
-    const AttrId ra = Find(a);
-    const AttrId rb = Find(b);
-    if (ra != rb) parent_[std::max(ra, rb)] = std::min(ra, rb);
-  }
-
- private:
-  std::map<AttrId, AttrId> parent_;
-};
-
-bool IsColEqCol(const PredicatePtr& pred) {
-  return pred->kind() == Predicate::Kind::kCmp &&
-         pred->cmp_op() == CmpOp::kEq && pred->lhs().is_column() &&
-         pred->rhs().is_column();
-}
-
-/// Flattens a maximal pure-kJoin region rooted at `expr` into its
-/// frontier operands (non-kJoin subtrees, left-to-right) and the
-/// conjuncts of every join predicate in the region.
-void CollectJoinRegion(const ExprPtr& expr, std::vector<ExprPtr>* operands,
-                       std::vector<PredicatePtr>* conjuncts) {
-  if (expr->kind() != OpKind::kJoin) {
-    operands->push_back(expr);
-    return;
-  }
-  CollectJoinRegion(expr->left(), operands, conjuncts);
-  CollectJoinRegion(expr->right(), operands, conjuncts);
-  if (expr->pred() != nullptr) {
-    for (PredicatePtr& c : expr->pred()->Conjuncts(expr->pred())) {
-      conjuncts->push_back(std::move(c));
-    }
-  }
-}
-
-PredicatePtr FoldAnd(const std::vector<PredicatePtr>& conjuncts) {
-  PredicatePtr out;
-  for (const PredicatePtr& c : conjuncts) out = AndOf(out, c);
-  return out;
-}
-
-/// Left-deep join over `items` applying each of `conjuncts` at the first
-/// join where its references are available; anything never applicable
-/// (cannot happen for region-local conjuncts, kept as a safety net)
-/// lands in a top Restrict.
-ExprPtr LeftDeepJoin(std::vector<ExprPtr> items,
-                     std::vector<PredicatePtr> conjuncts) {
-  FRO_CHECK(!items.empty());
-  std::vector<bool> used(conjuncts.size(), false);
-  ExprPtr current = items[0];
-  std::vector<bool> taken(items.size(), false);
-  taken[0] = true;
-  for (size_t step = 1; step < items.size(); ++step) {
-    // Prefer an item connected to the current prefix by some conjunct.
-    size_t pick = items.size();
-    for (size_t i = 0; i < items.size(); ++i) {
-      if (taken[i]) continue;
-      if (pick == items.size()) pick = i;  // fallback: first untaken
-      bool connected = false;
-      const AttrSet joined = current->attrs().Union(items[i]->attrs());
-      for (size_t k = 0; k < conjuncts.size(); ++k) {
-        if (used[k]) continue;
-        const AttrSet& refs = conjuncts[k]->References();
-        if (joined.ContainsAll(refs) && refs.Overlaps(current->attrs()) &&
-            refs.Overlaps(items[i]->attrs())) {
-          connected = true;
-          break;
-        }
-      }
-      if (connected) {
-        pick = i;
-        break;
-      }
-    }
-    taken[pick] = true;
-    const AttrSet joined = current->attrs().Union(items[pick]->attrs());
-    PredicatePtr pred;
-    for (size_t k = 0; k < conjuncts.size(); ++k) {
-      if (used[k]) continue;
-      if (joined.ContainsAll(conjuncts[k]->References())) {
-        pred = AndOf(std::move(pred), conjuncts[k]);
-        used[k] = true;
-      }
-    }
-    current = Expr::Join(std::move(current), items[pick], std::move(pred));
-  }
-  PredicatePtr leftover;
-  for (size_t k = 0; k < conjuncts.size(); ++k) {
-    if (!used[k]) leftover = AndOf(std::move(leftover), conjuncts[k]);
-  }
-  if (leftover != nullptr) {
-    current = Expr::Restrict(std::move(current), std::move(leftover));
-  }
-  return current;
-}
-
-/// Rebuilds the region's original join shape with operands substituted
-/// (in frontier order). Hash-consing makes this free when nothing
-/// changed: identical operands intern back to the original node.
-ExprPtr RebuildSameShape(const ExprPtr& expr,
-                         const std::vector<ExprPtr>& operands,
-                         size_t* next) {
-  if (expr->kind() != OpKind::kJoin) return operands[(*next)++];
-  ExprPtr left = RebuildSameShape(expr->left(), operands, next);
-  ExprPtr right = RebuildSameShape(expr->right(), operands, next);
-  return Expr::Join(std::move(left), std::move(right), expr->pred());
-}
 
 /// Collapses the cyclic cores of one join region; returns the new
 /// region expression (cost-gated) and bumps *cores_collapsed.
@@ -225,59 +104,6 @@ ExprPtr CollapseRegion(const ExprPtr& region_root,
   return baseline;
 }
 
-/// Structural walk shared by the cost-gated and forced rewrites.
-/// `collapse` maps (region_root, operands, conjuncts) to the new region.
-template <typename Collapse>
-ExprPtr Walk(const ExprPtr& expr, const Collapse& collapse) {
-  switch (expr->kind()) {
-    case OpKind::kLeaf:
-      return expr;
-    case OpKind::kJoin: {
-      std::vector<ExprPtr> operands;
-      std::vector<PredicatePtr> conjuncts;
-      CollectJoinRegion(expr, &operands, &conjuncts);
-      for (ExprPtr& operand : operands) operand = Walk(operand, collapse);
-      return collapse(expr, operands, conjuncts);
-    }
-    case OpKind::kRestrict:
-      return Expr::Restrict(Walk(expr->left(), collapse), expr->pred());
-    case OpKind::kProject:
-      return Expr::Project(Walk(expr->left(), collapse),
-                           expr->project_cols(), expr->project_dedup());
-    case OpKind::kUnion:
-      return Expr::Union(Walk(expr->left(), collapse),
-                         Walk(expr->right(), collapse));
-    case OpKind::kOuterJoin:
-      return Expr::OuterJoin(Walk(expr->left(), collapse),
-                             Walk(expr->right(), collapse), expr->pred(),
-                             expr->preserves_left());
-    case OpKind::kAntijoin:
-      return Expr::Antijoin(Walk(expr->left(), collapse),
-                            Walk(expr->right(), collapse), expr->pred(),
-                            expr->preserves_left());
-    case OpKind::kSemijoin:
-      return Expr::Semijoin(Walk(expr->left(), collapse),
-                            Walk(expr->right(), collapse), expr->pred(),
-                            expr->preserves_left());
-    case OpKind::kGoj:
-      return Expr::Goj(Walk(expr->left(), collapse),
-                       Walk(expr->right(), collapse), expr->pred(),
-                       expr->goj_subset());
-    case OpKind::kMultiwayJoin: {
-      // Already multiway (idempotent re-application): walk the operands.
-      std::vector<ExprPtr> children;
-      children.reserve(expr->mj_children().size());
-      for (const ExprPtr& child : expr->mj_children()) {
-        children.push_back(Walk(child, collapse));
-      }
-      return Expr::MultiwayJoin(std::move(children), expr->pred(),
-                                expr->mj_var_order());
-    }
-  }
-  FRO_CHECK(false) << "unhandled operator kind";
-  return expr;
-}
-
 }  // namespace
 
 std::vector<AttrId> ChooseVarOrder(const std::vector<ExprPtr>& operands,
@@ -285,20 +111,7 @@ std::vector<AttrId> ChooseVarOrder(const std::vector<ExprPtr>& operands,
                                    const CardinalityEstimator* estimator) {
   if (pred == nullptr) return {};
 
-  AttrUnionFind uf;
-  std::vector<AttrId> eq_attrs;
-  for (const PredicatePtr& c : pred->Conjuncts(pred)) {
-    if (!IsColEqCol(c)) continue;
-    uf.Union(c->lhs().attr(), c->rhs().attr());
-    eq_attrs.push_back(c->lhs().attr());
-    eq_attrs.push_back(c->rhs().attr());
-  }
-  std::sort(eq_attrs.begin(), eq_attrs.end());
-  eq_attrs.erase(std::unique(eq_attrs.begin(), eq_attrs.end()),
-                 eq_attrs.end());
-
-  std::map<AttrId, std::vector<AttrId>> classes;
-  for (AttrId a : eq_attrs) classes[uf.Find(a)].push_back(a);
+  const std::map<AttrId, std::vector<AttrId>> classes = AttrEqClasses(pred);
 
   struct Var {
     AttrId rep;
@@ -373,7 +186,7 @@ WcojRewriteResult ApplyWcoj(const ExprPtr& plan, const Database& db,
                             const CostModel& cost_model) {
   (void)db;
   WcojRewriteResult result;
-  result.expr = Walk(
+  result.expr = MapJoinRegions(
       plan, [&](const ExprPtr& region_root,
                 const std::vector<ExprPtr>& operands,
                 const std::vector<PredicatePtr>& conjuncts) {
@@ -384,9 +197,9 @@ WcojRewriteResult ApplyWcoj(const ExprPtr& plan, const Database& db,
 }
 
 ExprPtr ForceMultiwayJoins(const ExprPtr& query) {
-  return Walk(query, [](const ExprPtr& region_root,
-                        const std::vector<ExprPtr>& operands,
-                        const std::vector<PredicatePtr>& conjuncts) {
+  return MapJoinRegions(query, [](const ExprPtr& region_root,
+                                  const std::vector<ExprPtr>& operands,
+                                  const std::vector<PredicatePtr>& conjuncts) {
     (void)region_root;
     FRO_CHECK_GE(operands.size(), 2u);
     PredicatePtr pred = FoldAnd(conjuncts);

@@ -81,6 +81,21 @@ void ServerMetrics::RecordOperator(const std::string& physical_name,
   op_totals_[physical_name] += stats;
 }
 
+void ServerMetrics::RecordOptimizerPasses(
+    const std::vector<PassStats>& passes) {
+  std::lock_guard<std::mutex> lock(pass_mu_);
+  for (const PassStats& p : passes) {
+    PassTotals& totals = pass_totals_[p.pass];
+    if (p.ran) {
+      ++totals.runs;
+    } else {
+      ++totals.skips;
+    }
+    totals.applications += static_cast<uint64_t>(p.applications);
+    totals.plans_considered += p.plans_considered;
+  }
+}
+
 std::string ServerMetrics::ToText() const {
   char line[256];
   std::string out;
@@ -109,15 +124,29 @@ std::string ServerMetrics::ToText() const {
                 latency_.mean(), latency_.Quantile(0.5),
                 latency_.Quantile(0.99));
   out += line;
-  std::lock_guard<std::mutex> lock(op_mu_);
-  for (const auto& [name, stats] : op_totals_) {
+  {
+    std::lock_guard<std::mutex> lock(op_mu_);
+    for (const auto& [name, stats] : op_totals_) {
+      std::snprintf(line, sizeof(line),
+                    "op %s reads=%llu emitted=%llu probes=%llu evals=%llu\n",
+                    name.c_str(),
+                    static_cast<unsigned long long>(stats.tuples_read()),
+                    static_cast<unsigned long long>(stats.emitted),
+                    static_cast<unsigned long long>(stats.probes),
+                    static_cast<unsigned long long>(stats.predicate_evals));
+      out += line;
+    }
+  }
+  std::lock_guard<std::mutex> lock(pass_mu_);
+  for (const auto& [name, totals] : pass_totals_) {
     std::snprintf(line, sizeof(line),
-                  "op %s reads=%llu emitted=%llu probes=%llu evals=%llu\n",
+                  "pass %s runs=%llu skips=%llu applications=%llu "
+                  "plans_considered=%llu\n",
                   name.c_str(),
-                  static_cast<unsigned long long>(stats.tuples_read()),
-                  static_cast<unsigned long long>(stats.emitted),
-                  static_cast<unsigned long long>(stats.probes),
-                  static_cast<unsigned long long>(stats.predicate_evals));
+                  static_cast<unsigned long long>(totals.runs),
+                  static_cast<unsigned long long>(totals.skips),
+                  static_cast<unsigned long long>(totals.applications),
+                  static_cast<unsigned long long>(totals.plans_considered));
     out += line;
   }
   return out;

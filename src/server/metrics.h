@@ -14,6 +14,7 @@
 #include <string>
 
 #include "common/status.h"
+#include "optimizer/rewrite_pass.h"
 #include "relational/exec_stats.h"
 
 namespace fro {
@@ -52,6 +53,9 @@ class ServerMetrics {
   /// per-operator totals (`physical_name` -> summed ExecStats).
   void RecordOperator(const std::string& physical_name,
                       const ExecStats& stats);
+  /// Folds one optimization's per-pass stats (OptimizeOutcome::passes)
+  /// into the per-pass totals surfaced by the STATS dump.
+  void RecordOptimizerPasses(const std::vector<PassStats>& passes);
   void RecordRejected() { rejected_.fetch_add(1, std::memory_order_relaxed); }
   void RecordConnection() {
     connections_.fetch_add(1, std::memory_order_relaxed);
@@ -79,8 +83,9 @@ class ServerMetrics {
   }
   const LatencyHistogram& latency() const { return latency_; }
 
-  /// The STATS dump: one `key=value` per line plus an `op <name> ...`
-  /// line per physical operator.
+  /// The STATS dump: one `key=value` per line, an `op <name> ...` line
+  /// per physical operator, and a `pass <name> ...` rollup per rewrite
+  /// pass.
   std::string ToText() const;
 
  private:
@@ -97,6 +102,16 @@ class ServerMetrics {
 
   mutable std::mutex op_mu_;
   std::map<std::string, ExecStats> op_totals_;
+
+  /// Cumulative per-pass totals, keyed by pass name.
+  struct PassTotals {
+    uint64_t runs = 0;
+    uint64_t skips = 0;
+    uint64_t applications = 0;
+    uint64_t plans_considered = 0;
+  };
+  mutable std::mutex pass_mu_;
+  std::map<std::string, PassTotals> pass_totals_;
 };
 
 }  // namespace fro

@@ -152,10 +152,11 @@ Response QuerySession::RunQueryVerb(const std::string& text, int threads,
     ForEachOp(result->plan_stats, [this](const PlanOpStats& op, int) {
       metrics_->RecordOperator(op.physical_name, op.stats);
     });
+    metrics_->RecordOptimizerPasses(result->optimize.passes);
   }
   response.body = RenderResult(result->relation,
                                result->translation.db->catalog(),
-                               result->optimize.notes);
+                               result->optimize.Summary());
   return response;
 }
 
@@ -172,7 +173,7 @@ Response QuerySession::RunExplainVerb(const std::string& text) {
     return response;
   }
   response.body = Explain(planned->optimize.plan, *planned->translation.db);
-  response.body += "(" + planned->optimize.notes + ")\n";
+  response.body += "(" + planned->optimize.Summary() + ")\n";
   return response;
 }
 
@@ -192,6 +193,9 @@ Response QuerySession::RunAnalyzeVerb(const std::string& text, int threads) {
       ExplainAnalyze(planned->optimize.plan, *planned->translation.db,
                      JoinAlgo::kAuto, options_.engine, threads);
   response.body = analyzed.text;
+  // The same per-pass rendering the shell's \analyze uses
+  // (FormatPassStats): one code path for pipeline observability.
+  response.body += FormatPassStats(planned->optimize.passes);
   response.body += "(" + std::to_string(analyzed.result.NumRows()) +
                    " rows; " +
                    std::to_string(analyzed.base_tuples_read) +

@@ -64,7 +64,20 @@ GeneratedQuery GenerateRandomQuery(const RandomQueryOptions& options,
   FRO_CHECK_GE(base, 2);
 
   int core;
-  if (options.core_shape != RandomQueryOptions::CoreShape::kRandom) {
+  if (options.core_shape == RandomQueryOptions::CoreShape::kChain) {
+    // A fixed chordless path R0 - R1 - ... : the canonical acyclic join
+    // core. Remaining nodes become outerjoin shell.
+    core = options.chain_length;
+    FRO_CHECK_GE(core, 2) << "a chain core needs >= 2 relations";
+    FRO_CHECK_GE(base, core) << "core shape needs more relations";
+    for (int v = 0; v + 1 < core; ++v) {
+      Status s = graph.AddJoinEdge(
+          v, v + 1,
+          StrongPred(db, static_cast<RelId>(v), static_cast<RelId>(v + 1),
+                     rng));
+      FRO_CHECK(s.ok()) << s.ToString();
+    }
+  } else if (options.core_shape != RandomQueryOptions::CoreShape::kRandom) {
     // A fixed chordless cycle: the core size is the cycle length and
     // every other node becomes outerjoin shell.
     core = options.core_shape == RandomQueryOptions::CoreShape::kTriangle

@@ -41,13 +41,19 @@ struct RandomQueryOptions {
   /// `extra_join_edge_prob` chords; kTriangle / kFourCycle force the core
   /// to be exactly that chordless cycle (the canonical cyclic cores the
   /// wcoj subsystem collapses), with every remaining node hanging off it
-  /// as outerjoin shell. Requires num_relations >= the cycle length.
+  /// as outerjoin shell. kChain forces a chordless path over
+  /// `chain_length` nodes — the canonical alpha-acyclic core the GYO /
+  /// Yannakakis fast path reduces. Requires num_relations >= the cycle /
+  /// chain length.
   enum class CoreShape {
     kRandom,
     kTriangle,
     kFourCycle,
+    kChain,
   };
   CoreShape core_shape = CoreShape::kRandom;
+  /// Core size when core_shape == kChain.
+  int chain_length = 3;
 
   RandomRowsOptions rows;
 };

@@ -4,39 +4,9 @@
 #include <map>
 
 #include "common/check.h"
+#include "graph/attr_classes.h"
 
 namespace fro {
-
-namespace {
-
-/// Union-find over attribute ids, for grouping the equality conjuncts
-/// into variables. Small and map-based: multiway nodes have a handful
-/// of attributes.
-class AttrUnionFind {
- public:
-  AttrId Find(AttrId a) {
-    auto it = parent_.find(a);
-    if (it == parent_.end()) {
-      parent_.emplace(a, a);
-      return a;
-    }
-    if (it->second == a) return a;
-    const AttrId root = Find(it->second);
-    it->second = root;
-    return root;
-  }
-
-  void Union(AttrId a, AttrId b) {
-    const AttrId ra = Find(a);
-    const AttrId rb = Find(b);
-    if (ra != rb) parent_[std::max(ra, rb)] = std::min(ra, rb);
-  }
-
- private:
-  std::map<AttrId, AttrId> parent_;
-};
-
-}  // namespace
 
 MultiwaySpec AnalyzeMultiwayJoin(const ExprPtr& expr) {
   FRO_CHECK(expr != nullptr && expr->is_multiway());
@@ -44,14 +14,13 @@ MultiwaySpec AnalyzeMultiwayJoin(const ExprPtr& expr) {
   spec.var_reps = expr->mj_var_order();
   spec.residual = expr->pred();
 
+  // Shared grouping (graph/attr_classes.h) keeps the executor's
+  // variable classes identical to the planner's.
   AttrUnionFind uf;
   std::vector<AttrId> eq_attrs;
   if (expr->pred() != nullptr) {
     for (const PredicatePtr& c : expr->pred()->Conjuncts(expr->pred())) {
-      if (c->kind() != Predicate::Kind::kCmp || c->cmp_op() != CmpOp::kEq) {
-        continue;
-      }
-      if (!c->lhs().is_column() || !c->rhs().is_column()) continue;
+      if (!IsColEqCol(c)) continue;
       uf.Union(c->lhs().attr(), c->rhs().attr());
       eq_attrs.push_back(c->lhs().attr());
       eq_attrs.push_back(c->rhs().attr());

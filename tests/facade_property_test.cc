@@ -90,14 +90,14 @@ TEST(FacadePropertyTest, LargeGraphsFallBackToGreedy) {
   Result<OptimizeOutcome> outcome = Optimize(tree, *q.db);
   ASSERT_TRUE(outcome.ok());
   EXPECT_TRUE(outcome->freely_reorderable);
-  EXPECT_NE(outcome->notes.find("greedy"), std::string::npos);
+  EXPECT_NE(outcome->classification.find("greedy"), std::string::npos);
   EXPECT_TRUE(BagEquals(Eval(tree, *q.db), Eval(outcome->plan, *q.db)));
   // Forcing a higher DP limit keeps the exact path available.
   OptimizeOptions exact;
   exact.max_dp_relations = 10;
   Result<OptimizeOutcome> still_greedy = Optimize(tree, *q.db, exact);
   ASSERT_TRUE(still_greedy.ok());
-  EXPECT_NE(still_greedy->notes.find("greedy"), std::string::npos);
+  EXPECT_NE(still_greedy->classification.find("greedy"), std::string::npos);
 }
 
 }  // namespace

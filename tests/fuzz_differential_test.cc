@@ -129,7 +129,7 @@ TEST(FuzzDifferentialTest, OptimizerSkipsGojOnDuplicateRows) {
 
   Result<OptimizeOutcome> outcome = Optimize(query, db);
   ASSERT_TRUE(outcome.ok());
-  EXPECT_EQ(outcome->goj_rewrites, 0);
+  EXPECT_EQ(outcome->PassApplications("goj"), 0);
   EXPECT_TRUE(BagEquals(Eval(outcome->plan, db), OracleEval(query, db)));
 
   // Removing the duplicate re-enables the rewrite on the same shape.
@@ -137,7 +137,7 @@ TEST(FuzzDifferentialTest, OptimizerSkipsGojOnDuplicateRows) {
   EXPECT_TRUE(BaseRelationsDuplicateFree(query, db));
   Result<OptimizeOutcome> dedup_outcome = Optimize(query, db);
   ASSERT_TRUE(dedup_outcome.ok());
-  EXPECT_GT(dedup_outcome->goj_rewrites, 0);
+  EXPECT_GT(dedup_outcome->PassApplications("goj"), 0);
   EXPECT_TRUE(
       BagEquals(Eval(dedup_outcome->plan, db), OracleEval(query, db)));
 }

@@ -138,16 +138,16 @@ TEST(OptimizeFacadeTest, SimplificationThenReorder) {
       CmpLit(CmpOp::kGe, db->Attr("R3", "k"), Value::Int(0)));
   Result<OptimizeOutcome> outcome = Optimize(q, *db);
   ASSERT_TRUE(outcome.ok());
-  EXPECT_EQ(outcome->outerjoins_simplified, 1);
+  EXPECT_EQ(outcome->PassApplications("simplify"), 1);
   EXPECT_TRUE(outcome->freely_reorderable);
   EXPECT_TRUE(BagEquals(Eval(q, *db), Eval(outcome->plan, *db)));
   // The plan is a pure join tree; the restriction (on R3.k only) has been
   // pushed down to the R3 scan.
   EXPECT_EQ(outcome->plan->kind(), OpKind::kJoin);
-  EXPECT_EQ(outcome->restrictions_pushed, 1);
+  EXPECT_EQ(outcome->PassApplications("pushdown"), 1);
   // Disabling pushdown keeps the restrict on top.
   OptimizeOptions no_push;
-  no_push.push_down_restrictions = false;
+  no_push.pipeline = RewritePipeline::Default().Without("pushdown");
   Result<OptimizeOutcome> unpushed = Optimize(q, *db, no_push);
   ASSERT_TRUE(unpushed.ok());
   EXPECT_EQ(unpushed->plan->kind(), OpKind::kRestrict);
@@ -176,7 +176,7 @@ TEST(OptimizeFacadeTest, NonReorderableQueryGetsGojPlan) {
   Result<OptimizeOutcome> outcome = Optimize(q, db);
   ASSERT_TRUE(outcome.ok());
   EXPECT_FALSE(outcome->freely_reorderable);
-  EXPECT_EQ(outcome->goj_rewrites, 1);
+  EXPECT_EQ(outcome->PassApplications("goj"), 1);
   EXPECT_EQ(outcome->plan->kind(), OpKind::kGoj);
   EXPECT_TRUE(BagEquals(Eval(q, db), Eval(outcome->plan, db)));
 }
@@ -195,7 +195,7 @@ TEST(OptimizeFacadeTest, WeakPredicateBlocksReordering) {
   Result<OptimizeOutcome> outcome = Optimize(q, db);
   ASSERT_TRUE(outcome.ok());
   EXPECT_FALSE(outcome->freely_reorderable);
-  EXPECT_NE(outcome->notes.find("non-strong"), std::string::npos);
+  EXPECT_NE(outcome->classification.find("non-strong"), std::string::npos);
   EXPECT_TRUE(BagEquals(Eval(q, db), Eval(outcome->plan, db)));
 }
 

@@ -97,7 +97,7 @@ TEST(SubqueryTest, FacadeAppliesItToNonReorderableQueries) {
   Result<OptimizeOutcome> outcome = Optimize(f.query, *f.db);
   ASSERT_TRUE(outcome.ok());
   EXPECT_FALSE(outcome->freely_reorderable);
-  EXPECT_EQ(outcome->subqueries_reordered, 1);
+  EXPECT_EQ(outcome->PassApplications("reorder"), 1);
   EXPECT_TRUE(BagEquals(Eval(f.query, *f.db), Eval(outcome->plan, *f.db)));
 }
 

@@ -312,15 +312,15 @@ TEST(WcojRewriteTest, OptimizeReportsMultiwayCollapse) {
   ExprPtr query = TriangleQuery(db);
   Result<OptimizeOutcome> outcome = Optimize(query, db);
   ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
-  EXPECT_EQ(outcome->multiway_joins, 1);
+  EXPECT_EQ(outcome->PassApplications("wcoj"), 1);
   EXPECT_TRUE(BagEquals(Eval(outcome->plan, db), Eval(query, db)));
 
-  // Disabling the option keeps the plan binary.
+  // Dropping the pass keeps the plan binary.
   OptimizeOptions off;
-  off.enable_multiway_joins = false;
+  off.pipeline = RewritePipeline::Default().Without("wcoj");
   Result<OptimizeOutcome> binary = Optimize(query, db, off);
   ASSERT_TRUE(binary.ok());
-  EXPECT_EQ(binary->multiway_joins, 0);
+  EXPECT_EQ(binary->PassApplications("wcoj"), 0);
   EXPECT_EQ(FindMultiway(binary->plan), nullptr);
 }
 
