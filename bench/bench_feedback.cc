@@ -1,0 +1,259 @@
+// The cardinality-feedback loop, end to end: a skewed acyclic chain is
+// built so the *static* model keeps the binary plan — the heavy block
+// is hidden behind high distinct counts (K heavy rows under F
+// singleton fillers, K = F/8), so the estimated join outputs stay
+// small and the Yannakakis program's semijoin charges (Cout) look like
+// a net loss. Execution then hits the hidden K^2 many-to-many
+// intermediate, every row of which dies toward R1. The bench closes
+// the shipped loop: drain the static plan through the batch engine,
+// ObservePlanExecution into a FeedbackStore, mark the cache entry
+// stale via its running Q-error, and re-plan with the Snapshot
+// attached — the corrected baseline is now priced at the measured
+// blowup and the acyclic gate flips to the semijoin program, whose
+// intermediates stay linear.
+//
+// The bench CHECKs the decision sequence (static gate declined, entry
+// went stale, exactly-one re-plan claim, corrected gate fired, equal
+// result cardinality) and measures both executed plans. Emits a JSON
+// array on stdout (scripts/bench.sh redirects it into BENCH_PR10.json);
+// each row is {pipeline, rows, out_rows, batch_ns, batch_min_ns,
+// batch_max_ns} with "speedup_vs_static" and "max_q_error" on the
+// corrected rows — speedup_vs_static is the field the PR 10 acceptance
+// bar (>= 2x on every scale) reads, while batch_ns/batch_min_ns let
+// scripts/bench_compare.py gate regressions. `--smoke` reduces the
+// repetition count for CI.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "algebra/expr.h"
+#include "common/check.h"
+#include "exec/batch_iterator.h"
+#include "exec/build.h"
+#include "exec/stats_view.h"
+#include "optimizer/feedback.h"
+#include "optimizer/optimizer.h"
+#include "optimizer/plan_cache.h"
+#include "relational/predicate.h"
+
+namespace fro {
+namespace {
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct Timing {
+  int64_t median_ns = 0;
+  int64_t min_ns = 0;
+  int64_t max_ns = 0;
+};
+
+template <typename RunOnce>
+Timing MeasureReps(int reps, RunOnce&& run_once) {
+  std::vector<int64_t> samples;
+  samples.reserve(static_cast<size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    const int64_t start = NowNs();
+    run_once();
+    samples.push_back(NowNs() - start);
+  }
+  std::sort(samples.begin(), samples.end());
+  Timing t;
+  const size_t n = samples.size();
+  t.median_ns = n % 2 == 1 ? samples[n / 2]
+                           : (samples[n / 2 - 1] + samples[n / 2]) / 2;
+  t.min_ns = samples.front();
+  t.max_ns = samples.back();
+  return t;
+}
+
+struct Report {
+  std::string pipeline;
+  size_t rows;      // total input rows across the operands
+  size_t out_rows;  // result cardinality (identical for both plans)
+  Timing timing;
+  double speedup_vs_static = 0;  // corrected rows only
+  double max_q_error = 0;        // worst per-operator Q-error observed
+};
+
+int CountSemijoins(const ExprPtr& expr) {
+  if (expr == nullptr || expr->kind() == OpKind::kLeaf) return 0;
+  int n = expr->kind() == OpKind::kSemijoin ? 1 : 0;
+  if (expr->is_multiway()) {
+    for (const ExprPtr& child : expr->mj_children()) {
+      n += CountSemijoins(child);
+    }
+    return n;
+  }
+  return n + CountSemijoins(expr->left()) + CountSemijoins(expr->right());
+}
+
+// The chain R1(a0,a1) - R2(a0,a1) - R3(a0,a1), joined on
+// R1.a1 = R2.a0 and R2.a1 = R3.a0, sized so every distinct count tells
+// the static model the joins are harmless:
+//   R1 (left end): every live key twice — d(R1.a1) = live, 2*live rows.
+//   R2 (middle): a heavy block (600000+j, 0) whose left-hand values are
+//       dead toward R1 and whose right-hand key 0 is heavy toward R3,
+//       plus live bridge rows (100000+i, 1+i) —
+//       d(R2.a0) = heavy+live, d(R2.a1) = live+1.
+//   R3 (right end): the heavy partner block (0, j) plus live rows
+//       (1+i, .) — d(R3.a0) = live+1.
+// With heavy/live = 1/8 the estimated joins are all ~linear, DP picks
+// (R2 >< R3) first (the b-edge looks bigger), and the semijoin
+// program's Cout charges exceed the binary plan's — the static gate
+// declines. Actually R2 >< R3 is heavy^2 + live rows, all heavy^2 of
+// them dangling toward R1; the program's one profitable reduction
+// (R2 reduced by R1, the GYO tree's bottom-up edge) removes the heavy
+// block before it can multiply.
+void FillSkewChain(Database* db, RelId r1, RelId r2, RelId r3, int heavy,
+                   int live) {
+  for (int j = 0; j < heavy; ++j) {
+    db->AddRow(r2, {Value::Int(600000 + j), Value::Int(0)});
+    db->AddRow(r3, {Value::Int(0), Value::Int(j)});
+  }
+  for (int i = 0; i < live; ++i) {
+    db->AddRow(r1, {Value::Int(i), Value::Int(100000 + i)});
+    db->AddRow(r1, {Value::Int(live + i), Value::Int(100000 + i)});
+    db->AddRow(r2, {Value::Int(100000 + i), Value::Int(1 + i)});
+    db->AddRow(r3, {Value::Int(1 + i), Value::Int(i)});
+  }
+}
+
+ExprPtr ChainQuery(const Database& db) {
+  auto attr = [&](int i, const char* name) {
+    return db.Attr("R" + std::to_string(i), name);
+  };
+  return Expr::Join(
+      Expr::Join(Expr::Leaf(0, db), Expr::Leaf(1, db),
+                 EqCols(attr(1, "a1"), attr(2, "a0"))),
+      Expr::Leaf(2, db), EqCols(attr(2, "a1"), attr(3, "a0")));
+}
+
+size_t TotalRows(const Database& db, int num_rels) {
+  size_t total = 0;
+  for (RelId r = 0; r < static_cast<RelId>(num_rels); ++r) {
+    total += db.relation(r).NumRows();
+  }
+  return total;
+}
+
+void Measure(const std::string& name, const ExprPtr& query,
+             const Database& db, int reps, std::vector<Report>* reports) {
+  // The shipped loop, exactly as a server session drives it: plan
+  // through the cache, execute, feed actuals back, re-plan on the
+  // staleness claim. Threshold 0.5 sits below the Q-error floor of 1.0
+  // so the first RecordExecution deterministically marks the entry.
+  LruPlanCache cache(4, /*q_error_threshold=*/0.5);
+  FeedbackStore store;
+  OptimizeOptions opt;
+  opt.plan_cache = &cache;
+
+  Result<OptimizeOutcome> cold = Optimize(query, db, opt);
+  FRO_CHECK(cold.ok()) << cold.status().ToString();
+  FRO_CHECK(CountSemijoins(cold->plan) == 0)
+      << name << ": the static gate was supposed to keep the binary plan";
+
+  BatchIteratorPtr executed = BuildBatchIterator(cold->plan, db);
+  const size_t static_warm_out = DrainBatches(executed.get()).NumRows();
+  const double q =
+      ObservePlanExecution(&store, cold->plan->hash(),
+                           SnapshotPlanStats(executed.get()),
+                           cold->op_estimates);
+  FRO_CHECK(q > 2.0) << name << ": the blowup was not mispriced (q=" << q
+                     << ")";
+  cache.RecordExecution(query->hash(), q);
+
+  const CardinalityFeedback corrected = store.Snapshot();
+  opt.feedback = &corrected;
+  Result<OptimizeOutcome> warm = Optimize(query, db, opt);
+  FRO_CHECK(warm.ok()) << warm.status().ToString();
+  FRO_CHECK(!warm->cache_hit && warm->replanned)
+      << name << ": the stale entry did not grant the re-plan claim";
+  FRO_CHECK(CountSemijoins(warm->plan) > 0)
+      << name << ": the corrected gate did not choose a semijoin program";
+
+  const size_t rows = TotalRows(db, 3);
+  size_t static_out = 0, corrected_out = 0;
+  // One untimed warmup per plan (the static plan already ran once).
+  corrected_out = ExecuteBatched(warm->plan, db).NumRows();
+  const Timing static_t = MeasureReps(reps, [&] {
+    static_out = ExecuteBatched(cold->plan, db).NumRows();
+  });
+  const Timing corrected_t = MeasureReps(reps, [&] {
+    corrected_out = ExecuteBatched(warm->plan, db).NumRows();
+  });
+  FRO_CHECK(static_out == corrected_out && static_out == static_warm_out)
+      << name << ": static " << static_out << " rows, corrected "
+      << corrected_out;
+
+  reports->push_back({name + "_static", rows, static_out, static_t, 0, 0});
+  reports->push_back({name + "_corrected", rows, corrected_out, corrected_t,
+                      static_cast<double>(static_t.median_ns) /
+                          static_cast<double>(corrected_t.median_ns),
+                      q});
+}
+
+void Emit(const std::vector<Report>& reports) {
+  std::printf("[\n");
+  for (size_t i = 0; i < reports.size(); ++i) {
+    const Report& r = reports[i];
+    std::printf(
+        "  {\"pipeline\": \"%s\", \"rows\": %zu, \"out_rows\": %zu, "
+        "\"batch_ns\": %lld, \"batch_min_ns\": %lld, "
+        "\"batch_max_ns\": %lld",
+        r.pipeline.c_str(), r.rows, r.out_rows,
+        static_cast<long long>(r.timing.median_ns),
+        static_cast<long long>(r.timing.min_ns),
+        static_cast<long long>(r.timing.max_ns));
+    if (r.speedup_vs_static > 0) {
+      std::printf(", \"speedup_vs_static\": %.2f, \"max_q_error\": %.1f",
+                  r.speedup_vs_static, r.max_q_error);
+    }
+    std::printf("}%s\n", i + 1 < reports.size() ? "," : "");
+  }
+  std::printf("]\n");
+}
+
+int Main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      return 2;
+    }
+  }
+  // Smoke lowers the repetition count only: the scales (and so the
+  // pipeline names) stay identical, which scripts/bench_compare.py
+  // needs to match a smoke run against the committed full-run baseline.
+  const int reps = smoke ? 5 : 9;
+  const std::vector<int> live_scales = {2000, 4000, 8000};
+
+  std::vector<Report> reports;
+  for (int live : live_scales) {
+    const int heavy = live / 8;  // K/F < 0.3 keeps the static gate shut
+    Database db;
+    RelId r1 = *db.AddRelation("R1", {"a0", "a1"});
+    RelId r2 = *db.AddRelation("R2", {"a0", "a1"});
+    RelId r3 = *db.AddRelation("R3", {"a0", "a1"});
+    FillSkewChain(&db, r1, r2, r3, heavy, live);
+    Measure("skew3_f" + std::to_string(live), ChainQuery(db), db, reps,
+            &reports);
+  }
+  Emit(reports);
+  return 0;
+}
+
+}  // namespace
+}  // namespace fro
+
+int main(int argc, char** argv) { return fro::Main(argc, argv); }

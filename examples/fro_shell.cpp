@@ -54,6 +54,14 @@ LruPlanCache& LocalPlanCache() {
   return cache;
 }
 
+/// Local cardinality-feedback store: every shell query feeds its actuals
+/// in, repeated queries plan against the corrections, and \feedback has
+/// the loop's state to show (optimizer/feedback.h).
+FeedbackStore& LocalFeedback() {
+  static FeedbackStore store;
+  return store;
+}
+
 /// Non-null while \connect is active.
 FroClient* g_remote = nullptr;
 
@@ -68,6 +76,8 @@ void PrintHelp() {
       "  \\connect h:p       speak the fro_serve protocol to h:p\n"
       "  \\disconnect        return to local execution\n"
       "  \\cachestats        plan-cache counters (local or remote)\n"
+      "  \\feedback          cardinality-feedback store: corrections,\n"
+      "                     Q-error histogram, re-plan counters\n"
       "  \\indexes [query]   build + list the IndexManager entries the\n"
       "                     query's plan can exploit (always local)\n"
       "  \\help              this text\n"
@@ -78,6 +88,7 @@ void PrintHelp() {
 RunOptions LocalRunOptions() {
   RunOptions options;
   options.plan_cache = &LocalPlanCache();
+  options.feedback = &LocalFeedback();
   return options;
 }
 
@@ -131,6 +142,17 @@ void RunCacheStats() {
               LocalPlanCache().stats().ToString().c_str());
 }
 
+void RunFeedback() {
+  if (g_remote != nullptr) {
+    // The server's STATS payload carries its feedback rollup.
+    PrintRemote(g_remote->Stats());
+    return;
+  }
+  std::printf("%s", LocalFeedback().Describe().c_str());
+  std::printf("local plan_cache %s\n",
+              LocalPlanCache().stats().ToString().c_str());
+}
+
 void RunPlain(const NestedDb& db, const std::string& query) {
   Result<QueryRunResult> run = RunQuery(db, query, LocalRunOptions());
   if (!run.ok()) {
@@ -159,8 +181,11 @@ void RunAnalyze(const NestedDb& db, const std::string& query) {
     std::printf("error: %s\n", run.status().ToString().c_str());
     return;
   }
+  const CardinalityFeedback feedback = LocalFeedback().Snapshot();
   ExplainAnalyzeResult analyzed =
-      ExplainAnalyze(run->optimize.plan, *run->translation.db);
+      ExplainAnalyze(run->optimize.plan, *run->translation.db,
+                     JoinAlgo::kAuto, ExecEngine::kBatch, /*threads=*/1,
+                     &feedback);
   std::printf("%s", analyzed.text.c_str());
   // Same per-pass rendering as the server's ANALYZE verb and STATS.
   std::printf("%s", FormatPassStats(run->optimize.passes).c_str());
@@ -307,6 +332,8 @@ void Dispatch(const NestedDb& db, const std::string& line) {
     RunDisconnect();
   } else if (StartsWith(line, "\\cachestats")) {
     RunCacheStats();
+  } else if (StartsWith(line, "\\feedback")) {
+    RunFeedback();
   } else if (StartsWith(line, "\\explain ")) {
     if (g_remote != nullptr) {
       PrintRemote(g_remote->Explain(line.substr(9)));

@@ -15,6 +15,9 @@
 #   BENCH_PR9.json  bench_acyclic — cost-gated Yannakakis semijoin
 #                   program vs the best binary plan on skewed acyclic
 #                   chains (speedup_vs_binary per scale)
+#   BENCH_PR10.json bench_feedback — static plan vs the cardinality-
+#                   feedback re-plan on a mispriced skewed chain
+#                   (speedup_vs_static and max_q_error per scale)
 #
 # BENCH_PR4.json stays frozen as the pre-columnar row-batch baseline
 # the PR 7 speedup target is measured against; bench_batch now writes
@@ -36,7 +39,7 @@ for arg in "$@"; do
 done
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
-cmake --build "$BUILD_DIR" --target bench_search_report bench_server bench_batch bench_parallel bench_wcoj bench_acyclic -j"$(nproc)"
+cmake --build "$BUILD_DIR" --target bench_search_report bench_server bench_batch bench_parallel bench_wcoj bench_acyclic bench_feedback -j"$(nproc)"
 "$BUILD_DIR/bench/bench_search_report" $SMOKE > BENCH_PR2.json
 echo "wrote BENCH_PR2.json:"
 cat BENCH_PR2.json
@@ -55,3 +58,6 @@ cat BENCH_PR8.json
 "$BUILD_DIR/bench/bench_acyclic" $SMOKE > BENCH_PR9.json
 echo "wrote BENCH_PR9.json:"
 cat BENCH_PR9.json
+"$BUILD_DIR/bench/bench_feedback" $SMOKE > BENCH_PR10.json
+echo "wrote BENCH_PR10.json:"
+cat BENCH_PR10.json

@@ -11,7 +11,9 @@
 #include "enumerate/it_enum.h"
 #include "exec/build.h"
 #include "exec/morsel.h"
+#include "exec/stats_view.h"
 #include "fuzz/oracle.h"
+#include "optimizer/feedback.h"
 #include "graph/from_expr.h"
 #include "graph/nice.h"
 #include "optimizer/acyclic_rewrite.h"
@@ -374,6 +376,132 @@ class Differ {
     }
   }
 
+  void CheckFeedback() {
+    if (!options_.feedback) return;
+    bool want_parallel = false;
+    for (const int workers : {1, 2, 4}) {
+      want_parallel =
+          want_parallel ||
+          WantCheck("feedback-parallel-w" + std::to_string(workers)) ||
+          WantCheck("feedback-parallel-stats-parity-w" +
+                    std::to_string(workers));
+    }
+    const bool want_replan = WantCheck("feedback-replan");
+    const bool want_replay = WantCheck("feedback-replay");
+    const bool want_tuple = WantCheck("feedback-tuple");
+    const bool want_batch = WantCheck("feedback-batch");
+    if (!want_replan && !want_replay && !want_tuple && !want_batch &&
+        !want_parallel) {
+      return;
+    }
+
+    // Close the feedback loop once, deterministically: plan, execute,
+    // persist the measured cardinalities, report Q-error, and re-plan
+    // against the corrections. The threshold sits below the Q-error floor
+    // of 1.0, so the very first RecordExecution marks the entry stale no
+    // matter how accurate the static estimates were.
+    LruPlanCache cache(4, /*q_error_threshold=*/0.5);
+    FeedbackStore store;
+    OptimizeOptions opt;
+    opt.plan_cache = &cache;
+    Result<OptimizeOutcome> first = Optimize(c_.query, *c_.db, opt);
+    if (!first.ok()) {
+      Fail("feedback-replan",
+           "initial Optimize failed: " + first.status().ToString());
+      return;
+    }
+    BatchIteratorPtr executed = BuildBatchIterator(first->plan, *c_.db);
+    DrainBatches(executed.get());
+    const double q =
+        ObservePlanExecution(&store, first->plan->hash(),
+                             SnapshotPlanStats(executed.get()),
+                             first->op_estimates);
+    cache.RecordExecution(c_.query->hash(), q);
+
+    const CardinalityFeedback corrected = store.Snapshot();
+    opt.feedback = &corrected;
+    Result<OptimizeOutcome> second = Optimize(c_.query, *c_.db, opt);
+    if (!second.ok()) {
+      Fail("feedback-replan",
+           "re-Optimize with feedback failed: " + second.status().ToString());
+      return;
+    }
+    if (want_replan) {
+      ++report_->checks_run;
+      if (second->cache_hit || !second->replanned) {
+        report_->divergences.push_back(
+            {"feedback-replan",
+             std::string("stale cached plan was not re-optimized "
+                         "(cache_hit=") +
+                 (second->cache_hit ? "true" : "false") +
+                 " replanned=" + (second->replanned ? "true" : "false") +
+                 ")"});
+      }
+    }
+    if (want_replay) {
+      // The corrected plan replaced the stale entry, so a third
+      // optimization must replay it from cache (re-plan happens at most
+      // once per staleness mark, not on every lookup).
+      Result<OptimizeOutcome> third = Optimize(c_.query, *c_.db, opt);
+      ++report_->checks_run;
+      if (!third.ok()) {
+        report_->divergences.push_back(
+            {"feedback-replay",
+             "post-replan Optimize failed: " + third.status().ToString()});
+      } else if (!third->cache_hit) {
+        report_->divergences.push_back(
+            {"feedback-replay",
+             "re-planned entry did not serve the next lookup from cache"});
+      }
+    }
+    // Feedback may steer plan choice only — never results or counters:
+    // the re-planned query must match the oracle on every engine, with
+    // parallel counters identical to the serial batch pipeline's.
+    if (want_tuple) {
+      ExpectOracle("feedback-tuple", ExecutePipelined(second->plan, *c_.db));
+    }
+    if (want_batch) {
+      ExpectOracle("feedback-batch", ExecuteBatched(second->plan, *c_.db));
+    }
+    for (const int workers : {1, 2, 4}) {
+      const std::string result_check =
+          "feedback-parallel-w" + std::to_string(workers);
+      const std::string stats_check =
+          "feedback-parallel-stats-parity-w" + std::to_string(workers);
+      const bool want_result = WantCheck(result_check);
+      const bool want_stats = WantCheck(stats_check);
+      if (!want_result && !want_stats) continue;
+      ParallelOptions par;
+      par.threads = workers;
+      par.morsel_rows = 2;
+      par.batch_capacity = 4;
+      BatchIteratorPtr root =
+          BuildParallelBatchIterator(second->plan, *c_.db, par);
+      Relation out = DrainBatches(root.get());
+      if (want_result) ExpectOracle(result_check, out);
+      if (want_stats) {
+        BatchIteratorPtr serial = BuildBatchIterator(second->plan, *c_.db);
+        DrainBatches(serial.get());
+        ++report_->checks_run;
+        const ExecStats p = CollectPipelineStats(root.get());
+        const ExecStats s = CollectPipelineStats(serial.get());
+        if (p.left_reads != s.left_reads ||
+            p.right_reads != s.right_reads || p.emitted != s.emitted ||
+            p.probes != s.probes ||
+            p.predicate_evals != s.predicate_evals) {
+          report_->divergences.push_back(
+              {stats_check,
+               "serial: " + s.ToString() + " (left=" +
+                   std::to_string(s.left_reads) + " right=" +
+                   std::to_string(s.right_reads) + ")\nparallel: " +
+                   p.ToString() + " (left=" +
+                   std::to_string(p.left_reads) + " right=" +
+                   std::to_string(p.right_reads) + ")"});
+        }
+      }
+    }
+  }
+
   void CheckClosure() {
     if (!WantCheck("closure")) return;
     ClosureOptions closure_options;
@@ -449,6 +577,7 @@ class Differ {
     CheckMultiway();
     CheckAcyclic();
     CheckOptimizer();
+    CheckFeedback();
     CheckClosure();
     CheckItEnumeration();
     CheckMetamorphic();

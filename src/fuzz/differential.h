@@ -18,6 +18,18 @@
 //   optimizer[-plan]       the plan Optimize() picks, on both engines
 //   plan-cache             a second Optimize through an LruPlanCache must
 //                          hit and replay an equal-result plan
+//   feedback-replan        one closed feedback loop (optimizer/feedback.h):
+//                          plan, execute, persist actuals, report Q-error
+//                          past the staleness threshold — the next lookup
+//                          must claim exactly one re-plan
+//   feedback-replay        and the lookup after that must replay the
+//                          re-planned entry from cache (no thrash)
+//   feedback-tuple/batch   the feedback-corrected re-plan ≡ oracle on
+//                          both engines (feedback steers plan choice
+//                          only, never results)
+//   feedback-parallel-wN   ... and on the parallel pipeline at N workers,
+//                          with serial-batch counter parity
+//                          (feedback-parallel-stats-parity-wN)
 //   closure                every implementing tree in the result-
 //                          preserving BT closure (size-capped)
 //   it-enum                on freely-reorderable graphs, every
@@ -66,6 +78,9 @@ struct DiffOptions {
   bool metamorphic = true;
   /// Exercise plan-cache replay.
   bool plan_cache = true;
+  /// Exercise the cardinality-feedback loop (execute, persist actuals,
+  /// re-plan, verify the corrected plan on every engine).
+  bool feedback = true;
 };
 
 struct Divergence {

@@ -19,6 +19,7 @@
 #include "lang/ast.h"
 #include "lang/model.h"
 #include "lang/translate.h"
+#include "optimizer/feedback.h"
 #include "optimizer/optimizer.h"
 #include "optimizer/plan_cache.h"
 #include "relational/ops.h"
@@ -39,6 +40,10 @@ struct QueryRunResult {
   PlanOpStats plan_stats;
   /// The engine that executed the plan.
   ExecEngine engine = ExecEngine::kBatch;
+  /// Worst per-operator Q-error of this execution against the estimates
+  /// the plan was chosen with; 1.0 when no feedback store was attached
+  /// (nothing measured).
+  double max_q_error = 1.0;
 };
 
 /// Execution options shared by every run surface: lang::RunQuery,
@@ -77,6 +82,13 @@ struct RunOptions {
   /// an internal control) when the run starts. Exceeding it surfaces as
   /// StatusCode::kDeadlineExceeded.
   std::optional<std::chrono::milliseconds> deadline;
+  /// Optional cardinality-feedback store (optimizer/feedback.h). When
+  /// set, each run plans against a snapshot of its corrections, then
+  /// feeds its own measured per-operator cardinalities back — and, with
+  /// `plan_cache` also set, reports the execution's Q-error so stale
+  /// entries get re-planned. Not owned; must be thread-safe if runs are
+  /// concurrent (FeedbackStore is).
+  FeedbackStore* feedback = nullptr;
 
   RunOptions& WithOptimize(bool on) {
     optimize = on;
@@ -108,6 +120,10 @@ struct RunOptions {
   }
   RunOptions& WithDeadline(std::chrono::milliseconds budget) {
     deadline = budget;
+    return *this;
+  }
+  RunOptions& WithFeedback(FeedbackStore* store) {
+    feedback = store;
     return *this;
   }
 };

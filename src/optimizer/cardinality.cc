@@ -263,6 +263,12 @@ double CardinalityEstimator::MatchFraction(const PredicatePtr& pred,
 }
 
 double CardinalityEstimator::Estimate(const ExprPtr& expr) const {
+  // Runtime feedback wins over every static rule: a measured cardinality
+  // for this exact subexpression is ground truth (modulo decay), and the
+  // estimates of enclosing operators compound from it.
+  if (feedback_ != nullptr) {
+    if (const double* rows = feedback_->Lookup(expr->hash())) return *rows;
+  }
   switch (expr->kind()) {
     case OpKind::kLeaf:
       return BaseRows(expr->rel());

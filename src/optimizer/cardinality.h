@@ -9,6 +9,7 @@
 #include <unordered_map>
 
 #include "algebra/expr.h"
+#include "optimizer/feedback.h"
 #include "relational/database.h"
 
 namespace fro {
@@ -45,6 +46,24 @@ class CardinalityEstimator {
   double BaseRows(RelId rel) const;
   const AttrStats& StatsOf(AttrId attr) const;
 
+  /// Attaches runtime cardinality feedback (optimizer/feedback.h): any
+  /// subtree whose structural hash has a correction is estimated as its
+  /// measured row count, shadowing the static model entirely — the
+  /// override has precedence over every rule below it, including exact
+  /// leaf counts. Not owned; must outlive the estimator (or be detached
+  /// with null). Null disables feedback.
+  void set_feedback(const CardinalityFeedback* feedback) {
+    feedback_ = feedback;
+  }
+  const CardinalityFeedback* feedback() const { return feedback_; }
+
+  /// True when Estimate(expr) is served from feedback rather than the
+  /// static model — EXPLAIN ANALYZE's "feedback-corrected" marker.
+  bool IsCorrected(const ExprPtr& expr) const {
+    return feedback_ != nullptr && expr != nullptr &&
+           feedback_->Lookup(expr->hash()) != nullptr;
+  }
+
   /// Estimated fraction of candidate tuples satisfying `pred` (in [0, 1]).
   double Selectivity(const PredicatePtr& pred) const;
 
@@ -71,6 +90,7 @@ class CardinalityEstimator {
 
   const Database& db_;
   std::unordered_map<AttrId, AttrStats> attr_stats_;
+  const CardinalityFeedback* feedback_ = nullptr;
 };
 
 }  // namespace fro

@@ -26,6 +26,18 @@ class CostModel {
   CostModel(const Database& db, CostKind kind)
       : estimator_(db), kind_(kind) {}
 
+  /// As above, with runtime cardinality feedback attached to the
+  /// estimator (optimizer/feedback.h): PlanCost and every pass sharing
+  /// this model's estimator — the DP search, the wcoj/acyclic gates, the
+  /// safe-subjoin analysis — see corrected numbers. `feedback` is not
+  /// owned and must outlive the model; null behaves like the static
+  /// constructor.
+  CostModel(const Database& db, CostKind kind,
+            const CardinalityFeedback* feedback)
+      : estimator_(db), kind_(kind) {
+    estimator_.set_feedback(feedback);
+  }
+
   CostKind kind() const { return kind_; }
   const CardinalityEstimator& estimator() const { return estimator_; }
 

@@ -115,12 +115,6 @@ void CollectDotNodes(const ExprPtr& node, const Database& db, int* counter,
   }
 }
 
-double QError(double est, double actual) {
-  const double e = std::max(est, 1.0);
-  const double a = std::max(actual, 1.0);
-  return std::max(e, a) / std::min(e, a);
-}
-
 void RenderAnalyzeNode(const PlanOpStats& node, const Database& db,
                        const CardinalityEstimator& estimator, int depth,
                        ExplainAnalyzeResult* result) {
@@ -133,6 +127,9 @@ void RenderAnalyzeNode(const PlanOpStats& node, const Database& db,
     const double q = QError(est, static_cast<double>(s.emitted));
     result->max_q_error = std::max(result->max_q_error, q);
     line += StrFormat("  ~%.6g rows", est);
+    if (estimator.IsCorrected(node.source_expr)) {
+      line += " [feedback-corrected]";
+    }
     line += StrFormat(
         "  (actual rows=%llu reads=%llu evals=%llu probes=%llu "
         "time=%.3fms q-err=%.2f)",
@@ -154,8 +151,10 @@ void RenderAnalyzeNode(const PlanOpStats& node, const Database& db,
 
 ExplainAnalyzeResult ExplainAnalyze(const ExprPtr& expr, const Database& db,
                                     JoinAlgo algo, ExecEngine engine,
-                                    int threads) {
+                                    int threads,
+                                    const CardinalityFeedback* feedback) {
   CardinalityEstimator estimator(db);
+  estimator.set_feedback(feedback);
   ExplainAnalyzeResult result;
   PlanOpStats snapshot;
   if (engine == ExecEngine::kTuple) {

@@ -62,11 +62,13 @@ struct ExplainAnalyzeResult {
 /// parallelizable regions execute as morsel-driven exchanges
 /// (exec/morsel.h): the rendering shows the Exchange node with the
 /// node-wise cross-worker merge of its spine beneath it, and every
-/// counter still sums to the serial totals.
-ExplainAnalyzeResult ExplainAnalyze(const ExprPtr& expr, const Database& db,
-                                    JoinAlgo algo = JoinAlgo::kAuto,
-                                    ExecEngine engine = ExecEngine::kBatch,
-                                    int threads = 1);
+/// counter still sums to the serial totals. With `feedback`
+/// (optimizer/feedback.h), estimates served from runtime corrections are
+/// rendered with a `[feedback-corrected]` marker.
+ExplainAnalyzeResult ExplainAnalyze(
+    const ExprPtr& expr, const Database& db, JoinAlgo algo = JoinAlgo::kAuto,
+    ExecEngine engine = ExecEngine::kBatch, int threads = 1,
+    const CardinalityFeedback* feedback = nullptr);
 
 /// Graphviz DOT for an expression tree.
 std::string ExprToDot(const ExprPtr& expr, const Database& db);

@@ -1,5 +1,7 @@
 #include "optimizer/optimizer.h"
 
+#include "optimizer/feedback.h"
+
 namespace fro {
 
 namespace {
@@ -9,7 +11,7 @@ Result<OptimizeOutcome> OptimizeUncached(const ExprPtr& query,
                                          const Database& db,
                                          const OptimizeOptions& options) {
   OptimizeOutcome outcome;
-  CostModel cost_model(db, options.cost_kind);
+  CostModel cost_model(db, options.cost_kind, options.feedback);
   outcome.original_cost = cost_model.PlanCost(query);
 
   RewriteContext context{db, cost_model, options.max_dp_relations};
@@ -19,6 +21,8 @@ Result<OptimizeOutcome> OptimizeUncached(const ExprPtr& query,
 
   outcome.plan = state.expr;
   outcome.cost = cost_model.PlanCost(state.expr);
+  outcome.op_estimates = CollectOpEstimates(state.expr,
+                                            cost_model.estimator());
   outcome.freely_reorderable =
       state.reorderability_known && state.freely_reorderable;
   outcome.classification = state.classification;
@@ -60,10 +64,14 @@ Result<OptimizeOutcome> Optimize(const ExprPtr& query, const Database& db,
   // ids and therefore collide here on purpose (plan_cache.h explains why
   // replaying the plan is then sound).
   const uint64_t key = query->hash();
-  if (std::optional<CachedPlan> cached = options.plan_cache->Lookup(key)) {
+  const uint64_t db_generation = DatabaseGenerationStamp(db);
+  bool replan_claimed = false;
+  if (std::optional<CachedPlan> cached = options.plan_cache->LookupForPlanning(
+          key, db_generation, &replan_claimed)) {
     OptimizeOutcome outcome;
     outcome.plan = cached->plan;
     outcome.cost = cached->cost;
+    outcome.op_estimates = std::move(cached->op_estimates);
     outcome.freely_reorderable =
         cached->plan_class == PlanClass::kFreelyReorderable;
     outcome.cache_hit = true;
@@ -74,6 +82,7 @@ Result<OptimizeOutcome> Optimize(const ExprPtr& query, const Database& db,
   }
   FRO_ASSIGN_OR_RETURN(OptimizeOutcome outcome,
                        OptimizeUncached(query, db, options));
+  outcome.replanned = replan_claimed;
   CachedPlan entry;
   entry.plan = outcome.plan;
   entry.plan_class = outcome.freely_reorderable
@@ -81,6 +90,9 @@ Result<OptimizeOutcome> Optimize(const ExprPtr& query, const Database& db,
                          : PlanClass::kGojRewritten;
   entry.cost = outcome.cost;
   entry.notes = outcome.Summary();
+  if (outcome.replanned) entry.notes += "; feedback re-plan";
+  entry.op_estimates = outcome.op_estimates;
+  entry.db_generation = db_generation;
   options.plan_cache->Insert(key, std::move(entry));
   return outcome;
 }

@@ -58,6 +58,13 @@ struct OptimizeOptions {
   /// sharing one cache must share one pipeline shape, or replayed plans
   /// may embed rewrites the replaying caller opted out of.
   PlanCacheInterface* plan_cache = nullptr;
+  /// Optional runtime cardinality feedback (optimizer/feedback.h),
+  /// attached to the pipeline's shared estimator: the DP search, the
+  /// wcoj/acyclic cost gates, and the safe-subjoin survivor analysis all
+  /// see corrected numbers. Feedback changes plan *choice* only — every
+  /// candidate is result-equivalent regardless. Not owned; must outlive
+  /// the call.
+  const CardinalityFeedback* feedback = nullptr;
 };
 
 struct OptimizeOutcome {
@@ -75,6 +82,13 @@ struct OptimizeOutcome {
   /// Theorem 1 classification prose from the reorder pass (or the
   /// cache-hit banner).
   std::string classification;
+  /// Per-node estimates of `plan` under the estimates it was chosen with
+  /// (feedback included) — the execution layer measures per-operator
+  /// Q-error against these (optimizer/feedback.h).
+  OpEstimates op_estimates;
+  /// True when this outcome resolved a stale cache entry's re-plan claim
+  /// (LookupForPlanning granted the claim and the pipeline re-ran).
+  bool replanned = false;
 
   /// The stats of the named pass, or nullptr when it did not run this
   /// outcome (absent from the pipeline, or a cache hit).

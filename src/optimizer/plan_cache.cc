@@ -15,15 +15,19 @@ const char* PlanClassName(PlanClass plan_class) {
 }
 
 std::string PlanCacheStats::ToString() const {
-  char buf[256];
+  char buf[384];
   std::snprintf(buf, sizeof(buf),
                 "hits=%llu misses=%llu insertions=%llu evictions=%llu "
-                "size=%zu capacity=%zu hit_rate=%.4f",
+                "size=%zu capacity=%zu hit_rate=%.4f stale=%zu "
+                "stale_marks=%llu replans=%llu invalidations=%llu",
                 static_cast<unsigned long long>(hits),
                 static_cast<unsigned long long>(misses),
                 static_cast<unsigned long long>(insertions),
                 static_cast<unsigned long long>(evictions), size, capacity,
-                hit_rate());
+                hit_rate(), stale_entries,
+                static_cast<unsigned long long>(stale_marks),
+                static_cast<unsigned long long>(replans),
+                static_cast<unsigned long long>(invalidations));
   return buf;
 }
 
@@ -39,14 +43,79 @@ std::optional<CachedPlan> LruPlanCache::Lookup(uint64_t key) {
   return it->second->plan;
 }
 
+std::optional<CachedPlan> LruPlanCache::LookupForPlanning(
+    uint64_t key, uint64_t db_generation, bool* replan_claimed) {
+  if (replan_claimed != nullptr) *replan_claimed = false;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  Entry& entry = *it->second;
+  if (entry.plan.db_generation != db_generation) {
+    // The base data moved on: plan shape, estimates, and feedback were
+    // all measured against relations that no longer exist.
+    ++invalidations_;
+    ++misses_;
+    lru_.erase(it->second);
+    index_.erase(it);
+    return std::nullopt;
+  }
+  if (entry.stale && !entry.replanning) {
+    // Exactly one caller wins the claim; the flag stays up until its
+    // Insert lands, so racing lookups fall through to the hit below and
+    // keep executing the old (sound) plan meanwhile.
+    entry.stale = false;
+    entry.replanning = true;
+    ++replans_;
+    ++misses_;
+    if (replan_claimed != nullptr) *replan_claimed = true;
+    return std::nullopt;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);  // touch
+  return entry.plan;
+}
+
+void LruPlanCache::RecordExecution(uint64_t key, double q_error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) return;
+  Entry& entry = *it->second;
+  entry.q_error = entry.executions == 0
+                      ? q_error
+                      : 0.5 * q_error + 0.5 * entry.q_error;
+  ++entry.executions;
+  if (!entry.stale && !entry.replanning &&
+      entry.q_error > q_error_threshold_) {
+    entry.stale = true;
+    ++stale_marks_;
+  }
+}
+
+std::optional<double> LruPlanCache::RunningQError(uint64_t key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end() || it->second->executions == 0) return std::nullopt;
+  return it->second->q_error;
+}
+
 void LruPlanCache::Insert(uint64_t key, CachedPlan plan) {
   std::lock_guard<std::mutex> lock(mu_);
   if (capacity_ == 0) return;
   auto it = index_.find(key);
   if (it != index_.end()) {
     // Concurrent optimizers can race to fill the same key; both plans are
-    // equally valid (the search is deterministic), keep the newer.
-    it->second->plan = std::move(plan);
+    // equally valid (the search is deterministic), keep the newer. A
+    // resolved re-plan claim lands here too: the fresh plan starts with a
+    // clean Q-error record, measured against its own estimates.
+    Entry& entry = *it->second;
+    entry.plan = std::move(plan);
+    entry.q_error = 0;
+    entry.executions = 0;
+    entry.stale = false;
+    entry.replanning = false;
     lru_.splice(lru_.begin(), lru_, it->second);
     return;
   }
@@ -75,6 +144,12 @@ PlanCacheStats LruPlanCache::stats() const {
   out.evictions = evictions_;
   out.size = lru_.size();
   out.capacity = capacity_;
+  for (const Entry& entry : lru_) {
+    if (entry.stale) ++out.stale_entries;
+  }
+  out.stale_marks = stale_marks_;
+  out.replans = replans_;
+  out.invalidations = invalidations_;
   return out;
 }
 

@@ -29,6 +29,7 @@
 #include <unordered_map>
 
 #include "algebra/expr.h"
+#include "optimizer/feedback.h"
 
 namespace fro {
 
@@ -51,6 +52,13 @@ struct CachedPlan {
   double cost = 0;
   /// Pipeline summary (OptimizeOutcome::Summary()) of the original run.
   std::string notes;
+  /// Per-node estimates the plan was chosen with (feedback included) —
+  /// the yardstick post-execution Q-error is measured against
+  /// (optimizer/feedback.h explains why that makes re-planning converge).
+  OpEstimates op_estimates;
+  /// DatabaseGenerationStamp at optimization time; a mismatching lookup
+  /// invalidates the entry (the data the plan was costed on is gone).
+  uint64_t db_generation = 0;
 };
 
 /// Abstract cache handle. Implementations must be safe for concurrent
@@ -66,6 +74,30 @@ class PlanCacheInterface {
 
   /// Stores `plan` under `key`, evicting as capacity demands.
   virtual void Insert(uint64_t key, CachedPlan plan) = 0;
+
+  /// Lookup extended with the re-planning protocol the optimizer speaks:
+  ///  * an entry stamped with a different database generation is
+  ///    invalidated — the lookup misses and the caller re-optimizes;
+  ///  * a stale entry (running Q-error past the threshold) grants
+  ///    exactly ONE caller a re-plan claim: `*replan_claimed` is set and
+  ///    the lookup misses so the claimant re-optimizes with feedback,
+  ///    while concurrent callers keep being served the old — still
+  ///    sound, merely mispriced — plan until the claimant's Insert
+  ///    replaces it. No execution ever blocks on re-planning.
+  /// Default: plain Lookup (implementations without staleness tracking).
+  virtual std::optional<CachedPlan> LookupForPlanning(
+      uint64_t key, uint64_t db_generation, bool* replan_claimed) {
+    (void)db_generation;
+    if (replan_claimed != nullptr) *replan_claimed = false;
+    return Lookup(key);
+  }
+
+  /// Feeds one execution's worst per-operator Q-error back to the entry
+  /// under `key` (see optimizer/feedback.h). Default: no-op.
+  virtual void RecordExecution(uint64_t key, double q_error) {
+    (void)key;
+    (void)q_error;
+  }
 };
 
 /// Point-in-time counters of an LruPlanCache.
@@ -76,6 +108,15 @@ struct PlanCacheStats {
   uint64_t evictions = 0;
   size_t size = 0;
   size_t capacity = 0;
+  /// Entries currently marked stale (awaiting a re-plan claim).
+  size_t stale_entries = 0;
+  /// Entries whose running Q-error ever crossed the threshold.
+  uint64_t stale_marks = 0;
+  /// Re-plan claims granted (each produces one feedback-corrected
+  /// re-optimization).
+  uint64_t replans = 0;
+  /// Entries dropped because the database generation moved on.
+  uint64_t invalidations = 0;
 
   double hit_rate() const {
     const uint64_t total = hits + misses;
@@ -95,10 +136,23 @@ struct PlanCacheStats {
 /// the serving layer's "cache off" mode for A/B benchmarking.
 class LruPlanCache : public PlanCacheInterface {
  public:
-  explicit LruPlanCache(size_t capacity) : capacity_(capacity) {}
+  /// Entries whose running Q-error (EWMA over RecordExecution calls)
+  /// exceeds `q_error_threshold` are marked stale; the next
+  /// LookupForPlanning grants one re-plan claim. The default tolerates
+  /// estimates off by 4x either way before paying a re-optimization.
+  explicit LruPlanCache(size_t capacity, double q_error_threshold = 4.0)
+      : capacity_(capacity), q_error_threshold_(q_error_threshold) {}
 
   std::optional<CachedPlan> Lookup(uint64_t key) override;
   void Insert(uint64_t key, CachedPlan plan) override;
+  std::optional<CachedPlan> LookupForPlanning(uint64_t key,
+                                              uint64_t db_generation,
+                                              bool* replan_claimed) override;
+  void RecordExecution(uint64_t key, double q_error) override;
+
+  /// The entry's running Q-error, or nullopt when absent / never
+  /// executed. Observability (tests, \cachestats).
+  std::optional<double> RunningQError(uint64_t key) const;
 
   /// Drops every entry; counters are kept.
   void Clear();
@@ -109,10 +163,18 @@ class LruPlanCache : public PlanCacheInterface {
   struct Entry {
     uint64_t key;
     CachedPlan plan;
+    /// Running Q-error of executions under this plan (EWMA, alpha 0.5).
+    double q_error = 0;
+    uint64_t executions = 0;
+    /// Past the threshold; the next planning lookup may claim a re-plan.
+    bool stale = false;
+    /// A claim is out: suppress further claims until Insert resolves it.
+    bool replanning = false;
   };
 
   mutable std::mutex mu_;
   size_t capacity_;
+  double q_error_threshold_;
   /// Front = most recently used.
   std::list<Entry> lru_;
   std::unordered_map<uint64_t, std::list<Entry>::iterator> index_;
@@ -120,6 +182,9 @@ class LruPlanCache : public PlanCacheInterface {
   uint64_t misses_ = 0;
   uint64_t insertions_ = 0;
   uint64_t evictions_ = 0;
+  uint64_t stale_marks_ = 0;
+  uint64_t replans_ = 0;
+  uint64_t invalidations_ = 0;
 };
 
 }  // namespace fro

@@ -16,7 +16,12 @@ namespace fro {
 FroServer::FroServer(const NestedDb* db, ServerOptions options)
     : db_(db),
       options_(options),
-      plan_cache_(options.plan_cache_capacity),
+      plan_cache_(options.plan_cache_capacity, options.q_error_threshold),
+      feedback_store_([&options] {
+        FeedbackOptions feedback_options;
+        feedback_options.capacity = options.feedback_capacity;
+        return feedback_options;
+      }()),
       thread_budget_(options.exec_thread_budget > 0
                          ? static_cast<size_t>(options.exec_thread_budget)
                          : 0),
@@ -27,6 +32,8 @@ FroServer::FroServer(const NestedDb* db, ServerOptions options)
   session_options.max_query_threads =
       options_.max_query_threads > 0 ? options_.max_query_threads : 1;
   session_options.thread_budget = &thread_budget_;
+  session_options.feedback =
+      options_.enable_feedback ? &feedback_store_ : nullptr;
   session_ = std::make_unique<QuerySession>(
       db_, options_.plan_cache_capacity > 0 ? &plan_cache_ : nullptr,
       &metrics_, session_options);
@@ -254,6 +261,9 @@ bool FroServer::CancelQuery(const std::string& tag) {
 std::string FroServer::StatsText() const {
   std::string out = metrics_.ToText();
   out += "plan_cache " + plan_cache_.stats().ToString() + "\n";
+  // Re-plan counts live in the plan-cache line (replans=/stale=); the
+  // Describe payload adds the store rollup and its Q-error histogram.
+  out += feedback_store_.Describe(/*top_n=*/0);
   out += "ast_memo hits=" + std::to_string(session_->ast_hits()) +
          " misses=" + std::to_string(session_->ast_misses()) + "\n";
   out += "exec_threads max_per_query=" +

@@ -67,6 +67,17 @@ struct ServerOptions {
   /// serially no matter what it asks for. Extras are granted best-effort
   /// per query and returned when it finishes.
   int exec_thread_budget = 0;
+  /// Cardinality-feedback loop (optimizer/feedback.h): executions feed
+  /// measured per-operator cardinalities into a shared store, plans are
+  /// chosen against the corrected numbers, and cached plans whose running
+  /// Q-error drifts past the threshold are re-optimized once. Off turns
+  /// the server back into a purely static-estimate planner.
+  bool enable_feedback = true;
+  /// Distinct subexpressions the feedback store remembers.
+  size_t feedback_capacity = 1024;
+  /// Running-Q-error threshold past which a cached plan is marked stale
+  /// and re-planned on its next planning lookup.
+  double q_error_threshold = 4.0;
 };
 
 class FroServer {
@@ -91,8 +102,10 @@ class FroServer {
   const ServerMetrics& metrics() const { return metrics_; }
   const LruPlanCache& plan_cache() const { return plan_cache_; }
   const QuerySession& session() const { return *session_; }
+  const FeedbackStore& feedback_store() const { return feedback_store_; }
 
-  /// The STATS verb's payload: metrics, plan-cache, and AST-memo lines.
+  /// The STATS verb's payload: metrics, plan-cache, feedback, and
+  /// AST-memo lines.
   std::string StatsText() const;
 
  private:
@@ -109,6 +122,9 @@ class FroServer {
   const NestedDb* db_;
   ServerOptions options_;
   LruPlanCache plan_cache_;
+  /// Shared actuals registry feeding the re-planning loop; populated by
+  /// every QUERY regardless of worker, consulted by every optimization.
+  FeedbackStore feedback_store_;
   ServerMetrics metrics_;
   /// Admission control for intra-query parallelism, shared by all
   /// sessions/workers; sized by options_.exec_thread_budget.

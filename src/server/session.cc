@@ -22,11 +22,13 @@ struct PlannedQuery {
 };
 
 Result<PlannedQuery> Plan(const NestedDb& db, const SelectQuery& ast,
-                          PlanCacheInterface* cache) {
+                          PlanCacheInterface* cache,
+                          const CardinalityFeedback* feedback) {
   PlannedQuery planned;
   FRO_ASSIGN_OR_RETURN(planned.translation, TranslateQuery(db, ast));
   OptimizeOptions options;
   options.plan_cache = cache;
+  options.feedback = feedback;
   FRO_ASSIGN_OR_RETURN(
       planned.optimize,
       Optimize(planned.translation.query, *planned.translation.db, options));
@@ -136,7 +138,8 @@ Response QuerySession::RunQueryVerb(const std::string& text, int threads,
                        .WithPlanCache(plan_cache_)
                        .WithEngine(options_.engine)
                        .WithThreads(threads)
-                       .WithControl(control);
+                       .WithControl(control)
+                       .WithFeedback(options_.feedback);
   if (options_.default_deadline_ms > 0) {
     run.WithDeadline(std::chrono::milliseconds(options_.default_deadline_ms));
   }
@@ -167,7 +170,13 @@ Response QuerySession::RunExplainVerb(const std::string& text) {
     response.status = ast.status();
     return response;
   }
-  Result<PlannedQuery> planned = Plan(*db_, *ast, plan_cache_);
+  CardinalityFeedback feedback_snapshot;
+  const CardinalityFeedback* feedback = nullptr;
+  if (options_.feedback != nullptr) {
+    feedback_snapshot = options_.feedback->Snapshot();
+    feedback = &feedback_snapshot;
+  }
+  Result<PlannedQuery> planned = Plan(*db_, *ast, plan_cache_, feedback);
   if (!planned.ok()) {
     response.status = planned.status();
     return response;
@@ -184,14 +193,20 @@ Response QuerySession::RunAnalyzeVerb(const std::string& text, int threads) {
     response.status = ast.status();
     return response;
   }
-  Result<PlannedQuery> planned = Plan(*db_, *ast, plan_cache_);
+  CardinalityFeedback feedback_snapshot;
+  const CardinalityFeedback* feedback = nullptr;
+  if (options_.feedback != nullptr) {
+    feedback_snapshot = options_.feedback->Snapshot();
+    feedback = &feedback_snapshot;
+  }
+  Result<PlannedQuery> planned = Plan(*db_, *ast, plan_cache_, feedback);
   if (!planned.ok()) {
     response.status = planned.status();
     return response;
   }
   ExplainAnalyzeResult analyzed =
       ExplainAnalyze(planned->optimize.plan, *planned->translation.db,
-                     JoinAlgo::kAuto, options_.engine, threads);
+                     JoinAlgo::kAuto, options_.engine, threads, feedback);
   response.body = analyzed.text;
   // The same per-pass rendering the shell's \analyze uses
   // (FormatPassStats): one code path for pipeline observability.

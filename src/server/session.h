@@ -32,6 +32,7 @@
 #include "lang/ast.h"
 #include "lang/model.h"
 #include "server/metrics.h"
+#include "optimizer/feedback.h"
 #include "optimizer/plan_cache.h"
 #include "server/protocol.h"
 
@@ -80,6 +81,12 @@ struct SessionOptions {
   /// across concurrent queries). Not owned; null means no pooling — every
   /// request gets its clamped ask.
   ThreadBudget* thread_budget = nullptr;
+  /// Optional shared cardinality-feedback store (optimizer/feedback.h).
+  /// QUERY executions feed their measured per-operator cardinalities in
+  /// and report Q-error to the plan cache; all three verbs plan against
+  /// a snapshot of the corrections, and ANALYZE marks corrected
+  /// estimates. Not owned; null disables the feedback loop.
+  FeedbackStore* feedback = nullptr;
 };
 
 class QuerySession {

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "optimizer/cardinality.h"
+#include "optimizer/optimizer.h"
 #include "testing/datagen.h"
 
 namespace fro {
@@ -106,6 +109,116 @@ TEST_F(CardinalityTest, EmptyRelationSafe) {
   CardinalityEstimator est(db);
   EXPECT_EQ(est.BaseRows(e), 0.0);
   EXPECT_EQ(est.StatsOf(db.Attr("E", "x")).distinct, 1.0);  // floor
+}
+
+// --- feedback-driven gate flips ---------------------------------------
+//
+// The wcoj and acyclic rewrite gates both compare
+// PlanCost(rewritten) < PlanCost(baseline), and PlanCost recurses through
+// CardinalityEstimator::Estimate — so runtime corrections for the binary
+// plan's subtree hashes re-price the baseline and can flip a gate that
+// the static model decided the other way.
+
+void CollectKind(const ExprPtr& node, OpKind kind,
+                 std::vector<uint64_t>* out) {
+  if (node == nullptr) return;
+  if (node->kind() == kind) out->push_back(node->hash());
+  CollectKind(node->left(), kind, out);
+  CollectKind(node->right(), kind, out);
+  for (const ExprPtr& child : node->mj_children()) {
+    CollectKind(child, kind, out);
+  }
+}
+
+bool ContainsKind(const ExprPtr& node, OpKind kind) {
+  std::vector<uint64_t> hashes;
+  CollectKind(node, kind, &hashes);
+  return !hashes.empty();
+}
+
+TEST(FeedbackGateFlipTest, AcyclicGateFlipsWhenBinaryPlanIsRepriced) {
+  // A 3-chain whose statically-estimated joins are cheap: the Yannakakis
+  // program's semijoin nodes cost more (Cout) than they save, so the
+  // static gate keeps the binary plan.
+  Database db;
+  RelId r1 = *db.AddRelation("R1", {"a", "b"});
+  RelId r2 = *db.AddRelation("R2", {"b", "c"});
+  RelId r3 = *db.AddRelation("R3", {"c", "d"});
+  for (int i = 0; i < 4; ++i) {
+    db.AddRow(r1, {Value::Int(i), Value::Int(i)});
+    db.AddRow(r3, {Value::Int(i), Value::Int(i)});
+  }
+  for (int i = 0; i < 8; ++i) {
+    db.AddRow(r2, {Value::Int(i), Value::Int(i)});
+  }
+  ExprPtr query = Expr::Join(
+      Expr::Join(Expr::Leaf(r1, db), Expr::Leaf(r2, db),
+                 EqCols(db.Attr("R1", "b"), db.Attr("R2", "b"))),
+      Expr::Leaf(r3, db), EqCols(db.Attr("R2", "c"), db.Attr("R3", "c")));
+
+  Result<OptimizeOutcome> cold = Optimize(query, db);
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  ASSERT_EQ(cold->PassApplications("acyclic"), 0)
+      << "static gate must decline for the flip to be observable";
+  ASSERT_FALSE(ContainsKind(cold->plan, OpKind::kSemijoin));
+
+  // Execution "revealed" the binary joins explode: correct every join
+  // node of the chosen plan to a huge cardinality. Re-planning must now
+  // prefer the semijoin program, whose internal nodes hash differently
+  // and keep their static estimates.
+  CardinalityFeedback feedback;
+  std::vector<uint64_t> joins;
+  CollectKind(cold->plan, OpKind::kJoin, &joins);
+  ASSERT_FALSE(joins.empty());
+  for (uint64_t h : joins) feedback.Set(h, 1e6);
+
+  OptimizeOptions with_feedback;
+  with_feedback.feedback = &feedback;
+  Result<OptimizeOutcome> warm = Optimize(query, db, with_feedback);
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  EXPECT_GE(warm->PassApplications("acyclic"), 1);
+  EXPECT_TRUE(ContainsKind(warm->plan, OpKind::kSemijoin));
+}
+
+TEST(FeedbackGateFlipTest, WcojGateFlipsWhenMultiwayOutputIsRepriced) {
+  // A triangle: the static model prices the leapfrog multiway join below
+  // the binary plan (one output charge instead of two), so the cold gate
+  // collapses the core.
+  Database db;
+  RelId r = *db.AddRelation("R", {"a", "b"});
+  RelId s = *db.AddRelation("S", {"b", "c"});
+  RelId t = *db.AddRelation("T", {"c", "a"});
+  for (int i = 0; i < 4; ++i) {
+    db.AddRow(r, {Value::Int(i), Value::Int(i)});
+    db.AddRow(s, {Value::Int(i), Value::Int(i)});
+    db.AddRow(t, {Value::Int(i), Value::Int(i)});
+  }
+  ExprPtr query = Expr::Join(
+      Expr::Join(Expr::Leaf(r, db), Expr::Leaf(s, db),
+                 EqCols(db.Attr("R", "b"), db.Attr("S", "b"))),
+      Expr::Leaf(t, db),
+      Predicate::And({EqCols(db.Attr("S", "c"), db.Attr("T", "c")),
+                      EqCols(db.Attr("T", "a"), db.Attr("R", "a"))}));
+
+  Result<OptimizeOutcome> cold = Optimize(query, db);
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  ASSERT_GE(cold->PassApplications("wcoj"), 1)
+      << "static gate must collapse the core for the flip to be "
+         "observable";
+  std::vector<uint64_t> multiway;
+  CollectKind(cold->plan, OpKind::kMultiwayJoin, &multiway);
+  ASSERT_FALSE(multiway.empty());
+
+  // Execution measured the multiway join's true output as enormous:
+  // with the correction in place the binary baseline wins the gate back.
+  CardinalityFeedback feedback;
+  for (uint64_t h : multiway) feedback.Set(h, 1e9);
+  OptimizeOptions with_feedback;
+  with_feedback.feedback = &feedback;
+  Result<OptimizeOutcome> warm = Optimize(query, db, with_feedback);
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  EXPECT_EQ(warm->PassApplications("wcoj"), 0);
+  EXPECT_FALSE(ContainsKind(warm->plan, OpKind::kMultiwayJoin));
 }
 
 }  // namespace

@@ -7,6 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <optional>
+#include <thread>
+
 #include "algebra/expr.h"
 #include "lang/lang.h"
 #include "relational/relation.h"
@@ -61,6 +65,45 @@ TEST(LruPlanCacheTest, CapacityZeroDisablesCaching) {
   cache.Insert(1, DummyPlan("dropped"));
   EXPECT_FALSE(cache.Lookup(1).has_value());
   EXPECT_EQ(cache.stats().size, 0u);
+}
+
+TEST(LruPlanCacheTest, ConcurrentReplanClaimIsExclusive) {
+  // Two racers hit a stale entry simultaneously: exactly one may win the
+  // re-plan claim, and the loser must keep being served the old (sound)
+  // plan. Repeated rounds give the scheduler — and the TSan CI leg —
+  // room to interleave the lookups both ways.
+  for (int round = 0; round < 200; ++round) {
+    LruPlanCache cache(2, /*q_error_threshold=*/2.0);
+    CachedPlan plan;
+    plan.db_generation = 5;
+    cache.Insert(7, plan);
+    cache.RecordExecution(7, 100.0);  // far past the threshold: stale
+
+    std::atomic<int> start{0};
+    std::atomic<int> claims{0};
+    std::atomic<int> served{0};
+    auto racer = [&] {
+      start.fetch_add(1);
+      while (start.load() < 2) {
+      }  // spin barrier: both lookups in flight together
+      bool claimed = false;
+      std::optional<CachedPlan> got =
+          cache.LookupForPlanning(7, 5, &claimed);
+      if (claimed) claims.fetch_add(1);
+      if (got.has_value()) served.fetch_add(1);
+      // The claimant re-optimizes and resolves its claim.
+      if (claimed) cache.Insert(7, plan);
+    };
+    std::thread a(racer);
+    std::thread b(racer);
+    a.join();
+    b.join();
+    // Whether the loser raced ahead of or behind the claimant's Insert,
+    // it was served a plan; the claim itself is exclusive.
+    EXPECT_EQ(claims.load(), 1);
+    EXPECT_EQ(served.load(), 1);
+    EXPECT_EQ(cache.stats().replans, 1u);
+  }
 }
 
 class PlanCacheQueryTest : public ::testing::Test {
